@@ -1,0 +1,164 @@
+//! Explicit control-flow graph over one function.
+
+use guardspec_ir::{BlockId, Function};
+
+/// Control-flow graph: successor and predecessor adjacency plus orderings.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`.  Successor order: fall-through first, then
+    /// explicit targets (matching [`Function::successors`]).
+    pub fn build(f: &Function) -> Cfg {
+        let n = f.num_blocks();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (id, _) in f.iter_blocks() {
+            let ss = f.successors(id);
+            for s in &ss {
+                preds[s.index()].push(id);
+            }
+            succs[id.index()] = ss;
+        }
+
+        // Reverse postorder from the entry via iterative DFS.
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < succs[b.index()].len() {
+                let s = succs[b.index()][*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in post.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg { succs, preds, rpo: post, rpo_index }
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Reverse postorder over the *reachable* blocks (entry first).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in reverse postorder; `None` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        let i = self.rpo_index[b.index()];
+        (i != usize::MAX).then_some(i)
+    }
+
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+
+    /// Iterate every CFG edge `(from, to)`.
+    pub fn edges(&self) -> impl Iterator<Item = (BlockId, BlockId)> + '_ {
+        self.succs.iter().enumerate().flat_map(|(i, ss)| {
+            ss.iter().map(move |s| (BlockId(i as u32), *s))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::r;
+
+    fn diamond() -> guardspec_ir::Function {
+        let mut fb = FuncBuilder::new("d");
+        fb.block("b1");
+        fb.beq(r(1), r(2), "b3");
+        fb.block("b2");
+        fb.addi(r(3), r(3), 1);
+        fb.jump("b4");
+        fb.block("b3");
+        fb.addi(r(3), r(3), 2);
+        fb.block("b4");
+        fb.halt();
+        fb.finish()
+    }
+
+    #[test]
+    fn diamond_adjacency() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.succs(BlockId(1)), &[BlockId(3)]);
+        assert_eq!(cfg.succs(BlockId(2)), &[BlockId(3)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(0)), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_topology() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let rpo = cfg.rpo();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        // Join must come after both arms.
+        let join = cfg.rpo_index(BlockId(3)).unwrap();
+        assert!(join > cfg.rpo_index(BlockId(1)).unwrap());
+        assert!(join > cfg.rpo_index(BlockId(2)).unwrap());
+    }
+
+    #[test]
+    fn unreachable_block_not_in_rpo() {
+        let mut fb = FuncBuilder::new("u");
+        fb.block("a");
+        fb.jump("c");
+        fb.block("b");
+        fb.addi(r(1), r(1), 1);
+        fb.block("c");
+        fb.halt();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        assert!(!cfg.is_reachable(BlockId(1)));
+        assert_eq!(cfg.rpo().len(), 2);
+    }
+
+    #[test]
+    fn loop_edges_enumerate() {
+        let mut fb = FuncBuilder::new("l");
+        fb.block("head");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(2), "head");
+        fb.block("exit");
+        fb.halt();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let edges: Vec<_> = cfg.edges().collect();
+        assert!(edges.contains(&(BlockId(0), BlockId(0))));
+        assert!(edges.contains(&(BlockId(0), BlockId(1))));
+    }
+}

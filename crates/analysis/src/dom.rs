@@ -1,0 +1,243 @@
+//! Dominator and post-dominator trees (Cooper–Harvey–Kennedy).
+
+use crate::cfg::Cfg;
+use guardspec_ir::BlockId;
+
+/// A dominator tree: immediate dominators for each reachable block.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b] == Some(d)`: `d` immediately dominates `b`.
+    /// The root's idom is itself; unreachable blocks are `None`.
+    idom: Vec<Option<BlockId>>,
+    root: BlockId,
+}
+
+impl DomTree {
+    /// Dominators of the forward CFG rooted at the entry block.
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        let order: Vec<BlockId> = cfg.rpo().to_vec();
+        Self::compute(
+            cfg.num_blocks(),
+            BlockId(0),
+            &order,
+            |b| cfg.preds(b).to_vec(),
+            |b| cfg.rpo_index(b),
+        )
+    }
+
+    /// Post-dominators: dominators of the reversed CFG.  Because a function
+    /// may have several exits (`halt`/`ret`/`jtab`-less blocks), a virtual
+    /// exit is implied: blocks with no successors are roots; the tree is
+    /// computed with all of them merged.  Returns `None` if the function has
+    /// no exit (an infinite loop), in which case post-dominance is undefined.
+    pub fn post_dominators(cfg: &Cfg) -> Option<DomTree> {
+        let n = cfg.num_blocks();
+        let exits: Vec<BlockId> = (0..n)
+            .map(|i| BlockId(i as u32))
+            .filter(|b| cfg.is_reachable(*b) && cfg.succs(*b).is_empty())
+            .collect();
+        if exits.is_empty() {
+            return None;
+        }
+        // Virtual node index n; edges virtual->exits in the reverse graph.
+        let total = n + 1;
+        let virt = BlockId(n as u32);
+        let rsucc = |b: BlockId| -> Vec<BlockId> {
+            if b == virt {
+                exits.clone()
+            } else {
+                cfg.preds(b).to_vec()
+            }
+        };
+        // Reverse postorder of the reverse graph from the virtual exit.
+        let mut state = vec![0u8; total];
+        let mut post = Vec::with_capacity(total);
+        let mut stack = vec![(virt, 0usize)];
+        state[virt.index()] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = rsucc(b);
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut rpo_index = vec![usize::MAX; total];
+        for (i, b) in post.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let tree = Self::compute(
+            total,
+            virt,
+            &post,
+            |b| {
+                if b == virt {
+                    Vec::new()
+                } else {
+                    let mut ps: Vec<BlockId> = cfg.succs(b).to_vec();
+                    if cfg.succs(b).is_empty() {
+                        ps.push(virt);
+                    }
+                    ps
+                }
+            },
+            |b| {
+                let i = rpo_index[b.index()];
+                (i != usize::MAX).then_some(i)
+            },
+        );
+        Some(tree)
+    }
+
+    fn compute(
+        n: usize,
+        root: BlockId,
+        rpo: &[BlockId],
+        preds: impl Fn(BlockId) -> Vec<BlockId>,
+        rpo_index: impl Fn(BlockId) -> Option<usize>,
+    ) -> DomTree {
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[root.index()] = Some(root);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for p in preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom, root }
+    }
+
+    pub fn root(&self) -> BlockId {
+        self.root
+    }
+
+    /// Immediate dominator of `b` (`None` for the root or unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom.get(b.index()).copied().flatten() {
+            Some(d) if d != b => Some(d),
+            Some(_) => None, // root
+            None => None,
+        }
+    }
+
+    /// Does `a` dominate `b` (reflexively)?
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &impl Fn(BlockId) -> Option<usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        let (ia, ib) = (rpo_index(a).unwrap(), rpo_index(b).unwrap());
+        if ia > ib {
+            a = idom[a.index()].unwrap();
+        } else {
+            b = idom[b.index()].unwrap();
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::r;
+
+    fn diamond_with_loop() -> guardspec_ir::Function {
+        // b0 -> b1 -> {b2, b3} -> b4 -> b1 (loop), b4 -> b5 exit
+        let mut fb = FuncBuilder::new("f");
+        fb.block("b0");
+        fb.li(r(1), 0);
+        fb.block("b1");
+        fb.beq(r(1), r(2), "b3");
+        fb.block("b2");
+        fb.addi(r(3), r(3), 1);
+        fb.jump("b4");
+        fb.block("b3");
+        fb.addi(r(3), r(3), 2);
+        fb.block("b4");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(4), "b1");
+        fb.block("b5");
+        fb.halt();
+        fb.finish()
+    }
+
+    #[test]
+    fn dominators_of_diamond_loop() {
+        let f = diamond_with_loop();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(4)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(5)), Some(BlockId(4)));
+        assert!(dom.dominates(BlockId(1), BlockId(5)));
+        assert!(!dom.dominates(BlockId(2), BlockId(4)));
+        assert!(dom.dominates(BlockId(4), BlockId(4)));
+    }
+
+    #[test]
+    fn post_dominators_of_diamond_loop() {
+        let f = diamond_with_loop();
+        let cfg = Cfg::build(&f);
+        let pdom = DomTree::post_dominators(&cfg).expect("has exit");
+        // b4 post-dominates both arms and the branch block.
+        assert!(pdom.dominates(BlockId(4), BlockId(1)));
+        assert!(pdom.dominates(BlockId(4), BlockId(2)));
+        assert!(pdom.dominates(BlockId(4), BlockId(3)));
+        assert!(pdom.dominates(BlockId(5), BlockId(0)));
+        // Arms do not post-dominate the branch.
+        assert!(!pdom.dominates(BlockId(2), BlockId(1)));
+    }
+
+    #[test]
+    fn no_exit_returns_none() {
+        let mut fb = FuncBuilder::new("spin");
+        fb.block("a");
+        fb.jump("a");
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        assert!(DomTree::post_dominators(&cfg).is_none());
+    }
+}

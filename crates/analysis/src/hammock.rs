@@ -1,0 +1,275 @@
+//! Hammock (triangle / diamond) detection — the single-branch regions the
+//! paper's guarded-execution transform if-converts.
+//!
+//! A *diamond* is `head -> {fall, taken} -> join`; a *triangle* has one
+//! empty arm (`head -> fall -> join`, `head -> join`, or symmetric).  The
+//! arms must have no other predecessors and no side entries, so deleting
+//! the branch and predicating the arm bodies is control-equivalent.
+
+use crate::cfg::Cfg;
+use guardspec_ir::{BlockId, Function, Opcode};
+
+/// Shape of a detected hammock.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HammockKind {
+    /// Both arms non-empty.
+    Diamond,
+    /// Only the fall-through arm exists (taken edge goes straight to join).
+    TriangleFall,
+    /// Only the taken arm exists (fall-through edge goes straight to join).
+    TriangleTaken,
+}
+
+/// An if-conversion candidate region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Hammock {
+    pub kind: HammockKind,
+    /// Block ending in the conditional branch.
+    pub head: BlockId,
+    /// Fall-through arm (executes when the branch is *not* taken).
+    pub fall_arm: Option<BlockId>,
+    /// Taken arm (executes when the branch *is* taken).
+    pub taken_arm: Option<BlockId>,
+    /// Join block where both paths merge.
+    pub join: BlockId,
+}
+
+impl Hammock {
+    /// The blocks that would be merged into `head` by if-conversion.
+    pub fn arm_blocks(&self) -> impl Iterator<Item = BlockId> {
+        self.fall_arm.into_iter().chain(self.taken_arm)
+    }
+}
+
+/// True if `b` is a straight-line arm: single predecessor `head`, and
+/// control continues only to `join` (by fall-through or unconditional jump).
+fn is_arm(f: &Function, cfg: &Cfg, b: BlockId, head: BlockId, join: BlockId) -> bool {
+    cfg.preds(b) == [head] && cfg.succs(b) == [join] && {
+        // No calls / returns / jtab inside the arm; at most a final jump.
+        let blk = f.block(b);
+        blk.insns.iter().enumerate().all(|(i, insn)| match &insn.op {
+            Opcode::Jump { .. } => i + 1 == blk.insns.len(),
+            Opcode::Branch { .. } | Opcode::Jtab { .. } | Opcode::Ret | Opcode::Halt
+            | Opcode::Call { .. } => false,
+            _ => true,
+        })
+    }
+}
+
+/// Find every hammock headed by a conditional branch in `f`.
+pub fn find_hammocks(f: &Function, cfg: &Cfg) -> Vec<Hammock> {
+    let mut out = Vec::new();
+    for (head, blk) in f.iter_blocks() {
+        let Some(term) = blk.terminator() else { continue };
+        // Guarded (predicated) branches have three-way behavior and are not
+        // if-conversion candidates.
+        if term.guard.is_some() {
+            continue;
+        }
+        let taken = match &term.op {
+            Opcode::Branch { target, likely: false, .. } => *target,
+            _ => continue,
+        };
+        if !cfg.is_reachable(head) {
+            continue;
+        }
+        let succs = cfg.succs(head);
+        if succs.len() != 2 {
+            continue;
+        }
+        // Fall-through successor is listed first by construction.
+        let fall = succs[0];
+        debug_assert_eq!(succs[1], taken);
+        if fall == taken {
+            continue;
+        }
+
+        // Diamond: fall and taken are arms joining at the same block.
+        let fall_join = (cfg.succs(fall).len() == 1).then(|| cfg.succs(fall)[0]);
+        let taken_join = (cfg.succs(taken).len() == 1).then(|| cfg.succs(taken)[0]);
+        if let (Some(j1), Some(j2)) = (fall_join, taken_join) {
+            if j1 == j2
+                && is_arm(f, cfg, fall, head, j1)
+                && is_arm(f, cfg, taken, head, j1)
+                && j1 != head
+            {
+                out.push(Hammock {
+                    kind: HammockKind::Diamond,
+                    head,
+                    fall_arm: Some(fall),
+                    taken_arm: Some(taken),
+                    join: j1,
+                });
+                continue;
+            }
+        }
+        // TriangleFall: taken edge goes straight to the join.
+        if let Some(j) = fall_join {
+            if j == taken && is_arm(f, cfg, fall, head, j) && j != head {
+                out.push(Hammock {
+                    kind: HammockKind::TriangleFall,
+                    head,
+                    fall_arm: Some(fall),
+                    taken_arm: None,
+                    join: j,
+                });
+                continue;
+            }
+        }
+        // TriangleTaken: fall-through edge goes straight to the join.
+        if let Some(j) = taken_join {
+            if j == fall && is_arm(f, cfg, taken, head, j) && j != head {
+                out.push(Hammock {
+                    kind: HammockKind::TriangleTaken,
+                    head,
+                    fall_arm: None,
+                    taken_arm: Some(taken),
+                    join: j,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::r;
+
+    #[test]
+    fn detects_diamond() {
+        let mut fb = FuncBuilder::new("d");
+        fb.block("head");
+        fb.beq(r(1), r(2), "t");
+        fb.block("f");
+        fb.addi(r(3), r(3), 1);
+        fb.jump("join");
+        fb.block("t");
+        fb.addi(r(3), r(3), 2);
+        fb.block("join");
+        fb.halt();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let hs = find_hammocks(&f, &cfg);
+        assert_eq!(hs.len(), 1);
+        let h = hs[0];
+        assert_eq!(h.kind, HammockKind::Diamond);
+        assert_eq!(h.head, BlockId(0));
+        assert_eq!(h.fall_arm, Some(BlockId(1)));
+        assert_eq!(h.taken_arm, Some(BlockId(2)));
+        assert_eq!(h.join, BlockId(3));
+    }
+
+    #[test]
+    fn detects_triangle_fall() {
+        // if (cond) skip the increment.
+        let mut fb = FuncBuilder::new("t");
+        fb.block("head");
+        fb.beq(r(1), r(2), "join");
+        fb.block("body");
+        fb.addi(r(3), r(3), 1);
+        fb.block("join");
+        fb.halt();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let hs = find_hammocks(&f, &cfg);
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].kind, HammockKind::TriangleFall);
+        assert_eq!(hs[0].fall_arm, Some(BlockId(1)));
+        assert_eq!(hs[0].taken_arm, None);
+    }
+
+    #[test]
+    fn rejects_arm_with_extra_predecessor() {
+        // A side entry jumps into the fall-through arm, so predicating the
+        // arm would wrongly execute it on the side-entry path too.
+        let mut fb = FuncBuilder::new("x");
+        fb.block("pre");
+        fb.beq(r(9), r(9), "f"); // side entry into the arm
+        fb.block("head");
+        fb.beq(r(1), r(2), "t");
+        fb.block("f");
+        fb.addi(r(3), r(3), 1);
+        fb.jump("join");
+        fb.block("t");
+        fb.addi(r(3), r(3), 2);
+        fb.block("join");
+        fb.halt();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        // Neither the diamond at `head` (arm `f` has 2 preds) nor anything
+        // at `pre` qualifies.
+        assert!(find_hammocks(&f, &cfg).iter().all(|h| h.head != BlockId(1)));
+        assert!(find_hammocks(&f, &cfg).is_empty());
+    }
+
+    #[test]
+    fn chained_arm_becomes_triangle_at_inner_join() {
+        // head -> t -> f and head -> f: a TriangleTaken joining at `f`.
+        let mut fb = FuncBuilder::new("x");
+        fb.block("head");
+        fb.beq(r(1), r(2), "t");
+        fb.block("f");
+        fb.addi(r(3), r(3), 1);
+        fb.halt();
+        fb.block("t");
+        fb.addi(r(3), r(3), 2);
+        fb.jump("f");
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let hs = find_hammocks(&f, &cfg);
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].kind, HammockKind::TriangleTaken);
+        assert_eq!(hs[0].join, BlockId(1));
+    }
+
+    #[test]
+    fn rejects_arm_containing_call() {
+        let mut pb = ProgramBuilder::new();
+        let mut fb = FuncBuilder::new("main");
+        fb.block("head");
+        fb.beq(r(1), r(2), "join");
+        fb.block("body");
+        fb.call("helper");
+        fb.block("join");
+        fb.halt();
+        let mut h = FuncBuilder::new("helper");
+        h.block("e");
+        h.ret();
+        pb.add_func(fb);
+        pb.add_func(h);
+        let prog = pb.finish("main");
+        let f = &prog.funcs[0];
+        let cfg = Cfg::build(f);
+        assert!(find_hammocks(f, &cfg).is_empty());
+    }
+
+    #[test]
+    fn branch_likely_heads_are_not_candidates() {
+        let mut fb = FuncBuilder::new("bl");
+        fb.block("head");
+        fb.beql(r(1), r(2), "join");
+        fb.block("body");
+        fb.addi(r(3), r(3), 1);
+        fb.block("join");
+        fb.halt();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        assert!(find_hammocks(&f, &cfg).is_empty());
+    }
+
+    #[test]
+    fn loop_latch_is_not_a_hammock() {
+        let mut fb = FuncBuilder::new("l");
+        fb.block("head");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(2), "head");
+        fb.block("exit");
+        fb.halt();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        assert!(find_hammocks(&f, &cfg).is_empty());
+    }
+}

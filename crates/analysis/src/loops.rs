@@ -1,0 +1,231 @@
+//! Natural-loop detection.
+//!
+//! The Figure-6 algorithm runs "for each procedure: detect all loops and
+//! create a loop-list L; for each branch in L ...".  This module finds the
+//! natural loops (back edges whose head dominates their tail), their bodies,
+//! exits, and the conditional branches inside them.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use guardspec_ir::{BlockId, Function, InsnRef};
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// Loop header (target of the back edge).
+    pub header: BlockId,
+    /// Tails of the back edges (`latch -> header`).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop body, header first, ascending thereafter.
+    pub body: Vec<BlockId>,
+    /// Edges leaving the loop: `(from_in_loop, to_outside)`.
+    pub exits: Vec<(BlockId, BlockId)>,
+    /// Nesting depth (1 = outermost).
+    pub depth: usize,
+}
+
+impl NaturalLoop {
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.binary_search_by(|x| x.0.cmp(&b.0)).is_ok() || self.header == b
+    }
+}
+
+/// All natural loops of a function, outermost first.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl LoopForest {
+    /// Find the natural loops of `f`.  Back edges with the same header are
+    /// merged into a single loop, standard practice.
+    pub fn build(f: &Function, cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        // Collect back edges grouped by header.
+        let mut by_header: std::collections::BTreeMap<BlockId, Vec<BlockId>> =
+            std::collections::BTreeMap::new();
+        for (from, to) in cfg.edges() {
+            if cfg.is_reachable(from) && dom.dominates(to, from) {
+                by_header.entry(to).or_default().push(from);
+            }
+        }
+
+        let mut loops = Vec::new();
+        for (header, latches) in by_header {
+            // Body = header plus all blocks that reach a latch without
+            // passing through the header (classic worklist).
+            let mut in_body = vec![false; cfg.num_blocks()];
+            in_body[header.index()] = true;
+            let mut work: Vec<BlockId> = latches.clone();
+            while let Some(b) = work.pop() {
+                if in_body[b.index()] {
+                    continue;
+                }
+                in_body[b.index()] = true;
+                for &p in cfg.preds(b) {
+                    if !in_body[p.index()] {
+                        work.push(p);
+                    }
+                }
+            }
+            let mut body: Vec<BlockId> = (0..cfg.num_blocks())
+                .filter(|i| in_body[*i])
+                .map(|i| BlockId(i as u32))
+                .collect();
+            body.sort_by_key(|b| (b != &header, b.0));
+
+            let mut exits = Vec::new();
+            for &b in &body {
+                for &s in cfg.succs(b) {
+                    if !in_body[s.index()] {
+                        exits.push((b, s));
+                    }
+                }
+            }
+            loops.push(NaturalLoop { header, latches, body, exits, depth: 0 });
+        }
+
+        // Nesting depth: loop A contains loop B if A's body contains B's
+        // header and A != B.
+        let contains = |a: &NaturalLoop, b: &NaturalLoop| {
+            a.header != b.header && a.body.contains(&b.header)
+        };
+        let depths: Vec<usize> = loops
+            .iter()
+            .map(|l| 1 + loops.iter().filter(|o| contains(o, l)).count())
+            .collect();
+        for (l, d) in loops.iter_mut().zip(depths) {
+            l.depth = d;
+        }
+        loops.sort_by_key(|l| (l.depth, l.header.0));
+        let _ = f;
+        LoopForest { loops }
+    }
+
+    /// Conditional branches inside loop `l` of function `f`, as instruction
+    /// references paired with whether the branch is a back edge of this loop
+    /// (branch target == header from a latch — the paper's "backward branch").
+    pub fn loop_branches(&self, f: &Function, l: &NaturalLoop) -> Vec<(InsnRef, bool)> {
+        let mut out = Vec::new();
+        for &b in &l.body {
+            let blk = f.block(b);
+            for (i, insn) in blk.insns.iter().enumerate() {
+                if insn.is_cond_branch() {
+                    let backward = match &insn.op {
+                        guardspec_ir::Opcode::Branch { target, .. } => target.0 <= b.0,
+                        _ => false,
+                    };
+                    out.push((
+                        InsnRef { func: guardspec_ir::FuncId(0), block: b, idx: i as u32 },
+                        backward,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::r;
+
+    /// Figure 2's loop: B1 -> {B2, B3} -> B4 -> B1 | exit.
+    fn figure2_loop() -> guardspec_ir::Function {
+        let mut fb = FuncBuilder::new("fig2");
+        fb.block("pre");
+        fb.li(r(1), 0);
+        fb.block("B1");
+        fb.beq(r(2), r(3), "B3");
+        fb.block("B2");
+        fb.addi(r(4), r(4), 1);
+        fb.jump("B4");
+        fb.block("B3");
+        fb.addi(r(4), r(4), 2);
+        fb.block("B4");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(5), "B1");
+        fb.block("exit");
+        fb.halt();
+        fb.finish()
+    }
+
+    #[test]
+    fn finds_the_single_loop() {
+        let f = figure2_loop();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        let forest = LoopForest::build(&f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 1);
+        let l = &forest.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(4)]);
+        assert_eq!(l.body.len(), 4);
+        assert!(l.contains(BlockId(2)));
+        assert!(l.contains(BlockId(3)));
+        assert!(!l.contains(BlockId(0)));
+        assert_eq!(l.exits, vec![(BlockId(4), BlockId(5))]);
+        assert_eq!(l.depth, 1);
+    }
+
+    #[test]
+    fn loop_branches_classify_direction() {
+        let f = figure2_loop();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        let forest = LoopForest::build(&f, &cfg, &dom);
+        let l = &forest.loops[0];
+        let brs = forest.loop_branches(&f, l);
+        assert_eq!(brs.len(), 2);
+        // B1's branch is forward, B4's latch branch is backward.
+        let fwd = brs.iter().find(|(r, _)| r.block == BlockId(1)).unwrap();
+        let bwd = brs.iter().find(|(r, _)| r.block == BlockId(4)).unwrap();
+        assert!(!fwd.1);
+        assert!(bwd.1);
+    }
+
+    #[test]
+    fn nested_loops_have_increasing_depth() {
+        let mut fb = FuncBuilder::new("nest");
+        fb.block("outer");
+        fb.addi(r(1), r(1), 1);
+        fb.block("inner");
+        fb.addi(r(2), r(2), 1);
+        fb.bne(r(2), r(3), "inner");
+        fb.block("latch");
+        fb.bne(r(1), r(4), "outer");
+        fb.block("exit");
+        fb.halt();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        let forest = LoopForest::build(&f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 2);
+        assert_eq!(forest.loops[0].depth, 1);
+        assert_eq!(forest.loops[1].depth, 2);
+        assert_eq!(forest.loops[0].header, BlockId(0));
+        assert_eq!(forest.loops[1].header, BlockId(1));
+        // Inner loop body is a subset of outer.
+        for b in &forest.loops[1].body {
+            assert!(forest.loops[0].body.contains(b));
+        }
+    }
+
+    #[test]
+    fn self_loop_is_detected() {
+        let mut fb = FuncBuilder::new("s");
+        fb.block("a");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(2), "a");
+        fb.block("end");
+        fb.halt();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        let forest = LoopForest::build(&f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 1);
+        assert_eq!(forest.loops[0].body, vec![BlockId(0)]);
+        assert_eq!(forest.loops[0].latches, vec![BlockId(0)]);
+    }
+}

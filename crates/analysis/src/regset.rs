@@ -1,0 +1,132 @@
+//! Dense bitset over register names, used by liveness.
+
+use guardspec_ir::Reg;
+
+const WORDS: usize = (Reg::DENSE_COUNT + 63) / 64;
+
+/// A fixed-size bitset keyed by [`Reg::dense_index`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RegSet {
+    bits: [u64; WORDS],
+}
+
+impl RegSet {
+    pub fn new() -> RegSet {
+        RegSet { bits: [0; WORDS] }
+    }
+
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let i = r.dense_index();
+        let (w, b) = (i / 64, i % 64);
+        let had = self.bits[w] & (1 << b) != 0;
+        self.bits[w] |= 1 << b;
+        !had
+    }
+
+    pub fn remove(&mut self, r: Reg) -> bool {
+        let i = r.dense_index();
+        let (w, b) = (i / 64, i % 64);
+        let had = self.bits[w] & (1 << b) != 0;
+        self.bits[w] &= !(1 << b);
+        had
+    }
+
+    pub fn contains(&self, r: Reg) -> bool {
+        let i = r.dense_index();
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns true if anything changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|w| *w == 0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate the members in dense-index order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        use guardspec_ir::{FltReg, IntReg, PredReg};
+        use guardspec_ir::reg::{NUM_FLT_REGS, NUM_INT_REGS};
+        (0..Reg::DENSE_COUNT).filter(move |i| self.bits[i / 64] & (1 << (i % 64)) != 0).map(
+            move |i| {
+                let ni = NUM_INT_REGS as usize;
+                let nf = NUM_FLT_REGS as usize;
+                if i < ni {
+                    Reg::Int(IntReg(i as u8))
+                } else if i < ni + nf {
+                    Reg::Flt(FltReg((i - ni) as u8))
+                } else {
+                    Reg::Pred(PredReg((i - ni - nf) as u8))
+                }
+            },
+        )
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> RegSet {
+        let mut s = RegSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_ir::{FltReg, IntReg, PredReg};
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = RegSet::new();
+        let r = Reg::Int(IntReg(5));
+        assert!(!s.contains(r));
+        assert!(s.insert(r));
+        assert!(!s.insert(r));
+        assert!(s.contains(r));
+        assert!(s.remove(r));
+        assert!(!s.remove(r));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_roundtrips_all_files() {
+        let regs = vec![
+            Reg::Int(IntReg(0)),
+            Reg::Int(IntReg(63)),
+            Reg::Flt(FltReg(0)),
+            Reg::Flt(FltReg(63)),
+            Reg::Pred(PredReg(0)),
+            Reg::Pred(PredReg(15)),
+        ];
+        let s: RegSet = regs.iter().copied().collect();
+        let back: Vec<Reg> = s.iter().collect();
+        assert_eq!(back.len(), regs.len());
+        for r in &regs {
+            assert!(back.contains(r));
+        }
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a: RegSet = [Reg::Int(IntReg(1))].into_iter().collect();
+        let b: RegSet = [Reg::Int(IntReg(2))].into_iter().collect();
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.len(), 2);
+    }
+}

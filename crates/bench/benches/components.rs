@@ -1,0 +1,79 @@
+//! Component microbenchmarks: interpreter throughput, simulator throughput,
+//! predictor update rate, and the transform driver.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use guardspec_core::{transform_program, DriverOptions};
+use guardspec_interp::profile::profile_program;
+use guardspec_interp::trace::trace_program;
+use guardspec_predict::{Scheme, TwoBitTable};
+use guardspec_sim::{simulate_trace, MachineConfig};
+use guardspec_workloads::{Scale, Workload};
+
+fn grep() -> Workload {
+    guardspec_workloads::grep::build(Scale::Test)
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let w = grep();
+    let retired = guardspec_interp::run(&w.program).unwrap().summary.retired;
+    let mut g = c.benchmark_group("interpreter");
+    g.throughput(Throughput::Elements(retired));
+    g.bench_function("functional_execute", |b| {
+        b.iter(|| std::hint::black_box(guardspec_interp::run(&w.program).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let w = grep();
+    let (layout, trace, _) = trace_program(&w.program).unwrap();
+    let cfg = MachineConfig::r10000();
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("cycle_level_twobit", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                simulate_trace(&w.program, &layout, &trace, Scheme::TwoBit, &cfg).unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let outcomes: Vec<(u64, bool)> =
+        (0..4096u64).map(|i| (0x1000 + (i % 37) * 4, i % 3 != 0)).collect();
+    let mut g = c.benchmark_group("predictor");
+    g.throughput(Throughput::Elements(outcomes.len() as u64));
+    g.bench_function("twobit_update_stream", |b| {
+        b.iter(|| {
+            let mut t = TwoBitTable::paper_default();
+            let mut correct = 0u64;
+            for &(pc, taken) in &outcomes {
+                correct += t.access(pc, taken) as u64;
+            }
+            std::hint::black_box(correct)
+        })
+    });
+    g.finish();
+}
+
+fn bench_transform_driver(c: &mut Criterion) {
+    let w = grep();
+    let (profile, _) = profile_program(&w.program).unwrap();
+    c.bench_function("figure6_driver", |b| {
+        b.iter(|| {
+            let mut p = w.program.clone();
+            std::hint::black_box(transform_program(&mut p, &profile, &DriverOptions::proposed()))
+        })
+    });
+}
+
+criterion_group!(
+    components,
+    bench_interpreter,
+    bench_simulator,
+    bench_predictor,
+    bench_transform_driver
+);
+criterion_main!(components);

@@ -1,0 +1,50 @@
+//! Criterion benches, one per paper table/figure: each measures the time to
+//! regenerate the corresponding artifact at Test scale (the shape-checking
+//! work; the printed numbers come from the `tableN`/`figureN` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guardspec_bench::{run_all_schemes, table1_row, workloads};
+use guardspec_core::DiamondCfg;
+use guardspec_sim::MachineConfig;
+use guardspec_workloads::Scale;
+
+fn bench_table1(c: &mut Criterion) {
+    let ws = workloads(Scale::Test);
+    c.bench_function("table1_characteristics", |b| {
+        b.iter(|| {
+            for w in &ws {
+                std::hint::black_box(table1_row(w));
+            }
+        })
+    });
+}
+
+fn bench_table3_table4(c: &mut Criterion) {
+    // Tables 3 and 4 come from the same three-scheme simulation sweep.
+    let ws = workloads(Scale::Test);
+    let cfg = MachineConfig::r10000();
+    c.bench_function("table3_table4_three_scheme_sweep", |b| {
+        b.iter(|| {
+            for w in &ws {
+                std::hint::black_box(run_all_schemes(w, &cfg));
+            }
+        })
+    });
+}
+
+fn bench_figure2_figure34(c: &mut Criterion) {
+    let d = DiamondCfg::figure2();
+    let phases = [(0.4, 0.95), (0.2, 0.5), (0.4, 0.05)];
+    c.bench_function("figure2_figure34_cost_model", |b| {
+        b.iter(|| {
+            let base = d.base_cost(0.5);
+            let spec = d.speculated_cost(0.5);
+            let guard = d.guarded_cost();
+            let seg = d.segmented_cost(&phases, 0.9);
+            std::hint::black_box((base, spec, guard, seg))
+        })
+    });
+}
+
+criterion_group!(tables, bench_table1, bench_table3_table4, bench_figure2_figure34);
+criterion_main!(tables);

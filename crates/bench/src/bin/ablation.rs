@@ -1,0 +1,54 @@
+//! The title question: *individual vs combined* effects of speculative and
+//! guarded execution.  Runs every driver preset over every workload and
+//! reports IPC + misprediction rate per configuration.
+
+use guardspec_bench::{hr, scale_from_args, workloads};
+use guardspec_core::{transform_program, DriverOptions};
+use guardspec_interp::profile::profile_program;
+use guardspec_predict::Scheme;
+use guardspec_sim::{simulate_trace, MachineConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    let cfg = MachineConfig::r10000();
+    let presets: [(&str, DriverOptions); 5] = [
+        ("baseline", DriverOptions::baseline()),
+        ("speculation", DriverOptions::speculation_only()),
+        ("guarded", DriverOptions::guarded_only()),
+        ("conventional", DriverOptions::conventional()),
+        ("proposed", DriverOptions::proposed()),
+    ];
+    println!("Ablation: individual/combined effects (scale {scale:?})");
+    hr(96);
+    println!(
+        "{:<12} {:<14} {:>7} {:>10} {:>9} {:>8} {:>8} {:>8}",
+        "Benchmark", "Config", "IPC", "Cycles", "Mispred", "Likely", "IfConv", "Splits"
+    );
+    hr(96);
+    for w in workloads(scale) {
+        let (profile, _) = profile_program(&w.program).expect("profile");
+        for (name, opts) in &presets {
+            let mut p = w.program.clone();
+            let report = transform_program(&mut p, &profile, opts);
+            let (layout, trace, exec) =
+                guardspec_interp::trace::trace_program(&p).expect("trace");
+            let bad = w.verify(&exec.machine.mem);
+            assert!(bad.is_empty(), "{}/{name} miscomputed: {bad:?}", w.name);
+            let scheme =
+                if *name == "baseline" { Scheme::TwoBit } else { Scheme::Proposed };
+            let stats = simulate_trace(&p, &layout, &trace, scheme, &cfg).expect("sim");
+            println!(
+                "{:<12} {:<14} {:>7.3} {:>10} {:>9} {:>8} {:>8} {:>8}",
+                w.name,
+                name,
+                stats.ipc(),
+                stats.cycles,
+                stats.mispredicts,
+                report.likelies,
+                report.ifconversions,
+                report.splits
+            );
+        }
+        hr(96);
+    }
+}

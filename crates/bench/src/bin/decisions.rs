@@ -1,0 +1,32 @@
+//! Debug helper: print the Figure-6 decision report for every workload.
+
+use guardspec_bench::{scale_from_args, workloads};
+use guardspec_core::{transform_program, DriverOptions};
+use guardspec_interp::profile::profile_program;
+
+fn main() {
+    let scale = scale_from_args();
+    for w in workloads(scale) {
+        let (profile, _) = profile_program(&w.program).expect("profile");
+        let mut p = w.program.clone();
+        let report = transform_program(&mut p, &profile, &DriverOptions::proposed());
+        println!("== {} ==", w.name);
+        for d in &report.decisions {
+            let behavior = match &d.behavior {
+                guardspec_core::BranchBehavior::Phased { segments } => {
+                    format!("Phased({} segs)", segments.len())
+                }
+                other => format!("{other:?}").chars().take(60).collect(),
+            };
+            println!(
+                "  block {:>3} idx {:>2} {} rate={:.2} {:<50} -> {:?}",
+                d.site.block.0,
+                d.site.idx,
+                if d.backward { "bwd" } else { "fwd" },
+                d.taken_rate,
+                behavior,
+                d.action
+            );
+        }
+    }
+}

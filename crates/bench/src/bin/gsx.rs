@@ -1,0 +1,176 @@
+//! `gsx` — the guardspec command line: run, profile, optimize, and simulate
+//! programs written in the textual assembly format.
+//!
+//! ```text
+//! gsx run  prog.s            execute functionally, print register/memory results
+//! gsx prof prog.s            print the per-branch profile
+//! gsx opt  prog.s            apply the Figure-6 transforms, print the result
+//! gsx sim  prog.s            simulate under all three schemes
+//! gsx pipeview prog.s [N]    per-cycle pipeline activity for the first N cycles
+//! ```
+
+use guardspec_core::{cleanup_program, transform_program, DriverOptions};
+use guardspec_interp::profile::profile_program;
+use guardspec_interp::run;
+use guardspec_ir::parse::parse_program;
+use guardspec_ir::validate::validate;
+use guardspec_predict::Scheme;
+use guardspec_sim::{simulate_program, MachineConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: gsx <run|prof|opt|sim|pipeview> <file.s> [cycles]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (cmd, path) = match (args.get(1), args.get(2)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => usage(),
+    };
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("gsx: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let prog = parse_program(&src, None).unwrap_or_else(|e| {
+        eprintln!("gsx: parse error in {path}: {e}");
+        std::process::exit(1);
+    });
+    let errs = validate(&prog);
+    if !errs.is_empty() {
+        eprintln!("gsx: {path} failed validation:");
+        for e in errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+
+    match cmd {
+        "run" => {
+            let res = run(&prog).unwrap_or_else(|e| {
+                eprintln!("gsx: execution trapped: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "retired {} instructions ({} branches, {} taken, {} annulled)",
+                res.summary.retired,
+                res.summary.cond_branches,
+                res.summary.taken_branches,
+                res.summary.annulled
+            );
+            let nonzero: Vec<(usize, i64)> = res
+                .machine
+                .mem
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(a, v)| v != 0 && a < 64)
+                .collect();
+            println!("non-zero low memory: {nonzero:?}");
+        }
+        "prof" => {
+            let (profile, _) = profile_program(&prog).expect("profile");
+            println!(
+                "{} dynamic instructions, {:.1}% branches",
+                profile.retired,
+                100.0 * profile.branch_fraction()
+            );
+            for (site, bp) in &profile.branches {
+                let f = prog.func(site.func);
+                let pat: String = bp
+                    .outcomes
+                    .iter()
+                    .take(48)
+                    .map(|b| if b { 'T' } else { 'F' })
+                    .collect();
+                println!(
+                    "  {}/{} idx {}: {} exec, rate {:.2}  [{}{}]",
+                    f.name,
+                    f.block(site.block).label,
+                    site.idx,
+                    bp.executed,
+                    bp.taken_rate(),
+                    pat,
+                    if bp.outcomes.len() > 48 { "…" } else { "" }
+                );
+            }
+        }
+        "opt" => {
+            let (profile, _) = profile_program(&prog).expect("profile");
+            let mut out = prog.clone();
+            let report = transform_program(&mut out, &profile, &DriverOptions::proposed());
+            cleanup_program(&mut out);
+            eprintln!(
+                "# {} likelies, {} if-conversions, {} splits, {} ops speculated",
+                report.likelies, report.ifconversions, report.splits, report.speculated_ops
+            );
+            print!("{out}");
+        }
+        "sim" => {
+            let (profile, _) = profile_program(&prog).expect("profile");
+            let mut tuned = prog.clone();
+            transform_program(&mut tuned, &profile, &DriverOptions::proposed());
+            let cfg = MachineConfig::r10000();
+            println!(
+                "{:<12} {:>10} {:>8} {:>10} {:>10}",
+                "scheme", "cycles", "IPC", "mispredict", "indirect"
+            );
+            for (name, p, scheme) in [
+                ("2-bit BP", &prog, Scheme::TwoBit),
+                ("proposed", &tuned, Scheme::Proposed),
+                ("perfect BP", &prog, Scheme::Perfect),
+            ] {
+                let (s, _) = simulate_program(p, scheme, &cfg).expect("sim");
+                println!(
+                    "{:<12} {:>10} {:>8.3} {:>10} {:>10}",
+                    name,
+                    s.cycles,
+                    s.ipc(),
+                    s.mispredicts,
+                    s.indirect_stalls
+                );
+            }
+        }
+        "pipeview" => {
+            let n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(40);
+            let (layout, trace, _) =
+                guardspec_interp::trace::trace_program(&prog).expect("trace");
+            let cfg = MachineConfig::r10000();
+            let (stats, log) = guardspec_sim::simulate_trace_logged(
+                &prog,
+                &layout,
+                &trace,
+                Scheme::TwoBit,
+                &cfg,
+                n,
+            )
+            .expect("sim");
+            let log = log.expect("log");
+            println!(
+                "{:>6} {:>5} {:>5} {:>6} | {:>3} {:>4} {:>4} | {}",
+                "cycle", "fetch", "issue", "commit", "BRq", "LDq", "INTq", "fetch state"
+            );
+            for r in &log.records {
+                let issued: u32 = r.issued.iter().map(|&x| x as u32).sum();
+                println!(
+                    "{:>6} {:>5} {:>5} {:>6} | {:>3} {:>4} {:>4} | {}",
+                    r.cycle,
+                    r.fetched,
+                    issued,
+                    r.committed,
+                    r.queue_len[0],
+                    r.queue_len[1],
+                    r.queue_len[2],
+                    if r.fetch_stalled { "STALL" } else { "" }
+                );
+            }
+            println!(
+                "... {} total cycles, IPC {:.3}, {} mispredicts",
+                stats.cycles,
+                stats.ipc(),
+                stats.mispredicts
+            );
+        }
+        _ => usage(),
+    }
+}

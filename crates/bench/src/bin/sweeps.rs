@@ -1,0 +1,92 @@
+//! Design-choice sweeps (DESIGN.md §5): BHT geometry, predictor family,
+//! split thresholds, misprediction depth.  Each sweep varies ONE knob and
+//! reports its effect across the workloads.
+
+use guardspec_bench::{scale_from_args, workloads};
+use guardspec_core::{transform_program, DriverOptions, FeedbackParams};
+use guardspec_interp::profile::profile_program;
+use guardspec_interp::StaticLayout;
+use guardspec_predict::{
+    measure_gshare_accuracy, measure_onebit_accuracy, measure_twobit_accuracy, Scheme,
+};
+use guardspec_sim::{simulate_trace, MachineConfig};
+
+fn outcome_stream(
+    profile: &guardspec_interp::Profile,
+    layout: &StaticLayout,
+) -> Vec<(u64, bool)> {
+    let mut v = Vec::new();
+    for (site, bp) in &profile.branches {
+        let pc = layout.pc_of(*site);
+        for b in bp.outcomes.iter() {
+            v.push((pc, b));
+        }
+    }
+    v
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let ws = workloads(scale);
+
+    println!("Sweep 1: BHT size (2-bit accuracy %)");
+    println!("{:<10} {:>6} {:>6} {:>6} {:>6} {:>6}", "workload", "64", "128", "512", "2048", "8192");
+    for w in &ws {
+        let (profile, _) = profile_program(&w.program).unwrap();
+        let layout = StaticLayout::build(&w.program);
+        let stream = outcome_stream(&profile, &layout);
+        print!("{:<10}", w.name);
+        for entries in [64usize, 128, 512, 2048, 8192] {
+            print!(" {:>6.2}", 100.0 * measure_twobit_accuracy(entries, stream.iter().copied()));
+        }
+        println!();
+    }
+
+    println!("\nSweep 2: predictor family at 512 entries (accuracy %)");
+    println!("{:<10} {:>8} {:>8} {:>10}", "workload", "1-bit", "2-bit", "gshare/8");
+    for w in &ws {
+        let (profile, _) = profile_program(&w.program).unwrap();
+        let layout = StaticLayout::build(&w.program);
+        let stream = outcome_stream(&profile, &layout);
+        println!(
+            "{:<10} {:>8.2} {:>8.2} {:>10.2}",
+            w.name,
+            100.0 * measure_onebit_accuracy(512, stream.iter().copied()),
+            100.0 * measure_twobit_accuracy(512, stream.iter().copied()),
+            100.0 * measure_gshare_accuracy(512, 8, stream.iter().copied()),
+        );
+    }
+
+    println!("\nSweep 3: Figure-6 likely threshold (proposed-scheme cycles)");
+    println!("{:<10} {:>10} {:>10} {:>10}", "workload", "0.90", "0.95", "0.99");
+    for w in &ws {
+        let (profile, _) = profile_program(&w.program).unwrap();
+        print!("{:<10}", w.name);
+        for thr in [0.90, 0.95, 0.99] {
+            let mut opts = DriverOptions::proposed();
+            opts.feedback = FeedbackParams { likely_threshold: thr, ..opts.feedback };
+            let mut p = w.program.clone();
+            transform_program(&mut p, &profile, &opts);
+            let (layout, trace, exec) = guardspec_interp::trace::trace_program(&p).unwrap();
+            assert!(w.verify(&exec.machine.mem).is_empty());
+            let cfg = MachineConfig::r10000();
+            let stats = simulate_trace(&p, &layout, &trace, Scheme::Proposed, &cfg).unwrap();
+            print!(" {:>10}", stats.cycles);
+        }
+        println!();
+    }
+
+    println!("\nSweep 4: front-end depth (baseline cycles; deeper pipes hurt mispredict-heavy codes most)");
+    println!("{:<10} {:>10} {:>10} {:>10}", "workload", "depth 0", "depth 2", "depth 4");
+    for w in &ws {
+        let (layout, trace, _) = guardspec_interp::trace::trace_program(&w.program).unwrap();
+        print!("{:<10}", w.name);
+        for depth in [0u64, 2, 4] {
+            let mut cfg = MachineConfig::r10000();
+            cfg.frontend_depth = depth;
+            let stats = simulate_trace(&w.program, &layout, &trace, Scheme::TwoBit, &cfg).unwrap();
+            print!(" {:>10}", stats.cycles);
+        }
+        println!();
+    }
+}

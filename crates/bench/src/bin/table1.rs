@@ -1,0 +1,25 @@
+//! Regenerates Table 1: benchmark characteristics.
+
+use guardspec_bench::{hr, scale_from_args, table1_row, workloads};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 1: Benchmark characteristics (scale {scale:?})");
+    hr(78);
+    println!(
+        "{:<12} {:>22} {:>14} {:>22}",
+        "Benchmark", "Dynamic Instr (M)", "Branches (%)", "Correctly predicted (%)"
+    );
+    hr(78);
+    for w in workloads(scale) {
+        let row = table1_row(&w);
+        println!(
+            "{:<12} {:>22.2} {:>14.2} {:>22.2}",
+            row.name, row.dynamic_millions, row.branch_pct, row.predicted_pct
+        );
+    }
+    hr(78);
+    println!("Paper (for shape comparison):");
+    println!("  Compress 0.41M 20.81% 91.98% | Espresso 786.58M 19.26% 94.57%");
+    println!("  Xlisp 5256.53M 23.12% 89.21% | Grep 0.31M 22.28% 92.0%");
+}

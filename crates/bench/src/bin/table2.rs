@@ -1,0 +1,21 @@
+//! Regenerates Table 2: operation latencies of the machine model.
+
+use guardspec_bench::hr;
+use guardspec_sim::Latencies;
+
+fn main() {
+    let l = Latencies::table2();
+    println!("Table 2: Latencies");
+    hr(34);
+    println!("{:<22} {:>10}", "Instruction", "Latency");
+    hr(34);
+    println!("{:<22} {:>10}", "alu", l.alu);
+    println!("{:<22} {:>10}", "ld/st", l.ldst);
+    println!("{:<22} {:>10}", "sft", l.sft);
+    println!("{:<22} {:>10}", "fp add", l.fp_add);
+    println!("{:<22} {:>10}", "fp mul", l.fp_mul);
+    println!("{:<22} {:>10}", "fp div", l.fp_div);
+    println!("{:<22} {:>10}", "cache miss penalty", l.cache_miss_penalty);
+    hr(34);
+    println!("(identical to the paper's Table 2 by construction)");
+}

@@ -1,0 +1,179 @@
+//! Post-transform cleanup: remove unreachable blocks left behind by
+//! if-conversion (stubbed arms) and renumber every target.
+//!
+//! Transforms deliberately leave dead stubs in place so block ids stay
+//! stable while a driver holds references; this pass runs afterwards to
+//! compact the function, as the paper's "final code layout phase" would.
+
+use crate::remap::Remap;
+use guardspec_ir::{BlockId, Function, Program};
+
+/// Statistics from one cleanup.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CleanupStats {
+    pub blocks_removed: usize,
+    pub insns_removed: usize,
+}
+
+/// Remove every block unreachable from the entry of `f`, remapping all
+/// targets.  Returns the stats and the block remap (old → new ids for the
+/// surviving blocks).
+pub fn remove_unreachable_blocks(f: &mut Function) -> (CleanupStats, Remap) {
+    let n = f.blocks.len();
+    // Reachability over the same successor relation the CFG uses.
+    let mut seen = vec![false; n];
+    let mut stack = vec![BlockId(0)];
+    while let Some(b) = stack.pop() {
+        if seen[b.index()] {
+            continue;
+        }
+        seen[b.index()] = true;
+        for s in f.successors(b) {
+            if !seen[s.index()] {
+                stack.push(s);
+            }
+        }
+    }
+    if seen.iter().all(|&s| s) {
+        return (CleanupStats::default(), Remap::new());
+    }
+
+    // Fall-through safety: removing a dead block between a live block and
+    // its fall-through successor is fine (live fall-through edges only go
+    // to live blocks, and relative order of live blocks is preserved);
+    // but a live block that falls through into a DEAD block would change
+    // meaning.  That cannot happen: a fall-through successor of a live
+    // block is reachable by definition.
+
+    // New id per surviving block.
+    let mut new_id = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if seen[i] {
+            new_id[i] = next;
+            next += 1;
+        }
+    }
+
+    let mut stats = CleanupStats::default();
+    let mut keep = Vec::with_capacity(next as usize);
+    for (i, b) in std::mem::take(&mut f.blocks).into_iter().enumerate() {
+        if seen[i] {
+            keep.push(b);
+        } else {
+            stats.blocks_removed += 1;
+            stats.insns_removed += b.insns.len();
+        }
+    }
+    for b in &mut keep {
+        for insn in &mut b.insns {
+            insn.remap_targets(&mut |t| {
+                debug_assert!(seen[t.index()], "live block targets dead block");
+                BlockId(new_id[t.index()])
+            });
+        }
+    }
+    f.blocks = keep;
+
+    // Express the renumbering as a Remap is not possible (it only models
+    // inserts); callers get the raw mapping through the returned stats and
+    // should drop stale references.  An empty Remap signals "recompute".
+    (stats, Remap::new())
+}
+
+/// Clean every function of a program.
+pub fn cleanup_program(prog: &mut Program) -> CleanupStats {
+    let mut total = CleanupStats::default();
+    for f in &mut prog.funcs {
+        let (s, _) = remove_unreachable_blocks(f);
+        total.blocks_removed += s.blocks_removed;
+        total.insns_removed += s.insns_removed;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{transform_program, DriverOptions};
+    use guardspec_interp::profile::profile_program;
+    use guardspec_interp::run;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::r;
+    use guardspec_ir::validate::assert_valid;
+
+    #[test]
+    fn removes_ifconvert_stubs_and_preserves_semantics() {
+        // A loop with a noisy diamond that the driver if-converts, leaving
+        // two dead arm stubs.
+        let mut fb = FuncBuilder::new("c");
+        fb.block("entry");
+        fb.li(r(1), 0);
+        fb.li(r(9), 120);
+        fb.block("head");
+        fb.mul(r(3), r(1), r(1));
+        fb.srl(r(4), r(3), 5);
+        fb.xor(r(4), r(4), r(3));
+        fb.andi(r(4), r(4), 1);
+        fb.beq(r(4), r(0), "t");
+        fb.block("f");
+        fb.addi(r(7), r(7), 2);
+        fb.jump("join");
+        fb.block("t");
+        fb.addi(r(7), r(7), 3);
+        fb.block("join");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(9), "head");
+        fb.block("done");
+        fb.sw(r(7), r(0), 1);
+        fb.halt();
+        let base = single_func_program(fb);
+        let (profile, _) = profile_program(&base).unwrap();
+        let mut p = base.clone();
+        let report = transform_program(&mut p, &profile, &DriverOptions::guarded_only());
+        assert!(report.ifconversions >= 1, "{:?}", report.decisions);
+        let before_blocks = p.funcs[0].blocks.len();
+
+        let stats = cleanup_program(&mut p);
+        assert!(stats.blocks_removed >= 2, "both arm stubs removed: {stats:?}");
+        assert!(p.funcs[0].blocks.len() < before_blocks);
+        assert_valid(&p);
+        assert_eq!(
+            run(&base).unwrap().machine.mem_checksum(),
+            run(&p).unwrap().machine.mem_checksum()
+        );
+    }
+
+    #[test]
+    fn noop_on_fully_reachable_function() {
+        let mut fb = FuncBuilder::new("n");
+        fb.block("a");
+        fb.beq(r(1), r(0), "c");
+        fb.block("b");
+        fb.addi(r(2), r(2), 1);
+        fb.block("c");
+        fb.halt();
+        let mut prog = single_func_program(fb);
+        let stats = cleanup_program(&mut prog);
+        assert_eq!(stats, CleanupStats::default());
+        assert_eq!(prog.funcs[0].blocks.len(), 3);
+    }
+
+    #[test]
+    fn island_between_live_blocks_removed() {
+        let mut fb = FuncBuilder::new("i");
+        fb.block("a");
+        fb.jump("c");
+        fb.block("island");
+        fb.addi(r(1), r(1), 1);
+        fb.jump("c");
+        fb.block("c");
+        fb.halt();
+        let mut prog = single_func_program(fb);
+        let before = run(&prog).unwrap().machine.mem_checksum();
+        let stats = cleanup_program(&mut prog);
+        assert_eq!(stats.blocks_removed, 1);
+        assert_valid(&prog);
+        assert_eq!(before, run(&prog).unwrap().machine.mem_checksum());
+    }
+}

@@ -1,0 +1,229 @@
+//! The schedule-cost model of Figures 2–4.
+//!
+//! The paper's running example is a loop-body diamond:
+//!
+//! ```text
+//!        B1 (10 cycles, 4 vacant slots)
+//!       /  \            fall-through = B2 (13), taken = B3 (5)
+//!      B2    B3
+//!       \  /
+//!        B4 (12)        loop, 100 iterations
+//! ```
+//!
+//! Four schedule layouts are compared:
+//!
+//! * **base** — 100·(10 + 0.5·(13+5) + 12) = **3100** cycles,
+//! * **speculated** — two ops from each arm hoisted into B1's vacant slots,
+//!   two B4 ops copied into the freed arm slots:
+//!   100·(10 + 0.5·(13+5) + 10) = **2900**,
+//! * **guarded** — arms merged into B1 (both always execute):
+//!   100·(10 + (13+5−4) + 12) = **3600**,
+//! * **segmented** (Figures 3/4) — a per-phase plan:
+//!   100·(0.4·23.6 + 0.2·29 + 0.4·30.8) = **2756**.
+//!
+//! These exact numbers are locked in by unit tests.
+
+/// The diamond CFG with its local schedule lengths.
+///
+/// ```
+/// use guardspec_core::DiamondCfg;
+/// let d = DiamondCfg::figure2();
+/// assert_eq!(d.base_cost(0.5), 3100.0);
+/// assert_eq!(d.speculated_cost(0.5), 2900.0);
+/// assert_eq!(d.guarded_cost(), 3600.0);
+/// let phases = [(0.4, 0.95), (0.2, 0.5), (0.4, 0.05)];
+/// assert_eq!(d.segmented_cost(&phases, 0.9).round(), 2756.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct DiamondCfg {
+    /// Schedule length of the head block B1.
+    pub b1: f64,
+    /// Fall-through arm B2.
+    pub b2: f64,
+    /// Taken arm B3.
+    pub b3: f64,
+    /// Join block B4.
+    pub b4: f64,
+    /// Vacant issue slots in B1's schedule.
+    pub slots: f64,
+    /// Loop trip count.
+    pub iterations: f64,
+}
+
+impl DiamondCfg {
+    /// The Figure 2 example.
+    pub fn figure2() -> DiamondCfg {
+        DiamondCfg { b1: 10.0, b2: 13.0, b3: 5.0, b4: 12.0, slots: 4.0, iterations: 100.0 }
+    }
+
+    /// Per-iteration cost with taken probability `p_taken` (B3 executes
+    /// when taken, B2 otherwise).
+    pub fn per_iter_base(&self, p_taken: f64) -> f64 {
+        self.b1 + (1.0 - p_taken) * self.b2 + p_taken * self.b3 + self.b4
+    }
+
+    /// Figure 2(b): total cycles with no transformation.
+    pub fn base_cost(&self, p_taken: f64) -> f64 {
+        self.iterations * self.per_iter_base(p_taken)
+    }
+
+    /// Per-iteration cost after speculating `s2` ops from B2 and `s3` ops
+    /// from B3 into B1's vacant slots (`s2+s3 <= slots`, absorbed for
+    /// free), then copying `k` ops from B4 into *both* arms (B4's tail ops
+    /// must execute on every path, so each arm receives the copies).
+    pub fn per_iter_speculated(&self, p_taken: f64, s2: f64, s3: f64, k: f64) -> f64 {
+        assert!(s2 + s3 <= self.slots + 1e-9, "speculation exceeds vacant slots");
+        let b2 = self.b2 - s2 + k;
+        let b3 = self.b3 - s3 + k;
+        let b4 = self.b4 - k;
+        self.b1 + (1.0 - p_taken) * b2 + p_taken * b3 + b4
+    }
+
+    /// Figure 2(c): balanced speculation (half the slots from each arm),
+    /// copies refilling the freed slots.
+    pub fn speculated_cost(&self, p_taken: f64) -> f64 {
+        let half = self.slots / 2.0;
+        self.iterations * self.per_iter_speculated(p_taken, half, half, half)
+    }
+
+    /// Figure 2(d): guarded execution — the branch is deleted and both arm
+    /// bodies execute every iteration; B1's vacant slots absorb `slots`
+    /// operations of the merged code.
+    pub fn per_iter_guarded(&self) -> f64 {
+        self.b1 + (self.b2 + self.b3 - self.slots) + self.b4
+    }
+
+    pub fn guarded_cost(&self) -> f64 {
+        self.iterations * self.per_iter_guarded()
+    }
+
+    /// The per-phase plan of Figure 3: for a phase with taken rate `p`,
+    /// speculate from the dominant arm when the phase is strongly biased
+    /// (all slots from that arm), else balance.
+    pub fn per_iter_phase_plan(&self, p: f64, bias: f64) -> f64 {
+        if p >= bias {
+            // Taken-dominant: all slots from B3 (Figure 3(a)).
+            self.per_iter_speculated(p, 0.0, self.slots, self.slots)
+        } else if p <= 1.0 - bias {
+            // Fall-through-dominant: all slots from B2 (Figure 3(c)).
+            self.per_iter_speculated(p, self.slots, 0.0, self.slots)
+        } else {
+            // Anomalous phase: balanced speculation (Figure 3(b)).
+            let half = self.slots / 2.0;
+            self.per_iter_speculated(p, half, half, half)
+        }
+    }
+
+    /// Figure 4: combine per-phase schedules weighted by the fraction of
+    /// the iteration space each phase covers.  `phases` = `(fraction,
+    /// taken_rate)`, fractions summing to 1.
+    pub fn segmented_cost(&self, phases: &[(f64, f64)], bias: f64) -> f64 {
+        let total: f64 = phases.iter().map(|(f, _)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9, "phase fractions must sum to 1");
+        self.iterations
+            * phases
+                .iter()
+                .map(|&(frac, p)| frac * self.per_iter_phase_plan(p, bias))
+                .sum::<f64>()
+    }
+
+    /// The split-branch instrumentation overhead per iteration: the counter
+    /// increment plus the per-biased-segment predicate computations.  Used
+    /// by the Figure-6 cost comparison ("if costs of adding extra
+    /// instrumented code less expensive than …").  On a 4-wide machine,
+    /// `extra_ops` operations cost `extra_ops / issue_width` cycles if they
+    /// fill otherwise-vacant slots pessimistically.
+    pub fn instrumented_cost(
+        &self,
+        phases: &[(f64, f64)],
+        bias: f64,
+        extra_ops_per_iter: f64,
+        issue_width: f64,
+    ) -> f64 {
+        self.segmented_cost(phases, bias) + self.iterations * extra_ops_per_iter / issue_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn figure2_base_is_3100() {
+        let d = DiamondCfg::figure2();
+        assert!((d.base_cost(0.5) - 3100.0).abs() < EPS);
+    }
+
+    #[test]
+    fn figure2_speculated_is_2900() {
+        let d = DiamondCfg::figure2();
+        assert!((d.speculated_cost(0.5) - 2900.0).abs() < EPS);
+    }
+
+    #[test]
+    fn figure2_guarded_is_3600() {
+        let d = DiamondCfg::figure2();
+        assert!((d.guarded_cost() - 3600.0).abs() < EPS);
+    }
+
+    #[test]
+    fn figure4_segmented_is_2756() {
+        let d = DiamondCfg::figure2();
+        // 40% of iterations 95% taken, 20% toggling 50-50, 40% 5% taken.
+        let phases = [(0.4, 0.95), (0.2, 0.5), (0.4, 0.05)];
+        let cost = d.segmented_cost(&phases, 0.9);
+        assert!((cost - 2756.0).abs() < EPS, "got {cost}");
+    }
+
+    #[test]
+    fn figure4_phase_components() {
+        let d = DiamondCfg::figure2();
+        // Figure 4's three boxes: 23.6, 29, 30.8 cycles per iteration.
+        assert!((d.per_iter_phase_plan(0.95, 0.9) - 23.6).abs() < EPS);
+        assert!((d.per_iter_phase_plan(0.5, 0.9) - 29.0).abs() < EPS);
+        assert!((d.per_iter_phase_plan(0.05, 0.9) - 30.8).abs() < EPS);
+    }
+
+    #[test]
+    fn segmented_beats_both_one_time_plans_on_phased_behavior() {
+        let d = DiamondCfg::figure2();
+        let phases = [(0.4, 0.95), (0.2, 0.5), (0.4, 0.05)];
+        let seg = d.segmented_cost(&phases, 0.9);
+        assert!(seg < d.speculated_cost(0.5));
+        assert!(seg < d.base_cost(0.5));
+        assert!(seg < d.guarded_cost());
+    }
+
+    #[test]
+    fn guarded_wins_when_arms_are_short_and_balanced() {
+        // Equal tiny arms, no vacant slots: guarding costs b2+b3 instead of
+        // the expectation, but removes nothing here — construct a case where
+        // guarding *does* win: arms of 2 with branch overhead modeled by a
+        // larger b1 in the base (we compare relative orderings only).
+        let d = DiamondCfg { b1: 4.0, b2: 2.0, b3: 2.0, b4: 4.0, slots: 2.0, iterations: 100.0 };
+        // guarded per-iter = 4 + 2 + 4 = 10; base = 4 + 2 + 4 = 10.
+        assert!((d.per_iter_guarded() - d.per_iter_base(0.5)).abs() < EPS);
+        // With uneven arms guarding loses (the paper's warning).
+        let uneven =
+            DiamondCfg { b1: 4.0, b2: 12.0, b3: 2.0, b4: 4.0, slots: 2.0, iterations: 100.0 };
+        assert!(uneven.per_iter_guarded() > uneven.per_iter_base(0.5));
+    }
+
+    #[test]
+    fn instrumentation_overhead_added() {
+        let d = DiamondCfg::figure2();
+        let phases = [(0.4, 0.95), (0.2, 0.5), (0.4, 0.05)];
+        let plain = d.segmented_cost(&phases, 0.9);
+        let with = d.instrumented_cost(&phases, 0.9, 4.0, 4.0);
+        assert!((with - (plain + 100.0)).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "speculation exceeds vacant slots")]
+    fn overspeculation_panics() {
+        let d = DiamondCfg::figure2();
+        d.per_iter_speculated(0.5, 3.0, 3.0, 0.0);
+    }
+}

@@ -1,0 +1,1037 @@
+//! The Figure-6 decision algorithm: "for each procedure, detect all loops;
+//! for each branch in the loop list, choose branch-likely conversion,
+//! if-conversion, or split-branch instrumentation" — plus optional
+//! compile-time speculation into vacant head slots.
+
+use crate::feedback::{classify, segment_periodicity, BranchBehavior, FeedbackParams, SegmentClass};
+use crate::ifconvert::{can_convert, if_convert};
+use crate::remap::Remap;
+use crate::renamepool::RenamePool;
+use crate::schedule::Resources;
+use crate::speculate::speculate_into_head;
+use crate::splitbranch::{split_branches, SplitPlan, SplitSpec};
+use guardspec_analysis::{find_hammocks, Cfg, DomTree, Hammock, Liveness, LoopForest};
+use guardspec_interp::Profile;
+use guardspec_ir::{BlockId, FuncId, InsnRef, Opcode, Program};
+
+/// Driver configuration.  The presets reproduce the paper's schemes and the
+/// ablations of the title's "individual/combined effects".
+#[derive(Clone, Debug)]
+pub struct DriverOptions {
+    pub feedback: FeedbackParams,
+    /// Convert highly-probable branches to branch-likely (both directions
+    /// of the Figure-6 algorithm).
+    pub enable_likely: bool,
+    /// Apply guarded execution to monotonic branches that pass the cost
+    /// comparison.
+    pub enable_ifconvert: bool,
+    /// Apply split-branch instrumentation to non-monotonic instrumentable
+    /// branches.
+    pub enable_split: bool,
+    /// Hoist operations from the dominant arm into vacant head slots.
+    pub enable_speculation: bool,
+    /// Maximum arm body length eligible for if-conversion.
+    pub max_arm_len: usize,
+    /// Maximum operations speculated per branch.
+    pub max_speculate_ops: usize,
+    /// Hoist loads speculatively (dismissible-load model).
+    pub allow_speculative_loads: bool,
+    /// Maximum branch-likelies emitted per split site.
+    pub max_likelies_per_site: usize,
+    /// Estimated misprediction penalty (cycles) used in the if-conversion
+    /// cost comparison.
+    pub mispredict_penalty: f64,
+}
+
+impl DriverOptions {
+    /// Everything on — the paper's proposed scheme.
+    pub fn proposed() -> DriverOptions {
+        DriverOptions {
+            feedback: FeedbackParams::default(),
+            enable_likely: true,
+            enable_ifconvert: true,
+            enable_split: true,
+            enable_speculation: true,
+            max_arm_len: 24,
+            max_speculate_ops: 4,
+            allow_speculative_loads: false,
+            max_likelies_per_site: 4,
+            mispredict_penalty: 8.0,
+        }
+    }
+
+    /// The conventional one-time-feedback-metric scheme: likelies and
+    /// if-conversion from averaged rates, no iteration-space splitting.
+    pub fn conventional() -> DriverOptions {
+        DriverOptions { enable_split: false, ..DriverOptions::proposed() }
+    }
+
+    /// Speculation only (no guarding, no splitting, no likelies).
+    pub fn speculation_only() -> DriverOptions {
+        DriverOptions {
+            enable_likely: false,
+            enable_ifconvert: false,
+            enable_split: false,
+            enable_speculation: true,
+            ..DriverOptions::proposed()
+        }
+    }
+
+    /// Guarded execution only.
+    pub fn guarded_only() -> DriverOptions {
+        DriverOptions {
+            enable_likely: false,
+            enable_ifconvert: true,
+            enable_split: false,
+            enable_speculation: false,
+            ..DriverOptions::proposed()
+        }
+    }
+
+    /// No transformation at all (the 2-bit baseline).
+    pub fn baseline() -> DriverOptions {
+        DriverOptions {
+            enable_likely: false,
+            enable_ifconvert: false,
+            enable_split: false,
+            enable_speculation: false,
+            ..DriverOptions::proposed()
+        }
+    }
+}
+
+impl Default for DriverOptions {
+    fn default() -> DriverOptions {
+        DriverOptions::proposed()
+    }
+}
+
+/// What was done to one branch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// Left alone (reason attached).
+    None(&'static str),
+    /// Converted to a branch-likely in place.
+    BranchLikely,
+    /// If-converted (guarded execution).
+    IfConverted { guarded_ops: usize },
+    /// Split-branch instrumentation applied.
+    Split { likelies: usize },
+    /// Operations hoisted above the branch.
+    Speculated { hoisted: usize, renamed: usize },
+    /// Likely conversion plus speculation from the dominant arm.
+    LikelyAndSpeculated { hoisted: usize },
+}
+
+/// One branch's record in the report.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    pub func: FuncId,
+    /// Site in the ORIGINAL (pre-transform) program.
+    pub site: InsnRef,
+    pub backward: bool,
+    pub taken_rate: f64,
+    pub behavior: BranchBehavior,
+    pub action: Action,
+}
+
+/// Aggregate transform report.
+#[derive(Clone, Debug, Default)]
+pub struct TransformReport {
+    pub decisions: Vec<Decision>,
+    pub likelies: usize,
+    pub ifconversions: usize,
+    pub splits: usize,
+    pub speculated_ops: usize,
+    pub guarded_ops: usize,
+    pub split_likelies: usize,
+}
+
+impl TransformReport {
+    pub fn count(&self, f: impl Fn(&Action) -> bool) -> usize {
+        self.decisions.iter().filter(|d| f(&d.action)).count()
+    }
+}
+
+/// Apply the Figure-6 algorithm to every function of `prog`, using the
+/// branch profiles in `profile` (collected on the same, untransformed
+/// program).
+pub fn transform_program(
+    prog: &mut Program,
+    profile: &Profile,
+    opts: &DriverOptions,
+) -> TransformReport {
+    let mut report = TransformReport::default();
+    let nfuncs = prog.funcs.len();
+    for fi in 0..nfuncs {
+        transform_function(prog, FuncId(fi as u32), profile, opts, &mut report);
+    }
+    report
+}
+
+/// A branch decision pending structural application.
+enum Pending {
+    Split { loop_header: BlockId, loop_body: Vec<BlockId>, spec: SplitSpec },
+    Speculate { head: BlockId, arm: BlockId, other: BlockId },
+}
+
+fn transform_function(
+    prog: &mut Program,
+    fid: FuncId,
+    profile: &Profile,
+    opts: &DriverOptions,
+    report: &mut TransformReport,
+) {
+    let res = Resources::r10000();
+    // ---- Analysis on the original function -------------------------------
+    let (loops, hammocks, decisions) = {
+        let f = prog.func(fid);
+        let cfg = Cfg::build(f);
+        let dom = DomTree::dominators(&cfg);
+        let forest = LoopForest::build(f, &cfg, &dom);
+        let hammocks = find_hammocks(f, &cfg);
+        let mut seen: std::collections::HashSet<InsnRef> = Default::default();
+        let mut decisions: Vec<(InsnRef, bool, usize)> = Vec::new(); // site, backward, loop idx
+        for (li, l) in forest.loops.iter().enumerate() {
+            for (site, backward) in forest.loop_branches(f, l) {
+                let site = InsnRef { func: fid, ..site };
+                if seen.insert(site) {
+                    decisions.push((site, backward, li));
+                }
+            }
+        }
+        (forest.loops, hammocks, decisions)
+    };
+
+    // ---- Decide per branch (Figure 6) ------------------------------------
+    let mut likely_flips: Vec<InsnRef> = Vec::new();
+    let mut convert_hammocks: Vec<(InsnRef, Hammock)> = Vec::new();
+    let mut pendings: Vec<(InsnRef, Pending)> = Vec::new();
+
+    for (site, backward, li) in decisions {
+        let Some(bp) = profile.branch(site) else {
+            report.decisions.push(Decision {
+                func: fid,
+                site,
+                backward,
+                taken_rate: 0.0,
+                behavior: BranchBehavior::Irregular { rate: 0.0, toggle: 0.0 },
+                action: Action::None("never executed"),
+            });
+            continue;
+        };
+        let rate = bp.taken_rate();
+        let behavior = classify(&bp.outcomes, &opts.feedback);
+        let hammock = hammocks.iter().find(|h| h.head == site.block).copied();
+
+        let action: Action = if backward {
+            // Figure 6, backward-branch arm: only the likely conversion.
+            if opts.enable_likely && rate >= opts.feedback.likely_threshold {
+                likely_flips.push(site);
+                Action::BranchLikely
+            } else {
+                Action::None("backward branch below likely threshold")
+            }
+        } else {
+            match &behavior {
+                BranchBehavior::HighlyTaken { .. } => {
+                    let mut act = Action::None("highly taken; likelies disabled");
+                    if opts.enable_likely {
+                        likely_flips.push(site);
+                        act = Action::BranchLikely;
+                    }
+                    // Speculate from the dominant (taken) arm.
+                    if opts.enable_speculation && worth_speculating(&bp.outcomes) {
+                        if let Some(h) = hammock {
+                            if let (Some(arm), Some(other)) = (h.taken_arm, other_succ(&h, true)) {
+                                pendings.push((
+                                    site,
+                                    Pending::Speculate { head: h.head, arm, other },
+                                ));
+                                act = match act {
+                                    Action::BranchLikely => {
+                                        Action::LikelyAndSpeculated { hoisted: 0 }
+                                    }
+                                    _ => Action::Speculated { hoisted: 0, renamed: 0 },
+                                };
+                            }
+                        }
+                    }
+                    act
+                }
+                BranchBehavior::HighlyNotTaken { .. } => {
+                    // Fall-through dominant: the 2-bit predictor handles the
+                    // direction; speculate from the fall arm if possible.
+                    if opts.enable_speculation && worth_speculating(&bp.outcomes) {
+                        if let Some(h) = hammock {
+                            if let (Some(arm), Some(other)) = (h.fall_arm, other_succ(&h, false)) {
+                                pendings.push((
+                                    site,
+                                    Pending::Speculate { head: h.head, arm, other },
+                                ));
+                                report.decisions.push(Decision {
+                                    func: fid,
+                                    site,
+                                    backward,
+                                    taken_rate: rate,
+                                    behavior,
+                                    action: Action::Speculated { hoisted: 0, renamed: 0 },
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                    Action::None("highly not-taken; predictor suffices")
+                }
+                BranchBehavior::Monotonic { rate: r, .. } => {
+                    // If-conversion candidate: Figure 6's cost comparison of
+                    // guarded cost vs weighted schedule estimates.
+                    let mut act = Action::None("monotonic; conversion not profitable");
+                    if opts.enable_ifconvert {
+                        if let Some(h) = hammock {
+                            let f = prog.func(fid);
+                            if can_convert(f, &h, opts.max_arm_len).is_ok()
+                                && guarded_wins(f, &h, &bp.outcomes, *r, opts, &res)
+                            {
+                                convert_hammocks.push((site, h));
+                                act = Action::IfConverted { guarded_ops: 0 };
+                            }
+                        }
+                    }
+                    if matches!(act, Action::None(_))
+                        && opts.enable_speculation
+                        && worth_speculating(&bp.outcomes)
+                    {
+                        if let Some(h) = hammock {
+                            let taken_dom = *r >= 0.5;
+                            let arm = if taken_dom { h.taken_arm } else { h.fall_arm };
+                            if let (Some(arm), Some(other)) = (arm, other_succ(&h, taken_dom)) {
+                                pendings.push((
+                                    site,
+                                    Pending::Speculate { head: h.head, arm, other },
+                                ));
+                                act = Action::Speculated { hoisted: 0, renamed: 0 };
+                            }
+                        }
+                    }
+                    act
+                }
+                BranchBehavior::Phased { segments } => {
+                    // The per-segment extension: Mixed phases may hide a
+                    // periodic pattern the algebraic counter can steer.
+                    let hybrid: Vec<(crate::feedback::Segment, Option<(usize, Vec<bool>)>)> =
+                        segments
+                            .iter()
+                            .map(|seg| {
+                                let per = (seg.class == SegmentClass::Mixed)
+                                    .then(|| segment_periodicity(&bp.outcomes, seg, &opts.feedback))
+                                    .flatten();
+                                (*seg, per)
+                            })
+                            .collect();
+                    if !opts.enable_split || !split_wins_hybrid(&bp.outcomes, &hybrid, opts) {
+                        let reason = if opts.enable_split {
+                            "phased; instrumentation cost exceeds benefit"
+                        } else {
+                            "phased; splitting disabled"
+                        };
+                        let act = convert_or_speculate(
+                            prog,
+                            fid,
+                            site,
+                            hammock,
+                            &bp.outcomes,
+                            rate,
+                            opts,
+                            &res,
+                            &mut convert_hammocks,
+                            &mut pendings,
+                            reason,
+                        );
+                        report.decisions.push(Decision {
+                            func: fid,
+                            site,
+                            backward,
+                            taken_rate: rate,
+                            behavior,
+                            action: act,
+                        });
+                        continue;
+                    }
+                    {
+                        let l = &loops[li];
+                        let plan = if hybrid.iter().any(|(_, per)| per.is_some()) {
+                            SplitPlan::Hybrid { segments: hybrid }
+                        } else {
+                            SplitPlan::Phased { segments: segments.clone() }
+                        };
+                        pendings.push((
+                            site,
+                            Pending::Split {
+                                loop_header: l.header,
+                                loop_body: l.body.clone(),
+                                spec: SplitSpec { block: site.block, plan },
+                            },
+                        ));
+                        Action::Split { likelies: 0 }
+                    }
+                }
+                BranchBehavior::Periodic { period, pattern } => {
+                    let splittable = opts.enable_split
+                        && period.is_power_of_two()
+                        && *period <= 8
+                        && split_wins_periodic(&bp.outcomes, *period, opts);
+                    if !splittable {
+                        let reason = if opts.enable_split {
+                            "periodic; split not instrumentable or not profitable"
+                        } else {
+                            "periodic; splitting disabled"
+                        };
+                        let act = convert_or_speculate(
+                            prog,
+                            fid,
+                            site,
+                            hammock,
+                            &bp.outcomes,
+                            rate,
+                            opts,
+                            &res,
+                            &mut convert_hammocks,
+                            &mut pendings,
+                            reason,
+                        );
+                        report.decisions.push(Decision {
+                            func: fid,
+                            site,
+                            backward,
+                            taken_rate: rate,
+                            behavior,
+                            action: act,
+                        });
+                        continue;
+                    }
+                    if opts.enable_split && period.is_power_of_two() && *period <= 8 {
+                        let l = &loops[li];
+                        pendings.push((
+                            site,
+                            Pending::Split {
+                                loop_header: l.header,
+                                loop_body: l.body.clone(),
+                                spec: SplitSpec {
+                                    block: site.block,
+                                    plan: SplitPlan::Periodic {
+                                        period: *period,
+                                        pattern: pattern.clone(),
+                                    },
+                                },
+                            },
+                        ));
+                        Action::Split { likelies: 0 }
+                    } else {
+                        unreachable!("handled by the gate above")
+                    }
+                }
+                BranchBehavior::Irregular { rate: r, .. } => {
+                    let r = *r;
+                    // "Guarded execution where instruction traces are less
+                    // regular but suffer from insufficient parallelism":
+                    // irregular short diamonds are the prime if-conversion
+                    // targets — the branch is unpredictable, the merged code
+                    // is cheap.
+                    convert_or_speculate(
+                        prog,
+                        fid,
+                        site,
+                        hammock,
+                        &bp.outcomes,
+                        r,
+                        opts,
+                        &res,
+                        &mut convert_hammocks,
+                        &mut pendings,
+                        "irregular behavior",
+                    )
+                }
+            }
+        };
+        report.decisions.push(Decision {
+            func: fid,
+            site,
+            backward,
+            taken_rate: rate,
+            behavior,
+            action,
+        });
+    }
+
+    // ---- Apply: phase A, in-place likely flips ---------------------------
+    for site in &likely_flips {
+        let f = prog.func_mut(fid);
+        let blk = f.block_mut(site.block);
+        if let Some(Opcode::Branch { likely, .. }) =
+            blk.insns.get_mut(site.idx as usize).map(|i| &mut i.op)
+        {
+            *likely = true;
+            report.likelies += 1;
+        }
+    }
+
+    // ---- Phase B: if-conversions (no block renumbering) ------------------
+    {
+        let f = prog.func_mut(fid);
+        let mut pool = RenamePool::for_function(f);
+        for (site, h) in &convert_hammocks {
+            if let Ok(stats) = if_convert(f, h, &mut pool, opts.max_arm_len) {
+                report.ifconversions += 1;
+                report.guarded_ops += stats.guarded_ops;
+                if let Some(d) = report.decisions.iter_mut().find(|d| d.site == *site) {
+                    d.action = Action::IfConverted { guarded_ops: stats.guarded_ops };
+                }
+            }
+        }
+    }
+
+    // ---- Phase C: speculation (instruction inserts only) -----------------
+    for (site, p) in &pendings {
+        if let Pending::Speculate { head, arm, other } = p {
+            let f = prog.func_mut(fid);
+            let cfg = Cfg::build(f);
+            let lv = Liveness::compute(f, &cfg);
+            let live_other = *lv.live_in(*other);
+            let mut pool = RenamePool::for_function(f);
+            let (stats, _remap) = speculate_into_head(
+                f,
+                *head,
+                *arm,
+                &live_other,
+                opts.max_speculate_ops,
+                opts.allow_speculative_loads,
+                &mut pool,
+            );
+            report.speculated_ops += stats.hoisted;
+            if let Some(d) = report.decisions.iter_mut().find(|d| d.site == *site) {
+                d.action = match d.action {
+                    Action::LikelyAndSpeculated { .. } if stats.hoisted > 0 => {
+                        Action::LikelyAndSpeculated { hoisted: stats.hoisted }
+                    }
+                    Action::LikelyAndSpeculated { .. } => Action::BranchLikely,
+                    _ if stats.hoisted > 0 => {
+                        Action::Speculated { hoisted: stats.hoisted, renamed: stats.renamed }
+                    }
+                    _ => Action::None("nothing speculatable in the arm"),
+                };
+            }
+        }
+    }
+
+    // ---- Phase D: splits, grouped per loop, descending header ------------
+    let mut grouped: std::collections::BTreeMap<u32, (Vec<BlockId>, Vec<(InsnRef, SplitSpec)>)> =
+        Default::default();
+    for (site, p) in &pendings {
+        if let Pending::Split { loop_header, loop_body, spec } = p {
+            let e = grouped.entry(loop_header.0).or_insert_with(|| (loop_body.clone(), Vec::new()));
+            e.1.push((*site, spec.clone()));
+        }
+    }
+    let mut cum = Remap::new();
+    // Descending header order: inserts for high headers don't move lower ones,
+    // and the cumulative remap covers what does move.
+    for (&header0, (body0, entries)) in grouped.iter().rev() {
+        let f = prog.func_mut(fid);
+        let mut pool = RenamePool::for_function(f);
+        let header = cum.apply_block(BlockId(header0));
+        let body: Vec<BlockId> = body0.iter().map(|&b| cum.apply_block(b)).collect();
+        let specs: Vec<SplitSpec> = entries
+            .iter()
+            .map(|(_, s)| SplitSpec { block: cum.apply_block(s.block), plan: s.plan.clone() })
+            .collect();
+        match split_branches(
+            f,
+            header,
+            &body,
+            &specs,
+            &mut pool,
+            opts.feedback.min_segment_frac,
+            opts.max_likelies_per_site,
+        ) {
+            Ok((stats, remap)) => {
+                report.splits += stats.sites;
+                report.split_likelies += stats.likelies;
+                cum.extend(&remap);
+                for (site, _) in entries {
+                    if let Some(d) = report.decisions.iter_mut().find(|d| d.site == *site) {
+                        d.action = Action::Split { likelies: stats.likelies / stats.sites.max(1) };
+                    }
+                }
+            }
+            Err(_) => {
+                for (site, _) in entries {
+                    if let Some(d) = report.decisions.iter_mut().find(|d| d.site == *site) {
+                        d.action = Action::None("split failed (resources/segments)");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The successor of the head on the path NOT being speculated from.
+fn other_succ(h: &Hammock, speculating_taken: bool) -> Option<BlockId> {
+    if speculating_taken {
+        h.fall_arm.or(Some(h.join))
+    } else {
+        h.taken_arm.or(Some(h.join))
+    }
+}
+
+/// Is compile-time speculation worth it for this branch?  The out-of-order
+/// core already speculates dynamically past *predicted* branches, so
+/// hoisting only pays when the branch actually mispredicts often enough
+/// that having the arm's prefix already in flight shortens recovery —
+/// Section 3's "how much we would like to perform speculation at
+/// compile-time versus doing it dynamically".
+fn worth_speculating(outcomes: &guardspec_interp::BitVec) -> bool {
+    if outcomes.is_empty() {
+        return false;
+    }
+    let misp = twobit_mispredicts(outcomes, 0..outcomes.len()) as f64 / outcomes.len() as f64;
+    misp >= 0.05
+}
+
+/// Shared fallback: if-convert when the cost model approves, else queue
+/// speculation from the dominant arm, else do nothing.
+#[allow(clippy::too_many_arguments)]
+fn convert_or_speculate(
+    prog: &Program,
+    fid: FuncId,
+    site: InsnRef,
+    hammock: Option<Hammock>,
+    outcomes: &guardspec_interp::BitVec,
+    rate: f64,
+    opts: &DriverOptions,
+    res: &Resources,
+    convert_hammocks: &mut Vec<(InsnRef, Hammock)>,
+    pendings: &mut Vec<(InsnRef, Pending)>,
+    none_reason: &'static str,
+) -> Action {
+    if opts.enable_ifconvert {
+        if let Some(h) = hammock {
+            let f = prog.func(fid);
+            if can_convert(f, &h, opts.max_arm_len).is_ok()
+                && guarded_wins(f, &h, outcomes, rate, opts, res)
+            {
+                convert_hammocks.push((site, h));
+                return Action::IfConverted { guarded_ops: 0 };
+            }
+        }
+    }
+    if opts.enable_speculation && worth_speculating(outcomes) {
+        if let Some(h) = hammock {
+            let taken_dom = rate >= 0.5;
+            let arm = if taken_dom { h.taken_arm } else { h.fall_arm };
+            if let (Some(arm), Some(other)) = (arm, other_succ(&h, taken_dom)) {
+                pendings.push((site, Pending::Speculate { head: h.head, arm, other }));
+                return Action::Speculated { hoisted: 0, renamed: 0 };
+            }
+        }
+    }
+    Action::None(none_reason)
+}
+
+/// Replay an outcome vector through a fresh 2-bit counter and count
+/// mispredictions — the baseline cost estimate for the split gate.
+fn twobit_mispredicts(v: &guardspec_interp::BitVec, range: std::ops::Range<usize>) -> u64 {
+    let mut t = guardspec_predict::TwoBitTable::new(1);
+    let mut miss = 0u64;
+    for i in range {
+        if !t.access(0, v.get(i)) {
+            miss += 1;
+        }
+    }
+    miss
+}
+
+/// Figure 6's split gate: "if costs of adding extra instrumented code less
+/// expensive than either (b), (c) and (d)".  Benefit: mispredicts the
+/// per-phase likelies remove — biased segments keep ~1 mispredict per
+/// boundary; Mixed segments keep the 2-bit residual unless a periodic
+/// pattern was detected, in which case only the pattern disagreements
+/// remain.  Cost: the per-iteration instrumentation issued on a 4-wide
+/// machine.
+fn split_wins_hybrid(
+    v: &guardspec_interp::BitVec,
+    segments: &[(crate::feedback::Segment, Option<(usize, Vec<bool>)>)],
+    opts: &DriverOptions,
+) -> bool {
+    let n = v.len();
+    if n == 0 {
+        return false;
+    }
+    let m_base = twobit_mispredicts(v, 0..n);
+    let mut m_after = segments.len() as u64;
+    let mut extra_ops = 3.0; // counter increment + condition setp
+    for (s, per) in segments {
+        match (s.class, per) {
+            (SegmentClass::Mixed, Some((p, pattern))) => {
+                // Only pattern disagreements stay mispredicted.
+                let dis = (s.start..s.end.min(n))
+                    .filter(|&i| v.get(i) != pattern[(i - s.start) % p])
+                    .count() as u64;
+                m_after += dis;
+                let taken_pos = pattern.iter().filter(|&&t| t).count();
+                extra_ops += 1.0 + 2.0 * taken_pos as f64;
+            }
+            (SegmentClass::Mixed, None) | (SegmentClass::NotTaken, _) => {
+                // Left to the 2-bit residual (codegen emits no likely).
+                m_after += twobit_mispredicts(v, s.start..s.end.min(n));
+            }
+            (SegmentClass::Taken, _) => {
+                extra_ops += 2.0;
+            }
+        }
+    }
+    let benefit = (m_base.saturating_sub(m_after)) as f64 * opts.mispredict_penalty;
+    let cost = n as f64 * extra_ops / 4.0;
+    benefit > cost
+}
+
+/// Split gate for periodic patterns: the algebraic-counter likelies remove
+/// all agreeing-position mispredicts.
+fn split_wins_periodic(
+    v: &guardspec_interp::BitVec,
+    period: usize,
+    opts: &DriverOptions,
+) -> bool {
+    let n = v.len();
+    if n == 0 {
+        return false;
+    }
+    let m_base = twobit_mispredicts(v, 0..n);
+    // Disagreements with the periodic pattern stay mispredicted.
+    let pattern: Vec<bool> = (0..period).map(|i| v.get(i)).collect();
+    let m_after = (0..n).filter(|&i| v.get(i) != pattern[i % period]).count() as u64;
+    let taken_positions = pattern.iter().filter(|&&t| t).count();
+    let extra_ops = 2.0 + 2.0 * taken_positions.min(opts.max_likelies_per_site) as f64;
+    let benefit = (m_base.saturating_sub(m_after)) as f64 * opts.mispredict_penalty;
+    let cost = n as f64 * extra_ops / 4.0;
+    benefit > cost
+}
+
+/// Figure 6's cost comparison, adapted to the out-of-order target: guarded
+/// execution wins when the misprediction savings plus the removed control
+/// ops outweigh the dispatch bandwidth spent on the (annulled) other arm
+/// and the predicate setup.
+///
+/// (The static-schedule variant of this comparison — Figure 2's vacant-slot
+/// arithmetic — lives in [`DiamondCfg`] and is reproduced by the `figure2`
+/// bench; on a dynamically-scheduled machine "vacant slots" are not free,
+/// so the driver gates on issue bandwidth instead.)
+fn guarded_wins(
+    f: &guardspec_ir::Function,
+    h: &Hammock,
+    outcomes: &guardspec_interp::BitVec,
+    taken_rate: f64,
+    opts: &DriverOptions,
+    res: &Resources,
+) -> bool {
+    let arm_ops = |b: Option<guardspec_ir::BlockId>| -> f64 {
+        b.map(|b| f.block(b).body_len() as f64).unwrap_or(0.0)
+    };
+    let ops_fall = arm_ops(h.fall_arm);
+    let ops_taken = arm_ops(h.taken_arm);
+    // Measured 2-bit misprediction rate on the actual outcome stream —
+    // a phased or periodic-friendly branch may be far better predicted
+    // than its average rate suggests.
+    let misp_rate = if outcomes.is_empty() {
+        taken_rate.min(1.0 - taken_rate)
+    } else {
+        twobit_mispredicts(outcomes, 0..outcomes.len()) as f64 / outcomes.len() as f64
+    };
+    let width = res.issue_width as f64;
+    // Benefit: expected misprediction penalty removed, plus the branch
+    // no longer occupying a fetch slot.  (The head gains a jump to the
+    // join, so the arm-terminating jump is not counted as saved.)
+    let benefit = misp_rate * opts.mispredict_penalty + 1.0 / width;
+    // Overhead: the annulled arm's ops still flow through the pipeline,
+    // plus the setp.
+    let annulled = taken_rate * ops_fall + (1.0 - taken_rate) * ops_taken;
+    let overhead = (annulled + 1.0) / width;
+    benefit > overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_interp::profile::profile_program;
+    use guardspec_interp::run;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::r;
+    use guardspec_ir::validate::assert_valid;
+
+    /// A kitchen-sink loop: a hot latch (likely candidate), a phased branch
+    /// (split candidate), a balanced short diamond (if-convert candidate),
+    /// and an alternating branch (periodic split candidate).
+    fn mixed_program(iters: i64) -> Program {
+        let mut fb = FuncBuilder::new("mixed");
+        fb.block("entry");
+        fb.li(r(1), 0); // i
+        fb.li(r(9), iters);
+        fb.block("head");
+        // Phased branch: taken while i < iters*2/5.
+        fb.slti(r(2), r(1), iters * 2 / 5);
+        fb.bne(r(2), r(0), "ph_t");
+        fb.block("ph_f");
+        fb.addi(r(5), r(5), 1);
+        fb.jump("diamond");
+        fb.block("ph_t");
+        fb.addi(r(6), r(6), 1);
+        fb.block("diamond");
+        // Balanced diamond on a noisy condition (hash parity): short arms.
+        fb.mul(r(3), r(1), r(1));
+        fb.srl(r(4), r(3), 3);
+        fb.andi(r(4), r(4), 1);
+        fb.beq(r(4), r(0), "d_t");
+        fb.block("d_f");
+        fb.addi(r(7), r(7), 2);
+        fb.jump("alt");
+        fb.block("d_t");
+        fb.addi(r(7), r(7), 3);
+        fb.block("alt");
+        // Alternating branch.
+        fb.andi(r(8), r(1), 1);
+        fb.bne(r(8), r(0), "a_t");
+        fb.block("a_f");
+        fb.addi(r(10), r(10), 1);
+        fb.jump("latch");
+        fb.block("a_t");
+        fb.addi(r(11), r(11), 1);
+        fb.block("latch");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(9), "head"); // hot backward branch
+        fb.block("done");
+        fb.sw(r(5), r(0), 1);
+        fb.sw(r(6), r(0), 2);
+        fb.sw(r(7), r(0), 3);
+        fb.sw(r(10), r(0), 4);
+        fb.sw(r(11), r(0), 5);
+        fb.halt();
+        single_func_program(fb)
+    }
+
+    fn apply(opts: &DriverOptions, prog: &Program) -> (Program, TransformReport) {
+        let (profile, _) = profile_program(prog).expect("profile");
+        let mut out = prog.clone();
+        let report = transform_program(&mut out, &profile, opts);
+        assert_valid(&out);
+        (out, report)
+    }
+
+    #[test]
+    fn proposed_applies_every_mechanism() {
+        let prog = mixed_program(200);
+        let (out, report) = apply(&DriverOptions::proposed(), &prog);
+        assert!(report.likelies >= 1, "latch should go likely: {report:?}");
+        assert!(
+            report.splits + report.ifconversions >= 1,
+            "periodic/irregular branches should transform: {report:?}"
+        );
+        // Semantics preserved.
+        let rb = run(&prog).unwrap();
+        let ro = run(&out).unwrap();
+        assert_eq!(rb.machine.mem_checksum(), ro.machine.mem_checksum());
+    }
+
+    #[test]
+    fn baseline_changes_nothing() {
+        let prog = mixed_program(100);
+        let (out, report) = apply(&DriverOptions::baseline(), &prog);
+        assert_eq!(report.likelies, 0);
+        assert_eq!(report.splits, 0);
+        assert_eq!(report.ifconversions, 0);
+        assert_eq!(report.speculated_ops, 0);
+        assert_eq!(out.funcs, prog.funcs);
+    }
+
+    #[test]
+    fn conventional_never_splits() {
+        let prog = mixed_program(200);
+        let (_out, report) = apply(&DriverOptions::conventional(), &prog);
+        assert_eq!(report.splits, 0);
+    }
+
+    #[test]
+    fn every_preset_preserves_semantics() {
+        let prog = mixed_program(150);
+        let base = run(&prog).unwrap().machine.mem_checksum();
+        for opts in [
+            DriverOptions::baseline(),
+            DriverOptions::conventional(),
+            DriverOptions::speculation_only(),
+            DriverOptions::guarded_only(),
+            DriverOptions::proposed(),
+        ] {
+            let (out, _) = apply(&opts, &prog);
+            let got = run(&out).unwrap().machine.mem_checksum();
+            assert_eq!(base, got, "semantics changed under {opts:?}");
+        }
+    }
+
+    #[test]
+    fn decisions_cover_all_loop_branches() {
+        let prog = mixed_program(100);
+        let (_out, report) = apply(&DriverOptions::proposed(), &prog);
+        // head, diamond, alt, latch = 4 conditional branches in the loop.
+        assert_eq!(report.decisions.len(), 4, "{:?}", report.decisions);
+        assert!(report.decisions.iter().any(|d| d.backward));
+    }
+
+    #[test]
+    fn proposed_improves_simulated_cycles() {
+        use guardspec_predict::Scheme;
+        use guardspec_sim::{simulate_program, MachineConfig};
+        let prog = mixed_program(400);
+        let (out, _) = apply(&DriverOptions::proposed(), &prog);
+        let cfg = MachineConfig::r10000();
+        let (base, _) = simulate_program(&prog, Scheme::TwoBit, &cfg).unwrap();
+        let (tuned, _) = simulate_program(&out, Scheme::Proposed, &cfg).unwrap();
+        let (perfect, _) = simulate_program(&prog, Scheme::Perfect, &cfg).unwrap();
+        assert!(
+            tuned.cycles < base.cycles,
+            "proposed {} cycles should beat baseline {}",
+            tuned.cycles,
+            base.cycles
+        );
+        assert!(perfect.cycles <= base.cycles);
+    }
+
+    #[test]
+    fn guarded_cost_model_rejects_uneven_arms() {
+        // A monotonic branch (75% taken) guarding a LONG fall arm: merging
+        // would serialize the long arm every iteration -> refuse.
+        let mut fb = FuncBuilder::new("uneven");
+        fb.block("entry");
+        fb.li(r(1), 0);
+        fb.li(r(9), 100);
+        fb.block("head");
+        fb.andi(r(2), r(1), 7);
+        fb.slti(r(3), r(2), 6);
+        fb.bne(r(3), r(0), "short");
+        fb.block("long");
+        for k in 0..16u8 {
+            fb.addi(r(10 + (k % 4)), r(10 + (k % 4)), 1);
+        }
+        fb.jump("join");
+        fb.block("short");
+        fb.addi(r(5), r(5), 1);
+        fb.block("join");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(9), "head");
+        fb.block("done");
+        fb.sw(r(5), r(0), 1);
+        fb.halt();
+        let prog = single_func_program(fb);
+        let (_out, report) = apply(&DriverOptions::guarded_only(), &prog);
+        assert_eq!(
+            report.ifconversions, 0,
+            "uneven arms must not be if-converted: {:?}",
+            report.decisions
+        );
+    }
+
+    #[test]
+    fn guarded_cost_model_accepts_noisy_short_diamond() {
+        // Noisy 50-50 short diamond — misprediction-heavy, cheap to merge.
+        let mut fb = FuncBuilder::new("bal");
+        fb.block("entry");
+        fb.li(r(1), 0);
+        fb.li(r(9), 200);
+        fb.block("head");
+        fb.mul(r(3), r(1), r(1));
+        fb.srl(r(4), r(3), 3);
+        fb.andi(r(4), r(4), 1);
+        fb.beq(r(4), r(0), "t");
+        fb.block("f");
+        fb.addi(r(7), r(7), 2);
+        fb.jump("join");
+        fb.block("t");
+        fb.addi(r(7), r(7), 3);
+        fb.block("join");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(9), "head");
+        fb.block("done");
+        fb.sw(r(7), r(0), 1);
+        fb.halt();
+        let prog = single_func_program(fb);
+        let (out, report) = apply(&DriverOptions::guarded_only(), &prog);
+        assert_eq!(report.ifconversions, 1, "noisy diamond converts: {:?}", report.decisions);
+        let rb = run(&prog).unwrap();
+        let ro = run(&out).unwrap();
+        assert_eq!(rb.machine.mem_checksum(), ro.machine.mem_checksum());
+    }
+
+    #[test]
+    fn split_gate_rejects_well_predicted_phases() {
+        // Long biased phases: 2-bit already predicts them; the gate must
+        // refuse the instrumentation.
+        let mut fb = FuncBuilder::new("cheap");
+        fb.block("entry");
+        fb.li(r(1), 0);
+        fb.li(r(9), 400);
+        fb.block("head");
+        fb.slti(r(2), r(1), 160);
+        fb.bne(r(2), r(0), "t");
+        fb.block("f");
+        fb.addi(r(5), r(5), 1);
+        fb.jump("latch");
+        fb.block("t");
+        fb.addi(r(6), r(6), 1);
+        fb.block("latch");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(9), "head");
+        fb.block("done");
+        fb.sw(r(5), r(0), 1);
+        fb.halt();
+        let prog = single_func_program(fb);
+        let (_out, report) = apply(&DriverOptions::proposed(), &prog);
+        assert_eq!(report.splits, 0, "{:?}", report.decisions);
+        // The phased branch was NOT split; it fell back to another
+        // mechanism (or nothing), never the instrumentation.
+        assert!(report
+            .decisions
+            .iter()
+            .all(|d| !matches!(d.action, Action::Split { .. })));
+    }
+
+    #[test]
+    fn periodic_split_passes_gate_and_wins() {
+        use guardspec_predict::Scheme;
+        use guardspec_sim::{simulate_program, MachineConfig};
+        let mut fb = FuncBuilder::new("alt");
+        fb.block("entry");
+        fb.li(r(1), 0);
+        fb.li(r(9), 400);
+        fb.block("head");
+        fb.andi(r(2), r(1), 1);
+        fb.bne(r(2), r(0), "t");
+        fb.block("f");
+        fb.addi(r(5), r(5), 1);
+        fb.jump("latch");
+        fb.block("t");
+        fb.addi(r(6), r(6), 1);
+        fb.block("latch");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(9), "head");
+        fb.block("done");
+        fb.sw(r(5), r(0), 1);
+        fb.sw(r(6), r(0), 2);
+        fb.halt();
+        let prog = single_func_program(fb);
+        let (out, report) = apply(&DriverOptions::proposed(), &prog);
+        assert_eq!(report.splits, 1, "{:?}", report.decisions);
+        let cfg = MachineConfig::r10000();
+        let (base, _) = simulate_program(&prog, Scheme::TwoBit, &cfg).unwrap();
+        let (tuned, _) = simulate_program(&out, Scheme::Proposed, &cfg).unwrap();
+        assert!(tuned.mispredicts * 4 < base.mispredicts);
+        assert!(tuned.cycles < base.cycles, "{} vs {}", tuned.cycles, base.cycles);
+    }
+}

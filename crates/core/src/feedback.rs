@@ -1,0 +1,512 @@
+//! Feedback heuristics — Section 4/5 of the paper.
+//!
+//! The conventional approach reduces a branch to a single taken-frequency
+//! number.  The paper's observation: a branch with 50-50 average behavior
+//! may actually be `TTTT…FFFF…` — two perfectly predictable *monotonic*
+//! phases.  This module turns an outcome bit vector into:
+//!
+//! * the **taken rate** and **toggle factor** (fraction of adjacent
+//!   outcome flips),
+//! * a **segmentation** of the iteration space into maximal runs that are
+//!   taken-biased, not-taken-biased, or mixed,
+//! * a **periodicity** detector for patterns like `TTFF TTFF…` expressible
+//!   with "simple algebraic (or arithmetic) correlations … using unique
+//!   counters",
+//! * the overall [`BranchBehavior`] classification the Figure-6 driver
+//!   dispatches on.
+
+use guardspec_interp::BitVec;
+
+/// Tunable thresholds (paper values as defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct FeedbackParams {
+    /// Taken (or not-taken) rate at or above which a branch is "highly
+    /// probable" and gets a branch-likely (Figure 6 uses 0.95).
+    pub likely_threshold: f64,
+    /// Rate at or above which a monotonic branch is an if-conversion
+    /// candidate (Figure 6 uses 0.65).
+    pub convert_threshold: f64,
+    /// Toggle factor at or below which a branch counts as monotonic.
+    pub monotonic_toggle_max: f64,
+    /// Window size for segmentation.
+    pub seg_window: usize,
+    /// Bias needed within a window to call it taken/not-taken.
+    pub seg_bias: f64,
+    /// Maximum number of segments for a branch to be instrumentable with
+    /// simple counters.
+    pub max_segments: usize,
+    /// Minimum fraction of iterations a biased segment must cover to be
+    /// worth a split.
+    pub min_segment_frac: f64,
+    /// Maximum period length searched by the periodicity detector.
+    pub max_period: usize,
+    /// Fraction of positions that must agree with the periodic pattern.
+    pub period_agreement: f64,
+}
+
+impl Default for FeedbackParams {
+    fn default() -> FeedbackParams {
+        FeedbackParams {
+            likely_threshold: 0.95,
+            convert_threshold: 0.65,
+            monotonic_toggle_max: 0.20,
+            seg_window: 16,
+            seg_bias: 0.90,
+            max_segments: 4,
+            min_segment_frac: 0.15,
+            max_period: 8,
+            period_agreement: 0.95,
+        }
+    }
+}
+
+/// Classification of one contiguous run of iterations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SegmentClass {
+    Taken,
+    NotTaken,
+    Mixed,
+}
+
+/// A contiguous run `[start, end)` of the iteration space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    pub start: usize,
+    pub end: usize,
+    pub class: SegmentClass,
+    /// Taken rate within the segment.
+    pub rate: f64,
+}
+
+impl Segment {
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    pub fn frac_of(&self, total: usize) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Overall behavior of a branch, dispatched on by the Figure-6 driver.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BranchBehavior {
+    /// Taken rate ≥ likely threshold: convert to branch-likely.
+    HighlyTaken { rate: f64 },
+    /// Not-taken rate ≥ likely threshold (nothing to do dynamically; the
+    /// 2-bit predictor handles it, but guarded execution may still pay).
+    HighlyNotTaken { rate: f64 },
+    /// Low toggle factor and biased beyond the convert threshold:
+    /// if-conversion candidate (after the cost comparison).
+    Monotonic { rate: f64, toggle: f64 },
+    /// Distinct biased phases — the paper's split-branch case.
+    Phased { segments: Vec<Segment> },
+    /// Short repeating pattern expressible with an algebraic counter.
+    Periodic { period: usize, pattern: Vec<bool> },
+    /// No structure the instrumentation can exploit.
+    Irregular { rate: f64, toggle: f64 },
+}
+
+/// Taken rate of a bit vector.
+pub fn taken_rate(v: &BitVec) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.count_ones() as f64 / v.len() as f64
+    }
+}
+
+/// Toggle factor: fraction of adjacent pairs whose outcome differs.
+/// `TTTT…` → 0.0, `TFTF…` → 1.0.
+pub fn toggle_factor(v: &BitVec) -> f64 {
+    if v.len() < 2 {
+        0.0
+    } else {
+        v.toggles() as f64 / (v.len() - 1) as f64
+    }
+}
+
+/// Segment the iteration space: windows of `params.seg_window` outcomes are
+/// classified by bias, then adjacent same-class windows merge.  The final
+/// partial window merges into its predecessor.
+pub fn segment(v: &BitVec, params: &FeedbackParams) -> Vec<Segment> {
+    let n = v.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let w = params.seg_window.max(1);
+    let mut segs: Vec<Segment> = Vec::new();
+    let mut start = 0;
+    while start < n {
+        let end = (start + w).min(n);
+        let ones = v.count_ones_in(start, end);
+        let len = end - start;
+        let rate = ones as f64 / len as f64;
+        let class = if rate >= params.seg_bias {
+            SegmentClass::Taken
+        } else if rate <= 1.0 - params.seg_bias {
+            SegmentClass::NotTaken
+        } else {
+            SegmentClass::Mixed
+        };
+        // Runt final window: merge into the previous segment.
+        let runt = len < w && !segs.is_empty();
+        match segs.last_mut() {
+            Some(last) if last.class == class || runt => {
+                let total_ones = ((last.rate * last.len() as f64).round() as usize) + ones;
+                last.end = end;
+                last.rate = total_ones as f64 / last.len() as f64;
+                if runt && last.class != class {
+                    // Re-derive the merged class from the merged rate.
+                    last.class = reclass(last.rate, params);
+                }
+            }
+            _ => segs.push(Segment { start, end, class, rate }),
+        }
+        start = end;
+    }
+    coalesce(segs, n, params)
+}
+
+fn reclass(rate: f64, params: &FeedbackParams) -> SegmentClass {
+    if rate >= params.seg_bias {
+        SegmentClass::Taken
+    } else if rate <= 1.0 - params.seg_bias {
+        SegmentClass::NotTaken
+    } else {
+        SegmentClass::Mixed
+    }
+}
+
+/// Coalesce fragmented segmentations: any segment shorter than
+/// `min_segment_frac` of the iteration space is absorbed into its
+/// neighbor (merging rates and re-deriving the class), repeatedly, so a
+/// noisy phase collapses into one Mixed segment instead of dozens of
+/// alternating slivers.
+fn coalesce(mut segs: Vec<Segment>, total: usize, params: &FeedbackParams) -> Vec<Segment> {
+    if total == 0 {
+        return segs;
+    }
+    loop {
+        if segs.len() <= 1 {
+            return segs;
+        }
+        // Find the smallest too-small segment (or any adjacent same-class
+        // pair produced by earlier merges).
+        let mut victim: Option<usize> = None;
+        for (i, s) in segs.iter().enumerate() {
+            if s.frac_of(total) < params.min_segment_frac {
+                if victim.map(|v| segs[v].len() > s.len()).unwrap_or(true) {
+                    victim = Some(i);
+                }
+            }
+        }
+        let mut merged_any = false;
+        if let Some(i) = victim {
+            // Merge into the shorter neighbor (less bias dilution).
+            let j = if i == 0 {
+                1
+            } else if i + 1 == segs.len() {
+                i - 1
+            } else if segs[i - 1].len() <= segs[i + 1].len() {
+                i - 1
+            } else {
+                i + 1
+            };
+            let (a, b) = (i.min(j), i.max(j));
+            let ones = (segs[a].rate * segs[a].len() as f64).round()
+                + (segs[b].rate * segs[b].len() as f64).round();
+            let merged = Segment {
+                start: segs[a].start,
+                end: segs[b].end,
+                rate: ones / (segs[b].end - segs[a].start) as f64,
+                class: SegmentClass::Mixed, // refined below
+            };
+            segs[a] = Segment { class: reclass(merged.rate, params), ..merged };
+            segs.remove(b);
+            merged_any = true;
+        }
+        // Fuse adjacent same-class segments.
+        let mut k = 0;
+        while k + 1 < segs.len() {
+            if segs[k].class == segs[k + 1].class {
+                let ones = (segs[k].rate * segs[k].len() as f64).round()
+                    + (segs[k + 1].rate * segs[k + 1].len() as f64).round();
+                segs[k].end = segs[k + 1].end;
+                segs[k].rate = ones / segs[k].len() as f64;
+                segs.remove(k + 1);
+                merged_any = true;
+            } else {
+                k += 1;
+            }
+        }
+        if !merged_any {
+            return segs;
+        }
+    }
+}
+
+/// Detect a short repeating pattern: the smallest `p <= max_period` whose
+/// majority-vote pattern (per residue class mod `p`) matches at least
+/// `period_agreement` of positions.  Majority voting makes the detector
+/// robust to a few noise positions or phase-boundary junk at the front of
+/// the vector.  Constant vectors (p = 1 patterns) are excluded — they are
+/// monotonic, not periodic.
+pub fn detect_period(v: &BitVec, params: &FeedbackParams) -> Option<(usize, Vec<bool>)> {
+    let n = v.len();
+    if n < 8 {
+        return None;
+    }
+    for p in 2..=params.max_period.min(n / 2) {
+        let mut ones = vec![0usize; p];
+        let mut count = vec![0usize; p];
+        for i in 0..n {
+            ones[i % p] += v.get(i) as usize;
+            count[i % p] += 1;
+        }
+        let pattern: Vec<bool> = (0..p).map(|r| 2 * ones[r] >= count[r]).collect();
+        let agree = (0..n).filter(|&i| v.get(i) == pattern[i % p]).count();
+        if agree as f64 / n as f64 >= params.period_agreement {
+            // Reject patterns that are actually constant (monotonic).
+            if pattern.iter().any(|&b| b != pattern[0]) {
+                return Some((p, pattern));
+            }
+        }
+    }
+    None
+}
+
+/// The paper's flagged extension ("the algorithm can be extended to handle
+/// more complex correlations"): check one segment's sub-vector for a
+/// repeating pattern the algebraic counter can express.  Only meaningful
+/// for Mixed segments of a phased branch — a biased segment already has a
+/// cheaper plan.
+pub fn segment_periodicity(
+    v: &BitVec,
+    seg: &Segment,
+    params: &FeedbackParams,
+) -> Option<(usize, Vec<bool>)> {
+    if seg.len() < 16 {
+        return None;
+    }
+    let sub = v.slice(seg.start, seg.end);
+    detect_period(&sub, params).filter(|(p, _)| p.is_power_of_two() && *p <= 8)
+}
+
+/// Is the branch "instrumentable" (Figure 6): its phase boundaries are
+/// simple enough to regenerate with algebraic counters — few segments, with
+/// at least one usefully-large biased segment.
+pub fn instrumentable(segments: &[Segment], total: usize, params: &FeedbackParams) -> bool {
+    if segments.len() < 2 || segments.len() > params.max_segments {
+        return false;
+    }
+    segments.iter().any(|s| {
+        s.class != SegmentClass::Mixed && s.frac_of(total) >= params.min_segment_frac
+    })
+}
+
+/// Full classification — the predicate structure of the Figure-6 algorithm.
+///
+/// ```
+/// use guardspec_core::{classify, BranchBehavior, FeedbackParams};
+/// use guardspec_interp::BitVec;
+/// let params = FeedbackParams::default();
+/// let alternating = BitVec::from_pattern(&"TF".repeat(50));
+/// assert!(matches!(classify(&alternating, &params),
+///                  BranchBehavior::Periodic { period: 2, .. }));
+/// let hot = BitVec::from_pattern(&"T".repeat(100));
+/// assert!(matches!(classify(&hot, &params), BranchBehavior::HighlyTaken { .. }));
+/// ```
+pub fn classify(v: &BitVec, params: &FeedbackParams) -> BranchBehavior {
+    let rate = taken_rate(v);
+    let toggle = toggle_factor(v);
+    if rate >= params.likely_threshold {
+        return BranchBehavior::HighlyTaken { rate };
+    }
+    if 1.0 - rate >= params.likely_threshold {
+        return BranchBehavior::HighlyNotTaken { rate };
+    }
+    let monotonic = toggle <= params.monotonic_toggle_max;
+    if monotonic && (rate >= params.convert_threshold || 1.0 - rate >= params.convert_threshold) {
+        // Still check for phase structure: a monotonic-looking branch with
+        // two huge opposite phases is better split than averaged.
+        let segs = segment(v, params);
+        if instrumentable(&segs, v.len(), params)
+            && segs.iter().filter(|s| s.class != SegmentClass::Mixed).count() >= 2
+            && segs
+                .iter()
+                .any(|s| s.class == SegmentClass::Taken && s.frac_of(v.len()) >= params.min_segment_frac)
+            && segs.iter().any(|s| {
+                s.class == SegmentClass::NotTaken && s.frac_of(v.len()) >= params.min_segment_frac
+            })
+        {
+            return BranchBehavior::Phased { segments: segs };
+        }
+        return BranchBehavior::Monotonic { rate, toggle };
+    }
+    if let Some((period, pattern)) = detect_period(v, params) {
+        return BranchBehavior::Periodic { period, pattern };
+    }
+    let segs = segment(v, params);
+    if instrumentable(&segs, v.len(), params) {
+        return BranchBehavior::Phased { segments: segs };
+    }
+    BranchBehavior::Irregular { rate, toggle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(pat: &str) -> BitVec {
+        BitVec::from_pattern(pat)
+    }
+
+    fn repeat(unit: &str, times: usize) -> BitVec {
+        BitVec::from_pattern(&unit.repeat(times))
+    }
+
+    #[test]
+    fn rates_and_toggles() {
+        assert_eq!(taken_rate(&bv("TTTF")), 0.75);
+        assert_eq!(toggle_factor(&bv("TTTT")), 0.0);
+        assert_eq!(toggle_factor(&bv("TFTF")), 1.0);
+        assert_eq!(taken_rate(&BitVec::new()), 0.0);
+    }
+
+    #[test]
+    fn highly_taken_classification() {
+        // 97% taken.
+        let v = BitVec::from_bools((0..100).map(|i| i % 33 != 0));
+        match classify(&v, &FeedbackParams::default()) {
+            BranchBehavior::HighlyTaken { rate } => assert!(rate > 0.95),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn highly_not_taken_classification() {
+        let v = BitVec::from_bools((0..100).map(|i| i % 50 == 0));
+        match classify(&v, &FeedbackParams::default()) {
+            BranchBehavior::HighlyNotTaken { rate } => assert!(rate < 0.05),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monotonic_classification() {
+        // 75% taken, low toggle: runs of 15 T then 5 F repeated — toggle is
+        // 2 per 20.
+        let v = repeat(&("T".repeat(15) + &"F".repeat(5)), 10);
+        match classify(&v, &FeedbackParams::default()) {
+            BranchBehavior::Monotonic { rate, toggle } => {
+                assert!((rate - 0.75).abs() < 1e-9);
+                assert!(toggle < 0.11);
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_phase_example_is_phased() {
+        // The Section 4 running example: first 40% taken, middle 20%
+        // toggling, last 40% not taken.
+        let mut s = String::new();
+        s.push_str(&"T".repeat(40));
+        s.push_str(&"TF".repeat(10));
+        s.push_str(&"F".repeat(40));
+        let v = bv(&s);
+        let p = FeedbackParams { seg_window: 10, ..FeedbackParams::default() };
+        match classify(&v, &p) {
+            BranchBehavior::Phased { segments } => {
+                assert!(segments.len() >= 2 && segments.len() <= 4, "{segments:?}");
+                assert_eq!(segments[0].class, SegmentClass::Taken);
+                assert_eq!(segments.last().unwrap().class, SegmentClass::NotTaken);
+                assert_eq!(segments[0].start, 0);
+                assert_eq!(segments.last().unwrap().end, 100);
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alternating_is_periodic() {
+        let v = repeat("TF", 50);
+        match classify(&v, &FeedbackParams::default()) {
+            BranchBehavior::Periodic { period, pattern } => {
+                assert_eq!(period, 2);
+                assert_eq!(pattern, vec![true, false]);
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ttff_period_four_detected_as_two() {
+        // TTFF repeating: the minimal period is 4.
+        let v = repeat("TTFF", 25);
+        match detect_period(&v, &FeedbackParams::default()) {
+            Some((4, pat)) => assert_eq!(pat, vec![true, true, false, false]),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_is_irregular() {
+        // A de-correlated sequence: bit i = parity of a multiplicative hash.
+        let v = BitVec::from_bools(
+            (0u64..400).map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15) >> 33) & 1 == 1),
+        );
+        match classify(&v, &FeedbackParams::default()) {
+            BranchBehavior::Irregular { .. } => {}
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn segmentation_merges_windows() {
+        let v = repeat("T", 64);
+        let segs = segment(&v, &FeedbackParams::default());
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].class, SegmentClass::Taken);
+        assert_eq!((segs[0].start, segs[0].end), (0, 64));
+    }
+
+    #[test]
+    fn segmentation_handles_runt_window() {
+        // 40 + 5: the runt merges into the previous segment.
+        let v = repeat("T", 45);
+        let p = FeedbackParams { seg_window: 20, ..FeedbackParams::default() };
+        let segs = segment(&v, &p);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].end, 45);
+    }
+
+    #[test]
+    fn instrumentable_rejects_many_segments() {
+        let p = FeedbackParams::default();
+        // Build 6 alternating biased segments.
+        let v = repeat(&("T".repeat(16) + &"F".repeat(16)), 3);
+        let segs = segment(&v, &p);
+        assert_eq!(segs.len(), 6);
+        assert!(!instrumentable(&segs, v.len(), &p));
+    }
+
+    #[test]
+    fn empty_vector_is_irregular() {
+        match classify(&BitVec::new(), &FeedbackParams::default()) {
+            // Rate 0 means "not taken" dominates trivially; empty vectors
+            // have rate 0 and 1-0 >= 0.95 so they classify HighlyNotTaken.
+            BranchBehavior::HighlyNotTaken { .. } => {}
+            other => panic!("got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # guardspec-core
+//!
+//! The paper's contribution: compile-time machinery that *combines*
+//! speculative and guarded execution, driven by fine-grained feedback
+//! metrics instead of a one-time averaged profile.
+//!
+//! Pipeline (Figure 6 of the paper):
+//!
+//! 1. Profile the program ([`guardspec_interp::Profiler`]) — per-branch
+//!    outcome bit vectors.
+//! 2. Classify each loop branch with [`feedback`]: taken frequency, toggle
+//!    factor, monotonic vs non-monotonic, iteration-space segmentation,
+//!    instrumentability.
+//! 3. Decide per branch ([`driver`]):
+//!    * highly-probable branches → *branch-likely* conversion,
+//!    * monotonic branches whose guarded cost beats the weighted schedule
+//!      estimate → *if-conversion* ([`ifconvert`]),
+//!    * non-monotonic but instrumentable branches → *split-branch code*
+//!      ([`splitbranch`]), giving each well-behaved segment of the
+//!      iteration space its own statically-predicted control,
+//!    * optionally hoist operations from the dominant arm into vacant head
+//!      slots ([`speculate`]) with software renaming + forward substitution.
+//! 4. Estimate costs with the [`schedule`] list scheduler and the
+//!    [`costmodel`] (which reproduces the Figure 2–4 arithmetic exactly).
+
+pub mod cleanup;
+pub mod costmodel;
+pub mod driver;
+pub mod feedback;
+pub mod ifconvert;
+pub mod remap;
+pub mod renamepool;
+pub mod schedule;
+pub mod speculate;
+pub mod splitbranch;
+
+pub use cleanup::{cleanup_program, remove_unreachable_blocks, CleanupStats};
+pub use costmodel::DiamondCfg;
+pub use driver::{transform_program, Action, Decision, DriverOptions, TransformReport};
+pub use feedback::{classify, BranchBehavior, FeedbackParams, Segment, SegmentClass};
+pub use remap::Remap;
+pub use schedule::{schedule_block, BlockSchedule, Resources};

@@ -1,0 +1,124 @@
+//! Bookkeeping for structural edits: transforms that insert blocks or
+//! instructions report their edits so pending instruction references stay
+//! valid.
+
+use guardspec_ir::{BlockId, InsnRef};
+
+/// One structural edit applied to a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Edit {
+    /// A block was inserted at layout position `at`: block ids >= `at`
+    /// shifted up by one.
+    BlockInsert { at: u32 },
+    /// `count` instructions were inserted in `block` before index `at`:
+    /// instruction indices >= `at` in that block shifted up by `count`.
+    InsnInsert { block: BlockId, at: u32, count: u32 },
+}
+
+/// An ordered list of edits; apply to stale references with [`Remap::apply`].
+#[derive(Clone, Debug, Default)]
+pub struct Remap {
+    pub edits: Vec<Edit>,
+}
+
+impl Remap {
+    pub fn new() -> Remap {
+        Remap::default()
+    }
+
+    pub fn block_insert(&mut self, at: BlockId) {
+        self.edits.push(Edit::BlockInsert { at: at.0 });
+    }
+
+    pub fn insn_insert(&mut self, block: BlockId, at: u32, count: u32) {
+        self.edits.push(Edit::InsnInsert { block, at, count });
+    }
+
+    /// Map a pre-transform reference to its post-transform location.
+    pub fn apply(&self, mut r: InsnRef) -> InsnRef {
+        for e in &self.edits {
+            match *e {
+                Edit::BlockInsert { at } => {
+                    if r.block.0 >= at {
+                        r.block = BlockId(r.block.0 + 1);
+                    }
+                }
+                Edit::InsnInsert { block, at, count } => {
+                    if r.block == block && r.idx >= at {
+                        r.idx += count;
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    /// Map a pre-transform block id.
+    pub fn apply_block(&self, mut b: BlockId) -> BlockId {
+        for e in &self.edits {
+            if let Edit::BlockInsert { at } = *e {
+                if b.0 >= at {
+                    b = BlockId(b.0 + 1);
+                }
+            }
+        }
+        b
+    }
+
+    /// Chain another remap after this one.
+    pub fn extend(&mut self, other: &Remap) {
+        self.edits.extend(other.edits.iter().copied());
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_ir::FuncId;
+
+    fn r(b: u32, i: u32) -> InsnRef {
+        InsnRef { func: FuncId(0), block: BlockId(b), idx: i }
+    }
+
+    #[test]
+    fn block_insert_shifts_at_and_after() {
+        let mut m = Remap::new();
+        m.block_insert(BlockId(2));
+        assert_eq!(m.apply(r(1, 0)), r(1, 0));
+        assert_eq!(m.apply(r(2, 3)), r(3, 3));
+        assert_eq!(m.apply(r(5, 0)), r(6, 0));
+    }
+
+    #[test]
+    fn insn_insert_shifts_within_block_only() {
+        let mut m = Remap::new();
+        m.insn_insert(BlockId(1), 0, 2);
+        assert_eq!(m.apply(r(1, 0)), r(1, 2));
+        assert_eq!(m.apply(r(1, 5)), r(1, 7));
+        assert_eq!(m.apply(r(2, 0)), r(2, 0));
+    }
+
+    #[test]
+    fn edits_compose_in_order() {
+        let mut m = Remap::new();
+        // Insert a block at 1, then insns into the block that is *now* 2.
+        m.block_insert(BlockId(1));
+        m.insn_insert(BlockId(2), 1, 1);
+        // Pre-transform (1, 1): block shifts to 2, then idx shifts to 2.
+        assert_eq!(m.apply(r(1, 1)), r(2, 2));
+        // Pre-transform (1, 0): block shifts, idx 0 < 1 unshifted.
+        assert_eq!(m.apply(r(1, 0)), r(2, 0));
+    }
+
+    #[test]
+    fn apply_block_ignores_insn_edits() {
+        let mut m = Remap::new();
+        m.insn_insert(BlockId(0), 0, 5);
+        m.block_insert(BlockId(0));
+        assert_eq!(m.apply_block(BlockId(0)), BlockId(1));
+    }
+}

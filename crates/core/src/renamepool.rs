@@ -1,0 +1,147 @@
+//! Free-register discovery for software renaming and instrumentation.
+//!
+//! Software renaming "can either be from the pool of free registers (at
+//! that time) or dedicated registers" (Section 1).  We use the simplest
+//! sound pool: registers the function never references at all, drawn
+//! preferentially from the non-architectural half (`r32..r63`), which the
+//! paper's compiler treats as the dedicated renaming pool.
+
+use guardspec_ir::reg::{NUM_FLT_REGS, NUM_INT_REGS, NUM_PRED_REGS};
+use guardspec_ir::{FltReg, Function, IntReg, PredReg, Reg};
+
+/// Pool of registers unreferenced anywhere in a function.
+#[derive(Clone, Debug)]
+pub struct RenamePool {
+    free_int: Vec<IntReg>,
+    free_flt: Vec<FltReg>,
+    free_pred: Vec<PredReg>,
+}
+
+impl RenamePool {
+    /// Scan `f` and collect every unreferenced register.
+    pub fn for_function(f: &Function) -> RenamePool {
+        let mut used = [false; Reg::DENSE_COUNT];
+        for b in &f.blocks {
+            for i in &b.insns {
+                if let Some(d) = i.def() {
+                    used[d.dense_index()] = true;
+                }
+                for u in i.uses() {
+                    used[u.dense_index()] = true;
+                }
+            }
+        }
+        // Prefer the dedicated pool r32..r63, then any unused architectural
+        // register except r0.
+        let mut free_int: Vec<IntReg> = (32..NUM_INT_REGS)
+            .chain(1..32)
+            .map(IntReg)
+            .filter(|r| !used[Reg::Int(*r).dense_index()])
+            .collect();
+        let mut free_flt: Vec<FltReg> = (32..NUM_FLT_REGS)
+            .chain(0..32)
+            .map(FltReg)
+            .filter(|r| !used[Reg::Flt(*r).dense_index()])
+            .collect();
+        let mut free_pred: Vec<PredReg> = (0..NUM_PRED_REGS)
+            .map(PredReg)
+            .filter(|r| !used[Reg::Pred(*r).dense_index()])
+            .collect();
+        // Allocate from the back cheaply.
+        free_int.reverse();
+        free_flt.reverse();
+        free_pred.reverse();
+        RenamePool { free_int, free_flt, free_pred }
+    }
+
+    /// Take a free integer register, if any remain.
+    pub fn take_int(&mut self) -> Option<IntReg> {
+        self.free_int.pop()
+    }
+
+    pub fn take_flt(&mut self) -> Option<FltReg> {
+        self.free_flt.pop()
+    }
+
+    pub fn take_pred(&mut self) -> Option<PredReg> {
+        self.free_pred.pop()
+    }
+
+    /// Take a free register in the same file as `like`.
+    pub fn take_like(&mut self, like: Reg) -> Option<Reg> {
+        match like {
+            Reg::Int(_) => self.take_int().map(Reg::Int),
+            Reg::Flt(_) => self.take_flt().map(Reg::Flt),
+            Reg::Pred(_) => self.take_pred().map(Reg::Pred),
+        }
+    }
+
+    pub fn ints_left(&self) -> usize {
+        self.free_int.len()
+    }
+
+    pub fn preds_left(&self) -> usize {
+        self.free_pred.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_ir::builder::FuncBuilder;
+    use guardspec_ir::reg::{p, r};
+    use guardspec_ir::SetCond;
+
+    #[test]
+    fn pool_excludes_referenced_registers() {
+        let mut fb = FuncBuilder::new("f");
+        fb.block("e");
+        fb.add(r(3), r(1), r(2));
+        fb.setpi(SetCond::Lt, p(1), r(3), 10);
+        fb.halt();
+        let f = fb.finish();
+        let mut pool = RenamePool::for_function(&f);
+        let mut taken = std::collections::HashSet::new();
+        while let Some(ri) = pool.take_int() {
+            assert!(!ri.is_zero());
+            assert!(![1u8, 2, 3].contains(&ri.0), "r{} is referenced", ri.0);
+            assert!(taken.insert(ri), "duplicate register");
+        }
+        // p1 is used; p0 and p2.. are free.
+        let pr = pool.take_pred().unwrap();
+        assert_ne!(pr, p(1));
+    }
+
+    #[test]
+    fn prefers_dedicated_pool_first() {
+        let mut fb = FuncBuilder::new("f");
+        fb.block("e");
+        fb.halt();
+        let f = fb.finish();
+        let mut pool = RenamePool::for_function(&f);
+        let first = pool.take_int().unwrap();
+        assert!(first.0 >= 32, "first allocation should come from r32..r63, got r{}", first.0);
+    }
+
+    #[test]
+    fn take_like_matches_file() {
+        let mut fb = FuncBuilder::new("f");
+        fb.block("e");
+        fb.halt();
+        let f = fb.finish();
+        let mut pool = RenamePool::for_function(&f);
+        assert!(matches!(pool.take_like(Reg::Int(r(5))), Some(Reg::Int(_))));
+        assert!(matches!(pool.take_like(Reg::Pred(p(0))), Some(Reg::Pred(_))));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut fb = FuncBuilder::new("f");
+        fb.block("e");
+        fb.halt();
+        let f = fb.finish();
+        let mut pool = RenamePool::for_function(&f);
+        while pool.take_pred().is_some() {}
+        assert!(pool.take_pred().is_none());
+    }
+}

@@ -1,0 +1,273 @@
+//! Local list scheduler — produces the per-block schedule lengths the cost
+//! model consumes ("the annotations on the basic blocks represent the
+//! schedule lengths obtained using a local scheduler", Figure 2).
+
+use guardspec_ir::{BasicBlock, FuClass, Instruction, Reg};
+
+/// Machine resources visible to the scheduler: issue width and functional
+/// units per class, with per-class latencies.
+#[derive(Clone, Copy, Debug)]
+pub struct Resources {
+    pub issue_width: usize,
+    /// Units per `FuClass` dense index.
+    pub fu: [usize; 8],
+    /// Latency per `FuClass` dense index.
+    pub latency: [u64; 8],
+}
+
+impl Resources {
+    /// The R10000-like resources used throughout the evaluation: 4-wide,
+    /// 2 ALUs, 1 shifter, 1 load/store, 1 branch, 1 of each FP pipe,
+    /// Table 2 latencies.
+    pub fn r10000() -> Resources {
+        let mut fu = [0usize; 8];
+        let mut latency = [1u64; 8];
+        for (i, c) in FuClass::ALL.iter().enumerate() {
+            let (n, l) = match c {
+                FuClass::Alu => (2, 1),
+                FuClass::Shift => (1, 1),
+                FuClass::LoadStore => (1, 2),
+                FuClass::Branch => (1, 1),
+                FuClass::FpAdd => (1, 3),
+                FuClass::FpMul => (1, 3),
+                FuClass::FpDiv => (1, 3),
+                FuClass::Nop => (usize::MAX, 1),
+            };
+            fu[i] = n;
+            latency[i] = l;
+        }
+        Resources { issue_width: 4, fu, latency }
+    }
+
+    fn class_idx(c: FuClass) -> usize {
+        FuClass::ALL.iter().position(|x| *x == c).unwrap()
+    }
+}
+
+/// Result of scheduling one block.
+#[derive(Clone, Debug)]
+pub struct BlockSchedule {
+    /// Cycle each instruction issues at (index-aligned with the block).
+    pub issue_cycle: Vec<u64>,
+    /// Total schedule length in cycles (last completion).
+    pub length: u64,
+    /// Vacant issue slots before the last issue cycle — room speculation
+    /// can exploit ("assume that block one has four vacant slots").
+    pub vacant_slots: u64,
+}
+
+/// Greedy cycle-by-cycle list scheduling with true/anti/output register
+/// dependences and conservative memory ordering (loads may reorder with
+/// loads; stores order with everything).
+pub fn schedule_block(block: &BasicBlock, res: &Resources) -> BlockSchedule {
+    let n = block.insns.len();
+    let mut ready_at = vec![0u64; n]; // earliest issue cycle per dependence
+    // Register def/use tracking: last writer completion, last reader issue.
+    let mut def_done: std::collections::HashMap<Reg, u64> = Default::default();
+    let mut def_issue: std::collections::HashMap<Reg, u64> = Default::default();
+    let mut use_issue: std::collections::HashMap<Reg, u64> = Default::default();
+    let mut last_store_done = 0u64;
+    let mut last_mem_issue = 0u64;
+
+    let lat = |i: &Instruction| res.latency[Resources::class_idx(i.fu_class())];
+
+    // First pass: dependence-ready times assuming infinite resources
+    // (refined by the resource-constrained issue below, processed in order).
+    let mut issue_cycle = vec![0u64; n];
+    let mut fu_busy: Vec<Vec<u64>> = vec![Vec::new(); 8]; // issue cycles used per class
+    let mut slots_used: std::collections::HashMap<u64, usize> = Default::default();
+    let mut length = 0u64;
+
+    for (i, insn) in block.insns.iter().enumerate() {
+        // True dependences: operand available when producer completes.
+        let mut t = 0u64;
+        for u in insn.uses() {
+            if let Some(&d) = def_done.get(&u) {
+                t = t.max(d);
+            }
+        }
+        // Output/anti dependences (the scheduler does not rename).
+        if let Some(d) = insn.def().filter(|d| !d.is_int_zero()) {
+            if let Some(&r) = use_issue.get(&d) {
+                t = t.max(r); // anti: can issue at the same cycle a reader issued
+            }
+            if let Some(&w) = def_issue.get(&d) {
+                t = t.max(w + 1); // output: strictly after previous writer issues
+            }
+        }
+        // Memory ordering: stores are barriers.
+        let is_store = matches!(
+            insn.op,
+            guardspec_ir::Opcode::Store { .. } | guardspec_ir::Opcode::FStore { .. }
+        );
+        let is_mem = insn.fu_class() == FuClass::LoadStore;
+        if is_mem {
+            t = t.max(last_store_done);
+            if is_store {
+                t = t.max(last_mem_issue);
+            }
+        }
+        // Control: terminator goes last.
+        if insn.is_control() && i > 0 {
+            t = t.max(issue_cycle[i - 1]);
+        }
+        ready_at[i] = t;
+
+        // Resource-constrained issue: find the first cycle >= t with a free
+        // slot and a free unit of the class.
+        let ci = Resources::class_idx(insn.fu_class());
+        let mut c = t;
+        loop {
+            let slot_ok = *slots_used.get(&c).unwrap_or(&0) < res.issue_width;
+            let fu_ok = res.fu[ci] == usize::MAX
+                || fu_busy[ci].iter().filter(|&&x| x == c).count() < res.fu[ci];
+            if slot_ok && fu_ok {
+                break;
+            }
+            c += 1;
+        }
+        issue_cycle[i] = c;
+        *slots_used.entry(c).or_insert(0) += 1;
+        if res.fu[ci] != usize::MAX {
+            fu_busy[ci].push(c);
+        }
+        let done = c + lat(insn);
+        length = length.max(done);
+        if let Some(d) = insn.def().filter(|d| !d.is_int_zero()) {
+            def_done.insert(d, done);
+            def_issue.insert(d, c);
+        }
+        for u in insn.uses() {
+            let e = use_issue.entry(u).or_insert(0);
+            *e = (*e).max(c);
+        }
+        if is_mem {
+            last_mem_issue = last_mem_issue.max(c);
+            if is_store {
+                last_store_done = last_store_done.max(done);
+            }
+        }
+    }
+
+    // Vacant slots: total issue capacity before `length` minus used slots.
+    let cap = length * res.issue_width as u64;
+    let used: u64 = slots_used.values().map(|&v| v as u64).sum();
+    let vacant_slots = cap.saturating_sub(used);
+
+    BlockSchedule { issue_cycle, length, vacant_slots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_ir::builder::FuncBuilder;
+    use guardspec_ir::reg::r;
+
+    fn block_of(f: impl FnOnce(&mut FuncBuilder)) -> BasicBlock {
+        let mut fb = FuncBuilder::new("t");
+        fb.block("b");
+        f(&mut fb);
+        fb.halt();
+        let func = fb.finish();
+        func.blocks[0].clone()
+    }
+
+    #[test]
+    fn dependent_chain_is_serial() {
+        let b = block_of(|fb| {
+            fb.addi(r(1), r(1), 1);
+            fb.addi(r(1), r(1), 1);
+            fb.addi(r(1), r(1), 1);
+        });
+        let s = schedule_block(&b, &Resources::r10000());
+        // Three dependent adds at cycles 0,1,2 plus halt; length >= 3.
+        assert_eq!(&s.issue_cycle[..3], &[0, 1, 2]);
+        assert!(s.length >= 3);
+    }
+
+    #[test]
+    fn independent_ops_pack_two_per_cycle() {
+        let b = block_of(|fb| {
+            fb.addi(r(1), r(10), 1);
+            fb.addi(r(2), r(11), 1);
+            fb.addi(r(3), r(12), 1);
+            fb.addi(r(4), r(13), 1);
+        });
+        let s = schedule_block(&b, &Resources::r10000());
+        // 2 ALUs: cycles 0,0,1,1.
+        assert_eq!(&s.issue_cycle[..4], &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn load_latency_respected() {
+        let b = block_of(|fb| {
+            fb.lw(r(1), r(2), 0);
+            fb.addi(r(3), r(1), 1);
+        });
+        let s = schedule_block(&b, &Resources::r10000());
+        assert_eq!(s.issue_cycle[0], 0);
+        assert_eq!(s.issue_cycle[1], 2, "consumer waits for 2-cycle load");
+    }
+
+    #[test]
+    fn store_orders_with_following_load() {
+        let b = block_of(|fb| {
+            fb.sw(r(1), r(2), 0);
+            fb.lw(r(3), r(4), 0);
+        });
+        let s = schedule_block(&b, &Resources::r10000());
+        assert!(s.issue_cycle[1] >= s.issue_cycle[0] + 2, "load after store completion");
+    }
+
+    #[test]
+    fn output_dependence_orders_writers() {
+        let b = block_of(|fb| {
+            fb.li(r(1), 3);
+            fb.li(r(1), 4);
+            fb.sw(r(1), r(2), 0);
+        });
+        let s = schedule_block(&b, &Resources::r10000());
+        assert!(s.issue_cycle[1] > s.issue_cycle[0]);
+    }
+
+    #[test]
+    fn terminator_is_last() {
+        let b = block_of(|fb| {
+            fb.addi(r(1), r(10), 1);
+            fb.addi(r(2), r(11), 1);
+        });
+        let s = schedule_block(&b, &Resources::r10000());
+        let term = s.issue_cycle.last().copied().unwrap();
+        assert!(s.issue_cycle[..s.issue_cycle.len() - 1].iter().all(|&c| c <= term));
+    }
+
+    #[test]
+    fn vacant_slots_counted() {
+        // One lonely ALU op + halt: width 4 leaves slots free.
+        let b = block_of(|fb| {
+            fb.addi(r(1), r(10), 1);
+        });
+        let s = schedule_block(&b, &Resources::r10000());
+        assert!(s.vacant_slots > 0);
+    }
+
+    #[test]
+    fn empty_block_is_free() {
+        let b = BasicBlock::new("empty");
+        let s = schedule_block(&b, &Resources::r10000());
+        assert_eq!(s.length, 0);
+        assert_eq!(s.vacant_slots, 0);
+    }
+
+    #[test]
+    fn shifter_structural_hazard() {
+        let b = block_of(|fb| {
+            fb.sll(r(1), r(10), 1);
+            fb.sll(r(2), r(11), 2);
+        });
+        let s = schedule_block(&b, &Resources::r10000());
+        // One shifter: second shift waits a cycle.
+        assert_eq!(s.issue_cycle[0], 0);
+        assert_eq!(s.issue_cycle[1], 1);
+    }
+}

@@ -1,0 +1,366 @@
+//! Compile-time speculative execution — Figure 1(b)/(c) of the paper.
+//!
+//! Hoists a prefix of a branch arm above the controlling branch into the
+//! head block.  When the hoisted instruction's destination is live on the
+//! other path (or feeds the branch condition itself), the destination is
+//! *software renamed* to a free register, a copy (`mov old, new`) is left
+//! in the arm, and subsequent arm uses are *forward substituted* to the
+//! renamed register — exactly the r6→r9 dance of Figure 1(b).
+
+use crate::remap::Remap;
+use crate::renamepool::RenamePool;
+use guardspec_analysis::RegSet;
+use guardspec_ir::{BlockId, Function, Instruction, Opcode, Reg};
+
+/// What one speculation call did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpeculateStats {
+    /// Instructions hoisted above the branch.
+    pub hoisted: usize,
+    /// Of those, how many needed software renaming + a copy.
+    pub renamed: usize,
+}
+
+/// Hoist up to `max_ops` speculatable instructions from the front of `arm`
+/// into `head` (immediately before its terminator).
+///
+/// `live_other` must be the set of registers live on entry to the *other*
+/// successor of `head` — destinations in that set are renamed.
+/// Returns the stats plus a [`Remap`] describing the instruction-index
+/// shifts in `head` and `arm`.
+pub fn speculate_into_head(
+    f: &mut Function,
+    head: BlockId,
+    arm: BlockId,
+    live_other: &RegSet,
+    max_ops: usize,
+    allow_loads: bool,
+    pool: &mut RenamePool,
+) -> (SpeculateStats, Remap) {
+    let mut stats = SpeculateStats::default();
+    let mut remap = Remap::new();
+    if max_ops == 0 {
+        return (stats, remap);
+    }
+
+    // Registers the head terminator reads (branch condition operands):
+    // clobbering them above the branch changes the branch itself.
+    let term_uses: RegSet = match f.block(head).terminator() {
+        Some(t) => t.uses().collect(),
+        None => RegSet::new(),
+    };
+
+    // Select the maximal speculatable prefix of the arm.
+    let mut prefix = 0;
+    {
+        let blk = f.block(arm);
+        for insn in blk.body() {
+            if prefix >= max_ops || !insn.can_speculate(allow_loads) || insn.guard.is_some() {
+                break;
+            }
+            // Predicate defs cannot be renamed with a plain move; exclude
+            // them rather than special-case a predicate copy sequence.
+            if matches!(insn.def(), Some(Reg::Pred(_))) {
+                break;
+            }
+            prefix += 1;
+        }
+    }
+    if prefix == 0 {
+        return (stats, remap);
+    }
+
+    // Hoist the prefix, renaming as needed.  `renames` maps original dest
+    // to its renamed register for forward substitution.
+    let mut hoisted: Vec<Instruction> = Vec::with_capacity(prefix);
+    let mut copies: Vec<Instruction> = Vec::new();
+    let mut renames: Vec<(Reg, Reg)> = Vec::new();
+    let mut drained: Vec<Instruction> = {
+        let blk = f.block_mut(arm);
+        blk.insns.drain(..prefix).collect()
+    };
+    let mut put_back: Vec<Instruction> = Vec::new();
+    let mut di = 0;
+    while di < drained.len() {
+        let mut insn = drained[di].clone();
+        // Substitute operands that earlier hoisted instructions renamed.
+        for &(from, to) in &renames {
+            insn.rewrite_uses(from, to);
+        }
+        if let Some(d) = insn.def().filter(|d| !d.is_int_zero()) {
+            let needs_rename = live_other.contains(d) || term_uses.contains(d);
+            if needs_rename {
+                match pool.take_like(d) {
+                    Some(fresh) => {
+                        let ok = insn.rename_def(fresh);
+                        debug_assert!(ok, "rename_def on a def-carrying instruction");
+                        // Copy back into the original register on the arm path.
+                        let copy = match (d, fresh) {
+                            (Reg::Int(o), Reg::Int(n)) => Opcode::Mov { dst: o, src: n },
+                            (Reg::Flt(o), Reg::Flt(n)) => Opcode::FMov { dst: o, src: n },
+                            _ => unreachable!(
+                                "predicate defs are excluded from the prefix; \
+                                 take_like preserves the register file"
+                            ),
+                        };
+                        copies.push(Instruction::new(copy));
+                        renames.retain(|(from, _)| *from != d);
+                        renames.push((d, fresh));
+                        stats.renamed += 1;
+                    }
+                    None => {
+                        // No free register: stop.  The unprocessed tail goes
+                        // back into the arm *unrewritten*; the forward-
+                        // substitution pass below rewrites it uniformly
+                        // (the copies make either form correct).
+                        put_back.push(drained[di].clone());
+                        put_back.extend(drained.drain(di + 1..));
+                        break;
+                    }
+                }
+            } else {
+                // Unconditionally safe hoist: the def reaches its final
+                // value before the branch; drop any stale mapping.
+                renames.retain(|(from, _)| *from != d);
+            }
+        }
+        hoisted.push(insn);
+        stats.hoisted += 1;
+        di += 1;
+    }
+
+    // Forward substitution in the remaining arm body: uses of renamed
+    // registers read the renamed value until the register is redefined.
+    {
+        let blk = f.block_mut(arm);
+        for pb in put_back.into_iter().rev() {
+            blk.insns.insert(0, pb);
+        }
+        let mut active = renames.clone();
+        for insn in blk.insns.iter_mut() {
+            for &(from, to) in &active {
+                insn.rewrite_uses(from, to);
+            }
+            // Any def (even guarded: it may update the register) ends the
+            // substitution range — the copy keeps the original correct.
+            if let Some(d) = insn.def() {
+                active.retain(|(from, _)| *from != d);
+            }
+        }
+        // Insert the copies at the top of the arm (they define the original
+        // registers from the renamed ones; forward substitution above makes
+        // most of them dead within the arm, but they feed the join).
+        for c in copies.iter().rev() {
+            blk.insns.insert(0, c.clone());
+        }
+        let delta = copies.len() as i64 - prefix as i64;
+        if delta > 0 {
+            remap.insn_insert(arm, 0, delta as u32);
+        }
+        // (Negative shifts are not representable; the driver never holds
+        // references into speculated arm bodies, only to terminators, whose
+        // index change is benign for its uses.)
+    }
+
+    // Insert the hoisted instructions into the head before its terminator.
+    {
+        let blk = f.block_mut(head);
+        let at = match blk.terminator() {
+            Some(_) => blk.insns.len() - 1,
+            None => blk.insns.len(),
+        };
+        for (k, insn) in hoisted.into_iter().enumerate() {
+            blk.insns.insert(at + k, insn);
+        }
+        remap.insn_insert(head, at as u32, stats.hoisted as u32);
+    }
+
+    (stats, remap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_analysis::{Cfg, Liveness};
+    use guardspec_interp::run;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::r;
+    use guardspec_ir::validate::assert_valid;
+
+    /// Figure 1(a): the paper's running fragment, with concrete values.
+    ///
+    /// ```text
+    ///   beq r1, r2, L1
+    ///   sub r6, r3, 1        # fall path
+    ///   add r8, r6, r4
+    ///   j L2
+    /// L1:
+    ///   add r9, r6, r5       # uses the OLD r6 -> rename required
+    /// L2:
+    ///   sw r8 / r9 ...
+    /// ```
+    fn figure1_program(r1: i64, r2: i64) -> guardspec_ir::Program {
+        let mut fb = FuncBuilder::new("fig1");
+        fb.block("entry");
+        fb.li(r(1), r1);
+        fb.li(r(2), r2);
+        fb.li(r(3), 100);
+        fb.li(r(4), 7);
+        fb.li(r(5), 11);
+        fb.li(r(6), 1000);
+        fb.block("head");
+        fb.beq(r(1), r(2), "L1");
+        fb.block("fall");
+        fb.subi(r(6), r(3), 1);
+        fb.add(r(8), r(6), r(4));
+        fb.jump("L2");
+        fb.block("L1");
+        fb.add(r(9), r(6), r(5));
+        fb.block("L2");
+        fb.sw(r(6), r(0), 1);
+        fb.sw(r(8), r(0), 2);
+        fb.sw(r(9), r(0), 3);
+        fb.halt();
+        single_func_program(fb)
+    }
+
+    fn speculate_fig1(prog: &mut guardspec_ir::Program) -> SpeculateStats {
+        let f = prog.func_mut(guardspec_ir::FuncId(0));
+        let cfg = Cfg::build(f);
+        let lv = Liveness::compute(f, &cfg);
+        let head = f.block_by_label("head").unwrap();
+        let fall = f.block_by_label("fall").unwrap();
+        let taken = f.block_by_label("L1").unwrap();
+        let live_other = *lv.live_in(taken);
+        let mut pool = RenamePool::for_function(f);
+        let (stats, _remap) =
+            speculate_into_head(f, head, fall, &live_other, 4, false, &mut pool);
+        stats
+    }
+
+    #[test]
+    fn hoists_and_renames_like_figure1b() {
+        let mut prog = figure1_program(0, 1);
+        let stats = speculate_fig1(&mut prog);
+        assert_valid(&prog);
+        // Both the sub and the add hoist.  r6 is live at L1 and r8 is live
+        // at the join (read by the final stores), so both defs rename.
+        assert_eq!(stats.hoisted, 2);
+        assert_eq!(stats.renamed, 2);
+        let f = prog.func(guardspec_ir::FuncId(0));
+        let head = f.block_by_label("head").unwrap();
+        // Head now holds sub(renamed), add, then the branch.
+        let hb = f.block(head);
+        assert_eq!(hb.insns.len(), 3);
+        assert!(hb.insns[2].is_cond_branch());
+        // The hoisted sub defines a renamed register, not r6.
+        let sub_def = hb.insns[0].def().unwrap();
+        assert_ne!(sub_def, Reg::Int(r(6)));
+        // The hoisted add reads the renamed register (forward substitution
+        // applied among the hoisted group).
+        assert!(hb.insns[1].uses().any(|u| u == sub_def));
+        // The arm starts with the copy mov r6, <renamed>.
+        let fall = f.block_by_label("fall").unwrap();
+        match f.block(fall).insns[0].op {
+            Opcode::Mov { dst, src } => {
+                assert_eq!(dst, r(6));
+                assert_eq!(Reg::Int(src), sub_def);
+            }
+            ref other => panic!("expected copy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semantics_preserved_on_both_paths() {
+        for (a, b) in [(0, 1), (5, 5)] {
+            let base = figure1_program(a, b);
+            let mut spec = base.clone();
+            speculate_fig1(&mut spec);
+            let r1 = run(&base).expect("base runs");
+            let r2 = run(&spec).expect("spec runs");
+            assert_eq!(
+                r1.machine.mem_checksum(),
+                r2.machine.mem_checksum(),
+                "speculation changed semantics for ({a},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn stores_are_not_hoisted() {
+        let mut fb = FuncBuilder::new("st");
+        fb.block("entry");
+        fb.li(r(1), 1);
+        fb.block("head");
+        fb.beq(r(1), r(0), "skip");
+        fb.block("arm");
+        fb.sw(r(1), r(0), 4); // must NOT execute when branch taken
+        fb.addi(r(2), r(2), 1);
+        fb.block("skip");
+        fb.halt();
+        let mut prog = single_func_program(fb);
+        let f = prog.func_mut(guardspec_ir::FuncId(0));
+        let cfg = Cfg::build(f);
+        let lv = Liveness::compute(f, &cfg);
+        let head = f.block_by_label("head").unwrap();
+        let arm = f.block_by_label("arm").unwrap();
+        let skip = f.block_by_label("skip").unwrap();
+        let live = *lv.live_in(skip);
+        let mut pool = RenamePool::for_function(f);
+        let (stats, _) = speculate_into_head(f, head, arm, &live, 4, false, &mut pool);
+        // The store blocks the prefix: nothing hoists.
+        assert_eq!(stats.hoisted, 0);
+        assert_valid(&prog);
+    }
+
+    #[test]
+    fn loads_hoist_only_when_allowed() {
+        let mut fb = FuncBuilder::new("ld");
+        fb.block("entry");
+        fb.li(r(1), 1);
+        fb.li(r(3), 8);
+        fb.block("head");
+        fb.beq(r(1), r(0), "skip");
+        fb.block("arm");
+        fb.lw(r(2), r(3), 0);
+        fb.jump("skip");
+        fb.block("skip");
+        fb.halt();
+        let mut prog = single_func_program(fb);
+        let f = prog.func_mut(guardspec_ir::FuncId(0));
+        let cfg = Cfg::build(f);
+        let lv = Liveness::compute(f, &cfg);
+        let head = f.block_by_label("head").unwrap();
+        let arm = f.block_by_label("arm").unwrap();
+        let skip = f.block_by_label("skip").unwrap();
+        let live = *lv.live_in(skip);
+        let mut pool = RenamePool::for_function(f);
+        let (s0, _) = speculate_into_head(f, head, arm, &live, 4, false, &mut pool);
+        assert_eq!(s0.hoisted, 0);
+        let (s1, _) = speculate_into_head(f, head, arm, &live, 4, true, &mut pool);
+        assert_eq!(s1.hoisted, 1);
+        assert_valid(&prog);
+    }
+
+    #[test]
+    fn max_ops_respected() {
+        let mut prog = figure1_program(0, 1);
+        let f = prog.func_mut(guardspec_ir::FuncId(0));
+        let cfg = Cfg::build(f);
+        let lv = Liveness::compute(f, &cfg);
+        let head = f.block_by_label("head").unwrap();
+        let fall = f.block_by_label("fall").unwrap();
+        let taken = f.block_by_label("L1").unwrap();
+        let live = *lv.live_in(taken);
+        let mut pool = RenamePool::for_function(f);
+        let (stats, _) = speculate_into_head(f, head, fall, &live, 1, false, &mut pool);
+        assert_eq!(stats.hoisted, 1);
+        assert_valid(&prog);
+        // Semantics still hold.
+        let base = figure1_program(0, 1);
+        assert_eq!(
+            run(&base).unwrap().machine.mem_checksum(),
+            run(&prog).unwrap().machine.mem_checksum()
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Growable bit vector for branch-outcome recording.
+
+/// A compact, append-only sequence of booleans.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    pub fn new() -> BitVec {
+        BitVec { words: Vec::new(), len: 0 }
+    }
+
+    /// Build from an iterator of outcomes.
+    pub fn from_bools(it: impl IntoIterator<Item = bool>) -> BitVec {
+        let mut v = BitVec::new();
+        for b in it {
+            v.push(b);
+        }
+        v
+    }
+
+    /// Build from a `T`/`F` pattern string (other characters are ignored),
+    /// e.g. the paper's `"TTTFFFTTFF"` trace notation.
+    pub fn from_pattern(s: &str) -> BitVec {
+        BitVec::from_bools(s.chars().filter_map(|c| match c {
+            'T' | 't' | '1' => Some(true),
+            'F' | 'f' | '0' => Some(false),
+            _ => None,
+        }))
+    }
+
+    pub fn push(&mut self, b: bool) {
+        let (w, o) = (self.len / 64, self.len % 64);
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if b {
+            self.words[w] |= 1 << o;
+        }
+        self.len += 1;
+    }
+
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of `true` bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of `true` bits within `[start, end)`.
+    pub fn count_ones_in(&self, start: usize, end: usize) -> usize {
+        (start..end.min(self.len)).filter(|&i| self.get(i)).count()
+    }
+
+    /// Number of adjacent positions whose outcome differs — the raw count
+    /// behind the paper's *toggle factor*.
+    pub fn toggles(&self) -> usize {
+        (1..self.len).filter(|&i| self.get(i) != self.get(i - 1)).count()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Copy out the sub-vector `[start, end)` (clamped to the length).
+    pub fn slice(&self, start: usize, end: usize) -> BitVec {
+        BitVec::from_bools((start..end.min(self.len)).map(|i| self.get(i)))
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> BitVec {
+        BitVec::from_bools(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip_across_word_boundary() {
+        let mut v = BitVec::new();
+        let pat: Vec<bool> = (0..150).map(|i| i % 3 == 0).collect();
+        for &b in &pat {
+            v.push(b);
+        }
+        assert_eq!(v.len(), 150);
+        for (i, &b) in pat.iter().enumerate() {
+            assert_eq!(v.get(i), b, "bit {i}");
+        }
+        assert_eq!(v.count_ones(), pat.iter().filter(|b| **b).count());
+    }
+
+    #[test]
+    fn pattern_parsing_matches_paper_notation() {
+        let v = BitVec::from_pattern("TTTFFFTTFF");
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.count_ones(), 5);
+        assert!(v.get(0) && v.get(1) && v.get(2));
+        assert!(!v.get(3) && !v.get(9));
+    }
+
+    #[test]
+    fn toggle_count() {
+        assert_eq!(BitVec::from_pattern("TTTT").toggles(), 0);
+        assert_eq!(BitVec::from_pattern("TFTF").toggles(), 3);
+        assert_eq!(BitVec::from_pattern("TTTFFFTTFF").toggles(), 3);
+        assert_eq!(BitVec::new().toggles(), 0);
+    }
+
+    #[test]
+    fn count_ones_in_window() {
+        let v = BitVec::from_pattern("TTFFTTFF");
+        assert_eq!(v.count_ones_in(0, 4), 2);
+        assert_eq!(v.count_ones_in(2, 6), 2);
+        assert_eq!(v.count_ones_in(4, 100), 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Dynamic instruction trace recording, feeding the cycle-level simulator.
+//!
+//! The simulator is trace-driven on the *correct* path (the standard
+//! technique for this class of study): the functional interpreter supplies
+//! the retired instruction stream with branch outcomes and memory addresses;
+//! the timing model fetches down *predicted* paths through the static code
+//! and uses the trace to resolve branches, squashing wrong-path work.
+
+use crate::exec::{Observer, RetireEvent};
+use crate::layout::StaticLayout;
+use guardspec_ir::{Instruction, Program};
+
+const F_TAKEN: u8 = 1 << 0;
+const F_IS_BRANCH: u8 = 1 << 1;
+const F_HAS_ADDR: u8 = 1 << 2;
+const F_ANNULLED: u8 = 1 << 3;
+
+/// One retired instruction, 12 bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEntry {
+    /// Dense static-site id (see [`StaticLayout`]).
+    pub id: u32,
+    /// Effective word address for memory ops (valid when `has_addr`).
+    addr: u32,
+    flags: u8,
+}
+
+impl TraceEntry {
+    /// Conditional-branch outcome, if this was a conditional branch.
+    pub fn taken(&self) -> Option<bool> {
+        (self.flags & F_IS_BRANCH != 0).then(|| self.flags & F_TAKEN != 0)
+    }
+
+    /// Effective word address for memory operations.
+    pub fn mem_addr(&self) -> Option<u32> {
+        (self.flags & F_HAS_ADDR != 0).then_some(self.addr)
+    }
+
+    /// Guard predicate was false; the instruction retired with no effect.
+    pub fn annulled(&self) -> bool {
+        self.flags & F_ANNULLED != 0
+    }
+}
+
+/// Observer that records the full dynamic trace.
+pub struct TraceRecorder {
+    layout: StaticLayout,
+    pub entries: Vec<TraceEntry>,
+}
+
+impl TraceRecorder {
+    pub fn new(prog: &Program) -> TraceRecorder {
+        TraceRecorder { layout: StaticLayout::build(prog), entries: Vec::new() }
+    }
+
+    pub fn layout(&self) -> &StaticLayout {
+        &self.layout
+    }
+
+    pub fn into_parts(self) -> (StaticLayout, Vec<TraceEntry>) {
+        (self.layout, self.entries)
+    }
+}
+
+impl Observer for TraceRecorder {
+    fn on_retire(&mut self, _insn: &Instruction, ev: &RetireEvent) {
+        let mut flags = 0u8;
+        if let Some(t) = ev.taken {
+            flags |= F_IS_BRANCH;
+            if t {
+                flags |= F_TAKEN;
+            }
+        }
+        let mut addr = 0u32;
+        if let Some(a) = ev.mem_addr {
+            flags |= F_HAS_ADDR;
+            addr = a.max(0) as u32;
+        }
+        if ev.annulled {
+            flags |= F_ANNULLED;
+        }
+        self.entries.push(TraceEntry { id: self.layout.id(ev.site), addr, flags });
+    }
+}
+
+/// Record the complete trace of a program run.
+pub fn trace_program(
+    prog: &Program,
+) -> Result<(StaticLayout, Vec<TraceEntry>, crate::exec::ExecResult), crate::exec::ExecError> {
+    let mut t = TraceRecorder::new(prog);
+    let res = crate::exec::Interp::new(prog).run_with(&mut t)?;
+    let (layout, entries) = t.into_parts();
+    Ok((layout, entries, res))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::{p, r};
+    use guardspec_ir::SetCond;
+
+    #[test]
+    fn trace_is_complete_and_ordered() {
+        let mut fb = FuncBuilder::new("t");
+        fb.block("e");
+        fb.li(r(1), 2);
+        fb.block("loop");
+        fb.subi(r(1), r(1), 1);
+        fb.bgtz(r(1), "loop");
+        fb.block("done");
+        fb.sw(r(1), r(0), 5);
+        fb.halt();
+        let prog = single_func_program(fb);
+        let (layout, entries, res) = trace_program(&prog).expect("runs");
+        assert_eq!(entries.len() as u64, res.summary.retired);
+        // li, (sub, bgtz) x2, sw, halt = 1 + 4 + 2
+        assert_eq!(entries.len(), 7);
+        // First branch taken, second not.
+        let branches: Vec<bool> =
+            entries.iter().filter_map(|e| e.taken()).collect();
+        assert_eq!(branches, vec![true, false]);
+        // Store address recorded.
+        let store = entries.iter().find(|e| e.mem_addr().is_some()).unwrap();
+        assert_eq!(store.mem_addr(), Some(5));
+        // Trace ids are valid layout sites.
+        for e in &entries {
+            assert!((e.id as usize) < layout.num_sites());
+        }
+    }
+
+    #[test]
+    fn annulled_flag_recorded() {
+        let mut fb = FuncBuilder::new("a");
+        fb.block("e");
+        fb.setpi(SetCond::Gt, p(1), r(0), 5); // false
+        fb.cmov(r(2), r(1), p(1), true); // annulled
+        fb.halt();
+        let prog = single_func_program(fb);
+        let (_l, entries, _r) = trace_program(&prog).expect("runs");
+        assert!(entries[1].annulled());
+        assert!(!entries[0].annulled());
+    }
+}

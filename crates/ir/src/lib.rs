@@ -1,0 +1,43 @@
+//! # guardspec-ir
+//!
+//! A MIPS-like register intermediate representation, modeled after the
+//! "MIPS-like intermediate code" the paper's toolchain produces from GNU C
+//! output.  It carries everything the paper's transforms need:
+//!
+//! * integer / floating-point / predicate (condition-code) register files,
+//! * the functional-unit classes the R10000 evaluation reports on
+//!   (ALU, shifter, load/store, branch, three FP pipes),
+//! * ordinary conditional branches **and** MIPS-IV style *branch-likely*
+//!   variants (statically predicted taken, never entered in the BTB),
+//! * guarded (predicated) instructions: any computational instruction may
+//!   carry a guard `(p, expect)` and only retires its result when predicate
+//!   register `p` equals `expect` — the "full predicated execution support
+//!   synthesized in the compiler" of Section 3,
+//! * register-relative jumps (`jtab`) and call/return, which the paper calls
+//!   out as the branch kinds a BTB cannot capture.
+//!
+//! The crate provides the data model ([`Program`], [`Function`],
+//! [`BasicBlock`], [`Instruction`]), an ergonomic [`builder`], a textual
+//! assembly [`parse`]r and printer, and a structural [`validate`]r.
+//!
+//! Control flow is block-structured: every [`BasicBlock`] holds straight-line
+//! instructions and ends with an optional terminator; a block without a
+//! terminator falls through to the next block in layout order, exactly like
+//! linear assembly.
+
+pub mod builder;
+pub mod encode;
+pub mod insn;
+pub mod parse;
+pub mod print;
+pub mod program;
+pub mod reg;
+pub mod validate;
+
+pub use builder::{FuncBuilder, ProgramBuilder};
+pub use insn::{BranchCond, FuClass, Guard, Instruction, Opcode, SetCond};
+pub use program::{BasicBlock, BlockId, FuncId, Function, InsnRef, Program};
+pub use reg::{FltReg, IntReg, PredReg, Reg};
+
+#[cfg(test)]
+mod tests;

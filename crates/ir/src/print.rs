@@ -1,0 +1,195 @@
+//! Textual assembly printing.
+//!
+//! The format round-trips through [`crate::parse`]:
+//!
+//! ```text
+//! func main:
+//! entry:
+//!     li r1, 0
+//!     beq r1, r2, L1
+//! body:
+//!     (p1) mov r6, r9
+//!     (!p2) add r8, r6, r4
+//!     jtab r3, [a, b, c]
+//!     bnel r5, r6, L0
+//!     halt
+//! ```
+
+use crate::insn::*;
+use crate::program::*;
+use std::fmt;
+
+fn alu_name(k: AluKind) -> &'static str {
+    match k {
+        AluKind::Add => "add",
+        AluKind::Sub => "sub",
+        AluKind::And => "and",
+        AluKind::Or => "or",
+        AluKind::Xor => "xor",
+        AluKind::Nor => "nor",
+        AluKind::Slt => "slt",
+        AluKind::Sltu => "sltu",
+        AluKind::Mul => "mul",
+    }
+}
+
+fn shift_name(k: ShiftKind) -> &'static str {
+    match k {
+        ShiftKind::Sll => "sll",
+        ShiftKind::Srl => "srl",
+        ShiftKind::Sra => "sra",
+    }
+}
+
+fn falu_name(k: FAluKind) -> &'static str {
+    match k {
+        FAluKind::Add => "fadd",
+        FAluKind::Sub => "fsub",
+        FAluKind::Mul => "fmul",
+        FAluKind::Div => "fdiv",
+        FAluKind::Sqrt => "fsqrt",
+    }
+}
+
+fn setcond_name(c: SetCond) -> &'static str {
+    match c {
+        SetCond::Eq => "eq",
+        SetCond::Ne => "ne",
+        SetCond::Lt => "lt",
+        SetCond::Le => "le",
+        SetCond::Gt => "gt",
+        SetCond::Ge => "ge",
+    }
+}
+
+fn plogic_name(k: PLogicKind) -> &'static str {
+    match k {
+        PLogicKind::And => "pand",
+        PLogicKind::Or => "por",
+        PLogicKind::Xor => "pxor",
+    }
+}
+
+/// Context for printing block targets as labels.
+pub struct InsnDisplay<'a> {
+    pub insn: &'a Instruction,
+    pub func: Option<&'a Function>,
+    pub prog: Option<&'a Program>,
+}
+
+fn label_of(func: Option<&Function>, b: BlockId) -> String {
+    match func {
+        Some(f) if b.index() < f.blocks.len() => f.blocks[b.index()].label.clone(),
+        _ => format!("@{}", b.0),
+    }
+}
+
+impl fmt::Display for InsnDisplay<'_> {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let i = self.insn;
+        if let Some(g) = i.guard {
+            if g.expect {
+                write!(fm, "({}) ", g.pred)?;
+            } else {
+                write!(fm, "(!{}) ", g.pred)?;
+            }
+        }
+        use Opcode::*;
+        match &i.op {
+            Alu { kind, dst, a, b } => write!(fm, "{} {dst}, {a}, {b}", alu_name(*kind)),
+            AluImm { kind, dst, a, imm } => write!(fm, "{}i {dst}, {a}, {imm}", alu_name(*kind)),
+            Li { dst, imm } => write!(fm, "li {dst}, {imm}"),
+            Mov { dst, src } => write!(fm, "mov {dst}, {src}"),
+            Shift { kind, dst, a, b } => write!(fm, "{}v {dst}, {a}, {b}", shift_name(*kind)),
+            ShiftImm { kind, dst, a, sh } => write!(fm, "{} {dst}, {a}, {sh}", shift_name(*kind)),
+            Load { dst, base, off } => write!(fm, "lw {dst}, {off}({base})"),
+            Store { src, base, off } => write!(fm, "sw {src}, {off}({base})"),
+            FAlu { kind, dst, a, b } => write!(fm, "{} {dst}, {a}, {b}", falu_name(*kind)),
+            FMov { dst, src } => write!(fm, "fmov {dst}, {src}"),
+            FLoad { dst, base, off } => write!(fm, "flw {dst}, {off}({base})"),
+            FStore { src, base, off } => write!(fm, "fsw {src}, {off}({base})"),
+            ItoF { dst, src } => write!(fm, "itof {dst}, {src}"),
+            FtoI { dst, src } => write!(fm, "ftoi {dst}, {src}"),
+            SetP { cond, dst, a, b } => {
+                write!(fm, "setp.{} {dst}, {a}, {b}", setcond_name(*cond))
+            }
+            SetPImm { cond, dst, a, imm } => {
+                write!(fm, "setp.{}i {dst}, {a}, {imm}", setcond_name(*cond))
+            }
+            PLogic { kind, dst, a, b } => write!(fm, "{} {dst}, {a}, {b}", plogic_name(*kind)),
+            PNot { dst, src } => write!(fm, "pnot {dst}, {src}"),
+            Branch { cond, target, likely } => {
+                let l = if *likely { "l" } else { "" };
+                let t = label_of(self.func, *target);
+                match cond {
+                    BranchCond::Eq(a, b) => write!(fm, "beq{l} {a}, {b}, {t}"),
+                    BranchCond::Ne(a, b) => write!(fm, "bne{l} {a}, {b}, {t}"),
+                    BranchCond::Lez(a) => write!(fm, "blez{l} {a}, {t}"),
+                    BranchCond::Gtz(a) => write!(fm, "bgtz{l} {a}, {t}"),
+                    BranchCond::Ltz(a) => write!(fm, "bltz{l} {a}, {t}"),
+                    BranchCond::Gez(a) => write!(fm, "bgez{l} {a}, {t}"),
+                    BranchCond::PredT(p) => write!(fm, "bpt{l} {p}, {t}"),
+                    BranchCond::PredF(p) => write!(fm, "bpf{l} {p}, {t}"),
+                }
+            }
+            Jump { target } => write!(fm, "j {}", label_of(self.func, *target)),
+            Jtab { index, table } => {
+                write!(fm, "jtab {index}, [")?;
+                for (k, t) in table.iter().enumerate() {
+                    if k > 0 {
+                        write!(fm, ", ")?;
+                    }
+                    write!(fm, "{}", label_of(self.func, *t))?;
+                }
+                write!(fm, "]")
+            }
+            Call { func } => match self.prog {
+                Some(p) if func.index() < p.funcs.len() => {
+                    write!(fm, "call {}", p.funcs[func.index()].name)
+                }
+                _ => write!(fm, "call @{}", func.0),
+            },
+            Ret => write!(fm, "ret"),
+            Halt => write!(fm, "halt"),
+            Nop => write!(fm, "nop"),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        InsnDisplay { insn: self, func: None, prog: None }.fmt(fm)
+    }
+}
+
+/// Print a function with labels resolved.
+pub fn func_to_string(f: &Function, prog: Option<&Program>) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(s, "func {}:", f.name).unwrap();
+    for b in &f.blocks {
+        writeln!(s, "{}:", b.label).unwrap();
+        for i in &b.insns {
+            writeln!(s, "    {}", InsnDisplay { insn: i, func: Some(f), prog }).unwrap();
+        }
+    }
+    s
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fm.write_str(&func_to_string(self, None))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, f) in self.funcs.iter().enumerate() {
+            if i > 0 {
+                writeln!(fm)?;
+            }
+            fm.write_str(&func_to_string(f, Some(self)))?;
+        }
+        Ok(())
+    }
+}

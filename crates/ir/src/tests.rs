@@ -1,0 +1,425 @@
+//! Unit tests for the IR crate.
+
+use crate::builder::*;
+use crate::insn::*;
+use crate::parse::*;
+use crate::print::func_to_string;
+use crate::program::*;
+use crate::reg::*;
+use crate::validate::*;
+
+fn r(i: u8) -> IntReg {
+    IntReg(i)
+}
+fn p(i: u8) -> PredReg {
+    PredReg(i)
+}
+
+/// Build the paper's Figure 1(a) fragment:
+/// ```text
+///   beq r1, r2, L1
+///   sub r6, r3, 1
+///   add r8, r6, r4
+///   j L2
+/// L1:
+///   ...
+/// L2:
+///   halt
+/// ```
+fn figure1a() -> Program {
+    let mut fb = FuncBuilder::new("main");
+    fb.block("entry");
+    fb.beq(r(1), r(2), "L1");
+    fb.block("fall");
+    fb.subi(r(6), r(3), 1);
+    fb.add(r(8), r(6), r(4));
+    fb.jump("L2");
+    fb.block("L1");
+    fb.addi(r(8), r(4), 7);
+    fb.block("L2");
+    fb.halt();
+    single_func_program(fb)
+}
+
+#[test]
+fn builder_produces_valid_program() {
+    let prog = figure1a();
+    assert_valid(&prog);
+    assert_eq!(prog.funcs.len(), 1);
+    assert_eq!(prog.funcs[0].blocks.len(), 4);
+}
+
+#[test]
+fn successors_follow_fallthrough_and_targets() {
+    let prog = figure1a();
+    let f = prog.func(FuncId(0));
+    // entry: falls to `fall`, branches to L1.
+    assert_eq!(f.successors(BlockId(0)), vec![BlockId(1), BlockId(2)]);
+    // fall: jumps to L2 only.
+    assert_eq!(f.successors(BlockId(1)), vec![BlockId(3)]);
+    // L1 falls to L2.
+    assert_eq!(f.successors(BlockId(2)), vec![BlockId(3)]);
+    // L2 halts.
+    assert_eq!(f.successors(BlockId(3)), vec![]);
+}
+
+#[test]
+fn def_use_sets_match_opcode_shapes() {
+    let i = Instruction::new(Opcode::Alu { kind: AluKind::Add, dst: r(8), a: r(6), b: r(4) });
+    assert_eq!(i.def(), Some(Reg::Int(r(8))));
+    let uses: Vec<Reg> = i.uses().collect();
+    assert_eq!(uses, vec![Reg::Int(r(6)), Reg::Int(r(4))]);
+
+    let st = Instruction::new(Opcode::Store { src: r(5), base: r(2), off: 4 });
+    assert_eq!(st.def(), None);
+    assert_eq!(st.uses().count(), 2);
+
+    let g = Instruction::guarded(
+        Opcode::Mov { dst: r(6), src: r(9) },
+        Guard::if_true(p(1)),
+    );
+    let uses: Vec<Reg> = g.uses().collect();
+    assert_eq!(uses, vec![Reg::Int(r(9)), Reg::Pred(p(1))]);
+}
+
+#[test]
+fn branch_uses_include_condition_operands() {
+    let b = Instruction::new(Opcode::Branch {
+        cond: BranchCond::Eq(r(1), r(2)),
+        target: BlockId(0),
+        likely: false,
+    });
+    assert_eq!(b.uses().count(), 2);
+    let bp = Instruction::new(Opcode::Branch {
+        cond: BranchCond::PredT(p(3)),
+        target: BlockId(0),
+        likely: true,
+    });
+    let uses: Vec<Reg> = bp.uses().collect();
+    assert_eq!(uses, vec![Reg::Pred(p(3))]);
+    assert!(bp.is_branch_likely());
+}
+
+#[test]
+fn fu_classes_match_table_columns() {
+    use FuClass::*;
+    let cases: Vec<(Instruction, FuClass)> = vec![
+        (Opcode::Alu { kind: AluKind::Add, dst: r(1), a: r(2), b: r(3) }.into(), Alu),
+        (Opcode::ShiftImm { kind: ShiftKind::Sll, dst: r(1), a: r(2), sh: 3 }.into(), Shift),
+        (Opcode::Load { dst: r(1), base: r(2), off: 0 }.into(), LoadStore),
+        (Opcode::Store { src: r(1), base: r(2), off: 0 }.into(), LoadStore),
+        (
+            Opcode::Branch { cond: BranchCond::Lez(r(1)), target: BlockId(0), likely: false }
+                .into(),
+            Branch,
+        ),
+        (
+            Opcode::FAlu { kind: FAluKind::Add, dst: FltReg(1), a: FltReg(2), b: FltReg(3) }
+                .into(),
+            FpAdd,
+        ),
+        (
+            Opcode::FAlu { kind: FAluKind::Mul, dst: FltReg(1), a: FltReg(2), b: FltReg(3) }
+                .into(),
+            FpMul,
+        ),
+        (
+            Opcode::FAlu { kind: FAluKind::Div, dst: FltReg(1), a: FltReg(2), b: FltReg(3) }
+                .into(),
+            FpDiv,
+        ),
+        (Opcode::Nop.into(), Nop),
+        (
+            Opcode::SetPImm { cond: SetCond::Lt, dst: p(1), a: r(2), imm: 40 }.into(),
+            Alu,
+        ),
+    ];
+    for (insn, want) in cases {
+        assert_eq!(insn.fu_class(), want, "for {insn}");
+    }
+}
+
+#[test]
+fn rewrite_uses_performs_forward_substitution() {
+    // Figure 1(b): after renaming sub's dest to r9 and inserting
+    // `mov r6, r9`, the use in `add r8, r6, r4` is forward-substituted to r9.
+    let mut add = Instruction::new(Opcode::Alu { kind: AluKind::Add, dst: r(8), a: r(6), b: r(4) });
+    let n = add.rewrite_uses(Reg::Int(r(6)), Reg::Int(r(9)));
+    assert_eq!(n, 1);
+    match add.op {
+        Opcode::Alu { a, .. } => assert_eq!(a, r(9)),
+        _ => unreachable!(),
+    }
+    // Dest is untouched.
+    assert_eq!(add.def(), Some(Reg::Int(r(8))));
+}
+
+#[test]
+fn rewrite_uses_ignores_other_register_files() {
+    let mut i = Instruction::new(Opcode::Alu { kind: AluKind::Add, dst: r(8), a: r(6), b: r(6) });
+    assert_eq!(i.rewrite_uses(Reg::Flt(FltReg(6)), Reg::Flt(FltReg(9))), 0);
+    assert_eq!(i.rewrite_uses(Reg::Int(r(6)), Reg::Int(r(9))), 2);
+}
+
+#[test]
+fn rename_def_respects_register_file() {
+    let mut i = Instruction::new(Opcode::AluImm { kind: AluKind::Sub, dst: r(6), a: r(3), imm: 1 });
+    assert!(i.rename_def(Reg::Int(r(9))));
+    assert_eq!(i.def(), Some(Reg::Int(r(9))));
+    assert!(!i.rename_def(Reg::Flt(FltReg(9))));
+    let mut st = Instruction::new(Opcode::Store { src: r(1), base: r(2), off: 0 });
+    assert!(!st.rename_def(Reg::Int(r(9))));
+}
+
+#[test]
+fn guard_rewrite_via_pred_rename() {
+    let mut i = Instruction::guarded(Opcode::Mov { dst: r(1), src: r(2) }, Guard::if_false(p(2)));
+    assert_eq!(i.rewrite_uses(Reg::Pred(p(2)), Reg::Pred(p(5))), 1);
+    assert_eq!(i.guard.unwrap().pred, p(5));
+    assert!(!i.guard.unwrap().expect);
+}
+
+#[test]
+fn can_speculate_excludes_stores_and_optionally_loads() {
+    let ld = Instruction::new(Opcode::Load { dst: r(1), base: r(2), off: 0 });
+    let st = Instruction::new(Opcode::Store { src: r(1), base: r(2), off: 0 });
+    let add = Instruction::new(Opcode::AluImm { kind: AluKind::Add, dst: r(1), a: r(2), imm: 1 });
+    assert!(!st.can_speculate(true));
+    assert!(ld.can_speculate(true));
+    assert!(!ld.can_speculate(false));
+    assert!(add.can_speculate(false));
+    let br = Instruction::new(Opcode::Branch {
+        cond: BranchCond::Lez(r(1)),
+        target: BlockId(0),
+        likely: false,
+    });
+    assert!(!br.can_speculate(true));
+}
+
+#[test]
+fn branch_cond_negation_is_involutive() {
+    let conds = [
+        BranchCond::Eq(r(1), r(2)),
+        BranchCond::Ne(r(1), r(2)),
+        BranchCond::Lez(r(1)),
+        BranchCond::Gtz(r(1)),
+        BranchCond::Ltz(r(1)),
+        BranchCond::Gez(r(1)),
+        BranchCond::PredT(p(0)),
+        BranchCond::PredF(p(0)),
+    ];
+    for c in conds {
+        assert_eq!(c.negate().negate(), c);
+    }
+}
+
+#[test]
+fn setcond_eval_and_negate_agree() {
+    let pairs = [(-3i64, 5i64), (5, 5), (7, 2), (0, 0), (-1, -1), (i64::MAX, i64::MIN)];
+    for c in [SetCond::Eq, SetCond::Ne, SetCond::Lt, SetCond::Le, SetCond::Gt, SetCond::Ge] {
+        for (a, b) in pairs {
+            assert_eq!(c.eval(a, b), !c.negate().eval(a, b), "{c:?} {a} {b}");
+        }
+    }
+}
+
+#[test]
+fn print_parse_roundtrip_single_function() {
+    let prog = figure1a();
+    let text = func_to_string(&prog.funcs[0], Some(&prog));
+    let full = format!("func main:\n{}", text.lines().skip(1).collect::<Vec<_>>().join("\n"));
+    let back = parse_program(&full, None).expect("parse");
+    assert_eq!(back.funcs[0], prog.funcs[0]);
+}
+
+#[test]
+fn print_parse_roundtrip_exotic_instructions() {
+    let mut fb = FuncBuilder::new("t");
+    fb.block("entry");
+    fb.setpi(SetCond::Lt, p(2), r(4), 40);
+    fb.setp(SetCond::Ge, p(3), r(4), r(5));
+    fb.pand(p(1), p(2), p(3));
+    fb.pnot(p(4), p(1));
+    fb.cmov(r(6), r(9), p(1), true);
+    fb.push_guarded(
+        Opcode::AluImm { kind: AluKind::Add, dst: r(7), a: r(7), imm: 1 },
+        p(4),
+        false,
+    );
+    fb.sllv(r(3), r(2), r(1));
+    fb.sra(r(3), r(3), 2);
+    fb.flw(FltReg(2), r(10), 8);
+    fb.fmul(FltReg(3), FltReg(2), FltReg(2));
+    fb.fsw(FltReg(3), r(10), 16);
+    fb.itof(FltReg(1), r(5));
+    fb.ftoi(r(5), FltReg(1));
+    fb.bptl(p(1), "L");
+    fb.block("mid");
+    fb.jtab(r(2), &["L", "mid", "entry"]);
+    fb.block("L");
+    fb.halt();
+    let prog = single_func_program(fb);
+    assert_valid(&prog);
+    let text = format!("{prog}");
+    let back = parse_program(&text, None).expect("parse");
+    assert_eq!(back.funcs, prog.funcs);
+}
+
+#[test]
+fn parse_rejects_bad_input() {
+    assert!(parse_program("", None).is_err());
+    assert!(parse_program("func f:\nentry:\n    bogus r1\n    halt\n", None).is_err());
+    assert!(parse_program("func f:\nentry:\n    beq r1, r2, nowhere\n    halt\n", None).is_err());
+    assert!(parse_program("func f:\nentry:\n    li r99, 0\n    halt\n", None).is_err());
+    // Error carries the line number.
+    let e = parse_program("func f:\nentry:\n    halt\n    badop\n", None).unwrap_err();
+    assert_eq!(e.line, 4);
+}
+
+#[test]
+fn parse_comments_and_blank_lines() {
+    let src = "
+# leading comment
+func f:
+entry:   # block comment
+    li r1, 3   # trailing
+    halt
+";
+    let prog = parse_program(src, None).expect("parse");
+    assert_eq!(prog.funcs[0].blocks[0].insns.len(), 2);
+}
+
+#[test]
+fn validate_rejects_midblock_control() {
+    let mut prog = figure1a();
+    // Inject a jump in the middle of block 1.
+    prog.funcs[0].blocks[1]
+        .insns
+        .insert(0, Instruction::new(Opcode::Jump { target: BlockId(3) }));
+    assert!(!validate(&prog).is_empty());
+}
+
+#[test]
+fn validate_rejects_out_of_range_target() {
+    let mut prog = figure1a();
+    if let Opcode::Branch { target, .. } = &mut prog.funcs[0].blocks[0].insns[0].op {
+        *target = BlockId(99);
+    }
+    assert!(!validate(&prog).is_empty());
+}
+
+#[test]
+fn validate_rejects_fallthrough_off_end() {
+    let mut fb = FuncBuilder::new("f");
+    fb.block("entry");
+    fb.li(r(1), 0);
+    let prog = single_func_program(fb);
+    assert!(!validate(&prog).is_empty());
+}
+
+#[test]
+fn validate_allows_guard_on_cond_branch_but_not_jump() {
+    // Conditional branches may be predicated (predicated branch
+    // instructions); unconditional jumps may not.
+    let mut prog = figure1a();
+    prog.funcs[0].blocks[0].insns[0].guard = Some(Guard::if_true(p(0)));
+    assert!(validate(&prog).is_empty());
+    let mut prog2 = figure1a();
+    // Block 1 (`fall`) ends in `j L2`.
+    let last = prog2.funcs[0].blocks[1].insns.len() - 1;
+    prog2.funcs[0].blocks[1].insns[last].guard = Some(Guard::if_true(p(0)));
+    assert!(!validate(&prog2).is_empty());
+}
+
+#[test]
+fn unreachable_block_detection() {
+    let mut fb = FuncBuilder::new("f");
+    fb.block("entry");
+    fb.jump("end");
+    fb.block("island");
+    fb.li(r(1), 1);
+    fb.block("end");
+    fb.halt();
+    let prog = single_func_program(fb);
+    // `island` is unreachable but falls through to `end` (valid otherwise).
+    assert_eq!(unreachable_blocks(&prog, 0), vec![BlockId(1)]);
+}
+
+#[test]
+fn program_builder_resolves_cross_function_calls() {
+    let mut pb = ProgramBuilder::new();
+    let mut main = FuncBuilder::new("main");
+    main.block("entry");
+    main.call("helper");
+    main.block("after");
+    main.halt();
+    let mut helper = FuncBuilder::new("helper");
+    helper.block("entry");
+    helper.addi(r(1), r(1), 1);
+    helper.ret();
+    pb.add_func(main);
+    pb.add_func(helper);
+    let prog = pb.finish("main");
+    assert_valid(&prog);
+    match prog.funcs[0].blocks[0].insns[0].op {
+        Opcode::Call { func } => assert_eq!(func, FuncId(1)),
+        _ => panic!("expected call"),
+    }
+}
+
+#[test]
+fn pcs_are_unique_and_word_aligned() {
+    let prog = figure1a();
+    let pcs = prog.assign_pcs();
+    let mut seen = std::collections::HashSet::new();
+    for (fid, f) in prog.iter_funcs() {
+        for (bid, b) in f.iter_blocks() {
+            for idx in 0..b.insns.len() {
+                let pc = pcs.pc(InsnRef { func: fid, block: bid, idx: idx as u32 });
+                assert_eq!(pc % 4, 0);
+                assert!(seen.insert(pc), "duplicate pc {pc:#x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn backward_branch_classification() {
+    // Backward branch: target at or before the branch block.
+    let i = Instruction::new(Opcode::Branch {
+        cond: BranchCond::Ne(r(5), r(6)),
+        target: BlockId(0),
+        likely: false,
+    });
+    assert_eq!(is_backward_branch(BlockId(4), &i), Some(true));
+    let fwd = Instruction::new(Opcode::Branch {
+        cond: BranchCond::Ne(r(5), r(6)),
+        target: BlockId(9),
+        likely: false,
+    });
+    assert_eq!(is_backward_branch(BlockId(4), &fwd), Some(false));
+    let nop = Instruction::new(Opcode::Nop);
+    assert_eq!(is_backward_branch(BlockId(4), &nop), None);
+}
+
+#[test]
+fn fresh_label_avoids_collisions() {
+    let prog = figure1a();
+    let l = prog.funcs[0].fresh_label("L");
+    assert!(prog.funcs[0].block_by_label(&l).is_none());
+}
+
+#[test]
+fn reg_dense_indices_are_unique() {
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..NUM_INT_REGS {
+        assert!(seen.insert(Reg::Int(IntReg(i)).dense_index()));
+    }
+    for i in 0..NUM_FLT_REGS {
+        assert!(seen.insert(Reg::Flt(FltReg(i)).dense_index()));
+    }
+    for i in 0..NUM_PRED_REGS {
+        assert!(seen.insert(Reg::Pred(PredReg(i)).dense_index()));
+    }
+    assert!(seen.iter().all(|&i| i < Reg::DENSE_COUNT));
+}

@@ -1,0 +1,154 @@
+//! Structural validation of programs.
+//!
+//! Checks invariants every pass must preserve:
+//!
+//! * control-flow instructions only as the last instruction of a block,
+//! * branch/jump/jtab targets inside the owning function,
+//! * call targets inside the program,
+//! * register names in range,
+//! * guards only on guardable instructions,
+//! * the program entry function exists and ends reachably in `halt`,
+//! * data preloads inside the declared memory size.
+
+use crate::insn::Opcode;
+use crate::program::{BlockId, Program};
+use std::fmt;
+
+/// A single validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    pub func: String,
+    pub block: String,
+    pub insn: Option<usize>,
+    pub msg: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.insn {
+            Some(i) => write!(f, "{}/{} insn {}: {}", self.func, self.block, i, self.msg),
+            None => write!(f, "{}/{}: {}", self.func, self.block, self.msg),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate the whole program; returns all failures found.
+pub fn validate(prog: &Program) -> Vec<ValidateError> {
+    let mut errs = Vec::new();
+    if prog.entry.index() >= prog.funcs.len() {
+        errs.push(ValidateError {
+            func: format!("@{}", prog.entry.0),
+            block: String::new(),
+            insn: None,
+            msg: "entry function out of range".into(),
+        });
+        return errs;
+    }
+    for f in &prog.funcs {
+        let nblocks = f.blocks.len() as u32;
+        if f.blocks.is_empty() {
+            errs.push(ValidateError {
+                func: f.name.clone(),
+                block: String::new(),
+                insn: None,
+                msg: "function has no blocks".into(),
+            });
+            continue;
+        }
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let e = |insn: Option<usize>, msg: String| ValidateError {
+                func: f.name.clone(),
+                block: b.label.clone(),
+                insn,
+                msg,
+            };
+            for (ii, insn) in b.insns.iter().enumerate() {
+                let last = ii + 1 == b.insns.len();
+                if insn.is_control() && !last {
+                    errs.push(e(Some(ii), "control instruction not at end of block".into()));
+                }
+                if insn.guard.is_some() && !insn.can_guard() {
+                    errs.push(e(Some(ii), "guard on non-guardable instruction".into()));
+                }
+                for t in insn.targets() {
+                    if t.0 >= nblocks {
+                        errs.push(e(Some(ii), format!("target @{} out of range", t.0)));
+                    }
+                }
+                if let Opcode::Jtab { table, .. } = &insn.op {
+                    if table.is_empty() {
+                        errs.push(e(Some(ii), "empty jump table".into()));
+                    }
+                }
+                if let Opcode::Call { func } = insn.op {
+                    if func.index() >= prog.funcs.len() {
+                        errs.push(e(Some(ii), format!("call to @{} out of range", func.0)));
+                    }
+                }
+                if let Some(def) = insn.def() {
+                    if !def.in_range() {
+                        errs.push(e(Some(ii), format!("def register {def} out of range")));
+                    }
+                }
+                for u in insn.uses() {
+                    if !u.in_range() {
+                        errs.push(e(Some(ii), format!("use register {u} out of range")));
+                    }
+                }
+            }
+            // The final block of a function must not fall off the end.
+            let last_block = bi + 1 == f.blocks.len();
+            if last_block && b.falls_through() {
+                errs.push(e(None, "last block falls through past end of function".into()));
+            }
+        }
+    }
+    for (addr, _) in &prog.data {
+        if *addr >= prog.mem_words {
+            errs.push(ValidateError {
+                func: String::new(),
+                block: String::new(),
+                insn: None,
+                msg: format!("data preload at {addr} outside memory of {} words", prog.mem_words),
+            });
+        }
+    }
+    errs
+}
+
+/// Panic with a readable report if the program is invalid.  Transform tests
+/// call this after every pass.
+pub fn assert_valid(prog: &Program) {
+    let errs = validate(prog);
+    if !errs.is_empty() {
+        let mut s = String::from("program failed validation:\n");
+        for e in &errs {
+            s.push_str(&format!("  - {e}\n"));
+        }
+        panic!("{s}");
+    }
+}
+
+/// Check whether every block of function `fidx` is reachable from its entry;
+/// returns the unreachable block ids (transforms may legitimately create
+/// these; the cleanup pass removes them).
+pub fn unreachable_blocks(prog: &Program, fidx: usize) -> Vec<BlockId> {
+    let f = &prog.funcs[fidx];
+    let n = f.blocks.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![BlockId(0)];
+    while let Some(b) = stack.pop() {
+        if seen[b.index()] {
+            continue;
+        }
+        seen[b.index()] = true;
+        for s in f.successors(b) {
+            if !seen[s.index()] {
+                stack.push(s);
+            }
+        }
+    }
+    (0..n).filter(|i| !seen[*i]).map(|i| BlockId(i as u32)).collect()
+}

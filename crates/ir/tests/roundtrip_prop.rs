@@ -1,0 +1,113 @@
+//! Property test: arbitrary valid programs print and reparse to themselves.
+
+use guardspec_ir::builder::*;
+use guardspec_ir::insn::AluKind;
+use guardspec_ir::parse::parse_program;
+use guardspec_ir::reg::{f, p, r};
+use guardspec_ir::validate::validate;
+use guardspec_ir::SetCond;
+use proptest::prelude::*;
+
+/// One straight-line instruction chosen from a parameter tuple.
+fn emit(fb: &mut FuncBuilder, which: u8, a: u8, b: u8, imm: i64) {
+    let (ra, rb, rd) = (r(1 + a % 20), r(1 + b % 20), r(22 + (a ^ b) % 8));
+    match which % 14 {
+        0 => {
+            fb.add(rd, ra, rb);
+        }
+        1 => {
+            fb.subi(rd, ra, imm);
+        }
+        2 => {
+            fb.li(rd, imm);
+        }
+        3 => {
+            fb.mov(rd, ra);
+        }
+        4 => {
+            fb.sll(rd, ra, (b % 31) as u8);
+        }
+        5 => {
+            fb.lw(rd, ra, imm.rem_euclid(64));
+        }
+        6 => {
+            fb.sw(ra, rb, imm.rem_euclid(64));
+        }
+        7 => {
+            fb.setpi(SetCond::Lt, p(a % 16), ra, imm);
+        }
+        8 => {
+            fb.pand(p(a % 16), p(b % 16), p(a.wrapping_add(b) % 16));
+        }
+        9 => {
+            fb.cmov(rd, ra, p(b % 16), a % 2 == 0);
+        }
+        10 => {
+            fb.fadd(f(a % 30), f(b % 30), f(a.wrapping_add(b) % 30));
+        }
+        11 => {
+            fb.itof(f(a % 30), ra);
+        }
+        12 => {
+            fb.alui(AluKind::Xor, rd, ra, imm);
+        }
+        _ => {
+            fb.nop();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_roundtrip(
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>(), -4096i64..4096), 1..40),
+        with_branch in any::<bool>(),
+    ) {
+        let mut fb = FuncBuilder::new("prop");
+        fb.block("entry");
+        for (w, a, b, imm) in &ops {
+            emit(&mut fb, *w, *a, *b, *imm);
+        }
+        if with_branch {
+            fb.beq(r(1), r(2), "tail");
+            fb.block("mid");
+            fb.addi(r(3), r(3), 1);
+        }
+        fb.block("tail");
+        fb.halt();
+        let prog = single_func_program(fb);
+        prop_assert!(validate(&prog).is_empty());
+        let text = format!("{prog}");
+        let back = parse_program(&text, None).expect("reparse");
+        prop_assert_eq!(back.funcs, prog.funcs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_encode_decode_roundtrip(
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>(), -4096i64..4096), 1..40),
+        data in prop::collection::vec((0u64..1024, any::<i64>()), 0..8),
+    ) {
+        let mut fb = FuncBuilder::new("bin");
+        fb.block("entry");
+        for (w, a, b, imm) in &ops {
+            emit(&mut fb, *w, *a, *b, *imm);
+        }
+        fb.block("tail");
+        fb.halt();
+        let mut pb = ProgramBuilder::new();
+        for (addr, v) in &data {
+            pb.data_word(*addr, *v);
+        }
+        pb.add_func(fb);
+        let prog = pb.finish("bin");
+        let words = guardspec_ir::encode::encode_program(&prog);
+        let back = guardspec_ir::encode::decode_program(&words).expect("decode");
+        prop_assert_eq!(back, prog);
+    }
+}

@@ -1,0 +1,121 @@
+//! Branch target buffer.
+//!
+//! A direct-mapped, tagged cache of branch-site PC → taken-target PC.  Only
+//! branches with absolute targets (ordinary conditional branches) are
+//! inserted; branch-likelies, calls, returns and register-relative jumps
+//! never get an entry — the limitation Section 6 calls out.  A predicted-
+//! taken branch that *misses* in the BTB costs a decode-redirect bubble; a
+//! hit redirects fetch with no bubble.
+
+/// Direct-mapped tagged BTB.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    /// `(tag, target)` per set; tag = full PC for exactness.
+    entries: Vec<Option<(u64, u64)>>,
+    mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Btb {
+    /// `sets` must be a power of two.
+    pub fn new(sets: usize) -> Btb {
+        assert!(sets.is_power_of_two(), "BTB sets must be a power of two");
+        Btb { entries: vec![None; sets], mask: sets as u64 - 1, hits: 0, misses: 0 }
+    }
+
+    /// Small default so capacity/conflict effects are visible on synthetic
+    /// workloads (the paper only says the BTB "is limited in size").
+    pub fn paper_default() -> Btb {
+        Btb::new(64)
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Look up the predicted target for the branch at `pc`, recording
+    /// hit/miss statistics.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        let i = self.index(pc);
+        match self.entries[i] {
+            Some((tag, target)) if tag == pc => {
+                self.hits += 1;
+                Some(target)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Install/refresh the entry for a taken branch with an absolute target.
+    pub fn install(&mut self, pc: u64, target: u64) {
+        let i = self.index(pc);
+        self.entries[i] = Some((pc, target));
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all lookups so far.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of live entries (for pressure diagnostics: if-conversion
+    /// "reduces the number of entries in the branch target buffer").
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(8);
+        assert_eq!(btb.lookup(0x1000), None);
+        btb.install(0x1000, 0x2000);
+        assert_eq!(btb.lookup(0x1000), Some(0x2000));
+        assert_eq!(btb.hits(), 1);
+        assert_eq!(btb.misses(), 1);
+        assert!((btb.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflicting_pcs_evict() {
+        let mut btb = Btb::new(4);
+        // Same set, different tags (16 bytes apart in a 4-set BTB).
+        let (a, b) = (0x1000u64, 0x1000 + 4 * 4);
+        btb.install(a, 0x2000);
+        btb.install(b, 0x3000);
+        assert_eq!(btb.lookup(a), None, "evicted by conflicting install");
+        assert_eq!(btb.lookup(b), Some(0x3000));
+    }
+
+    #[test]
+    fn occupancy_counts_live_entries() {
+        let mut btb = Btb::new(8);
+        assert_eq!(btb.occupancy(), 0);
+        btb.install(0x1000, 0x2000);
+        btb.install(0x1004, 0x2000);
+        assert_eq!(btb.occupancy(), 2);
+        // Reinstall same pc: no growth.
+        btb.install(0x1000, 0x2400);
+        assert_eq!(btb.occupancy(), 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Extension predictors beyond the paper's 2-bit table, for the design
+//! sweeps: a 1-bit last-outcome table (the obvious cheaper baseline) and a
+//! gshare global-history predictor (the obvious later improvement).  Both
+//! expose the same replay API as the 2-bit table so the harness can sweep
+//! predictor families.
+
+/// Direct-mapped 1-bit last-outcome predictor.
+#[derive(Clone, Debug)]
+pub struct OneBitTable {
+    bits: Vec<bool>,
+    mask: u64,
+}
+
+impl OneBitTable {
+    pub fn new(entries: usize) -> OneBitTable {
+        assert!(entries.is_power_of_two());
+        OneBitTable { bits: vec![false; entries], mask: entries as u64 - 1 }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    pub fn predict(&self, pc: u64) -> bool {
+        self.bits[self.index(pc)]
+    }
+
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.bits[i] = taken;
+    }
+
+    pub fn access(&mut self, pc: u64, taken: bool) -> bool {
+        let p = self.predict(pc);
+        self.update(pc, taken);
+        p == taken
+    }
+}
+
+/// gshare: 2-bit counters indexed by `pc ^ global_history`.
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    counters: Vec<u8>,
+    mask: u64,
+    history: u64,
+    history_bits: u32,
+}
+
+impl Gshare {
+    pub fn new(entries: usize, history_bits: u32) -> Gshare {
+        assert!(entries.is_power_of_two());
+        Gshare {
+            counters: vec![1; entries],
+            mask: entries as u64 - 1,
+            history: 0,
+            history_bits,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & self.mask) as usize
+    }
+
+    pub fn predict(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        let c = &mut self.counters[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = ((self.history << 1) | taken as u64) & ((1 << self.history_bits) - 1);
+    }
+
+    pub fn access(&mut self, pc: u64, taken: bool) -> bool {
+        let p = self.predict(pc);
+        self.update(pc, taken);
+        p == taken
+    }
+}
+
+/// Replay accuracy helpers mirroring [`crate::measure_twobit_accuracy`].
+pub fn measure_onebit_accuracy(
+    entries: usize,
+    outcomes: impl IntoIterator<Item = (u64, bool)>,
+) -> f64 {
+    let mut t = OneBitTable::new(entries);
+    let (mut total, mut correct) = (0u64, 0u64);
+    for (pc, taken) in outcomes {
+        total += 1;
+        correct += t.access(pc, taken) as u64;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+pub fn measure_gshare_accuracy(
+    entries: usize,
+    history_bits: u32,
+    outcomes: impl IntoIterator<Item = (u64, bool)>,
+) -> f64 {
+    let mut t = Gshare::new(entries, history_bits);
+    let (mut total, mut correct) = (0u64, 0u64);
+    for (pc, taken) in outcomes {
+        total += 1;
+        correct += t.access(pc, taken) as u64;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure_twobit_accuracy;
+
+    #[test]
+    fn onebit_flips_immediately() {
+        let mut t = OneBitTable::new(8);
+        assert!(!t.predict(0x1000));
+        t.update(0x1000, true);
+        assert!(t.predict(0x1000));
+        t.update(0x1000, false);
+        assert!(!t.predict(0x1000));
+    }
+
+    #[test]
+    fn twobit_beats_onebit_on_biased_with_glitches() {
+        // T T T F T T T F ... : 1-bit mispredicts twice per glitch,
+        // 2-bit once.
+        let outcomes: Vec<(u64, bool)> = (0..4000).map(|i| (0x40u64, i % 4 != 3)).collect();
+        let one = measure_onebit_accuracy(512, outcomes.iter().copied());
+        let two = measure_twobit_accuracy(512, outcomes.iter().copied());
+        assert!(two > one, "two-bit {two} vs one-bit {one}");
+    }
+
+    #[test]
+    fn gshare_learns_alternation_that_defeats_twobit() {
+        let outcomes: Vec<(u64, bool)> = (0..4000).map(|i| (0x40u64, i % 2 == 0)).collect();
+        let two = measure_twobit_accuracy(512, outcomes.iter().copied());
+        let gs = measure_gshare_accuracy(512, 8, outcomes.iter().copied());
+        assert!(two < 0.6, "2-bit fails on TFTF: {two}");
+        assert!(gs > 0.95, "gshare learns TFTF: {gs}");
+    }
+
+    #[test]
+    fn gshare_history_masked() {
+        let mut g = Gshare::new(16, 4);
+        for i in 0..100 {
+            g.update(0x1000, i % 2 == 0);
+        }
+        assert!(g.history < 16);
+    }
+}

@@ -1,0 +1,136 @@
+//! # guardspec-predict
+//!
+//! Branch-prediction mechanisms of the R10000-like machine model:
+//!
+//! * [`TwoBitTable`] — the 512-entry, 2-bit saturating-counter branch
+//!   history table ("maintains the four different states — strongly taken,
+//!   strongly not-taken, weakly taken, weakly not-taken — of the previous
+//!   branch outcomes", Section 6),
+//! * [`Btb`] — a tagged branch target buffer that "can only store the
+//!   history information for branch instructions whose target addresses
+//!   have absolute value"; subroutine calls, returns and register-relative
+//!   jumps are never entered,
+//! * [`BranchKind`] — the taxonomy that decides which mechanism applies,
+//! * [`Scheme`] — the three evaluation schemes of Tables 3/4 (2-bit,
+//!   proposed-on-top-of-2-bit, perfect),
+//! * [`measure_twobit_accuracy`] — replays an outcome stream through a
+//!   fresh table (the Table 1 "correctly predicted branches" column).
+
+pub mod btb;
+pub mod gshare;
+pub mod twobit;
+
+pub use btb::Btb;
+pub use gshare::{measure_gshare_accuracy, measure_onebit_accuracy, Gshare, OneBitTable};
+pub use twobit::{measure_twobit_accuracy, TwoBitState, TwoBitTable};
+
+/// Classification of control-transfer instructions for prediction purposes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BranchKind {
+    /// Ordinary conditional branch with an absolute target: predicted by the
+    /// BHT, target cacheable in the BTB.
+    CondDirect,
+    /// Branch-likely: statically predicted taken; "they don't have a
+    /// specific history counter or an entry in the branch target buffer".
+    CondLikely,
+    /// Unconditional direct jump: always taken, absolute target — eligible
+    /// for the BTB like any other absolute-target branch.
+    DirectJump,
+    /// Subroutine call: absolute target but, per Section 6, never entered
+    /// in the BTB; costs a decode redirect.
+    Call,
+    /// Register-relative jump (`jtab`) or return: target unknown until the
+    /// instruction executes; never predictable except under [`Scheme::Perfect`].
+    Indirect,
+}
+
+impl BranchKind {
+    /// Classify an IR instruction (non-control instructions return `None`).
+    pub fn of(insn: &guardspec_ir::Instruction) -> Option<BranchKind> {
+        use guardspec_ir::Opcode::*;
+        Some(match &insn.op {
+            Branch { likely: false, .. } => BranchKind::CondDirect,
+            Branch { likely: true, .. } => BranchKind::CondLikely,
+            Jump { .. } => BranchKind::DirectJump,
+            Call { .. } => BranchKind::Call,
+            Jtab { .. } | Ret => BranchKind::Indirect,
+            Halt => BranchKind::Call,
+            _ => return None,
+        })
+    }
+}
+
+/// The three schemes evaluated in Tables 3 and 4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scheme {
+    /// Baseline: hardware 2-bit prediction only, original code.
+    TwoBit,
+    /// The paper's proposal: same 2-bit hardware, code transformed with
+    /// branch-likelies / guarded execution / split branches.
+    /// (Hardware-wise identical to [`Scheme::TwoBit`]; the difference is in
+    /// the program fed to the simulator.)
+    Proposed,
+    /// Oracle: every control transfer, of every kind, predicted correctly.
+    Perfect,
+}
+
+impl Scheme {
+    pub const ALL: [Scheme; 3] = [Scheme::TwoBit, Scheme::Proposed, Scheme::Perfect];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::TwoBit => "2-bit BP",
+            Scheme::Proposed => "Proposed",
+            Scheme::Perfect => "Perfect BP",
+        }
+    }
+
+    pub fn is_perfect(self) -> bool {
+        matches!(self, Scheme::Perfect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_ir::reg::r;
+    use guardspec_ir::{BlockId, Instruction, Opcode};
+
+    #[test]
+    fn kind_classification() {
+        let f = [
+            Instruction::new(Opcode::Branch {
+                cond: guardspec_ir::BranchCond::Eq(r(1), r(2)),
+                target: BlockId(0),
+                likely: false,
+            }),
+            Instruction::new(Opcode::Branch {
+                cond: guardspec_ir::BranchCond::Eq(r(1), r(2)),
+                target: BlockId(0),
+                likely: true,
+            }),
+            Instruction::new(Opcode::Jump { target: BlockId(0) }),
+            Instruction::new(Opcode::Jtab { index: r(1), table: vec![BlockId(0)] }),
+            Instruction::new(Opcode::Ret),
+            Instruction::new(Opcode::Nop),
+        ];
+        assert_eq!(BranchKind::of(&f[0]), Some(BranchKind::CondDirect));
+        assert_eq!(BranchKind::of(&f[1]), Some(BranchKind::CondLikely));
+        assert_eq!(BranchKind::of(&f[2]), Some(BranchKind::DirectJump));
+        assert_eq!(
+            BranchKind::of(&Instruction::new(Opcode::Ret)),
+            Some(BranchKind::Indirect)
+        );
+        assert_eq!(BranchKind::of(&f[3]), Some(BranchKind::Indirect));
+        assert_eq!(BranchKind::of(&f[4]), Some(BranchKind::Indirect));
+        assert_eq!(BranchKind::of(&f[5]), None);
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(Scheme::TwoBit.label(), "2-bit BP");
+        assert!(Scheme::Perfect.is_perfect());
+        assert!(!Scheme::Proposed.is_perfect());
+        assert_eq!(Scheme::ALL.len(), 3);
+    }
+}

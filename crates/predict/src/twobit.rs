@@ -1,0 +1,172 @@
+//! 512-entry, 2-bit saturating-counter branch history table.
+
+/// The four counter states of Section 6.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TwoBitState {
+    StronglyNotTaken,
+    WeaklyNotTaken,
+    WeaklyTaken,
+    StronglyTaken,
+}
+
+impl TwoBitState {
+    fn from_counter(c: u8) -> TwoBitState {
+        match c {
+            0 => TwoBitState::StronglyNotTaken,
+            1 => TwoBitState::WeaklyNotTaken,
+            2 => TwoBitState::WeaklyTaken,
+            _ => TwoBitState::StronglyTaken,
+        }
+    }
+}
+
+/// Direct-mapped table of 2-bit saturating counters, indexed by PC word
+/// address.  Default geometry is the paper's 512 entries.
+///
+/// ```
+/// use guardspec_predict::TwoBitTable;
+/// let mut t = TwoBitTable::paper_default();
+/// t.update(0x1000, true);
+/// t.update(0x1000, true);
+/// assert!(t.predict(0x1000));
+/// t.update(0x1000, false); // hysteresis: one miss doesn't flip it
+/// assert!(t.predict(0x1000));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TwoBitTable {
+    counters: Vec<u8>,
+    mask: u64,
+}
+
+impl TwoBitTable {
+    /// `entries` must be a power of two.
+    pub fn new(entries: usize) -> TwoBitTable {
+        assert!(entries.is_power_of_two(), "BHT entries must be a power of two");
+        // Initial state: weakly not-taken.
+        TwoBitTable { counters: vec![1; entries], mask: entries as u64 - 1 }
+    }
+
+    /// The paper's configuration: 512 entries.
+    pub fn paper_default() -> TwoBitTable {
+        TwoBitTable::new(512)
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Predicted direction for the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Current counter state (for tests and introspection).
+    pub fn state(&self, pc: u64) -> TwoBitState {
+        TwoBitState::from_counter(self.counters[self.index(pc)])
+    }
+
+    /// Train the counter with the actual outcome.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        let c = &mut self.counters[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Predict-then-update in one step; returns whether the prediction was
+    /// correct.
+    pub fn access(&mut self, pc: u64, taken: bool) -> bool {
+        let pred = self.predict(pc);
+        self.update(pc, taken);
+        pred == taken
+    }
+}
+
+/// Replay `(pc, taken)` outcomes through a fresh table and return the
+/// fraction predicted correctly — the Table 1 accuracy column.
+pub fn measure_twobit_accuracy(
+    entries: usize,
+    outcomes: impl IntoIterator<Item = (u64, bool)>,
+) -> f64 {
+    let mut t = TwoBitTable::new(entries);
+    let (mut total, mut correct) = (0u64, 0u64);
+    for (pc, taken) in outcomes {
+        total += 1;
+        correct += t.access(pc, taken) as u64;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_and_states() {
+        let mut t = TwoBitTable::new(4);
+        let pc = 0x1000;
+        assert_eq!(t.state(pc), TwoBitState::WeaklyNotTaken);
+        assert!(!t.predict(pc));
+        t.update(pc, true);
+        assert_eq!(t.state(pc), TwoBitState::WeaklyTaken);
+        assert!(t.predict(pc));
+        t.update(pc, true);
+        t.update(pc, true);
+        t.update(pc, true);
+        assert_eq!(t.state(pc), TwoBitState::StronglyTaken);
+        t.update(pc, false);
+        assert_eq!(t.state(pc), TwoBitState::WeaklyTaken);
+        assert!(t.predict(pc), "2-bit hysteresis survives one not-taken");
+        t.update(pc, false);
+        t.update(pc, false);
+        t.update(pc, false);
+        assert_eq!(t.state(pc), TwoBitState::StronglyNotTaken);
+    }
+
+    #[test]
+    fn aliasing_between_far_pcs() {
+        let mut t = TwoBitTable::new(4);
+        // Entries 4 apart in word index alias in a 4-entry table.
+        let (a, b) = (0x1000u64, 0x1000 + 4 * 4);
+        t.update(a, true);
+        t.update(a, true);
+        assert!(t.predict(b), "aliased entry shares state");
+    }
+
+    #[test]
+    fn biased_branch_predicts_well() {
+        // 95% taken branch: accuracy should approach 95%.
+        let outcomes = (0..1000).map(|i| (0x2000u64, i % 20 != 0));
+        let acc = measure_twobit_accuracy(512, outcomes);
+        assert!(acc > 0.89, "accuracy {acc}");
+    }
+
+    #[test]
+    fn alternating_branch_defeats_two_bit() {
+        // TFTFTF...: the classic 2-bit pathological case.
+        let outcomes = (0..1000).map(|i| (0x2000u64, i % 2 == 0));
+        let acc = measure_twobit_accuracy(512, outcomes);
+        assert!(acc < 0.6, "accuracy {acc}");
+    }
+
+    #[test]
+    fn phased_branch_mispredicts_only_at_boundaries() {
+        // 50 taken then 50 not-taken: 2-bit mispredicts ~ twice per phase
+        // change plus warmup.
+        let outcomes = (0..100).map(|i| (0x2000u64, i < 50));
+        let acc = measure_twobit_accuracy(512, outcomes);
+        assert!(acc >= 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn empty_stream_zero_accuracy() {
+        assert_eq!(measure_twobit_accuracy(512, std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Set-associative cache model with LRU replacement.
+
+/// A set-associative cache tracking hit/miss only (no data).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    /// `sets × ways` tags; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU order per set: lower = more recently used (per-way ranks).
+    lru: Vec<u8>,
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// `total_bytes` / `line_bytes` / `ways` must all be powers of two with
+    /// `total_bytes >= line_bytes * ways`.
+    pub fn new(total_bytes: usize, line_bytes: usize, ways: usize) -> Cache {
+        assert!(total_bytes.is_power_of_two() && line_bytes.is_power_of_two());
+        assert!(ways >= 1 && total_bytes >= line_bytes * ways);
+        let sets = total_bytes / (line_bytes * ways);
+        Cache {
+            tags: vec![u64::MAX; sets * ways],
+            lru: (0..sets * ways).map(|i| (i % ways) as u8).collect(),
+            sets,
+            ways,
+            line_shift: line_bytes.trailing_zeros(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Probe (and on miss, fill) the line containing `byte_addr`.
+    /// Returns true on hit.
+    pub fn access(&mut self, byte_addr: u64) -> bool {
+        let line = byte_addr >> self.line_shift;
+        let set = (line as usize) & (self.sets - 1);
+        let base = set * self.ways;
+        let slot = (0..self.ways).find(|w| self.tags[base + w] == line);
+        match slot {
+            Some(w) => {
+                self.touch(base, w);
+                self.hits += 1;
+                true
+            }
+            None => {
+                // Evict the LRU way (highest rank).
+                let victim = (0..self.ways)
+                    .max_by_key(|w| self.lru[base + w])
+                    .expect("ways >= 1");
+                self.tags[base + victim] = line;
+                self.touch(base, victim);
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    fn touch(&mut self, base: usize, way: usize) {
+        let old = self.lru[base + way];
+        for w in 0..self.ways {
+            if self.lru[base + w] < old {
+                self.lru[base + w] += 1;
+            }
+        }
+        self.lru[base + way] = 0;
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_access_hits_within_line() {
+        let mut c = Cache::new(1024, 32, 2);
+        assert!(!c.access(0)); // cold miss
+        for b in 1..32 {
+            assert!(c.access(b), "byte {b} same line");
+        }
+        assert!(!c.access(32)); // next line
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2 ways, 1 set: total = line * ways.
+        let mut c = Cache::new(64, 32, 2);
+        assert!(!c.access(0)); // A
+        assert!(!c.access(32)); // B
+        assert!(c.access(0)); // A hit, B is LRU
+        assert!(!c.access(64)); // C evicts B
+        assert!(c.access(0)); // A still resident
+        assert!(!c.access(32)); // B was evicted
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = Cache::new(256, 32, 1); // 8 lines direct-mapped
+        // 16 lines round-robin: every access misses after the first pass.
+        for pass in 0..3 {
+            for line in 0..16u64 {
+                let hit = c.access(line * 32 * 8); // all map to set 0
+                if pass > 0 {
+                    assert!(!hit);
+                }
+            }
+        }
+        assert!(c.hit_rate() < 0.01);
+    }
+
+    #[test]
+    fn hit_rate_accounting() {
+        let mut c = Cache::new(1024, 32, 2);
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 2);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

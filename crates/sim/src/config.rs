@@ -1,0 +1,213 @@
+//! Machine configuration: widths, queue sizes, functional units, latencies.
+
+use guardspec_ir::FuClass;
+
+/// Operation latencies — exactly Table 2 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Latencies {
+    pub alu: u64,
+    pub ldst: u64,
+    pub sft: u64,
+    pub fp_add: u64,
+    pub fp_mul: u64,
+    pub fp_div: u64,
+    pub cache_miss_penalty: u64,
+}
+
+impl Latencies {
+    /// Table 2: alu 1, ld/st 2, sft 1, fp add 3, fp mul 3, fp div 3,
+    /// cache miss penalty 6.
+    pub fn table2() -> Latencies {
+        Latencies { alu: 1, ldst: 2, sft: 1, fp_add: 3, fp_mul: 3, fp_div: 3, cache_miss_penalty: 6 }
+    }
+
+    /// Execution latency for a functional-unit class (before cache effects).
+    pub fn for_class(&self, c: FuClass) -> u64 {
+        match c {
+            FuClass::Alu => self.alu,
+            FuClass::Shift => self.sft,
+            FuClass::LoadStore => self.ldst,
+            FuClass::Branch => 1,
+            FuClass::FpAdd => self.fp_add,
+            FuClass::FpMul => self.fp_mul,
+            FuClass::FpDiv => self.fp_div,
+            FuClass::Nop => 1,
+        }
+    }
+}
+
+/// Which reservation-station queue an instruction dispatches to.
+/// These are the sub-columns of Table 3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum QueueKind {
+    /// Branch reservation buffer (BR column).
+    Branch,
+    /// Address queue feeding the load/store unit (LDST column).
+    LoadStore,
+    /// Integer queue feeding the ALUs and shifter (ALU column).
+    Integer,
+    /// FP queue feeding the three FP pipes.
+    Fp,
+}
+
+impl QueueKind {
+    pub const ALL: [QueueKind; 4] =
+        [QueueKind::Branch, QueueKind::LoadStore, QueueKind::Integer, QueueKind::Fp];
+
+    /// Queue an instruction class dispatches to.
+    pub fn for_class(c: FuClass) -> QueueKind {
+        match c {
+            FuClass::Branch => QueueKind::Branch,
+            FuClass::LoadStore => QueueKind::LoadStore,
+            FuClass::Alu | FuClass::Shift | FuClass::Nop => QueueKind::Integer,
+            FuClass::FpAdd | FuClass::FpMul | FuClass::FpDiv => QueueKind::Fp,
+        }
+    }
+
+    pub fn index(self) -> usize {
+        QueueKind::ALL.iter().position(|q| *q == self).unwrap()
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueKind::Branch => "BR",
+            QueueKind::LoadStore => "LDST",
+            QueueKind::Integer => "ALU",
+            QueueKind::Fp => "FP",
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Instructions fetched/dispatched per cycle ("in-order fetch and
+    /// dispatch of up to four instructions per cycle").
+    pub fetch_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Active-list (reorder buffer) entries.
+    pub rob_size: usize,
+    /// Reservation-station capacities, indexed by [`QueueKind::index`].
+    pub queue_size: [usize; 4],
+    /// Functional-unit counts per class: 2 ALUs, 1 shifter, 1 load/store,
+    /// 1 branch, 1 each of the FP pipes.
+    pub fu_count: [usize; 8],
+    /// Maximum unresolved conditional branches in flight (the R10000 keeps
+    /// four shadow register maps).
+    pub max_inflight_branches: usize,
+    /// Extra cycles after a mispredicted branch resolves before fetch
+    /// restarts (map restore).
+    pub mispredict_recovery: u64,
+    /// Front-end depth: cycles between fetch and earliest issue (the
+    /// R10000 decodes/renames/dispatches over multiple stages).  Deepens
+    /// the effective misprediction penalty.
+    pub frontend_depth: u64,
+    pub latencies: Latencies,
+    /// Branch history table entries (power of two).
+    pub bht_entries: usize,
+    /// BTB sets (power of two).
+    pub btb_sets: usize,
+    /// Instruction cache: (total bytes, line bytes, ways).
+    pub icache: (usize, usize, usize),
+    /// Data cache: (total bytes, line bytes, ways).
+    pub dcache: (usize, usize, usize),
+}
+
+impl MachineConfig {
+    /// The R10000-like configuration of Section 6.
+    pub fn r10000() -> MachineConfig {
+        MachineConfig {
+            fetch_width: 4,
+            commit_width: 4,
+            rob_size: 32,
+            // BR queue = the R10000's 4-entry branch stack; 16-entry
+            // address, integer and FP queues.
+            queue_size: [4, 16, 16, 16],
+            fu_count: fu_counts(2, 1, 1, 1, 1, 1, 1),
+            max_inflight_branches: 4,
+            mispredict_recovery: 3,
+            frontend_depth: 2,
+            latencies: Latencies::table2(),
+            bht_entries: 512,
+            btb_sets: 64,
+            icache: (32 * 1024, 32, 2),
+            dcache: (32 * 1024, 32, 2),
+        }
+    }
+
+    pub fn fus_for(&self, c: FuClass) -> usize {
+        self.fu_count[class_idx(c)]
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig::r10000()
+    }
+}
+
+/// Dense index for [`FuClass`] arrays (same order as `FuClass::ALL`).
+pub fn class_idx(c: FuClass) -> usize {
+    FuClass::ALL.iter().position(|x| *x == c).unwrap()
+}
+
+fn fu_counts(
+    alu: usize,
+    sft: usize,
+    ldst: usize,
+    br: usize,
+    fpadd: usize,
+    fpmul: usize,
+    fpdiv: usize,
+) -> [usize; 8] {
+    let mut out = [0; 8];
+    out[class_idx(FuClass::Alu)] = alu;
+    out[class_idx(FuClass::Shift)] = sft;
+    out[class_idx(FuClass::LoadStore)] = ldst;
+    out[class_idx(FuClass::Branch)] = br;
+    out[class_idx(FuClass::FpAdd)] = fpadd;
+    out[class_idx(FuClass::FpMul)] = fpmul;
+    out[class_idx(FuClass::FpDiv)] = fpdiv;
+    // Nops don't need a functional unit; give them "infinite" slots via a
+    // sentinel handled in the pipeline (a nop issues without a unit).
+    out[class_idx(FuClass::Nop)] = usize::MAX;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_latencies() {
+        let l = Latencies::table2();
+        assert_eq!(l.for_class(FuClass::Alu), 1);
+        assert_eq!(l.for_class(FuClass::LoadStore), 2);
+        assert_eq!(l.for_class(FuClass::Shift), 1);
+        assert_eq!(l.for_class(FuClass::FpAdd), 3);
+        assert_eq!(l.for_class(FuClass::FpMul), 3);
+        assert_eq!(l.for_class(FuClass::FpDiv), 3);
+        assert_eq!(l.cache_miss_penalty, 6);
+    }
+
+    #[test]
+    fn queue_routing() {
+        assert_eq!(QueueKind::for_class(FuClass::Alu), QueueKind::Integer);
+        assert_eq!(QueueKind::for_class(FuClass::Shift), QueueKind::Integer);
+        assert_eq!(QueueKind::for_class(FuClass::LoadStore), QueueKind::LoadStore);
+        assert_eq!(QueueKind::for_class(FuClass::Branch), QueueKind::Branch);
+        assert_eq!(QueueKind::for_class(FuClass::FpMul), QueueKind::Fp);
+    }
+
+    #[test]
+    fn r10000_shape() {
+        let c = MachineConfig::r10000();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.fus_for(FuClass::Alu), 2);
+        assert_eq!(c.fus_for(FuClass::Shift), 1);
+        assert_eq!(c.queue_size[QueueKind::Integer.index()], 16);
+        assert_eq!(c.bht_entries, 512);
+        assert_eq!(c.max_inflight_branches, 4);
+    }
+}

@@ -1,0 +1,942 @@
+//! The out-of-order pipeline: fetch → dispatch → issue → execute → commit.
+
+use crate::cache::Cache;
+use crate::config::{class_idx, MachineConfig, QueueKind};
+use crate::stats::SimStats;
+use guardspec_interp::{StaticLayout, TraceEntry};
+use guardspec_predict::{BranchKind, Btb, Scheme, TwoBitTable};
+use guardspec_ir::{FuClass, Opcode, Program, Reg};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Simulation failure (indicates a model bug or absurd input, not a
+/// program error).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The pipeline failed to drain within the cycle budget.
+    CycleBudgetExceeded { cycles: u64, retired: u64 },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleBudgetExceeded { cycles, retired } => {
+                write!(f, "pipeline did not drain: {cycles} cycles, {retired} committed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Static per-site information the pipeline needs, precomputed once.
+struct SiteInfo {
+    class: FuClass,
+    queue: QueueKind,
+    /// Dense register indices read (including guard predicate).
+    uses: Vec<usize>,
+    /// Dense register index written.
+    def: Option<usize>,
+    kind: Option<BranchKind>,
+    /// PC of the taken-target block's first instruction (direct branches
+    /// and jumps only).
+    target_pc: Option<u64>,
+}
+
+fn build_site_infos(prog: &Program, layout: &StaticLayout) -> Vec<SiteInfo> {
+    let mut infos = Vec::with_capacity(layout.num_sites());
+    for id in 0..layout.num_sites() as u32 {
+        let site = layout.site(id);
+        let insn = prog.insn(site);
+        let target_pc = match &insn.op {
+            Opcode::Branch { target, .. } | Opcode::Jump { target } => {
+                Some(layout.pc(layout.block_start(site.func, *target)))
+            }
+            _ => None,
+        };
+        infos.push(SiteInfo {
+            class: insn.fu_class(),
+            queue: QueueKind::for_class(insn.fu_class()),
+            uses: insn.uses().map(|r: Reg| r.dense_index()).collect(),
+            def: insn.def().filter(|d| !d.is_int_zero()).map(|d| d.dense_index()),
+            kind: BranchKind::of(insn),
+            target_pc,
+        });
+    }
+    infos
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EState {
+    InQueue,
+    Executing,
+    Complete,
+}
+
+struct Entry {
+    seq: u64,
+    id: u32,
+    class: FuClass,
+    queue: QueueKind,
+    state: EState,
+    disp_cycle: u64,
+    finish: u64,
+    /// Seqs of producing instructions (ready when committed or Complete).
+    deps: Vec<u64>,
+    mem_addr: Option<u32>,
+    /// This entry has fetch stalled until it resolves.
+    blocks_fetch: bool,
+    /// Conditional branch (counts against the shadow-map limit).
+    is_cond: bool,
+    annulled: bool,
+}
+
+/// One cycle's activity snapshot, for pipeline visualization.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CycleRecord {
+    pub cycle: u64,
+    /// Instructions fetched+dispatched this cycle.
+    pub fetched: u8,
+    /// Issues per functional-unit class (dense `FuClass` index).
+    pub issued: [u8; 8],
+    /// Instructions committed this cycle.
+    pub committed: u8,
+    /// Reservation-station occupancy at end of cycle (QueueKind index).
+    pub queue_len: [u8; 4],
+    /// Fetch was stalled this cycle (mispredict/indirect/bubble).
+    pub fetch_stalled: bool,
+}
+
+/// A bounded per-cycle activity log.
+#[derive(Clone, Debug, Default)]
+pub struct CycleLog {
+    pub records: Vec<CycleRecord>,
+    pub limit: usize,
+}
+
+impl CycleLog {
+    pub fn new(limit: usize) -> CycleLog {
+        CycleLog { records: Vec::with_capacity(limit.min(1 << 16)), limit }
+    }
+
+    fn push(&mut self, r: CycleRecord) {
+        if self.records.len() < self.limit {
+            self.records.push(r);
+        }
+    }
+}
+
+/// The pipeline simulator.
+struct Pipeline<'a> {
+    cfg: &'a MachineConfig,
+    infos: &'a [SiteInfo],
+    layout: &'a StaticLayout,
+    trace: &'a [TraceEntry],
+    scheme: Scheme,
+
+    now: u64,
+    pos: usize,
+    window: VecDeque<Entry>,
+    head_seq: u64,
+    next_seq: u64,
+    queue_len: [usize; 4],
+    /// Last dispatched writer (seq) per dense register index.
+    reg_writer: Vec<Option<u64>>,
+    unresolved_branches: usize,
+    fetch_resume: u64,
+    /// Fetch is stalled until this entry (by seq) resolves.
+    fetch_blocked_by: Option<u64>,
+    fpdiv_free_at: u64,
+
+    bht: TwoBitTable,
+    btb: Btb,
+    icache: Cache,
+    dcache: Cache,
+    stats: SimStats,
+    log: Option<CycleLog>,
+    cycle_rec: CycleRecord,
+}
+
+impl<'a> Pipeline<'a> {
+    fn entry(&self, seq: u64) -> Option<&Entry> {
+        if seq < self.head_seq {
+            return None; // committed
+        }
+        self.window.get((seq - self.head_seq) as usize)
+    }
+
+    fn dep_ready(&self, seq: u64) -> bool {
+        match self.entry(seq) {
+            None => true, // committed long ago
+            Some(e) => e.state == EState::Complete,
+        }
+    }
+
+    /// Stage 1: mark finished executions complete; resolve fetch blocks.
+    fn complete_stage(&mut self) {
+        let now = self.now;
+        let mut resume: Option<u64> = None;
+        let recovery = self.cfg.mispredict_recovery;
+        for e in self.window.iter_mut() {
+            if e.state == EState::Executing && e.finish <= now {
+                e.state = EState::Complete;
+                if e.is_cond {
+                    self.unresolved_branches -= 1;
+                }
+                if e.blocks_fetch {
+                    resume = Some(now + 1 + recovery);
+                    e.blocks_fetch = false;
+                }
+            }
+        }
+        if let Some(r) = resume {
+            self.fetch_blocked_by = None;
+            self.fetch_resume = self.fetch_resume.max(r);
+        }
+    }
+
+    /// Stage 2: in-order commit of up to `commit_width`.
+    fn commit_stage(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            match self.window.front() {
+                Some(e) if e.state == EState::Complete => {
+                    let e = self.window.pop_front().unwrap();
+                    self.head_seq = e.seq + 1;
+                    // Reservation-station entries are held until graduation
+                    // (the R10000 address queue keeps loads/stores until
+                    // they graduate) — this is what makes Table 3's
+                    // occupancy metric meaningful.
+                    self.queue_len[e.queue.index()] -= 1;
+                    self.stats.committed_total += 1;
+                    self.cycle_rec.committed = self.cycle_rec.committed.saturating_add(1);
+                    if e.annulled {
+                        self.stats.annulled += 1;
+                    } else {
+                        self.stats.committed += 1;
+                    }
+                    // Clear stale writer pointers.
+                    if let Some(d) = self.infos[e.id as usize].def {
+                        if self.reg_writer[d] == Some(e.seq) {
+                            self.reg_writer[d] = None;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Stage 3: wake-up/select per reservation station, oldest first.
+    fn issue_stage(&mut self) {
+        let mut issued = [0usize; 8];
+        let now = self.now;
+        // Collect indices first to sidestep borrow conflicts.
+        let idxs: Vec<usize> = (0..self.window.len()).collect();
+        for i in idxs {
+            let (ready, class) = {
+                let e = &self.window[i];
+                if e.state != EState::InQueue
+                    || now <= e.disp_cycle + self.cfg.frontend_depth
+                {
+                    continue;
+                }
+                let ready = e.deps.iter().all(|&d| self.dep_ready_committed_or(d));
+                (ready, e.class)
+            };
+            if !ready {
+                continue;
+            }
+            let ci = class_idx(class);
+            let fus = self.cfg.fu_count[ci];
+            if class != FuClass::Nop {
+                if issued[ci] >= fus {
+                    continue; // structural hazard this cycle
+                }
+                if class == FuClass::FpDiv && now < self.fpdiv_free_at {
+                    continue; // blocking divider
+                }
+            }
+            // Latency, including D-cache for memory ops.
+            let mut lat = self.cfg.latencies.for_class(class);
+            let (qi, is_mem, addr, annulled) = {
+                let e = &self.window[i];
+                (e.queue.index(), e.class == FuClass::LoadStore, e.mem_addr, e.annulled)
+            };
+            if is_mem && !annulled {
+                let byte = (addr.unwrap_or(0) as u64) << 2;
+                if !self.dcache.access(byte) {
+                    lat += self.cfg.latencies.cache_miss_penalty;
+                    self.stats.dcache_misses += 1;
+                } else {
+                    self.stats.dcache_hits += 1;
+                }
+            }
+            let e = &mut self.window[i];
+            e.state = EState::Executing;
+            e.finish = now + lat;
+            let _ = qi;
+            if class != FuClass::Nop {
+                issued[ci] += 1;
+                self.stats.fu_issues[ci] += 1;
+                self.cycle_rec.issued[ci] = self.cycle_rec.issued[ci].saturating_add(1);
+                if class == FuClass::FpDiv {
+                    self.fpdiv_free_at = e.finish;
+                }
+            }
+        }
+        // A class is "full" this cycle if every unit of the class issued.
+        for ci in 0..8 {
+            let fus = self.cfg.fu_count[ci];
+            if fus != usize::MAX && fus > 0 && issued[ci] == fus {
+                self.stats.fu_full_cycles[ci] += 1;
+            }
+        }
+    }
+
+    fn dep_ready_committed_or(&self, seq: u64) -> bool {
+        self.dep_ready(seq)
+    }
+
+    /// Stage 4: fetch + dispatch up to `fetch_width` correct-path
+    /// instructions, applying the branch-prediction policy.
+    fn fetch_stage(&mut self) {
+        if self.pos >= self.trace.len() {
+            return;
+        }
+        if self.fetch_blocked_by.is_some() || self.now < self.fetch_resume {
+            self.stats.fetch_stall_cycles += 1;
+            self.cycle_rec.fetch_stalled = true;
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.pos >= self.trace.len() {
+                break;
+            }
+            let te = self.trace[self.pos];
+            let info = &self.infos[te.id as usize];
+            let pc = self.layout.pc(te.id);
+
+            // Structural checks before consuming.
+            if self.window.len() >= self.cfg.rob_size {
+                break;
+            }
+            let qi = info.queue.index();
+            if self.queue_len[qi] >= self.cfg.queue_size[qi] {
+                break;
+            }
+            let is_cond = matches!(
+                info.kind,
+                Some(BranchKind::CondDirect) | Some(BranchKind::CondLikely)
+            );
+            if is_cond && self.unresolved_branches >= self.cfg.max_inflight_branches {
+                break;
+            }
+            // I-cache probe: a miss delays fetch; the probe fills the line
+            // so the retry hits.
+            if !self.icache.access(pc) {
+                self.stats.icache_misses += 1;
+                self.fetch_resume = self.now + self.cfg.latencies.cache_miss_penalty;
+                break;
+            }
+            self.stats.icache_hits += 1;
+
+            // Dispatch.
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let deps: Vec<u64> = info
+                .uses
+                .iter()
+                .filter_map(|&u| self.reg_writer[u])
+                .filter(|&s| !self.dep_ready(s))
+                .collect();
+            if let Some(d) = info.def {
+                self.reg_writer[d] = Some(seq);
+            }
+            self.queue_len[qi] += 1;
+            if is_cond {
+                self.unresolved_branches += 1;
+            }
+            let mut entry = Entry {
+                seq,
+                id: te.id,
+                class: info.class,
+                queue: info.queue,
+                state: EState::InQueue,
+                disp_cycle: self.now,
+                finish: 0,
+                deps,
+                mem_addr: te.mem_addr(),
+                blocks_fetch: false,
+                is_cond,
+                annulled: te.annulled(),
+            };
+            self.pos += 1;
+
+            // Branch policy.  An *annulled* predicated branch (guard false)
+            // never redirects fetch: the predicate hardware squashes it at
+            // dispatch, so it flows through the branch queue/unit but makes
+            // no prediction and costs no bubble.
+            let mut stop_group = false;
+            if let Some(kind) = info.kind.filter(|_| !te.annulled()) {
+                let taken = te.taken();
+                match kind {
+                    BranchKind::CondDirect => {
+                        let actual = taken.unwrap_or(false);
+                        self.stats.cond_branches += 1;
+                        if self.scheme.is_perfect() {
+                            stop_group = actual;
+                        } else {
+                            let pred = self.bht.predict(pc);
+                            self.bht.update(pc, actual);
+                            if pred == actual {
+                                if actual {
+                                    // Taken, correctly predicted: BTB hit is
+                                    // free, miss costs a decode redirect.
+                                    match self.btb.lookup(pc) {
+                                        Some(_) => {
+                                            self.stats.btb_hits += 1;
+                                        }
+                                        None => {
+                                            self.stats.btb_misses += 1;
+                                            self.fetch_resume = self.now + 2;
+                                            if let Some(t) = info.target_pc {
+                                                self.btb.install(pc, t);
+                                            }
+                                        }
+                                    }
+                                    stop_group = true;
+                                }
+                            } else {
+                                self.stats.mispredicts += 1;
+                                entry.blocks_fetch = true;
+                                self.fetch_blocked_by = Some(seq);
+                                if actual {
+                                    if let Some(t) = info.target_pc {
+                                        self.btb.install(pc, t);
+                                    }
+                                }
+                                stop_group = true;
+                            }
+                        }
+                    }
+                    BranchKind::CondLikely => {
+                        let actual = taken.unwrap_or(false);
+                        self.stats.cond_branches += 1;
+                        self.stats.likely_branches += 1;
+                        if self.scheme.is_perfect() {
+                            stop_group = actual;
+                        } else if actual {
+                            // Statically predicted taken, target in the
+                            // instruction: fetch group ends, no bubble.
+                            stop_group = true;
+                        } else {
+                            self.stats.mispredicts += 1;
+                            self.stats.likely_mispredicts += 1;
+                            entry.blocks_fetch = true;
+                            self.fetch_blocked_by = Some(seq);
+                            stop_group = true;
+                        }
+                    }
+                    BranchKind::DirectJump => {
+                        // `j`: always taken, absolute target, BTB-eligible.
+                        // A BTB hit redirects fetch for free; a miss costs
+                        // one decode-redirect bubble and installs the entry.
+                        if !self.scheme.is_perfect() {
+                            match self.btb.lookup(pc) {
+                                Some(_) => {
+                                    self.stats.btb_hits += 1;
+                                }
+                                None => {
+                                    self.stats.btb_misses += 1;
+                                    self.fetch_resume = self.now + 2;
+                                    if let Some(t) = info.target_pc {
+                                        self.btb.install(pc, t);
+                                    }
+                                }
+                            }
+                        }
+                        stop_group = true;
+                    }
+                    BranchKind::Call => {
+                        // Calls are not BTB-registered (Section 6): one
+                        // decode-redirect bubble unless perfect.
+                        if !self.scheme.is_perfect() {
+                            self.fetch_resume = self.now + 2;
+                        }
+                        stop_group = true;
+                    }
+                    BranchKind::Indirect => {
+                        if self.scheme.is_perfect() {
+                            stop_group = true;
+                        } else {
+                            self.stats.indirect_stalls += 1;
+                            entry.blocks_fetch = true;
+                            self.fetch_blocked_by = Some(seq);
+                            stop_group = true;
+                        }
+                    }
+                }
+            }
+
+            self.window.push_back(entry);
+            self.cycle_rec.fetched = self.cycle_rec.fetched.saturating_add(1);
+            if stop_group {
+                break;
+            }
+        }
+    }
+
+    /// Stage 5: end-of-cycle statistics sampling.
+    fn sample_stage(&mut self) {
+        for q in 0..4 {
+            self.stats.queue_occupancy_sum[q] += self.queue_len[q] as u64;
+            if self.queue_len[q] >= self.cfg.queue_size[q] {
+                self.stats.queue_full_cycles[q] += 1;
+            }
+        }
+        if let Some(log) = &mut self.log {
+            let mut rec = std::mem::take(&mut self.cycle_rec);
+            rec.cycle = self.now;
+            for q in 0..4 {
+                rec.queue_len[q] = self.queue_len[q].min(255) as u8;
+            }
+            log.push(rec);
+        } else {
+            self.cycle_rec = CycleRecord::default();
+        }
+    }
+
+    fn run_logged(mut self) -> Result<(SimStats, Option<CycleLog>), SimError> {
+        let budget = 64 * self.trace.len() as u64 + 100_000;
+        while self.pos < self.trace.len() || !self.window.is_empty() {
+            self.now += 1;
+            self.complete_stage();
+            self.commit_stage();
+            self.issue_stage();
+            self.fetch_stage();
+            self.sample_stage();
+            if self.now > budget {
+                return Err(SimError::CycleBudgetExceeded {
+                    cycles: self.now,
+                    retired: self.stats.committed_total,
+                });
+            }
+        }
+        self.stats.cycles = self.now;
+        Ok((self.stats, self.log))
+    }
+}
+
+/// Simulate a pre-recorded trace under `scheme` on `cfg`.
+pub fn simulate_trace(
+    prog: &Program,
+    layout: &StaticLayout,
+    trace: &[TraceEntry],
+    scheme: Scheme,
+    cfg: &MachineConfig,
+) -> Result<SimStats, SimError> {
+    simulate_trace_logged(prog, layout, trace, scheme, cfg, 0).map(|(s, _)| s)
+}
+
+/// Like [`simulate_trace`], but also records a per-cycle activity log of up
+/// to `log_cycles` cycles (0 disables logging).
+pub fn simulate_trace_logged(
+    prog: &Program,
+    layout: &StaticLayout,
+    trace: &[TraceEntry],
+    scheme: Scheme,
+    cfg: &MachineConfig,
+    log_cycles: usize,
+) -> Result<(SimStats, Option<CycleLog>), SimError> {
+    let infos = build_site_infos(prog, layout);
+    let pipe = Pipeline {
+        cfg,
+        infos: &infos,
+        layout,
+        trace,
+        scheme,
+        now: 0,
+        pos: 0,
+        window: VecDeque::with_capacity(cfg.rob_size),
+        head_seq: 0,
+        next_seq: 0,
+        queue_len: [0; 4],
+        reg_writer: vec![None; Reg::DENSE_COUNT],
+        unresolved_branches: 0,
+        fetch_resume: 0,
+        fetch_blocked_by: None,
+        fpdiv_free_at: 0,
+        bht: TwoBitTable::new(cfg.bht_entries),
+        btb: Btb::new(cfg.btb_sets),
+        icache: Cache::new(cfg.icache.0, cfg.icache.1, cfg.icache.2),
+        dcache: Cache::new(cfg.dcache.0, cfg.dcache.1, cfg.dcache.2),
+        stats: SimStats::default(),
+        log: (log_cycles > 0).then(|| CycleLog::new(log_cycles)),
+        cycle_rec: CycleRecord::default(),
+    };
+    pipe.run_logged()
+}
+
+/// Run `prog` functionally, then simulate its trace.  Returns the timing
+/// statistics together with the functional result (so callers can check
+/// semantics and dynamic counts in one shot).
+pub fn simulate_program(
+    prog: &Program,
+    scheme: Scheme,
+    cfg: &MachineConfig,
+) -> Result<(SimStats, guardspec_interp::ExecResult), Box<dyn std::error::Error>> {
+    let (layout, trace, res) = guardspec_interp::trace::trace_program(prog)?;
+    let stats = simulate_trace(prog, &layout, &trace, scheme, cfg)?;
+    Ok((stats, res))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::r;
+
+    fn count_loop(n: i64) -> Program {
+        let mut fb = FuncBuilder::new("loop");
+        fb.block("e");
+        fb.li(r(1), n);
+        fb.block("body");
+        fb.subi(r(1), r(1), 1);
+        fb.bgtz(r(1), "body");
+        fb.block("done");
+        fb.halt();
+        single_func_program(fb)
+    }
+
+    #[test]
+    fn pipeline_drains_and_counts_commits() {
+        let prog = count_loop(100);
+        let cfg = MachineConfig::r10000();
+        let (stats, res) = simulate_program(&prog, Scheme::TwoBit, &cfg).expect("sim");
+        assert_eq!(stats.committed_total, res.summary.retired);
+        assert_eq!(stats.committed, res.summary.retired); // nothing annulled
+        assert!(stats.cycles > 0);
+        assert!(stats.ipc() > 0.0 && stats.ipc() <= 4.0);
+    }
+
+    #[test]
+    fn perfect_is_at_least_as_fast_as_twobit() {
+        let prog = count_loop(500);
+        let cfg = MachineConfig::r10000();
+        let (two, _) = simulate_program(&prog, Scheme::TwoBit, &cfg).expect("sim");
+        let (perf, _) = simulate_program(&prog, Scheme::Perfect, &cfg).expect("sim");
+        assert!(
+            perf.cycles <= two.cycles,
+            "perfect {} > twobit {}",
+            perf.cycles,
+            two.cycles
+        );
+        assert_eq!(perf.mispredicts, 0);
+    }
+
+    #[test]
+    fn biased_loop_branch_predicts_well_after_warmup() {
+        let prog = count_loop(1000);
+        let cfg = MachineConfig::r10000();
+        let (stats, _) = simulate_program(&prog, Scheme::TwoBit, &cfg).expect("sim");
+        // Loop-closing branch: taken 999 times, not taken once.
+        assert!(stats.branch_accuracy() > 0.99, "accuracy {}", stats.branch_accuracy());
+    }
+
+    #[test]
+    fn alternating_branch_mispredicts_under_twobit_not_perfect() {
+        // if (i & 1) x++ inside a loop: the inner branch alternates TFTF.
+        let mut fb = FuncBuilder::new("alt");
+        fb.block("e");
+        fb.li(r(1), 0);
+        fb.li(r(5), 200);
+        fb.block("loop");
+        fb.andi(r(2), r(1), 1);
+        fb.beq(r(2), r(0), "skip");
+        fb.block("odd");
+        fb.addi(r(3), r(3), 1);
+        fb.block("skip");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(5), "loop");
+        fb.block("done");
+        fb.halt();
+        let prog = single_func_program(fb);
+        let cfg = MachineConfig::r10000();
+        let (two, _) = simulate_program(&prog, Scheme::TwoBit, &cfg).expect("sim");
+        let (perf, _) = simulate_program(&prog, Scheme::Perfect, &cfg).expect("sim");
+        assert!(two.mispredicts > 50, "mispredicts {}", two.mispredicts);
+        assert_eq!(perf.mispredicts, 0);
+        assert!(perf.ipc() > two.ipc());
+    }
+
+    #[test]
+    fn annulled_instructions_excluded_from_ipc() {
+        use guardspec_ir::reg::p;
+        use guardspec_ir::SetCond;
+        let mut fb = FuncBuilder::new("g");
+        fb.block("e");
+        fb.li(r(1), 100);
+        fb.block("loop");
+        fb.setpi(SetCond::Gt, p(1), r(1), 50);
+        fb.cmov(r(2), r(1), p(1), true); // annulled half the time
+        fb.subi(r(1), r(1), 1);
+        fb.bgtz(r(1), "loop");
+        fb.block("done");
+        fb.halt();
+        let prog = single_func_program(fb);
+        let cfg = MachineConfig::r10000();
+        let (stats, res) = simulate_program(&prog, Scheme::TwoBit, &cfg).expect("sim");
+        assert_eq!(stats.annulled, res.summary.annulled);
+        assert_eq!(stats.committed + stats.annulled, stats.committed_total);
+        assert!(stats.annulled == 50, "annulled {}", stats.annulled);
+    }
+
+    #[test]
+    fn indirect_jump_stalls_fetch_under_twobit() {
+        let mut fb = FuncBuilder::new("ind");
+        fb.block("e");
+        fb.li(r(1), 0);
+        fb.li(r(5), 100);
+        fb.block("loop");
+        fb.andi(r(2), r(1), 1);
+        fb.jtab(r(2), &["c0", "c1"]);
+        fb.block("c0");
+        fb.addi(r(3), r(3), 1);
+        fb.jump("next");
+        fb.block("c1");
+        fb.addi(r(3), r(3), 2);
+        fb.block("next");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(5), "loop");
+        fb.block("done");
+        fb.halt();
+        let prog = single_func_program(fb);
+        let cfg = MachineConfig::r10000();
+        let (two, _) = simulate_program(&prog, Scheme::TwoBit, &cfg).expect("sim");
+        let (perf, _) = simulate_program(&prog, Scheme::Perfect, &cfg).expect("sim");
+        assert_eq!(two.indirect_stalls, 100);
+        assert_eq!(perf.indirect_stalls, 0);
+        assert!(perf.cycles < two.cycles);
+    }
+
+    #[test]
+    fn dependent_chain_bounded_by_latency() {
+        // Loop a 24-instruction body 40 times so the I-cache is warm.
+        // Serial body: every add depends on the previous -> >= 1 cycle/add.
+        // Parallel body: independent adds -> bounded by the 2 ALUs.
+        let build = |serial: bool| {
+            let mut fb = FuncBuilder::new("k");
+            fb.block("e");
+            fb.li(r(9), 40);
+            fb.block("loop");
+            for i in 0..24u8 {
+                if serial {
+                    fb.addi(r(1), r(1), 1);
+                } else {
+                    fb.addi(r(1 + (i % 8)), r(20 + (i % 8)), 1);
+                }
+            }
+            fb.subi(r(9), r(9), 1);
+            fb.bgtz(r(9), "loop");
+            fb.block("done");
+            fb.halt();
+            single_func_program(fb)
+        };
+        let cfg = MachineConfig::r10000();
+        let (serial, _) = simulate_program(&build(true), Scheme::Perfect, &cfg).expect("sim");
+        let (par, _) = simulate_program(&build(false), Scheme::Perfect, &cfg).expect("sim");
+        assert!(serial.cycles >= 40 * 24, "serial {}", serial.cycles);
+        assert!(
+            par.cycles * 3 < serial.cycles * 2,
+            "parallel {} serial {}",
+            par.cycles,
+            serial.cycles
+        );
+    }
+
+    #[test]
+    fn dcache_misses_slow_strided_loads() {
+        // Stride of 16 words = 64 bytes: every load a fresh line.
+        let mk = |stride: i64| {
+            let mut fb = FuncBuilder::new("ld");
+            fb.block("e");
+            fb.li(r(1), 0);
+            fb.li(r(5), 256);
+            fb.block("loop");
+            fb.lw(r(2), r(1), 0);
+            fb.add(r(3), r(3), r(2));
+            fb.addi(r(1), r(1), stride);
+            fb.slt(r(4), r(1), r(5));
+            fb.bne(r(4), r(0), "loop");
+            fb.block("done");
+            fb.halt();
+            let mut p = single_func_program(fb);
+            p.mem_words = 1 << 12;
+            p
+        };
+        let cfg = MachineConfig::r10000();
+        let (unit, _) = simulate_program(&mk(1), Scheme::Perfect, &cfg).expect("sim");
+        let (strided, _) = simulate_program(&mk(16), Scheme::Perfect, &cfg).expect("sim");
+        // The strided run touches fewer words but should still suffer many
+        // more misses per load.
+        let unit_mr = unit.dcache_misses as f64 / (unit.dcache_misses + unit.dcache_hits) as f64;
+        let str_mr =
+            strided.dcache_misses as f64 / (strided.dcache_misses + strided.dcache_hits) as f64;
+        assert!(str_mr > 0.9, "strided miss rate {str_mr}");
+        assert!(unit_mr < 0.2, "unit miss rate {unit_mr}");
+    }
+
+    #[test]
+    fn rs_occupancy_sampled() {
+        let prog = count_loop(200);
+        let cfg = MachineConfig::r10000();
+        let (stats, _) = simulate_program(&prog, Scheme::Perfect, &cfg).expect("sim");
+        // Something must have flowed through the integer queue.
+        assert!(stats.queue_occupancy_sum[QueueKind::Integer.index()] > 0);
+        assert!(stats.rs_full_pct(QueueKind::Integer) <= 100.0);
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::{p, r};
+    use guardspec_ir::{Guard, Opcode, SetCond};
+
+    /// Annulled predicated branches flow through the BR queue but make no
+    /// prediction and cost no bubble.
+    #[test]
+    fn annulled_predicated_branch_is_penalty_free() {
+        // Loop with a predicated branch whose guard is always false.
+        let mut fb = FuncBuilder::new("ann");
+        fb.block("e");
+        fb.li(r(1), 200);
+        fb.setpi(SetCond::Lt, p(1), r(0), 0); // p1 = false forever
+        fb.block("loop");
+        fb.push(guardspec_ir::Instruction::guarded(
+            Opcode::Branch {
+                cond: guardspec_ir::BranchCond::PredT(p(1)),
+                target: guardspec_ir::BlockId(2),
+                likely: true,
+            },
+            Guard::if_true(p(1)),
+        ));
+        fb.block("cont");
+        fb.subi(r(1), r(1), 1);
+        fb.bgtz(r(1), "loop");
+        fb.block("done");
+        fb.halt();
+        let prog = single_func_program(fb);
+        let cfg = MachineConfig::r10000();
+        let (stats, _) = simulate_program(&prog, Scheme::TwoBit, &cfg).expect("sim");
+        // Only the latch is a *predicted* conditional; the annulled likely
+        // contributes no mispredicts and no cond_branches.
+        assert_eq!(stats.likely_mispredicts, 0);
+        assert_eq!(stats.cond_branches, 200);
+        assert!(stats.mispredicts <= 3, "mispredicts {}", stats.mispredicts);
+        assert_eq!(stats.annulled, 200);
+    }
+
+    /// Unconditional direct jumps hit the BTB after the first pass and cost
+    /// no fetch bubble from then on.
+    #[test]
+    fn jumps_warm_the_btb() {
+        let mut fb = FuncBuilder::new("j");
+        fb.block("e");
+        fb.li(r(1), 100);
+        fb.block("loop");
+        fb.jump("body");
+        fb.block("dead");
+        fb.addi(r(9), r(9), 1);
+        fb.block("body");
+        fb.subi(r(1), r(1), 1);
+        fb.bgtz(r(1), "loop");
+        fb.block("done");
+        fb.halt();
+        let prog = single_func_program(fb);
+        let cfg = MachineConfig::r10000();
+        let (stats, _) = simulate_program(&prog, Scheme::TwoBit, &cfg).expect("sim");
+        assert!(stats.btb_hits > 90, "btb hits {}", stats.btb_hits);
+    }
+
+    /// The front-end depth delays first issue after dispatch.
+    #[test]
+    fn frontend_depth_delays_short_programs() {
+        let mut fb = FuncBuilder::new("d");
+        fb.block("e");
+        fb.li(r(1), 1);
+        fb.halt();
+        let prog = single_func_program(fb);
+        let mut cfg = MachineConfig::r10000();
+        cfg.frontend_depth = 0;
+        let (shallow, _) = simulate_program(&prog, Scheme::Perfect, &cfg).expect("sim");
+        cfg.frontend_depth = 4;
+        let (deep, _) = simulate_program(&prog, Scheme::Perfect, &cfg).expect("sim");
+        assert!(deep.cycles > shallow.cycles);
+    }
+}
+
+#[cfg(test)]
+mod log_tests {
+    use super::*;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::r;
+
+    #[test]
+    fn cycle_log_conserves_counts() {
+        let mut fb = FuncBuilder::new("l");
+        fb.block("e");
+        fb.li(r(1), 50);
+        fb.block("loop");
+        fb.subi(r(1), r(1), 1);
+        fb.bgtz(r(1), "loop");
+        fb.block("done");
+        fb.halt();
+        let prog = single_func_program(fb);
+        let (layout, trace, _) = guardspec_interp::trace::trace_program(&prog).unwrap();
+        let cfg = MachineConfig::r10000();
+        let (stats, log) =
+            simulate_trace_logged(&prog, &layout, &trace, Scheme::TwoBit, &cfg, 1 << 20)
+                .expect("sim");
+        let log = log.expect("log enabled");
+        assert_eq!(log.records.len() as u64, stats.cycles);
+        let fetched: u64 = log.records.iter().map(|r| r.fetched as u64).sum();
+        let committed: u64 = log.records.iter().map(|r| r.committed as u64).sum();
+        assert_eq!(fetched, trace.len() as u64);
+        assert_eq!(committed, stats.committed_total);
+        // Cycle numbers are strictly increasing.
+        assert!(log.records.windows(2).all(|w| w[0].cycle < w[1].cycle));
+    }
+
+    #[test]
+    fn cycle_log_respects_limit() {
+        let mut fb = FuncBuilder::new("l");
+        fb.block("e");
+        fb.li(r(1), 200);
+        fb.block("loop");
+        fb.subi(r(1), r(1), 1);
+        fb.bgtz(r(1), "loop");
+        fb.block("done");
+        fb.halt();
+        let prog = single_func_program(fb);
+        let (layout, trace, _) = guardspec_interp::trace::trace_program(&prog).unwrap();
+        let cfg = MachineConfig::r10000();
+        let (_stats, log) =
+            simulate_trace_logged(&prog, &layout, &trace, Scheme::TwoBit, &cfg, 16).expect("sim");
+        assert_eq!(log.unwrap().records.len(), 16);
+    }
+
+    #[test]
+    fn disabled_log_returns_none() {
+        let mut fb = FuncBuilder::new("l");
+        fb.block("e");
+        fb.halt();
+        let prog = single_func_program(fb);
+        let (layout, trace, _) = guardspec_interp::trace::trace_program(&prog).unwrap();
+        let cfg = MachineConfig::r10000();
+        let (_s, log) =
+            simulate_trace_logged(&prog, &layout, &trace, Scheme::TwoBit, &cfg, 0).expect("sim");
+        assert!(log.is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! Simulation statistics — everything Tables 3 and 4 report.
+
+use crate::config::{class_idx, QueueKind};
+use guardspec_ir::FuClass;
+
+/// Counters accumulated over one simulation.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Total cycles to drain the trace ("the final commit cycle").
+    pub cycles: u64,
+    /// Committed instructions excluding annulled guarded ones (IPC basis).
+    pub committed: u64,
+    /// Committed instructions including annulled.
+    pub committed_total: u64,
+    /// Annulled guarded instructions.
+    pub annulled: u64,
+
+    /// Cycles each reservation station was at capacity, by `QueueKind::index`.
+    pub queue_full_cycles: [u64; 4],
+    /// Sum of per-cycle queue occupancy (for average occupancy).
+    pub queue_occupancy_sum: [u64; 4],
+    /// Cycles every functional unit of a class was issued/busy at once,
+    /// by `FuClass` dense index ("% times <unit> is full").
+    pub fu_full_cycles: [u64; 8],
+    /// Total issues per class.
+    pub fu_issues: [u64; 8],
+
+    /// Conditional branches seen at fetch.
+    pub cond_branches: u64,
+    /// Conditional branches whose direction was mispredicted.
+    pub mispredicts: u64,
+    /// Branch-likely instructions fetched.
+    pub likely_branches: u64,
+    /// Branch-likely instructions that were (incorrectly) not taken.
+    pub likely_mispredicts: u64,
+    /// Indirect transfers (returns, register-relative jumps) that stalled
+    /// fetch until resolution.
+    pub indirect_stalls: u64,
+    /// BTB statistics.
+    pub btb_hits: u64,
+    pub btb_misses: u64,
+
+    /// Cache statistics.
+    pub icache_hits: u64,
+    pub icache_misses: u64,
+    pub dcache_hits: u64,
+    pub dcache_misses: u64,
+
+    /// Cycles fetch was stalled waiting on an unresolved branch.
+    pub fetch_stall_cycles: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle, excluding annulled (Table 4 footnote 7).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// "% times `<queue>` reservation unit is full (ratio to the final commit
+    /// cycle)" — Table 3.
+    pub fn rs_full_pct(&self, q: QueueKind) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            100.0 * self.queue_full_cycles[q.index()] as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average occupancy of a reservation station.
+    pub fn rs_avg_occupancy(&self, q: QueueKind) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.queue_occupancy_sum[q.index()] as f64 / self.cycles as f64
+        }
+    }
+
+    /// "% times `<unit>` is full (ratio to the final commit cycle)" — Table 4.
+    pub fn fu_full_pct(&self, c: FuClass) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            100.0 * self.fu_full_cycles[class_idx(c)] as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of conditional branches predicted correctly.
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.cond_branches == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+
+    pub fn icache_hit_rate(&self) -> f64 {
+        ratio(self.icache_hits, self.icache_misses)
+    }
+
+    pub fn dcache_hit_rate(&self) -> f64 {
+        ratio(self.dcache_hits, self.dcache_misses)
+    }
+
+    pub fn btb_hit_rate(&self) -> f64 {
+        ratio(self.btb_hits, self.btb_misses)
+    }
+}
+
+fn ratio(hits: u64, misses: u64) -> f64 {
+    let t = hits + misses;
+    if t == 0 {
+        0.0
+    } else {
+        hits as f64 / t as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = SimStats::default();
+        s.cycles = 1000;
+        s.committed = 640;
+        s.queue_full_cycles[QueueKind::Branch.index()] = 139;
+        s.fu_full_cycles[class_idx(FuClass::Alu)] = 7;
+        s.cond_branches = 200;
+        s.mispredicts = 16;
+        assert!((s.ipc() - 0.64).abs() < 1e-12);
+        assert!((s.rs_full_pct(QueueKind::Branch) - 13.9).abs() < 1e-9);
+        assert!((s.fu_full_pct(FuClass::Alu) - 0.7).abs() < 1e-9);
+        assert!((s.branch_accuracy() - 0.92).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.rs_full_pct(QueueKind::Integer), 0.0);
+        assert_eq!(s.fu_full_pct(FuClass::Shift), 0.0);
+        assert_eq!(s.branch_accuracy(), 1.0);
+        assert_eq!(s.icache_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests on the cache model and the pipeline's conservation laws.
+
+use guardspec_ir::builder::*;
+use guardspec_ir::reg::r;
+use guardspec_predict::Scheme;
+use guardspec_sim::{simulate_program, Cache, MachineConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// hits + misses == accesses, and a repeat of the same address right
+    /// after an access always hits.
+    #[test]
+    fn cache_accounting(addrs in prop::collection::vec(0u64..1_000_000, 1..400)) {
+        let mut c = Cache::new(1024, 32, 2);
+        for (i, &a) in addrs.iter().enumerate() {
+            c.access(a);
+            prop_assert!(c.access(a), "immediate re-access must hit");
+            prop_assert_eq!(c.hits() + c.misses(), 2 * (i as u64 + 1));
+        }
+    }
+
+    /// The pipeline commits exactly the functional retirement count, for
+    /// arbitrary loop trip counts, under every scheme.
+    #[test]
+    fn commit_conservation(n in 1i64..300) {
+        let mut fb = FuncBuilder::new("c");
+        fb.block("e");
+        fb.li(r(1), n);
+        fb.block("loop");
+        fb.andi(r(2), r(1), 3);
+        fb.beq(r(2), r(0), "skip");
+        fb.block("work");
+        fb.addi(r(3), r(3), 1);
+        fb.block("skip");
+        fb.subi(r(1), r(1), 1);
+        fb.bgtz(r(1), "loop");
+        fb.block("done");
+        fb.sw(r(3), r(0), 1);
+        fb.halt();
+        let prog = single_func_program(fb);
+        let cfg = MachineConfig::r10000();
+        for scheme in Scheme::ALL {
+            let (stats, exec) = simulate_program(&prog, scheme, &cfg).unwrap();
+            prop_assert_eq!(stats.committed_total, exec.summary.retired);
+            prop_assert!(stats.cycles >= exec.summary.retired / 4,
+                "cannot beat the 4-wide commit bound");
+        }
+    }
+
+    /// Perfect prediction is never slower than the 2-bit scheme.
+    #[test]
+    fn perfect_dominates_twobit(n in 1i64..200, stride in 1i64..5) {
+        let mut fb = FuncBuilder::new("p");
+        fb.block("e");
+        fb.li(r(1), 0);
+        fb.li(r(9), n);
+        fb.block("loop");
+        fb.mul(r(2), r(1), r(1));
+        fb.andi(r(2), r(2), 1);
+        fb.beq(r(2), r(0), "skip");
+        fb.block("work");
+        fb.addi(r(3), r(3), stride);
+        fb.block("skip");
+        fb.addi(r(1), r(1), 1);
+        fb.bne(r(1), r(9), "loop");
+        fb.block("done");
+        fb.halt();
+        let prog = single_func_program(fb);
+        let cfg = MachineConfig::r10000();
+        let (two, _) = simulate_program(&prog, Scheme::TwoBit, &cfg).unwrap();
+        let (perf, _) = simulate_program(&prog, Scheme::Perfect, &cfg).unwrap();
+        prop_assert!(perf.cycles <= two.cycles);
+    }
+}

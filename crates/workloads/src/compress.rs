@@ -1,0 +1,245 @@
+//! The `compress` stand-in: a run-length compressor over input whose
+//! compressibility changes phase — long runs first, then noise.  The inner
+//! "same as previous byte?" branch is strongly taken through the run phase
+//! and strongly not-taken through the noise phase: exactly the phased,
+//! non-monotonic behavior the paper's split-branch transform targets.
+//! The paper notes compress "had several nested branches with minimal code
+//! interspersed between them"; the kernel mirrors that.
+
+use crate::{Scale, Workload};
+use guardspec_ir::builder::*;
+use guardspec_ir::reg::r;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Memory layout (word addresses).
+pub const N_ADDR: u64 = 0;
+pub const OUT_LEN_ADDR: u64 = 2;
+pub const CHECKSUM_ADDR: u64 = 3;
+pub const LONG_RUNS_ADDR: u64 = 4;
+pub const SHORT_RUNS_ADDR: u64 = 5;
+pub const IN_BASE: u64 = 0x1000;
+pub const OUT_BASE: u64 = 0x8_0000;
+
+fn input_len(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 600,
+        Scale::Small => 8_000,
+        Scale::Paper => 40_000,
+    }
+}
+
+/// Deterministic phased input: first ~60 % long runs, then paired bytes
+/// (`aabbcc…`).  The pair phase makes the "same as previous?" branch
+/// alternate TFTF — the 2-bit predictor's pathological case, and a showcase
+/// for the per-segment algebraic-counter instrumentation.
+pub fn generate_input(scale: Scale) -> Vec<i64> {
+    let n = input_len(scale);
+    let mut rng = SmallRng::seed_from_u64(0xC0_4F_EE);
+    let mut out = Vec::with_capacity(n);
+    let phase1 = n * 3 / 5;
+    while out.len() < phase1 {
+        let byte = rng.gen_range(0..256i64);
+        let run = rng.gen_range(6..24usize);
+        for _ in 0..run.min(phase1 - out.len()) {
+            out.push(byte);
+        }
+    }
+    // Paired phase: each byte appears exactly twice; consecutive pairs
+    // always differ so the branch strictly alternates.
+    let mut prev = *out.last().unwrap_or(&-1);
+    while out.len() < n {
+        let mut byte = rng.gen_range(0..256i64);
+        if byte == prev {
+            byte = (byte + 1) & 0xFF;
+        }
+        out.push(byte);
+        if out.len() < n {
+            out.push(byte);
+        }
+        prev = byte;
+    }
+    out
+}
+
+/// Golden model: RLE pairs `(run_length, byte)`, polynomial checksum, and
+/// the long/short run classification (the phase-dependent diamond: long in
+/// the run phase, short in the noise phase).
+pub fn golden(input: &[i64]) -> (i64, i64, i64, i64) {
+    let mut pairs: Vec<(i64, i64)> = Vec::new();
+    let mut prev = -1i64;
+    let mut runlen = 0i64;
+    for &b in input {
+        if b == prev {
+            runlen += 1;
+        } else {
+            if prev >= 0 {
+                pairs.push((runlen, prev));
+            }
+            prev = b;
+            runlen = 1;
+        }
+    }
+    if prev >= 0 {
+        pairs.push((runlen, prev));
+    }
+    let mut sum = 0i64;
+    let mut long_runs = 0i64;
+    let mut short_runs = 0i64;
+    for &(l, b) in &pairs {
+        sum = sum.wrapping_mul(31).wrapping_add(l);
+        sum = sum.wrapping_mul(31).wrapping_add(b);
+        if l >= 4 {
+            long_runs += 1;
+        } else {
+            short_runs += 1;
+        }
+    }
+    (pairs.len() as i64 * 2, sum, long_runs, short_runs)
+}
+
+/// Build the workload.
+pub fn build(scale: Scale) -> Workload {
+    let input = generate_input(scale);
+    let (out_len, checksum, long_runs, short_runs) = golden(&input);
+
+    // Registers: r1=i, r2=n, r3=prev, r4=runlen, r5=outpos, r6=IN, r7=OUT,
+    // r8..r12 scratch, r13=checksum accumulator, r14=k (checksum loop).
+    let mut fb = FuncBuilder::new("compress");
+    fb.block("entry");
+    fb.li(r(6), IN_BASE as i64);
+    fb.li(r(7), OUT_BASE as i64);
+    fb.lw(r(2), r(0), N_ADDR as i64);
+    fb.li(r(1), 0);
+    fb.li(r(3), -1);
+    fb.li(r(4), 0);
+    fb.li(r(5), 0);
+    fb.blez(r(2), "flush"); // empty input
+    fb.block("loop");
+    fb.add(r(10), r(6), r(1));
+    fb.lw(r(9), r(10), 0); // b = in[i]
+    fb.bne(r(9), r(3), "emit"); // phased: rarely taken in run phase
+    fb.block("same");
+    fb.addi(r(4), r(4), 1);
+    fb.jump("next");
+    fb.block("emit");
+    fb.bltz(r(3), "skipstore"); // only true before the first byte
+    fb.block("store");
+    fb.add(r(11), r(7), r(5));
+    fb.sw(r(4), r(11), 0);
+    fb.sw(r(3), r(11), 1);
+    fb.addi(r(5), r(5), 2);
+    fb.block("skipstore");
+    fb.mov(r(3), r(9));
+    fb.li(r(4), 1);
+    fb.block("next");
+    fb.addi(r(1), r(1), 1);
+    fb.bne(r(1), r(2), "loop"); // hot latch
+    fb.block("flush");
+    fb.bltz(r(3), "suminit");
+    fb.block("laststore");
+    fb.add(r(11), r(7), r(5));
+    fb.sw(r(4), r(11), 0);
+    fb.sw(r(3), r(11), 1);
+    fb.addi(r(5), r(5), 2);
+    fb.block("suminit");
+    // Checksum pass over the output pairs.
+    fb.li(r(15), 31);
+    fb.li(r(13), 0);
+    fb.li(r(14), 0);
+    fb.blez(r(5), "done");
+    fb.block("sumloop");
+    fb.add(r(11), r(7), r(14));
+    fb.lw(r(12), r(11), 0);
+    fb.mul(r(13), r(13), r(15));
+    fb.add(r(13), r(13), r(12));
+    fb.addi(r(14), r(14), 1);
+    fb.bne(r(14), r(5), "sumloop");
+    fb.block("done");
+    // Run-classification pass over the emitted pairs: long vs short runs.
+    fb.li(r(16), 0);
+    fb.li(r(17), 0);
+    fb.li(r(14), 0);
+    fb.blez(r(5), "store_res");
+    fb.block("clsloop");
+    fb.add(r(11), r(7), r(14));
+    fb.lw(r(12), r(11), 0); // run length
+    fb.slti(r(18), r(12), 4);
+    fb.bne(r(18), r(0), "short_run");
+    fb.block("long_run");
+    fb.addi(r(16), r(16), 1);
+    fb.jump("cls_next");
+    fb.block("short_run");
+    fb.addi(r(17), r(17), 1);
+    fb.block("cls_next");
+    fb.addi(r(14), r(14), 2);
+    fb.slt(r(18), r(14), r(5));
+    fb.bne(r(18), r(0), "clsloop");
+    fb.block("store_res");
+    fb.sw(r(5), r(0), OUT_LEN_ADDR as i64);
+    fb.sw(r(13), r(0), CHECKSUM_ADDR as i64);
+    fb.sw(r(16), r(0), LONG_RUNS_ADDR as i64);
+    fb.sw(r(17), r(0), SHORT_RUNS_ADDR as i64);
+    fb.halt();
+
+    let mut pb = ProgramBuilder::new();
+    pb.data_word(N_ADDR, input.len() as i64);
+    pb.data_words(IN_BASE, &input);
+    pb.mem_words(OUT_BASE + 2 * input.len() as u64 + 64);
+    pb.add_func(fb);
+    let prog = pb.finish("compress");
+
+    Workload {
+        name: "compress",
+        description: "RLE compressor over phased (runs then noise) input",
+        program: prog,
+        expected: vec![
+            (OUT_LEN_ADDR, out_len),
+            (CHECKSUM_ADDR, checksum),
+            (LONG_RUNS_ADDR, long_runs),
+            (SHORT_RUNS_ADDR, short_runs),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_rle_roundtrip_properties() {
+        let input = generate_input(Scale::Test);
+        let (len, _sum, long_runs, short_runs) = golden(&input);
+        assert!(long_runs > 0 && short_runs > 0);
+        // Total run lengths must equal input length.
+        let mut covered = 0i64;
+        let mut prev = -1i64;
+        let mut runlen = 0i64;
+        for &b in &input {
+            if b == prev {
+                runlen += 1;
+            } else {
+                covered += runlen;
+                prev = b;
+                runlen = 1;
+            }
+        }
+        covered += runlen;
+        assert_eq!(covered, input.len() as i64);
+        assert!(len > 0 && len < input.len() as i64 * 2 + 2);
+    }
+
+    #[test]
+    fn input_is_phased() {
+        let input = generate_input(Scale::Small);
+        let phase1 = input.len() * 3 / 5;
+        let same_rate = |s: &[i64]| {
+            s.windows(2).filter(|w| w[0] == w[1]).count() as f64 / (s.len() - 1) as f64
+        };
+        assert!(same_rate(&input[..phase1]) > 0.8, "run phase should repeat");
+        // Paired phase: every other adjacent pair repeats, never more.
+        let noise = &input[phase1..];
+        let nr = same_rate(noise);
+        assert!((0.4..0.6).contains(&nr), "pair phase same-rate {nr}");
+    }
+}

@@ -1,0 +1,207 @@
+//! The `espresso` stand-in: the cube-containment kernel at the heart of
+//! two-level logic minimization.  Cubes are vectors over {0, 1, 2} (2 = don't
+//! care); cube A covers cube B when every A literal is don't-care or equal
+//! to B's.  The kernel counts covering pairs — a doubly-nested loop of
+//! data-dependent, short-armed conditionals with moderately biased branches,
+//! matching espresso's profile in Table 1.
+
+use crate::{Scale, Workload};
+use guardspec_ir::builder::*;
+use guardspec_ir::reg::r;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub const NUM_CUBES_ADDR: u64 = 0;
+pub const WIDTH_ADDR: u64 = 1;
+pub const COVER_COUNT_ADDR: u64 = 2;
+pub const DC_COUNT_ADDR: u64 = 3;
+pub const ODD_SUM_ADDR: u64 = 4;
+pub const EVEN_SUM_ADDR: u64 = 5;
+pub const CUBE_BASE: u64 = 0x1000;
+
+fn dims(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (18, 6),
+        Scale::Small => (70, 10),
+        Scale::Paper => (170, 14),
+    }
+}
+
+/// Deterministic cube set.  Don't-care density ~68 % makes the inner
+/// "is don't care?" branch genuinely two-sided; some cubes are broadened
+/// copies of others so real cover pairs exist.
+pub fn generate(scale: Scale) -> (usize, usize, Vec<i64>) {
+    let (c, w) = dims(scale);
+    let mut rng = SmallRng::seed_from_u64(0xE59);
+    let mut cubes = vec![0i64; c * w];
+    for i in 0..c {
+        if i % 3 == 2 && i > 0 {
+            // Broadened copy of an earlier cube: guaranteed cover pair.
+            let src = rng.gen_range(0..i);
+            for v in 0..w {
+                let x = cubes[src * w + v];
+                cubes[i * w + v] = if rng.gen_bool(0.4) { 2 } else { x };
+            }
+        } else {
+            for v in 0..w {
+                cubes[i * w + v] = if rng.gen_bool(0.68) { 2 } else { rng.gen_range(0..2i64) };
+            }
+        }
+    }
+    (c, w, cubes)
+}
+
+/// Golden model: `(cover pairs, don't-cares scanned, odd tally, even tally)`.
+/// The odd/even tally of `av + bv` parity is the deliberately unpredictable
+/// short-arm diamond the paper's guarded execution targets.
+pub fn golden(c: usize, w: usize, cubes: &[i64]) -> (i64, i64, i64, i64) {
+    let mut cover = 0i64;
+    let mut dcs = 0i64;
+    let mut odd = 0i64;
+    let mut even = 0i64;
+    for a in 0..c {
+        for b in 0..c {
+            if a == b {
+                continue;
+            }
+            let mut covers = true;
+            for v in 0..w {
+                let av = cubes[a * w + v];
+                if av == 2 {
+                    dcs += 1;
+                    continue;
+                }
+                let bv = cubes[b * w + v];
+                if (av + bv) & 1 == 1 {
+                    odd += 1;
+                } else {
+                    even += 1;
+                }
+                if av != bv {
+                    covers = false;
+                    break;
+                }
+            }
+            if covers {
+                cover += 1;
+            }
+        }
+    }
+    (cover, dcs, odd, even)
+}
+
+pub fn build(scale: Scale) -> Workload {
+    let (c, w, cubes) = generate(scale);
+    let (cover, dcs, odd, even) = golden(c, w, &cubes);
+
+    // r1=a, r2=b, r3=v, r4=C, r5=W, r6=base, r7=cover, r8=dc count,
+    // r9=a*W base ptr, r10=b*W base ptr, r11..r14 scratch.
+    let mut fb = FuncBuilder::new("espresso");
+    fb.block("entry");
+    fb.li(r(6), CUBE_BASE as i64);
+    fb.lw(r(4), r(0), NUM_CUBES_ADDR as i64);
+    fb.lw(r(5), r(0), WIDTH_ADDR as i64);
+    fb.li(r(7), 0);
+    fb.li(r(8), 0);
+    fb.li(r(16), 0);
+    fb.li(r(17), 0);
+    fb.li(r(1), 0);
+    fb.blez(r(4), "done");
+    fb.block("a_loop");
+    fb.mul(r(9), r(1), r(5));
+    fb.add(r(9), r(9), r(6)); // &cube[a][0]
+    fb.li(r(2), 0);
+    fb.block("b_loop");
+    fb.beq(r(1), r(2), "b_next"); // skip a == b (taken 1/C)
+    fb.block("pair");
+    fb.mul(r(10), r(2), r(5));
+    fb.add(r(10), r(10), r(6)); // &cube[b][0]
+    fb.li(r(3), 0);
+    fb.block("v_loop");
+    fb.add(r(11), r(9), r(3));
+    fb.lw(r(12), r(11), 0); // av
+    fb.slti(r(13), r(12), 2);
+    fb.bne(r(13), r(0), "compare"); // taken when av is a real literal (~32 %)
+    fb.block("dontcare");
+    fb.addi(r(8), r(8), 1);
+    fb.jump("v_next");
+    fb.block("compare");
+    fb.add(r(11), r(10), r(3));
+    fb.lw(r(14), r(11), 0); // bv
+    // Unpredictable parity tally (short-arm diamond, ~50-50).
+    fb.add(r(15), r(12), r(14));
+    fb.andi(r(15), r(15), 1);
+    fb.beq(r(15), r(0), "tally_even");
+    fb.block("tally_odd");
+    fb.addi(r(16), r(16), 1);
+    fb.jump("mismatch_chk");
+    fb.block("tally_even");
+    fb.addi(r(17), r(17), 1);
+    fb.block("mismatch_chk");
+    fb.bne(r(12), r(14), "b_next"); // literal mismatch: not covered
+    fb.block("v_next");
+    fb.addi(r(3), r(3), 1);
+    fb.bne(r(3), r(5), "v_loop");
+    fb.block("covered");
+    fb.addi(r(7), r(7), 1);
+    fb.block("b_next");
+    fb.addi(r(2), r(2), 1);
+    fb.bne(r(2), r(4), "b_loop");
+    fb.block("a_next");
+    fb.addi(r(1), r(1), 1);
+    fb.bne(r(1), r(4), "a_loop");
+    fb.block("done");
+    fb.sw(r(7), r(0), COVER_COUNT_ADDR as i64);
+    fb.sw(r(8), r(0), DC_COUNT_ADDR as i64);
+    fb.sw(r(16), r(0), ODD_SUM_ADDR as i64);
+    fb.sw(r(17), r(0), EVEN_SUM_ADDR as i64);
+    fb.halt();
+
+    let mut pb = ProgramBuilder::new();
+    pb.data_word(NUM_CUBES_ADDR, c as i64);
+    pb.data_word(WIDTH_ADDR, w as i64);
+    pb.data_words(CUBE_BASE, &cubes);
+    pb.mem_words(CUBE_BASE + cubes.len() as u64 + 64);
+    pb.add_func(fb);
+    let prog = pb.finish("espresso");
+
+    Workload {
+        name: "espresso",
+        description: "cube-containment kernel over 3-valued cubes",
+        program: prog,
+        expected: vec![
+            (COVER_COUNT_ADDR, cover),
+            (DC_COUNT_ADDR, dcs),
+            (ODD_SUM_ADDR, odd),
+            (EVEN_SUM_ADDR, even),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_has_cover_pairs() {
+        let (c, w, cubes) = generate(Scale::Test);
+        let (cover, dcs, odd, even) = golden(c, w, &cubes);
+        assert!(cover > 0, "broadened copies guarantee cover pairs");
+        assert!(dcs > 0);
+        // The parity diamond must be genuinely two-sided.
+        let bal = odd as f64 / (odd + even) as f64;
+        assert!((0.3..0.7).contains(&bal), "parity balance {bal}");
+    }
+
+    #[test]
+    fn golden_manual_example() {
+        // A = [2, 1], B = [0, 1]: A covers B; B does not cover A.
+        let cubes = vec![2, 1, 0, 1];
+        let (cover, ..) = golden(2, 2, &cubes);
+        assert_eq!(cover, 1);
+        // Identical cubes cover each other.
+        let twins = vec![1, 0, 1, 0];
+        let (cover2, ..) = golden(2, 2, &twins);
+        assert_eq!(cover2, 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! The `grep` stand-in: naive substring search.  The inner character-compare
+//! branch fails (and exits the inner loop) at the first position almost
+//! always, giving the highly-regular branch behavior and high prediction
+//! accuracy Table 1 reports for grep.
+
+use crate::{Scale, Workload};
+use guardspec_ir::builder::*;
+use guardspec_ir::reg::r;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub const TEXT_LEN_ADDR: u64 = 0;
+pub const PAT_LEN_ADDR: u64 = 1;
+pub const COUNT_ADDR: u64 = 2;
+pub const POS_SUM_ADDR: u64 = 3;
+pub const ODD_CHARS_ADDR: u64 = 4;
+pub const EVEN_CHARS_ADDR: u64 = 5;
+pub const TEXT_BASE: u64 = 0x1000;
+pub const PAT_BASE: u64 = 0x800;
+
+fn text_len(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 800,
+        Scale::Small => 6_000,
+        Scale::Paper => 26_000,
+    }
+}
+
+/// Deterministic text over a small alphabet with the pattern planted at
+/// irregular intervals.
+pub fn generate(scale: Scale) -> (Vec<i64>, Vec<i64>) {
+    let n = text_len(scale);
+    let pat: Vec<i64> = vec![7, 3, 7, 11];
+    let mut rng = SmallRng::seed_from_u64(0x96E9);
+    let mut text: Vec<i64> = (0..n).map(|_| rng.gen_range(0..16i64)).collect();
+    // Plant some true matches.
+    let mut i = 13usize;
+    while i + pat.len() < n {
+        text[i..i + pat.len()].copy_from_slice(&pat);
+        i += rng.gen_range(97..331);
+    }
+    (text, pat)
+}
+
+/// Golden model: matches, position sum, and the per-position character
+/// parity tally (the unpredictable short-arm diamond).
+pub fn golden(text: &[i64], pat: &[i64]) -> (i64, i64, i64, i64) {
+    let mut count = 0i64;
+    let mut pos_sum = 0i64;
+    let mut odd = 0i64;
+    let mut even = 0i64;
+    if pat.is_empty() || text.len() < pat.len() {
+        return (0, 0, 0, 0);
+    }
+    for i in 0..=(text.len() - pat.len()) {
+        if text[i] & 1 == 1 {
+            odd += 1;
+        } else {
+            even += 1;
+        }
+        if text[i..i + pat.len()] == *pat {
+            count += 1;
+            pos_sum = pos_sum.wrapping_add(i as i64);
+        }
+    }
+    (count, pos_sum, odd, even)
+}
+
+pub fn build(scale: Scale) -> Workload {
+    let (text, pat) = generate(scale);
+    let (count, pos_sum, odd, even) = golden(&text, &pat);
+
+    // r1=i, r2=last_start, r3=j, r4=pat_len, r5=text base, r6=pat base,
+    // r7=count, r8=pos_sum, r9..r12 scratch.
+    let mut fb = FuncBuilder::new("grep");
+    fb.block("entry");
+    fb.li(r(5), TEXT_BASE as i64);
+    fb.li(r(6), PAT_BASE as i64);
+    fb.lw(r(9), r(0), TEXT_LEN_ADDR as i64);
+    fb.lw(r(4), r(0), PAT_LEN_ADDR as i64);
+    fb.sub(r(2), r(9), r(4)); // last start index
+    fb.li(r(1), 0);
+    fb.li(r(7), 0);
+    fb.li(r(8), 0);
+    fb.li(r(17), 0);
+    fb.li(r(18), 0);
+    fb.bltz(r(2), "done");
+    fb.block("outer");
+    // Unpredictable parity tally over the scanned character.
+    fb.add(r(15), r(5), r(1));
+    fb.lw(r(15), r(15), 0);
+    fb.andi(r(16), r(15), 1);
+    fb.beq(r(16), r(0), "tally_even");
+    fb.block("tally_odd");
+    fb.addi(r(17), r(17), 1);
+    fb.jump("istart");
+    fb.block("tally_even");
+    fb.addi(r(18), r(18), 1);
+    fb.block("istart");
+    fb.li(r(3), 0);
+    fb.block("inner");
+    fb.add(r(10), r(5), r(1));
+    fb.add(r(10), r(10), r(3));
+    fb.lw(r(11), r(10), 0); // text[i+j]
+    fb.add(r(12), r(6), r(3));
+    fb.lw(r(13), r(12), 0); // pat[j]
+    fb.bne(r(11), r(13), "nomatch"); // highly taken: mismatch at j=0
+    fb.block("advance");
+    fb.addi(r(3), r(3), 1);
+    fb.bne(r(3), r(4), "inner");
+    fb.block("matched");
+    fb.addi(r(7), r(7), 1);
+    fb.add(r(8), r(8), r(1));
+    fb.block("nomatch");
+    fb.addi(r(1), r(1), 1);
+    fb.slt(r(14), r(2), r(1)); // r14 = last < i
+    fb.beq(r(14), r(0), "outer"); // hot latch
+    fb.block("done");
+    fb.sw(r(7), r(0), COUNT_ADDR as i64);
+    fb.sw(r(8), r(0), POS_SUM_ADDR as i64);
+    fb.sw(r(17), r(0), ODD_CHARS_ADDR as i64);
+    fb.sw(r(18), r(0), EVEN_CHARS_ADDR as i64);
+    fb.halt();
+
+    let mut pb = ProgramBuilder::new();
+    pb.data_word(TEXT_LEN_ADDR, text.len() as i64);
+    pb.data_word(PAT_LEN_ADDR, pat.len() as i64);
+    pb.data_words(TEXT_BASE, &text);
+    pb.data_words(PAT_BASE, &pat);
+    pb.mem_words(TEXT_BASE + text.len() as u64 + 64);
+    pb.add_func(fb);
+    let prog = pb.finish("grep");
+
+    Workload {
+        name: "grep",
+        description: "naive substring search with planted matches",
+        program: prog,
+        expected: vec![
+            (COUNT_ADDR, count),
+            (POS_SUM_ADDR, pos_sum),
+            (ODD_CHARS_ADDR, odd),
+            (EVEN_CHARS_ADDR, even),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_finds_planted_matches() {
+        let (text, pat) = generate(Scale::Test);
+        let (count, pos_sum, odd, even) = golden(&text, &pat);
+        assert!(count > 0, "planted matches must be found");
+        assert!(pos_sum > 0);
+        let bal = odd as f64 / (odd + even) as f64;
+        assert!((0.3..0.7).contains(&bal), "parity balance {bal}");
+    }
+
+    #[test]
+    fn golden_edge_cases() {
+        assert_eq!(golden(&[], &[1]), (0, 0, 0, 0));
+        assert_eq!(golden(&[1, 2], &[1, 2, 3]), (0, 0, 0, 0));
+        assert_eq!(golden(&[1, 2, 1, 2], &[1, 2]).0, 2);
+        assert_eq!(golden(&[5, 5, 5], &[5]), (3, 3, 3, 0));
+    }
+}

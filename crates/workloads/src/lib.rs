@@ -1,0 +1,79 @@
+//! # guardspec-workloads
+//!
+//! Synthetic stand-ins for the paper's four benchmarks (Table 1):
+//!
+//! | paper      | here                | character reproduced                                   |
+//! |------------|---------------------|--------------------------------------------------------|
+//! | compress   | [`compress`]        | RLE compressor over phased (runs → noise) input: the inner "same byte?" branch is strongly *phased*, the paper's split-branch showcase; nested branches with minimal interspersed code |
+//! | espresso   | [`espresso`]        | cube-cover kernel over 3-valued cubes: data-dependent short-arm diamonds, moderately biased branches |
+//! | xlisp      | [`xlisp`]           | bytecode-interpreter loop with register-relative (`jtab`) dispatch — the BTB-hostile indirect jumps that give xlisp the lowest prediction accuracy |
+//! | grep       | [`grep`]            | naive substring search: inner mismatch branch highly predictable, high branch fraction |
+//!
+//! Every workload carries a Rust *golden model* executed at build time; the
+//! expected memory results are embedded in [`Workload::expected`] so tests
+//! and the harness can verify that the IR kernel (and any transformed
+//! version of it) computed the right answer.
+//!
+//! Inputs are deterministic (fixed-seed `SmallRng`), so profiles, traces and
+//! tables are exactly reproducible.
+
+pub mod compress;
+pub mod espresso;
+pub mod grep;
+pub mod ocean;
+pub mod xlisp;
+
+use guardspec_ir::Program;
+
+/// Workload size presets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Tiny inputs for unit tests (thousands of dynamic instructions).
+    Test,
+    /// Small inputs for quick runs (hundreds of thousands).
+    Small,
+    /// The scale used to regenerate the paper's tables (millions,
+    /// preserving the paper's xlisp ≫ espresso ≫ compress ≈ grep ordering).
+    Paper,
+}
+
+/// A ready-to-run benchmark program with its expected results.
+pub struct Workload {
+    pub name: &'static str,
+    pub description: &'static str,
+    pub program: Program,
+    /// `(word address, expected value)` pairs the program must produce.
+    pub expected: Vec<(u64, i64)>,
+}
+
+impl Workload {
+    /// Check a memory image against the expected results; returns the
+    /// mismatches (empty = correct).
+    pub fn verify(&self, mem: &[i64]) -> Vec<(u64, i64, i64)> {
+        self.expected
+            .iter()
+            .filter_map(|&(addr, want)| {
+                let got = mem.get(addr as usize).copied().unwrap_or(i64::MIN);
+                (got != want).then_some((addr, want, got))
+            })
+            .collect()
+    }
+}
+
+/// All four paper workloads at the given scale, in Table 1 order.
+pub fn all_workloads(scale: Scale) -> Vec<Workload> {
+    vec![compress::build(scale), espresso::build(scale), xlisp::build(scale), grep::build(scale)]
+}
+
+/// The paper's four plus the SPLASH-style FP extension kernel.
+pub fn extended_workloads(scale: Scale) -> Vec<Workload> {
+    let mut v = all_workloads(scale);
+    v.push(ocean::build(scale));
+    v
+}
+
+/// Result-slot conventions shared by all workloads.
+pub mod layout {
+    /// First result word.
+    pub const RESULT_BASE: u64 = 2;
+}

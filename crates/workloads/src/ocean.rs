@@ -1,0 +1,180 @@
+//! `ocean` — a SPLASH-style floating-point kernel (the paper's Section 6
+//! says the study "included benchmarks from the SPEC, splash and unix
+//! utilities"; its tables show only the four integer codes, so this kernel
+//! is an *extension* workload exercising the three FP pipes and the FP
+//! queue, which the integer benchmarks leave idle).
+//!
+//! The kernel is a red-black-free Jacobi sweep on a 2D grid:
+//! `next[i][j] = 0.25 * (cur[i-1][j] + cur[i+1][j] + cur[i][j-1] + cur[i][j+1])`,
+//! double-buffered for `STEPS` iterations.  The Rust golden model performs
+//! the same f64 operations in the same order, so results are bit-exact.
+
+use crate::{Scale, Workload};
+use guardspec_ir::builder::*;
+use guardspec_ir::reg::{f, r};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub const DIM_ADDR: u64 = 0;
+pub const STEPS_ADDR: u64 = 1;
+/// Bit pattern of the final-grid sum (f64 bits as i64).
+pub const SUM_BITS_ADDR: u64 = 2;
+pub const GRID_A: u64 = 0x1000;
+pub const GRID_B: u64 = 0x40_000;
+
+fn dims(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (10, 3),
+        Scale::Small => (28, 6),
+        Scale::Paper => (48, 12),
+    }
+}
+
+/// Deterministic initial grid (values in [0, 1)).
+pub fn generate(scale: Scale) -> (usize, usize, Vec<f64>) {
+    let (n, steps) = dims(scale);
+    let mut rng = SmallRng::seed_from_u64(0x0CEA);
+    let grid: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    (n, steps, grid)
+}
+
+/// Golden model: Jacobi sweep, then the bit pattern of the border-inclusive
+/// sum.  Operation order matches the IR kernel exactly, so the comparison
+/// is bit-exact.
+pub fn golden(n: usize, steps: usize, init: &[f64]) -> i64 {
+    let mut cur = init.to_vec();
+    let mut nxt = init.to_vec();
+    for _ in 0..steps {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let s = ((cur[(i - 1) * n + j] + cur[(i + 1) * n + j])
+                    + cur[i * n + (j - 1)])
+                    + cur[i * n + (j + 1)];
+                nxt[i * n + j] = 0.25 * s;
+            }
+        }
+        std::mem::swap(&mut cur, &mut nxt);
+    }
+    let mut sum = 0.0f64;
+    for v in &cur {
+        sum += *v;
+    }
+    sum.to_bits() as i64
+}
+
+pub fn build(scale: Scale) -> Workload {
+    let (n, steps, grid) = generate(scale);
+    let sum_bits = golden(n, steps, &grid);
+
+    // r1=step, r2=i, r3=j, r4=n, r5=steps, r6=cur base, r7=nxt base,
+    // r8..r12 scratch addresses, r13=n-1 bound.
+    // f1..f6 FP scratch, f10 = 0.25, f12 = running sum.
+    let mut fb = FuncBuilder::new("ocean");
+    fb.block("entry");
+    fb.lw(r(4), r(0), DIM_ADDR as i64);
+    fb.lw(r(5), r(0), STEPS_ADDR as i64);
+    fb.subi(r(13), r(4), 1);
+    fb.li(r(6), GRID_A as i64);
+    fb.li(r(7), GRID_B as i64);
+    fb.li(r(14), 1);
+    fb.li(r(15), 4);
+    fb.itof(f(10), r(14)); // 1.0
+    fb.itof(f(11), r(15)); // 4.0
+    fb.fdiv(f(10), f(10), f(11)); // 0.25 (exercises the divide pipe)
+    fb.li(r(1), 0);
+    fb.block("step_loop");
+    fb.li(r(2), 1);
+    fb.block("i_loop");
+    fb.li(r(3), 1);
+    fb.mul(r(8), r(2), r(4)); // i*n
+    fb.block("j_loop");
+    fb.add(r(9), r(8), r(3)); // i*n + j
+    // Neighbors: (i-1)*n+j = idx-n ; (i+1)*n+j = idx+n ; idx-1 ; idx+1.
+    fb.add(r(10), r(6), r(9));
+    fb.sub(r(11), r(10), r(4));
+    fb.flw(f(1), r(11), 0); // up
+    fb.add(r(11), r(10), r(4));
+    fb.flw(f(2), r(11), 0); // down
+    fb.flw(f(3), r(10), -1); // left
+    fb.flw(f(4), r(10), 1); // right
+    fb.fadd(f(5), f(1), f(2));
+    fb.fadd(f(5), f(5), f(3));
+    fb.fadd(f(5), f(5), f(4));
+    fb.fmul(f(6), f(10), f(5));
+    fb.add(r(12), r(7), r(9));
+    fb.fsw(f(6), r(12), 0);
+    fb.addi(r(3), r(3), 1);
+    fb.bne(r(3), r(13), "j_loop");
+    fb.block("i_next");
+    fb.addi(r(2), r(2), 1);
+    fb.bne(r(2), r(13), "i_loop");
+    fb.block("swap");
+    // Swap cur/nxt pointers; borders of nxt were never written, copy them
+    // implicitly by initializing BOTH grids with the same data (done at
+    // program setup), so border reads stay correct after the swap.
+    fb.mov(r(12), r(6));
+    fb.mov(r(6), r(7));
+    fb.mov(r(7), r(12));
+    fb.addi(r(1), r(1), 1);
+    fb.bne(r(1), r(5), "step_loop");
+    fb.block("sum_init");
+    fb.li(r(2), 0);
+    fb.mul(r(9), r(4), r(4)); // n*n
+    fb.itof(f(12), r(0)); // 0.0
+    fb.block("sum_loop");
+    fb.add(r(10), r(6), r(2));
+    fb.flw(f(1), r(10), 0);
+    fb.fadd(f(12), f(12), f(1));
+    fb.addi(r(2), r(2), 1);
+    fb.bne(r(2), r(9), "sum_loop");
+    fb.block("store");
+    // Store the raw f64 bits for bit-exact comparison.
+    fb.li(r(11), SUM_BITS_ADDR as i64);
+    fb.fsw(f(12), r(11), 0);
+    fb.halt();
+
+    let mut pb = ProgramBuilder::new();
+    pb.data_word(DIM_ADDR, n as i64);
+    pb.data_word(STEPS_ADDR, steps as i64);
+    let bits: Vec<i64> = grid.iter().map(|v| v.to_bits() as i64).collect();
+    pb.data_words(GRID_A, &bits);
+    pb.data_words(GRID_B, &bits);
+    pb.mem_words(GRID_B + (n * n) as u64 + 64);
+    pb.add_func(fb);
+    let prog = pb.finish("ocean");
+
+    Workload {
+        name: "ocean",
+        description: "SPLASH-style Jacobi stencil exercising the FP pipes",
+        program: prog,
+        expected: vec![(SUM_BITS_ADDR, sum_bits)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_is_deterministic_and_contracting() {
+        let (n, steps, grid) = generate(Scale::Test);
+        let a = golden(n, steps, &grid);
+        let b = golden(n, steps, &grid);
+        assert_eq!(a, b);
+        // Averaging keeps values in [0, 1): the sum stays bounded.
+        let sum = f64::from_bits(a as u64);
+        assert!(sum.is_finite() && sum >= 0.0 && sum <= (n * n) as f64);
+    }
+
+    #[test]
+    fn one_step_manual_check() {
+        // 3x3 grid: only the center updates, to the average of its four
+        // neighbors.
+        let init = vec![1.0, 2.0, 3.0, 4.0, 100.0, 6.0, 7.0, 8.0, 9.0];
+        let bits = golden(3, 1, &init);
+        let sum = f64::from_bits(bits as u64);
+        let center = 0.25 * (((2.0 + 8.0) + 4.0) + 6.0);
+        let expect = 1.0 + 2.0 + 3.0 + 4.0 + center + 6.0 + 7.0 + 8.0 + 9.0;
+        assert_eq!(sum, expect);
+    }
+}

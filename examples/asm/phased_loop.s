@@ -1,0 +1,33 @@
+# The paper's Section 4 running example as a hand-written assembly file:
+# a 200-iteration loop whose branch is taken for the first 40% of the
+# iteration space, toggles for 20%, and is not taken for the last 40%.
+#
+# Try:
+#   cargo run --release -p guardspec-bench --bin gsx -- prof examples/asm/phased_loop.s
+#   cargo run --release -p guardspec-bench --bin gsx -- opt  examples/asm/phased_loop.s
+#   cargo run --release -p guardspec-bench --bin gsx -- sim  examples/asm/phased_loop.s
+func main:
+entry:
+    li r1, 0          # i
+    li r9, 200        # trip count
+head:
+    slti r2, r1, 80   # phase A: i < 80 -> taken
+    bne r2, r0, taken
+mid:
+    slti r3, r1, 120  # phase B: 80 <= i < 120 -> toggle on parity
+    beq r3, r0, fall
+toggle:
+    andi r4, r1, 1
+    beq r4, r0, fall
+taken:
+    addi r5, r5, 1
+    j latch
+fall:
+    addi r6, r6, 1
+latch:
+    addi r1, r1, 1
+    bne r1, r9, head
+done:
+    sw r5, 1(r0)
+    sw r6, 2(r0)
+    halt

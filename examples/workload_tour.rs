@@ -1,0 +1,42 @@
+//! Tour of the four synthetic benchmarks: run each through the full
+//! profile → transform → simulate pipeline and print a compact report.
+//!
+//! Run with: `cargo run --release --example workload_tour`
+
+use guardspec::core::{transform_program, DriverOptions};
+use guardspec::interp::profile::profile_program;
+use guardspec::predict::Scheme;
+use guardspec::sim::{simulate_program, MachineConfig};
+use guardspec::workloads::{all_workloads, Scale};
+
+fn main() {
+    let cfg = MachineConfig::r10000();
+    println!(
+        "{:<10} {:>10} {:>7} {:>9} {:>9} {:>9} {:>8}",
+        "workload", "dyn instr", "br %", "base IPC", "prop IPC", "perf IPC", "speedup"
+    );
+    for w in all_workloads(Scale::Small) {
+        let (profile, _) = profile_program(&w.program).expect("profile");
+        let mut tuned = w.program.clone();
+        transform_program(&mut tuned, &profile, &DriverOptions::proposed());
+
+        let (base, rb) = simulate_program(&w.program, Scheme::TwoBit, &cfg).expect("sim");
+        let (prop, rp) = simulate_program(&tuned, Scheme::Proposed, &cfg).expect("sim");
+        let (perf, _) = simulate_program(&w.program, Scheme::Perfect, &cfg).expect("sim");
+
+        // Both versions must produce the expected answers.
+        assert!(w.verify(&rb.machine.mem).is_empty(), "{} base wrong", w.name);
+        assert!(w.verify(&rp.machine.mem).is_empty(), "{} tuned wrong", w.name);
+
+        println!(
+            "{:<10} {:>10} {:>6.1}% {:>9.3} {:>9.3} {:>9.3} {:>7.2}x",
+            w.name,
+            profile.retired,
+            100.0 * profile.branch_fraction(),
+            base.ipc(),
+            prop.ipc(),
+            perf.ipc(),
+            base.cycles as f64 / prop.cycles as f64,
+        );
+    }
+}

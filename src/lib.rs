@@ -1,0 +1,15 @@
+//! # guardspec — facade crate
+//!
+//! Re-exports the full API: IR, analyses, interpreter/profiler, predictors,
+//! the R10000-like timing simulator, the speculation/guarded-execution/
+//! split-branch transforms, and the synthetic workloads.
+//!
+//! See README.md for a tour and DESIGN.md for the system inventory.
+
+pub use guardspec_analysis as analysis;
+pub use guardspec_core as core;
+pub use guardspec_interp as interp;
+pub use guardspec_ir as ir;
+pub use guardspec_predict as predict;
+pub use guardspec_sim as sim;
+pub use guardspec_workloads as workloads;

@@ -1,0 +1,107 @@
+//! End-to-end integration: profile → transform → trace → simulate across
+//! all crates, on all workloads, under every scheme and preset.
+
+use guardspec::core::{transform_program, DriverOptions};
+use guardspec::interp::profile::profile_program;
+use guardspec::interp::run;
+use guardspec::ir::validate::assert_valid;
+use guardspec::predict::Scheme;
+use guardspec::sim::{simulate_program, MachineConfig};
+use guardspec::workloads::{all_workloads, Scale};
+
+#[test]
+fn every_workload_runs_and_verifies_under_every_preset() {
+    for w in all_workloads(Scale::Test) {
+        let (profile, _) = profile_program(&w.program).expect("profile");
+        for opts in [
+            DriverOptions::baseline(),
+            DriverOptions::conventional(),
+            DriverOptions::speculation_only(),
+            DriverOptions::guarded_only(),
+            DriverOptions::proposed(),
+        ] {
+            let mut p = w.program.clone();
+            transform_program(&mut p, &profile, &opts);
+            assert_valid(&p);
+            let res = run(&p).expect("runs");
+            let bad = w.verify(&res.machine.mem);
+            assert!(bad.is_empty(), "{} under {opts:?}: {bad:?}", w.name);
+        }
+    }
+}
+
+#[test]
+fn scheme_ordering_holds_on_all_workloads() {
+    let cfg = MachineConfig::r10000();
+    for w in all_workloads(Scale::Test) {
+        let (profile, _) = profile_program(&w.program).expect("profile");
+        let mut tuned = w.program.clone();
+        transform_program(&mut tuned, &profile, &DriverOptions::proposed());
+
+        let (base, _) = simulate_program(&w.program, Scheme::TwoBit, &cfg).unwrap();
+        let (prop, _) = simulate_program(&tuned, Scheme::Proposed, &cfg).unwrap();
+        let (perf, _) = simulate_program(&w.program, Scheme::Perfect, &cfg).unwrap();
+
+        // The paper's headline shape: proposed between the 2-bit baseline
+        // and perfect prediction (with a little slack for tiny inputs).
+        assert!(
+            prop.cycles as f64 <= base.cycles as f64 * 1.02,
+            "{}: proposed {} vs base {}",
+            w.name,
+            prop.cycles,
+            base.cycles
+        );
+        assert!(
+            perf.cycles <= base.cycles,
+            "{}: perfect {} vs base {}",
+            w.name,
+            perf.cycles,
+            base.cycles
+        );
+        assert_eq!(perf.mispredicts, 0);
+        assert_eq!(perf.indirect_stalls, 0);
+    }
+}
+
+#[test]
+fn transformed_programs_print_and_reparse() {
+    // The textual format round-trips even for transformed programs with
+    // predicated branch-likelies and guarded instructions.
+    for w in all_workloads(Scale::Test) {
+        let (profile, _) = profile_program(&w.program).expect("profile");
+        let mut p = w.program.clone();
+        transform_program(&mut p, &profile, &DriverOptions::proposed());
+        let text = format!("{p}");
+        let back = guardspec::ir::parse::parse_program(&text, None)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name));
+        assert_eq!(back.funcs, p.funcs, "{}", w.name);
+    }
+}
+
+#[test]
+fn annulled_never_counted_in_ipc_commits() {
+    let cfg = MachineConfig::r10000();
+    for w in all_workloads(Scale::Test) {
+        let (profile, _) = profile_program(&w.program).expect("profile");
+        let mut tuned = w.program.clone();
+        transform_program(&mut tuned, &profile, &DriverOptions::proposed());
+        let (stats, exec) = simulate_program(&tuned, Scheme::Proposed, &cfg).unwrap();
+        assert_eq!(stats.committed_total, exec.summary.retired);
+        assert_eq!(stats.annulled, exec.summary.annulled);
+        assert_eq!(stats.committed, exec.summary.retired - exec.summary.annulled);
+    }
+}
+
+#[test]
+fn profiles_are_deterministic() {
+    let w = &all_workloads(Scale::Test)[0];
+    let (p1, _) = profile_program(&w.program).unwrap();
+    let (p2, _) = profile_program(&w.program).unwrap();
+    assert_eq!(p1.retired, p2.retired);
+    assert_eq!(p1.site_counts, p2.site_counts);
+    for (site, b1) in &p1.branches {
+        let b2 = p2.branch(*site).unwrap();
+        assert_eq!(b1.taken, b2.taken);
+        assert_eq!(b1.outcomes, b2.outcomes);
+    }
+}

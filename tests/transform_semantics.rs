@@ -1,0 +1,116 @@
+//! Property-based semantics preservation: random programs through every
+//! transform must compute the same memory image.
+
+use guardspec::core::{transform_program, DriverOptions};
+use guardspec::interp::profile::profile_program;
+use guardspec::interp::{run, Interp};
+use guardspec::ir::builder::*;
+use guardspec::ir::reg::r;
+use guardspec::ir::validate::assert_valid;
+use proptest::prelude::*;
+
+/// Build a randomized two-diamond loop program from a parameter tuple.
+/// The shape is fixed (so it stays a valid CFG); the *data* driving every
+/// branch is random, which exercises classification and all transforms.
+fn build_program(
+    iters: i64,
+    phase_split: i64,
+    arm_ops: usize,
+    mask: i64,
+    seed: i64,
+) -> guardspec::ir::Program {
+    let mut fb = FuncBuilder::new("prop");
+    fb.block("entry");
+    fb.li(r(1), 0);
+    fb.li(r(9), iters);
+    fb.li(r(20), seed);
+    fb.block("head");
+    // Phase-dependent branch.
+    fb.slti(r(2), r(1), phase_split);
+    fb.bne(r(2), r(0), "p_t");
+    fb.block("p_f");
+    fb.addi(r(5), r(5), 1);
+    fb.jump("mix");
+    fb.block("p_t");
+    fb.addi(r(6), r(6), 1);
+    fb.block("mix");
+    // Data-driven diamond with variable-length arms.
+    fb.mul(r(20), r(20), r(20));
+    fb.srl(r(3), r(20), 7);
+    fb.andi(r(20), r(20), 0xFFFF);
+    fb.andi(r(3), r(3), mask);
+    fb.beq(r(3), r(0), "d_t");
+    fb.block("d_f");
+    for _ in 0..arm_ops {
+        fb.addi(r(7), r(7), 2);
+    }
+    fb.jump("latch");
+    fb.block("d_t");
+    for _ in 0..arm_ops {
+        fb.addi(r(7), r(7), 3);
+    }
+    fb.block("latch");
+    fb.addi(r(1), r(1), 1);
+    fb.bne(r(1), r(9), "head");
+    fb.block("done");
+    fb.sw(r(5), r(0), 1);
+    fb.sw(r(6), r(0), 2);
+    fb.sw(r(7), r(0), 3);
+    fb.halt();
+    single_func_program(fb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_presets_preserve_semantics(
+        iters in 8i64..200,
+        split_frac in 0i64..100,
+        arm_ops in 1usize..6,
+        mask in prop::sample::select(vec![0i64, 1, 3, 7]),
+        seed in 3i64..1000,
+    ) {
+        let phase_split = iters * split_frac / 100;
+        let prog = build_program(iters, phase_split, arm_ops, mask, seed);
+        assert_valid(&prog);
+        let base = run(&prog).unwrap().machine;
+        let (profile, _) = profile_program(&prog).unwrap();
+        for opts in [
+            DriverOptions::conventional(),
+            DriverOptions::speculation_only(),
+            DriverOptions::guarded_only(),
+            DriverOptions::proposed(),
+        ] {
+            let mut p = prog.clone();
+            transform_program(&mut p, &profile, &opts);
+            assert_valid(&p);
+            let got = Interp::new(&p).run_with(&mut ()).unwrap().machine;
+            prop_assert_eq!(
+                base.mem_checksum(),
+                got.mem_checksum(),
+                "mem diverged (iters={}, split={}, arms={}, mask={}, seed={})",
+                iters, phase_split, arm_ops, mask, seed
+            );
+        }
+    }
+
+    #[test]
+    fn transforms_with_stale_profiles_stay_correct(
+        iters in 8i64..120,
+        profile_iters in 8i64..120,
+        seed in 3i64..500,
+    ) {
+        // Profile one trip count, run another: decisions may be wrong but
+        // semantics must hold (the split predicates degrade to mispredicts,
+        // never to wrong answers).
+        let profiled = build_program(profile_iters, profile_iters / 2, 2, 1, seed);
+        let (profile, _) = profile_program(&profiled).unwrap();
+        let mut p = build_program(iters, profile_iters / 2, 2, 1, seed);
+        transform_program(&mut p, &profile, &DriverOptions::proposed());
+        assert_valid(&p);
+        let want = run(&build_program(iters, profile_iters / 2, 2, 1, seed)).unwrap().machine;
+        let got = run(&p).unwrap().machine;
+        prop_assert_eq!(want.mem_checksum(), got.mem_checksum());
+    }
+}
