@@ -50,7 +50,12 @@ impl Cfg {
         for (i, b) in post.iter().enumerate() {
             rpo_index[b.index()] = i;
         }
-        Cfg { succs, preds, rpo: post, rpo_index }
+        Cfg {
+            succs,
+            preds,
+            rpo: post,
+            rpo_index,
+        }
     }
 
     pub fn num_blocks(&self) -> usize {
@@ -82,9 +87,10 @@ impl Cfg {
 
     /// Iterate every CFG edge `(from, to)`.
     pub fn edges(&self) -> impl Iterator<Item = (BlockId, BlockId)> + '_ {
-        self.succs.iter().enumerate().flat_map(|(i, ss)| {
-            ss.iter().map(move |s| (BlockId(i as u32), *s))
-        })
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ss)| ss.iter().map(move |s| (BlockId(i as u32), *s)))
     }
 }
 

@@ -47,12 +47,18 @@ fn is_arm(f: &Function, cfg: &Cfg, b: BlockId, head: BlockId, join: BlockId) -> 
     cfg.preds(b) == [head] && cfg.succs(b) == [join] && {
         // No calls / returns / jtab inside the arm; at most a final jump.
         let blk = f.block(b);
-        blk.insns.iter().enumerate().all(|(i, insn)| match &insn.op {
-            Opcode::Jump { .. } => i + 1 == blk.insns.len(),
-            Opcode::Branch { .. } | Opcode::Jtab { .. } | Opcode::Ret | Opcode::Halt
-            | Opcode::Call { .. } => false,
-            _ => true,
-        })
+        blk.insns
+            .iter()
+            .enumerate()
+            .all(|(i, insn)| match &insn.op {
+                Opcode::Jump { .. } => i + 1 == blk.insns.len(),
+                Opcode::Branch { .. }
+                | Opcode::Jtab { .. }
+                | Opcode::Ret
+                | Opcode::Halt
+                | Opcode::Call { .. } => false,
+                _ => true,
+            })
     }
 }
 
@@ -60,14 +66,20 @@ fn is_arm(f: &Function, cfg: &Cfg, b: BlockId, head: BlockId, join: BlockId) -> 
 pub fn find_hammocks(f: &Function, cfg: &Cfg) -> Vec<Hammock> {
     let mut out = Vec::new();
     for (head, blk) in f.iter_blocks() {
-        let Some(term) = blk.terminator() else { continue };
+        let Some(term) = blk.terminator() else {
+            continue;
+        };
         // Guarded (predicated) branches have three-way behavior and are not
         // if-conversion candidates.
         if term.guard.is_some() {
             continue;
         }
         let taken = match &term.op {
-            Opcode::Branch { target, likely: false, .. } => *target,
+            Opcode::Branch {
+                target,
+                likely: false,
+                ..
+            } => *target,
             _ => continue,
         };
         if !cfg.is_reachable(head) {

@@ -78,7 +78,12 @@ impl Liveness {
                 }
             }
         }
-        Liveness { live_in, live_out, gen, kill }
+        Liveness {
+            live_in,
+            live_out,
+            gen,
+            kill,
+        }
     }
 
     pub fn live_in(&self, b: BlockId) -> &RegSet {
@@ -197,7 +202,10 @@ mod tests {
         let mut fb = FuncBuilder::new("g");
         fb.block("a");
         fb.push(guardspec_ir::Instruction::guarded(
-            Opcode::Mov { dst: r(5), src: r(6) },
+            Opcode::Mov {
+                dst: r(5),
+                src: r(6),
+            },
             Guard::if_true(p(1)),
         ));
         fb.block("b");

@@ -81,14 +81,19 @@ impl LoopForest {
                     }
                 }
             }
-            loops.push(NaturalLoop { header, latches, body, exits, depth: 0 });
+            loops.push(NaturalLoop {
+                header,
+                latches,
+                body,
+                exits,
+                depth: 0,
+            });
         }
 
         // Nesting depth: loop A contains loop B if A's body contains B's
         // header and A != B.
-        let contains = |a: &NaturalLoop, b: &NaturalLoop| {
-            a.header != b.header && a.body.contains(&b.header)
-        };
+        let contains =
+            |a: &NaturalLoop, b: &NaturalLoop| a.header != b.header && a.body.contains(&b.header);
         let depths: Vec<usize> = loops
             .iter()
             .map(|l| 1 + loops.iter().filter(|o| contains(o, l)).count())
@@ -115,7 +120,11 @@ impl LoopForest {
                         _ => false,
                     };
                     out.push((
-                        InsnRef { func: guardspec_ir::FuncId(0), block: b, idx: i as u32 },
+                        InsnRef {
+                            func: guardspec_ir::FuncId(0),
+                            block: b,
+                            idx: i as u32,
+                        },
                         backward,
                     ));
                 }

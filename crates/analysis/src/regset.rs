@@ -57,10 +57,11 @@ impl RegSet {
 
     /// Iterate the members in dense-index order.
     pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
-        use guardspec_ir::{FltReg, IntReg, PredReg};
         use guardspec_ir::reg::{NUM_FLT_REGS, NUM_INT_REGS};
-        (0..Reg::DENSE_COUNT).filter(move |i| self.bits[i / 64] & (1 << (i % 64)) != 0).map(
-            move |i| {
+        use guardspec_ir::{FltReg, IntReg, PredReg};
+        (0..Reg::DENSE_COUNT)
+            .filter(move |i| self.bits[i / 64] & (1 << (i % 64)) != 0)
+            .map(move |i| {
                 let ni = NUM_INT_REGS as usize;
                 let nf = NUM_FLT_REGS as usize;
                 if i < ni {
@@ -70,8 +71,7 @@ impl RegSet {
                 } else {
                     Reg::Pred(PredReg((i - ni - nf) as u8))
                 }
-            },
-        )
+            })
     }
 }
 

@@ -41,8 +41,9 @@ fn bench_simulator(c: &mut Criterion) {
 }
 
 fn bench_predictor(c: &mut Criterion) {
-    let outcomes: Vec<(u64, bool)> =
-        (0..4096u64).map(|i| (0x1000 + (i % 37) * 4, i % 3 != 0)).collect();
+    let outcomes: Vec<(u64, bool)> = (0..4096u64)
+        .map(|i| (0x1000 + (i % 37) * 4, i % 3 != 0))
+        .collect();
     let mut g = c.benchmark_group("predictor");
     g.throughput(Throughput::Elements(outcomes.len() as u64));
     g.bench_function("twobit_update_stream", |b| {
@@ -64,7 +65,11 @@ fn bench_transform_driver(c: &mut Criterion) {
     c.bench_function("figure6_driver", |b| {
         b.iter(|| {
             let mut p = w.program.clone();
-            std::hint::black_box(transform_program(&mut p, &profile, &DriverOptions::proposed()))
+            std::hint::black_box(transform_program(
+                &mut p,
+                &profile,
+                &DriverOptions::proposed(),
+            ))
         })
     });
 }

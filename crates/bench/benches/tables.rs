@@ -46,5 +46,10 @@ fn bench_figure2_figure34(c: &mut Criterion) {
     });
 }
 
-criterion_group!(tables, bench_table1, bench_table3_table4, bench_figure2_figure34);
+criterion_group!(
+    tables,
+    bench_table1,
+    bench_table3_table4,
+    bench_figure2_figure34
+);
 criterion_main!(tables);

@@ -2,22 +2,14 @@
 //! guarded execution.  Runs every driver preset over every workload and
 //! reports IPC + misprediction rate per configuration.
 
-use guardspec_bench::{hr, scale_from_args, workloads};
-use guardspec_core::{transform_program, DriverOptions};
-use guardspec_interp::profile::profile_program;
-use guardspec_predict::Scheme;
-use guardspec_sim::{simulate_trace, MachineConfig};
+use guardspec_bench::{finish_artifacts, harness_args, hr, run_options};
+use guardspec_harness::{run_experiment, ExperimentSpec};
 
 fn main() {
-    let scale = scale_from_args();
-    let cfg = MachineConfig::r10000();
-    let presets: [(&str, DriverOptions); 5] = [
-        ("baseline", DriverOptions::baseline()),
-        ("speculation", DriverOptions::speculation_only()),
-        ("guarded", DriverOptions::guarded_only()),
-        ("conventional", DriverOptions::conventional()),
-        ("proposed", DriverOptions::proposed()),
-    ];
+    let args = harness_args();
+    let scale = args.scale;
+    let spec = ExperimentSpec::ablation("ablation", scale);
+    let result = run_experiment(&spec, &run_options(&args));
     println!("Ablation: individual/combined effects (scale {scale:?})");
     hr(96);
     println!(
@@ -25,25 +17,16 @@ fn main() {
         "Benchmark", "Config", "IPC", "Cycles", "Mispred", "Likely", "IfConv", "Splits"
     );
     hr(96);
-    for w in workloads(scale) {
-        let (profile, _) = profile_program(&w.program).expect("profile");
-        for (name, opts) in &presets {
-            let mut p = w.program.clone();
-            let report = transform_program(&mut p, &profile, opts);
-            let (layout, trace, exec) =
-                guardspec_interp::trace::trace_program(&p).expect("trace");
-            let bad = w.verify(&exec.machine.mem);
-            assert!(bad.is_empty(), "{}/{name} miscomputed: {bad:?}", w.name);
-            let scheme =
-                if *name == "baseline" { Scheme::TwoBit } else { Scheme::Proposed };
-            let stats = simulate_trace(&p, &layout, &trace, scheme, &cfg).expect("sim");
+    for w in &result.workloads {
+        for cell in result.cells_for(&w.name) {
+            let report = cell.report.as_ref().expect("ablation cells all transform");
             println!(
                 "{:<12} {:<14} {:>7.3} {:>10} {:>9} {:>8} {:>8} {:>8}",
                 w.name,
-                name,
-                stats.ipc(),
-                stats.cycles,
-                stats.mispredicts,
+                cell.label,
+                cell.stats.ipc(),
+                cell.stats.cycles,
+                cell.stats.mispredicts,
                 report.likelies,
                 report.ifconversions,
                 report.splits
@@ -51,4 +34,5 @@ fn main() {
         }
         hr(96);
     }
+    finish_artifacts(&result, &args);
 }

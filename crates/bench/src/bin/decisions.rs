@@ -1,15 +1,19 @@
 //! Debug helper: print the Figure-6 decision report for every workload.
+//!
+//! Profiles come from the shared harness cache; the full decision list is
+//! cheap and recomputed fresh from the cached profile on every run.
 
-use guardspec_bench::{scale_from_args, workloads};
+use guardspec_bench::{finish_artifacts, harness_args, run_options};
 use guardspec_core::{transform_program, DriverOptions};
-use guardspec_interp::profile::profile_program;
+use guardspec_harness::{run_experiment, ExperimentSpec};
 
 fn main() {
-    let scale = scale_from_args();
-    for w in workloads(scale) {
-        let (profile, _) = profile_program(&w.program).expect("profile");
+    let args = harness_args();
+    let spec = ExperimentSpec::profiles_only("decisions", args.scale);
+    let result = run_experiment(&spec, &run_options(&args));
+    for (w, wr) in spec.workloads.iter().zip(&result.workloads) {
         let mut p = w.program.clone();
-        let report = transform_program(&mut p, &profile, &DriverOptions::proposed());
+        let report = transform_program(&mut p, &wr.profile, &DriverOptions::proposed());
         println!("== {} ==", w.name);
         for d in &report.decisions {
             let behavior = match &d.behavior {
@@ -29,4 +33,5 @@ fn main() {
             );
         }
     }
+    finish_artifacts(&result, &args);
 }

@@ -1,19 +1,45 @@
 //! Regenerates Figure 2: the schedule-cost example — base 3100, speculated
 //! 2900, guarded 3600 cycles.
+//!
+//! Purely analytic (no workloads run), but accepts the common flags; with
+//! `--json <path>` the three costs are written as JSON.
 
-use guardspec_bench::hr;
+use guardspec_bench::{harness_args, hr};
 use guardspec_core::DiamondCfg;
+use guardspec_harness::Json;
 
 fn main() {
+    let args = harness_args();
     let d = DiamondCfg::figure2();
     println!("Figure 2: schedule costs for the running example");
     println!("(B1=10 cycles/4 slots, B2=13, B3=5, B4=12; 100 iterations, 50/50 branch)");
     hr(64);
-    println!("  (b) base schedule:        {:>7.0} cycles (paper: 3100)", d.base_cost(0.5));
-    println!("  (c) after speculation:    {:>7.0} cycles (paper: 2900)", d.speculated_cost(0.5));
-    println!("  (d) after guarded exec:   {:>7.0} cycles (paper: 3600)", d.guarded_cost());
+    println!(
+        "  (b) base schedule:        {:>7.0} cycles (paper: 3100)",
+        d.base_cost(0.5)
+    );
+    println!(
+        "  (c) after speculation:    {:>7.0} cycles (paper: 2900)",
+        d.speculated_cost(0.5)
+    );
+    println!(
+        "  (d) after guarded exec:   {:>7.0} cycles (paper: 3600)",
+        d.guarded_cost()
+    );
     hr(64);
     println!("Guarded execution LOSES here: the paper's warning that it \"should");
     println!("not be employed when the disparities between schedule lengths for");
     println!("two mutually exclusive paths are high\".");
+    if let Some(path) = &args.json {
+        let json = Json::obj(vec![
+            ("figure", Json::str("figure2")),
+            ("base_cycles", Json::F64(d.base_cost(0.5))),
+            ("speculated_cycles", Json::F64(d.speculated_cost(0.5))),
+            ("guarded_cycles", Json::F64(d.guarded_cost())),
+        ]);
+        match guardspec_harness::write_json_file(path, &json) {
+            Ok(()) => eprintln!("[artifact] {}", path.display()),
+            Err(e) => eprintln!("[artifact] {} write failed: {e}", path.display()),
+        }
+    }
 }

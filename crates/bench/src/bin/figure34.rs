@@ -1,10 +1,15 @@
 //! Regenerates Figures 3 and 4: per-phase schedules and the combined
 //! 2756-cycle split-branch cost.
+//!
+//! Purely analytic (no workloads run), but accepts the common flags; with
+//! `--json <path>` the phase costs are written as JSON.
 
-use guardspec_bench::hr;
+use guardspec_bench::{harness_args, hr};
 use guardspec_core::DiamondCfg;
+use guardspec_harness::Json;
 
 fn main() {
+    let args = harness_args();
     let d = DiamondCfg::figure2();
     let phases = [(0.4, 0.95), (0.2, 0.5), (0.4, 0.05)];
     println!("Figures 3+4: phase-split schedules for the running example");
@@ -22,6 +27,34 @@ fn main() {
     let total = d.segmented_cost(&phases, 0.9);
     hr(72);
     println!("  combined split-branch schedule: {total:>7.0} cycles (paper: 2756)");
-    println!("  vs one-time-metric speculation: {:>7.0} cycles (paper: 2900)", d.speculated_cost(0.5));
-    println!("  improvement: {:.1}%", 100.0 * (1.0 - total / d.speculated_cost(0.5)));
+    println!(
+        "  vs one-time-metric speculation: {:>7.0} cycles (paper: 2900)",
+        d.speculated_cost(0.5)
+    );
+    println!(
+        "  improvement: {:.1}%",
+        100.0 * (1.0 - total / d.speculated_cost(0.5))
+    );
+    if let Some(path) = &args.json {
+        let phase_json = phases
+            .iter()
+            .map(|&(frac, p)| {
+                Json::obj(vec![
+                    ("fraction", Json::F64(frac)),
+                    ("taken_rate", Json::F64(p)),
+                    ("cycles_per_iter", Json::F64(d.per_iter_phase_plan(p, 0.9))),
+                ])
+            })
+            .collect();
+        let json = Json::obj(vec![
+            ("figure", Json::str("figure34")),
+            ("phases", Json::Arr(phase_json)),
+            ("combined_cycles", Json::F64(total)),
+            ("speculated_cycles", Json::F64(d.speculated_cost(0.5))),
+        ]);
+        match guardspec_harness::write_json_file(path, &json) {
+            Ok(()) => eprintln!("[artifact] {}", path.display()),
+            Err(e) => eprintln!("[artifact] {} write failed: {e}", path.display()),
+        }
+    }
 }

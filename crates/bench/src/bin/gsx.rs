@@ -5,20 +5,25 @@
 //! gsx run  prog.s            execute functionally, print register/memory results
 //! gsx prof prog.s            print the per-branch profile
 //! gsx opt  prog.s            apply the Figure-6 transforms, print the result
-//! gsx sim  prog.s            simulate under all three schemes
+//! gsx sim  prog.s            simulate under all three schemes (cached; accepts
+//!                            --jobs N and --json <path>)
 //! gsx pipeview prog.s [N]    per-cycle pipeline activity for the first N cycles
 //! ```
 
 use guardspec_core::{cleanup_program, transform_program, DriverOptions};
+use guardspec_harness::{run_experiment, ExperimentSpec, HarnessArgs, RunOptions};
 use guardspec_interp::profile::profile_program;
 use guardspec_interp::run;
 use guardspec_ir::parse::parse_program;
 use guardspec_ir::validate::validate;
 use guardspec_predict::Scheme;
-use guardspec_sim::{simulate_program, MachineConfig};
+use guardspec_sim::MachineConfig;
+use guardspec_workloads::{Scale, Workload};
 
 fn usage() -> ! {
-    eprintln!("usage: gsx <run|prof|opt|sim|pipeview> <file.s> [cycles]");
+    eprintln!(
+        "usage: gsx <run|prof|opt|sim|pipeview> <file.s> [cycles] [--jobs N] [--json <path>]"
+    );
     std::process::exit(2)
 }
 
@@ -107,20 +112,52 @@ fn main() {
             print!("{out}");
         }
         "sim" => {
-            let (profile, _) = profile_program(&prog).expect("profile");
-            let mut tuned = prog.clone();
-            transform_program(&mut tuned, &profile, &DriverOptions::proposed());
+            // The three-scheme matrix as a one-workload experiment: profile,
+            // transform and per-scheme stats all go through the shared
+            // results cache, so repeat sims of the same file are instant.
+            let flags = HarnessArgs::try_parse(args.iter().skip(3).cloned()).unwrap_or_else(|e| {
+                eprintln!("gsx: {e}");
+                std::process::exit(2);
+            });
+            let workload = Workload {
+                name: Box::leak(path.to_string().into_boxed_str()),
+                description: "gsx input file",
+                program: prog.clone(),
+                // No golden results for ad-hoc files: skip verification.
+                expected: Vec::new(),
+            };
+            let mut spec = ExperimentSpec {
+                name: "gsx-sim".to_string(),
+                scale: Scale::Small,
+                workloads: vec![workload],
+                cells: Vec::new(),
+            };
             let cfg = MachineConfig::r10000();
+            for scheme in Scheme::ALL {
+                spec.push_cell(
+                    0,
+                    scheme.label(),
+                    (scheme == Scheme::Proposed).then(DriverOptions::proposed),
+                    scheme,
+                    cfg.clone(),
+                );
+            }
+            let result = run_experiment(
+                &spec,
+                &RunOptions {
+                    jobs: flags.jobs,
+                    cache_dir: Some(guardspec_harness::DEFAULT_CACHE_DIR.into()),
+                },
+            );
             println!(
                 "{:<12} {:>10} {:>8} {:>10} {:>10}",
                 "scheme", "cycles", "IPC", "mispredict", "indirect"
             );
-            for (name, p, scheme) in [
-                ("2-bit BP", &prog, Scheme::TwoBit),
-                ("proposed", &tuned, Scheme::Proposed),
-                ("perfect BP", &prog, Scheme::Perfect),
-            ] {
-                let (s, _) = simulate_program(p, scheme, &cfg).expect("sim");
+            for (name, cell) in ["2-bit BP", "proposed", "perfect BP"]
+                .iter()
+                .zip(&result.cells)
+            {
+                let s = &cell.stats;
                 println!(
                     "{:<12} {:>10} {:>8.3} {:>10} {:>10}",
                     name,
@@ -130,11 +167,19 @@ fn main() {
                     s.indirect_stalls
                 );
             }
+            if let Some(path) = &flags.json {
+                match guardspec_harness::write_json_file(
+                    path,
+                    &guardspec_harness::full_json(&result),
+                ) {
+                    Ok(()) => eprintln!("[artifact] {}", path.display()),
+                    Err(e) => eprintln!("[artifact] {} write failed: {e}", path.display()),
+                }
+            }
         }
         "pipeview" => {
             let n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(40);
-            let (layout, trace, _) =
-                guardspec_interp::trace::trace_program(&prog).expect("trace");
+            let (layout, trace, _) = guardspec_interp::trace::trace_program(&prog).expect("trace");
             let cfg = MachineConfig::r10000();
             let (stats, log) = guardspec_sim::simulate_trace_logged(
                 &prog,

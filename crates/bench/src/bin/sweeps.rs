@@ -1,20 +1,21 @@
 //! Design-choice sweeps (DESIGN.md §5): BHT geometry, predictor family,
 //! split thresholds, misprediction depth.  Each sweep varies ONE knob and
 //! reports its effect across the workloads.
+//!
+//! Sweeps 1–2 replay the (cached) profiles through predictor models;
+//! sweeps 3–4 are simulation cells of one shared experiment, so every
+//! (threshold, depth) point is cached independently.
 
-use guardspec_bench::{scale_from_args, workloads};
-use guardspec_core::{transform_program, DriverOptions, FeedbackParams};
-use guardspec_interp::profile::profile_program;
+use guardspec_bench::{finish_artifacts, harness_args, run_options, workloads};
+use guardspec_core::{DriverOptions, FeedbackParams};
+use guardspec_harness::{run_experiment, CellResult, ExperimentSpec};
 use guardspec_interp::StaticLayout;
 use guardspec_predict::{
     measure_gshare_accuracy, measure_onebit_accuracy, measure_twobit_accuracy, Scheme,
 };
-use guardspec_sim::{simulate_trace, MachineConfig};
+use guardspec_sim::MachineConfig;
 
-fn outcome_stream(
-    profile: &guardspec_interp::Profile,
-    layout: &StaticLayout,
-) -> Vec<(u64, bool)> {
+fn outcome_stream(profile: &guardspec_interp::Profile, layout: &StaticLayout) -> Vec<(u64, bool)> {
     let mut v = Vec::new();
     for (site, bp) in &profile.branches {
         let pc = layout.pc_of(*site);
@@ -25,29 +26,70 @@ fn outcome_stream(
     v
 }
 
+const THRESHOLDS: [f64; 3] = [0.90, 0.95, 0.99];
+const DEPTHS: [u64; 3] = [0, 2, 4];
+
+fn sweep_spec(scale: guardspec_workloads::Scale) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::profiles_only("sweeps", scale);
+    for w in 0..spec.workloads.len() {
+        for thr in THRESHOLDS {
+            let mut opts = DriverOptions::proposed();
+            opts.feedback = FeedbackParams {
+                likely_threshold: thr,
+                ..opts.feedback
+            };
+            spec.push_cell(
+                w,
+                format!("likely={thr:.2}"),
+                Some(opts),
+                Scheme::Proposed,
+                MachineConfig::r10000(),
+            );
+        }
+    }
+    for w in 0..spec.workloads.len() {
+        for depth in DEPTHS {
+            let mut cfg = MachineConfig::r10000();
+            cfg.frontend_depth = depth;
+            spec.push_cell(w, format!("depth={depth}"), None, Scheme::TwoBit, cfg);
+        }
+    }
+    spec
+}
+
 fn main() {
-    let scale = scale_from_args();
+    let args = harness_args();
+    let scale = args.scale;
     let ws = workloads(scale);
+    let spec = sweep_spec(scale);
+    let result = run_experiment(&spec, &run_options(&args));
 
     println!("Sweep 1: BHT size (2-bit accuracy %)");
-    println!("{:<10} {:>6} {:>6} {:>6} {:>6} {:>6}", "workload", "64", "128", "512", "2048", "8192");
-    for w in &ws {
-        let (profile, _) = profile_program(&w.program).unwrap();
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "workload", "64", "128", "512", "2048", "8192"
+    );
+    for (w, wr) in ws.iter().zip(&result.workloads) {
         let layout = StaticLayout::build(&w.program);
-        let stream = outcome_stream(&profile, &layout);
+        let stream = outcome_stream(&wr.profile, &layout);
         print!("{:<10}", w.name);
         for entries in [64usize, 128, 512, 2048, 8192] {
-            print!(" {:>6.2}", 100.0 * measure_twobit_accuracy(entries, stream.iter().copied()));
+            print!(
+                " {:>6.2}",
+                100.0 * measure_twobit_accuracy(entries, stream.iter().copied())
+            );
         }
         println!();
     }
 
     println!("\nSweep 2: predictor family at 512 entries (accuracy %)");
-    println!("{:<10} {:>8} {:>8} {:>10}", "workload", "1-bit", "2-bit", "gshare/8");
-    for w in &ws {
-        let (profile, _) = profile_program(&w.program).unwrap();
+    println!(
+        "{:<10} {:>8} {:>8} {:>10}",
+        "workload", "1-bit", "2-bit", "gshare/8"
+    );
+    for (w, wr) in ws.iter().zip(&result.workloads) {
         let layout = StaticLayout::build(&w.program);
-        let stream = outcome_stream(&profile, &layout);
+        let stream = outcome_stream(&wr.profile, &layout);
         println!(
             "{:<10} {:>8.2} {:>8.2} {:>10.2}",
             w.name,
@@ -58,35 +100,41 @@ fn main() {
     }
 
     println!("\nSweep 3: Figure-6 likely threshold (proposed-scheme cycles)");
-    println!("{:<10} {:>10} {:>10} {:>10}", "workload", "0.90", "0.95", "0.99");
-    for w in &ws {
-        let (profile, _) = profile_program(&w.program).unwrap();
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "workload", "0.90", "0.95", "0.99"
+    );
+    for w in &result.workloads {
+        let cells: Vec<&CellResult> = result.cells_for(&w.name).collect();
         print!("{:<10}", w.name);
-        for thr in [0.90, 0.95, 0.99] {
-            let mut opts = DriverOptions::proposed();
-            opts.feedback = FeedbackParams { likely_threshold: thr, ..opts.feedback };
-            let mut p = w.program.clone();
-            transform_program(&mut p, &profile, &opts);
-            let (layout, trace, exec) = guardspec_interp::trace::trace_program(&p).unwrap();
-            assert!(w.verify(&exec.machine.mem).is_empty());
-            let cfg = MachineConfig::r10000();
-            let stats = simulate_trace(&p, &layout, &trace, Scheme::Proposed, &cfg).unwrap();
-            print!(" {:>10}", stats.cycles);
+        for thr in THRESHOLDS {
+            let label = format!("likely={thr:.2}");
+            let cell = cells
+                .iter()
+                .find(|c| c.label == label)
+                .expect("sweep3 cell");
+            print!(" {:>10}", cell.stats.cycles);
         }
         println!();
     }
 
     println!("\nSweep 4: front-end depth (baseline cycles; deeper pipes hurt mispredict-heavy codes most)");
-    println!("{:<10} {:>10} {:>10} {:>10}", "workload", "depth 0", "depth 2", "depth 4");
-    for w in &ws {
-        let (layout, trace, _) = guardspec_interp::trace::trace_program(&w.program).unwrap();
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "workload", "depth 0", "depth 2", "depth 4"
+    );
+    for w in &result.workloads {
+        let cells: Vec<&CellResult> = result.cells_for(&w.name).collect();
         print!("{:<10}", w.name);
-        for depth in [0u64, 2, 4] {
-            let mut cfg = MachineConfig::r10000();
-            cfg.frontend_depth = depth;
-            let stats = simulate_trace(&w.program, &layout, &trace, Scheme::TwoBit, &cfg).unwrap();
-            print!(" {:>10}", stats.cycles);
+        for depth in DEPTHS {
+            let label = format!("depth={depth}");
+            let cell = cells
+                .iter()
+                .find(|c| c.label == label)
+                .expect("sweep4 cell");
+            print!(" {:>10}", cell.stats.cycles);
         }
         println!();
     }
+    finish_artifacts(&result, &args);
 }

@@ -1,9 +1,13 @@
 //! Regenerates Table 1: benchmark characteristics.
 
-use guardspec_bench::{hr, scale_from_args, table1_row, workloads};
+use guardspec_bench::{finish_artifacts, harness_args, hr, run_options, table1_row_from_profile};
+use guardspec_harness::{run_experiment, ExperimentSpec};
 
 fn main() {
-    let scale = scale_from_args();
+    let args = harness_args();
+    let scale = args.scale;
+    let spec = ExperimentSpec::profiles_only("table1", scale);
+    let result = run_experiment(&spec, &run_options(&args));
     println!("Table 1: Benchmark characteristics (scale {scale:?})");
     hr(78);
     println!(
@@ -11,8 +15,8 @@ fn main() {
         "Benchmark", "Dynamic Instr (M)", "Branches (%)", "Correctly predicted (%)"
     );
     hr(78);
-    for w in workloads(scale) {
-        let row = table1_row(&w);
+    for (w, wr) in spec.workloads.iter().zip(&result.workloads) {
+        let row = table1_row_from_profile(w, &wr.profile);
         println!(
             "{:<12} {:>22.2} {:>14.2} {:>22.2}",
             row.name, row.dynamic_millions, row.branch_pct, row.predicted_pct
@@ -22,4 +26,5 @@ fn main() {
     println!("Paper (for shape comparison):");
     println!("  Compress 0.41M 20.81% 91.98% | Espresso 786.58M 19.26% 94.57%");
     println!("  Xlisp 5256.53M 23.12% 89.21% | Grep 0.31M 22.28% 92.0%");
+    finish_artifacts(&result, &args);
 }

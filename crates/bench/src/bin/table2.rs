@@ -1,9 +1,14 @@
 //! Regenerates Table 2: operation latencies of the machine model.
+//!
+//! Purely static (no workloads run), but accepts the common flags; with
+//! `--json <path>` the latency table is written as JSON.
 
-use guardspec_bench::hr;
+use guardspec_bench::{harness_args, hr};
+use guardspec_harness::Json;
 use guardspec_sim::Latencies;
 
 fn main() {
+    let args = harness_args();
     let l = Latencies::table2();
     println!("Table 2: Latencies");
     hr(34);
@@ -18,4 +23,20 @@ fn main() {
     println!("{:<22} {:>10}", "cache miss penalty", l.cache_miss_penalty);
     hr(34);
     println!("(identical to the paper's Table 2 by construction)");
+    if let Some(path) = &args.json {
+        let json = Json::obj(vec![
+            ("table", Json::str("table2")),
+            ("alu", Json::U64(l.alu)),
+            ("ldst", Json::U64(l.ldst)),
+            ("sft", Json::U64(l.sft)),
+            ("fp_add", Json::U64(l.fp_add)),
+            ("fp_mul", Json::U64(l.fp_mul)),
+            ("fp_div", Json::U64(l.fp_div)),
+            ("cache_miss_penalty", Json::U64(l.cache_miss_penalty)),
+        ]);
+        match guardspec_harness::write_json_file(path, &json) {
+            Ok(()) => eprintln!("[artifact] {}", path.display()),
+            Err(e) => eprintln!("[artifact] {} write failed: {e}", path.display()),
+        }
+    }
 }

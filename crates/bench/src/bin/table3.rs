@@ -1,12 +1,15 @@
 //! Regenerates Table 3: reservation-station usage summary under the three
 //! schemes (2-bit BP / proposed / perfect BP).
 
-use guardspec_bench::{hr, run_all_schemes, scale_from_args, workloads};
-use guardspec_sim::{MachineConfig, QueueKind};
+use guardspec_bench::{finish_artifacts, harness_args, hr, run_options};
+use guardspec_harness::{run_experiment, ExperimentSpec};
+use guardspec_sim::QueueKind;
 
 fn main() {
-    let scale = scale_from_args();
-    let cfg = MachineConfig::r10000();
+    let args = harness_args();
+    let scale = args.scale;
+    let spec = ExperimentSpec::three_schemes("table3", scale);
+    let result = run_experiment(&spec, &run_options(&args));
     println!("Table 3: Reservation Station Usage Summary (scale {scale:?})");
     println!("(% of cycles each reservation buffer is full, per scheme)");
     hr(100);
@@ -19,10 +22,9 @@ fn main() {
         "Benchmark", "2-bit BP", "Proposed", "Perfect BP"
     );
     hr(100);
-    for w in workloads(scale) {
-        let runs = run_all_schemes(&w, &cfg);
+    for w in &result.workloads {
         print!("{:<12}", w.name);
-        for r in &runs {
+        for r in result.cells_for(&w.name) {
             print!(
                 " | {:>8.2} {:>8.3} {:>8.3}",
                 r.stats.rs_full_pct(QueueKind::Branch),
@@ -35,4 +37,5 @@ fn main() {
     hr(100);
     println!("Shape target (paper): BR usage 2-bit << Proposed < Perfect;");
     println!("LDST/ALU buffers rarely full on integer codes.");
+    finish_artifacts(&result, &args);
 }

@@ -1,12 +1,14 @@
 //! Regenerates Table 4: functional-unit usage summary and IPC.
 
-use guardspec_bench::{hr, run_all_schemes, scale_from_args, workloads};
+use guardspec_bench::{finish_artifacts, harness_args, hr, run_options};
+use guardspec_harness::{run_experiment, ExperimentSpec};
 use guardspec_ir::FuClass;
-use guardspec_sim::MachineConfig;
 
 fn main() {
-    let scale = scale_from_args();
-    let cfg = MachineConfig::r10000();
+    let args = harness_args();
+    let scale = args.scale;
+    let spec = ExperimentSpec::three_schemes("table4", scale);
+    let result = run_experiment(&spec, &run_options(&args));
     println!("Table 4: Functional Unit Usage Summary and IPC (scale {scale:?})");
     println!("(% of cycles all units of a class are busy; IPC excludes annulled)");
     hr(112);
@@ -20,8 +22,8 @@ fn main() {
     );
     hr(112);
     let mut ratios = Vec::new();
-    for w in workloads(scale) {
-        let runs = run_all_schemes(&w, &cfg);
+    for w in &result.workloads {
+        let runs: Vec<_> = result.cells_for(&w.name).collect();
         print!("{:<12}", w.name);
         for r in &runs {
             print!(
@@ -35,11 +37,12 @@ fn main() {
         println!();
         let base = runs[0].stats.ipc();
         let prop = runs[1].stats.ipc();
-        ratios.push((w.name.to_string(), prop / base));
+        ratios.push((w.name.clone(), prop / base));
     }
     hr(112);
     println!("Proposed / 2-bit IPC ratios (paper reports 1.5-2.0x):");
     for (name, ratio) in ratios {
         println!("  {name:<12} {ratio:.2}x");
     }
+    finish_artifacts(&result, &args);
 }

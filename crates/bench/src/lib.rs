@@ -1,6 +1,6 @@
 //! # guardspec-bench
 //!
-//! The harness that regenerates every table and figure of the paper's
+//! The binaries that regenerate every table and figure of the paper's
 //! evaluation.  Each binary prints one artifact:
 //!
 //! | binary     | artifact |
@@ -12,28 +12,77 @@
 //! | `figure2`  | Figure 2 — base/speculated/guarded schedule costs (3100/2900/3600) |
 //! | `figure34` | Figures 3+4 — per-phase schedules and the 2756-cycle combined cost |
 //! | `ablation` | individual/combined effects of each mechanism (the title question) |
+//! | `sweeps`   | design-choice sweeps (DESIGN.md §5) |
+//! | `decisions`| per-branch Figure-6 decision dump |
+//! | `gsx`      | run/profile/optimize/simulate a textual-assembly file |
 //!
-//! Pass `--scale test|small|paper` (default `small`; `paper` regenerates
-//! the numbers quoted in EXPERIMENTS.md).
+//! ## Common flags
+//!
+//! Every binary accepts (via [`guardspec_harness::args`]):
+//!
+//! * `--scale test|small|paper` — workload size preset (default `small`;
+//!   `paper` regenerates the numbers quoted in EXPERIMENTS.md).  A bad
+//!   value prints a diagnostic to stderr and exits with status 2.
+//! * `--jobs N` — worker threads for the experiment job graph (`0`/absent
+//!   = one per core).  Output is byte-identical at any thread count.
+//! * `--json <path>` — also write the run's machine-readable artifact to
+//!   `<path>`.
+//!
+//! ## Results cache and artifacts
+//!
+//! Experiment-running binaries share a content-addressed cache at
+//! `results/cache/<shard>/<stage>-<digest>.json`, keyed on the program
+//! text, scale, driver options and machine configuration (see
+//! `guardspec_harness::key`).  A warm rerun re-profiles and re-simulates
+//! nothing; delete the directory to force recomputation.  Each run also
+//! appends a `results/BENCH_<n>.json` artifact recording wall time, cache
+//! hit/miss counts and per-stage timings (path reported on stderr).
 
 use guardspec_core::{transform_program, DriverOptions, TransformReport};
+use guardspec_harness::{ExperimentResult, HarnessArgs, RunOptions};
 use guardspec_interp::profile::profile_program;
 use guardspec_interp::{ExecResult, Profile};
 use guardspec_predict::{measure_twobit_accuracy, Scheme};
 use guardspec_sim::{simulate_trace, MachineConfig, SimStats};
 use guardspec_workloads::{all_workloads, Scale, Workload};
+use std::path::Path;
 
-/// Parse `--scale` from argv; default Small.
+/// Parse the common flags; bad values report to stderr and exit(2).
+pub fn harness_args() -> HarnessArgs {
+    HarnessArgs::parse()
+}
+
+/// Parse `--scale` from argv; default Small.  Kept for compatibility —
+/// delegates to the shared harness parser, so a bad value is a clean
+/// stderr + exit(2), never a panic.
 pub fn scale_from_args() -> Scale {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--scale") {
-        Some(i) => match args.get(i + 1).map(|s| s.as_str()) {
-            Some("test") => Scale::Test,
-            Some("small") => Scale::Small,
-            Some("paper") => Scale::Paper,
-            other => panic!("bad --scale {other:?} (want test|small|paper)"),
-        },
-        None => Scale::Small,
+    harness_args().scale
+}
+
+/// [`RunOptions`] for the parsed flags, with the conventional cache root.
+pub fn run_options(args: &HarnessArgs) -> RunOptions {
+    RunOptions {
+        jobs: args.jobs,
+        cache_dir: Some(guardspec_harness::DEFAULT_CACHE_DIR.into()),
+    }
+}
+
+/// Emit the standard run artifacts: `results/BENCH_<n>.json` always, plus
+/// `--json <path>` when requested.  Paths are reported on stderr so table
+/// text on stdout stays clean.
+pub fn finish_artifacts(result: &ExperimentResult, args: &HarnessArgs) {
+    match guardspec_harness::emit_bench_artifact(
+        Path::new(guardspec_harness::DEFAULT_RESULTS_DIR),
+        result,
+    ) {
+        Ok(p) => eprintln!("[artifact] {}", p.display()),
+        Err(e) => eprintln!("[artifact] write failed: {e}"),
+    }
+    if let Some(path) = &args.json {
+        match guardspec_harness::write_json_file(path, &guardspec_harness::full_json(result)) {
+            Ok(()) => eprintln!("[artifact] {}", path.display()),
+            Err(e) => eprintln!("[artifact] {} write failed: {e}", path.display()),
+        }
     }
 }
 
@@ -50,6 +99,12 @@ pub struct SchemeRun {
 /// schemes of Tables 3/4.  Panics if any version of the program stops
 /// matching the workload's golden results — the harness never reports
 /// numbers from a miscomputing kernel.
+///
+/// This is the direct (uncached, in-process) path used by the benches and
+/// tests; the table binaries go through `guardspec_harness::run_experiment`
+/// with an equivalent [`ExperimentSpec::three_schemes`] spec instead.
+///
+/// [`ExperimentSpec::three_schemes`]: guardspec_harness::ExperimentSpec::three_schemes
 pub fn run_all_schemes(w: &Workload, cfg: &MachineConfig) -> Vec<SchemeRun> {
     let mut out = Vec::new();
 
@@ -79,12 +134,20 @@ fn run_one(
     cfg: &MachineConfig,
     report: Option<TransformReport>,
 ) -> SchemeRun {
-    let (layout, trace, exec) =
-        guardspec_interp::trace::trace_program(&program).expect("trace");
+    let (layout, trace, exec) = guardspec_interp::trace::trace_program(&program).expect("trace");
     let bad = w.verify(&exec.machine.mem);
-    assert!(bad.is_empty(), "{} under {scheme:?} miscomputed: {bad:?}", w.name);
+    assert!(
+        bad.is_empty(),
+        "{} under {scheme:?} miscomputed: {bad:?}",
+        w.name
+    );
     let stats = simulate_trace(&program, &layout, &trace, scheme, cfg).expect("simulate");
-    SchemeRun { scheme, stats, exec, report }
+    SchemeRun {
+        scheme,
+        stats,
+        exec,
+        report,
+    }
 }
 
 /// Table 1 row data.
@@ -100,8 +163,13 @@ pub struct Table1Row {
 /// outcome through a fresh 512-entry table).
 pub fn table1_row(w: &Workload) -> Table1Row {
     let (profile, _) = profile_program(&w.program).expect("profile");
+    table1_row_from_profile(w, &profile)
+}
+
+/// [`table1_row`] from an already-available (e.g. cached) profile.
+pub fn table1_row_from_profile(w: &Workload, profile: &Profile) -> Table1Row {
     let layout = guardspec_interp::StaticLayout::build(&w.program);
-    let acc = twobit_accuracy_from_profile(&profile, &layout);
+    let acc = twobit_accuracy_from_profile(profile, &layout);
     Table1Row {
         name: w.name.to_string(),
         dynamic_millions: profile.dynamic_millions(),

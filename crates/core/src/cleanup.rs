@@ -135,7 +135,10 @@ mod tests {
         let before_blocks = p.funcs[0].blocks.len();
 
         let stats = cleanup_program(&mut p);
-        assert!(stats.blocks_removed >= 2, "both arm stubs removed: {stats:?}");
+        assert!(
+            stats.blocks_removed >= 2,
+            "both arm stubs removed: {stats:?}"
+        );
         assert!(p.funcs[0].blocks.len() < before_blocks);
         assert_valid(&p);
         assert_eq!(

@@ -53,7 +53,14 @@ pub struct DiamondCfg {
 impl DiamondCfg {
     /// The Figure 2 example.
     pub fn figure2() -> DiamondCfg {
-        DiamondCfg { b1: 10.0, b2: 13.0, b3: 5.0, b4: 12.0, slots: 4.0, iterations: 100.0 }
+        DiamondCfg {
+            b1: 10.0,
+            b2: 13.0,
+            b3: 5.0,
+            b4: 12.0,
+            slots: 4.0,
+            iterations: 100.0,
+        }
     }
 
     /// Per-iteration cost with taken probability `p_taken` (B3 executes
@@ -72,7 +79,10 @@ impl DiamondCfg {
     /// free), then copying `k` ops from B4 into *both* arms (B4's tail ops
     /// must execute on every path, so each arm receives the copies).
     pub fn per_iter_speculated(&self, p_taken: f64, s2: f64, s3: f64, k: f64) -> f64 {
-        assert!(s2 + s3 <= self.slots + 1e-9, "speculation exceeds vacant slots");
+        assert!(
+            s2 + s3 <= self.slots + 1e-9,
+            "speculation exceeds vacant slots"
+        );
         let b2 = self.b2 - s2 + k;
         let b3 = self.b3 - s3 + k;
         let b4 = self.b4 - k;
@@ -202,12 +212,25 @@ mod tests {
         // the expectation, but removes nothing here — construct a case where
         // guarding *does* win: arms of 2 with branch overhead modeled by a
         // larger b1 in the base (we compare relative orderings only).
-        let d = DiamondCfg { b1: 4.0, b2: 2.0, b3: 2.0, b4: 4.0, slots: 2.0, iterations: 100.0 };
+        let d = DiamondCfg {
+            b1: 4.0,
+            b2: 2.0,
+            b3: 2.0,
+            b4: 4.0,
+            slots: 2.0,
+            iterations: 100.0,
+        };
         // guarded per-iter = 4 + 2 + 4 = 10; base = 4 + 2 + 4 = 10.
         assert!((d.per_iter_guarded() - d.per_iter_base(0.5)).abs() < EPS);
         // With uneven arms guarding loses (the paper's warning).
-        let uneven =
-            DiamondCfg { b1: 4.0, b2: 12.0, b3: 2.0, b4: 4.0, slots: 2.0, iterations: 100.0 };
+        let uneven = DiamondCfg {
+            b1: 4.0,
+            b2: 12.0,
+            b3: 2.0,
+            b4: 4.0,
+            slots: 2.0,
+            iterations: 100.0,
+        };
         assert!(uneven.per_iter_guarded() > uneven.per_iter_base(0.5));
     }
 

@@ -3,7 +3,9 @@
 //! if-conversion, or split-branch instrumentation" — plus optional
 //! compile-time speculation into vacant head slots.
 
-use crate::feedback::{classify, segment_periodicity, BranchBehavior, FeedbackParams, SegmentClass};
+use crate::feedback::{
+    classify, segment_periodicity, BranchBehavior, FeedbackParams, SegmentClass,
+};
 use crate::ifconvert::{can_convert, if_convert};
 use crate::remap::Remap;
 use crate::renamepool::RenamePool;
@@ -63,7 +65,10 @@ impl DriverOptions {
     /// The conventional one-time-feedback-metric scheme: likelies and
     /// if-conversion from averaged rates, no iteration-space splitting.
     pub fn conventional() -> DriverOptions {
-        DriverOptions { enable_split: false, ..DriverOptions::proposed() }
+        DriverOptions {
+            enable_split: false,
+            ..DriverOptions::proposed()
+        }
     }
 
     /// Speculation only (no guarding, no splitting, no likelies).
@@ -171,8 +176,16 @@ pub fn transform_program(
 
 /// A branch decision pending structural application.
 enum Pending {
-    Split { loop_header: BlockId, loop_body: Vec<BlockId>, spec: SplitSpec },
-    Speculate { head: BlockId, arm: BlockId, other: BlockId },
+    Split {
+        loop_header: BlockId,
+        loop_body: Vec<BlockId>,
+        spec: SplitSpec,
+    },
+    Speculate {
+        head: BlockId,
+        arm: BlockId,
+        other: BlockId,
+    },
 }
 
 fn transform_function(
@@ -215,7 +228,10 @@ fn transform_function(
                 site,
                 backward,
                 taken_rate: 0.0,
-                behavior: BranchBehavior::Irregular { rate: 0.0, toggle: 0.0 },
+                behavior: BranchBehavior::Irregular {
+                    rate: 0.0,
+                    toggle: 0.0,
+                },
                 action: Action::None("never executed"),
             });
             continue;
@@ -246,13 +262,20 @@ fn transform_function(
                             if let (Some(arm), Some(other)) = (h.taken_arm, other_succ(&h, true)) {
                                 pendings.push((
                                     site,
-                                    Pending::Speculate { head: h.head, arm, other },
+                                    Pending::Speculate {
+                                        head: h.head,
+                                        arm,
+                                        other,
+                                    },
                                 ));
                                 act = match act {
                                     Action::BranchLikely => {
                                         Action::LikelyAndSpeculated { hoisted: 0 }
                                     }
-                                    _ => Action::Speculated { hoisted: 0, renamed: 0 },
+                                    _ => Action::Speculated {
+                                        hoisted: 0,
+                                        renamed: 0,
+                                    },
                                 };
                             }
                         }
@@ -267,7 +290,11 @@ fn transform_function(
                             if let (Some(arm), Some(other)) = (h.fall_arm, other_succ(&h, false)) {
                                 pendings.push((
                                     site,
-                                    Pending::Speculate { head: h.head, arm, other },
+                                    Pending::Speculate {
+                                        head: h.head,
+                                        arm,
+                                        other,
+                                    },
                                 ));
                                 report.decisions.push(Decision {
                                     func: fid,
@@ -275,7 +302,10 @@ fn transform_function(
                                     backward,
                                     taken_rate: rate,
                                     behavior,
-                                    action: Action::Speculated { hoisted: 0, renamed: 0 },
+                                    action: Action::Speculated {
+                                        hoisted: 0,
+                                        renamed: 0,
+                                    },
                                 });
                                 continue;
                             }
@@ -308,9 +338,16 @@ fn transform_function(
                             if let (Some(arm), Some(other)) = (arm, other_succ(&h, taken_dom)) {
                                 pendings.push((
                                     site,
-                                    Pending::Speculate { head: h.head, arm, other },
+                                    Pending::Speculate {
+                                        head: h.head,
+                                        arm,
+                                        other,
+                                    },
                                 ));
-                                act = Action::Speculated { hoisted: 0, renamed: 0 };
+                                act = Action::Speculated {
+                                    hoisted: 0,
+                                    renamed: 0,
+                                };
                             }
                         }
                     }
@@ -363,14 +400,19 @@ fn transform_function(
                         let plan = if hybrid.iter().any(|(_, per)| per.is_some()) {
                             SplitPlan::Hybrid { segments: hybrid }
                         } else {
-                            SplitPlan::Phased { segments: segments.clone() }
+                            SplitPlan::Phased {
+                                segments: segments.clone(),
+                            }
                         };
                         pendings.push((
                             site,
                             Pending::Split {
                                 loop_header: l.header,
                                 loop_body: l.body.clone(),
-                                spec: SplitSpec { block: site.block, plan },
+                                spec: SplitSpec {
+                                    block: site.block,
+                                    plan,
+                                },
                             },
                         ));
                         Action::Split { likelies: 0 }
@@ -485,7 +527,9 @@ fn transform_function(
                 report.ifconversions += 1;
                 report.guarded_ops += stats.guarded_ops;
                 if let Some(d) = report.decisions.iter_mut().find(|d| d.site == *site) {
-                    d.action = Action::IfConverted { guarded_ops: stats.guarded_ops };
+                    d.action = Action::IfConverted {
+                        guarded_ops: stats.guarded_ops,
+                    };
                 }
             }
         }
@@ -512,12 +556,15 @@ fn transform_function(
             if let Some(d) = report.decisions.iter_mut().find(|d| d.site == *site) {
                 d.action = match d.action {
                     Action::LikelyAndSpeculated { .. } if stats.hoisted > 0 => {
-                        Action::LikelyAndSpeculated { hoisted: stats.hoisted }
+                        Action::LikelyAndSpeculated {
+                            hoisted: stats.hoisted,
+                        }
                     }
                     Action::LikelyAndSpeculated { .. } => Action::BranchLikely,
-                    _ if stats.hoisted > 0 => {
-                        Action::Speculated { hoisted: stats.hoisted, renamed: stats.renamed }
-                    }
+                    _ if stats.hoisted > 0 => Action::Speculated {
+                        hoisted: stats.hoisted,
+                        renamed: stats.renamed,
+                    },
                     _ => Action::None("nothing speculatable in the arm"),
                 };
             }
@@ -528,8 +575,15 @@ fn transform_function(
     let mut grouped: std::collections::BTreeMap<u32, (Vec<BlockId>, Vec<(InsnRef, SplitSpec)>)> =
         Default::default();
     for (site, p) in &pendings {
-        if let Pending::Split { loop_header, loop_body, spec } = p {
-            let e = grouped.entry(loop_header.0).or_insert_with(|| (loop_body.clone(), Vec::new()));
+        if let Pending::Split {
+            loop_header,
+            loop_body,
+            spec,
+        } = p
+        {
+            let e = grouped
+                .entry(loop_header.0)
+                .or_insert_with(|| (loop_body.clone(), Vec::new()));
             e.1.push((*site, spec.clone()));
         }
     }
@@ -543,7 +597,10 @@ fn transform_function(
         let body: Vec<BlockId> = body0.iter().map(|&b| cum.apply_block(b)).collect();
         let specs: Vec<SplitSpec> = entries
             .iter()
-            .map(|(_, s)| SplitSpec { block: cum.apply_block(s.block), plan: s.plan.clone() })
+            .map(|(_, s)| SplitSpec {
+                block: cum.apply_block(s.block),
+                plan: s.plan.clone(),
+            })
             .collect();
         match split_branches(
             f,
@@ -560,7 +617,9 @@ fn transform_function(
                 cum.extend(&remap);
                 for (site, _) in entries {
                     if let Some(d) = report.decisions.iter_mut().find(|d| d.site == *site) {
-                        d.action = Action::Split { likelies: stats.likelies / stats.sites.max(1) };
+                        d.action = Action::Split {
+                            likelies: stats.likelies / stats.sites.max(1),
+                        };
                     }
                 }
             }
@@ -630,8 +689,18 @@ fn convert_or_speculate(
             let taken_dom = rate >= 0.5;
             let arm = if taken_dom { h.taken_arm } else { h.fall_arm };
             if let (Some(arm), Some(other)) = (arm, other_succ(&h, taken_dom)) {
-                pendings.push((site, Pending::Speculate { head: h.head, arm, other }));
-                return Action::Speculated { hoisted: 0, renamed: 0 };
+                pendings.push((
+                    site,
+                    Pending::Speculate {
+                        head: h.head,
+                        arm,
+                        other,
+                    },
+                ));
+                return Action::Speculated {
+                    hoisted: 0,
+                    renamed: 0,
+                };
             }
         }
     }
@@ -697,11 +766,7 @@ fn split_wins_hybrid(
 
 /// Split gate for periodic patterns: the algebraic-counter likelies remove
 /// all agreeing-position mispredicts.
-fn split_wins_periodic(
-    v: &guardspec_interp::BitVec,
-    period: usize,
-    opts: &DriverOptions,
-) -> bool {
+fn split_wins_periodic(v: &guardspec_interp::BitVec, period: usize, opts: &DriverOptions) -> bool {
     let n = v.len();
     if n == 0 {
         return false;
@@ -963,7 +1028,11 @@ mod tests {
         fb.halt();
         let prog = single_func_program(fb);
         let (out, report) = apply(&DriverOptions::guarded_only(), &prog);
-        assert_eq!(report.ifconversions, 1, "noisy diamond converts: {:?}", report.decisions);
+        assert_eq!(
+            report.ifconversions, 1,
+            "noisy diamond converts: {:?}",
+            report.decisions
+        );
         let rb = run(&prog).unwrap();
         let ro = run(&out).unwrap();
         assert_eq!(rb.machine.mem_checksum(), ro.machine.mem_checksum());
@@ -1032,6 +1101,11 @@ mod tests {
         let (base, _) = simulate_program(&prog, Scheme::TwoBit, &cfg).unwrap();
         let (tuned, _) = simulate_program(&out, Scheme::Proposed, &cfg).unwrap();
         assert!(tuned.mispredicts * 4 < base.mispredicts);
-        assert!(tuned.cycles < base.cycles, "{} vs {}", tuned.cycles, base.cycles);
+        assert!(
+            tuned.cycles < base.cycles,
+            "{} vs {}",
+            tuned.cycles,
+            base.cycles
+        );
     }
 }

@@ -169,7 +169,12 @@ pub fn segment(v: &BitVec, params: &FeedbackParams) -> Vec<Segment> {
                     last.class = reclass(last.rate, params);
                 }
             }
-            _ => segs.push(Segment { start, end, class, rate }),
+            _ => segs.push(Segment {
+                start,
+                end,
+                class,
+                rate,
+            }),
         }
         start = end;
     }
@@ -230,7 +235,10 @@ fn coalesce(mut segs: Vec<Segment>, total: usize, params: &FeedbackParams) -> Ve
                 rate: ones / (segs[b].end - segs[a].start) as f64,
                 class: SegmentClass::Mixed, // refined below
             };
-            segs[a] = Segment { class: reclass(merged.rate, params), ..merged };
+            segs[a] = Segment {
+                class: reclass(merged.rate, params),
+                ..merged
+            };
             segs.remove(b);
             merged_any = true;
         }
@@ -308,9 +316,9 @@ pub fn instrumentable(segments: &[Segment], total: usize, params: &FeedbackParam
     if segments.len() < 2 || segments.len() > params.max_segments {
         return false;
     }
-    segments.iter().any(|s| {
-        s.class != SegmentClass::Mixed && s.frac_of(total) >= params.min_segment_frac
-    })
+    segments
+        .iter()
+        .any(|s| s.class != SegmentClass::Mixed && s.frac_of(total) >= params.min_segment_frac)
 }
 
 /// Full classification — the predicate structure of the Figure-6 algorithm.
@@ -340,10 +348,14 @@ pub fn classify(v: &BitVec, params: &FeedbackParams) -> BranchBehavior {
         // two huge opposite phases is better split than averaged.
         let segs = segment(v, params);
         if instrumentable(&segs, v.len(), params)
-            && segs.iter().filter(|s| s.class != SegmentClass::Mixed).count() >= 2
             && segs
                 .iter()
-                .any(|s| s.class == SegmentClass::Taken && s.frac_of(v.len()) >= params.min_segment_frac)
+                .filter(|s| s.class != SegmentClass::Mixed)
+                .count()
+                >= 2
+            && segs.iter().any(|s| {
+                s.class == SegmentClass::Taken && s.frac_of(v.len()) >= params.min_segment_frac
+            })
             && segs.iter().any(|s| {
                 s.class == SegmentClass::NotTaken && s.frac_of(v.len()) >= params.min_segment_frac
             })
@@ -424,7 +436,10 @@ mod tests {
         s.push_str(&"TF".repeat(10));
         s.push_str(&"F".repeat(40));
         let v = bv(&s);
-        let p = FeedbackParams { seg_window: 10, ..FeedbackParams::default() };
+        let p = FeedbackParams {
+            seg_window: 10,
+            ..FeedbackParams::default()
+        };
         match classify(&v, &p) {
             BranchBehavior::Phased { segments } => {
                 assert!(segments.len() >= 2 && segments.len() <= 4, "{segments:?}");
@@ -484,7 +499,10 @@ mod tests {
     fn segmentation_handles_runt_window() {
         // 40 + 5: the runt merges into the previous segment.
         let v = repeat("T", 45);
-        let p = FeedbackParams { seg_window: 20, ..FeedbackParams::default() };
+        let p = FeedbackParams {
+            seg_window: 20,
+            ..FeedbackParams::default()
+        };
         let segs = segment(&v, &p);
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].end, 45);

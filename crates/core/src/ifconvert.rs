@@ -9,9 +9,7 @@
 
 use crate::renamepool::RenamePool;
 use guardspec_analysis::Hammock;
-use guardspec_ir::{
-    BlockId, BranchCond, Function, Guard, Instruction, Opcode, PredReg,
-};
+use guardspec_ir::{BlockId, BranchCond, Function, Guard, Instruction, Opcode, PredReg};
 
 /// Why a hammock could not be converted.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -96,8 +94,18 @@ pub fn if_convert(
             let p0 = pool.take_pred().ok_or(IfConvertError::NoPredReg)?;
             let (sc, a, rhs) = other.as_compare().expect("non-predicate branch");
             let op = match rhs {
-                Some(b) => Opcode::SetP { cond: sc, dst: p0, a, b },
-                None => Opcode::SetPImm { cond: sc, dst: p0, a, imm: 0 },
+                Some(b) => Opcode::SetP {
+                    cond: sc,
+                    dst: p0,
+                    a,
+                    b,
+                },
+                None => Opcode::SetPImm {
+                    cond: sc,
+                    dst: p0,
+                    a,
+                    imm: 0,
+                },
             };
             setup.push(Instruction::new(op));
             stats.setup_ops += 1;
@@ -128,7 +136,8 @@ pub fn if_convert(
     head.insns.pop(); // the branch
     head.insns.extend(setup);
     head.insns.extend(merged);
-    head.insns.push(Instruction::new(Opcode::Jump { target: h.join }));
+    head.insns
+        .push(Instruction::new(Opcode::Jump { target: h.join }));
 
     Ok(stats)
 }
@@ -274,7 +283,7 @@ mod tests {
         assert!(rc.summary.retired > rb.summary.retired);
         assert!(rc.summary.cond_branches < rb.summary.cond_branches);
         assert_eq!(rc.summary.annulled, 1); // the not-executed arm
-        // Branch-class dynamic count drops.
+                                            // Branch-class dynamic count drops.
         let bi = guardspec_interp::exec::class_index(FuClass::Branch);
         assert!(rc.summary.by_class[bi] <= rb.summary.by_class[bi]);
     }
@@ -311,7 +320,10 @@ mod tests {
         let cfg = Cfg::build(f);
         let hs = find_hammocks(f, &cfg);
         let mut pool = RenamePool::for_function(f);
-        assert_eq!(if_convert(f, &hs[0], &mut pool, 0), Err(IfConvertError::ArmTooLong));
+        assert_eq!(
+            if_convert(f, &hs[0], &mut pool, 0),
+            Err(IfConvertError::ArmTooLong)
+        );
     }
 
     #[test]

@@ -81,7 +81,11 @@ mod tests {
     use guardspec_ir::FuncId;
 
     fn r(b: u32, i: u32) -> InsnRef {
-        InsnRef { func: FuncId(0), block: BlockId(b), idx: i }
+        InsnRef {
+            func: FuncId(0),
+            block: BlockId(b),
+            idx: i,
+        }
     }
 
     #[test]

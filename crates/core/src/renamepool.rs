@@ -51,7 +51,11 @@ impl RenamePool {
         free_int.reverse();
         free_flt.reverse();
         free_pred.reverse();
-        RenamePool { free_int, free_flt, free_pred }
+        RenamePool {
+            free_int,
+            free_flt,
+            free_pred,
+        }
     }
 
     /// Take a free integer register, if any remain.
@@ -120,7 +124,11 @@ mod tests {
         let f = fb.finish();
         let mut pool = RenamePool::for_function(&f);
         let first = pool.take_int().unwrap();
-        assert!(first.0 >= 32, "first allocation should come from r32..r63, got r{}", first.0);
+        assert!(
+            first.0 >= 32,
+            "first allocation should come from r32..r63, got r{}",
+            first.0
+        );
     }
 
     #[test]
@@ -131,7 +139,10 @@ mod tests {
         let f = fb.finish();
         let mut pool = RenamePool::for_function(&f);
         assert!(matches!(pool.take_like(Reg::Int(r(5))), Some(Reg::Int(_))));
-        assert!(matches!(pool.take_like(Reg::Pred(p(0))), Some(Reg::Pred(_))));
+        assert!(matches!(
+            pool.take_like(Reg::Pred(p(0))),
+            Some(Reg::Pred(_))
+        ));
     }
 
     #[test]

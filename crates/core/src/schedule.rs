@@ -36,7 +36,11 @@ impl Resources {
             fu[i] = n;
             latency[i] = l;
         }
-        Resources { issue_width: 4, fu, latency }
+        Resources {
+            issue_width: 4,
+            fu,
+            latency,
+        }
     }
 
     fn class_idx(c: FuClass) -> usize {
@@ -62,7 +66,7 @@ pub struct BlockSchedule {
 pub fn schedule_block(block: &BasicBlock, res: &Resources) -> BlockSchedule {
     let n = block.insns.len();
     let mut ready_at = vec![0u64; n]; // earliest issue cycle per dependence
-    // Register def/use tracking: last writer completion, last reader issue.
+                                      // Register def/use tracking: last writer completion, last reader issue.
     let mut def_done: std::collections::HashMap<Reg, u64> = Default::default();
     let mut def_issue: std::collections::HashMap<Reg, u64> = Default::default();
     let mut use_issue: std::collections::HashMap<Reg, u64> = Default::default();
@@ -154,7 +158,11 @@ pub fn schedule_block(block: &BasicBlock, res: &Resources) -> BlockSchedule {
     let used: u64 = slots_used.values().map(|&v| v as u64).sum();
     let vacant_slots = cap.saturating_sub(used);
 
-    BlockSchedule { issue_cycle, length, vacant_slots }
+    BlockSchedule {
+        issue_cycle,
+        length,
+        vacant_slots,
+    }
 }
 
 #[cfg(test)]
@@ -216,7 +224,10 @@ mod tests {
             fb.lw(r(3), r(4), 0);
         });
         let s = schedule_block(&b, &Resources::r10000());
-        assert!(s.issue_cycle[1] >= s.issue_cycle[0] + 2, "load after store completion");
+        assert!(
+            s.issue_cycle[1] >= s.issue_cycle[0] + 2,
+            "load after store completion"
+        );
     }
 
     #[test]
@@ -238,7 +249,9 @@ mod tests {
         });
         let s = schedule_block(&b, &Resources::r10000());
         let term = s.issue_cycle.last().copied().unwrap();
-        assert!(s.issue_cycle[..s.issue_cycle.len() - 1].iter().all(|&c| c <= term));
+        assert!(s.issue_cycle[..s.issue_cycle.len() - 1]
+            .iter()
+            .all(|&c| c <= term));
     }
 
     #[test]

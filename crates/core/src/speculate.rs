@@ -233,8 +233,7 @@ mod tests {
         let taken = f.block_by_label("L1").unwrap();
         let live_other = *lv.live_in(taken);
         let mut pool = RenamePool::for_function(f);
-        let (stats, _remap) =
-            speculate_into_head(f, head, fall, &live_other, 4, false, &mut pool);
+        let (stats, _remap) = speculate_into_head(f, head, fall, &live_other, 4, false, &mut pool);
         stats
     }
 

@@ -37,8 +37,7 @@ use crate::remap::Remap;
 use crate::renamepool::RenamePool;
 use guardspec_ir::insn::{AluKind, PLogicKind};
 use guardspec_ir::{
-    BasicBlock, BlockId, BranchCond, Function, Guard, Instruction, IntReg, Opcode, PredReg,
-    SetCond,
+    BasicBlock, BlockId, BranchCond, Function, Guard, Instruction, IntReg, Opcode, PredReg, SetCond,
 };
 
 /// How to instrument one branch.
@@ -51,7 +50,9 @@ pub enum SplitPlan {
     /// The per-segment extension: biased phases steered by range
     /// predicates, plus Mixed phases with their own periodic pattern
     /// steered by range && algebraic-counter predicates.
-    Hybrid { segments: Vec<(Segment, Option<(usize, Vec<bool>)>)> },
+    Hybrid {
+        segments: Vec<(Segment, Option<(usize, Vec<bool>)>)>,
+    },
 }
 
 /// One branch to split.
@@ -133,8 +134,15 @@ pub fn split_branches(
     order.sort_by(|a, b| b.block.cmp(&a.block));
 
     for spec in order {
-        let site_remap =
-            split_one(f, spec, counter, &regs, min_segment_frac, max_likelies_per_site, &mut stats)?;
+        let site_remap = split_one(
+            f,
+            spec,
+            counter,
+            &regs,
+            min_segment_frac,
+            max_likelies_per_site,
+            &mut stats,
+        )?;
         remap.extend(&site_remap);
     }
     if stats.sites == 0 {
@@ -146,7 +154,12 @@ pub fn split_branches(
     let header_now = remap.apply_block(header);
     f.block_mut(header_now).insns.insert(
         0,
-        Instruction::new(Opcode::AluImm { kind: AluKind::Add, dst: counter, a: counter, imm: 1 }),
+        Instruction::new(Opcode::AluImm {
+            kind: AluKind::Add,
+            dst: counter,
+            a: counter,
+            imm: 1,
+        }),
     );
     remap.insn_insert(header_now, 0, 1);
     stats.instrumentation_ops += 1;
@@ -161,7 +174,10 @@ pub fn split_branches(
     let fallthrough_backedge = header_now.0 > 0
         && body_now.contains(&BlockId(header_now.0 - 1))
         && f.block(BlockId(header_now.0 - 1)).falls_through();
-    let init = Instruction::new(Opcode::Li { dst: counter, imm: -1 });
+    let init = Instruction::new(Opcode::Li {
+        dst: counter,
+        imm: -1,
+    });
     if fallthrough_backedge {
         f.block_mut(BlockId(0)).insns.insert(0, init);
         remap.insn_insert(BlockId(0), 0, 1);
@@ -174,8 +190,10 @@ pub fn split_branches(
         f.block_mut(pre).insns.push(init);
         // Retarget loop-external predecessors that explicitly target the
         // header; latches (in-body) keep targeting the header directly.
-        let body_after: Vec<BlockId> =
-            body_now.iter().map(|&b| if b.0 >= pre.0 { BlockId(b.0 + 1) } else { b }).collect();
+        let body_after: Vec<BlockId> = body_now
+            .iter()
+            .map(|&b| if b.0 >= pre.0 { BlockId(b.0 + 1) } else { b })
+            .collect();
         let nblocks = f.blocks.len();
         for bi in 0..nblocks {
             let bid = BlockId(bi as u32);
@@ -244,14 +262,27 @@ fn split_one(
     let p_true: PredReg = match cond {
         BranchCond::PredT(q) => q,
         BranchCond::PredF(q) => {
-            setup.push(Instruction::new(Opcode::PNot { dst: regs.p_true, src: q }));
+            setup.push(Instruction::new(Opcode::PNot {
+                dst: regs.p_true,
+                src: q,
+            }));
             regs.p_true
         }
         other => {
             let (sc, a, rhs) = other.as_compare().expect("compare branch");
             setup.push(Instruction::new(match rhs {
-                Some(rb) => Opcode::SetP { cond: sc, dst: regs.p_true, a, b: rb },
-                None => Opcode::SetPImm { cond: sc, dst: regs.p_true, a, imm: 0 },
+                Some(rb) => Opcode::SetP {
+                    cond: sc,
+                    dst: regs.p_true,
+                    a,
+                    b: rb,
+                },
+                None => Opcode::SetPImm {
+                    cond: sc,
+                    dst: regs.p_true,
+                    a,
+                    imm: 0,
+                },
             }));
             regs.p_true
         }
@@ -262,7 +293,10 @@ fn split_one(
         if let Some(pf) = p_false {
             return pf;
         }
-        setup.push(Instruction::new(Opcode::PNot { dst: regs.p_false, src: p_true }));
+        setup.push(Instruction::new(Opcode::PNot {
+            dst: regs.p_false,
+            src: p_true,
+        }));
         p_false = Some(regs.p_false);
         regs.p_false
     };
@@ -341,7 +375,11 @@ fn split_one(
             for seg in &biased {
                 emit_range(&mut setup, seg, total, tmp_a, tmp_b);
                 let taken_dir = seg.class == SegmentClass::Taken;
-                let dir_pred = if taken_dir { p_true } else { get_p_false(&mut setup) };
+                let dir_pred = if taken_dir {
+                    p_true
+                } else {
+                    get_p_false(&mut setup)
+                };
                 let g = *regs.guards.get(next_guard).ok_or(SplitError::NoPredReg)?;
                 next_guard += 1;
                 setup.push(Instruction::new(Opcode::PLogic {
@@ -350,7 +388,10 @@ fn split_one(
                     a: dir_pred,
                     b: tmp_a,
                 }));
-                likelies.push(PlannedLikely { guard: g, taken_dir });
+                likelies.push(PlannedLikely {
+                    guard: g,
+                    taken_dir,
+                });
             }
         }
         SplitPlan::Periodic { period, pattern } => {
@@ -381,7 +422,10 @@ fn split_one(
                     a: p_true,
                     b: tmp_a,
                 }));
-                likelies.push(PlannedLikely { guard: g, taken_dir: true });
+                likelies.push(PlannedLikely {
+                    guard: g,
+                    taken_dir: true,
+                });
             }
             if likelies.is_empty() {
                 return Err(SplitError::NoBiasedSegment);
@@ -429,8 +473,7 @@ fn split_one(
                                 a: regs.masked,
                                 imm: k_abs as i64,
                             }));
-                            let g =
-                                *regs.guards.get(next_guard).ok_or(SplitError::NoPredReg)?;
+                            let g = *regs.guards.get(next_guard).ok_or(SplitError::NoPredReg)?;
                             next_guard += 1;
                             setup.push(Instruction::new(Opcode::PLogic {
                                 kind: PLogicKind::And,
@@ -446,7 +489,10 @@ fn split_one(
                                     b: tmp_c,
                                 }));
                             }
-                            likelies.push(PlannedLikely { guard: g, taken_dir: true });
+                            likelies.push(PlannedLikely {
+                                guard: g,
+                                taken_dir: true,
+                            });
                         }
                     }
                     // Mixed-without-pattern and not-taken-biased segments
@@ -466,7 +512,10 @@ fn split_one(
                             a: p_true,
                             b: tmp_a,
                         }));
-                        likelies.push(PlannedLikely { guard: g, taken_dir: true });
+                        likelies.push(PlannedLikely {
+                            guard: g,
+                            taken_dir: true,
+                        });
                     }
                 }
             }
@@ -499,9 +548,17 @@ fn split_one(
 
     // Rebuild block b and the continuation chain.
     let mk_likely = |pl: &PlannedLikely| {
-        let target = if pl.taken_dir { taken_target } else { fall_target };
+        let target = if pl.taken_dir {
+            taken_target
+        } else {
+            fall_target
+        };
         Instruction::guarded(
-            Opcode::Branch { cond: BranchCond::PredT(pl.guard), target, likely: true },
+            Opcode::Branch {
+                cond: BranchCond::PredT(pl.guard),
+                target,
+                likely: true,
+            },
             Guard::if_true(pl.guard),
         )
     };
@@ -519,11 +576,13 @@ fn split_one(
     }
     // Residual: the original branch, verbatim, in the last continuation.
     let residual = BlockId(b.0 + n_conts as u32);
-    f.block_mut(residual).insns.push(Instruction::new(Opcode::Branch {
-        cond,
-        target: taken_target,
-        likely: false,
-    }));
+    f.block_mut(residual)
+        .insns
+        .push(Instruction::new(Opcode::Branch {
+            cond,
+            target: taken_target,
+            likely: false,
+        }));
 
     Ok(remap)
 }
@@ -626,9 +685,16 @@ mod tests {
         let f = prog.func(FuncId(0));
         let bb = f.block_by_label(branch_block_label).unwrap();
         let idx = f.block(bb).insns.len() as u32 - 1;
-        let site = guardspec_ir::InsnRef { func: FuncId(0), block: bb, idx };
+        let site = guardspec_ir::InsnRef {
+            func: FuncId(0),
+            block: bb,
+            idx,
+        };
         let bp = profile.branch(site).expect("branch profiled");
-        let params = FeedbackParams { seg_window: 10, ..FeedbackParams::default() };
+        let params = FeedbackParams {
+            seg_window: 10,
+            ..FeedbackParams::default()
+        };
         match classify(&bp.outcomes, &params) {
             BranchBehavior::Phased { segments } => SplitPlan::Phased { segments },
             BranchBehavior::Periodic { period, pattern } => SplitPlan::Periodic { period, pattern },
@@ -696,7 +762,10 @@ mod tests {
         let mut split = base.clone();
         let stats = split_it(&mut split, "head");
         assert_valid(&split);
-        assert!(stats.likelies >= 2, "both biased phases get a likely: {stats:?}");
+        assert!(
+            stats.likelies >= 2,
+            "both biased phases get a likely: {stats:?}"
+        );
         let rb = run(&base).expect("base");
         let rs = run(&split).expect("split");
         assert_eq!(rb.machine.mem[1], rs.machine.mem[1]);
@@ -736,7 +805,12 @@ mod tests {
             ss.mispredicts,
             sb.mispredicts
         );
-        assert!(ss.ipc() > sb.ipc(), "split ipc {} <= base ipc {}", ss.ipc(), sb.ipc());
+        assert!(
+            ss.ipc() > sb.ipc(),
+            "split ipc {} <= base ipc {}",
+            ss.ipc(),
+            sb.ipc()
+        );
     }
 
     #[test]
@@ -765,7 +839,10 @@ mod tests {
         let pre = f.block_by_label("preheader0");
         assert!(pre.is_some(), "preheader created");
         let pre = pre.unwrap();
-        assert!(matches!(f.block(pre).insns[0].op, Opcode::Li { imm: -1, .. }));
+        assert!(matches!(
+            f.block(pre).insns[0].op,
+            Opcode::Li { imm: -1, .. }
+        ));
     }
 
     #[test]
@@ -774,10 +851,18 @@ mod tests {
         let f = prog.func_mut(FuncId(0));
         let bb = f.block_by_label("head").unwrap();
         let mut pool = RenamePool::for_function(f);
-        let segs = vec![Segment { start: 0, end: 100, class: SegmentClass::Mixed, rate: 0.5 }];
-        let specs = vec![SplitSpec { block: bb, plan: SplitPlan::Phased { segments: segs } }];
-        let err = split_branches(f, BlockId(1), &[BlockId(1)], &specs, &mut pool, 0.15, 2)
-            .unwrap_err();
+        let segs = vec![Segment {
+            start: 0,
+            end: 100,
+            class: SegmentClass::Mixed,
+            rate: 0.5,
+        }];
+        let specs = vec![SplitSpec {
+            block: bb,
+            plan: SplitPlan::Phased { segments: segs },
+        }];
+        let err =
+            split_branches(f, BlockId(1), &[BlockId(1)], &specs, &mut pool, 0.15, 2).unwrap_err();
         assert_eq!(err, SplitError::NoBiasedSegment);
     }
 
@@ -789,10 +874,13 @@ mod tests {
         let mut pool = RenamePool::for_function(f);
         let specs = vec![SplitSpec {
             block: bb,
-            plan: SplitPlan::Periodic { period: 3, pattern: vec![true, false, false] },
+            plan: SplitPlan::Periodic {
+                period: 3,
+                pattern: vec![true, false, false],
+            },
         }];
-        let err = split_branches(f, BlockId(1), &[BlockId(1)], &specs, &mut pool, 0.15, 2)
-            .unwrap_err();
+        let err =
+            split_branches(f, BlockId(1), &[BlockId(1)], &specs, &mut pool, 0.15, 2).unwrap_err();
         assert_eq!(err, SplitError::UnsupportedPeriod);
     }
 }
@@ -877,8 +965,10 @@ mod hybrid_tests {
             let (header, body) = (l.header, l.body.clone());
             let f = split.func_mut(FuncId(0));
             let mut pool = RenamePool::for_function(f);
-            let specs =
-                vec![SplitSpec { block: bb, plan: SplitPlan::Hybrid { segments: hybrid } }];
+            let specs = vec![SplitSpec {
+                block: bb,
+                plan: SplitPlan::Hybrid { segments: hybrid },
+            }];
             let (stats, _) =
                 split_branches(f, header, &body, &specs, &mut pool, 0.15, 4).expect("split");
             assert!(stats.likelies >= 1);

@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements just enough of criterion's API for this workspace's benches:
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` with `throughput`, and `Bencher::iter`.  Measurement is
+//! a simple calibrated wall-clock loop (no statistics, no HTML reports); each
+//! benchmark prints one line:
+//!
+//! ```text
+//! name                    time: 12.345 µs/iter (+ 81.0 Melem/s)
+//! ```
+//!
+//! Honours `--bench` and name-filter CLI arguments loosely: any non-flag
+//! argument filters benchmark names by substring (so `cargo bench foo` works).
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Run `f` in a calibrated loop and record the mean time per iteration.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm up and estimate a single-iteration cost.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~200 ms of measurement, capped to keep huge kernels fast.
+        let iters = (Duration::from_millis(200).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.1} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.1} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn runs(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn report(&self, name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+        let extra = match throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!(" (+ {})", human_rate(n as f64 * 1e9 / mean_ns, "elem"))
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                format!(" (+ {})", human_rate(n as f64 * 1e9 / mean_ns, "B"))
+            }
+            _ => String::new(),
+        };
+        println!("{name:<40} time: {}/iter{extra}", human_time(mean_ns));
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.runs(name) {
+            let mut b = Bencher { mean_ns: 0.0 };
+            f(&mut b);
+            self.report(name, b.mean_ns, None);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        if self.parent.runs(&full) {
+            let mut b = Bencher { mean_ns: 0.0 };
+            f(&mut b);
+            self.parent.report(&full, b.mean_ns, self.throughput);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `criterion_group!(name, bench_fn, ...)` — also accepts the
+/// `config = ...; targets = ...` long form (config is ignored).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// `criterion_main!(group1, group2, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching criterion's `black_box` (std's suffices here).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_nothing(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(g, bench_nothing);
+
+    #[test]
+    fn group_runs() {
+        g();
+    }
+
+    #[test]
+    fn humanize() {
+        assert_eq!(human_time(12.0), "12.0 ns");
+        assert_eq!(human_time(12_345.0), "12.345 µs");
+        assert!(human_rate(81.0e6, "elem").starts_with("81.0 M"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Shared command-line parsing for the bench binaries.
+//!
+//! Every binary accepts the same three flags:
+//!
+//! * `--scale test|small|paper` — workload size preset (default `small`),
+//! * `--jobs N` — worker threads (`0`/absent = one per core; `1` = the
+//!   deterministic serial reference schedule),
+//! * `--json <path>` — additionally write the run's machine-readable
+//!   artifact to `<path>`.
+//!
+//! Bad values print a one-line diagnostic to **stderr** and exit with
+//! status 2 — never a panic with a backtrace.  Unknown arguments are
+//! ignored, matching the historical behaviour of the table binaries (so
+//! e.g. cargo-forwarded test filters don't kill a run).
+
+use guardspec_workloads::Scale;
+use std::path::PathBuf;
+
+/// Parsed common flags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HarnessArgs {
+    pub scale: Scale,
+    /// `0` means auto (one worker per available core).
+    pub jobs: usize,
+    /// Where to write the JSON artifact, if requested.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> HarnessArgs {
+        HarnessArgs {
+            scale: Scale::Small,
+            jobs: 0,
+            json: None,
+        }
+    }
+}
+
+/// Parse a `--scale` value.
+pub fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "test" => Ok(Scale::Test),
+        "small" => Ok(Scale::Small),
+        "paper" => Ok(Scale::Paper),
+        other => Err(format!("bad --scale {other:?} (want test|small|paper)")),
+    }
+}
+
+/// Parse a `--jobs` value.
+pub fn parse_jobs(s: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("bad --jobs {s:?} (want a non-negative integer)"))
+}
+
+impl HarnessArgs {
+    /// Parse the process arguments; on error print to stderr and exit(2).
+    pub fn parse() -> HarnessArgs {
+        match HarnessArgs::try_parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: [--scale test|small|paper] [--jobs N] [--json <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Testable core of [`HarnessArgs::parse`].
+    pub fn try_parse(args: impl Iterator<Item = String>) -> Result<HarnessArgs, String> {
+        let mut out = HarnessArgs::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+            match arg.as_str() {
+                "--scale" => out.scale = parse_scale(&value("--scale")?)?,
+                "--jobs" => out.jobs = parse_jobs(&value("--jobs")?)?,
+                "--json" => out.json = Some(PathBuf::from(value("--json")?)),
+                _ => {} // Tolerated, like the pre-harness binaries.
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(parse(&[]).unwrap(), HarnessArgs::default());
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = parse(&["--scale", "test", "--jobs", "4", "--json", "out.json"]).unwrap();
+        assert_eq!(a.scale, Scale::Test);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("out.json")));
+    }
+
+    #[test]
+    fn bad_values_are_errors_not_panics() {
+        assert!(parse(&["--scale", "huge"])
+            .unwrap_err()
+            .contains("bad --scale"));
+        assert!(parse(&["--jobs", "many"])
+            .unwrap_err()
+            .contains("bad --jobs"));
+        assert!(parse(&["--json"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--scale"]).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn unknown_args_ignored() {
+        let a = parse(&["--verbose", "extra", "--scale", "paper"]).unwrap();
+        assert_eq!(a.scale, Scale::Paper);
+    }
+}

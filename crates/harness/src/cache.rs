@@ -1,0 +1,149 @@
+//! Content-addressed on-disk result store.
+//!
+//! Layout (under the root, conventionally `results/cache/`):
+//!
+//! ```text
+//! results/cache/<first two hex chars>/<stage>-<32-hex-digest>.json
+//! ```
+//!
+//! Keys come from [`crate::key`]; values are the JSON encodings from
+//! [`crate::codec`].  Writes go through a temp file + rename so concurrent
+//! writers of the same key (two worker threads, or two bench binaries
+//! running at once) can never expose a torn entry — last writer wins with
+//! identical contents, since contents are a pure function of the key.
+//!
+//! Hit/miss counters are atomic and feed the run artifact, which is how the
+//! acceptance criterion "a warm run performs zero re-profiles/re-simulations"
+//! is made observable.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug)]
+pub struct DiskCache {
+    root: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl DiskCache {
+    /// A cache rooted at `root` (created lazily on first write).
+    pub fn new(root: impl Into<PathBuf>) -> DiskCache {
+        DiskCache {
+            root: Some(root.into()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A disabled cache: every `get` misses, every `put` is dropped.
+    pub fn disabled() -> DiskCache {
+        DiskCache {
+            root: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.root.is_some()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn path_for(&self, key: &str) -> Option<PathBuf> {
+        let root = self.root.as_ref()?;
+        // Shard on the first two digest characters to keep directories small.
+        let digest = key.rsplit('-').next().unwrap_or(key);
+        let shard = digest.get(0..2).unwrap_or("xx");
+        Some(root.join(shard).join(format!("{key}.json")))
+    }
+
+    /// Look up a key, counting the hit or miss.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let path = self.path_for(key)?;
+        match std::fs::read_to_string(&path) {
+            Ok(s) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(s)
+            }
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a value.  I/O failures are non-fatal (the cache is an
+    /// accelerator, not a source of truth) but reported on stderr.
+    pub fn put(&self, key: &str, contents: &str) {
+        let Some(path) = self.path_for(key) else {
+            return;
+        };
+        if let Err(e) = write_atomic(&path, contents) {
+            eprintln!(
+                "guardspec-harness: cache write {} failed: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let dir = path.parent().expect("cache path has a parent");
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("guardspec-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn get_put_get() {
+        let root = scratch_dir("basic");
+        let c = DiskCache::new(&root);
+        assert_eq!(c.get("profile-aabbcc"), None);
+        c.put("profile-aabbcc", "{\"x\":1}");
+        assert_eq!(c.get("profile-aabbcc").as_deref(), Some("{\"x\":1}"));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        // Sharded under the digest prefix.
+        assert!(root.join("aa").join("profile-aabbcc.json").exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let c = DiskCache::disabled();
+        c.put("k", "v");
+        assert_eq!(c.get("k"), None);
+        assert!(!c.is_enabled());
+    }
+}

@@ -1,0 +1,307 @@
+//! JSON encodings for cached stage outputs.
+//!
+//! * [`Profile`] — counters plus per-site branch-outcome bit vectors; packed
+//!   words are hex strings so full-range `u64` bit patterns survive exactly.
+//! * [`SimStats`] — via the `field_list`/`set_field` hooks on the stats
+//!   struct itself, so a field added upstream shows up here automatically.
+//! * [`ReportSummary`] — the transform-report counts the tables print
+//!   (full per-branch decision lists are cheap to recompute and are *not*
+//!   cached).
+//! * Transformed programs — as printed IR text, re-parsed on a warm hit
+//!   (print → parse identity is property-tested in `guardspec-ir`).
+//!
+//! Decoders return `Err` on any shape mismatch; callers treat that as a
+//! cache miss and recompute, so a stale or corrupt entry can never poison a
+//! run.
+
+use crate::json::Json;
+use guardspec_core::TransformReport;
+use guardspec_interp::profile::BranchProfile;
+use guardspec_interp::{BitVec, Profile};
+use guardspec_ir::{BlockId, FuncId, InsnRef};
+use guardspec_sim::SimStats;
+use std::collections::BTreeMap;
+
+/// The per-transform counts reported in tables (a cache-friendly subset of
+/// [`TransformReport`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReportSummary {
+    pub likelies: usize,
+    pub ifconversions: usize,
+    pub splits: usize,
+    pub speculated_ops: usize,
+    pub guarded_ops: usize,
+    pub split_likelies: usize,
+}
+
+impl From<&TransformReport> for ReportSummary {
+    fn from(r: &TransformReport) -> ReportSummary {
+        ReportSummary {
+            likelies: r.likelies,
+            ifconversions: r.ifconversions,
+            splits: r.splits,
+            speculated_ops: r.speculated_ops,
+            guarded_ops: r.guarded_ops,
+            split_likelies: r.split_likelies,
+        }
+    }
+}
+
+fn get_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing/invalid field {key}"))
+}
+
+fn get_usize(j: &Json, key: &str) -> Result<usize, String> {
+    Ok(get_u64(j, key)? as usize)
+}
+
+pub fn report_to_json(r: &ReportSummary) -> Json {
+    Json::obj(vec![
+        ("likelies", Json::U64(r.likelies as u64)),
+        ("ifconversions", Json::U64(r.ifconversions as u64)),
+        ("splits", Json::U64(r.splits as u64)),
+        ("speculated_ops", Json::U64(r.speculated_ops as u64)),
+        ("guarded_ops", Json::U64(r.guarded_ops as u64)),
+        ("split_likelies", Json::U64(r.split_likelies as u64)),
+    ])
+}
+
+pub fn report_from_json(j: &Json) -> Result<ReportSummary, String> {
+    Ok(ReportSummary {
+        likelies: get_usize(j, "likelies")?,
+        ifconversions: get_usize(j, "ifconversions")?,
+        splits: get_usize(j, "splits")?,
+        speculated_ops: get_usize(j, "speculated_ops")?,
+        guarded_ops: get_usize(j, "guarded_ops")?,
+        split_likelies: get_usize(j, "split_likelies")?,
+    })
+}
+
+pub fn stats_to_json(s: &SimStats) -> Json {
+    Json::Obj(
+        s.field_list()
+            .into_iter()
+            .map(|(k, v)| (k, Json::U64(v)))
+            .collect(),
+    )
+}
+
+pub fn stats_from_json(j: &Json) -> Result<SimStats, String> {
+    let Json::Obj(pairs) = j else {
+        return Err("stats: not an object".to_string());
+    };
+    let mut s = SimStats::default();
+    let mut set = 0usize;
+    for (k, v) in pairs {
+        let v = v
+            .as_u64()
+            .ok_or_else(|| format!("stats field {k}: not a u64"))?;
+        if !s.set_field(k, v) {
+            return Err(format!("stats: unknown field {k}"));
+        }
+        set += 1;
+    }
+    // Reject entries from an older SimStats shape (missing counters would
+    // silently read as zero otherwise).
+    if set != s.field_list().len() {
+        return Err(format!(
+            "stats: {set} fields, expected {}",
+            s.field_list().len()
+        ));
+    }
+    Ok(s)
+}
+
+fn bitvec_to_json(v: &BitVec) -> Json {
+    Json::obj(vec![
+        ("len", Json::U64(v.len() as u64)),
+        (
+            "words",
+            Json::Arr(
+                v.words()
+                    .iter()
+                    .map(|w| Json::str(format!("{w:016x}")))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn bitvec_from_json(j: &Json) -> Result<BitVec, String> {
+    let len = get_usize(j, "len")?;
+    let words = j
+        .get("words")
+        .and_then(Json::as_arr)
+        .ok_or("bitvec: missing words")?
+        .iter()
+        .map(|w| {
+            w.as_str()
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| "bitvec: bad word".to_string())
+        })
+        .collect::<Result<Vec<u64>, String>>()?;
+    if len > words.len() * 64 {
+        return Err("bitvec: length exceeds words".to_string());
+    }
+    Ok(BitVec::from_raw(words, len))
+}
+
+pub fn profile_to_json(p: &Profile) -> Json {
+    let branches = p
+        .branches
+        .iter()
+        .map(|(site, bp)| {
+            Json::obj(vec![
+                ("func", Json::U64(site.func.0 as u64)),
+                ("block", Json::U64(site.block.0 as u64)),
+                ("idx", Json::U64(site.idx as u64)),
+                ("executed", Json::U64(bp.executed)),
+                ("taken", Json::U64(bp.taken)),
+                ("outcomes", bitvec_to_json(&bp.outcomes)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("retired", Json::U64(p.retired)),
+        ("annulled", Json::U64(p.annulled)),
+        (
+            "by_class",
+            Json::Arr(p.by_class.iter().map(|&v| Json::U64(v)).collect()),
+        ),
+        (
+            "site_counts",
+            Json::Arr(p.site_counts.iter().map(|&v| Json::U64(v)).collect()),
+        ),
+        ("branches", Json::Arr(branches)),
+    ])
+}
+
+pub fn profile_from_json(j: &Json) -> Result<Profile, String> {
+    let u64_arr = |key: &str| -> Result<Vec<u64>, String> {
+        j.get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("profile: missing {key}"))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .ok_or_else(|| format!("profile: bad {key} entry"))
+            })
+            .collect()
+    };
+    let by_class_v = u64_arr("by_class")?;
+    let mut by_class = [0u64; 8];
+    if by_class_v.len() != 8 {
+        return Err("profile: by_class length".to_string());
+    }
+    by_class.copy_from_slice(&by_class_v);
+
+    let mut branches = BTreeMap::new();
+    for b in j
+        .get("branches")
+        .and_then(Json::as_arr)
+        .ok_or("profile: missing branches")?
+    {
+        let site = InsnRef {
+            func: FuncId(get_u64(b, "func")? as u32),
+            block: BlockId(get_u64(b, "block")? as u32),
+            idx: get_u64(b, "idx")? as u32,
+        };
+        let outcomes = bitvec_from_json(
+            b.get("outcomes")
+                .ok_or("profile: branch missing outcomes")?,
+        )?;
+        branches.insert(
+            site,
+            BranchProfile {
+                executed: get_u64(b, "executed")?,
+                taken: get_u64(b, "taken")?,
+                outcomes,
+            },
+        );
+    }
+    Ok(Profile {
+        site_counts: u64_arr("site_counts")?,
+        branches,
+        retired: get_u64(j, "retired")?,
+        by_class,
+        annulled: get_u64(j, "annulled")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn stats_roundtrip_through_text() {
+        let mut s = SimStats::default();
+        s.cycles = 123_456_789_012;
+        s.committed = 99;
+        s.queue_full_cycles = [1, 2, 3, 4];
+        s.fu_issues[5] = 7;
+        s.dcache_misses = 13;
+        let text = stats_to_json(&s).to_pretty();
+        let back = stats_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn stats_rejects_incomplete_entries() {
+        assert!(stats_from_json(&parse("{\"cycles\":1}").unwrap()).is_err());
+        assert!(stats_from_json(&parse("{\"bogus\":1}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn profile_roundtrip_preserves_outcome_bits() {
+        let mut bp = BranchProfile::default();
+        for i in 0..131 {
+            bp.outcomes.push(i % 3 == 0);
+        }
+        bp.executed = 131;
+        bp.taken = bp.outcomes.count_ones() as u64;
+        let mut branches = BTreeMap::new();
+        branches.insert(
+            InsnRef {
+                func: FuncId(0),
+                block: BlockId(4),
+                idx: 2,
+            },
+            bp.clone(),
+        );
+        let p = Profile {
+            site_counts: vec![5, 0, 9],
+            branches,
+            retired: 1000,
+            by_class: [1, 2, 3, 4, 5, 6, 7, 8],
+            annulled: 3,
+        };
+        let text = profile_to_json(&p).to_compact();
+        let back = profile_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back.retired, p.retired);
+        assert_eq!(back.site_counts, p.site_counts);
+        assert_eq!(back.by_class, p.by_class);
+        let site = InsnRef {
+            func: FuncId(0),
+            block: BlockId(4),
+            idx: 2,
+        };
+        assert_eq!(back.branches[&site].outcomes, bp.outcomes);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let r = ReportSummary {
+            likelies: 1,
+            ifconversions: 2,
+            splits: 3,
+            speculated_ops: 4,
+            guarded_ops: 5,
+            split_likelies: 6,
+        };
+        let back = report_from_json(&parse(&report_to_json(&r).to_compact()).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,45 @@
+//! # guardspec-harness
+//!
+//! Experiment orchestration for the bench binaries: describe *what* to
+//! measure as an [`ExperimentSpec`] (workload × transform × scheme ×
+//! machine cells), and [`run_experiment`] takes care of *how* —
+//!
+//! * expanding cells into a profile → transform → simulate job graph with
+//!   shared stages de-duplicated (one profile per workload, one transform
+//!   per distinct option set),
+//! * executing the graph on a hand-rolled work-stealing [`pool`]
+//!   (`--jobs N`; results are byte-identical at any thread count),
+//! * memoising every stage in a content-addressed on-disk [`cache`] under
+//!   `results/cache/`, keyed by a stable 128-bit hash of the program text,
+//!   scale and full option/config state ([`key`]),
+//! * emitting machine-readable run [`artifact`]s (`results/BENCH_<n>.json`
+//!   and `--json <path>`) with per-stage timings and cache counters via a
+//!   dependency-free [`json`] writer.
+//!
+//! The binaries in `guardspec-bench` are thin views over this crate: they
+//! build a spec, run it, and format the paper's tables from the result.
+
+pub mod args;
+pub mod artifact;
+pub mod cache;
+pub mod codec;
+pub mod hash;
+pub mod json;
+pub mod key;
+pub mod pool;
+pub mod runner;
+pub mod spec;
+
+pub use args::{parse_jobs, parse_scale, HarnessArgs};
+pub use artifact::{emit_bench_artifact, full_json, stable_json, write_json_file};
+pub use cache::DiskCache;
+pub use codec::ReportSummary;
+pub use json::Json;
+pub use pool::JobGraph;
+pub use runner::{run_experiment, CellResult, ExperimentResult, RunOptions, WorkloadResult};
+pub use spec::{CellSpec, ExperimentSpec};
+
+/// The conventional cache root used by the bench binaries.
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+/// The conventional artifact directory used by the bench binaries.
+pub const DEFAULT_RESULTS_DIR: &str = "results";

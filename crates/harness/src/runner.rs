@@ -1,0 +1,431 @@
+//! Spec execution: expand cells into a deduplicated three-stage job graph,
+//! run it on the work-stealing pool, and collect deterministic results.
+//!
+//! Stage pipeline per cell (arrows are job-graph dependencies):
+//!
+//! ```text
+//! profile(workload)  ──► transform(workload, options) ──► simulate(cell)
+//!        │                                                    ▲
+//!        └── (cells without a transform) ─────────────────────┘ (no dep)
+//! ```
+//!
+//! * One **profile** job per workload, shared by every cell and by the
+//!   binaries' post-processing (Table 1 columns, predictor sweeps).
+//! * One **transform** job per distinct (workload, options) pair — the
+//!   ablation's five presets over four workloads make twenty transforms, but
+//!   e.g. Tables 3+4 share a single proposed-options transform per workload.
+//! * One **simulate** job per cell.  Untransformed cells depend on nothing
+//!   (functional tracing needs no profile), so they start immediately.
+//!
+//! Every stage consults the content-addressed [`DiskCache`] first; cold
+//! results are verified against the workload's golden memory image before
+//! being stored, so the cache only ever holds results from correctly
+//! computing kernels.
+
+use crate::cache::DiskCache;
+use crate::codec;
+use crate::codec::ReportSummary;
+use crate::key;
+use crate::pool::JobGraph;
+use crate::spec::ExperimentSpec;
+use guardspec_interp::Profile;
+use guardspec_predict::Scheme;
+use guardspec_sim::{simulate_trace, SimStats};
+use guardspec_workloads::Scale;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// How to execute a spec.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Worker threads; `0` means one per available core.
+    pub jobs: usize,
+    /// Cache root; `None` disables caching entirely.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            jobs: 0,
+            cache_dir: Some(PathBuf::from("results/cache")),
+        }
+    }
+}
+
+impl RunOptions {
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs != 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Wall time and cache status of one executed stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTiming {
+    pub ms: f64,
+    pub cached: bool,
+}
+
+/// Per-workload outputs (always produced, even with no cells).
+pub struct WorkloadResult {
+    pub name: String,
+    pub profile: Arc<Profile>,
+    pub timing: StageTiming,
+}
+
+/// One evaluated cell, in spec order.
+pub struct CellResult {
+    pub workload: String,
+    pub label: String,
+    pub scheme: Scheme,
+    pub stats: SimStats,
+    pub report: Option<ReportSummary>,
+    pub transform_timing: Option<StageTiming>,
+    pub sim_timing: StageTiming,
+}
+
+/// Everything a binary needs to print its table and emit its artifact.
+pub struct ExperimentResult {
+    pub name: String,
+    pub scale: Scale,
+    pub jobs: usize,
+    pub wall_ms: f64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub workloads: Vec<WorkloadResult>,
+    pub cells: Vec<CellResult>,
+}
+
+impl ExperimentResult {
+    /// The profile for a workload by name (panics on unknown names — specs
+    /// and consumers are compiled together).
+    pub fn profile(&self, workload: &str) -> &Profile {
+        &self
+            .workloads
+            .iter()
+            .find(|w| w.name == workload)
+            .unwrap_or_else(|| panic!("no workload {workload} in experiment"))
+            .profile
+    }
+
+    /// Cells in spec order (convenience for per-workload iteration).
+    pub fn cells_for<'a>(&'a self, workload: &'a str) -> impl Iterator<Item = &'a CellResult> + 'a {
+        self.cells.iter().filter(move |c| c.workload == workload)
+    }
+}
+
+struct ProfileSlot {
+    timing: StageTiming,
+    profile: Arc<Profile>,
+}
+
+struct TransformSlot {
+    timing: StageTiming,
+    program: Arc<guardspec_ir::Program>,
+    text: Arc<String>,
+    report: ReportSummary,
+}
+
+struct SimSlot {
+    timing: StageTiming,
+    stats: SimStats,
+}
+
+/// Execute a spec.  Panics (after cancelling outstanding jobs) if any
+/// kernel miscomputes its golden results — the harness never reports
+/// numbers from a wrong answer.
+pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentResult {
+    let start = Instant::now();
+    let cache = Arc::new(match &opts.cache_dir {
+        Some(dir) => DiskCache::new(dir),
+        None => DiskCache::disabled(),
+    });
+    let scale = spec.scale;
+    let jobs_n = opts.effective_jobs();
+
+    // Shared, pre-sized output slots: job closures write, the collection
+    // phase below reads in spec order — this is what makes results
+    // independent of scheduling.
+    let profile_slots: Arc<Vec<OnceLock<ProfileSlot>>> =
+        Arc::new((0..spec.workloads.len()).map(|_| OnceLock::new()).collect());
+    let sim_slots: Arc<Vec<OnceLock<SimSlot>>> =
+        Arc::new((0..spec.cells.len()).map(|_| OnceLock::new()).collect());
+
+    // Program text is the cache-key ingredient for every stage; compute it
+    // once per workload up front.
+    let texts: Vec<Arc<String>> = spec
+        .workloads
+        .iter()
+        .map(|w| Arc::new(w.program.to_string()))
+        .collect();
+
+    let mut graph = JobGraph::new();
+
+    // Stage 1: one profile job per workload.
+    let mut profile_jobs = Vec::with_capacity(spec.workloads.len());
+    for (wi, w) in spec.workloads.iter().enumerate() {
+        let slots = profile_slots.clone();
+        let cache = cache.clone();
+        let text = texts[wi].clone();
+        let program = w.program.clone();
+        let expected = w.expected.clone();
+        let wname = w.name;
+        let id = graph.add(&[], move || {
+            let t0 = Instant::now();
+            let key = key::profile_key(&text, scale);
+            let (profile, cached) = match load_profile(&cache, &key) {
+                Some(p) => (p, true),
+                None => {
+                    let (profile, exec) = guardspec_interp::profile::profile_program(&program)
+                        .unwrap_or_else(|e| panic!("{wname}: profile failed: {e}"));
+                    let bad: Vec<_> = expected
+                        .iter()
+                        .filter(|&&(addr, want)| {
+                            exec.machine.mem.get(addr as usize).copied() != Some(want)
+                        })
+                        .collect();
+                    assert!(
+                        bad.is_empty(),
+                        "{wname} miscomputed under profiling: {bad:?}"
+                    );
+                    cache.put(&key, &codec::profile_to_json(&profile).to_compact());
+                    (profile, false)
+                }
+            };
+            let timing = StageTiming {
+                ms: ms_since(t0),
+                cached,
+            };
+            let _ = slots[wi].set(ProfileSlot {
+                timing,
+                profile: Arc::new(profile),
+            });
+        });
+        profile_jobs.push(id);
+    }
+
+    // Stage 2: one transform job per distinct (workload, options).
+    let transform_slots: Arc<Vec<OnceLock<TransformSlot>>> = Arc::new(
+        (0..spec.cells.len()).map(|_| OnceLock::new()).collect(), // upper bound
+    );
+    let mut transform_jobs: HashMap<(usize, String), (usize, usize)> = HashMap::new();
+    let mut cell_transform: Vec<Option<usize>> = vec![None; spec.cells.len()];
+    for (ci, cell) in spec.cells.iter().enumerate() {
+        let Some(options) = &cell.transform else {
+            continue;
+        };
+        let dedupe = (cell.workload, key::describe_options(options));
+        let next_slot = transform_jobs.len();
+        let (job_id, slot) = *transform_jobs.entry(dedupe).or_insert_with(|| {
+            let wi = cell.workload;
+            let slots = transform_slots.clone();
+            let profiles = profile_slots.clone();
+            let cache = cache.clone();
+            let text = texts[wi].clone();
+            let program = spec.workloads[wi].program.clone();
+            let options = options.clone();
+            let wname = spec.workloads[wi].name;
+            let id = graph.add(&[profile_jobs[wi]], move || {
+                let t0 = Instant::now();
+                let key = key::transform_key(&text, scale, &options);
+                let (program, text, report, cached) = match load_transform(&cache, &key) {
+                    Some((p, t, r)) => (p, t, r, true),
+                    None => {
+                        let profile = &profiles[wi].get().expect("profile dependency ran").profile;
+                        let mut p = program;
+                        let report = guardspec_core::transform_program(&mut p, profile, &options);
+                        guardspec_ir::validate::assert_valid(&p);
+                        let out_text = p.to_string();
+                        let summary = ReportSummary::from(&report);
+                        cache.put(
+                            &key,
+                            &crate::json::Json::obj(vec![
+                                ("program", crate::json::Json::str(&out_text)),
+                                ("report", codec::report_to_json(&summary)),
+                            ])
+                            .to_compact(),
+                        );
+                        (p, out_text, summary, false)
+                    }
+                };
+                let timing = StageTiming {
+                    ms: ms_since(t0),
+                    cached,
+                };
+                let _ = slots[next_slot].set(TransformSlot {
+                    timing,
+                    program: Arc::new(program),
+                    text: Arc::new(text),
+                    report,
+                });
+                let _ = wname; // context for panics above
+            });
+            (id, next_slot)
+        });
+        cell_transform[ci] = Some(slot);
+        let _ = job_id;
+    }
+
+    // Stage 3: one simulate job per cell.
+    for (ci, cell) in spec.cells.iter().enumerate() {
+        let wi = cell.workload;
+        let deps: Vec<usize> = match cell_transform[ci] {
+            Some(_slot) => {
+                // Recover the transform job id from the dedupe map.
+                let d = (wi, key::describe_options(cell.transform.as_ref().unwrap()));
+                vec![transform_jobs[&d].0]
+            }
+            None => Vec::new(),
+        };
+        let slots = sim_slots.clone();
+        let transforms = transform_slots.clone();
+        let cache = cache.clone();
+        let base_text = texts[wi].clone();
+        let base_program = spec.workloads[wi].program.clone();
+        let expected = spec.workloads[wi].expected.clone();
+        let wname = spec.workloads[wi].name;
+        let label = cell.label.clone();
+        let scheme = cell.scheme;
+        let cfg = cell.cfg.clone();
+        let tslot = cell_transform[ci];
+        graph.add(&deps, move || {
+            let t0 = Instant::now();
+            let (program, text): (Arc<guardspec_ir::Program>, Arc<String>) = match tslot {
+                Some(s) => {
+                    let t = transforms[s].get().expect("transform dependency ran");
+                    (t.program.clone(), t.text.clone())
+                }
+                None => (Arc::new(base_program), base_text),
+            };
+            let key = key::sim_key(&text, scale, scheme, &cfg);
+            let (stats, cached) = match load_stats(&cache, &key) {
+                Some(s) => (s, true),
+                None => {
+                    let (layout, trace, exec) = guardspec_interp::trace::trace_program(&program)
+                        .unwrap_or_else(|e| panic!("{wname}/{label}: trace failed: {e}"));
+                    let bad: Vec<_> = expected
+                        .iter()
+                        .filter(|&&(addr, want)| {
+                            exec.machine.mem.get(addr as usize).copied() != Some(want)
+                        })
+                        .collect();
+                    assert!(bad.is_empty(), "{wname}/{label} miscomputed: {bad:?}");
+                    let stats = simulate_trace(&program, &layout, &trace, scheme, &cfg)
+                        .unwrap_or_else(|e| panic!("{wname}/{label}: simulate failed: {e}"));
+                    cache.put(&key, &codec::stats_to_json(&stats).to_compact());
+                    (stats, false)
+                }
+            };
+            let timing = StageTiming {
+                ms: ms_since(t0),
+                cached,
+            };
+            let _ = slots[ci].set(SimSlot { timing, stats });
+        });
+    }
+
+    graph.execute(jobs_n);
+
+    // Deterministic collection in spec order.
+    let workloads = spec
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| {
+            let slot = profile_slots[wi].get().expect("profile job ran");
+            WorkloadResult {
+                name: w.name.to_string(),
+                profile: slot.profile.clone(),
+                timing: slot.timing,
+            }
+        })
+        .collect();
+    let cells = spec
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(ci, cell)| {
+            let sim = sim_slots[ci].get().expect("sim job ran");
+            let transform =
+                cell_transform[ci].map(|s| transform_slots[s].get().expect("transform job ran"));
+            CellResult {
+                workload: spec.workloads[cell.workload].name.to_string(),
+                label: cell.label.clone(),
+                scheme: cell.scheme,
+                stats: sim.stats.clone(),
+                report: transform.map(|t| t.report.clone()),
+                transform_timing: transform.map(|t| t.timing),
+                sim_timing: sim.timing,
+            }
+        })
+        .collect();
+
+    ExperimentResult {
+        name: spec.name.clone(),
+        scale,
+        jobs: jobs_n,
+        wall_ms: ms_since(start),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        workloads,
+        cells,
+    }
+}
+
+fn ms_since(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn load_profile(cache: &DiskCache, key: &str) -> Option<Profile> {
+    let text = cache.get(key)?;
+    match crate::json::parse(&text).and_then(|j| codec::profile_from_json(&j)) {
+        Ok(p) => Some(p),
+        Err(e) => {
+            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            None
+        }
+    }
+}
+
+fn load_transform(
+    cache: &DiskCache,
+    key: &str,
+) -> Option<(guardspec_ir::Program, String, ReportSummary)> {
+    let text = cache.get(key)?;
+    let decode = || -> Result<_, String> {
+        let j = crate::json::parse(&text)?;
+        let src = j
+            .get("program")
+            .and_then(crate::json::Json::as_str)
+            .ok_or("no program")?;
+        let report = codec::report_from_json(j.get("report").ok_or("no report")?)?;
+        let program = guardspec_ir::parse::parse_program(src, None).map_err(|e| e.to_string())?;
+        Ok((program, src.to_string(), report))
+    };
+    match decode() {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            None
+        }
+    }
+}
+
+fn load_stats(cache: &DiskCache, key: &str) -> Option<SimStats> {
+    let text = cache.get(key)?;
+    match crate::json::parse(&text).and_then(|j| codec::stats_from_json(&j)) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            None
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Cache correctness: a cold run and a warm run of the same spec must
+//! produce byte-identical stable artifacts, and the warm run must perform
+//! zero re-profiles / re-transforms / re-simulations (every stage a hit).
+
+use guardspec_harness::{run_experiment, stable_json, ExperimentSpec, RunOptions};
+use guardspec_workloads::Scale;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "guardspec-harness-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn cold_then_warm_is_byte_identical_and_fully_cached() {
+    let dir = scratch("coldwarm");
+    let opts = RunOptions {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+    };
+
+    let spec = ExperimentSpec::three_schemes("cache-test", Scale::Test);
+    let stages = spec.workloads.len()             // one profile per workload
+        + spec.cells.iter().filter(|c| c.transform.is_some()).count()
+        + spec.cells.len(); // one simulation per cell
+
+    let cold = run_experiment(&spec, &opts);
+    assert_eq!(cold.cache_hits, 0, "cold run must not hit");
+    assert_eq!(
+        cold.cache_misses as usize, stages,
+        "cold run misses once per stage"
+    );
+    assert!(cold.workloads.iter().all(|w| !w.timing.cached));
+    assert!(cold.cells.iter().all(|c| !c.sim_timing.cached));
+
+    let warm = run_experiment(&spec, &opts);
+    assert_eq!(warm.cache_misses, 0, "warm run must recompute nothing");
+    assert_eq!(
+        warm.cache_hits as usize, stages,
+        "warm run hits once per stage"
+    );
+    assert!(
+        warm.workloads.iter().all(|w| w.timing.cached),
+        "no re-profiles"
+    );
+    assert!(
+        warm.cells.iter().all(|c| c.sim_timing.cached),
+        "no re-simulations"
+    );
+    assert!(
+        warm.cells
+            .iter()
+            .all(|c| c.transform_timing.map(|t| t.cached).unwrap_or(true)),
+        "no re-transforms"
+    );
+
+    // The science is byte-identical regardless of cache temperature.
+    assert_eq!(
+        stable_json(&cold).to_pretty(),
+        stable_json(&warm).to_pretty(),
+        "cold and warm stable artifacts differ"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profiles_are_shared_not_recomputed_within_a_run() {
+    // The ablation matrix derives 5 transforms per workload from ONE
+    // profile.  Every distinct stage is consulted exactly once; the only
+    // permissible cold-run hits are simulation cells whose transformed
+    // program happens to coincide with an earlier cell's (two presets can
+    // produce identical code), in which case the cache shares the result
+    // instead of re-simulating.
+    let dir = scratch("shared");
+    let opts = RunOptions {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+    };
+    let spec = ExperimentSpec::ablation("share-test", Scale::Test);
+    let cold = run_experiment(&spec, &opts);
+    let stages = spec.workloads.len() + 2 * spec.cells.len();
+    assert_eq!((cold.cache_hits + cold.cache_misses) as usize, stages);
+    // Profiles and transforms all have distinct keys, so they all miss.
+    let min_misses = spec.workloads.len() + spec.cells.len();
+    assert!(
+        (cold.cache_misses as usize) >= min_misses,
+        "misses {} < {min_misses}",
+        cold.cache_misses
+    );
+    // A warm rerun recomputes nothing at all.
+    let warm = run_experiment(&spec, &opts);
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(
+        stable_json(&cold).to_pretty(),
+        stable_json(&warm).to_pretty()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_entries_are_recomputed_not_trusted() {
+    let dir = scratch("corrupt");
+    let opts = RunOptions {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+    };
+    let spec = ExperimentSpec::three_schemes("corrupt-test", Scale::Test);
+    let cold = run_experiment(&spec, &opts);
+
+    // Vandalise every cached entry.
+    for shard in std::fs::read_dir(&dir).unwrap() {
+        for f in std::fs::read_dir(shard.unwrap().path()).unwrap() {
+            std::fs::write(f.unwrap().path(), "{\"not\":\"a real entry\"}").unwrap();
+        }
+    }
+
+    let again = run_experiment(&spec, &opts);
+    assert_eq!(
+        stable_json(&cold).to_pretty(),
+        stable_json(&again).to_pretty(),
+        "recovery run must recompute identical results"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

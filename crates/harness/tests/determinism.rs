@@ -1,0 +1,59 @@
+//! Thread-pool determinism: the full Scale::Test matrix produces identical
+//! results at `--jobs 1` (the serial reference schedule) and `--jobs 8`
+//! (work stealing), with the cache disabled so every stage really executes.
+
+use guardspec_harness::{full_json, run_experiment, stable_json, ExperimentSpec, RunOptions};
+use guardspec_workloads::Scale;
+
+fn uncached(jobs: usize) -> RunOptions {
+    RunOptions {
+        jobs,
+        cache_dir: None,
+    }
+}
+
+#[test]
+fn three_scheme_matrix_is_jobcount_invariant() {
+    let spec = ExperimentSpec::three_schemes("det-test", Scale::Test);
+    let serial = run_experiment(&spec, &uncached(1));
+    let parallel = run_experiment(&spec, &uncached(8));
+    assert_eq!(serial.jobs, 1);
+    assert_eq!(parallel.jobs, 8);
+    assert_eq!(
+        stable_json(&serial).to_pretty(),
+        stable_json(&parallel).to_pretty(),
+        "results depend on the thread count"
+    );
+}
+
+#[test]
+fn ablation_matrix_is_jobcount_invariant() {
+    let spec = ExperimentSpec::ablation("det-ablation", Scale::Test);
+    let serial = run_experiment(&spec, &uncached(1));
+    let parallel = run_experiment(&spec, &uncached(8));
+    assert_eq!(
+        stable_json(&serial).to_pretty(),
+        stable_json(&parallel).to_pretty()
+    );
+}
+
+#[test]
+fn full_artifact_carries_meta_and_timings() {
+    let spec = ExperimentSpec::three_schemes("meta-test", Scale::Test);
+    let r = run_experiment(&spec, &uncached(2));
+    let j = full_json(&r);
+    let meta = j.get("meta").expect("meta object");
+    assert_eq!(meta.get("jobs").and_then(|v| v.as_u64()), Some(2));
+    assert!(meta.get("wall_ms").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    // Every cell records a simulate timing; Proposed cells also a transform.
+    let cells = j.get("cells").and_then(|c| c.as_arr()).unwrap();
+    assert_eq!(cells.len(), spec.cells.len());
+    for cell in cells {
+        assert!(cell.get("simulate").is_some());
+        assert!(cell.get("stats").is_some());
+        if cell.get("scheme").and_then(|s| s.as_str()) == Some("Proposed") {
+            assert!(cell.get("transform").is_some());
+            assert!(cell.get("report").is_some());
+        }
+    }
+}

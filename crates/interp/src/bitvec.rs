@@ -9,7 +9,10 @@ pub struct BitVec {
 
 impl BitVec {
     pub fn new() -> BitVec {
-        BitVec { words: Vec::new(), len: 0 }
+        BitVec {
+            words: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Build from an iterator of outcomes.
@@ -68,7 +71,9 @@ impl BitVec {
     /// Number of adjacent positions whose outcome differs — the raw count
     /// behind the paper's *toggle factor*.
     pub fn toggles(&self) -> usize {
-        (1..self.len).filter(|&i| self.get(i) != self.get(i - 1)).count()
+        (1..self.len)
+            .filter(|&i| self.get(i) != self.get(i - 1))
+            .count()
     }
 
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
@@ -78,6 +83,31 @@ impl BitVec {
     /// Copy out the sub-vector `[start, end)` (clamped to the length).
     pub fn slice(&self, start: usize, end: usize) -> BitVec {
         BitVec::from_bools((start..end.min(self.len)).map(|i| self.get(i)))
+    }
+
+    /// The packed 64-bit words backing the vector (LSB-first within each
+    /// word) — the serialization hook used by `guardspec-harness` to persist
+    /// branch-outcome vectors in its on-disk cache.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from packed words and a bit length (inverse of
+    /// [`BitVec::words`] + [`BitVec::len`]).  Bits at and above `len` are
+    /// cleared so equality with the original vector holds.
+    pub fn from_raw(mut words: Vec<u64>, len: usize) -> BitVec {
+        assert!(
+            len <= words.len() * 64,
+            "bit length {len} exceeds {} words",
+            words.len()
+        );
+        words.truncate(len.div_ceil(64));
+        if len % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        BitVec { words, len }
     }
 }
 

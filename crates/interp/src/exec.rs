@@ -2,7 +2,7 @@
 
 use crate::machine::Machine;
 use guardspec_ir::insn::{AluKind, FAluKind, PLogicKind, ShiftKind};
-use guardspec_ir::{BlockId, BranchCond, FuClass, FuncId, Instruction, InsnRef, Opcode, Program};
+use guardspec_ir::{BlockId, BranchCond, FuClass, FuncId, InsnRef, Instruction, Opcode, Program};
 use std::fmt;
 
 /// What one retired instruction did — everything an observer (profiler,
@@ -41,12 +41,27 @@ impl<A: Observer, B: Observer> Observer for (&mut A, &mut B) {
 /// Why execution stopped abnormally.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ExecError {
-    MemOutOfBounds { site: InsnRef, addr: i64 },
-    JtabOutOfBounds { site: InsnRef, index: i64, table_len: usize },
-    CallDepthExceeded { site: InsnRef },
-    ReturnFromEntry { site: InsnRef },
-    FuelExhausted { retired: u64 },
-    FellOffEnd { func: FuncId },
+    MemOutOfBounds {
+        site: InsnRef,
+        addr: i64,
+    },
+    JtabOutOfBounds {
+        site: InsnRef,
+        index: i64,
+        table_len: usize,
+    },
+    CallDepthExceeded {
+        site: InsnRef,
+    },
+    ReturnFromEntry {
+        site: InsnRef,
+    },
+    FuelExhausted {
+        retired: u64,
+    },
+    FellOffEnd {
+        func: FuncId,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -55,7 +70,11 @@ impl fmt::Display for ExecError {
             ExecError::MemOutOfBounds { site, addr } => {
                 write!(f, "memory access out of bounds at {site:?}: addr {addr}")
             }
-            ExecError::JtabOutOfBounds { site, index, table_len } => {
+            ExecError::JtabOutOfBounds {
+                site,
+                index,
+                table_len,
+            } => {
                 write!(f, "jtab index {index} out of range {table_len} at {site:?}")
             }
             ExecError::CallDepthExceeded { site } => write!(f, "call depth exceeded at {site:?}"),
@@ -112,7 +131,11 @@ const DEFAULT_FUEL: u64 = 200_000_000;
 
 impl<'p> Interp<'p> {
     pub fn new(prog: &'p Program) -> Interp<'p> {
-        Interp { prog, max_call_depth: 1024, fuel: DEFAULT_FUEL }
+        Interp {
+            prog,
+            max_call_depth: 1024,
+            fuel: DEFAULT_FUEL,
+        }
     }
 
     pub fn with_fuel(mut self, fuel: u64) -> Self {
@@ -148,7 +171,9 @@ impl<'p> Interp<'p> {
             let insn = &blk.insns[idx as usize];
             let site = InsnRef { func, block, idx };
             if summary.retired >= self.fuel {
-                return Err(ExecError::FuelExhausted { retired: summary.retired });
+                return Err(ExecError::FuelExhausted {
+                    retired: summary.retired,
+                });
             }
             summary.retired += 1;
             summary.by_class[class_index(insn.fu_class())] += 1;
@@ -163,14 +188,25 @@ impl<'p> Interp<'p> {
                 summary.annulled += 1;
                 obs.on_retire(
                     insn,
-                    &RetireEvent { site, taken: None, target_block: None, mem_addr: None, annulled },
+                    &RetireEvent {
+                        site,
+                        taken: None,
+                        target_block: None,
+                        mem_addr: None,
+                        annulled,
+                    },
                 );
                 idx += 1;
                 continue;
             }
 
-            let mut ev =
-                RetireEvent { site, taken: None, target_block: None, mem_addr: None, annulled };
+            let mut ev = RetireEvent {
+                site,
+                taken: None,
+                target_block: None,
+                mem_addr: None,
+                annulled,
+            };
 
             use Opcode::*;
             match &insn.op {
@@ -330,7 +366,10 @@ impl<'p> Interp<'p> {
                 },
                 Halt => {
                     obs.on_retire(insn, &ev);
-                    return Ok(ExecResult { summary, machine: m });
+                    return Ok(ExecResult {
+                        summary,
+                        machine: m,
+                    });
                 }
                 Nop => {}
             }
@@ -453,8 +492,14 @@ mod tests {
         let res = run(&prog).expect("runs");
         assert_eq!(res.machine.get_int(r(3)), 1234);
         assert_eq!(res.machine.get_int(r(4)), 2468);
-        assert_eq!(res.summary.by_class[class_index(guardspec_ir::FuClass::LoadStore)], 2);
-        assert_eq!(res.summary.by_class[class_index(guardspec_ir::FuClass::Shift)], 1);
+        assert_eq!(
+            res.summary.by_class[class_index(guardspec_ir::FuClass::LoadStore)],
+            2
+        );
+        assert_eq!(
+            res.summary.by_class[class_index(guardspec_ir::FuClass::Shift)],
+            1
+        );
     }
 
     #[test]
@@ -488,7 +533,11 @@ mod tests {
         fb.halt();
         let prog = single_func_program(fb);
         match run(&prog) {
-            Err(ExecError::JtabOutOfBounds { index: 7, table_len: 1, .. }) => {}
+            Err(ExecError::JtabOutOfBounds {
+                index: 7,
+                table_len: 1,
+                ..
+            }) => {}
             other => panic!("expected jtab trap, got {other:?}"),
         }
     }
@@ -561,7 +610,11 @@ mod tests {
         fb.block("e");
         fb.li(r(1), 9);
         fb.itof(guardspec_ir::reg::f(1), r(1));
-        fb.fmul(guardspec_ir::reg::f(2), guardspec_ir::reg::f(1), guardspec_ir::reg::f(1));
+        fb.fmul(
+            guardspec_ir::reg::f(2),
+            guardspec_ir::reg::f(1),
+            guardspec_ir::reg::f(1),
+        );
         fb.ftoi(r(2), guardspec_ir::reg::f(2));
         fb.halt();
         let prog = single_func_program(fb);

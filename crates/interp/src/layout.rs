@@ -26,13 +26,21 @@ impl StaticLayout {
             for (bid, b) in f.iter_blocks() {
                 block_start.insert((fid, bid), sites.len() as u32);
                 for idx in 0..b.insns.len() {
-                    let site = InsnRef { func: fid, block: bid, idx: idx as u32 };
+                    let site = InsnRef {
+                        func: fid,
+                        block: bid,
+                        idx: idx as u32,
+                    };
                     ids.insert(site, sites.len() as u32);
                     sites.push(site);
                 }
             }
         }
-        StaticLayout { sites, ids, block_start }
+        StaticLayout {
+            sites,
+            ids,
+            block_start,
+        }
     }
 
     pub fn num_sites(&self) -> usize {

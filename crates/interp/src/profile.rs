@@ -9,7 +9,7 @@
 use crate::bitvec::BitVec;
 use crate::exec::{class_index, Observer, RetireEvent};
 use crate::layout::StaticLayout;
-use guardspec_ir::{FuClass, Instruction, InsnRef, Program};
+use guardspec_ir::{FuClass, InsnRef, Instruction, Program};
 use std::collections::BTreeMap;
 
 /// Profile data for one static conditional-branch site.
@@ -177,11 +177,19 @@ mod tests {
         let prog = phased_loop();
         let (profile, _res) = profile_program(&prog).expect("runs");
         // The forward branch sits in block `loop` (BlockId 1), idx 1.
-        let site = InsnRef { func: FuncId(0), block: BlockId(1), idx: 1 };
+        let site = InsnRef {
+            func: FuncId(0),
+            block: BlockId(1),
+            idx: 1,
+        };
         let bp = profile.branch(site).expect("profiled");
         assert_eq!(bp.executed, 10);
         assert_eq!(bp.taken, 7);
-        let pat: String = bp.outcomes.iter().map(|b| if b { 'T' } else { 'F' }).collect();
+        let pat: String = bp
+            .outcomes
+            .iter()
+            .map(|b| if b { 'T' } else { 'F' })
+            .collect();
         assert_eq!(pat, "TTTTTTTFFF");
         assert!((bp.taken_rate() - 0.7).abs() < 1e-12);
     }
@@ -193,13 +201,20 @@ mod tests {
         assert_eq!(profile.retired, res.summary.retired);
         assert!(profile.branch_fraction() > 0.1);
         // The latch branch ran 10 times.
-        let latch = InsnRef { func: FuncId(0), block: BlockId(3), idx: 2 };
+        let latch = InsnRef {
+            func: FuncId(0),
+            block: BlockId(3),
+            idx: 2,
+        };
         let bp = profile.branch(latch).expect("latch profiled");
         assert_eq!(bp.executed, 10);
         assert_eq!(bp.taken, 9);
         // Entry block ran once.
         let lay = StaticLayout::build(&prog);
-        assert_eq!(profile.site_counts[lay.block_start(FuncId(0), BlockId(0)) as usize], 1);
+        assert_eq!(
+            profile.site_counts[lay.block_start(FuncId(0), BlockId(0)) as usize],
+            1
+        );
     }
 
     #[test]
@@ -207,9 +222,15 @@ mod tests {
         let prog = phased_loop();
         let mut p = Profiler::new(&prog);
         p.max_outcomes = 4;
-        crate::exec::Interp::new(&prog).run_with(&mut p).expect("runs");
+        crate::exec::Interp::new(&prog)
+            .run_with(&mut p)
+            .expect("runs");
         let profile = p.finish();
-        let site = InsnRef { func: FuncId(0), block: BlockId(1), idx: 1 };
+        let site = InsnRef {
+            func: FuncId(0),
+            block: BlockId(1),
+            idx: 1,
+        };
         let bp = profile.branch(site).unwrap();
         assert_eq!(bp.outcomes.len(), 4);
         assert_eq!(bp.executed, 10); // counts stay exact

@@ -50,7 +50,10 @@ pub struct TraceRecorder {
 
 impl TraceRecorder {
     pub fn new(prog: &Program) -> TraceRecorder {
-        TraceRecorder { layout: StaticLayout::build(prog), entries: Vec::new() }
+        TraceRecorder {
+            layout: StaticLayout::build(prog),
+            entries: Vec::new(),
+        }
     }
 
     pub fn layout(&self) -> &StaticLayout {
@@ -79,7 +82,11 @@ impl Observer for TraceRecorder {
         if ev.annulled {
             flags |= F_ANNULLED;
         }
-        self.entries.push(TraceEntry { id: self.layout.id(ev.site), addr, flags });
+        self.entries.push(TraceEntry {
+            id: self.layout.id(ev.site),
+            addr,
+            flags,
+        });
     }
 }
 
@@ -117,8 +124,7 @@ mod tests {
         // li, (sub, bgtz) x2, sw, halt = 1 + 4 + 2
         assert_eq!(entries.len(), 7);
         // First branch taken, second not.
-        let branches: Vec<bool> =
-            entries.iter().filter_map(|e| e.taken()).collect();
+        let branches: Vec<bool> = entries.iter().filter_map(|e| e.taken()).collect();
         assert_eq!(branches, vec![true, false]);
         // Store address recorded.
         let store = entries.iter().find(|e| e.mem_addr().is_some()).unwrap();

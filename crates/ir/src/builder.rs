@@ -68,7 +68,9 @@ impl FuncBuilder {
 
     /// Append an instruction guarded by `(pred, expect)`.
     pub fn push_guarded(&mut self, op: Opcode, pred: PredReg, expect: bool) -> &mut Self {
-        self.cur().insns.push(Instruction::guarded(op, Guard { pred, expect }));
+        self.cur()
+            .insns
+            .push(Instruction::guarded(op, Guard { pred, expect }));
         self
     }
 
@@ -126,19 +128,44 @@ impl FuncBuilder {
         self.push(Opcode::Mov { dst, src })
     }
     pub fn sll(&mut self, dst: IntReg, a: IntReg, sh: u8) -> &mut Self {
-        self.push(Opcode::ShiftImm { kind: ShiftKind::Sll, dst, a, sh })
+        self.push(Opcode::ShiftImm {
+            kind: ShiftKind::Sll,
+            dst,
+            a,
+            sh,
+        })
     }
     pub fn srl(&mut self, dst: IntReg, a: IntReg, sh: u8) -> &mut Self {
-        self.push(Opcode::ShiftImm { kind: ShiftKind::Srl, dst, a, sh })
+        self.push(Opcode::ShiftImm {
+            kind: ShiftKind::Srl,
+            dst,
+            a,
+            sh,
+        })
     }
     pub fn sra(&mut self, dst: IntReg, a: IntReg, sh: u8) -> &mut Self {
-        self.push(Opcode::ShiftImm { kind: ShiftKind::Sra, dst, a, sh })
+        self.push(Opcode::ShiftImm {
+            kind: ShiftKind::Sra,
+            dst,
+            a,
+            sh,
+        })
     }
     pub fn sllv(&mut self, dst: IntReg, a: IntReg, b: IntReg) -> &mut Self {
-        self.push(Opcode::Shift { kind: ShiftKind::Sll, dst, a, b })
+        self.push(Opcode::Shift {
+            kind: ShiftKind::Sll,
+            dst,
+            a,
+            b,
+        })
     }
     pub fn srlv(&mut self, dst: IntReg, a: IntReg, b: IntReg) -> &mut Self {
-        self.push(Opcode::Shift { kind: ShiftKind::Srl, dst, a, b })
+        self.push(Opcode::Shift {
+            kind: ShiftKind::Srl,
+            dst,
+            a,
+            b,
+        })
     }
 
     // ---- memory ----------------------------------------------------------
@@ -153,16 +180,36 @@ impl FuncBuilder {
     // ---- floating point --------------------------------------------------
 
     pub fn fadd(&mut self, dst: FltReg, a: FltReg, b: FltReg) -> &mut Self {
-        self.push(Opcode::FAlu { kind: FAluKind::Add, dst, a, b })
+        self.push(Opcode::FAlu {
+            kind: FAluKind::Add,
+            dst,
+            a,
+            b,
+        })
     }
     pub fn fsub(&mut self, dst: FltReg, a: FltReg, b: FltReg) -> &mut Self {
-        self.push(Opcode::FAlu { kind: FAluKind::Sub, dst, a, b })
+        self.push(Opcode::FAlu {
+            kind: FAluKind::Sub,
+            dst,
+            a,
+            b,
+        })
     }
     pub fn fmul(&mut self, dst: FltReg, a: FltReg, b: FltReg) -> &mut Self {
-        self.push(Opcode::FAlu { kind: FAluKind::Mul, dst, a, b })
+        self.push(Opcode::FAlu {
+            kind: FAluKind::Mul,
+            dst,
+            a,
+            b,
+        })
     }
     pub fn fdiv(&mut self, dst: FltReg, a: FltReg, b: FltReg) -> &mut Self {
-        self.push(Opcode::FAlu { kind: FAluKind::Div, dst, a, b })
+        self.push(Opcode::FAlu {
+            kind: FAluKind::Div,
+            dst,
+            a,
+            b,
+        })
     }
     pub fn flw(&mut self, dst: FltReg, base: IntReg, off: i64) -> &mut Self {
         self.push(Opcode::FLoad { dst, base, off })
@@ -186,10 +233,20 @@ impl FuncBuilder {
         self.push(Opcode::SetPImm { cond, dst, a, imm })
     }
     pub fn pand(&mut self, dst: PredReg, a: PredReg, b: PredReg) -> &mut Self {
-        self.push(Opcode::PLogic { kind: PLogicKind::And, dst, a, b })
+        self.push(Opcode::PLogic {
+            kind: PLogicKind::And,
+            dst,
+            a,
+            b,
+        })
     }
     pub fn por(&mut self, dst: PredReg, a: PredReg, b: PredReg) -> &mut Self {
-        self.push(Opcode::PLogic { kind: PLogicKind::Or, dst, a, b })
+        self.push(Opcode::PLogic {
+            kind: PLogicKind::Or,
+            dst,
+            a,
+            b,
+        })
     }
     pub fn pnot(&mut self, dst: PredReg, src: PredReg) -> &mut Self {
         self.push(Opcode::PNot { dst, src })
@@ -204,7 +261,11 @@ impl FuncBuilder {
 
     fn branch_fix(&mut self, cond: BranchCond, label: &str, likely: bool) -> &mut Self {
         let placeholder = BlockId(u32::MAX);
-        self.push(Opcode::Branch { cond, target: placeholder, likely });
+        self.push(Opcode::Branch {
+            cond,
+            target: placeholder,
+            likely,
+        });
         let bi = self.func.blocks.len() - 1;
         let ii = self.func.blocks[bi].insns.len() - 1;
         self.fixups.push((bi, ii, label.to_string()));
@@ -252,7 +313,9 @@ impl FuncBuilder {
 
     pub fn jump(&mut self, label: &str) -> &mut Self {
         let placeholder = BlockId(u32::MAX);
-        self.push(Opcode::Jump { target: placeholder });
+        self.push(Opcode::Jump {
+            target: placeholder,
+        });
         let bi = self.func.blocks.len() - 1;
         let ii = self.func.blocks[bi].insns.len() - 1;
         self.fixups.push((bi, ii, label.to_string()));
@@ -261,15 +324,21 @@ impl FuncBuilder {
 
     /// Register-relative jump through a label table (`switch` dispatch).
     pub fn jtab(&mut self, index: IntReg, labels: &[&str]) -> &mut Self {
-        self.push(Opcode::Jtab { index, table: Vec::new() });
+        self.push(Opcode::Jtab {
+            index,
+            table: Vec::new(),
+        });
         let bi = self.func.blocks.len() - 1;
         let ii = self.func.blocks[bi].insns.len() - 1;
-        self.tab_fixups.push((bi, ii, labels.iter().map(|s| s.to_string()).collect()));
+        self.tab_fixups
+            .push((bi, ii, labels.iter().map(|s| s.to_string()).collect()));
         self
     }
 
     pub fn call(&mut self, name: &str) -> &mut Self {
-        self.push(Opcode::Call { func: FuncId(u32::MAX) });
+        self.push(Opcode::Call {
+            func: FuncId(u32::MAX),
+        });
         let bi = self.func.blocks.len() - 1;
         let ii = self.func.blocks[bi].insns.len() - 1;
         self.call_fixups.push((bi, ii, name.to_string()));
@@ -320,7 +389,10 @@ impl FuncBuilder {
     pub fn finish(self) -> Function {
         let name = self.func.name.clone();
         let (f, calls) = self.finish_internal();
-        assert!(calls.is_empty(), "function `{name}` has unresolved calls; use ProgramBuilder");
+        assert!(
+            calls.is_empty(),
+            "function `{name}` has unresolved calls; use ProgramBuilder"
+        );
         f
     }
 }
@@ -335,7 +407,12 @@ pub struct ProgramBuilder {
 
 impl ProgramBuilder {
     pub fn new() -> ProgramBuilder {
-        ProgramBuilder { funcs: Vec::new(), pending_calls: Vec::new(), data: Vec::new(), mem_words: 1 << 16 }
+        ProgramBuilder {
+            funcs: Vec::new(),
+            pending_calls: Vec::new(),
+            data: Vec::new(),
+            mem_words: 1 << 16,
+        }
     }
 
     /// Add an already-built function (no label/call fixups performed).
@@ -396,7 +473,12 @@ impl ProgramBuilder {
         let entry = *lookup
             .get(entry_name)
             .unwrap_or_else(|| panic!("entry function `{entry_name}` not defined"));
-        Program { funcs: self.funcs, entry, data: self.data, mem_words: self.mem_words }
+        Program {
+            funcs: self.funcs,
+            entry,
+            data: self.data,
+            mem_words: self.mem_words,
+        }
     }
 }
 

@@ -107,11 +107,10 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn r(&mut self) -> Result<u32, DecodeError> {
-        let v = self
-            .words
-            .get(self.pos)
-            .copied()
-            .ok_or(DecodeError { at: self.pos, msg: "unexpected end of stream".into() })?;
+        let v = self.words.get(self.pos).copied().ok_or(DecodeError {
+            at: self.pos,
+            msg: "unexpected end of stream".into(),
+        })?;
         self.pos += 1;
         Ok(v)
     }
@@ -131,7 +130,10 @@ impl<'a> Reader<'a> {
         let at = self.pos;
         let len = self.r()? as usize;
         if len > 1 << 20 {
-            return Err(DecodeError { at, msg: format!("string length {len} too large") });
+            return Err(DecodeError {
+                at,
+                msg: format!("string length {len} too large"),
+            });
         }
         let mut bytes = Vec::with_capacity(len);
         let mut remaining = len;
@@ -141,8 +143,10 @@ impl<'a> Reader<'a> {
             bytes.extend_from_slice(&word[..take]);
             remaining -= take;
         }
-        String::from_utf8(bytes)
-            .map_err(|e| DecodeError { at, msg: format!("bad UTF-8 in string: {e}") })
+        String::from_utf8(bytes).map_err(|e| DecodeError {
+            at,
+            msg: format!("bad UTF-8 in string: {e}"),
+        })
     }
 }
 
@@ -171,7 +175,12 @@ fn alu_kind(c: u8, at: usize) -> Result<AluKind, DecodeError> {
         6 => AluKind::Slt,
         7 => AluKind::Sltu,
         8 => AluKind::Mul,
-        _ => return Err(DecodeError { at, msg: format!("bad alu kind {c}") }),
+        _ => {
+            return Err(DecodeError {
+                at,
+                msg: format!("bad alu kind {c}"),
+            })
+        }
     })
 }
 
@@ -194,7 +203,12 @@ fn set_cond(c: u8, at: usize) -> Result<SetCond, DecodeError> {
         3 => SetCond::Le,
         4 => SetCond::Gt,
         5 => SetCond::Ge,
-        _ => return Err(DecodeError { at, msg: format!("bad set cond {c}") }),
+        _ => {
+            return Err(DecodeError {
+                at,
+                msg: format!("bad set cond {c}"),
+            })
+        }
     })
 }
 
@@ -258,7 +272,11 @@ fn encode_insn(w: &mut Writer, i: &Instruction) {
         }
         PLogic { kind, dst, a, b } => w.header(T_PLOGIC, dst.0, a.0, b.0 | ((*kind as u8) << 5)),
         PNot { dst, src } => w.header(T_PNOT, dst.0, src.0, 0),
-        Branch { cond, target, likely } => {
+        Branch {
+            cond,
+            target,
+            likely,
+        } => {
             let (code, ra, rb) = match cond {
                 BranchCond::Eq(a, b) => (0u8, a.0, b.0),
                 BranchCond::Ne(a, b) => (1, a.0, b.0),
@@ -298,9 +316,20 @@ fn decode_insn(rd: &mut Reader) -> Result<Instruction, DecodeError> {
     let gw = rd.r()?;
     let guard = match gw & 0xFF {
         0 => None,
-        1 => Some(Guard { pred: PredReg(((gw >> 8) & 0xFF) as u8), expect: false }),
-        2 => Some(Guard { pred: PredReg(((gw >> 8) & 0xFF) as u8), expect: true }),
-        other => return Err(DecodeError { at, msg: format!("bad guard marker {other}") }),
+        1 => Some(Guard {
+            pred: PredReg(((gw >> 8) & 0xFF) as u8),
+            expect: false,
+        }),
+        2 => Some(Guard {
+            pred: PredReg(((gw >> 8) & 0xFF) as u8),
+            expect: true,
+        }),
+        other => {
+            return Err(DecodeError {
+                at,
+                msg: format!("bad guard marker {other}"),
+            })
+        }
     };
     let (op, a, b, c) = rd.header()?;
     use Opcode::*;
@@ -308,14 +337,30 @@ fn decode_insn(rd: &mut Reader) -> Result<Instruction, DecodeError> {
         T_ALU => {
             let (dst, ra, rb) = (IntReg(a), IntReg(b), IntReg(c));
             let kind = alu_kind(rd.r()? as u8, at)?;
-            Alu { kind, dst, a: ra, b: rb }
+            Alu {
+                kind,
+                dst,
+                a: ra,
+                b: rb,
+            }
         }
         T_ALUI => {
             let kind = alu_kind(c, at)?;
-            AluImm { kind, dst: IntReg(a), a: IntReg(b), imm: rd.r64()? }
+            AluImm {
+                kind,
+                dst: IntReg(a),
+                a: IntReg(b),
+                imm: rd.r64()?,
+            }
         }
-        T_LI => Li { dst: IntReg(a), imm: rd.r64()? },
-        T_MOV => Mov { dst: IntReg(a), src: IntReg(b) },
+        T_LI => Li {
+            dst: IntReg(a),
+            imm: rd.r64()?,
+        },
+        T_MOV => Mov {
+            dst: IntReg(a),
+            src: IntReg(b),
+        },
         T_SHIFT => Shift {
             kind: shift_kind(c >> 6, at)?,
             dst: IntReg(a),
@@ -324,28 +369,73 @@ fn decode_insn(rd: &mut Reader) -> Result<Instruction, DecodeError> {
         },
         T_SHIFTI => {
             let kind = shift_kind(c, at)?;
-            ShiftImm { kind, dst: IntReg(a), a: IntReg(b), sh: rd.r()? as u8 }
+            ShiftImm {
+                kind,
+                dst: IntReg(a),
+                a: IntReg(b),
+                sh: rd.r()? as u8,
+            }
         }
-        T_LOAD => Load { dst: IntReg(a), base: IntReg(b), off: rd.r64()? },
-        T_STORE => Store { src: IntReg(a), base: IntReg(b), off: rd.r64()? },
+        T_LOAD => Load {
+            dst: IntReg(a),
+            base: IntReg(b),
+            off: rd.r64()?,
+        },
+        T_STORE => Store {
+            src: IntReg(a),
+            base: IntReg(b),
+            off: rd.r64()?,
+        },
         T_FALU => {
             let (dst, ra, rb) = (FltReg(a), FltReg(b), FltReg(c));
             let kind = falu_kind(rd.r()? as u8, at)?;
-            FAlu { kind, dst, a: ra, b: rb }
+            FAlu {
+                kind,
+                dst,
+                a: ra,
+                b: rb,
+            }
         }
-        T_FMOV => FMov { dst: FltReg(a), src: FltReg(b) },
-        T_FLOAD => FLoad { dst: FltReg(a), base: IntReg(b), off: rd.r64()? },
-        T_FSTORE => FStore { src: FltReg(a), base: IntReg(b), off: rd.r64()? },
-        T_ITOF => ItoF { dst: FltReg(a), src: IntReg(b) },
-        T_FTOI => FtoI { dst: IntReg(a), src: FltReg(b) },
+        T_FMOV => FMov {
+            dst: FltReg(a),
+            src: FltReg(b),
+        },
+        T_FLOAD => FLoad {
+            dst: FltReg(a),
+            base: IntReg(b),
+            off: rd.r64()?,
+        },
+        T_FSTORE => FStore {
+            src: FltReg(a),
+            base: IntReg(b),
+            off: rd.r64()?,
+        },
+        T_ITOF => ItoF {
+            dst: FltReg(a),
+            src: IntReg(b),
+        },
+        T_FTOI => FtoI {
+            dst: IntReg(a),
+            src: FltReg(b),
+        },
         T_SETP => {
             let (dst, ra, rb) = (PredReg(a), IntReg(b), IntReg(c));
             let cond = set_cond(rd.r()? as u8, at)?;
-            SetP { cond, dst, a: ra, b: rb }
+            SetP {
+                cond,
+                dst,
+                a: ra,
+                b: rb,
+            }
         }
         T_SETPI => {
             let cond = set_cond(c, at)?;
-            SetPImm { cond, dst: PredReg(a), a: IntReg(b), imm: rd.r64()? }
+            SetPImm {
+                cond,
+                dst: PredReg(a),
+                a: IntReg(b),
+                imm: rd.r64()?,
+            }
         }
         T_PLOGIC => PLogic {
             kind: plogic_kind(c >> 5, at)?,
@@ -353,7 +443,10 @@ fn decode_insn(rd: &mut Reader) -> Result<Instruction, DecodeError> {
             a: PredReg(b),
             b: PredReg(c & 0x1F),
         },
-        T_PNOT => PNot { dst: PredReg(a), src: PredReg(b) },
+        T_PNOT => PNot {
+            dst: PredReg(a),
+            src: PredReg(b),
+        },
         T_BRANCH => {
             let likely = c & 0x80 != 0;
             let cond = match c & 0x7F {
@@ -366,17 +459,29 @@ fn decode_insn(rd: &mut Reader) -> Result<Instruction, DecodeError> {
                 6 => BranchCond::PredT(PredReg(a)),
                 7 => BranchCond::PredF(PredReg(a)),
                 other => {
-                    return Err(DecodeError { at, msg: format!("bad branch cond {other}") })
+                    return Err(DecodeError {
+                        at,
+                        msg: format!("bad branch cond {other}"),
+                    })
                 }
             };
-            Branch { cond, target: BlockId(rd.r()?), likely }
+            Branch {
+                cond,
+                target: BlockId(rd.r()?),
+                likely,
+            }
         }
-        T_JUMP => Jump { target: BlockId(rd.r()?) },
+        T_JUMP => Jump {
+            target: BlockId(rd.r()?),
+        },
         T_JTAB => {
             let index = IntReg(a);
             let len = rd.r()? as usize;
             if len > 1 << 16 {
-                return Err(DecodeError { at, msg: format!("jump table too large: {len}") });
+                return Err(DecodeError {
+                    at,
+                    msg: format!("jump table too large: {len}"),
+                });
             }
             let mut table = Vec::with_capacity(len);
             for _ in 0..len {
@@ -384,11 +489,18 @@ fn decode_insn(rd: &mut Reader) -> Result<Instruction, DecodeError> {
             }
             Jtab { index, table }
         }
-        T_CALL => Call { func: FuncId(rd.r()?) },
+        T_CALL => Call {
+            func: FuncId(rd.r()?),
+        },
         T_RET => Ret,
         T_HALT => Halt,
         T_NOP => Nop,
-        other => return Err(DecodeError { at, msg: format!("unknown opcode tag {other}") }),
+        other => {
+            return Err(DecodeError {
+                at,
+                msg: format!("unknown opcode tag {other}"),
+            })
+        }
     };
     Ok(Instruction { op: opcode, guard })
 }
@@ -398,7 +510,12 @@ fn shift_kind(c: u8, at: usize) -> Result<ShiftKind, DecodeError> {
         0 => ShiftKind::Sll,
         1 => ShiftKind::Srl,
         2 => ShiftKind::Sra,
-        _ => return Err(DecodeError { at, msg: format!("bad shift kind {c}") }),
+        _ => {
+            return Err(DecodeError {
+                at,
+                msg: format!("bad shift kind {c}"),
+            })
+        }
     })
 }
 
@@ -409,7 +526,12 @@ fn falu_kind(c: u8, at: usize) -> Result<FAluKind, DecodeError> {
         2 => FAluKind::Mul,
         3 => FAluKind::Div,
         4 => FAluKind::Sqrt,
-        _ => return Err(DecodeError { at, msg: format!("bad falu kind {c}") }),
+        _ => {
+            return Err(DecodeError {
+                at,
+                msg: format!("bad falu kind {c}"),
+            })
+        }
     })
 }
 
@@ -418,7 +540,12 @@ fn plogic_kind(c: u8, at: usize) -> Result<PLogicKind, DecodeError> {
         0 => PLogicKind::And,
         1 => PLogicKind::Or,
         2 => PLogicKind::Xor,
-        _ => return Err(DecodeError { at, msg: format!("bad plogic kind {c}") }),
+        _ => {
+            return Err(DecodeError {
+                at,
+                msg: format!("bad plogic kind {c}"),
+            })
+        }
     })
 }
 
@@ -453,11 +580,17 @@ pub fn encode_program(p: &Program) -> Vec<u32> {
 pub fn decode_program(words: &[u32]) -> Result<Program, DecodeError> {
     let mut rd = Reader { words, pos: 0 };
     if rd.r()? != MAGIC {
-        return Err(DecodeError { at: 0, msg: "bad magic".into() });
+        return Err(DecodeError {
+            at: 0,
+            msg: "bad magic".into(),
+        });
     }
     let version = rd.r()?;
     if version != VERSION {
-        return Err(DecodeError { at: 1, msg: format!("unsupported version {version}") });
+        return Err(DecodeError {
+            at: 1,
+            msg: format!("unsupported version {version}"),
+        });
     }
     let entry = FuncId(rd.r()?);
     let mem_words = rd.r64()? as u64;
@@ -485,7 +618,12 @@ pub fn decode_program(words: &[u32]) -> Result<Program, DecodeError> {
         }
         funcs.push(f);
     }
-    Ok(Program { funcs, entry, data, mem_words })
+    Ok(Program {
+        funcs,
+        entry,
+        data,
+        mem_words,
+    })
 }
 
 #[cfg(test)]

@@ -156,7 +156,10 @@ impl Guard {
     }
     /// Guard that fires when `pred` is false.
     pub fn if_false(pred: PredReg) -> Guard {
-        Guard { pred, expect: false }
+        Guard {
+            pred,
+            expect: false,
+        }
     }
 }
 
@@ -164,23 +167,48 @@ impl Guard {
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Opcode {
     /// Three-register integer ALU op.
-    Alu { kind: AluKind, dst: IntReg, a: IntReg, b: IntReg },
+    Alu {
+        kind: AluKind,
+        dst: IntReg,
+        a: IntReg,
+        b: IntReg,
+    },
     /// Register-immediate integer ALU op.
-    AluImm { kind: AluKind, dst: IntReg, a: IntReg, imm: i64 },
+    AluImm {
+        kind: AluKind,
+        dst: IntReg,
+        a: IntReg,
+        imm: i64,
+    },
     /// Load immediate.
     Li { dst: IntReg, imm: i64 },
     /// Register move (assembles to `or dst, src, r0`).
     Mov { dst: IntReg, src: IntReg },
     /// Three-register shift (shift amount in `b`).
-    Shift { kind: ShiftKind, dst: IntReg, a: IntReg, b: IntReg },
+    Shift {
+        kind: ShiftKind,
+        dst: IntReg,
+        a: IntReg,
+        b: IntReg,
+    },
     /// Immediate shift.
-    ShiftImm { kind: ShiftKind, dst: IntReg, a: IntReg, sh: u8 },
+    ShiftImm {
+        kind: ShiftKind,
+        dst: IntReg,
+        a: IntReg,
+        sh: u8,
+    },
     /// Word load: `dst = mem[base + off]` (word addressing).
     Load { dst: IntReg, base: IntReg, off: i64 },
     /// Word store: `mem[base + off] = src`.
     Store { src: IntReg, base: IntReg, off: i64 },
     /// Floating-point arithmetic.
-    FAlu { kind: FAluKind, dst: FltReg, a: FltReg, b: FltReg },
+    FAlu {
+        kind: FAluKind,
+        dst: FltReg,
+        a: FltReg,
+        b: FltReg,
+    },
     /// Floating-point move.
     FMov { dst: FltReg, src: FltReg },
     /// Floating-point word load.
@@ -192,16 +220,35 @@ pub enum Opcode {
     /// Truncate floating point to integer register.
     FtoI { dst: IntReg, src: FltReg },
     /// Predicate-defining compare: `dst = cond(a, b)`.
-    SetP { cond: SetCond, dst: PredReg, a: IntReg, b: IntReg },
+    SetP {
+        cond: SetCond,
+        dst: PredReg,
+        a: IntReg,
+        b: IntReg,
+    },
     /// Predicate-defining compare against an immediate.
-    SetPImm { cond: SetCond, dst: PredReg, a: IntReg, imm: i64 },
+    SetPImm {
+        cond: SetCond,
+        dst: PredReg,
+        a: IntReg,
+        imm: i64,
+    },
     /// Predicate logic: `dst = a <op> b`.
-    PLogic { kind: PLogicKind, dst: PredReg, a: PredReg, b: PredReg },
+    PLogic {
+        kind: PLogicKind,
+        dst: PredReg,
+        a: PredReg,
+        b: PredReg,
+    },
     /// Predicate negate: `dst = !src`.
     PNot { dst: PredReg, src: PredReg },
     /// Conditional branch.  `likely` marks the MIPS-IV branch-likely form:
     /// statically predicted taken, never allocated a BTB/BHT entry.
-    Branch { cond: BranchCond, target: BlockId, likely: bool },
+    Branch {
+        cond: BranchCond,
+        target: BlockId,
+        likely: bool,
+    },
     /// Unconditional direct jump.
     Jump { target: BlockId },
     /// Register-relative jump through a compile-time table
@@ -289,7 +336,10 @@ impl Instruction {
 
     /// A guarded instruction.
     pub fn guarded(op: Opcode, guard: Guard) -> Instruction {
-        Instruction { op, guard: Some(guard) }
+        Instruction {
+            op,
+            guard: Some(guard),
+        }
     }
 
     /// The register this instruction defines, if any.  Writes to the
@@ -298,8 +348,13 @@ impl Instruction {
     pub fn def(&self) -> Option<Reg> {
         use Opcode::*;
         match &self.op {
-            Alu { dst, .. } | AluImm { dst, .. } | Li { dst, .. } | Mov { dst, .. }
-            | Shift { dst, .. } | ShiftImm { dst, .. } | Load { dst, .. }
+            Alu { dst, .. }
+            | AluImm { dst, .. }
+            | Li { dst, .. }
+            | Mov { dst, .. }
+            | Shift { dst, .. }
+            | ShiftImm { dst, .. }
+            | Load { dst, .. }
             | FtoI { dst, .. } => Some((*dst).into()),
             FAlu { dst, .. } | FMov { dst, .. } | FLoad { dst, .. } | ItoF { dst, .. } => {
                 Some((*dst).into())
@@ -307,8 +362,15 @@ impl Instruction {
             SetP { dst, .. } | SetPImm { dst, .. } | PLogic { dst, .. } | PNot { dst, .. } => {
                 Some((*dst).into())
             }
-            Store { .. } | FStore { .. } | Branch { .. } | Jump { .. } | Jtab { .. }
-            | Call { .. } | Ret | Halt | Nop => None,
+            Store { .. }
+            | FStore { .. }
+            | Branch { .. }
+            | Jump { .. }
+            | Jtab { .. }
+            | Call { .. }
+            | Ret
+            | Halt
+            | Nop => None,
         }
     }
 
@@ -382,15 +444,19 @@ impl Instruction {
     pub fn fu_class(&self) -> FuClass {
         use Opcode::*;
         match &self.op {
-            Alu { .. } | AluImm { .. } | Li { .. } | Mov { .. } | SetP { .. }
-            | SetPImm { .. } | PLogic { .. } | PNot { .. } | ItoF { .. } | FtoI { .. } => {
-                FuClass::Alu
-            }
+            Alu { .. }
+            | AluImm { .. }
+            | Li { .. }
+            | Mov { .. }
+            | SetP { .. }
+            | SetPImm { .. }
+            | PLogic { .. }
+            | PNot { .. }
+            | ItoF { .. }
+            | FtoI { .. } => FuClass::Alu,
             Shift { .. } | ShiftImm { .. } => FuClass::Shift,
             Load { .. } | Store { .. } | FLoad { .. } | FStore { .. } => FuClass::LoadStore,
-            Branch { .. } | Jump { .. } | Jtab { .. } | Call { .. } | Ret | Halt => {
-                FuClass::Branch
-            }
+            Branch { .. } | Jump { .. } | Jtab { .. } | Call { .. } | Ret | Halt => FuClass::Branch,
             FAlu { kind, .. } => match kind {
                 FAluKind::Add | FAluKind::Sub => FuClass::FpAdd,
                 FAluKind::Mul => FuClass::FpMul,
@@ -456,7 +522,14 @@ impl Instruction {
         match &self.op {
             Store { .. } | FStore { .. } => false,
             Load { .. } | FLoad { .. } => allow_loads,
-            FAlu { kind: FAluKind::Div, .. } | FAlu { kind: FAluKind::Sqrt, .. } => false,
+            FAlu {
+                kind: FAluKind::Div,
+                ..
+            }
+            | FAlu {
+                kind: FAluKind::Sqrt,
+                ..
+            } => false,
             Call { .. } => false,
             _ => !self.is_control(),
         }

@@ -34,7 +34,10 @@ impl std::error::Error for ParseError {}
 type PResult<T> = Result<T, ParseError>;
 
 fn err<T>(line: usize, msg: impl Into<String>) -> PResult<T> {
-    Err(ParseError { line, msg: msg.into() })
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// Parse a whole program.  `entry` names the entry function (defaults to the
@@ -61,7 +64,10 @@ pub fn parse_program(src: &str, entry: Option<&str>) -> PResult<Program> {
             if name.is_empty() {
                 return err(line, "empty function name");
             }
-            raw.push(RawFunc { name: name.to_string(), lines: Vec::new() });
+            raw.push(RawFunc {
+                name: name.to_string(),
+                lines: Vec::new(),
+            });
         } else {
             match raw.last_mut() {
                 Some(f) => f.lines.push((line, text)),
@@ -89,7 +95,12 @@ pub fn parse_program(src: &str, entry: Option<&str>) -> PResult<Program> {
         Some(id) => *id,
         None => return err(0, format!("entry function `{entry_name}` not found")),
     };
-    Ok(Program { funcs, entry, data: Vec::new(), mem_words: 1 << 16 })
+    Ok(Program {
+        funcs,
+        entry,
+        data: Vec::new(),
+        mem_words: 1 << 16,
+    })
 }
 
 /// Parse a single function body (without the `func` header line).
@@ -97,10 +108,15 @@ pub fn parse_func_body(name: &str, src: &str) -> PResult<Function> {
     let lines: Vec<(usize, &str)> = src
         .lines()
         .enumerate()
-        .map(|(i, l)| (i + 1, match l.find('#') {
-            Some(k) => l[..k].trim(),
-            None => l.trim(),
-        }))
+        .map(|(i, l)| {
+            (
+                i + 1,
+                match l.find('#') {
+                    Some(k) => l[..k].trim(),
+                    None => l.trim(),
+                },
+            )
+        })
         .filter(|(_, l)| !l.is_empty())
         .collect();
     parse_func(name, &lines, &HashMap::new())
@@ -181,9 +197,10 @@ fn parse_insn(
 
     let args: Vec<String> = split_operands(ops);
     let a = |i: usize| -> PResult<&str> {
-        args.get(i)
-            .map(|s| s.as_str())
-            .ok_or(ParseError { line, msg: format!("missing operand {i} for `{mnem}`") })
+        args.get(i).map(|s| s.as_str()).ok_or(ParseError {
+            line,
+            msg: format!("missing operand {i} for `{mnem}`"),
+        })
     };
     let nargs = args.len();
     let want = |n: usize| -> PResult<()> {
@@ -197,15 +214,20 @@ fn parse_insn(
     let ir = |line: usize, s: &str| parse_int_reg(line, s);
     let fr = |line: usize, s: &str| parse_flt_reg(line, s);
     let blk = |line: usize, s: &str| -> PResult<BlockId> {
-        labels
-            .get(s)
-            .copied()
-            .ok_or(ParseError { line, msg: format!("undefined label `{s}`") })
+        labels.get(s).copied().ok_or(ParseError {
+            line,
+            msg: format!("undefined label `{s}`"),
+        })
     };
 
     use Opcode::*;
     let alu3 = |k: AluKind, line: usize, args: &[String]| -> PResult<Opcode> {
-        Ok(Alu { kind: k, dst: ir(line, &args[0])?, a: ir(line, &args[1])?, b: ir(line, &args[2])? })
+        Ok(Alu {
+            kind: k,
+            dst: ir(line, &args[0])?,
+            a: ir(line, &args[1])?,
+            b: ir(line, &args[2])?,
+        })
     };
     let alui = |k: AluKind, line: usize, args: &[String]| -> PResult<Opcode> {
         Ok(AluImm {
@@ -227,11 +249,17 @@ fn parse_insn(
         }
         "li" => {
             want(2)?;
-            Li { dst: ir(line, a(0)?)?, imm: parse_imm(line, a(1)?)? }
+            Li {
+                dst: ir(line, a(0)?)?,
+                imm: parse_imm(line, a(1)?)?,
+            }
         }
         "mov" => {
             want(2)?;
-            Mov { dst: ir(line, a(0)?)?, src: ir(line, a(1)?)? }
+            Mov {
+                dst: ir(line, a(0)?)?,
+                src: ir(line, a(1)?)?,
+            }
         }
         "sll" | "srl" | "sra" => {
             want(3)?;
@@ -254,12 +282,20 @@ fn parse_insn(
         "lw" => {
             want(2)?;
             let (off, base) = parse_mem(line, a(1)?)?;
-            Load { dst: ir(line, a(0)?)?, base, off }
+            Load {
+                dst: ir(line, a(0)?)?,
+                base,
+                off,
+            }
         }
         "sw" => {
             want(2)?;
             let (off, base) = parse_mem(line, a(1)?)?;
-            Store { src: ir(line, a(0)?)?, base, off }
+            Store {
+                src: ir(line, a(0)?)?,
+                base,
+                off,
+            }
         }
         "fadd" | "fsub" | "fmul" | "fdiv" | "fsqrt" => {
             want(3)?;
@@ -272,25 +308,42 @@ fn parse_insn(
         }
         "fmov" => {
             want(2)?;
-            FMov { dst: fr(line, a(0)?)?, src: fr(line, a(1)?)? }
+            FMov {
+                dst: fr(line, a(0)?)?,
+                src: fr(line, a(1)?)?,
+            }
         }
         "flw" => {
             want(2)?;
             let (off, base) = parse_mem(line, a(1)?)?;
-            FLoad { dst: fr(line, a(0)?)?, base, off }
+            FLoad {
+                dst: fr(line, a(0)?)?,
+                base,
+                off,
+            }
         }
         "fsw" => {
             want(2)?;
             let (off, base) = parse_mem(line, a(1)?)?;
-            FStore { src: fr(line, a(0)?)?, base, off }
+            FStore {
+                src: fr(line, a(0)?)?,
+                base,
+                off,
+            }
         }
         "itof" => {
             want(2)?;
-            ItoF { dst: fr(line, a(0)?)?, src: ir(line, a(1)?)? }
+            ItoF {
+                dst: fr(line, a(0)?)?,
+                src: ir(line, a(1)?)?,
+            }
         }
         "ftoi" => {
             want(2)?;
-            FtoI { dst: ir(line, a(0)?)?, src: fr(line, a(1)?)? }
+            FtoI {
+                dst: ir(line, a(0)?)?,
+                src: fr(line, a(1)?)?,
+            }
         }
         _ if mnem.starts_with("setp.") => {
             want(3)?;
@@ -305,9 +358,19 @@ fn parse_insn(
             let dst = parse_pred(line, a(0)?)?;
             let ra = ir(line, a(1)?)?;
             if is_imm {
-                SetPImm { cond, dst, a: ra, imm: parse_imm(line, a(2)?)? }
+                SetPImm {
+                    cond,
+                    dst,
+                    a: ra,
+                    imm: parse_imm(line, a(2)?)?,
+                }
             } else {
-                SetP { cond, dst, a: ra, b: ir(line, a(2)?)? }
+                SetP {
+                    cond,
+                    dst,
+                    a: ra,
+                    b: ir(line, a(2)?)?,
+                }
             }
         }
         "pand" | "por" | "pxor" => {
@@ -325,7 +388,10 @@ fn parse_insn(
         }
         "pnot" => {
             want(2)?;
-            PNot { dst: parse_pred(line, a(0)?)?, src: parse_pred(line, a(1)?)? }
+            PNot {
+                dst: parse_pred(line, a(0)?)?,
+                src: parse_pred(line, a(1)?)?,
+            }
         }
         "beq" | "bne" | "beql" | "bnel" => {
             want(3)?;
@@ -336,7 +402,11 @@ fn parse_insn(
             } else {
                 BranchCond::Ne(ra, rb)
             };
-            Branch { cond, target: blk(line, a(2)?)?, likely }
+            Branch {
+                cond,
+                target: blk(line, a(2)?)?,
+                likely,
+            }
         }
         "blez" | "bgtz" | "bltz" | "bgez" | "blezl" | "bgtzl" | "bltzl" | "bgezl" => {
             want(2)?;
@@ -349,7 +419,11 @@ fn parse_insn(
                 "bltz" => BranchCond::Ltz(ra),
                 _ => BranchCond::Gez(ra),
             };
-            Branch { cond, target: blk(line, a(1)?)?, likely }
+            Branch {
+                cond,
+                target: blk(line, a(1)?)?,
+                likely,
+            }
         }
         "bpt" | "bpf" | "bptl" | "bpfl" => {
             want(2)?;
@@ -360,11 +434,17 @@ fn parse_insn(
             } else {
                 BranchCond::PredF(p)
             };
-            Branch { cond, target: blk(line, a(1)?)?, likely }
+            Branch {
+                cond,
+                target: blk(line, a(1)?)?,
+                likely,
+            }
         }
         "j" => {
             want(1)?;
-            Jump { target: blk(line, a(0)?)? }
+            Jump {
+                target: blk(line, a(0)?)?,
+            }
         }
         "jtab" => {
             if nargs < 2 {
@@ -452,7 +532,10 @@ fn set_cond(s: &str) -> Option<SetCond> {
 }
 
 fn split_operands(s: &str) -> Vec<String> {
-    s.split(',').map(|t| t.trim().to_string()).filter(|t| !t.is_empty()).collect()
+    s.split(',')
+        .map(|t| t.trim().to_string())
+        .filter(|t| !t.is_empty())
+        .collect()
 }
 
 fn parse_int_reg(line: usize, s: &str) -> PResult<IntReg> {
@@ -485,7 +568,10 @@ fn parse_imm(line: usize, s: &str) -> PResult<i64> {
     } else {
         t.parse::<i64>().ok()
     };
-    v.ok_or(ParseError { line, msg: format!("bad immediate `{s}`") })
+    v.ok_or(ParseError {
+        line,
+        msg: format!("bad immediate `{s}`"),
+    })
 }
 
 /// Parse `off(base)` memory operands.

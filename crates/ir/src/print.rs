@@ -118,7 +118,11 @@ impl fmt::Display for InsnDisplay<'_> {
             }
             PLogic { kind, dst, a, b } => write!(fm, "{} {dst}, {a}, {b}", plogic_name(*kind)),
             PNot { dst, src } => write!(fm, "pnot {dst}, {src}"),
-            Branch { cond, target, likely } => {
+            Branch {
+                cond,
+                target,
+                likely,
+            } => {
                 let l = if *likely { "l" } else { "" };
                 let t = label_of(self.func, *target);
                 match cond {
@@ -158,7 +162,12 @@ impl fmt::Display for InsnDisplay<'_> {
 
 impl fmt::Display for Instruction {
     fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
-        InsnDisplay { insn: self, func: None, prog: None }.fmt(fm)
+        InsnDisplay {
+            insn: self,
+            func: None,
+            prog: None,
+        }
+        .fmt(fm)
     }
 }
 
@@ -170,7 +179,16 @@ pub fn func_to_string(f: &Function, prog: Option<&Program>) -> String {
     for b in &f.blocks {
         writeln!(s, "{}:", b.label).unwrap();
         for i in &b.insns {
-            writeln!(s, "    {}", InsnDisplay { insn: i, func: Some(f), prog }).unwrap();
+            writeln!(
+                s,
+                "    {}",
+                InsnDisplay {
+                    insn: i,
+                    func: Some(f),
+                    prog
+                }
+            )
+            .unwrap();
         }
     }
     s

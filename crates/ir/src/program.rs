@@ -42,7 +42,10 @@ pub struct BasicBlock {
 
 impl BasicBlock {
     pub fn new(label: impl Into<String>) -> BasicBlock {
-        BasicBlock { label: label.into(), insns: Vec::new() }
+        BasicBlock {
+            label: label.into(),
+            insns: Vec::new(),
+        }
     }
 
     /// The control-flow instruction ending the block, if any.
@@ -87,7 +90,10 @@ pub struct Function {
 
 impl Function {
     pub fn new(name: impl Into<String>) -> Function {
-        Function { name: name.into(), blocks: Vec::new() }
+        Function {
+            name: name.into(),
+            blocks: Vec::new(),
+        }
     }
 
     pub fn entry(&self) -> BlockId {
@@ -108,12 +114,18 @@ impl Function {
 
     /// Iterate `(BlockId, &BasicBlock)` in layout order.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
     }
 
     /// Find a block by label.
     pub fn block_by_label(&self, label: &str) -> Option<BlockId> {
-        self.blocks.iter().position(|b| b.label == label).map(|i| BlockId(i as u32))
+        self.blocks
+            .iter()
+            .position(|b| b.label == label)
+            .map(|i| BlockId(i as u32))
     }
 
     /// Total static instruction count.
@@ -176,7 +188,12 @@ pub struct Program {
 
 impl Program {
     pub fn new() -> Program {
-        Program { funcs: Vec::new(), entry: FuncId(0), data: Vec::new(), mem_words: 1 << 16 }
+        Program {
+            funcs: Vec::new(),
+            entry: FuncId(0),
+            data: Vec::new(),
+            mem_words: 1 << 16,
+        }
     }
 
     pub fn func(&self, id: FuncId) -> &Function {
@@ -189,12 +206,18 @@ impl Program {
 
     /// Find a function by name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.funcs.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
     }
 
     /// Iterate `(FuncId, &Function)`.
     pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
-        self.funcs.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
     }
 
     /// Total static instruction count across all functions.
@@ -216,7 +239,14 @@ impl Program {
         for (fid, f) in self.iter_funcs() {
             for (bid, b) in f.iter_blocks() {
                 for idx in 0..b.insns.len() {
-                    map.insert(InsnRef { func: fid, block: bid, idx: idx as u32 }, pc);
+                    map.insert(
+                        InsnRef {
+                            func: fid,
+                            block: bid,
+                            idx: idx as u32,
+                        },
+                        pc,
+                    );
                     pc += 4;
                 }
             }

@@ -65,17 +65,29 @@ fn successors_follow_fallthrough_and_targets() {
 
 #[test]
 fn def_use_sets_match_opcode_shapes() {
-    let i = Instruction::new(Opcode::Alu { kind: AluKind::Add, dst: r(8), a: r(6), b: r(4) });
+    let i = Instruction::new(Opcode::Alu {
+        kind: AluKind::Add,
+        dst: r(8),
+        a: r(6),
+        b: r(4),
+    });
     assert_eq!(i.def(), Some(Reg::Int(r(8))));
     let uses: Vec<Reg> = i.uses().collect();
     assert_eq!(uses, vec![Reg::Int(r(6)), Reg::Int(r(4))]);
 
-    let st = Instruction::new(Opcode::Store { src: r(5), base: r(2), off: 4 });
+    let st = Instruction::new(Opcode::Store {
+        src: r(5),
+        base: r(2),
+        off: 4,
+    });
     assert_eq!(st.def(), None);
     assert_eq!(st.uses().count(), 2);
 
     let g = Instruction::guarded(
-        Opcode::Mov { dst: r(6), src: r(9) },
+        Opcode::Mov {
+            dst: r(6),
+            src: r(9),
+        },
         Guard::if_true(p(1)),
     );
     let uses: Vec<Reg> = g.uses().collect();
@@ -104,33 +116,92 @@ fn branch_uses_include_condition_operands() {
 fn fu_classes_match_table_columns() {
     use FuClass::*;
     let cases: Vec<(Instruction, FuClass)> = vec![
-        (Opcode::Alu { kind: AluKind::Add, dst: r(1), a: r(2), b: r(3) }.into(), Alu),
-        (Opcode::ShiftImm { kind: ShiftKind::Sll, dst: r(1), a: r(2), sh: 3 }.into(), Shift),
-        (Opcode::Load { dst: r(1), base: r(2), off: 0 }.into(), LoadStore),
-        (Opcode::Store { src: r(1), base: r(2), off: 0 }.into(), LoadStore),
         (
-            Opcode::Branch { cond: BranchCond::Lez(r(1)), target: BlockId(0), likely: false }
-                .into(),
+            Opcode::Alu {
+                kind: AluKind::Add,
+                dst: r(1),
+                a: r(2),
+                b: r(3),
+            }
+            .into(),
+            Alu,
+        ),
+        (
+            Opcode::ShiftImm {
+                kind: ShiftKind::Sll,
+                dst: r(1),
+                a: r(2),
+                sh: 3,
+            }
+            .into(),
+            Shift,
+        ),
+        (
+            Opcode::Load {
+                dst: r(1),
+                base: r(2),
+                off: 0,
+            }
+            .into(),
+            LoadStore,
+        ),
+        (
+            Opcode::Store {
+                src: r(1),
+                base: r(2),
+                off: 0,
+            }
+            .into(),
+            LoadStore,
+        ),
+        (
+            Opcode::Branch {
+                cond: BranchCond::Lez(r(1)),
+                target: BlockId(0),
+                likely: false,
+            }
+            .into(),
             Branch,
         ),
         (
-            Opcode::FAlu { kind: FAluKind::Add, dst: FltReg(1), a: FltReg(2), b: FltReg(3) }
-                .into(),
+            Opcode::FAlu {
+                kind: FAluKind::Add,
+                dst: FltReg(1),
+                a: FltReg(2),
+                b: FltReg(3),
+            }
+            .into(),
             FpAdd,
         ),
         (
-            Opcode::FAlu { kind: FAluKind::Mul, dst: FltReg(1), a: FltReg(2), b: FltReg(3) }
-                .into(),
+            Opcode::FAlu {
+                kind: FAluKind::Mul,
+                dst: FltReg(1),
+                a: FltReg(2),
+                b: FltReg(3),
+            }
+            .into(),
             FpMul,
         ),
         (
-            Opcode::FAlu { kind: FAluKind::Div, dst: FltReg(1), a: FltReg(2), b: FltReg(3) }
-                .into(),
+            Opcode::FAlu {
+                kind: FAluKind::Div,
+                dst: FltReg(1),
+                a: FltReg(2),
+                b: FltReg(3),
+            }
+            .into(),
             FpDiv,
         ),
         (Opcode::Nop.into(), Nop),
         (
-            Opcode::SetPImm { cond: SetCond::Lt, dst: p(1), a: r(2), imm: 40 }.into(),
+            Opcode::SetPImm {
+                cond: SetCond::Lt,
+                dst: p(1),
+                a: r(2),
+                imm: 40,
+            }
+            .into(),
             Alu,
         ),
     ];
@@ -143,7 +214,12 @@ fn fu_classes_match_table_columns() {
 fn rewrite_uses_performs_forward_substitution() {
     // Figure 1(b): after renaming sub's dest to r9 and inserting
     // `mov r6, r9`, the use in `add r8, r6, r4` is forward-substituted to r9.
-    let mut add = Instruction::new(Opcode::Alu { kind: AluKind::Add, dst: r(8), a: r(6), b: r(4) });
+    let mut add = Instruction::new(Opcode::Alu {
+        kind: AluKind::Add,
+        dst: r(8),
+        a: r(6),
+        b: r(4),
+    });
     let n = add.rewrite_uses(Reg::Int(r(6)), Reg::Int(r(9)));
     assert_eq!(n, 1);
     match add.op {
@@ -156,24 +232,44 @@ fn rewrite_uses_performs_forward_substitution() {
 
 #[test]
 fn rewrite_uses_ignores_other_register_files() {
-    let mut i = Instruction::new(Opcode::Alu { kind: AluKind::Add, dst: r(8), a: r(6), b: r(6) });
+    let mut i = Instruction::new(Opcode::Alu {
+        kind: AluKind::Add,
+        dst: r(8),
+        a: r(6),
+        b: r(6),
+    });
     assert_eq!(i.rewrite_uses(Reg::Flt(FltReg(6)), Reg::Flt(FltReg(9))), 0);
     assert_eq!(i.rewrite_uses(Reg::Int(r(6)), Reg::Int(r(9))), 2);
 }
 
 #[test]
 fn rename_def_respects_register_file() {
-    let mut i = Instruction::new(Opcode::AluImm { kind: AluKind::Sub, dst: r(6), a: r(3), imm: 1 });
+    let mut i = Instruction::new(Opcode::AluImm {
+        kind: AluKind::Sub,
+        dst: r(6),
+        a: r(3),
+        imm: 1,
+    });
     assert!(i.rename_def(Reg::Int(r(9))));
     assert_eq!(i.def(), Some(Reg::Int(r(9))));
     assert!(!i.rename_def(Reg::Flt(FltReg(9))));
-    let mut st = Instruction::new(Opcode::Store { src: r(1), base: r(2), off: 0 });
+    let mut st = Instruction::new(Opcode::Store {
+        src: r(1),
+        base: r(2),
+        off: 0,
+    });
     assert!(!st.rename_def(Reg::Int(r(9))));
 }
 
 #[test]
 fn guard_rewrite_via_pred_rename() {
-    let mut i = Instruction::guarded(Opcode::Mov { dst: r(1), src: r(2) }, Guard::if_false(p(2)));
+    let mut i = Instruction::guarded(
+        Opcode::Mov {
+            dst: r(1),
+            src: r(2),
+        },
+        Guard::if_false(p(2)),
+    );
     assert_eq!(i.rewrite_uses(Reg::Pred(p(2)), Reg::Pred(p(5))), 1);
     assert_eq!(i.guard.unwrap().pred, p(5));
     assert!(!i.guard.unwrap().expect);
@@ -181,9 +277,22 @@ fn guard_rewrite_via_pred_rename() {
 
 #[test]
 fn can_speculate_excludes_stores_and_optionally_loads() {
-    let ld = Instruction::new(Opcode::Load { dst: r(1), base: r(2), off: 0 });
-    let st = Instruction::new(Opcode::Store { src: r(1), base: r(2), off: 0 });
-    let add = Instruction::new(Opcode::AluImm { kind: AluKind::Add, dst: r(1), a: r(2), imm: 1 });
+    let ld = Instruction::new(Opcode::Load {
+        dst: r(1),
+        base: r(2),
+        off: 0,
+    });
+    let st = Instruction::new(Opcode::Store {
+        src: r(1),
+        base: r(2),
+        off: 0,
+    });
+    let add = Instruction::new(Opcode::AluImm {
+        kind: AluKind::Add,
+        dst: r(1),
+        a: r(2),
+        imm: 1,
+    });
     assert!(!st.can_speculate(true));
     assert!(ld.can_speculate(true));
     assert!(!ld.can_speculate(false));
@@ -215,8 +324,22 @@ fn branch_cond_negation_is_involutive() {
 
 #[test]
 fn setcond_eval_and_negate_agree() {
-    let pairs = [(-3i64, 5i64), (5, 5), (7, 2), (0, 0), (-1, -1), (i64::MAX, i64::MIN)];
-    for c in [SetCond::Eq, SetCond::Ne, SetCond::Lt, SetCond::Le, SetCond::Gt, SetCond::Ge] {
+    let pairs = [
+        (-3i64, 5i64),
+        (5, 5),
+        (7, 2),
+        (0, 0),
+        (-1, -1),
+        (i64::MAX, i64::MIN),
+    ];
+    for c in [
+        SetCond::Eq,
+        SetCond::Ne,
+        SetCond::Lt,
+        SetCond::Le,
+        SetCond::Gt,
+        SetCond::Ge,
+    ] {
         for (a, b) in pairs {
             assert_eq!(c.eval(a, b), !c.negate().eval(a, b), "{c:?} {a} {b}");
         }
@@ -227,7 +350,10 @@ fn setcond_eval_and_negate_agree() {
 fn print_parse_roundtrip_single_function() {
     let prog = figure1a();
     let text = func_to_string(&prog.funcs[0], Some(&prog));
-    let full = format!("func main:\n{}", text.lines().skip(1).collect::<Vec<_>>().join("\n"));
+    let full = format!(
+        "func main:\n{}",
+        text.lines().skip(1).collect::<Vec<_>>().join("\n")
+    );
     let back = parse_program(&full, None).expect("parse");
     assert_eq!(back.funcs[0], prog.funcs[0]);
 }
@@ -242,7 +368,12 @@ fn print_parse_roundtrip_exotic_instructions() {
     fb.pnot(p(4), p(1));
     fb.cmov(r(6), r(9), p(1), true);
     fb.push_guarded(
-        Opcode::AluImm { kind: AluKind::Add, dst: r(7), a: r(7), imm: 1 },
+        Opcode::AluImm {
+            kind: AluKind::Add,
+            dst: r(7),
+            a: r(7),
+            imm: 1,
+        },
         p(4),
         false,
     );
@@ -375,7 +506,11 @@ fn pcs_are_unique_and_word_aligned() {
     for (fid, f) in prog.iter_funcs() {
         for (bid, b) in f.iter_blocks() {
             for idx in 0..b.insns.len() {
-                let pc = pcs.pc(InsnRef { func: fid, block: bid, idx: idx as u32 });
+                let pc = pcs.pc(InsnRef {
+                    func: fid,
+                    block: bid,
+                    idx: idx as u32,
+                });
                 assert_eq!(pc % 4, 0);
                 assert!(seen.insert(pc), "duplicate pc {pc:#x}");
             }

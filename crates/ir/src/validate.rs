@@ -67,7 +67,10 @@ pub fn validate(prog: &Program) -> Vec<ValidateError> {
             for (ii, insn) in b.insns.iter().enumerate() {
                 let last = ii + 1 == b.insns.len();
                 if insn.is_control() && !last {
-                    errs.push(e(Some(ii), "control instruction not at end of block".into()));
+                    errs.push(e(
+                        Some(ii),
+                        "control instruction not at end of block".into(),
+                    ));
                 }
                 if insn.guard.is_some() && !insn.can_guard() {
                     errs.push(e(Some(ii), "guard on non-guardable instruction".into()));
@@ -101,7 +104,10 @@ pub fn validate(prog: &Program) -> Vec<ValidateError> {
             // The final block of a function must not fall off the end.
             let last_block = bi + 1 == f.blocks.len();
             if last_block && b.falls_through() {
-                errs.push(e(None, "last block falls through past end of function".into()));
+                errs.push(e(
+                    None,
+                    "last block falls through past end of function".into(),
+                ));
             }
         }
     }
@@ -111,7 +117,10 @@ pub fn validate(prog: &Program) -> Vec<ValidateError> {
                 func: String::new(),
                 block: String::new(),
                 insn: None,
-                msg: format!("data preload at {addr} outside memory of {} words", prog.mem_words),
+                msg: format!(
+                    "data preload at {addr} outside memory of {} words",
+                    prog.mem_words
+                ),
             });
         }
     }
@@ -150,5 +159,8 @@ pub fn unreachable_blocks(prog: &Program, fidx: usize) -> Vec<BlockId> {
             }
         }
     }
-    (0..n).filter(|i| !seen[*i]).map(|i| BlockId(i as u32)).collect()
+    (0..n)
+        .filter(|i| !seen[*i])
+        .map(|i| BlockId(i as u32))
+        .collect()
 }

@@ -21,7 +21,12 @@ impl Btb {
     /// `sets` must be a power of two.
     pub fn new(sets: usize) -> Btb {
         assert!(sets.is_power_of_two(), "BTB sets must be a power of two");
-        Btb { entries: vec![None; sets], mask: sets as u64 - 1, hits: 0, misses: 0 }
+        Btb {
+            entries: vec![None; sets],
+            mask: sets as u64 - 1,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Small default so capacity/conflict effects are visible on synthetic

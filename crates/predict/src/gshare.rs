@@ -14,7 +14,10 @@ pub struct OneBitTable {
 impl OneBitTable {
     pub fn new(entries: usize) -> OneBitTable {
         assert!(entries.is_power_of_two());
-        OneBitTable { bits: vec![false; entries], mask: entries as u64 - 1 }
+        OneBitTable {
+            bits: vec![false; entries],
+            mask: entries as u64 - 1,
+        }
     }
 
     fn index(&self, pc: u64) -> usize {

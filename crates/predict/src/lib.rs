@@ -110,7 +110,10 @@ mod tests {
                 likely: true,
             }),
             Instruction::new(Opcode::Jump { target: BlockId(0) }),
-            Instruction::new(Opcode::Jtab { index: r(1), table: vec![BlockId(0)] }),
+            Instruction::new(Opcode::Jtab {
+                index: r(1),
+                table: vec![BlockId(0)],
+            }),
             Instruction::new(Opcode::Ret),
             Instruction::new(Opcode::Nop),
         ];

@@ -41,9 +41,15 @@ pub struct TwoBitTable {
 impl TwoBitTable {
     /// `entries` must be a power of two.
     pub fn new(entries: usize) -> TwoBitTable {
-        assert!(entries.is_power_of_two(), "BHT entries must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "BHT entries must be a power of two"
+        );
         // Initial state: weakly not-taken.
-        TwoBitTable { counters: vec![1; entries], mask: entries as u64 - 1 }
+        TwoBitTable {
+            counters: vec![1; entries],
+            mask: entries as u64 - 1,
+        }
     }
 
     /// The paper's configuration: 512 entries.

@@ -115,7 +115,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = Cache::new(256, 32, 1); // 8 lines direct-mapped
-        // 16 lines round-robin: every access misses after the first pass.
+                                            // 16 lines round-robin: every access misses after the first pass.
         for pass in 0..3 {
             for line in 0..16u64 {
                 let hit = c.access(line * 32 * 8); // all map to set 0

@@ -18,7 +18,15 @@ impl Latencies {
     /// Table 2: alu 1, ld/st 2, sft 1, fp add 3, fp mul 3, fp div 3,
     /// cache miss penalty 6.
     pub fn table2() -> Latencies {
-        Latencies { alu: 1, ldst: 2, sft: 1, fp_add: 3, fp_mul: 3, fp_div: 3, cache_miss_penalty: 6 }
+        Latencies {
+            alu: 1,
+            ldst: 2,
+            sft: 1,
+            fp_add: 3,
+            fp_mul: 3,
+            fp_div: 3,
+            cache_miss_penalty: 6,
+        }
     }
 
     /// Execution latency for a functional-unit class (before cache effects).
@@ -51,8 +59,12 @@ pub enum QueueKind {
 }
 
 impl QueueKind {
-    pub const ALL: [QueueKind; 4] =
-        [QueueKind::Branch, QueueKind::LoadStore, QueueKind::Integer, QueueKind::Fp];
+    pub const ALL: [QueueKind; 4] = [
+        QueueKind::Branch,
+        QueueKind::LoadStore,
+        QueueKind::Integer,
+        QueueKind::Fp,
+    ];
 
     /// Queue an instruction class dispatches to.
     pub fn for_class(c: FuClass) -> QueueKind {
@@ -195,7 +207,10 @@ mod tests {
     fn queue_routing() {
         assert_eq!(QueueKind::for_class(FuClass::Alu), QueueKind::Integer);
         assert_eq!(QueueKind::for_class(FuClass::Shift), QueueKind::Integer);
-        assert_eq!(QueueKind::for_class(FuClass::LoadStore), QueueKind::LoadStore);
+        assert_eq!(
+            QueueKind::for_class(FuClass::LoadStore),
+            QueueKind::LoadStore
+        );
         assert_eq!(QueueKind::for_class(FuClass::Branch), QueueKind::Branch);
         assert_eq!(QueueKind::for_class(FuClass::FpMul), QueueKind::Fp);
     }

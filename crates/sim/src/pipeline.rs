@@ -4,8 +4,8 @@ use crate::cache::Cache;
 use crate::config::{class_idx, MachineConfig, QueueKind};
 use crate::stats::SimStats;
 use guardspec_interp::{StaticLayout, TraceEntry};
-use guardspec_predict::{BranchKind, Btb, Scheme, TwoBitTable};
 use guardspec_ir::{FuClass, Opcode, Program, Reg};
+use guardspec_predict::{BranchKind, Btb, Scheme, TwoBitTable};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -21,7 +21,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::CycleBudgetExceeded { cycles, retired } => {
-                write!(f, "pipeline did not drain: {cycles} cycles, {retired} committed")
+                write!(
+                    f,
+                    "pipeline did not drain: {cycles} cycles, {retired} committed"
+                )
             }
         }
     }
@@ -58,7 +61,10 @@ fn build_site_infos(prog: &Program, layout: &StaticLayout) -> Vec<SiteInfo> {
             class: insn.fu_class(),
             queue: QueueKind::for_class(insn.fu_class()),
             uses: insn.uses().map(|r: Reg| r.dense_index()).collect(),
-            def: insn.def().filter(|d| !d.is_int_zero()).map(|d| d.dense_index()),
+            def: insn
+                .def()
+                .filter(|d| !d.is_int_zero())
+                .map(|d| d.dense_index()),
             kind: BranchKind::of(insn),
             target_pc,
         });
@@ -116,7 +122,10 @@ pub struct CycleLog {
 
 impl CycleLog {
     pub fn new(limit: usize) -> CycleLog {
-        CycleLog { records: Vec::with_capacity(limit.min(1 << 16)), limit }
+        CycleLog {
+            records: Vec::with_capacity(limit.min(1 << 16)),
+            limit,
+        }
     }
 
     fn push(&mut self, r: CycleRecord) {
@@ -235,9 +244,7 @@ impl<'a> Pipeline<'a> {
         for i in idxs {
             let (ready, class) = {
                 let e = &self.window[i];
-                if e.state != EState::InQueue
-                    || now <= e.disp_cycle + self.cfg.frontend_depth
-                {
+                if e.state != EState::InQueue || now <= e.disp_cycle + self.cfg.frontend_depth {
                     continue;
                 }
                 let ready = e.deps.iter().all(|&d| self.dep_ready_committed_or(d));
@@ -260,7 +267,12 @@ impl<'a> Pipeline<'a> {
             let mut lat = self.cfg.latencies.for_class(class);
             let (qi, is_mem, addr, annulled) = {
                 let e = &self.window[i];
-                (e.queue.index(), e.class == FuClass::LoadStore, e.mem_addr, e.annulled)
+                (
+                    e.queue.index(),
+                    e.class == FuClass::LoadStore,
+                    e.mem_addr,
+                    e.annulled,
+                )
             };
             if is_mem && !annulled {
                 let byte = (addr.unwrap_or(0) as u64) << 2;
@@ -640,7 +652,11 @@ mod tests {
         let cfg = MachineConfig::r10000();
         let (stats, _) = simulate_program(&prog, Scheme::TwoBit, &cfg).expect("sim");
         // Loop-closing branch: taken 999 times, not taken once.
-        assert!(stats.branch_accuracy() > 0.99, "accuracy {}", stats.branch_accuracy());
+        assert!(
+            stats.branch_accuracy() > 0.99,
+            "accuracy {}",
+            stats.branch_accuracy()
+        );
     }
 
     #[test]

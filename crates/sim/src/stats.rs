@@ -4,7 +4,7 @@ use crate::config::{class_idx, QueueKind};
 use guardspec_ir::FuClass;
 
 /// Counters accumulated over one simulation.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total cycles to drain the trace ("the final commit cycle").
     pub cycles: u64,
@@ -108,6 +108,90 @@ impl SimStats {
     pub fn btb_hit_rate(&self) -> f64 {
         ratio(self.btb_hits, self.btb_misses)
     }
+
+    /// Every counter as a stable `(name, value)` list — the serialization
+    /// hook used by `guardspec-harness` to persist stats in its
+    /// content-addressed cache.  Indexed fields use `name[i]` names.
+    pub fn field_list(&self) -> Vec<(String, u64)> {
+        let mut out = vec![
+            ("cycles".to_string(), self.cycles),
+            ("committed".to_string(), self.committed),
+            ("committed_total".to_string(), self.committed_total),
+            ("annulled".to_string(), self.annulled),
+        ];
+        for (i, v) in self.queue_full_cycles.iter().enumerate() {
+            out.push((format!("queue_full_cycles[{i}]"), *v));
+        }
+        for (i, v) in self.queue_occupancy_sum.iter().enumerate() {
+            out.push((format!("queue_occupancy_sum[{i}]"), *v));
+        }
+        for (i, v) in self.fu_full_cycles.iter().enumerate() {
+            out.push((format!("fu_full_cycles[{i}]"), *v));
+        }
+        for (i, v) in self.fu_issues.iter().enumerate() {
+            out.push((format!("fu_issues[{i}]"), *v));
+        }
+        out.extend([
+            ("cond_branches".to_string(), self.cond_branches),
+            ("mispredicts".to_string(), self.mispredicts),
+            ("likely_branches".to_string(), self.likely_branches),
+            ("likely_mispredicts".to_string(), self.likely_mispredicts),
+            ("indirect_stalls".to_string(), self.indirect_stalls),
+            ("btb_hits".to_string(), self.btb_hits),
+            ("btb_misses".to_string(), self.btb_misses),
+            ("icache_hits".to_string(), self.icache_hits),
+            ("icache_misses".to_string(), self.icache_misses),
+            ("dcache_hits".to_string(), self.dcache_hits),
+            ("dcache_misses".to_string(), self.dcache_misses),
+            ("fetch_stall_cycles".to_string(), self.fetch_stall_cycles),
+        ]);
+        out
+    }
+
+    /// Inverse of [`SimStats::field_list`]; returns `false` for an unknown
+    /// field name (so deserializers can reject stale cache entries).
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        if let Some((base, rest)) = name.split_once('[') {
+            let Some(i) = rest.strip_suffix(']').and_then(|s| s.parse::<usize>().ok()) else {
+                return false;
+            };
+            let slot = match base {
+                "queue_full_cycles" => self.queue_full_cycles.get_mut(i),
+                "queue_occupancy_sum" => self.queue_occupancy_sum.get_mut(i),
+                "fu_full_cycles" => self.fu_full_cycles.get_mut(i),
+                "fu_issues" => self.fu_issues.get_mut(i),
+                _ => None,
+            };
+            return match slot {
+                Some(s) => {
+                    *s = value;
+                    true
+                }
+                None => false,
+            };
+        }
+        let slot = match name {
+            "cycles" => &mut self.cycles,
+            "committed" => &mut self.committed,
+            "committed_total" => &mut self.committed_total,
+            "annulled" => &mut self.annulled,
+            "cond_branches" => &mut self.cond_branches,
+            "mispredicts" => &mut self.mispredicts,
+            "likely_branches" => &mut self.likely_branches,
+            "likely_mispredicts" => &mut self.likely_mispredicts,
+            "indirect_stalls" => &mut self.indirect_stalls,
+            "btb_hits" => &mut self.btb_hits,
+            "btb_misses" => &mut self.btb_misses,
+            "icache_hits" => &mut self.icache_hits,
+            "icache_misses" => &mut self.icache_misses,
+            "dcache_hits" => &mut self.dcache_hits,
+            "dcache_misses" => &mut self.dcache_misses,
+            "fetch_stall_cycles" => &mut self.fetch_stall_cycles,
+            _ => return false,
+        };
+        *slot = value;
+        true
+    }
 }
 
 fn ratio(hits: u64, misses: u64) -> f64 {
@@ -136,6 +220,22 @@ mod tests {
         assert!((s.rs_full_pct(QueueKind::Branch) - 13.9).abs() < 1e-9);
         assert!((s.fu_full_pct(FuClass::Alu) - 0.7).abs() < 1e-9);
         assert!((s.branch_accuracy() - 0.92).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_list_roundtrips() {
+        let mut s = SimStats::default();
+        s.cycles = 9;
+        s.queue_full_cycles[2] = 4;
+        s.fu_issues[7] = 11;
+        s.dcache_misses = 3;
+        let mut back = SimStats::default();
+        for (name, v) in s.field_list() {
+            assert!(back.set_field(&name, v), "unknown field {name}");
+        }
+        assert_eq!(back, s);
+        assert!(!back.set_field("no_such_field", 1));
+        assert!(!back.set_field("fu_issues[99]", 1));
     }
 
     #[test]

@@ -233,9 +233,8 @@ mod tests {
     fn input_is_phased() {
         let input = generate_input(Scale::Small);
         let phase1 = input.len() * 3 / 5;
-        let same_rate = |s: &[i64]| {
-            s.windows(2).filter(|w| w[0] == w[1]).count() as f64 / (s.len() - 1) as f64
-        };
+        let same_rate =
+            |s: &[i64]| s.windows(2).filter(|w| w[0] == w[1]).count() as f64 / (s.len() - 1) as f64;
         assert!(same_rate(&input[..phase1]) > 0.8, "run phase should repeat");
         // Paired phase: every other adjacent pair repeats, never more.
         let noise = &input[phase1..];

@@ -44,7 +44,11 @@ pub fn generate(scale: Scale) -> (usize, usize, Vec<i64>) {
             }
         } else {
             for v in 0..w {
-                cubes[i * w + v] = if rng.gen_bool(0.68) { 2 } else { rng.gen_range(0..2i64) };
+                cubes[i * w + v] = if rng.gen_bool(0.68) {
+                    2
+                } else {
+                    rng.gen_range(0..2i64)
+                };
             }
         }
     }
@@ -128,7 +132,7 @@ pub fn build(scale: Scale) -> Workload {
     fb.block("compare");
     fb.add(r(11), r(10), r(3));
     fb.lw(r(14), r(11), 0); // bv
-    // Unpredictable parity tally (short-arm diamond, ~50-50).
+                            // Unpredictable parity tally (short-arm diamond, ~50-50).
     fb.add(r(15), r(12), r(14));
     fb.andi(r(15), r(15), 1);
     fb.beq(r(15), r(0), "tally_even");

@@ -37,7 +37,7 @@ pub fn generate(scale: Scale) -> (Vec<i64>, Vec<i64>) {
     let mut i = 13usize;
     while i + pat.len() < n {
         text[i..i + pat.len()].copy_from_slice(&pat);
-        i += rng.gen_range(97..331);
+        i += rng.gen_range(97..331usize);
     }
     (text, pat)
 }

@@ -62,7 +62,12 @@ impl Workload {
 
 /// All four paper workloads at the given scale, in Table 1 order.
 pub fn all_workloads(scale: Scale) -> Vec<Workload> {
-    vec![compress::build(scale), espresso::build(scale), xlisp::build(scale), grep::build(scale)]
+    vec![
+        compress::build(scale),
+        espresso::build(scale),
+        xlisp::build(scale),
+        grep::build(scale),
+    ]
 }
 
 /// The paper's four plus the SPLASH-style FP extension kernel.

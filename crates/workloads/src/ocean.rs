@@ -47,8 +47,7 @@ pub fn golden(n: usize, steps: usize, init: &[f64]) -> i64 {
     for _ in 0..steps {
         for i in 1..n - 1 {
             for j in 1..n - 1 {
-                let s = ((cur[(i - 1) * n + j] + cur[(i + 1) * n + j])
-                    + cur[i * n + (j - 1)])
+                let s = ((cur[(i - 1) * n + j] + cur[(i + 1) * n + j]) + cur[i * n + (j - 1)])
                     + cur[i * n + (j + 1)];
                 nxt[i * n + j] = 0.25 * s;
             }
@@ -89,7 +88,7 @@ pub fn build(scale: Scale) -> Workload {
     fb.mul(r(8), r(2), r(4)); // i*n
     fb.block("j_loop");
     fb.add(r(9), r(8), r(3)); // i*n + j
-    // Neighbors: (i-1)*n+j = idx-n ; (i+1)*n+j = idx+n ; idx-1 ; idx+1.
+                              // Neighbors: (i-1)*n+j = idx-n ; (i+1)*n+j = idx+n ; idx-1 ; idx+1.
     fb.add(r(10), r(6), r(9));
     fb.sub(r(11), r(10), r(4));
     fb.flw(f(1), r(11), 0); // up

@@ -117,7 +117,11 @@ pub fn golden(code: &[i64]) -> (i64, i64, i64, i64) {
                 // Abs-accumulate: the sign check becomes a data-dependent
                 // conditional branch in the IR kernel.
                 let v = stack.pop().unwrap();
-                acc = if v >= 0 { acc.wrapping_add(v) } else { acc.wrapping_sub(v) };
+                acc = if v >= 0 {
+                    acc.wrapping_add(v)
+                } else {
+                    acc.wrapping_sub(v)
+                };
             }
             OP_DONE => return (acc, ops, pos_adds, neg_adds),
             other => panic!("bad opcode {other}"),
@@ -155,7 +159,12 @@ pub fn build(scale: Scale) -> Workload {
     fb.sw(r(2), r(0), 5); // record overflow and stop
     fb.halt();
     fb.block("dispatch");
-    fb.jtab(r(7), &["op_push", "op_add", "op_sub", "op_mul", "op_xor", "op_end", "op_done"]);
+    fb.jtab(
+        r(7),
+        &[
+            "op_push", "op_add", "op_sub", "op_mul", "op_xor", "op_end", "op_done",
+        ],
+    );
     fb.block("op_push");
     fb.add(r(8), r(5), r(1));
     fb.lw(r(9), r(8), 0); // value
@@ -259,7 +268,7 @@ mod tests {
         assert_eq!((pos_adds, neg_adds), (1, 0));
         assert_eq!(acc, 15);
         assert_eq!(ops, 9); // 4 pushes + 2 binops + 2 ends + done
-        // Negative results are abs-accumulated.
+                            // Negative results are abs-accumulated.
         let code2 = vec![OP_PUSH, 2, OP_PUSH, 10, OP_SUB, OP_END, OP_DONE];
         assert_eq!(golden(&code2).0, 8);
     }

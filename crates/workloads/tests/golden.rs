@@ -54,7 +54,10 @@ fn xlisp_is_dispatch_heavy() {
     let (profile, _) = profile_program(&w.program).unwrap();
     // Branch-class includes the jtab dispatches: one per VM op.
     let br = profile.by_class[class_index(FuClass::Branch)];
-    assert!(br > profile.retired / 10, "jtab dispatch should dominate control");
+    assert!(
+        br > profile.retired / 10,
+        "jtab dispatch should dominate control"
+    );
 }
 
 #[test]
@@ -65,20 +68,31 @@ fn compress_inner_branch_is_phased() {
     let f = w.program.func(guardspec_ir::FuncId(0));
     let bb = f.block_by_label("loop").unwrap();
     let idx = f.block(bb).insns.len() as u32 - 1;
-    let site = guardspec_ir::InsnRef { func: guardspec_ir::FuncId(0), block: bb, idx };
+    let site = guardspec_ir::InsnRef {
+        func: guardspec_ir::FuncId(0),
+        block: bb,
+        idx,
+    };
     let bp = profile.branch(site).expect("profiled");
     // Run phase: rarely taken; pair phase: strictly alternating (TFTF).
     let v = &bp.outcomes;
     let n = v.len();
     let first = (0..n * 55 / 100).filter(|&i| v.get(i)).count() as f64 / (n * 55 / 100) as f64;
     let tail_start = n * 65 / 100;
-    let last =
-        (tail_start..n).filter(|&i| v.get(i)).count() as f64 / (n - tail_start) as f64;
+    let last = (tail_start..n).filter(|&i| v.get(i)).count() as f64 / (n - tail_start) as f64;
     assert!(first < 0.25, "run phase taken rate {first:.2}");
-    assert!((0.4..0.6).contains(&last), "pair phase taken rate {last:.2}");
+    assert!(
+        (0.4..0.6).contains(&last),
+        "pair phase taken rate {last:.2}"
+    );
     // Strict alternation in the pair phase.
-    let toggles = (tail_start + 1..n).filter(|&i| v.get(i) != v.get(i - 1)).count();
-    assert!(toggles as f64 / (n - tail_start) as f64 > 0.95, "pair phase must alternate");
+    let toggles = (tail_start + 1..n)
+        .filter(|&i| v.get(i) != v.get(i - 1))
+        .count();
+    assert!(
+        toggles as f64 / (n - tail_start) as f64 > 0.95,
+        "pair phase must alternate"
+    );
 }
 
 #[test]

@@ -40,7 +40,10 @@ fn figure1a() -> guardspec::ir::Program {
 
 fn main() {
     let original = figure1a();
-    println!("=== Figure 1(a): original ===\n{}", func_to_string(&original.funcs[0], None));
+    println!(
+        "=== Figure 1(a): original ===\n{}",
+        func_to_string(&original.funcs[0], None)
+    );
 
     // (b)/(c): speculate the fall-path prefix above the branch.
     let mut spec = original.clone();

@@ -67,9 +67,25 @@ fn main() {
     let (base, _) = simulate_program(&program, Scheme::TwoBit, &cfg).expect("sim");
     let (prop, _) = simulate_program(&tuned, Scheme::Proposed, &cfg).expect("sim");
     let (perf, _) = simulate_program(&program, Scheme::Perfect, &cfg).expect("sim");
-    println!("\n{:<12} {:>8} {:>8} {:>10}", "scheme", "cycles", "IPC", "mispredicts");
-    for (name, s) in [("2-bit BP", &base), ("proposed", &prop), ("perfect BP", &perf)] {
-        println!("{:<12} {:>8} {:>8.3} {:>10}", name, s.cycles, s.ipc(), s.mispredicts);
+    println!(
+        "\n{:<12} {:>8} {:>8} {:>10}",
+        "scheme", "cycles", "IPC", "mispredicts"
+    );
+    for (name, s) in [
+        ("2-bit BP", &base),
+        ("proposed", &prop),
+        ("perfect BP", &perf),
+    ] {
+        println!(
+            "{:<12} {:>8} {:>8.3} {:>10}",
+            name,
+            s.cycles,
+            s.ipc(),
+            s.mispredicts
+        );
     }
-    assert!(prop.ipc() >= base.ipc(), "the proposed scheme should not lose");
+    assert!(
+        prop.ipc() >= base.ipc(),
+        "the proposed scheme should not lose"
+    );
 }

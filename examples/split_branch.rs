@@ -46,7 +46,11 @@ fn main() {
     let (profile, _) = profile_program(&base).expect("profile");
     let f = base.func(FuncId(0));
     let bb = f.block_by_label("head").unwrap();
-    let site = InsnRef { func: FuncId(0), block: bb, idx: f.block(bb).insns.len() as u32 - 1 };
+    let site = InsnRef {
+        func: FuncId(0),
+        block: bb,
+        idx: f.block(bb).insns.len() as u32 - 1,
+    };
     let bp = profile.branch(site).expect("profiled");
     let params = FeedbackParams::default();
     let plan = match classify(&bp.outcomes, &params) {

@@ -25,8 +25,16 @@ fn main() {
         let (perf, _) = simulate_program(&w.program, Scheme::Perfect, &cfg).expect("sim");
 
         // Both versions must produce the expected answers.
-        assert!(w.verify(&rb.machine.mem).is_empty(), "{} base wrong", w.name);
-        assert!(w.verify(&rp.machine.mem).is_empty(), "{} tuned wrong", w.name);
+        assert!(
+            w.verify(&rb.machine.mem).is_empty(),
+            "{} base wrong",
+            w.name
+        );
+        assert!(
+            w.verify(&rp.machine.mem).is_empty(),
+            "{} tuned wrong",
+            w.name
+        );
 
         println!(
             "{:<10} {:>10} {:>6.1}% {:>9.3} {:>9.3} {:>9.3} {:>7.2}x",

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repo verification: build, test, regenerate a table end-to-end, and check
+# formatting.  Run from the repository root:
+#
+#   ./scripts/verify.sh
+#
+# The table4 step exercises the full harness path (profile → transform →
+# simulate, work-stealing pool, results cache, JSON artifact) and leaves
+# its artifact at results/ci_table4.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test -q =="
+cargo test -q --workspace
+
+echo "== table4 end-to-end (test scale, JSON artifact) =="
+cargo run --release -p guardspec-bench --bin table4 -- \
+    --scale test --json results/ci_table4.json
+test -s results/ci_table4.json
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "verify.sh: all checks passed"

@@ -88,7 +88,10 @@ fn annulled_never_counted_in_ipc_commits() {
         let (stats, exec) = simulate_program(&tuned, Scheme::Proposed, &cfg).unwrap();
         assert_eq!(stats.committed_total, exec.summary.retired);
         assert_eq!(stats.annulled, exec.summary.annulled);
-        assert_eq!(stats.committed, exec.summary.retired - exec.summary.annulled);
+        assert_eq!(
+            stats.committed,
+            exec.summary.retired - exec.summary.annulled
+        );
     }
 }
 
