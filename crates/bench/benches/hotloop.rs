@@ -1,0 +1,86 @@
+//! Hot-loop microbenchmarks for the allocation-free pipeline rewrite:
+//! simulator-state reuse vs fresh construction, dense-site profiling, and
+//! the streamed end-to-end path vs materialize-then-simulate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use guardspec_interp::profile::profile_program;
+use guardspec_interp::trace::trace_program;
+use guardspec_predict::Scheme;
+use guardspec_sim::{
+    simulate_program, simulate_program_streamed, simulate_trace, simulate_trace_in, MachineConfig,
+    SimContext,
+};
+use guardspec_workloads::{Scale, Workload};
+
+fn grep() -> Workload {
+    guardspec_workloads::grep::build(Scale::Test)
+}
+
+/// Fresh simulator state per run (what `simulate_trace` does) vs one
+/// [`SimContext`] reused across runs (what the harness workers do) — the
+/// difference is the per-cell allocation cost the rewrite removed.
+fn bench_state_reuse(c: &mut Criterion) {
+    let w = grep();
+    let (layout, trace, _) = trace_program(&w.program).unwrap();
+    let cfg = MachineConfig::r10000();
+    let mut g = c.benchmark_group("hotloop");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("simulate_fresh_state", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                simulate_trace(&w.program, &layout, &trace, Scheme::TwoBit, &cfg).unwrap(),
+            )
+        })
+    });
+    let mut ctx = SimContext::new(&cfg);
+    g.bench_function("simulate_reused_state", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                simulate_trace_in(&mut ctx, &w.program, &layout, &trace, Scheme::TwoBit, &cfg)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Dense-by-site-id profiling (Vec indexed by `StaticLayout` id, no
+/// per-branch BTreeMap traffic in the retire loop).
+fn bench_profile_dense(c: &mut Criterion) {
+    let w = grep();
+    let retired = guardspec_interp::run(&w.program).unwrap().summary.retired;
+    let mut g = c.benchmark_group("hotloop");
+    g.throughput(Throughput::Elements(retired));
+    g.bench_function("profile_dense_sites", |b| {
+        b.iter(|| std::hint::black_box(profile_program(&w.program).unwrap()))
+    });
+    g.finish();
+}
+
+/// Full interpret+simulate cell: single-threaded materialize-then-simulate
+/// vs the chunked SPSC streaming pipeline.  On multi-core hosts the streamed
+/// path overlaps the two phases; on one core it measures channel overhead.
+fn bench_streamed_cell(c: &mut Criterion) {
+    let w = grep();
+    let cfg = MachineConfig::r10000();
+    let mut g = c.benchmark_group("cell");
+    g.bench_function("materialize_then_simulate", |b| {
+        b.iter(|| std::hint::black_box(simulate_program(&w.program, Scheme::TwoBit, &cfg).unwrap()))
+    });
+    g.bench_function("streamed", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                simulate_program_streamed(&w.program, Scheme::TwoBit, &cfg).unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    hotloop,
+    bench_state_reuse,
+    bench_profile_dense,
+    bench_streamed_cell
+);
+criterion_main!(hotloop);

@@ -80,7 +80,7 @@ fn main() {
                 profile.retired,
                 100.0 * profile.branch_fraction()
             );
-            for (site, bp) in &profile.branches {
+            for (site, bp) in profile.branches() {
                 let f = prog.func(site.func);
                 let pat: String = bp
                     .outcomes
@@ -147,6 +147,7 @@ fn main() {
                 &RunOptions {
                     jobs: flags.jobs,
                     cache_dir: Some(guardspec_harness::DEFAULT_CACHE_DIR.into()),
+                    ..RunOptions::default()
                 },
             );
             println!(

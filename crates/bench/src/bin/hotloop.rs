@@ -1,0 +1,188 @@
+//! `hotloop` — before/after wall-clock benchmark for the hot-loop
+//! optimisation work (allocation-free pipeline, dense profiles, simulator
+//! state reuse, streaming traces).
+//!
+//! Runs the Table-3 three-scheme matrix with the cache **disabled** (so
+//! every stage really executes) under both trace pipelines — streamed and
+//! materialized (`--no-stream` equivalent) — repeats each a few times, and
+//! writes `results/BENCH_2.json` comparing the measured wall clock and
+//! per-stage sums against the recorded pre-optimisation baseline.  The
+//! file is overwritten on purpose: it is the PR's before/after evidence,
+//! not a per-run log (those are the numbered artifacts the table binaries
+//! emit).
+//!
+//! The baseline was measured on the pre-optimisation tree (commit
+//! `a954906`, "PR 1") with `table3 --scale small --jobs 1` and a cold
+//! cache, three runs — so `hotloop --scale small --jobs 1` is the
+//! apples-to-apples configuration.  Other scales/job counts still run and
+//! report, but the speedup fields only claim comparability at that shape.
+
+use guardspec_bench::harness_args;
+use guardspec_harness::{run_experiment, write_json_file, ExperimentSpec, Json, RunOptions};
+use guardspec_workloads::Scale;
+use std::path::Path;
+
+/// Cold `table3 --scale small --jobs 1` on the pre-optimisation tree
+/// (commit a954906), three runs.
+const BASELINE_WALL_MS: [f64; 3] = [500.8, 483.9, 509.3];
+/// Sum of the simulate-stage timings across the nine cells, same runs.
+const BASELINE_SIM_MS_SUM: f64 = 454.9;
+/// Sum of the profile-stage timings across the three workloads, same runs.
+const BASELINE_PROFILE_MS_SUM: f64 = 37.2;
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+struct Measured {
+    wall: Vec<f64>,
+    sim_sum: Vec<f64>,
+    profile_sum: Vec<f64>,
+    jobs: usize,
+}
+
+fn measure(spec: &ExperimentSpec, opts: &RunOptions, reps: usize, tag: &str) -> Measured {
+    let mut m = Measured {
+        wall: Vec::with_capacity(reps),
+        sim_sum: Vec::with_capacity(reps),
+        profile_sum: Vec::with_capacity(reps),
+        jobs: 0,
+    };
+    for rep in 0..reps {
+        let r = run_experiment(spec, opts);
+        assert_eq!(r.cache_hits + r.cache_misses, 0, "cache must be disabled");
+        m.wall.push(r.wall_ms);
+        m.sim_sum
+            .push(r.cells.iter().map(|c| c.sim_timing.ms).sum::<f64>());
+        m.profile_sum
+            .push(r.workloads.iter().map(|w| w.timing.ms).sum::<f64>());
+        m.jobs = r.jobs;
+        eprintln!(
+            "[hotloop] {tag} rep {}/{}: wall {:.1} ms (sim {:.1} ms, profile {:.1} ms)",
+            rep + 1,
+            reps,
+            m.wall[rep],
+            m.sim_sum[rep],
+            m.profile_sum[rep]
+        );
+    }
+    m
+}
+
+fn measured_json(m: &Measured) -> Json {
+    let arr = |xs: &[f64]| Json::Arr(xs.iter().map(|&x| Json::F64(x)).collect());
+    Json::obj(vec![
+        ("wall_ms", arr(&m.wall)),
+        ("wall_ms_mean", Json::F64(mean(&m.wall))),
+        ("sim_ms_sum", Json::F64(mean(&m.sim_sum))),
+        ("profile_ms_sum", Json::F64(mean(&m.profile_sum))),
+    ])
+}
+
+fn speedup_json(m: &Measured) -> Json {
+    Json::obj(vec![
+        ("wall", Json::F64(mean(&BASELINE_WALL_MS) / mean(&m.wall))),
+        ("sim", Json::F64(BASELINE_SIM_MS_SUM / mean(&m.sim_sum))),
+        (
+            "profile",
+            Json::F64(BASELINE_PROFILE_MS_SUM / mean(&m.profile_sum)),
+        ),
+    ])
+}
+
+fn main() {
+    let args = harness_args();
+    let reps = if args.scale == Scale::Test { 1 } else { 3 };
+    let spec = ExperimentSpec::three_schemes("hotloop", args.scale);
+    // Cold on purpose (no cache): measure the compute, not the cache.
+    // Both pipelines are measured regardless of --no-stream so the artifact
+    // always carries the full before/after picture.
+    let opts = |stream| RunOptions {
+        jobs: args.jobs,
+        cache_dir: None,
+        stream,
+    };
+    let materialized = measure(&spec, &opts(false), reps, "no-stream");
+    let streamed = measure(&spec, &opts(true), reps, "streamed");
+    let jobs_effective = streamed.jobs;
+
+    let comparable = args.scale == Scale::Small && jobs_effective == 1;
+    let baseline_wall = mean(&BASELINE_WALL_MS);
+    let row = |label: &str, before: f64, after: f64| {
+        println!(
+            "{label:<28} {before:>10.1} {after:>10.1} {:>8.2}x",
+            before / after
+        );
+    };
+    println!(
+        "{:<28} {:>10} {:>10} {:>8}   (scale {:?}, jobs {})",
+        "stage", "before/ms", "after/ms", "speedup", args.scale, jobs_effective,
+    );
+    for (tag, m) in [("no-stream", &materialized), ("streamed", &streamed)] {
+        row(&format!("wall, {tag}"), baseline_wall, mean(&m.wall));
+        row(
+            &format!("simulate stages, {tag}"),
+            BASELINE_SIM_MS_SUM,
+            mean(&m.sim_sum),
+        );
+        row(
+            &format!("profile stages, {tag}"),
+            BASELINE_PROFILE_MS_SUM,
+            mean(&m.profile_sum),
+        );
+    }
+    if !comparable {
+        println!("note: baseline is `--scale small --jobs 1`; this run is not that shape");
+    }
+
+    let arr = |xs: &[f64]| Json::Arr(xs.iter().map(|&x| Json::F64(x)).collect());
+    let json = Json::obj(vec![
+        (
+            "meta",
+            Json::obj(vec![
+                ("bench", Json::str("hotloop")),
+                ("spec", Json::str("three_schemes")),
+                ("scale", Json::str(format!("{:?}", args.scale))),
+                ("jobs", Json::U64(jobs_effective as u64)),
+                ("reps", Json::U64(reps as u64)),
+                ("comparable_to_baseline", Json::Bool(comparable)),
+            ]),
+        ),
+        (
+            "baseline",
+            Json::obj(vec![
+                ("commit", Json::str("a954906")),
+                (
+                    "config",
+                    Json::str("table3 --scale small --jobs 1, cold cache"),
+                ),
+                ("wall_ms", arr(&BASELINE_WALL_MS)),
+                ("wall_ms_mean", Json::F64(baseline_wall)),
+                ("sim_ms_sum", Json::F64(BASELINE_SIM_MS_SUM)),
+                ("profile_ms_sum", Json::F64(BASELINE_PROFILE_MS_SUM)),
+            ]),
+        ),
+        (
+            "current",
+            Json::obj(vec![
+                ("no_stream", measured_json(&materialized)),
+                ("streamed", measured_json(&streamed)),
+            ]),
+        ),
+        (
+            "speedup",
+            Json::obj(vec![
+                ("no_stream", speedup_json(&materialized)),
+                ("streamed", speedup_json(&streamed)),
+            ]),
+        ),
+    ]);
+    let path = Path::new(guardspec_harness::DEFAULT_RESULTS_DIR).join("BENCH_2.json");
+    match write_json_file(&path, &json) {
+        Ok(()) => eprintln!("[artifact] {}", path.display()),
+        Err(e) => {
+            eprintln!("[artifact] {} write failed: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -17,8 +17,8 @@ use guardspec_sim::MachineConfig;
 
 fn outcome_stream(profile: &guardspec_interp::Profile, layout: &StaticLayout) -> Vec<(u64, bool)> {
     let mut v = Vec::new();
-    for (site, bp) in &profile.branches {
-        let pc = layout.pc_of(*site);
+    for (site, bp) in profile.branches() {
+        let pc = layout.pc_of(site);
         for b in bp.outcomes.iter() {
             v.push((pc, b));
         }

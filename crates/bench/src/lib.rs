@@ -27,6 +27,9 @@
 //!   = one per core).  Output is byte-identical at any thread count.
 //! * `--json <path>` — also write the run's machine-readable artifact to
 //!   `<path>`.
+//! * `--no-stream` — disable the streaming trace pipeline and simulate
+//!   each cell from a fully materialized trace on one thread (same
+//!   results; preferable on single-core machines).
 //!
 //! ## Results cache and artifacts
 //!
@@ -64,6 +67,7 @@ pub fn run_options(args: &HarnessArgs) -> RunOptions {
     RunOptions {
         jobs: args.jobs,
         cache_dir: Some(guardspec_harness::DEFAULT_CACHE_DIR.into()),
+        stream: !args.no_stream,
     }
 }
 
@@ -186,8 +190,8 @@ pub fn twobit_accuracy_from_profile(
     layout: &guardspec_interp::StaticLayout,
 ) -> f64 {
     let mut outcomes: Vec<(u64, bool)> = Vec::new();
-    for (site, bp) in &profile.branches {
-        let pc = layout.pc_of(*site);
+    for (site, bp) in profile.branches() {
+        let pc = layout.pc_of(site);
         for b in bp.outcomes.iter() {
             outcomes.push((pc, b));
         }

@@ -1,0 +1,65 @@
+//! Golden stdout: the table binaries must print byte-identical tables no
+//! matter how the work is scheduled — serial, work-stealing, streamed, or
+//! single-threaded materialized traces.  Each invocation gets a fresh
+//! scratch working directory, so every run is cold and its cache/artifact
+//! side effects stay out of the repo.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("guardspec-golden-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Run `bin` with `args` in a fresh scratch dir; return its stdout bytes.
+fn run(bin: &str, args: &[&str], tag: &str) -> Vec<u8> {
+    let dir = scratch(tag);
+    let out = Command::new(bin)
+        .args(args)
+        .current_dir(&dir)
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    out.stdout
+}
+
+fn assert_invariant_stdout(bin: &str, name: &str) {
+    let reference = run(bin, &["--scale", "test", "--jobs", "1"], name);
+    assert!(!reference.is_empty(), "{name} printed nothing");
+    for (tag, args) in [
+        ("jobs8", &["--scale", "test", "--jobs", "8"] as &[&str]),
+        (
+            "nostream",
+            &["--scale", "test", "--jobs", "1", "--no-stream"],
+        ),
+        (
+            "nostream8",
+            &["--scale", "test", "--jobs", "8", "--no-stream"],
+        ),
+    ] {
+        let got = run(bin, args, &format!("{name}-{tag}"));
+        assert_eq!(
+            String::from_utf8_lossy(&reference),
+            String::from_utf8_lossy(&got),
+            "{name} stdout differs under {args:?}"
+        );
+    }
+}
+
+#[test]
+fn table1_stdout_is_schedule_invariant() {
+    assert_invariant_stdout(env!("CARGO_BIN_EXE_table1"), "table1");
+}
+
+#[test]
+fn table3_stdout_is_schedule_invariant() {
+    assert_invariant_stdout(env!("CARGO_BIN_EXE_table3"), "table3");
+}

@@ -6,7 +6,10 @@
 //! * `--jobs N` — worker threads (`0`/absent = one per core; `1` = the
 //!   deterministic serial reference schedule),
 //! * `--json <path>` — additionally write the run's machine-readable
-//!   artifact to `<path>`.
+//!   artifact to `<path>`,
+//! * `--no-stream` — simulate from a fully materialized trace on one
+//!   thread instead of streaming it from a concurrent interpreter
+//!   (the right choice on single-core containers).
 //!
 //! Bad values print a one-line diagnostic to **stderr** and exit with
 //! status 2 — never a panic with a backtrace.  Unknown arguments are
@@ -24,6 +27,8 @@ pub struct HarnessArgs {
     pub jobs: usize,
     /// Where to write the JSON artifact, if requested.
     pub json: Option<PathBuf>,
+    /// Disable the streaming trace pipeline (single-threaded fallback).
+    pub no_stream: bool,
 }
 
 impl Default for HarnessArgs {
@@ -32,6 +37,7 @@ impl Default for HarnessArgs {
             scale: Scale::Small,
             jobs: 0,
             json: None,
+            no_stream: false,
         }
     }
 }
@@ -59,7 +65,9 @@ impl HarnessArgs {
             Ok(a) => a,
             Err(e) => {
                 eprintln!("error: {e}");
-                eprintln!("usage: [--scale test|small|paper] [--jobs N] [--json <path>]");
+                eprintln!(
+                    "usage: [--scale test|small|paper] [--jobs N] [--json <path>] [--no-stream]"
+                );
                 std::process::exit(2);
             }
         }
@@ -75,6 +83,7 @@ impl HarnessArgs {
                 "--scale" => out.scale = parse_scale(&value("--scale")?)?,
                 "--jobs" => out.jobs = parse_jobs(&value("--jobs")?)?,
                 "--json" => out.json = Some(PathBuf::from(value("--json")?)),
+                "--no-stream" => out.no_stream = true,
                 _ => {} // Tolerated, like the pre-harness binaries.
             }
         }
@@ -119,5 +128,11 @@ mod tests {
     fn unknown_args_ignored() {
         let a = parse(&["--verbose", "extra", "--scale", "paper"]).unwrap();
         assert_eq!(a.scale, Scale::Paper);
+    }
+
+    #[test]
+    fn no_stream_flag() {
+        assert!(!parse(&[]).unwrap().no_stream);
+        assert!(parse(&["--no-stream"]).unwrap().no_stream);
     }
 }

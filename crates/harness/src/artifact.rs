@@ -26,7 +26,10 @@ fn workload_stable(w: &WorkloadResult) -> Vec<(&'static str, Json)> {
         ("name", Json::str(&w.name)),
         ("retired", Json::U64(w.profile.retired)),
         ("annulled", Json::U64(w.profile.annulled)),
-        ("branch_sites", Json::U64(w.profile.branches.len() as u64)),
+        (
+            "branch_sites",
+            Json::U64(w.profile.num_branch_sites() as u64),
+        ),
     ]
 }
 

@@ -20,7 +20,6 @@ use guardspec_interp::profile::BranchProfile;
 use guardspec_interp::{BitVec, Profile};
 use guardspec_ir::{BlockId, FuncId, InsnRef};
 use guardspec_sim::SimStats;
-use std::collections::BTreeMap;
 
 /// The per-transform counts reported in tables (a cache-friendly subset of
 /// [`TransformReport`]).
@@ -150,8 +149,7 @@ fn bitvec_from_json(j: &Json) -> Result<BitVec, String> {
 
 pub fn profile_to_json(p: &Profile) -> Json {
     let branches = p
-        .branches
-        .iter()
+        .branches()
         .map(|(site, bp)| {
             Json::obj(vec![
                 ("func", Json::U64(site.func.0 as u64)),
@@ -197,7 +195,7 @@ pub fn profile_from_json(j: &Json) -> Result<Profile, String> {
     }
     by_class.copy_from_slice(&by_class_v);
 
-    let mut branches = BTreeMap::new();
+    let mut branches = Vec::new();
     for b in j
         .get("branches")
         .and_then(Json::as_arr)
@@ -212,22 +210,22 @@ pub fn profile_from_json(j: &Json) -> Result<Profile, String> {
             b.get("outcomes")
                 .ok_or("profile: branch missing outcomes")?,
         )?;
-        branches.insert(
+        branches.push((
             site,
             BranchProfile {
                 executed: get_u64(b, "executed")?,
                 taken: get_u64(b, "taken")?,
                 outcomes,
             },
-        );
+        ));
     }
-    Ok(Profile {
-        site_counts: u64_arr("site_counts")?,
+    Ok(Profile::from_branch_pairs(
+        u64_arr("site_counts")?,
         branches,
-        retired: get_u64(j, "retired")?,
+        get_u64(j, "retired")?,
         by_class,
-        annulled: get_u64(j, "annulled")?,
-    })
+        get_u64(j, "annulled")?,
+    ))
 }
 
 #[cfg(test)]
@@ -262,33 +260,24 @@ mod tests {
         }
         bp.executed = 131;
         bp.taken = bp.outcomes.count_ones() as u64;
-        let mut branches = BTreeMap::new();
-        branches.insert(
-            InsnRef {
-                func: FuncId(0),
-                block: BlockId(4),
-                idx: 2,
-            },
-            bp.clone(),
-        );
-        let p = Profile {
-            site_counts: vec![5, 0, 9],
-            branches,
-            retired: 1000,
-            by_class: [1, 2, 3, 4, 5, 6, 7, 8],
-            annulled: 3,
-        };
-        let text = profile_to_json(&p).to_compact();
-        let back = profile_from_json(&parse(&text).unwrap()).unwrap();
-        assert_eq!(back.retired, p.retired);
-        assert_eq!(back.site_counts, p.site_counts);
-        assert_eq!(back.by_class, p.by_class);
         let site = InsnRef {
             func: FuncId(0),
             block: BlockId(4),
             idx: 2,
         };
-        assert_eq!(back.branches[&site].outcomes, bp.outcomes);
+        let p = Profile::from_branch_pairs(
+            vec![5, 0, 9],
+            vec![(site, bp.clone())],
+            1000,
+            [1, 2, 3, 4, 5, 6, 7, 8],
+            3,
+        );
+        let text = profile_to_json(&p).to_compact();
+        let back = profile_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back.retired, p.retired);
+        assert_eq!(back.site_counts, p.site_counts);
+        assert_eq!(back.by_class, p.by_class);
+        assert_eq!(back.branch(site).unwrap().outcomes, bp.outcomes);
     }
 
     #[test]

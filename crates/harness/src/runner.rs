@@ -30,8 +30,9 @@ use crate::pool::JobGraph;
 use crate::spec::ExperimentSpec;
 use guardspec_interp::Profile;
 use guardspec_predict::Scheme;
-use guardspec_sim::{simulate_trace, SimStats};
+use guardspec_sim::{simulate_program_streamed_in, simulate_trace_in, SimContext, SimStats};
 use guardspec_workloads::Scale;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
@@ -44,6 +45,11 @@ pub struct RunOptions {
     pub jobs: usize,
     /// Cache root; `None` disables caching entirely.
     pub cache_dir: Option<PathBuf>,
+    /// Stream each cell's trace from a concurrent interpreter thread
+    /// (bounded memory, overlapped phases).  `false` falls back to the
+    /// single-threaded materialize-then-simulate path — the right choice
+    /// on single-core containers.  Results are identical either way.
+    pub stream: bool,
 }
 
 impl Default for RunOptions {
@@ -51,8 +57,15 @@ impl Default for RunOptions {
         RunOptions {
             jobs: 0,
             cache_dir: Some(PathBuf::from("results/cache")),
+            stream: true,
         }
     }
+}
+
+thread_local! {
+    /// Per-worker reusable simulator state: caches, BHT, BTB and window
+    /// allocations survive across the cells a worker executes.
+    static SIM_CTX: RefCell<SimContext> = RefCell::new(SimContext::default());
 }
 
 impl RunOptions {
@@ -296,6 +309,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
         let scheme = cell.scheme;
         let cfg = cell.cfg.clone();
         let tslot = cell_transform[ci];
+        let stream = opts.stream;
         graph.add(&deps, move || {
             let t0 = Instant::now();
             let (program, text): (Arc<guardspec_ir::Program>, Arc<String>) = match tslot {
@@ -309,8 +323,24 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
             let (stats, cached) = match load_stats(&cache, &key) {
                 Some(s) => (s, true),
                 None => {
-                    let (layout, trace, exec) = guardspec_interp::trace::trace_program(&program)
-                        .unwrap_or_else(|e| panic!("{wname}/{label}: trace failed: {e}"));
+                    let (stats, exec) = SIM_CTX.with(|ctx| {
+                        let ctx = &mut *ctx.borrow_mut();
+                        if stream {
+                            simulate_program_streamed_in(ctx, &program, scheme, &cfg)
+                                .unwrap_or_else(|e| panic!("{wname}/{label}: simulate failed: {e}"))
+                        } else {
+                            let (layout, trace, exec) = guardspec_interp::trace::trace_program(
+                                &program,
+                            )
+                            .unwrap_or_else(|e| panic!("{wname}/{label}: trace failed: {e}"));
+                            let stats =
+                                simulate_trace_in(ctx, &program, &layout, &trace, scheme, &cfg)
+                                    .unwrap_or_else(|e| {
+                                        panic!("{wname}/{label}: simulate failed: {e}")
+                                    });
+                            (stats, exec)
+                        }
+                    });
                     let bad: Vec<_> = expected
                         .iter()
                         .filter(|&&(addr, want)| {
@@ -318,8 +348,6 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                         })
                         .collect();
                     assert!(bad.is_empty(), "{wname}/{label} miscomputed: {bad:?}");
-                    let stats = simulate_trace(&program, &layout, &trace, scheme, &cfg)
-                        .unwrap_or_else(|e| panic!("{wname}/{label}: simulate failed: {e}"));
                     cache.put(&key, &codec::stats_to_json(&stats).to_compact());
                     (stats, false)
                 }

@@ -21,6 +21,7 @@ fn cold_then_warm_is_byte_identical_and_fully_cached() {
     let opts = RunOptions {
         jobs: 2,
         cache_dir: Some(dir.clone()),
+        ..RunOptions::default()
     };
 
     let spec = ExperimentSpec::three_schemes("cache-test", Scale::Test);
@@ -80,6 +81,7 @@ fn profiles_are_shared_not_recomputed_within_a_run() {
     let opts = RunOptions {
         jobs: 1,
         cache_dir: Some(dir.clone()),
+        ..RunOptions::default()
     };
     let spec = ExperimentSpec::ablation("share-test", Scale::Test);
     let cold = run_experiment(&spec, &opts);
@@ -103,11 +105,53 @@ fn profiles_are_shared_not_recomputed_within_a_run() {
 }
 
 #[test]
+fn corrupt_sim_entries_recompute_from_cached_transforms() {
+    // Regression: vandalise ONLY the simulation entries, leaving profiles
+    // and transforms cached.  The recompute then simulates programs parsed
+    // back from cached transform text — which must carry the workload's
+    // full state (initial memory image, memory size, entry), not just its
+    // instructions, or the rerun miscomputes and the golden check fires.
+    let dir = scratch("simonly");
+    let opts = RunOptions {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+        ..RunOptions::default()
+    };
+    let spec = ExperimentSpec::three_schemes("simonly-test", Scale::Test);
+    let cold = run_experiment(&spec, &opts);
+
+    let mut vandalized = 0;
+    for shard in std::fs::read_dir(&dir).unwrap() {
+        for f in std::fs::read_dir(shard.unwrap().path()).unwrap() {
+            let path = f.unwrap().path();
+            if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("sim-"))
+            {
+                std::fs::write(&path, "{\"not\":\"a real entry\"}").unwrap();
+                vandalized += 1;
+            }
+        }
+    }
+    assert!(vandalized > 0, "no sim entries found to vandalise");
+
+    let again = run_experiment(&spec, &opts);
+    assert_eq!(
+        stable_json(&cold).to_pretty(),
+        stable_json(&again).to_pretty(),
+        "sim-only recovery must recompute identical results"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn corrupt_cache_entries_are_recomputed_not_trusted() {
     let dir = scratch("corrupt");
     let opts = RunOptions {
         jobs: 1,
         cache_dir: Some(dir.clone()),
+        ..RunOptions::default()
     };
     let spec = ExperimentSpec::three_schemes("corrupt-test", Scale::Test);
     let cold = run_experiment(&spec, &opts);

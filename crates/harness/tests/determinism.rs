@@ -9,6 +9,7 @@ fn uncached(jobs: usize) -> RunOptions {
     RunOptions {
         jobs,
         cache_dir: None,
+        ..RunOptions::default()
     }
 }
 
@@ -34,6 +35,28 @@ fn ablation_matrix_is_jobcount_invariant() {
     assert_eq!(
         stable_json(&serial).to_pretty(),
         stable_json(&parallel).to_pretty()
+    );
+}
+
+#[test]
+fn streamed_and_materialized_pipelines_agree() {
+    // The streaming trace pipeline must be an implementation detail: the
+    // stable artifact is byte-identical with it on or off, at any job count.
+    let spec = ExperimentSpec::three_schemes("det-stream", Scale::Test);
+    let mut no_stream = uncached(1);
+    no_stream.stream = false;
+    let materialized = run_experiment(&spec, &no_stream);
+    let streamed = run_experiment(&spec, &uncached(1));
+    let streamed_mt = run_experiment(&spec, &uncached(8));
+    assert_eq!(
+        stable_json(&materialized).to_pretty(),
+        stable_json(&streamed).to_pretty(),
+        "streaming changed the science"
+    );
+    assert_eq!(
+        stable_json(&streamed).to_pretty(),
+        stable_json(&streamed_mt).to_pretty(),
+        "streaming made results depend on the thread count"
     );
 }
 

@@ -107,7 +107,7 @@ pub struct ExecSummary {
 
 /// Dense index for [`FuClass`] stat arrays.
 pub fn class_index(c: FuClass) -> usize {
-    FuClass::ALL.iter().position(|x| *x == c).unwrap()
+    c.index()
 }
 
 /// Result of a successful run (the program reached `halt`).

@@ -6,41 +6,39 @@
 //! `id + 1` is the next instruction in fetch order within a block.
 
 use guardspec_ir::{BlockId, FuncId, InsnRef, Program};
-use std::collections::HashMap;
 
 /// Layout table mapping `InsnRef` <-> dense id <-> pseudo-PC.
+///
+/// `id()` is on the retire path of both the profiler and the trace
+/// recorder (once per dynamic instruction), so it is pure arithmetic over
+/// a dense per-function table of block-start ids — no hashing.
 #[derive(Clone, Debug)]
 pub struct StaticLayout {
     sites: Vec<InsnRef>,
-    ids: HashMap<InsnRef, u32>,
-    /// First dense id of each (func, block).
-    block_start: HashMap<(FuncId, BlockId), u32>,
+    /// `starts[func][block]` = first dense id of that block (empty blocks
+    /// get the id the next instruction would have).
+    starts: Vec<Vec<u32>>,
 }
 
 impl StaticLayout {
     pub fn build(prog: &Program) -> StaticLayout {
         let mut sites = Vec::with_capacity(prog.num_insns());
-        let mut ids = HashMap::with_capacity(prog.num_insns());
-        let mut block_start = HashMap::new();
+        let mut starts = Vec::new();
         for (fid, f) in prog.iter_funcs() {
+            let mut fstarts = Vec::new();
             for (bid, b) in f.iter_blocks() {
-                block_start.insert((fid, bid), sites.len() as u32);
+                fstarts.push(sites.len() as u32);
                 for idx in 0..b.insns.len() {
-                    let site = InsnRef {
+                    sites.push(InsnRef {
                         func: fid,
                         block: bid,
                         idx: idx as u32,
-                    };
-                    ids.insert(site, sites.len() as u32);
-                    sites.push(site);
+                    });
                 }
             }
+            starts.push(fstarts);
         }
-        StaticLayout {
-            sites,
-            ids,
-            block_start,
-        }
+        StaticLayout { sites, starts }
     }
 
     pub fn num_sites(&self) -> usize {
@@ -48,7 +46,7 @@ impl StaticLayout {
     }
 
     pub fn id(&self, site: InsnRef) -> u32 {
-        self.ids[&site]
+        self.starts[site.func.index()][site.block.index()] + site.idx
     }
 
     pub fn site(&self, id: u32) -> InsnRef {
@@ -58,7 +56,7 @@ impl StaticLayout {
     /// Dense id of the first instruction of a block (empty blocks get the
     /// id the next instruction would have).
     pub fn block_start(&self, func: FuncId, block: BlockId) -> u32 {
-        self.block_start[&(func, block)]
+        self.starts[func.index()][block.index()]
     }
 
     /// Pseudo program counter: 4 bytes per instruction starting at 0x1000,

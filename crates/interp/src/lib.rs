@@ -13,13 +13,16 @@
 //!   outcomes are recorded using bit vectors", Section 5),
 //! * [`profile`] — the profiler observer: per-branch outcome vectors, edge
 //!   frequencies, dynamic instruction mix,
-//! * [`trace`] — the trace recorder feeding the cycle-level simulator.
+//! * [`trace`] — the trace recorder feeding the cycle-level simulator,
+//! * [`stream`] — a bounded chunked SPSC channel so the trace can feed the
+//!   simulator incrementally instead of being materialized in full.
 
 pub mod bitvec;
 pub mod exec;
 pub mod layout;
 pub mod machine;
 pub mod profile;
+pub mod stream;
 pub mod trace;
 
 pub use bitvec::BitVec;
@@ -27,4 +30,5 @@ pub use exec::{run, ExecError, ExecResult, ExecSummary, Interp, Observer, Retire
 pub use layout::StaticLayout;
 pub use machine::Machine;
 pub use profile::{BranchProfile, Profile, Profiler};
+pub use stream::{trace_channel, StreamObserver, TraceReader, TraceWriter};
 pub use trace::{TraceEntry, TraceRecorder};

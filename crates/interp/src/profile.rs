@@ -10,7 +10,6 @@ use crate::bitvec::BitVec;
 use crate::exec::{class_index, Observer, RetireEvent};
 use crate::layout::StaticLayout;
 use guardspec_ir::{FuClass, InsnRef, Instruction, Program};
-use std::collections::BTreeMap;
 
 /// Profile data for one static conditional-branch site.
 #[derive(Clone, Debug, Default)]
@@ -36,12 +35,20 @@ impl BranchProfile {
 }
 
 /// Complete profile of one program run.
+///
+/// Branch profiles are stored as two parallel vectors sorted by site
+/// (which is also dense layout-id order, since ids are assigned in
+/// `InsnRef` order), so iteration visits sites exactly as the previous
+/// `BTreeMap` representation did while lookups stay a binary search over
+/// a compact array.
 #[derive(Clone, Debug)]
 pub struct Profile {
     /// Per static-site execution counts, indexed by dense layout id.
     pub site_counts: Vec<u64>,
-    /// Conditional-branch profiles keyed by site.
-    pub branches: BTreeMap<InsnRef, BranchProfile>,
+    /// Executed conditional-branch sites, sorted.
+    branch_sites: Vec<InsnRef>,
+    /// Profile for `branch_sites[i]`.
+    branch_profiles: Vec<BranchProfile>,
     /// Total retired instructions.
     pub retired: u64,
     /// Retired per functional-unit class.
@@ -51,6 +58,32 @@ pub struct Profile {
 }
 
 impl Profile {
+    /// Build from (site, profile) pairs in any order; used by the profiler
+    /// and by deserialization (which has no layout at hand).
+    pub fn from_branch_pairs(
+        site_counts: Vec<u64>,
+        mut pairs: Vec<(InsnRef, BranchProfile)>,
+        retired: u64,
+        by_class: [u64; 8],
+        annulled: u64,
+    ) -> Profile {
+        pairs.sort_by_key(|(site, _)| *site);
+        let mut branch_sites = Vec::with_capacity(pairs.len());
+        let mut branch_profiles = Vec::with_capacity(pairs.len());
+        for (site, bp) in pairs {
+            branch_sites.push(site);
+            branch_profiles.push(bp);
+        }
+        Profile {
+            site_counts,
+            branch_sites,
+            branch_profiles,
+            retired,
+            by_class,
+            annulled,
+        }
+    }
+
     /// Fraction of the dynamic instruction stream that is branches
     /// (conditional + unconditional control) — the paper's Table 1
     /// "Branch Instructions (%)" column.
@@ -68,15 +101,34 @@ impl Profile {
 
     /// The branch profile for a site, if it executed.
     pub fn branch(&self, site: InsnRef) -> Option<&BranchProfile> {
-        self.branches.get(&site)
+        let i = self.branch_sites.binary_search(&site).ok()?;
+        Some(&self.branch_profiles[i])
+    }
+
+    /// Executed branch sites with their profiles, in site order.
+    pub fn branches(&self) -> impl Iterator<Item = (InsnRef, &BranchProfile)> {
+        self.branch_sites
+            .iter()
+            .copied()
+            .zip(self.branch_profiles.iter())
+    }
+
+    /// Number of distinct executed conditional-branch sites.
+    pub fn num_branch_sites(&self) -> usize {
+        self.branch_sites.len()
     }
 }
 
 /// Observer that accumulates a [`Profile`].
+///
+/// Branch data is recorded into a dense vector indexed by layout site id,
+/// so the per-retire hot path is array arithmetic with no tree or hash
+/// operations; [`Profiler::finish`] compacts it to executed sites only.
 pub struct Profiler {
     layout: StaticLayout,
     site_counts: Vec<u64>,
-    branches: BTreeMap<InsnRef, BranchProfile>,
+    /// Dense by site id; only conditional-branch sites are ever touched.
+    branch_by_id: Vec<BranchProfile>,
     retired: u64,
     by_class: [u64; 8],
     annulled: u64,
@@ -91,7 +143,7 @@ impl Profiler {
         Profiler {
             layout,
             site_counts: vec![0; n],
-            branches: BTreeMap::new(),
+            branch_by_id: vec![BranchProfile::default(); n],
             retired: 0,
             by_class: [0; 8],
             annulled: 0,
@@ -104,13 +156,22 @@ impl Profiler {
     }
 
     pub fn finish(self) -> Profile {
-        Profile {
-            site_counts: self.site_counts,
-            branches: self.branches,
-            retired: self.retired,
-            by_class: self.by_class,
-            annulled: self.annulled,
-        }
+        // Ids are assigned in `InsnRef` order, so this pass yields pairs
+        // already sorted by site.
+        let pairs: Vec<(InsnRef, BranchProfile)> = self
+            .branch_by_id
+            .into_iter()
+            .enumerate()
+            .filter(|(_, bp)| bp.executed > 0)
+            .map(|(id, bp)| (self.layout.site(id as u32), bp))
+            .collect();
+        Profile::from_branch_pairs(
+            self.site_counts,
+            pairs,
+            self.retired,
+            self.by_class,
+            self.annulled,
+        )
     }
 }
 
@@ -125,7 +186,7 @@ impl Observer for Profiler {
             return;
         }
         if let Some(taken) = ev.taken {
-            let bp = self.branches.entry(ev.site).or_default();
+            let bp = &mut self.branch_by_id[id as usize];
             bp.executed += 1;
             bp.taken += taken as u64;
             if bp.outcomes.len() < self.max_outcomes {

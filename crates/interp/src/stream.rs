@@ -1,0 +1,303 @@
+//! Bounded chunked SPSC channel for streaming trace entries.
+//!
+//! The monolithic [`crate::trace::TraceRecorder`] keeps the whole dynamic
+//! trace in memory and forces the interpret and simulate phases to run
+//! back-to-back.  This module lets the functional interpreter *produce*
+//! [`TraceEntry`] chunks on one thread while the cycle-level pipeline
+//! *consumes* them on another: memory is bounded at
+//! `MAX_CHUNKS × CHUNK_LEN` entries regardless of trace length, and the two
+//! phases overlap on multi-core hosts.
+//!
+//! The channel is hand-rolled on `Mutex` + `Condvar` (no external deps,
+//! matching the harness pool), single-producer single-consumer, with a
+//! free-list that recycles chunk buffers between the two sides so the
+//! steady state allocates nothing.
+//!
+//! Shutdown protocol:
+//! * the writer `finish()`es (or is dropped) → the channel closes and the
+//!   reader drains what remains, after which the exact entry total is
+//!   available;
+//! * the reader is dropped early (e.g. the simulator errored) → the channel
+//!   aborts and subsequent writes are silently discarded, so the producing
+//!   interpreter still runs to completion (its functional result is needed
+//!   for golden verification).
+
+use crate::exec::{Observer, RetireEvent};
+use crate::layout::StaticLayout;
+use crate::trace::TraceEntry;
+use guardspec_ir::Instruction;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Entries per chunk (~48 KiB of 12-byte entries).
+pub const CHUNK_LEN: usize = 4096;
+/// Maximum chunks in flight; bounds channel memory.
+pub const MAX_CHUNKS: usize = 16;
+
+struct State {
+    queue: VecDeque<Vec<TraceEntry>>,
+    free: Vec<Vec<TraceEntry>>,
+    /// Writer finished; `total` is final once set with `closed`.
+    closed: bool,
+    /// Reader dropped; the writer discards everything from here on.
+    aborted: bool,
+    /// Entries sent (final total once `closed`).
+    total: u64,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+/// Producing half: push entries, then [`TraceWriter::finish`].
+pub struct TraceWriter {
+    shared: Arc<Shared>,
+    cur: Vec<TraceEntry>,
+    aborted_seen: bool,
+}
+
+/// Consuming half: receive chunks until `None`.
+pub struct TraceReader {
+    shared: Arc<Shared>,
+}
+
+/// Create a bounded trace channel.
+pub fn trace_channel() -> (TraceWriter, TraceReader) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            free: Vec::new(),
+            closed: false,
+            aborted: false,
+            total: 0,
+        }),
+        cond: Condvar::new(),
+    });
+    (
+        TraceWriter {
+            shared: shared.clone(),
+            cur: Vec::with_capacity(CHUNK_LEN),
+            aborted_seen: false,
+        },
+        TraceReader { shared },
+    )
+}
+
+impl TraceWriter {
+    /// Append one entry, flushing a full chunk (may block on a full queue).
+    pub fn push(&mut self, e: TraceEntry) {
+        if self.aborted_seen {
+            return;
+        }
+        self.cur.push(e);
+        if self.cur.len() >= CHUNK_LEN {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.cur.is_empty() {
+            return;
+        }
+        let mut st = self.shared.state.lock().unwrap();
+        while st.queue.len() >= MAX_CHUNKS && !st.aborted {
+            st = self.shared.cond.wait(st).unwrap();
+        }
+        if st.aborted {
+            self.aborted_seen = true;
+            self.cur.clear();
+            return;
+        }
+        st.total += self.cur.len() as u64;
+        let next = st.free.pop().unwrap_or_default();
+        st.queue.push_back(std::mem::replace(&mut self.cur, next));
+        self.shared.cond.notify_all();
+    }
+
+    /// Flush the final partial chunk and close the channel.
+    pub fn finish(mut self) {
+        self.flush();
+        // Drop runs next and marks the channel closed.
+    }
+}
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        // Close without flushing: an abandoned writer (interpreter error)
+        // must still unblock the reader.
+        let mut st = self.shared.state.lock().unwrap();
+        st.closed = true;
+        self.shared.cond.notify_all();
+    }
+}
+
+impl TraceReader {
+    /// Receive the next chunk, blocking; `None` once the channel is closed
+    /// and drained (at which point [`TraceReader::total`] is exact).
+    pub fn recv(&self) -> Option<Vec<TraceEntry>> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(chunk) = st.queue.pop_front() {
+                self.shared.cond.notify_all();
+                return Some(chunk);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.shared.cond.wait(st).unwrap();
+        }
+    }
+
+    /// Return a consumed chunk's buffer for reuse by the writer.
+    pub fn recycle(&self, mut buf: Vec<TraceEntry>) {
+        buf.clear();
+        let mut st = self.shared.state.lock().unwrap();
+        if st.free.len() < MAX_CHUNKS {
+            st.free.push(buf);
+        }
+    }
+
+    /// Total entries sent, once the channel has closed.
+    pub fn total(&self) -> Option<u64> {
+        let st = self.shared.state.lock().unwrap();
+        st.closed.then_some(st.total)
+    }
+}
+
+impl Drop for TraceReader {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.aborted = true;
+        st.queue.clear();
+        self.shared.cond.notify_all();
+    }
+}
+
+/// Observer that streams the trace into a [`TraceWriter`] instead of
+/// accumulating it.  Entry encoding is identical to
+/// [`crate::trace::TraceRecorder`].
+pub struct StreamObserver<'a> {
+    layout: &'a StaticLayout,
+    writer: TraceWriter,
+}
+
+impl<'a> StreamObserver<'a> {
+    pub fn new(layout: &'a StaticLayout, writer: TraceWriter) -> StreamObserver<'a> {
+        StreamObserver { layout, writer }
+    }
+
+    /// Flush and close the channel (call after a successful run).
+    pub fn finish(self) {
+        self.writer.finish();
+    }
+}
+
+impl Observer for StreamObserver<'_> {
+    fn on_retire(&mut self, _insn: &Instruction, ev: &RetireEvent) {
+        self.writer
+            .push(TraceEntry::from_retire(self.layout.id(ev.site), ev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::trace_program;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::r;
+
+    fn entry(id: u32) -> TraceEntry {
+        TraceEntry::from_retire(
+            id,
+            &RetireEvent {
+                site: guardspec_ir::InsnRef {
+                    func: guardspec_ir::FuncId(0),
+                    block: guardspec_ir::BlockId(0),
+                    idx: 0,
+                },
+                taken: None,
+                target_block: None,
+                mem_addr: None,
+                annulled: false,
+            },
+        )
+    }
+
+    #[test]
+    fn channel_delivers_all_entries_in_order() {
+        let (mut w, rd) = trace_channel();
+        let n = 3 * CHUNK_LEN + 17; // several full chunks plus a partial
+        let h = std::thread::spawn(move || {
+            for i in 0..n {
+                w.push(entry(i as u32));
+            }
+            w.finish();
+        });
+        let mut got = Vec::new();
+        while let Some(chunk) = rd.recv() {
+            got.extend(chunk.iter().map(|e| e.id));
+            rd.recycle(chunk);
+        }
+        h.join().unwrap();
+        assert_eq!(rd.total(), Some(n as u64));
+        assert_eq!(got.len(), n);
+        assert!(got.iter().enumerate().all(|(i, &id)| id == i as u32));
+    }
+
+    #[test]
+    fn dropped_reader_does_not_block_writer() {
+        let (mut w, rd) = trace_channel();
+        drop(rd);
+        // Far more than the channel bound: must not deadlock.
+        for i in 0..(MAX_CHUNKS + 2) * CHUNK_LEN {
+            w.push(entry(i as u32));
+        }
+        w.finish();
+    }
+
+    #[test]
+    fn dropped_writer_closes_channel() {
+        let (w, rd) = trace_channel();
+        drop(w); // abandoned without finish(), e.g. interpreter error
+        assert!(rd.recv().is_none());
+        assert_eq!(rd.total(), Some(0));
+    }
+
+    #[test]
+    fn streamed_trace_matches_recorded_trace() {
+        let mut fb = FuncBuilder::new("s");
+        fb.block("e");
+        fb.li(r(1), 300);
+        fb.block("loop");
+        fb.subi(r(1), r(1), 1);
+        fb.sw(r(1), r(0), 3);
+        fb.bgtz(r(1), "loop");
+        fb.block("done");
+        fb.halt();
+        let prog = single_func_program(fb);
+        let (layout, recorded, _) = trace_program(&prog).unwrap();
+
+        let (w, rd) = trace_channel();
+        let streamed = std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut obs = StreamObserver::new(&layout, w);
+                crate::exec::Interp::new(&prog).run_with(&mut obs).unwrap();
+                obs.finish();
+            });
+            let mut got = Vec::new();
+            while let Some(chunk) = rd.recv() {
+                got.extend_from_slice(&chunk);
+                rd.recycle(chunk);
+            }
+            got
+        });
+        assert_eq!(streamed.len(), recorded.len());
+        for (a, b) in streamed.iter().zip(recorded.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.taken(), b.taken());
+            assert_eq!(a.mem_addr(), b.mem_addr());
+            assert_eq!(a.annulled(), b.annulled());
+        }
+    }
+}

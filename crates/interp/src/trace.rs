@@ -26,6 +26,26 @@ pub struct TraceEntry {
 }
 
 impl TraceEntry {
+    /// Encode a retirement event for static site `id`.
+    pub fn from_retire(id: u32, ev: &RetireEvent) -> TraceEntry {
+        let mut flags = 0u8;
+        if let Some(t) = ev.taken {
+            flags |= F_IS_BRANCH;
+            if t {
+                flags |= F_TAKEN;
+            }
+        }
+        let mut addr = 0u32;
+        if let Some(a) = ev.mem_addr {
+            flags |= F_HAS_ADDR;
+            addr = a.max(0) as u32;
+        }
+        if ev.annulled {
+            flags |= F_ANNULLED;
+        }
+        TraceEntry { id, addr, flags }
+    }
+
     /// Conditional-branch outcome, if this was a conditional branch.
     pub fn taken(&self) -> Option<bool> {
         (self.flags & F_IS_BRANCH != 0).then(|| self.flags & F_TAKEN != 0)
@@ -67,26 +87,8 @@ impl TraceRecorder {
 
 impl Observer for TraceRecorder {
     fn on_retire(&mut self, _insn: &Instruction, ev: &RetireEvent) {
-        let mut flags = 0u8;
-        if let Some(t) = ev.taken {
-            flags |= F_IS_BRANCH;
-            if t {
-                flags |= F_TAKEN;
-            }
-        }
-        let mut addr = 0u32;
-        if let Some(a) = ev.mem_addr {
-            flags |= F_HAS_ADDR;
-            addr = a.max(0) as u32;
-        }
-        if ev.annulled {
-            flags |= F_ANNULLED;
-        }
-        self.entries.push(TraceEntry {
-            id: self.layout.id(ev.site),
-            addr,
-            flags,
-        });
+        self.entries
+            .push(TraceEntry::from_retire(self.layout.id(ev.site), ev));
     }
 }
 

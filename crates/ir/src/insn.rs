@@ -299,6 +299,20 @@ impl FuClass {
         FuClass::FpDiv,
         FuClass::Nop,
     ];
+
+    /// Dense index of this class: its position in [`FuClass::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            FuClass::Alu => 0,
+            FuClass::Shift => 1,
+            FuClass::LoadStore => 2,
+            FuClass::Branch => 3,
+            FuClass::FpAdd => 4,
+            FuClass::FpMul => 5,
+            FuClass::FpDiv => 6,
+            FuClass::Nop => 7,
+        }
+    }
 }
 
 /// A complete instruction: opcode plus optional guard predicate.

@@ -3,12 +3,17 @@
 //! Grammar (line oriented, `#` starts a comment):
 //!
 //! ```text
-//! program  := func*
+//! program  := directive* func*
+//! directive:= ".mem_words" N | ".entry" NAME | ".data" ADDR ":" VALUE+
 //! func     := "func" NAME ":" block*
 //! block    := LABEL ":" insn*
 //! insn     := guard? MNEMONIC operands
 //! guard    := "(" "!"? PREG ")"
 //! ```
+//!
+//! The directives carry the non-code program state (memory size, initial
+//! memory image, entry point), so `Program::to_string` → `parse_program`
+//! round-trips the *whole* program, not just its instructions.
 
 use crate::insn::*;
 use crate::program::*;
@@ -49,6 +54,9 @@ pub fn parse_program(src: &str, entry: Option<&str>) -> PResult<Program> {
         lines: Vec<(usize, &'a str)>,
     }
     let mut raw: Vec<RawFunc> = Vec::new();
+    let mut data: Vec<(u64, i64)> = Vec::new();
+    let mut mem_words: u64 = 1 << 16;
+    let mut entry_directive: Option<String> = None;
     for (ln0, raw_line) in src.lines().enumerate() {
         let line = ln0 + 1;
         let text = match raw_line.find('#') {
@@ -57,6 +65,10 @@ pub fn parse_program(src: &str, entry: Option<&str>) -> PResult<Program> {
         }
         .trim();
         if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix('.') {
+            parse_directive(line, rest, &mut data, &mut mem_words, &mut entry_directive)?;
             continue;
         }
         if let Some(rest) = text.strip_prefix("func ") {
@@ -90,7 +102,8 @@ pub fn parse_program(src: &str, entry: Option<&str>) -> PResult<Program> {
         funcs.push(parse_func(&rf.name, &rf.lines, &func_ids)?);
     }
 
-    let entry_name = entry.unwrap_or(&raw[0].name);
+    // Explicit argument beats the `.entry` directive beats the first func.
+    let entry_name = entry.or(entry_directive.as_deref()).unwrap_or(&raw[0].name);
     let entry = match func_ids.get(entry_name) {
         Some(id) => *id,
         None => return err(0, format!("entry function `{entry_name}` not found")),
@@ -98,9 +111,73 @@ pub fn parse_program(src: &str, entry: Option<&str>) -> PResult<Program> {
     Ok(Program {
         funcs,
         entry,
-        data: Vec::new(),
-        mem_words: 1 << 16,
+        data,
+        mem_words,
     })
+}
+
+/// Parse a header directive (the leading `.` already stripped):
+///
+/// * `.mem_words N` — memory size in words,
+/// * `.entry NAME` — entry function (overridden by an explicit caller arg),
+/// * `.data ADDR: V ...` — initial memory words at consecutive addresses.
+fn parse_directive(
+    line: usize,
+    rest: &str,
+    data: &mut Vec<(u64, i64)>,
+    mem_words: &mut u64,
+    entry: &mut Option<String>,
+) -> PResult<()> {
+    let mut toks = rest.split_whitespace();
+    match toks.next() {
+        Some("mem_words") => {
+            let n = toks
+                .next()
+                .and_then(|t| t.parse::<u64>().ok())
+                .ok_or_else(|| ParseError {
+                    line,
+                    msg: ".mem_words needs a word count".into(),
+                })?;
+            *mem_words = n;
+        }
+        Some("entry") => {
+            let name = toks.next().ok_or_else(|| ParseError {
+                line,
+                msg: ".entry needs a function name".into(),
+            })?;
+            *entry = Some(name.to_string());
+        }
+        Some("data") => {
+            let addr_tok = toks.next().ok_or_else(|| ParseError {
+                line,
+                msg: ".data needs an address".into(),
+            })?;
+            let mut addr =
+                addr_tok
+                    .trim_end_matches(':')
+                    .parse::<u64>()
+                    .map_err(|_| ParseError {
+                        line,
+                        msg: format!(".data address `{addr_tok}` is not a number"),
+                    })?;
+            let mut any = false;
+            for t in toks {
+                let v = t.parse::<i64>().map_err(|_| ParseError {
+                    line,
+                    msg: format!(".data value `{t}` is not a number"),
+                })?;
+                data.push((addr, v));
+                addr += 1;
+                any = true;
+            }
+            if !any {
+                return err(line, ".data needs at least one value");
+            }
+        }
+        Some(other) => return err(line, format!("unknown directive `.{other}`")),
+        None => return err(line, "empty directive"),
+    }
+    Ok(())
 }
 
 /// Parse a single function body (without the `func` header line).

@@ -202,6 +202,33 @@ impl fmt::Display for Function {
 
 impl fmt::Display for Program {
     fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Header directives, so the text is a *complete* description of the
+        // program (the parser's defaults are omitted): memory size, initial
+        // memory image, and a non-first entry function.  The harness caches
+        // transformed programs as text and keys simulations on it — losing
+        // the memory image here silently runs workloads on zeroed input.
+        if self.mem_words != 1 << 16 {
+            writeln!(fm, ".mem_words {}", self.mem_words)?;
+        }
+        if self.entry.index() != 0 && self.entry.index() < self.funcs.len() {
+            writeln!(fm, ".entry {}", self.funcs[self.entry.index()].name)?;
+        }
+        // Emit `.data` runs: consecutive pairs with consecutive addresses
+        // share a line (capped), preserving the pair sequence exactly.
+        let mut i = 0;
+        while i < self.data.len() {
+            let (start, _) = self.data[i];
+            let mut n = 1;
+            while i + n < self.data.len() && n < 16 && self.data[i + n].0 == start + n as u64 {
+                n += 1;
+            }
+            write!(fm, ".data {start}:")?;
+            for (_, v) in &self.data[i..i + n] {
+                write!(fm, " {v}")?;
+            }
+            writeln!(fm)?;
+            i += n;
+        }
         for (i, f) in self.funcs.iter().enumerate() {
             if i > 0 {
                 writeln!(fm)?;

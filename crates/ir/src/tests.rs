@@ -397,6 +397,53 @@ fn print_parse_roundtrip_exotic_instructions() {
 }
 
 #[test]
+fn print_parse_roundtrip_preserves_program_state() {
+    // Directives carry the non-code state: memory image, size, entry.
+    let mut pb = ProgramBuilder::new();
+    let mut aux = FuncBuilder::new("aux");
+    aux.block("e");
+    aux.halt();
+    pb.add_func(aux);
+    let mut main = FuncBuilder::new("main");
+    main.block("e");
+    main.li(r(1), 7);
+    main.halt();
+    pb.add_func(main);
+    pb.mem_words(5361);
+    pb.data_words(2, &[-11, 0, 1 << 40]);
+    pb.data_word(1024, 99); // non-consecutive: new .data run
+    let prog = pb.finish("main");
+    assert_valid(&prog);
+
+    let text = prog.to_string();
+    assert!(text.contains(".mem_words 5361"), "{text}");
+    assert!(text.contains(".entry main"), "{text}");
+    assert!(text.contains(".data 2: -11 0 1099511627776"), "{text}");
+    assert!(text.contains(".data 1024: 99"), "{text}");
+    let back = parse_program(&text, None).expect("parse");
+    assert_eq!(
+        back, prog,
+        "text round-trip must preserve the whole program"
+    );
+    // And the text itself is a fixed point.
+    assert_eq!(back.to_string(), text);
+}
+
+#[test]
+fn parse_directive_errors_carry_lines() {
+    assert!(parse_program(".mem_words\nfunc f:\ne:\n    halt\n", None).is_err());
+    assert!(parse_program(".data 5:\nfunc f:\ne:\n    halt\n", None).is_err());
+    assert!(parse_program(".data x: 1\nfunc f:\ne:\n    halt\n", None).is_err());
+    assert!(parse_program(".bogus\nfunc f:\ne:\n    halt\n", None).is_err());
+    let e = parse_program("func f:\ne:\n    halt\n.entry\n", None).unwrap_err();
+    assert_eq!(e.line, 4);
+    // Explicit entry argument beats the directive.
+    let src = ".entry f\nfunc f:\ne:\n    halt\nfunc g:\ne:\n    halt\n";
+    assert_eq!(parse_program(src, Some("g")).unwrap().entry.index(), 1);
+    assert_eq!(parse_program(src, None).unwrap().entry.index(), 0);
+}
+
+#[test]
 fn parse_rejects_bad_input() {
     assert!(parse_program("", None).is_err());
     assert!(parse_program("func f:\nentry:\n    bogus r1\n    halt\n", None).is_err());

@@ -35,6 +35,19 @@ impl Btb {
         Btb::new(64)
     }
 
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Invalidate all entries and clear statistics without reallocating
+    /// (simulator-state reuse across runs).
+    pub fn reset(&mut self) {
+        self.entries.fill(None);
+        self.hits = 0;
+        self.misses = 0;
+    }
+
     fn index(&self, pc: u64) -> usize {
         ((pc >> 2) & self.mask) as usize
     }

@@ -57,6 +57,17 @@ impl TwoBitTable {
         TwoBitTable::new(512)
     }
 
+    /// Table size in entries.
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Return every counter to the initial weakly-not-taken state without
+    /// reallocating (simulator-state reuse across runs).
+    pub fn reset(&mut self) {
+        self.counters.fill(1);
+    }
+
     fn index(&self, pc: u64) -> usize {
         ((pc >> 2) & self.mask) as usize
     }

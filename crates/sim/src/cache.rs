@@ -68,6 +68,26 @@ impl Cache {
         self.lru[base + way] = 0;
     }
 
+    /// Whether this cache has the geometry `(total_bytes, line_bytes, ways)`
+    /// — used to decide between [`Cache::reset`] and reconstruction.
+    pub fn has_shape(&self, total_bytes: usize, line_bytes: usize, ways: usize) -> bool {
+        line_bytes.is_power_of_two()
+            && self.ways == ways
+            && self.line_shift == line_bytes.trailing_zeros()
+            && self.sets.checked_mul(line_bytes * ways) == Some(total_bytes)
+    }
+
+    /// Invalidate every line and clear statistics without reallocating
+    /// (simulator-state reuse across runs).
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        for (i, r) in self.lru.iter_mut().enumerate() {
+            *r = (i % self.ways) as u8;
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+
     pub fn hits(&self) -> u64 {
         self.hits
     }

@@ -161,7 +161,7 @@ impl Default for MachineConfig {
 
 /// Dense index for [`FuClass`] arrays (same order as `FuClass::ALL`).
 pub fn class_idx(c: FuClass) -> usize {
-    FuClass::ALL.iter().position(|x| *x == c).unwrap()
+    c.index()
 }
 
 fn fu_counts(

@@ -49,6 +49,8 @@ pub mod stats;
 pub use cache::Cache;
 pub use config::{Latencies, MachineConfig, QueueKind};
 pub use pipeline::{
-    simulate_program, simulate_trace, simulate_trace_logged, CycleLog, CycleRecord, SimError,
+    simulate_program, simulate_program_streamed, simulate_program_streamed_in, simulate_trace,
+    simulate_trace_in, simulate_trace_logged, CycleLog, CycleRecord, SimContext, SimError,
+    SliceSource, StreamSource, TraceSource,
 };
 pub use stats::SimStats;

@@ -3,11 +3,16 @@
 use crate::cache::Cache;
 use crate::config::{class_idx, MachineConfig, QueueKind};
 use crate::stats::SimStats;
+use guardspec_interp::stream::{StreamObserver, TraceReader};
 use guardspec_interp::{StaticLayout, TraceEntry};
 use guardspec_ir::{FuClass, Opcode, Program, Reg};
 use guardspec_predict::{BranchKind, Btb, Scheme, TwoBitTable};
 use std::collections::VecDeque;
 use std::fmt;
+
+/// Maximum source operands per instruction (two register operands plus the
+/// guard predicate), so dependence lists fit inline without heap traffic.
+const MAX_SRCS: usize = 3;
 
 /// Simulation failure (indicates a model bug or absurd input, not a
 /// program error).
@@ -36,17 +41,26 @@ impl std::error::Error for SimError {}
 struct SiteInfo {
     class: FuClass,
     queue: QueueKind,
-    /// Dense register indices read (including guard predicate).
-    uses: Vec<usize>,
+    /// Dense register indices read (including guard predicate); the dense
+    /// register space (144 names) fits in a `u8`.
+    uses: [u8; MAX_SRCS],
+    nuses: u8,
     /// Dense register index written.
-    def: Option<usize>,
+    def: Option<u8>,
     kind: Option<BranchKind>,
     /// PC of the taken-target block's first instruction (direct branches
     /// and jumps only).
     target_pc: Option<u64>,
 }
 
+impl SiteInfo {
+    fn uses(&self) -> &[u8] {
+        &self.uses[..self.nuses as usize]
+    }
+}
+
 fn build_site_infos(prog: &Program, layout: &StaticLayout) -> Vec<SiteInfo> {
+    debug_assert!(Reg::DENSE_COUNT <= u8::MAX as usize + 1);
     let mut infos = Vec::with_capacity(layout.num_sites());
     for id in 0..layout.num_sites() as u32 {
         let site = layout.site(id);
@@ -57,14 +71,22 @@ fn build_site_infos(prog: &Program, layout: &StaticLayout) -> Vec<SiteInfo> {
             }
             _ => None,
         };
+        let mut uses = [0u8; MAX_SRCS];
+        let mut nuses = 0u8;
+        for r in insn.uses() {
+            let r: Reg = r;
+            uses[nuses as usize] = r.dense_index() as u8;
+            nuses += 1;
+        }
         infos.push(SiteInfo {
             class: insn.fu_class(),
             queue: QueueKind::for_class(insn.fu_class()),
-            uses: insn.uses().map(|r: Reg| r.dense_index()).collect(),
+            uses,
+            nuses,
             def: insn
                 .def()
                 .filter(|d| !d.is_int_zero())
-                .map(|d| d.dense_index()),
+                .map(|d| d.dense_index() as u8),
             kind: BranchKind::of(insn),
             target_pc,
         });
@@ -87,14 +109,23 @@ struct Entry {
     state: EState,
     disp_cycle: u64,
     finish: u64,
-    /// Seqs of producing instructions (ready when committed or Complete).
-    deps: Vec<u64>,
+    /// Seqs of producing instructions (ready when committed or Complete),
+    /// deduplicated at dispatch; inline since an op has at most
+    /// [`MAX_SRCS`] sources.
+    deps: [u64; MAX_SRCS],
+    ndeps: u8,
     mem_addr: Option<u32>,
     /// This entry has fetch stalled until it resolves.
     blocks_fetch: bool,
     /// Conditional branch (counts against the shadow-map limit).
     is_cond: bool,
     annulled: bool,
+}
+
+impl Entry {
+    fn deps(&self) -> &[u64] {
+        &self.deps[..self.ndeps as usize]
+    }
 }
 
 /// One cycle's activity snapshot, for pipeline visualization.
@@ -135,43 +166,235 @@ impl CycleLog {
     }
 }
 
+/// Where the pipeline's retired-instruction stream comes from: either a
+/// fully materialized slice, or a bounded channel fed by a concurrently
+/// running interpreter.
+///
+/// The read head is persistent: `cur()` returns the same entry until
+/// `advance()` consumes it (fetch may stall on an entry for many cycles).
+pub trait TraceSource {
+    /// Entry at the read head, or `None` once the trace is exhausted.
+    /// A streaming source blocks until the entry is available.
+    fn cur(&mut self) -> Option<TraceEntry>;
+
+    /// Consume the entry at the read head.
+    fn advance(&mut self);
+
+    /// Whether `now` is past the drain budget of 64 cycles per trace entry
+    /// plus fixed slack.  A streaming source may block until enough of the
+    /// trace has arrived to decide.
+    fn budget_exceeded(&mut self, now: u64) -> bool;
+}
+
+const BUDGET_SLACK: u64 = 100_000;
+const BUDGET_PER_ENTRY: u64 = 64;
+
+/// A fully materialized trace.
+pub struct SliceSource<'a> {
+    trace: &'a [TraceEntry],
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    pub fn new(trace: &'a [TraceEntry]) -> SliceSource<'a> {
+        SliceSource { trace, pos: 0 }
+    }
+}
+
+impl TraceSource for SliceSource<'_> {
+    fn cur(&mut self) -> Option<TraceEntry> {
+        self.trace.get(self.pos).copied()
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn budget_exceeded(&mut self, now: u64) -> bool {
+        now > BUDGET_PER_ENTRY * self.trace.len() as u64 + BUDGET_SLACK
+    }
+}
+
+/// A trace arriving incrementally over a [`TraceReader`].
+///
+/// Chunks pulled ahead of the read head (by the budget check) are parked in
+/// `pending`, so pulling never drops entries; consumed chunk buffers are
+/// recycled back to the producer.
+pub struct StreamSource {
+    reader: TraceReader,
+    pending: VecDeque<Vec<TraceEntry>>,
+    /// Index into `pending.front()`.
+    idx: usize,
+    /// Entries received so far — a lower bound on the trace length, exact
+    /// once `done`.
+    received: u64,
+    done: bool,
+}
+
+impl StreamSource {
+    pub fn new(reader: TraceReader) -> StreamSource {
+        StreamSource {
+            reader,
+            pending: VecDeque::new(),
+            idx: 0,
+            received: 0,
+            done: false,
+        }
+    }
+
+    /// Blocking-receive one more chunk; false once the channel is closed.
+    fn pull(&mut self) -> bool {
+        match self.reader.recv() {
+            Some(chunk) => {
+                self.received += chunk.len() as u64;
+                self.pending.push_back(chunk);
+                true
+            }
+            None => {
+                self.done = true;
+                false
+            }
+        }
+    }
+}
+
+impl TraceSource for StreamSource {
+    fn cur(&mut self) -> Option<TraceEntry> {
+        loop {
+            if let Some(front) = self.pending.front() {
+                if self.idx < front.len() {
+                    return Some(front[self.idx]);
+                }
+                let spent = self.pending.pop_front().unwrap();
+                self.reader.recycle(spent);
+                self.idx = 0;
+                continue;
+            }
+            if self.done {
+                return None;
+            }
+            self.pull();
+        }
+    }
+
+    fn advance(&mut self) {
+        self.idx += 1;
+    }
+
+    fn budget_exceeded(&mut self, now: u64) -> bool {
+        // Same semantics as the slice check against the *full* trace
+        // length.  While the producer is still running, `received` is only
+        // a lower bound, so buffer further chunks (which also frees channel
+        // capacity — the producer can never deadlock against this loop)
+        // until the bound clears `now` or becomes exact.
+        loop {
+            if now <= BUDGET_PER_ENTRY * self.received + BUDGET_SLACK {
+                return false;
+            }
+            if self.done {
+                return true;
+            }
+            self.pull();
+        }
+    }
+}
+
+/// Reusable simulator state: the prediction structures, cache models, and
+/// window scratch whose allocations survive across simulations.  Passing
+/// one context to many [`simulate_trace_in`] calls skips per-run
+/// construction; every run still starts from the architectural reset state.
+pub struct SimContext {
+    bht: TwoBitTable,
+    btb: Btb,
+    icache: Cache,
+    dcache: Cache,
+    window: VecDeque<Entry>,
+    /// Last dispatched writer (seq) per dense register index.
+    reg_writer: Vec<Option<u64>>,
+}
+
+impl SimContext {
+    pub fn new(cfg: &MachineConfig) -> SimContext {
+        SimContext {
+            bht: TwoBitTable::new(cfg.bht_entries),
+            btb: Btb::new(cfg.btb_sets),
+            icache: Cache::new(cfg.icache.0, cfg.icache.1, cfg.icache.2),
+            dcache: Cache::new(cfg.dcache.0, cfg.dcache.1, cfg.dcache.2),
+            window: VecDeque::with_capacity(cfg.rob_size),
+            reg_writer: vec![None; Reg::DENSE_COUNT],
+        }
+    }
+
+    /// Reset to the architectural initial state for `cfg`, reallocating
+    /// only the structures whose geometry changed.
+    fn prepare(&mut self, cfg: &MachineConfig) {
+        if self.bht.entries() == cfg.bht_entries {
+            self.bht.reset();
+        } else {
+            self.bht = TwoBitTable::new(cfg.bht_entries);
+        }
+        if self.btb.sets() == cfg.btb_sets {
+            self.btb.reset();
+        } else {
+            self.btb = Btb::new(cfg.btb_sets);
+        }
+        if self
+            .icache
+            .has_shape(cfg.icache.0, cfg.icache.1, cfg.icache.2)
+        {
+            self.icache.reset();
+        } else {
+            self.icache = Cache::new(cfg.icache.0, cfg.icache.1, cfg.icache.2);
+        }
+        if self
+            .dcache
+            .has_shape(cfg.dcache.0, cfg.dcache.1, cfg.dcache.2)
+        {
+            self.dcache.reset();
+        } else {
+            self.dcache = Cache::new(cfg.dcache.0, cfg.dcache.1, cfg.dcache.2);
+        }
+        self.window.clear();
+        self.reg_writer.fill(None);
+    }
+}
+
+impl Default for SimContext {
+    fn default() -> SimContext {
+        SimContext::new(&MachineConfig::r10000())
+    }
+}
+
 /// The pipeline simulator.
-struct Pipeline<'a> {
+struct Pipeline<'a, S: TraceSource> {
     cfg: &'a MachineConfig,
     infos: &'a [SiteInfo],
     layout: &'a StaticLayout,
-    trace: &'a [TraceEntry],
+    source: S,
     scheme: Scheme,
 
     now: u64,
-    pos: usize,
-    window: VecDeque<Entry>,
     head_seq: u64,
     next_seq: u64,
     queue_len: [usize; 4],
-    /// Last dispatched writer (seq) per dense register index.
-    reg_writer: Vec<Option<u64>>,
     unresolved_branches: usize,
     fetch_resume: u64,
     /// Fetch is stalled until this entry (by seq) resolves.
     fetch_blocked_by: Option<u64>,
     fpdiv_free_at: u64,
 
-    bht: TwoBitTable,
-    btb: Btb,
-    icache: Cache,
-    dcache: Cache,
+    ctx: &'a mut SimContext,
     stats: SimStats,
     log: Option<CycleLog>,
     cycle_rec: CycleRecord,
 }
 
-impl<'a> Pipeline<'a> {
+impl<'a, S: TraceSource> Pipeline<'a, S> {
     fn entry(&self, seq: u64) -> Option<&Entry> {
         if seq < self.head_seq {
             return None; // committed
         }
-        self.window.get((seq - self.head_seq) as usize)
+        self.ctx.window.get((seq - self.head_seq) as usize)
     }
 
     fn dep_ready(&self, seq: u64) -> bool {
@@ -186,7 +409,7 @@ impl<'a> Pipeline<'a> {
         let now = self.now;
         let mut resume: Option<u64> = None;
         let recovery = self.cfg.mispredict_recovery;
-        for e in self.window.iter_mut() {
+        for e in self.ctx.window.iter_mut() {
             if e.state == EState::Executing && e.finish <= now {
                 e.state = EState::Complete;
                 if e.is_cond {
@@ -207,9 +430,9 @@ impl<'a> Pipeline<'a> {
     /// Stage 2: in-order commit of up to `commit_width`.
     fn commit_stage(&mut self) {
         for _ in 0..self.cfg.commit_width {
-            match self.window.front() {
+            match self.ctx.window.front() {
                 Some(e) if e.state == EState::Complete => {
-                    let e = self.window.pop_front().unwrap();
+                    let e = self.ctx.window.pop_front().unwrap();
                     self.head_seq = e.seq + 1;
                     // Reservation-station entries are held until graduation
                     // (the R10000 address queue keeps loads/stores until
@@ -225,8 +448,8 @@ impl<'a> Pipeline<'a> {
                     }
                     // Clear stale writer pointers.
                     if let Some(d) = self.infos[e.id as usize].def {
-                        if self.reg_writer[d] == Some(e.seq) {
-                            self.reg_writer[d] = None;
+                        if self.ctx.reg_writer[d as usize] == Some(e.seq) {
+                            self.ctx.reg_writer[d as usize] = None;
                         }
                     }
                 }
@@ -239,15 +462,13 @@ impl<'a> Pipeline<'a> {
     fn issue_stage(&mut self) {
         let mut issued = [0usize; 8];
         let now = self.now;
-        // Collect indices first to sidestep borrow conflicts.
-        let idxs: Vec<usize> = (0..self.window.len()).collect();
-        for i in idxs {
+        for i in 0..self.ctx.window.len() {
             let (ready, class) = {
-                let e = &self.window[i];
+                let e = &self.ctx.window[i];
                 if e.state != EState::InQueue || now <= e.disp_cycle + self.cfg.frontend_depth {
                     continue;
                 }
-                let ready = e.deps.iter().all(|&d| self.dep_ready_committed_or(d));
+                let ready = e.deps().iter().all(|&d| self.dep_ready(d));
                 (ready, e.class)
             };
             if !ready {
@@ -265,28 +486,22 @@ impl<'a> Pipeline<'a> {
             }
             // Latency, including D-cache for memory ops.
             let mut lat = self.cfg.latencies.for_class(class);
-            let (qi, is_mem, addr, annulled) = {
-                let e = &self.window[i];
-                (
-                    e.queue.index(),
-                    e.class == FuClass::LoadStore,
-                    e.mem_addr,
-                    e.annulled,
-                )
+            let (is_mem, addr, annulled) = {
+                let e = &self.ctx.window[i];
+                (e.class == FuClass::LoadStore, e.mem_addr, e.annulled)
             };
             if is_mem && !annulled {
                 let byte = (addr.unwrap_or(0) as u64) << 2;
-                if !self.dcache.access(byte) {
+                if !self.ctx.dcache.access(byte) {
                     lat += self.cfg.latencies.cache_miss_penalty;
                     self.stats.dcache_misses += 1;
                 } else {
                     self.stats.dcache_hits += 1;
                 }
             }
-            let e = &mut self.window[i];
+            let e = &mut self.ctx.window[i];
             e.state = EState::Executing;
             e.finish = now + lat;
-            let _ = qi;
             if class != FuClass::Nop {
                 issued[ci] += 1;
                 self.stats.fu_issues[ci] += 1;
@@ -305,14 +520,10 @@ impl<'a> Pipeline<'a> {
         }
     }
 
-    fn dep_ready_committed_or(&self, seq: u64) -> bool {
-        self.dep_ready(seq)
-    }
-
     /// Stage 4: fetch + dispatch up to `fetch_width` correct-path
     /// instructions, applying the branch-prediction policy.
     fn fetch_stage(&mut self) {
-        if self.pos >= self.trace.len() {
+        if self.source.cur().is_none() {
             return;
         }
         if self.fetch_blocked_by.is_some() || self.now < self.fetch_resume {
@@ -320,16 +531,18 @@ impl<'a> Pipeline<'a> {
             self.cycle_rec.fetch_stalled = true;
             return;
         }
+        // Copy of the shared-slice reference so `info` borrows the site
+        // table, not `self`.
+        let infos = self.infos;
         for _ in 0..self.cfg.fetch_width {
-            if self.pos >= self.trace.len() {
+            let Some(te) = self.source.cur() else {
                 break;
-            }
-            let te = self.trace[self.pos];
-            let info = &self.infos[te.id as usize];
+            };
+            let info = &infos[te.id as usize];
             let pc = self.layout.pc(te.id);
 
             // Structural checks before consuming.
-            if self.window.len() >= self.cfg.rob_size {
+            if self.ctx.window.len() >= self.cfg.rob_size {
                 break;
             }
             let qi = info.queue.index();
@@ -345,7 +558,7 @@ impl<'a> Pipeline<'a> {
             }
             // I-cache probe: a miss delays fetch; the probe fills the line
             // so the retry hits.
-            if !self.icache.access(pc) {
+            if !self.ctx.icache.access(pc) {
                 self.stats.icache_misses += 1;
                 self.fetch_resume = self.now + self.cfg.latencies.cache_miss_penalty;
                 break;
@@ -355,14 +568,18 @@ impl<'a> Pipeline<'a> {
             // Dispatch.
             let seq = self.next_seq;
             self.next_seq += 1;
-            let deps: Vec<u64> = info
-                .uses
-                .iter()
-                .filter_map(|&u| self.reg_writer[u])
-                .filter(|&s| !self.dep_ready(s))
-                .collect();
+            let mut deps = [0u64; MAX_SRCS];
+            let mut ndeps = 0u8;
+            for &u in info.uses() {
+                if let Some(s) = self.ctx.reg_writer[u as usize] {
+                    if !self.dep_ready(s) && !deps[..ndeps as usize].contains(&s) {
+                        deps[ndeps as usize] = s;
+                        ndeps += 1;
+                    }
+                }
+            }
             if let Some(d) = info.def {
-                self.reg_writer[d] = Some(seq);
+                self.ctx.reg_writer[d as usize] = Some(seq);
             }
             self.queue_len[qi] += 1;
             if is_cond {
@@ -377,12 +594,13 @@ impl<'a> Pipeline<'a> {
                 disp_cycle: self.now,
                 finish: 0,
                 deps,
+                ndeps,
                 mem_addr: te.mem_addr(),
                 blocks_fetch: false,
                 is_cond,
                 annulled: te.annulled(),
             };
-            self.pos += 1;
+            self.source.advance();
 
             // Branch policy.  An *annulled* predicated branch (guard false)
             // never redirects fetch: the predicate hardware squashes it at
@@ -398,13 +616,13 @@ impl<'a> Pipeline<'a> {
                         if self.scheme.is_perfect() {
                             stop_group = actual;
                         } else {
-                            let pred = self.bht.predict(pc);
-                            self.bht.update(pc, actual);
+                            let pred = self.ctx.bht.predict(pc);
+                            self.ctx.bht.update(pc, actual);
                             if pred == actual {
                                 if actual {
                                     // Taken, correctly predicted: BTB hit is
                                     // free, miss costs a decode redirect.
-                                    match self.btb.lookup(pc) {
+                                    match self.ctx.btb.lookup(pc) {
                                         Some(_) => {
                                             self.stats.btb_hits += 1;
                                         }
@@ -412,7 +630,7 @@ impl<'a> Pipeline<'a> {
                                             self.stats.btb_misses += 1;
                                             self.fetch_resume = self.now + 2;
                                             if let Some(t) = info.target_pc {
-                                                self.btb.install(pc, t);
+                                                self.ctx.btb.install(pc, t);
                                             }
                                         }
                                     }
@@ -424,7 +642,7 @@ impl<'a> Pipeline<'a> {
                                 self.fetch_blocked_by = Some(seq);
                                 if actual {
                                     if let Some(t) = info.target_pc {
-                                        self.btb.install(pc, t);
+                                        self.ctx.btb.install(pc, t);
                                     }
                                 }
                                 stop_group = true;
@@ -454,7 +672,7 @@ impl<'a> Pipeline<'a> {
                         // A BTB hit redirects fetch for free; a miss costs
                         // one decode-redirect bubble and installs the entry.
                         if !self.scheme.is_perfect() {
-                            match self.btb.lookup(pc) {
+                            match self.ctx.btb.lookup(pc) {
                                 Some(_) => {
                                     self.stats.btb_hits += 1;
                                 }
@@ -462,7 +680,7 @@ impl<'a> Pipeline<'a> {
                                     self.stats.btb_misses += 1;
                                     self.fetch_resume = self.now + 2;
                                     if let Some(t) = info.target_pc {
-                                        self.btb.install(pc, t);
+                                        self.ctx.btb.install(pc, t);
                                     }
                                 }
                             }
@@ -490,7 +708,7 @@ impl<'a> Pipeline<'a> {
                 }
             }
 
-            self.window.push_back(entry);
+            self.ctx.window.push_back(entry);
             self.cycle_rec.fetched = self.cycle_rec.fetched.saturating_add(1);
             if stop_group {
                 break;
@@ -519,15 +737,14 @@ impl<'a> Pipeline<'a> {
     }
 
     fn run_logged(mut self) -> Result<(SimStats, Option<CycleLog>), SimError> {
-        let budget = 64 * self.trace.len() as u64 + 100_000;
-        while self.pos < self.trace.len() || !self.window.is_empty() {
+        while self.source.cur().is_some() || !self.ctx.window.is_empty() {
             self.now += 1;
             self.complete_stage();
             self.commit_stage();
             self.issue_stage();
             self.fetch_stage();
             self.sample_stage();
-            if self.now > budget {
+            if self.source.budget_exceeded(self.now) {
                 return Err(SimError::CycleBudgetExceeded {
                     cycles: self.now,
                     retired: self.stats.committed_total,
@@ -537,6 +754,39 @@ impl<'a> Pipeline<'a> {
         self.stats.cycles = self.now;
         Ok((self.stats, self.log))
     }
+}
+
+/// Run one simulation over `source` using the reusable state in `ctx`.
+fn simulate_source<S: TraceSource>(
+    ctx: &mut SimContext,
+    infos: &[SiteInfo],
+    layout: &StaticLayout,
+    source: S,
+    scheme: Scheme,
+    cfg: &MachineConfig,
+    log_cycles: usize,
+) -> Result<(SimStats, Option<CycleLog>), SimError> {
+    ctx.prepare(cfg);
+    let pipe = Pipeline {
+        cfg,
+        infos,
+        layout,
+        source,
+        scheme,
+        now: 0,
+        head_seq: 0,
+        next_seq: 0,
+        queue_len: [0; 4],
+        unresolved_branches: 0,
+        fetch_resume: 0,
+        fetch_blocked_by: None,
+        fpdiv_free_at: 0,
+        ctx,
+        stats: SimStats::default(),
+        log: (log_cycles > 0).then(|| CycleLog::new(log_cycles)),
+        cycle_rec: CycleRecord::default(),
+    };
+    pipe.run_logged()
 }
 
 /// Simulate a pre-recorded trace under `scheme` on `cfg`.
@@ -550,6 +800,20 @@ pub fn simulate_trace(
     simulate_trace_logged(prog, layout, trace, scheme, cfg, 0).map(|(s, _)| s)
 }
 
+/// Like [`simulate_trace`], but reusing the allocations in `ctx` (caches,
+/// BHT, BTB, window scratch) instead of constructing fresh state.
+pub fn simulate_trace_in(
+    ctx: &mut SimContext,
+    prog: &Program,
+    layout: &StaticLayout,
+    trace: &[TraceEntry],
+    scheme: Scheme,
+    cfg: &MachineConfig,
+) -> Result<SimStats, SimError> {
+    let infos = build_site_infos(prog, layout);
+    simulate_source(ctx, &infos, layout, SliceSource::new(trace), scheme, cfg, 0).map(|(s, _)| s)
+}
+
 /// Like [`simulate_trace`], but also records a per-cycle activity log of up
 /// to `log_cycles` cycles (0 disables logging).
 pub fn simulate_trace_logged(
@@ -561,32 +825,16 @@ pub fn simulate_trace_logged(
     log_cycles: usize,
 ) -> Result<(SimStats, Option<CycleLog>), SimError> {
     let infos = build_site_infos(prog, layout);
-    let pipe = Pipeline {
-        cfg,
-        infos: &infos,
+    let mut ctx = SimContext::new(cfg);
+    simulate_source(
+        &mut ctx,
+        &infos,
         layout,
-        trace,
+        SliceSource::new(trace),
         scheme,
-        now: 0,
-        pos: 0,
-        window: VecDeque::with_capacity(cfg.rob_size),
-        head_seq: 0,
-        next_seq: 0,
-        queue_len: [0; 4],
-        reg_writer: vec![None; Reg::DENSE_COUNT],
-        unresolved_branches: 0,
-        fetch_resume: 0,
-        fetch_blocked_by: None,
-        fpdiv_free_at: 0,
-        bht: TwoBitTable::new(cfg.bht_entries),
-        btb: Btb::new(cfg.btb_sets),
-        icache: Cache::new(cfg.icache.0, cfg.icache.1, cfg.icache.2),
-        dcache: Cache::new(cfg.dcache.0, cfg.dcache.1, cfg.dcache.2),
-        stats: SimStats::default(),
-        log: (log_cycles > 0).then(|| CycleLog::new(log_cycles)),
-        cycle_rec: CycleRecord::default(),
-    };
-    pipe.run_logged()
+        cfg,
+        log_cycles,
+    )
 }
 
 /// Run `prog` functionally, then simulate its trace.  Returns the timing
@@ -600,6 +848,57 @@ pub fn simulate_program(
     let (layout, trace, res) = guardspec_interp::trace::trace_program(prog)?;
     let stats = simulate_trace(prog, &layout, &trace, scheme, cfg)?;
     Ok((stats, res))
+}
+
+/// Like [`simulate_program`], but the interpreter streams the trace over a
+/// bounded channel to the pipeline running on this thread, so the two
+/// phases overlap and the trace is never materialized in full.  Produces
+/// exactly the stats of the two-phase path.
+pub fn simulate_program_streamed(
+    prog: &Program,
+    scheme: Scheme,
+    cfg: &MachineConfig,
+) -> Result<(SimStats, guardspec_interp::ExecResult), Box<dyn std::error::Error>> {
+    let mut ctx = SimContext::new(cfg);
+    simulate_program_streamed_in(&mut ctx, prog, scheme, cfg)
+}
+
+/// [`simulate_program_streamed`] with caller-owned reusable state.
+pub fn simulate_program_streamed_in(
+    ctx: &mut SimContext,
+    prog: &Program,
+    scheme: Scheme,
+    cfg: &MachineConfig,
+) -> Result<(SimStats, guardspec_interp::ExecResult), Box<dyn std::error::Error>> {
+    let layout = StaticLayout::build(prog);
+    let infos = build_site_infos(prog, &layout);
+    let (writer, reader) = guardspec_interp::stream::trace_channel();
+    let (sim, exec) = std::thread::scope(|s| {
+        let producer = s.spawn(|| {
+            let mut obs = StreamObserver::new(&layout, writer);
+            let res = guardspec_interp::Interp::new(prog).run_with(&mut obs);
+            if res.is_ok() {
+                obs.finish();
+            }
+            // On error the writer is dropped unflushed, which closes the
+            // channel; the truncated simulation result is discarded below.
+            res
+        });
+        let sim = simulate_source(
+            ctx,
+            &infos,
+            &layout,
+            StreamSource::new(reader),
+            scheme,
+            cfg,
+            0,
+        );
+        let exec = producer.join().expect("trace producer panicked");
+        (sim, exec)
+    });
+    let exec = exec?;
+    let (stats, _) = sim?;
+    Ok((stats, exec))
 }
 
 #[cfg(test)]
@@ -810,6 +1109,61 @@ mod tests {
         // Something must have flowed through the integer queue.
         assert!(stats.queue_occupancy_sum[QueueKind::Integer.index()] > 0);
         assert!(stats.rs_full_pct(QueueKind::Integer) <= 100.0);
+    }
+
+    #[test]
+    fn streamed_stats_match_materialized_for_every_scheme() {
+        let prog = count_loop(1000);
+        let cfg = MachineConfig::r10000();
+        for scheme in [Scheme::TwoBit, Scheme::Proposed, Scheme::Perfect] {
+            let (mat, mat_res) = simulate_program(&prog, scheme, &cfg).expect("materialized");
+            let (str_, str_res) = simulate_program_streamed(&prog, scheme, &cfg).expect("streamed");
+            assert_eq!(mat, str_, "stats diverge under {scheme:?}");
+            assert_eq!(mat_res.summary.retired, str_res.summary.retired);
+        }
+    }
+
+    #[test]
+    fn reused_context_matches_fresh_state() {
+        // One SimContext reused across programs and schemes must reproduce
+        // the fresh-construction results exactly (reset leaves no residue).
+        let progs = [count_loop(300), count_loop(1000)];
+        let cfg = MachineConfig::r10000();
+        let mut ctx = SimContext::new(&cfg);
+        for _round in 0..2 {
+            for prog in &progs {
+                for scheme in [Scheme::TwoBit, Scheme::Perfect] {
+                    let layout = StaticLayout::build(prog);
+                    let (_, trace, _) =
+                        guardspec_interp::trace::trace_program(prog).expect("trace");
+                    let fresh = simulate_trace(prog, &layout, &trace, scheme, &cfg).expect("sim");
+                    let reused = simulate_trace_in(&mut ctx, prog, &layout, &trace, scheme, &cfg)
+                        .expect("sim");
+                    assert_eq!(fresh, reused, "context reuse diverged under {scheme:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn context_reshapes_across_configs() {
+        // Reuse the same context under a different machine geometry: prepare
+        // must rebuild what changed and results must match fresh state.
+        let prog = count_loop(400);
+        let layout = StaticLayout::build(&prog);
+        let (_, trace, _) = guardspec_interp::trace::trace_program(&prog).expect("trace");
+        let big = MachineConfig::r10000();
+        let mut small = MachineConfig::r10000();
+        small.bht_entries = 64;
+        small.icache = (4 * 1024, 32, 2);
+        small.dcache = (4 * 1024, 32, 2);
+        let mut ctx = SimContext::new(&big);
+        for cfg in [&big, &small, &big] {
+            let fresh = simulate_trace(&prog, &layout, &trace, Scheme::TwoBit, cfg).expect("sim");
+            let reused = simulate_trace_in(&mut ctx, &prog, &layout, &trace, Scheme::TwoBit, cfg)
+                .expect("sim");
+            assert_eq!(fresh, reused, "reshape diverged");
+        }
     }
 }
 

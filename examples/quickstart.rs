@@ -45,7 +45,7 @@ fn main() {
     // 1. Profile: collect per-branch outcome bit vectors.
     let (profile, exec) = profile_program(&program).expect("profile run");
     println!("profiled {} dynamic instructions", exec.summary.retired);
-    for (site, bp) in &profile.branches {
+    for (site, bp) in profile.branches() {
         println!(
             "  branch at block {:>2}: executed {:>4}, taken rate {:.2}",
             site.block.0,

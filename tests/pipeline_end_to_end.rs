@@ -102,8 +102,8 @@ fn profiles_are_deterministic() {
     let (p2, _) = profile_program(&w.program).unwrap();
     assert_eq!(p1.retired, p2.retired);
     assert_eq!(p1.site_counts, p2.site_counts);
-    for (site, b1) in &p1.branches {
-        let b2 = p2.branch(*site).unwrap();
+    for (site, b1) in p1.branches() {
+        let b2 = p2.branch(site).unwrap();
         assert_eq!(b1.taken, b2.taken);
         assert_eq!(b1.outcomes, b2.outcomes);
     }
