@@ -11,7 +11,7 @@
 
 use crate::cfg::Cfg;
 use crate::regset::RegSet;
-use guardspec_ir::{BlockId, Function, Reg};
+use guardspec_ir::{BlockId, Function, Opcode, Reg};
 
 /// Liveness facts for one function.
 #[derive(Clone, Debug)]
@@ -34,6 +34,13 @@ impl Liveness {
         for (id, b) in f.iter_blocks() {
             let (g, k) = (&mut gen[id.index()], &mut kill[id.index()]);
             for insn in &b.insns {
+                // A call transfers control to a callee operating on the SAME
+                // architectural register file, so it may read any register:
+                // everything not yet killed in this block is upward-exposed.
+                // (Callee writes are possible but not guaranteed — no kill.)
+                if matches!(insn.op, Opcode::Call { .. }) {
+                    g.union_without(&RegSet::all(), k);
+                }
                 for u in insn.uses() {
                     if !k.contains(u) && !u.is_int_zero() {
                         g.insert(u);
@@ -119,6 +126,9 @@ impl Liveness {
                 if insn.guard.is_none() {
                     live.remove(d);
                 }
+            }
+            if matches!(insn.op, Opcode::Call { .. }) {
+                live.union_with(&RegSet::all());
             }
             for u in insn.uses() {
                 if !u.is_int_zero() {
@@ -240,6 +250,36 @@ mod tests {
         let l1 = lv.live_before(&f, b, 1);
         assert!(l1.contains(r(1).into()));
         assert!(!l1.contains(r(2).into()));
+    }
+
+    /// Distilled from a fuzzer-found miscompile
+    /// (tests/corpus/speculate-call-liveness.case): a register that looks
+    /// dead on a path is still observable by a callee on that path, so a
+    /// call must count as a use of every register (callees share the
+    /// architectural register file).
+    #[test]
+    fn call_makes_all_registers_live() {
+        let mut fb = FuncBuilder::new("c");
+        fb.block("a");
+        fb.push(Opcode::Call {
+            func: guardspec_ir::FuncId(0),
+        });
+        fb.block("b");
+        fb.lw(r(13), r(0), 0); // r13 redefined before any local use
+        fb.sw(r(13), r(0), 1);
+        fb.halt();
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let a = guardspec_ir::BlockId(0);
+        // Without the call, r13 would be dead into `a`; the callee may read it.
+        assert!(lv.is_live_in(a, r(13).into()));
+        assert!(!lv.is_live_in(a, r(0).into()), "r0 stays non-live");
+        // live_before the call sees everything; after it only real uses.
+        assert!(lv.live_before(&f, a, 0).contains(r(13).into()));
+        assert!(!lv
+            .live_before(&f, guardspec_ir::BlockId(1), 1)
+            .contains(r(5).into()));
     }
 
     #[test]

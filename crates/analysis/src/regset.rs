@@ -15,6 +15,29 @@ impl RegSet {
         RegSet { bits: [0; WORDS] }
     }
 
+    /// The set of every register except `r0` (which is hardwired zero).
+    pub fn all() -> RegSet {
+        let mut s = RegSet::new();
+        for w in s.bits.iter_mut() {
+            *w = u64::MAX;
+        }
+        let spare = WORDS * 64 - Reg::DENSE_COUNT;
+        s.bits[WORDS - 1] >>= spare;
+        s.bits[0] &= !1; // r0 has dense index 0
+        s
+    }
+
+    /// `self |= other - removed`; returns true if anything changed.
+    pub fn union_without(&mut self, other: &RegSet, removed: &RegSet) -> bool {
+        let mut changed = false;
+        for ((a, b), k) in self.bits.iter_mut().zip(&other.bits).zip(&removed.bits) {
+            let new = *a | (*b & !*k);
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
     pub fn insert(&mut self, r: Reg) -> bool {
         let i = r.dense_index();
         let (w, b) = (i / 64, i % 64);

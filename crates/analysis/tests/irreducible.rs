@@ -1,0 +1,181 @@
+//! Dominance and hammock discovery on irreducible-adjacent shapes — the
+//! cross-jump CFGs the fuzz generator emits (`ShapeParams::cross_jumps`),
+//! where an arm jumps to an *enclosing* join instead of its own, giving
+//! joins multiple unstructured entries and arms that are not single-exit.
+
+use guardspec_analysis::{find_hammocks, Cfg, DomTree};
+use guardspec_ir::builder::{single_func_program, FuncBuilder};
+use guardspec_ir::reg::r;
+use guardspec_ir::validate::assert_valid;
+use guardspec_ir::{BlockId, FuncId};
+
+/// Outer diamond whose inner arm cross-jumps straight to the *outer* join,
+/// skipping the inner join:
+///
+/// ```text
+/// head ──► inner_head ──► a ──► outer_join      (cross jump)
+///    │          │         └─X   inner_join ──► outer_join
+///    └────────────────────────────► outer_join
+/// ```
+fn cross_jump_program() -> guardspec_ir::Program {
+    let mut fb = FuncBuilder::new("xj");
+    fb.block("head"); // 0
+    fb.bgtz(r(1), "outer_join");
+    fb.block("inner_head"); // 1
+    fb.bgtz(r(2), "inner_join");
+    fb.block("a"); // 2
+    fb.addi(r(3), r(3), 1);
+    fb.jump("outer_join"); // cross jump: bypasses inner_join
+    fb.block("inner_join"); // 3
+    fb.addi(r(4), r(4), 1);
+    fb.block("outer_join"); // 4
+    fb.sw(r(3), r(0), 0);
+    fb.halt();
+    single_func_program(fb)
+}
+
+#[test]
+fn cross_jump_dominance_is_sound() {
+    let prog = cross_jump_program();
+    assert_valid(&prog);
+    let f = prog.func(FuncId(0));
+    let cfg = Cfg::build(f);
+    let dom = DomTree::dominators(&cfg);
+    let (head, inner_head, a, inner_join, outer_join) =
+        (BlockId(0), BlockId(1), BlockId(2), BlockId(3), BlockId(4));
+    // The entry dominates everything; the outer join is reachable three
+    // ways, so only the head dominates it.
+    for b in [inner_head, a, inner_join, outer_join] {
+        assert!(dom.dominates(head, b));
+    }
+    assert_eq!(dom.idom(outer_join), Some(head));
+    // The cross jump makes `a` bypass inner_join: inner_join must NOT
+    // dominate the outer join, and `a` dominates nothing but itself.
+    assert!(!dom.dominates(inner_join, outer_join));
+    assert!(!dom.dominates(a, outer_join));
+    assert!(dom.dominates(inner_head, a));
+    assert!(dom.dominates(inner_head, inner_join));
+}
+
+#[test]
+fn cross_jump_post_dominance_is_sound() {
+    let prog = cross_jump_program();
+    let f = prog.func(FuncId(0));
+    let cfg = Cfg::build(f);
+    let pdom = DomTree::post_dominators(&cfg).expect("single exit");
+    let outer_join = BlockId(4);
+    // Every path ends in the outer join: it post-dominates all blocks.
+    for b in 0..5 {
+        assert!(pdom.dominates(outer_join, BlockId(b)));
+    }
+    // inner_join does not post-dominate inner_head (the cross jump escapes).
+    assert!(!pdom.dominates(BlockId(3), BlockId(1)));
+}
+
+#[test]
+fn cross_jump_reshapes_hammock_join() {
+    let prog = cross_jump_program();
+    let f = prog.func(FuncId(0));
+    let cfg = Cfg::build(f);
+    let hs = find_hammocks(f, &cfg);
+    // The cross jump does not destroy the hammock — it re-points the join:
+    // both arms of inner_head (a, inner_join) still reconverge, but at the
+    // OUTER join.  Converting with join=outer_join is sound; converting
+    // with the structural inner_join would not be.
+    assert_eq!(hs.len(), 1, "{hs:?}");
+    assert_eq!(hs[0].head, BlockId(1));
+    assert_eq!(hs[0].join, BlockId(4), "join must be the cross-jump target");
+    // head(0) is not a hammock head: its fall path is a whole region.
+    assert!(hs.iter().all(|h| h.head != BlockId(0)));
+}
+
+/// When the cross jump skips past the reconvergence point entirely, the
+/// arms no longer share a successor and no hammock may be reported.
+#[test]
+fn cross_jump_past_join_is_not_a_hammock() {
+    let mut fb = FuncBuilder::new("xp");
+    fb.block("head"); // 0
+    fb.bgtz(r(2), "inner_join");
+    fb.block("a"); // 1
+    fb.addi(r(3), r(3), 1);
+    fb.jump("far"); // skips the join where the other arm lands
+    fb.block("inner_join"); // 2
+    fb.addi(r(4), r(4), 1);
+    fb.block("mid"); // 3
+    fb.addi(r(5), r(5), 1);
+    fb.block("far"); // 4
+    fb.sw(r(3), r(0), 0);
+    fb.halt();
+    let prog = single_func_program(fb);
+    assert_valid(&prog);
+    let f = prog.func(FuncId(0));
+    let cfg = Cfg::build(f);
+    let hs = find_hammocks(f, &cfg);
+    assert!(
+        hs.iter().all(|h| h.head != BlockId(0)),
+        "arms reconverge nowhere adjacent: {hs:?}"
+    );
+}
+
+/// Two conditionals branching into a shared tail from different places —
+/// the tail has multiple unstructured predecessors (irreducible-adjacent
+/// but still a DAG).
+#[test]
+fn shared_tail_with_multiple_entries() {
+    let mut fb = FuncBuilder::new("st");
+    fb.block("e"); // 0
+    fb.bgtz(r(1), "tail");
+    fb.block("m1"); // 1
+    fb.bgtz(r(2), "tail");
+    fb.block("m2"); // 2
+    fb.addi(r(3), r(3), 1);
+    fb.block("tail"); // 3
+    fb.sw(r(3), r(0), 0);
+    fb.halt();
+    let prog = single_func_program(fb);
+    assert_valid(&prog);
+    let f = prog.func(FuncId(0));
+    let cfg = Cfg::build(f);
+    let dom = DomTree::dominators(&cfg);
+    assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+    assert!(!dom.dominates(BlockId(1), BlockId(3)));
+    // e → {tail, m1} with m1's region falling through to tail: e heads a
+    // triangle with arm chain only if m1 is a straight arm — it is not
+    // (it branches), so no diamond/triangle at e.
+    let hs = find_hammocks(f, &cfg);
+    assert!(hs.iter().all(|h| h.head != BlockId(0)));
+    // m1 DOES head a triangle: m2 is a straight arm joining at tail.
+    assert!(hs.iter().any(|h| h.head == BlockId(1)));
+}
+
+/// A bounded loop with a second, early exit (multi-exit): dominance inside
+/// the loop body must still hold and no hammock may span the exit branch.
+#[test]
+fn multi_exit_loop_dominance() {
+    let mut fb = FuncBuilder::new("me");
+    fb.block("e"); // 0
+    fb.li(r(1), 5);
+    fb.block("head"); // 1
+    fb.subi(r(1), r(1), 1);
+    fb.bgtz(r(2), "break"); // early exit
+    fb.block("latch"); // 2
+    fb.bgtz(r(1), "head"); // backedge
+    fb.block("break"); // 3
+    fb.sw(r(1), r(0), 0);
+    fb.halt();
+    let prog = single_func_program(fb);
+    assert_valid(&prog);
+    let f = prog.func(FuncId(0));
+    let cfg = Cfg::build(f);
+    let dom = DomTree::dominators(&cfg);
+    assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+    // `break` is reachable from head and latch: idom is head.
+    assert_eq!(dom.idom(BlockId(3)), Some(BlockId(1)));
+    let pdom = DomTree::post_dominators(&cfg).expect("single exit");
+    assert!(pdom.dominates(BlockId(3), BlockId(0)));
+    // The latch does not post-dominate the head (early exit skips it).
+    assert!(!pdom.dominates(BlockId(2), BlockId(1)));
+    // The early-exit branch has a backedge-bearing "arm": not a hammock.
+    let hs = find_hammocks(f, &cfg);
+    assert!(hs.iter().all(|h| h.head != BlockId(1)), "{hs:?}");
+}

@@ -520,8 +520,8 @@ fn transform_function(
 
     // ---- Phase B: if-conversions (no block renumbering) ------------------
     {
+        let mut pool = RenamePool::for_program(prog);
         let f = prog.func_mut(fid);
-        let mut pool = RenamePool::for_function(f);
         for (site, h) in &convert_hammocks {
             if let Ok(stats) = if_convert(f, h, &mut pool, opts.max_arm_len) {
                 report.ifconversions += 1;
@@ -538,11 +538,11 @@ fn transform_function(
     // ---- Phase C: speculation (instruction inserts only) -----------------
     for (site, p) in &pendings {
         if let Pending::Speculate { head, arm, other } = p {
+            let mut pool = RenamePool::for_program(prog);
             let f = prog.func_mut(fid);
             let cfg = Cfg::build(f);
             let lv = Liveness::compute(f, &cfg);
             let live_other = *lv.live_in(*other);
-            let mut pool = RenamePool::for_function(f);
             let (stats, _remap) = speculate_into_head(
                 f,
                 *head,
@@ -591,8 +591,8 @@ fn transform_function(
     // Descending header order: inserts for high headers don't move lower ones,
     // and the cumulative remap covers what does move.
     for (&header0, (body0, entries)) in grouped.iter().rev() {
+        let mut pool = RenamePool::for_program(prog);
         let f = prog.func_mut(fid);
-        let mut pool = RenamePool::for_function(f);
         let header = cum.apply_block(BlockId(header0));
         let body: Vec<BlockId> = body0.iter().map(|&b| cum.apply_block(b)).collect();
         let specs: Vec<SplitSpec> = entries

@@ -25,6 +25,10 @@ pub enum IfConvertError {
     NoPredReg,
     /// Arm longer than the requested limit.
     ArmTooLong,
+    /// The branch tests a predicate register that an arm redefines; guarding
+    /// the arm on it would switch the guard mid-arm (found by the
+    /// differential fuzzer — see tests/corpus/ifconvert-pred-clobber.case).
+    ClobbersPredicate,
 }
 
 /// Outcome of one conversion.
@@ -43,6 +47,17 @@ pub fn can_convert(f: &Function, h: &Hammock, max_arm_len: usize) -> Result<(), 
     if !matches!(term.op, Opcode::Branch { likely: false, .. }) {
         return Err(IfConvertError::NotABranch);
     }
+    // A predicate-tested branch reuses its predicate as the guard, so the
+    // guard must stay constant across the merged arms: reject arms that
+    // write it.  (Compare branches get a fresh pool predicate, which by
+    // construction no existing instruction references.)
+    let guard_pred = match term.op {
+        Opcode::Branch {
+            cond: BranchCond::PredT(p) | BranchCond::PredF(p),
+            ..
+        } => Some(p),
+        _ => None,
+    };
     for arm in h.arm_blocks() {
         let body = f.block(arm).body();
         if body.len() > max_arm_len {
@@ -51,6 +66,11 @@ pub fn can_convert(f: &Function, h: &Hammock, max_arm_len: usize) -> Result<(), 
         for i in body {
             if !i.can_guard() || i.guard.is_some() {
                 return Err(IfConvertError::UnguardableArm);
+            }
+            if let (Some(gp), Some(guardspec_ir::Reg::Pred(d))) = (guard_pred, i.def()) {
+                if d == gp {
+                    return Err(IfConvertError::ClobbersPredicate);
+                }
             }
         }
     }
@@ -352,5 +372,58 @@ mod tests {
                 run(&conv).unwrap().machine.mem_checksum()
             );
         }
+    }
+
+    /// Distilled from a fuzzer-found miscompile
+    /// (tests/corpus/ifconvert-pred-clobber.case): when the branch tests a
+    /// predicate that the arm itself redefines, guarding the merged arm on
+    /// that predicate flips the guard mid-arm and annuls the arm's tail.
+    /// Such hammocks must be rejected, not converted.
+    #[test]
+    fn arm_redefining_branch_predicate_is_rejected() {
+        use guardspec_ir::reg::p;
+        let mut fb = FuncBuilder::new("clob");
+        fb.block("entry");
+        fb.li(r(1), 7);
+        fb.setpi(guardspec_ir::SetCond::Gt, p(1), r(1), 0);
+        fb.block("head");
+        fb.bpf(p(1), "join");
+        fb.block("arm");
+        fb.setp(guardspec_ir::SetCond::Ge, p(1), r(2), r(1));
+        fb.addi(r(2), r(2), 1);
+        fb.block("join");
+        fb.sw(r(2), r(0), 1);
+        fb.halt();
+        let prog = single_func_program(fb);
+        assert_valid(&prog);
+        let f = prog.func(FuncId(0));
+        let cfg = Cfg::build(f);
+        let hs = find_hammocks(f, &cfg);
+        assert_eq!(hs.len(), 1);
+        assert_eq!(
+            can_convert(f, &hs[0], 16),
+            Err(IfConvertError::ClobbersPredicate)
+        );
+        // A compare-tested branch gets a fresh pool predicate, so an arm
+        // writing some *other* predicate is still convertible.
+        let mut fb = FuncBuilder::new("ok");
+        fb.block("entry");
+        fb.li(r(1), 7);
+        fb.block("head");
+        fb.bgtz(r(1), "join");
+        fb.block("arm");
+        fb.setp(guardspec_ir::SetCond::Ge, p(2), r(2), r(1));
+        fb.addi(r(2), r(2), 1);
+        fb.block("join");
+        fb.sw(r(2), r(0), 1);
+        fb.halt();
+        let base = single_func_program(fb);
+        let mut conv = base.clone();
+        convert_first_hammock(&mut conv);
+        assert_valid(&conv);
+        assert_eq!(
+            run(&base).unwrap().machine.mem_checksum(),
+            run(&conv).unwrap().machine.mem_checksum()
+        );
     }
 }

@@ -2,12 +2,15 @@
 //!
 //! Software renaming "can either be from the pool of free registers (at
 //! that time) or dedicated registers" (Section 1).  We use the simplest
-//! sound pool: registers the function never references at all, drawn
+//! sound pool: registers the *program* never references at all, drawn
 //! preferentially from the non-architectural half (`r32..r63`), which the
-//! paper's compiler treats as the dedicated renaming pool.
+//! paper's compiler treats as the dedicated renaming pool.  The scan must
+//! be program-wide, not per-function, because every function executes on
+//! the same register file: a callee may read a register its caller's
+//! transform just claimed, and vice versa.
 
 use guardspec_ir::reg::{NUM_FLT_REGS, NUM_INT_REGS, NUM_PRED_REGS};
-use guardspec_ir::{FltReg, Function, IntReg, PredReg, Reg};
+use guardspec_ir::{FltReg, Function, IntReg, PredReg, Program, Reg};
 
 /// Pool of registers unreferenced anywhere in a function.
 #[derive(Clone, Debug)]
@@ -19,8 +22,33 @@ pub struct RenamePool {
 
 impl RenamePool {
     /// Scan `f` and collect every unreferenced register.
+    ///
+    /// Sound only for single-function programs: the register file is shared
+    /// across calls, so a register free in `f` may still be read by a callee
+    /// (or hold a caller's value live across the call into `f`).  Whole
+    /// programs should use [`RenamePool::for_program`].
     pub fn for_function(f: &Function) -> RenamePool {
         let mut used = [false; Reg::DENSE_COUNT];
+        Self::mark(f, &mut used);
+        Self::from_used(&used)
+    }
+
+    /// Scan *every* function of `prog` and collect registers unreferenced
+    /// anywhere.  Because all functions share one architectural register
+    /// file, a pool register written in one function is visible to its
+    /// callees and callers; drawing from the program-wide free set (and
+    /// re-scanning after earlier transforms have claimed registers) keeps
+    /// renaming sound across calls.  Found by the differential fuzzer — see
+    /// tests/corpus/renamepool-cross-call.case.
+    pub fn for_program(prog: &Program) -> RenamePool {
+        let mut used = [false; Reg::DENSE_COUNT];
+        for f in &prog.funcs {
+            Self::mark(f, &mut used);
+        }
+        Self::from_used(&used)
+    }
+
+    fn mark(f: &Function, used: &mut [bool; Reg::DENSE_COUNT]) {
         for b in &f.blocks {
             for i in &b.insns {
                 if let Some(d) = i.def() {
@@ -31,6 +59,9 @@ impl RenamePool {
                 }
             }
         }
+    }
+
+    fn from_used(used: &[bool; Reg::DENSE_COUNT]) -> RenamePool {
         // Prefer the dedicated pool r32..r63, then any unused architectural
         // register except r0.
         let mut free_int: Vec<IntReg> = (32..NUM_INT_REGS)
@@ -114,6 +145,44 @@ mod tests {
         // p1 is used; p0 and p2.. are free.
         let pr = pool.take_pred().unwrap();
         assert_ne!(pr, p(1));
+    }
+
+    #[test]
+    fn program_pool_excludes_other_functions_registers() {
+        // leaf reads p5 and r40 without ever writing them: it observes the
+        // caller's register file, so neither may be handed out as a rename
+        // register anywhere in the program.
+        let mut main = FuncBuilder::new("main");
+        main.block("e");
+        main.add(r(3), r(1), r(2));
+        main.halt();
+        let mut leaf = FuncBuilder::new("leaf");
+        leaf.block("e");
+        leaf.push_guarded(
+            guardspec_ir::Opcode::AluImm {
+                kind: guardspec_ir::insn::AluKind::Add,
+                dst: r(40),
+                a: r(40),
+                imm: 1,
+            },
+            p(5),
+            false,
+        );
+        leaf.ret();
+        let mut pb = guardspec_ir::builder::ProgramBuilder::new();
+        pb.add_func(main);
+        pb.add_func(leaf);
+        let prog = pb.finish("main");
+        let mut pool = RenamePool::for_program(&prog);
+        while let Some(ri) = pool.take_int() {
+            assert_ne!(ri.0, 40, "r40 is referenced by leaf");
+            assert!(![1u8, 2, 3].contains(&ri.0), "r{} referenced by main", ri.0);
+        }
+        let mut preds = Vec::new();
+        while let Some(pr) = pool.take_pred() {
+            preds.push(pr);
+        }
+        assert!(!preds.contains(&p(5)), "p5 is referenced by leaf");
     }
 
     #[test]

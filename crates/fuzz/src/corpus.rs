@@ -1,0 +1,195 @@
+//! Replayable case files and the persisted regression corpus.
+//!
+//! A case file is a tiny `key = value` text format (one `ShapeParams` plus a
+//! seed), because the generator is deterministic: `(params, seed)` *is* the
+//! program.  Comment lines (`#`) carry free-text context — why the case was
+//! saved, what it diverged on — and are ignored by the parser, so a fixed
+//! bug's case file keeps its original diagnosis as documentation.
+//!
+//! The corpus lives in `tests/corpus/*.case` at the repository root and is
+//! replayed by `crates/fuzz/tests/corpus_replay.rs` as part of plain
+//! `cargo test`.
+
+use crate::gen::ShapeParams;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One replayable case: a parameter point, a seed, and a human note.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Case {
+    pub params: ShapeParams,
+    pub seed: u64,
+    /// Free-text context preserved in the file's comment header.
+    pub note: String,
+}
+
+impl Case {
+    pub fn new(params: ShapeParams, seed: u64, note: impl Into<String>) -> Case {
+        Case {
+            params,
+            seed,
+            note: note.into(),
+        }
+    }
+
+    /// Serialize to the case-file text format.
+    pub fn serialize(&self) -> String {
+        let mut s = String::from("# guardspec fuzz case v1\n");
+        for line in self.note.lines() {
+            let _ = writeln!(s, "# {line}");
+        }
+        let p = &self.params;
+        let _ = writeln!(s, "seed = {}", self.seed);
+        let _ = writeln!(s, "depth = {}", p.depth);
+        let _ = writeln!(s, "stmts = {}", p.stmts);
+        let _ = writeln!(s, "regions = {}", p.regions);
+        let _ = writeln!(s, "max_trip = {}", p.max_trip);
+        let _ = writeln!(s, "mem_words = {}", p.mem_words);
+        let _ = writeln!(s, "repeat = {}", p.repeat);
+        let _ = writeln!(s, "helpers = {}", p.helpers);
+        let _ = writeln!(s, "fp = {}", p.fp);
+        let _ = writeln!(s, "cross_jumps = {}", p.cross_jumps);
+        let _ = writeln!(s, "guards = {}", p.guards);
+        s
+    }
+
+    /// Parse the case-file text format; unknown keys are errors (they mean
+    /// the format grew and this binary is stale).
+    pub fn parse(text: &str) -> Result<Case, String> {
+        let mut params = ShapeParams::minimal();
+        let mut seed: Option<u64> = None;
+        let mut note = String::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(c) = line.strip_prefix('#') {
+                let c = c.trim();
+                if ln > 0 && !c.is_empty() {
+                    if !note.is_empty() {
+                        note.push('\n');
+                    }
+                    note.push_str(c);
+                }
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", ln + 1))?;
+            let (k, v) = (k.trim(), v.trim());
+            let int = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("line {}: bad integer {v:?}", ln + 1))
+            };
+            let boolean = |v: &str| match v {
+                "true" => Ok(true),
+                "false" => Ok(false),
+                _ => Err(format!("line {}: bad bool {v:?}", ln + 1)),
+            };
+            match k {
+                "seed" => seed = Some(int(v)?),
+                "depth" => params.depth = int(v)? as u8,
+                "stmts" => params.stmts = int(v)? as u8,
+                "regions" => params.regions = int(v)? as u8,
+                "max_trip" => params.max_trip = int(v)? as u8,
+                "mem_words" => params.mem_words = int(v)? as u16,
+                "repeat" => params.repeat = int(v)? as u8,
+                "helpers" => params.helpers = int(v)? as u8,
+                "fp" => params.fp = boolean(v)?,
+                "cross_jumps" => params.cross_jumps = boolean(v)?,
+                "guards" => params.guards = boolean(v)?,
+                other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
+            }
+        }
+        Ok(Case {
+            params,
+            seed: seed.ok_or("missing `seed`")?,
+            note,
+        })
+    }
+
+    /// Load a case file.
+    pub fn load(path: &Path) -> Result<Case, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Case::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Write a case file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.serialize())
+    }
+}
+
+/// The conventional corpus directory, relative to a crate inside
+/// `crates/` (used by tests) or to the repository root (used by the bin).
+pub fn corpus_dir_from(manifest_dir: &str) -> PathBuf {
+    let m = Path::new(manifest_dir);
+    let root = if m.ends_with("crates/fuzz") {
+        m.parent().and_then(Path::parent).unwrap_or(m)
+    } else {
+        m
+    };
+    root.join("tests").join("corpus")
+}
+
+/// All `.case` files in a corpus directory, sorted by file name for
+/// deterministic replay order.  A missing directory is an empty corpus.
+pub fn list_cases(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().map(|x| x == "case").unwrap_or(false))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let c = Case::new(
+            ShapeParams {
+                depth: 2,
+                stmts: 3,
+                regions: 4,
+                max_trip: 5,
+                mem_words: 64,
+                repeat: 10,
+                helpers: 1,
+                fp: true,
+                cross_jumps: false,
+                guards: true,
+            },
+            0xdead_beef,
+            "divergence: proposed store trace mismatch\nsecond line",
+        );
+        let c2 = Case::parse(&c.serialize()).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Case::parse("seed = banana").is_err());
+        assert!(Case::parse("depth = 1").unwrap_err().contains("seed"));
+        assert!(Case::parse("seed = 1\nwut = 2").is_err());
+        assert!(Case::parse("just some words").is_err());
+    }
+
+    #[test]
+    fn corpus_dir_resolves_from_crate_and_root() {
+        let from_crate = corpus_dir_from("/repo/crates/fuzz");
+        assert_eq!(from_crate, Path::new("/repo/tests/corpus"));
+        let from_root = corpus_dir_from("/repo");
+        assert_eq!(from_root, Path::new("/repo/tests/corpus"));
+    }
+}

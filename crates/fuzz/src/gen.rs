@@ -1,0 +1,822 @@
+//! Seeded random-CFG generator.
+//!
+//! Emits arbitrary *valid* guardspec programs whose shapes — not just data —
+//! vary with the seed: nested and sequential diamonds, triangles (hammocks),
+//! bounded multi-exit loops, `jtab` switch dispatch, leaf helper calls,
+//! forward cross-jumps that break hammock structure, and hand-guarded
+//! instructions, over a bounded memory image.
+//!
+//! Design constraints the generator enforces by construction:
+//!
+//! * **Termination.** Every loop decrements a dedicated counter register
+//!   (`r20 + nesting level`) that no statement generator ever writes, and
+//!   every non-loop control transfer is forward.  Dynamic length is bounded
+//!   by `regions * max_trip^nesting * stmts`, far below interpreter fuel.
+//! * **Memory safety.** Every load/store base is masked with `andi` to
+//!   `[0, mem_words/2)` and offsets stay below `mem_words/2`, so addresses
+//!   are always in bounds — on *every* path, which also keeps speculatively
+//!   hoisted loads from trapping.
+//! * **Bounded register usage.** Only `r1..=r24`, `f1..=f6` and `p1..=p5`
+//!   are referenced, so the transform driver's rename pool (registers never
+//!   referenced in the function, preferring `r32..r63`) is never empty.
+//! * **Observable outputs.** The epilogue spills every accumulator, noise,
+//!   and scratch register the program wrote to fixed memory addresses, so
+//!   values that matter are live at `halt` and land in the final memory
+//!   image (unwritten registers cannot diverge and are skipped to keep
+//!   shrunk cases small; see
+//!   `oracle::check_equivalence` for why register files are not compared
+//!   across a transform).
+
+use guardspec_ir::builder::{FuncBuilder, ProgramBuilder};
+use guardspec_ir::insn::{AluKind, Opcode, SetCond};
+use guardspec_ir::reg::{f, p, r, FltReg, IntReg, PredReg};
+use guardspec_ir::{Program, Reg};
+use rand::prelude::*;
+
+/// Shape parameters: everything about a case except its data seed.  Each
+/// field is independently shrinkable toward its minimum (see `crate::shrink`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShapeParams {
+    /// Maximum region-nesting depth (0 = straight-line only).
+    pub depth: u8,
+    /// Straight-line statements per emitted batch (1..).
+    pub stmts: u8,
+    /// Top-level regions in `main` (1..).
+    pub regions: u8,
+    /// Loop trip counts are drawn from `2..=max_trip` (min 2).
+    pub max_trip: u8,
+    /// Memory image size in words; rounded up to a power of two (min 32).
+    pub mem_words: u16,
+    /// Whole-body outer-loop repetitions (min 1).  Drives per-branch dynamic
+    /// counts high enough for the profile-feedback classifiers (segmentation
+    /// windows are 16 outcomes) to actually fire.
+    pub repeat: u8,
+    /// Leaf helper functions callable from statement position (0..=3).
+    pub helpers: u8,
+    /// Emit floating-point statements.
+    pub fp: bool,
+    /// Allow arms to jump to an *enclosing* join label instead of their own
+    /// (produces non-hammock, "irreducible-adjacent" shapes).
+    pub cross_jumps: bool,
+    /// Emit hand-guarded (predicated) statements, including guarded stores.
+    pub guards: bool,
+}
+
+impl ShapeParams {
+    /// The smallest interesting configuration (shrinking floor).
+    pub fn minimal() -> ShapeParams {
+        ShapeParams {
+            depth: 0,
+            stmts: 1,
+            regions: 1,
+            max_trip: 2,
+            mem_words: 16,
+            repeat: 1,
+            helpers: 0,
+            fp: false,
+            cross_jumps: false,
+            guards: false,
+        }
+    }
+
+    /// Draw a random parameter point (shape variation across cases).
+    pub fn sample(rng: &mut SmallRng) -> ShapeParams {
+        ShapeParams {
+            depth: rng.gen_range(0..=3u8),
+            stmts: rng.gen_range(1..=5u8),
+            regions: rng.gen_range(1..=6u8),
+            max_trip: rng.gen_range(2..=7u8),
+            mem_words: 1 << rng.gen_range(5..=7u8), // 32..=128
+            repeat: match rng.gen_range(0..4u8) {
+                0 => 1,
+                1 => rng.gen_range(2..=8u8),
+                2 => rng.gen_range(9..=32u8),
+                _ => rng.gen_range(33..=96u8),
+            },
+            helpers: rng.gen_range(0..=2u8),
+            fp: rng.gen_bool(0.4),
+            cross_jumps: rng.gen_bool(0.3),
+            guards: rng.gen_bool(0.5),
+        }
+    }
+
+    /// Effective memory size: power of two, and at least 32 words so the
+    /// epilogue's spill area (22 words with fp on) always fits.
+    fn mem_pow2(&self) -> u64 {
+        self.mem_words.max(32).next_power_of_two() as u64
+    }
+}
+
+// Register conventions (see module docs).
+const SCRATCH: core::ops::RangeInclusive<u8> = 1..=12;
+const ACCUM: core::ops::RangeInclusive<u8> = 13..=15;
+const NOISE: u8 = 16;
+const ADDR: u8 = 17;
+const COUNTER_BASE: u8 = 20; // r20..r22: loop counters by nesting level
+const MAX_LOOP_NEST: u8 = 3;
+const REPEAT: u8 = 24; // r24: whole-body outer-loop counter
+
+struct Gen {
+    rng: SmallRng,
+    params: ShapeParams,
+    next_label: u32,
+    /// Join labels of enclosing regions, innermost last (cross-jump targets).
+    pending_joins: Vec<String>,
+    helper_names: Vec<String>,
+    mask: i64,
+    max_off: i64,
+}
+
+impl Gen {
+    fn label(&mut self, tag: &str) -> String {
+        self.next_label += 1;
+        format!("{tag}{}", self.next_label)
+    }
+
+    fn scratch(&mut self) -> IntReg {
+        r(self.rng.gen_range(*SCRATCH.start()..=*SCRATCH.end()))
+    }
+
+    fn accum(&mut self) -> IntReg {
+        r(self.rng.gen_range(*ACCUM.start()..=*ACCUM.end()))
+    }
+
+    /// Any readable int register (scratch, accumulator, noise, or r0).
+    fn source(&mut self) -> IntReg {
+        match self.rng.gen_range(0..8u8) {
+            0 => r(0),
+            1..=4 => self.scratch(),
+            5..=6 => self.accum(),
+            _ => r(NOISE),
+        }
+    }
+
+    fn pred(&mut self) -> PredReg {
+        p(self.rng.gen_range(1..=5u8))
+    }
+
+    fn flt(&mut self) -> FltReg {
+        f(self.rng.gen_range(1..=6u8))
+    }
+
+    /// Stir the noise register: a full-period odd-multiplier LCG step plus a
+    /// data-dependent xor, so branch conditions keep flipping.
+    fn stir(&mut self, fb: &mut FuncBuilder) {
+        let odd = (self.rng.gen_range(0..1i64 << 31) << 1) | 1;
+        fb.muli(r(NOISE), r(NOISE), odd);
+        match self.rng.gen_range(0..3u8) {
+            0 => {
+                fb.xori(r(NOISE), r(NOISE), self.rng.gen_range(0..1i64 << 16));
+            }
+            1 => {
+                let s = self.scratch();
+                fb.xor(r(NOISE), r(NOISE), s);
+            }
+            _ => {
+                fb.addi(r(NOISE), r(NOISE), self.rng.gen_range(1..255i64));
+            }
+        }
+    }
+
+    /// Materialize an in-bounds address in `ADDR` and pick a safe offset.
+    fn address(&mut self, fb: &mut FuncBuilder) -> i64 {
+        let base = self.source();
+        fb.andi(r(ADDR), base, self.mask);
+        self.rng.gen_range(0..self.max_off)
+    }
+
+    /// One straight-line statement.
+    fn stmt(&mut self, fb: &mut FuncBuilder) {
+        let choice = self.rng.gen_range(0..100u8);
+        match choice {
+            0..=29 => {
+                // Integer ALU, register or immediate form.
+                let kinds = [
+                    AluKind::Add,
+                    AluKind::Sub,
+                    AluKind::And,
+                    AluKind::Or,
+                    AluKind::Xor,
+                    AluKind::Nor,
+                    AluKind::Slt,
+                    AluKind::Sltu,
+                    AluKind::Mul,
+                ];
+                let kind = kinds[self.rng.gen_range(0..kinds.len())];
+                let dst = if self.rng.gen_bool(0.4) {
+                    self.accum()
+                } else {
+                    self.scratch()
+                };
+                let a = self.source();
+                if self.rng.gen_bool(0.5) {
+                    let b = self.source();
+                    fb.alu(kind, dst, a, b);
+                } else {
+                    fb.alui(kind, dst, a, self.rng.gen_range(-64..64i64));
+                }
+            }
+            30..=37 => {
+                // Shifts (bounded amounts).
+                let dst = self.scratch();
+                let a = self.source();
+                let sh = self.rng.gen_range(0..16u8);
+                match self.rng.gen_range(0..4u8) {
+                    0 => fb.sll(dst, a, sh),
+                    1 => fb.srl(dst, a, sh),
+                    2 => fb.sra(dst, a, sh),
+                    _ => {
+                        // Variable shift: mask the amount so it stays small.
+                        fb.andi(r(ADDR), self.source(), 15);
+                        fb.sllv(dst, a, r(ADDR))
+                    }
+                };
+            }
+            38..=45 => {
+                let dst = self.scratch();
+                fb.li(dst, self.rng.gen_range(-1000..1000i64));
+            }
+            46..=60 => {
+                // Load.
+                let off = self.address(fb);
+                let dst = if self.rng.gen_bool(0.3) {
+                    self.accum()
+                } else {
+                    self.scratch()
+                };
+                fb.lw(dst, r(ADDR), off);
+            }
+            61..=75 => {
+                // Store — possibly guarded.
+                let off = self.address(fb);
+                let src = self.source();
+                if self.params.guards && self.rng.gen_bool(0.3) {
+                    let pr = self.pred();
+                    let expect = self.rng.gen_bool(0.5);
+                    fb.setpi(self.setcond(), pr, self.source(), self.small_imm());
+                    fb.push_guarded(
+                        Opcode::Store {
+                            src,
+                            base: r(ADDR),
+                            off,
+                        },
+                        pr,
+                        expect,
+                    );
+                } else {
+                    fb.sw(src, r(ADDR), off);
+                }
+            }
+            76..=83 => {
+                // Predicate dataflow.
+                let pr = self.pred();
+                match self.rng.gen_range(0..4u8) {
+                    0 => {
+                        let a = self.source();
+                        let b = self.source();
+                        fb.setp(self.setcond(), pr, a, b);
+                    }
+                    1 => {
+                        let a = self.source();
+                        let imm = self.small_imm();
+                        fb.setpi(self.setcond(), pr, a, imm);
+                    }
+                    2 => {
+                        let (a, b) = (self.pred(), self.pred());
+                        if self.rng.gen_bool(0.5) {
+                            fb.pand(pr, a, b);
+                        } else {
+                            fb.por(pr, a, b);
+                        }
+                    }
+                    _ => {
+                        let src = self.pred();
+                        fb.pnot(pr, src);
+                    }
+                };
+            }
+            84..=91 => {
+                if self.params.guards {
+                    // Guarded ALU / cmov.
+                    let pr = self.pred();
+                    let expect = self.rng.gen_bool(0.5);
+                    let dst = self.scratch();
+                    let a = self.source();
+                    if self.rng.gen_bool(0.5) {
+                        fb.cmov(dst, a, pr, expect);
+                    } else {
+                        fb.push_guarded(
+                            Opcode::AluImm {
+                                kind: AluKind::Add,
+                                dst,
+                                a,
+                                imm: self.rng.gen_range(-32..32i64),
+                            },
+                            pr,
+                            expect,
+                        );
+                    }
+                } else {
+                    let dst = self.scratch();
+                    let src = self.source();
+                    fb.mov(dst, src);
+                }
+            }
+            _ => {
+                if self.params.fp {
+                    self.fp_stmt(fb);
+                } else {
+                    self.stir(fb);
+                }
+            }
+        }
+    }
+
+    fn fp_stmt(&mut self, fb: &mut FuncBuilder) {
+        match self.rng.gen_range(0..6u8) {
+            0 => {
+                let d = self.flt();
+                let s = self.source();
+                fb.itof(d, s);
+            }
+            1 => {
+                let (d, a, b) = (self.flt(), self.flt(), self.flt());
+                if self.rng.gen_bool(0.5) {
+                    fb.fadd(d, a, b);
+                } else {
+                    fb.fmul(d, a, b);
+                }
+            }
+            2 => {
+                let (d, a, b) = (self.flt(), self.flt(), self.flt());
+                fb.fsub(d, a, b);
+            }
+            3 => {
+                let off = self.address(fb);
+                let d = self.flt();
+                fb.flw(d, r(ADDR), off);
+            }
+            4 => {
+                let off = self.address(fb);
+                let s = self.flt();
+                fb.fsw(s, r(ADDR), off);
+            }
+            _ => {
+                // FtoI on possibly-huge floats is still deterministic
+                // (saturating cast), but keep magnitudes tame anyway.
+                let d = self.scratch();
+                let s = self.flt();
+                fb.ftoi(d, s);
+            }
+        }
+    }
+
+    fn setcond(&mut self) -> SetCond {
+        let conds = [
+            SetCond::Eq,
+            SetCond::Ne,
+            SetCond::Lt,
+            SetCond::Le,
+            SetCond::Gt,
+            SetCond::Ge,
+        ];
+        conds[self.rng.gen_range(0..conds.len())]
+    }
+
+    fn small_imm(&mut self) -> i64 {
+        self.rng.gen_range(-16..16i64)
+    }
+
+    /// A batch of `stmts` statements with a noise stir mixed in.
+    fn stmt_batch(&mut self, fb: &mut FuncBuilder) {
+        let n = self.rng.gen_range(1..=self.params.stmts.max(1));
+        for _ in 0..n {
+            self.stmt(fb);
+        }
+        self.stir(fb);
+    }
+
+    /// Emit a conditional branch to `target` with a data-dependent outcome.
+    /// `loop_nest > 0` enables counter-phase conditions.
+    fn cond_branch(&mut self, fb: &mut FuncBuilder, target: &str, loop_nest: u8) {
+        let likely = self.rng.gen_bool(0.25);
+        match self.rng.gen_range(0..6u8) {
+            0 => {
+                // Low bit of the noise register.
+                fb.andi(r(ADDR), r(NOISE), self.rng.gen_range(1..8i64));
+                if likely {
+                    fb.bnel(r(ADDR), r(0), target);
+                } else {
+                    fb.bne(r(ADDR), r(0), target);
+                }
+            }
+            1 if loop_nest > 0 => {
+                // Phase of the innermost loop counter.
+                let c = r(COUNTER_BASE + loop_nest - 1);
+                let k = self
+                    .rng
+                    .gen_range(1..i64::from(self.params.max_trip.max(2)));
+                fb.slti(r(ADDR), c, k);
+                if likely {
+                    fb.beql(r(ADDR), r(0), target);
+                } else {
+                    fb.beq(r(ADDR), r(0), target);
+                }
+            }
+            2 => {
+                // Predicate branch.
+                let pr = self.pred();
+                fb.setpi(self.setcond(), pr, self.source(), self.small_imm());
+                match (self.rng.gen_bool(0.5), likely) {
+                    (true, false) => fb.bpt(pr, target),
+                    (true, true) => fb.bptl(pr, target),
+                    (false, false) => fb.bpf(pr, target),
+                    (false, true) => fb.bpfl(pr, target),
+                };
+            }
+            3 => {
+                // Sign tests on a scratch value.
+                let a = self.scratch();
+                match (self.rng.gen_range(0..4u8), likely) {
+                    (0, false) => fb.blez(a, target),
+                    (0, true) => fb.blezl(a, target),
+                    (1, false) => fb.bgtz(a, target),
+                    (1, true) => fb.bgtzl(a, target),
+                    (2, false) => fb.bltz(a, target),
+                    (2, true) => fb.bltzl(a, target),
+                    (_, false) => fb.bgez(a, target),
+                    (_, true) => fb.bgezl(a, target),
+                };
+            }
+            4 => {
+                // Register compare.
+                let (a, b) = (self.source(), self.source());
+                if likely {
+                    fb.beql(a, b, target);
+                } else {
+                    fb.beq(a, b, target);
+                }
+            }
+            _ => {
+                // Strongly biased: almost never taken (exercises the
+                // likely/if-convert classifiers' monotone paths).
+                fb.slti(r(ADDR), r(0), 1); // always 1
+                if likely {
+                    fb.beql(r(ADDR), r(0), target);
+                } else {
+                    fb.beq(r(ADDR), r(0), target);
+                }
+            }
+        }
+    }
+
+    /// Close an arm: usually fall/jump to `join`, sometimes cross-jump to an
+    /// enclosing join (breaking the hammock shape).
+    fn close_arm(&mut self, fb: &mut FuncBuilder, join: &str) {
+        if self.params.cross_jumps && !self.pending_joins.is_empty() && self.rng.gen_bool(0.2) {
+            let i = self.rng.gen_range(0..self.pending_joins.len());
+            let target = self.pending_joins[i].clone();
+            fb.jump(&target);
+        } else {
+            fb.jump(join);
+        }
+    }
+
+    /// Emit one region. `depth` limits further nesting, `loop_nest` counts
+    /// enclosing loops (for counter-register assignment).
+    fn region(&mut self, fb: &mut FuncBuilder, depth: u8, loop_nest: u8) {
+        let kind_max = if depth == 0 { 1 } else { 10 };
+        match self.rng.gen_range(0..kind_max) {
+            0 => self.stmt_batch(fb),
+            1..=3 => self.diamond(fb, depth, loop_nest),
+            4..=5 => self.triangle(fb, depth, loop_nest),
+            6..=8 if loop_nest < MAX_LOOP_NEST => self.bounded_loop(fb, depth, loop_nest),
+            _ => self.switch(fb, depth, loop_nest),
+        }
+        // Occasionally call a leaf helper after the region.
+        if !self.helper_names.is_empty() && self.rng.gen_bool(0.15) {
+            let i = self.rng.gen_range(0..self.helper_names.len());
+            let name = self.helper_names[i].clone();
+            fb.call(&name);
+        }
+    }
+
+    fn diamond(&mut self, fb: &mut FuncBuilder, depth: u8, loop_nest: u8) {
+        let then_l = self.label("then");
+        let else_l = self.label("else");
+        let join_l = self.label("join");
+        self.cond_branch(fb, &else_l, loop_nest);
+        // then-arm (fall through)
+        fb.block(&then_l);
+        self.pending_joins.push(join_l.clone());
+        self.arm(fb, depth, loop_nest);
+        self.pending_joins.pop();
+        self.close_arm(fb, &join_l);
+        fb.block(&else_l);
+        self.pending_joins.push(join_l.clone());
+        self.arm(fb, depth, loop_nest);
+        self.pending_joins.pop();
+        fb.block(&join_l);
+    }
+
+    /// Triangle: branch either skips the arm (TriangleFall) or jumps to it
+    /// (TriangleTaken-like, via an inverted layout).
+    fn triangle(&mut self, fb: &mut FuncBuilder, depth: u8, loop_nest: u8) {
+        let arm_l = self.label("tarm");
+        let join_l = self.label("tjoin");
+        self.cond_branch(fb, &join_l, loop_nest);
+        fb.block(&arm_l);
+        self.pending_joins.push(join_l.clone());
+        self.arm(fb, depth, loop_nest);
+        self.pending_joins.pop();
+        fb.block(&join_l);
+    }
+
+    /// Arm body: statements, possibly a nested region.
+    fn arm(&mut self, fb: &mut FuncBuilder, depth: u8, loop_nest: u8) {
+        self.stmt_batch(fb);
+        if depth > 0 && self.rng.gen_bool(0.5) {
+            self.region(fb, depth - 1, loop_nest);
+        }
+    }
+
+    fn bounded_loop(&mut self, fb: &mut FuncBuilder, depth: u8, loop_nest: u8) {
+        let head_l = self.label("head");
+        let break_l = self.label("brk");
+        let c = r(COUNTER_BASE + loop_nest);
+        let trip = self
+            .rng
+            .gen_range(2..=i64::from(self.params.max_trip.max(2)));
+        fb.li(c, trip);
+        fb.block(&head_l);
+        // Body.
+        self.pending_joins.push(break_l.clone());
+        if depth > 0 && self.rng.gen_bool(0.6) {
+            self.region(fb, depth - 1, loop_nest + 1);
+        } else {
+            self.stmt_batch(fb);
+        }
+        // Optional early exit (multi-exit loop).
+        if self.rng.gen_bool(0.4) {
+            self.cond_branch(fb, &break_l, loop_nest + 1);
+            // Blocks must end at control; continue in a fresh block.
+            let cont = self.label("cont");
+            fb.block(&cont);
+        }
+        self.pending_joins.pop();
+        // Backedge.
+        fb.subi(c, c, 1);
+        if self.rng.gen_bool(0.3) {
+            fb.bne(c, r(0), &head_l);
+        } else {
+            fb.bgtz(c, &head_l);
+        }
+        fb.block(&break_l);
+    }
+
+    fn switch(&mut self, fb: &mut FuncBuilder, depth: u8, loop_nest: u8) {
+        let n = if self.rng.gen_bool(0.5) { 2usize } else { 4 };
+        let join_l = self.label("sjoin");
+        let cases: Vec<String> = (0..n).map(|_| self.label("case")).collect();
+        fb.andi(r(ADDR), r(NOISE), n as i64 - 1);
+        let refs: Vec<&str> = cases.iter().map(|s| s.as_str()).collect();
+        fb.jtab(r(ADDR), &refs);
+        for (i, c) in cases.iter().enumerate() {
+            fb.block(c);
+            self.pending_joins.push(join_l.clone());
+            if depth > 0 && self.rng.gen_bool(0.3) {
+                self.region(fb, depth - 1, loop_nest);
+            } else {
+                self.stmt_batch(fb);
+            }
+            self.pending_joins.pop();
+            if i + 1 < n {
+                self.close_arm(fb, &join_l);
+            }
+            // Last case falls through to the join.
+        }
+        fb.block(&join_l);
+    }
+
+    /// A leaf helper: straight-line / diamond body over scratch registers,
+    /// no loops, no calls.  Clobbers scratch like any callee here would.
+    fn helper(&mut self, name: &str) -> FuncBuilder {
+        let mut fb = FuncBuilder::new(name);
+        fb.block("entry");
+        self.stmt_batch(&mut fb);
+        if self.rng.gen_bool(0.6) {
+            let arm = self.label("harm");
+            let join = self.label("hjoin");
+            self.cond_branch(&mut fb, &join, 0);
+            fb.block(&arm);
+            self.stmt_batch(&mut fb);
+            fb.block(&join);
+        }
+        self.stmt_batch(&mut fb);
+        fb.ret();
+        fb
+    }
+}
+
+/// Emit the body of `main`: the top-level regions, wrapped in the outer
+/// repeat loop (its counter r24 is disjoint from the nested-loop counters
+/// r20..r22, so every loop stays independently bounded).  Called twice per
+/// program — once as a dry run to learn which registers the body touches,
+/// once for real — so it must be a pure function of the `Gen` state.
+fn emit_body(g: &mut Gen, fb: &mut FuncBuilder) {
+    let params = g.params;
+    let repeat = i64::from(params.repeat.max(1));
+    if repeat > 1 {
+        fb.li(r(REPEAT), repeat);
+        fb.block("rep");
+    }
+    for _ in 0..params.regions.max(1) {
+        g.region(fb, params.depth, 0);
+    }
+    if repeat > 1 {
+        fb.subi(r(REPEAT), r(REPEAT), 1);
+        fb.bgtz(r(REPEAT), "rep");
+    }
+}
+
+/// Generate a program from a parameter point and a data seed.  Deterministic:
+/// equal inputs produce identical programs.
+pub fn generate(params: &ShapeParams, seed: u64) -> Program {
+    let mem = params.mem_pow2();
+    let mask = (mem / 2 - 1) as i64;
+    let max_off = (mem / 2) as i64;
+    let mut g = Gen {
+        rng: SmallRng::seed_from_u64(seed),
+        params: *params,
+        next_label: 0,
+        pending_joins: Vec::new(),
+        helper_names: Vec::new(),
+        mask,
+        max_off,
+    };
+
+    let mut pb = ProgramBuilder::new();
+    pb.mem_words(mem);
+    // Preload a few data words so first loads see varied values.
+    for a in 0..(mem / 4).min(16) {
+        let v = g.rng.gen_range(-5000..5000i64);
+        pb.data_word(a, v);
+    }
+
+    // Helpers first (so main can call them by name).  Keep a copy of their
+    // instructions for the epilogue's written-register scan below.
+    let mut helper_insns = Vec::new();
+    for i in 0..params.helpers.min(3) {
+        let name = format!("leaf{i}");
+        let fb = g.helper(&name);
+        helper_insns.extend(fb.insns().cloned());
+        g.helper_names.push(name);
+        pb.add_func(fb);
+    }
+
+    // Dry-run the body with a *cloned* RNG to learn which registers it (and
+    // the helpers, which share the register file) will touch, so the
+    // prologue can seed exactly those.  The real pass below replays the
+    // same RNG stream, so both passes emit identical bodies.
+    let body_rng = g.rng.clone();
+    let body_labels = g.next_label;
+    let mut dry = FuncBuilder::new("dry");
+    emit_body(&mut g, &mut dry);
+    let (mut int_used, mut flt_used) = (0u64, 0u64);
+    for i in dry.insns().chain(helper_insns.iter()) {
+        for u in i.uses() {
+            match u {
+                Reg::Int(x) => int_used |= 1 << x.0,
+                Reg::Flt(x) => flt_used |= 1 << x.0,
+                _ => {}
+            }
+        }
+    }
+    g.rng = body_rng;
+    g.next_label = body_labels;
+    g.pending_joins.clear();
+
+    // The fp prologue feeds f1/f2 from r1/r2, so those count as read.
+    let fp_init = params.fp && flt_used != 0;
+    if fp_init {
+        int_used |= 0b110;
+    }
+
+    let mut fb = FuncBuilder::new("main");
+    fb.block("entry");
+    // Prologue: seed the working registers the body reads from immediates
+    // and memory.  Draws come from a separate RNG stream so the init-set
+    // size cannot perturb the body's stream (which must match the dry run).
+    let mut prng = SmallRng::seed_from_u64(seed ^ 0x7072_6f6c_6f67_7565);
+    for a in *ACCUM.start()..=*ACCUM.end() {
+        if int_used & (1 << a) != 0 {
+            fb.li(r(a), prng.gen_range(-100..100i64));
+        }
+    }
+    if int_used & (1 << NOISE) != 0 {
+        fb.li(r(NOISE), prng.gen_range(1..1i64 << 20) | 1);
+    }
+    for s in 1..=4u8 {
+        if int_used & (1 << s) == 0 {
+            continue;
+        }
+        if prng.gen_bool(0.7) {
+            fb.lw(r(s), r(0), prng.gen_range(0..(mem / 4).min(16)) as i64);
+        } else {
+            fb.li(r(s), prng.gen_range(-64..64i64));
+        }
+    }
+    if fp_init {
+        for i in 1..=2u8 {
+            fb.itof(f(i), r(i));
+        }
+    }
+
+    emit_body(&mut g, &mut fb);
+
+    // Epilogue: spill every observable register the program (including its
+    // helpers, which share the register file) actually wrote, at fixed
+    // addresses, then halt.  Spilling only written registers keeps shrunk
+    // cases small; unwritten registers cannot diverge.
+    let (mut int_written, mut flt_written) = (0u64, 0u64);
+    for i in fb.insns().chain(helper_insns.iter()) {
+        match i.def() {
+            Some(Reg::Int(d)) => int_written |= 1 << d.0,
+            Some(Reg::Flt(d)) => flt_written |= 1 << d.0,
+            _ => {}
+        }
+    }
+    fb.block("out");
+    let mut addr = 0i64;
+    for a in (*ACCUM.start()..=*ACCUM.end())
+        .chain([NOISE])
+        .chain(*SCRATCH.start()..=*SCRATCH.end())
+    {
+        if int_written & (1 << a) != 0 {
+            fb.sw(r(a), r(0), addr);
+            addr += 1;
+        }
+    }
+    if params.fp {
+        for i in 1..=6u8 {
+            if flt_written & (1 << i) != 0 {
+                fb.fsw(f(i), r(0), addr);
+                addr += 1;
+            }
+        }
+    }
+    fb.halt();
+    pb.add_func(fb);
+    pb.finish("main")
+}
+
+/// Static instruction count (for shrink reporting and corpus size limits).
+pub fn static_len(prog: &Program) -> usize {
+    prog.funcs
+        .iter()
+        .map(|f| f.blocks.iter().map(|b| b.insns.len()).sum::<usize>())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_ir::validate::validate;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let params = ShapeParams::sample(&mut rng);
+            let seed = rng.gen_range(0..u64::MAX);
+            let a = generate(&params, seed);
+            let b = generate(&params, seed);
+            assert_eq!(a.to_string(), b.to_string());
+        }
+    }
+
+    #[test]
+    fn minimal_params_generate_small_valid_programs() {
+        for seed in 0..50u64 {
+            let prog = generate(&ShapeParams::minimal(), seed);
+            assert!(validate(&prog).is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sampled_shapes_are_valid_and_terminate() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for i in 0..100 {
+            let params = ShapeParams::sample(&mut rng);
+            let seed = rng.gen_range(0..u64::MAX);
+            let prog = generate(&params, seed);
+            let errs = validate(&prog);
+            assert!(errs.is_empty(), "case {i} params {params:?}: {errs:?}");
+            let res = guardspec_interp::Interp::new(&prog)
+                .with_fuel(2_000_000)
+                .run_with(&mut ())
+                .unwrap_or_else(|e| panic!("case {i} params {params:?} seed {seed}: {e}"));
+            assert!(res.summary.retired > 0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Replay every persisted corpus case through the full differential oracle.
+//!
+//! Each `tests/corpus/*.case` file at the repository root is a regression:
+//! either a shrunk reproducer for a fixed miscompile, or a seed case pinning
+//! generator coverage.  All of them must run divergence-free.
+
+use guardspec_fuzz::{corpus_dir_from, list_cases, run_case, Case, Thoroughness};
+
+#[test]
+fn corpus_replays_clean() {
+    let dir = corpus_dir_from(env!("CARGO_MANIFEST_DIR"));
+    let cases = list_cases(&dir);
+    assert!(
+        !cases.is_empty(),
+        "empty corpus at {} — the repo ships seed cases",
+        dir.display()
+    );
+    let mut failures = Vec::new();
+    for path in &cases {
+        let case = Case::load(path).unwrap_or_else(|e| panic!("{e}"));
+        let res = run_case(&case.params, case.seed, Thoroughness::Full);
+        if !res.ok() {
+            let details: Vec<String> = res
+                .findings
+                .iter()
+                .map(|f| format!("[{}] {}", f.variant, f.detail))
+                .collect();
+            failures.push(format!("{}:\n  {}", path.display(), details.join("\n  ")));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus case(s) diverged:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

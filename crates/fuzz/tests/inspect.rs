@@ -1,0 +1,65 @@
+//! Manual debugging aid: dump a corpus case's original and transformed
+//! programs plus any memory / store-trace diffs.
+//!
+//! ```text
+//! GUARDSPEC_CASE=tests/corpus/foo.case GUARDSPEC_VARIANT=proposed \
+//!   cargo test -p guardspec-fuzz --test inspect -- --ignored --nocapture
+//! ```
+
+use guardspec_core::{transform_program, DriverOptions};
+use guardspec_fuzz::{behavior_of, corpus_dir_from, generate, run_case, Case, Thoroughness};
+use guardspec_interp::profile::profile_program;
+
+#[test]
+#[ignore]
+fn dump_case() {
+    let Some(name) = std::env::var_os("GUARDSPEC_CASE") else {
+        eprintln!("set GUARDSPEC_CASE to a .case path (absolute, or relative to tests/corpus)");
+        return;
+    };
+    let mut path = std::path::PathBuf::from(&name);
+    if !path.exists() {
+        path = corpus_dir_from(env!("CARGO_MANIFEST_DIR")).join(&name);
+    }
+    let case = Case::load(&path).unwrap_or_else(|e| panic!("{e}"));
+    let prog = generate(&case.params, case.seed);
+    eprintln!("==== ORIGINAL ====\n{prog}");
+
+    let variant = std::env::var("GUARDSPEC_VARIANT").unwrap_or_else(|_| "proposed".into());
+    let opts = match variant.as_str() {
+        "proposed" => DriverOptions::proposed(),
+        "conventional" => DriverOptions::conventional(),
+        "speculation_only" => DriverOptions::speculation_only(),
+        "guarded_only" => DriverOptions::guarded_only(),
+        other => panic!("unknown GUARDSPEC_VARIANT {other:?}"),
+    };
+    let (profile, _) = profile_program(&prog).unwrap();
+    let mut xf_prog = prog.clone();
+    let report = transform_program(&mut xf_prog, &profile, &opts);
+    eprintln!("==== TRANSFORMED ({variant}) ====\n{xf_prog}");
+    eprintln!("report: {report:?}");
+
+    let orig = behavior_of(&prog).unwrap();
+    match behavior_of(&xf_prog) {
+        Err(e) => eprintln!("transformed program traps: {e:?}"),
+        Ok(xf) => {
+            for (i, (a, b)) in orig.mem.iter().zip(&xf.mem).enumerate() {
+                if a != b {
+                    eprintln!("mem[{i}]: orig {a} xf {b}");
+                }
+            }
+            for i in 0..orig.stores.len().max(xf.stores.len()) {
+                let (a, b) = (orig.stores.get(i), xf.stores.get(i));
+                if a != b {
+                    eprintln!("store #{i}: orig {a:?} xf {b:?}");
+                }
+            }
+        }
+    }
+
+    let res = run_case(&case.params, case.seed, Thoroughness::Full);
+    for f in &res.findings {
+        eprintln!("[{}] {}", f.variant, f.detail);
+    }
+    eprintln!("ok = {}", res.ok());
+}

@@ -16,6 +16,10 @@ pub struct RetireEvent {
     pub target_block: Option<BlockId>,
     /// Effective word address for memory operations.
     pub mem_addr: Option<i64>,
+    /// Word written to memory, for (non-annulled) stores.  Float stores
+    /// report the IEEE bit pattern.  Lets an observer reconstruct the
+    /// committed-store trace without shadowing the memory image.
+    pub store_value: Option<i64>,
     /// Guard predicate evaluated false: the instruction was fetched and
     /// issued but its result was annulled.
     pub annulled: bool,
@@ -193,6 +197,7 @@ impl<'p> Interp<'p> {
                         taken: None,
                         target_block: None,
                         mem_addr: None,
+                        store_value: None,
                         annulled,
                     },
                 );
@@ -205,6 +210,7 @@ impl<'p> Interp<'p> {
                 taken: None,
                 target_block: None,
                 mem_addr: None,
+                store_value: None,
                 annulled,
             };
 
@@ -243,6 +249,7 @@ impl<'p> Interp<'p> {
                     let addr = m.get_int(*base) + off;
                     ev.mem_addr = Some(addr);
                     let v = m.get_int(*src);
+                    ev.store_value = Some(v);
                     if !m.store(addr, v) {
                         return Err(ExecError::MemOutOfBounds { site, addr });
                     }
@@ -274,6 +281,7 @@ impl<'p> Interp<'p> {
                     let addr = m.get_int(*base) + off;
                     ev.mem_addr = Some(addr);
                     let v = m.get_flt(*src).to_bits() as i64;
+                    ev.store_value = Some(v);
                     if !m.store(addr, v) {
                         return Err(ExecError::MemOutOfBounds { site, addr });
                     }
@@ -620,6 +628,44 @@ mod tests {
         let prog = single_func_program(fb);
         let res = run(&prog).expect("runs");
         assert_eq!(res.machine.get_int(r(2)), 81);
+    }
+
+    #[test]
+    fn observer_sees_store_values_except_annulled() {
+        struct Stores(Vec<(i64, i64)>);
+        impl Observer for Stores {
+            fn on_retire(&mut self, _i: &Instruction, ev: &RetireEvent) {
+                if let (Some(a), Some(v)) = (ev.mem_addr, ev.store_value) {
+                    assert!(!ev.annulled, "annulled stores must not report a value");
+                    self.0.push((a, v));
+                }
+            }
+        }
+        let mut fb = FuncBuilder::new("s");
+        fb.block("e");
+        fb.li(r(1), 3);
+        fb.setpi(SetCond::Gt, p(1), r(1), 0); // true
+        fb.sw(r(1), r(0), 4);
+        fb.push_guarded(
+            guardspec_ir::Opcode::Store {
+                src: r(1),
+                base: r(0),
+                off: 5,
+            },
+            p(1),
+            false, // guard false: annulled, must not appear in the trace
+        );
+        fb.itof(guardspec_ir::reg::f(1), r(1));
+        fb.fsw(guardspec_ir::reg::f(1), r(0), 6);
+        fb.halt();
+        let prog = single_func_program(fb);
+        let mut s = Stores(Vec::new());
+        Interp::new(&prog).run_with(&mut s).expect("runs");
+        assert_eq!(
+            s.0,
+            vec![(4, 3), (6, 3.0f64.to_bits() as i64)],
+            "committed stores only, float stores as bit patterns"
+        );
     }
 
     #[test]

@@ -219,6 +219,7 @@ mod tests {
                 taken: None,
                 target_block: None,
                 mem_addr: None,
+                store_value: None,
                 annulled: false,
             },
         )

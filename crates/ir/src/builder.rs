@@ -60,6 +60,12 @@ impl FuncBuilder {
         self.func.blocks.last_mut().expect("block started")
     }
 
+    /// Iterate the instructions appended so far, in block order.  Useful for
+    /// generators that adapt later code to what earlier code touched.
+    pub fn insns(&self) -> impl Iterator<Item = &Instruction> {
+        self.func.blocks.iter().flat_map(|b| b.insns.iter())
+    }
+
     /// Append an already-formed instruction.
     pub fn push(&mut self, i: impl Into<Instruction>) -> &mut Self {
         self.cur().insns.push(i.into());
@@ -121,6 +127,18 @@ impl FuncBuilder {
     pub fn slti(&mut self, dst: IntReg, a: IntReg, imm: i64) -> &mut Self {
         self.alui(AluKind::Slt, dst, a, imm)
     }
+    pub fn sltu(&mut self, dst: IntReg, a: IntReg, b: IntReg) -> &mut Self {
+        self.alu(AluKind::Sltu, dst, a, b)
+    }
+    pub fn sltui(&mut self, dst: IntReg, a: IntReg, imm: i64) -> &mut Self {
+        self.alui(AluKind::Sltu, dst, a, imm)
+    }
+    pub fn nor(&mut self, dst: IntReg, a: IntReg, b: IntReg) -> &mut Self {
+        self.alu(AluKind::Nor, dst, a, b)
+    }
+    pub fn muli(&mut self, dst: IntReg, a: IntReg, imm: i64) -> &mut Self {
+        self.alui(AluKind::Mul, dst, a, imm)
+    }
     pub fn li(&mut self, dst: IntReg, imm: i64) -> &mut Self {
         self.push(Opcode::Li { dst, imm })
     }
@@ -162,6 +180,14 @@ impl FuncBuilder {
     pub fn srlv(&mut self, dst: IntReg, a: IntReg, b: IntReg) -> &mut Self {
         self.push(Opcode::Shift {
             kind: ShiftKind::Srl,
+            dst,
+            a,
+            b,
+        })
+    }
+    pub fn srav(&mut self, dst: IntReg, a: IntReg, b: IntReg) -> &mut Self {
+        self.push(Opcode::Shift {
+            kind: ShiftKind::Sra,
             dst,
             a,
             b,
@@ -210,6 +236,17 @@ impl FuncBuilder {
             a,
             b,
         })
+    }
+    pub fn fsqrt(&mut self, dst: FltReg, a: FltReg) -> &mut Self {
+        self.push(Opcode::FAlu {
+            kind: FAluKind::Sqrt,
+            dst,
+            a,
+            b: a,
+        })
+    }
+    pub fn fmov(&mut self, dst: FltReg, src: FltReg) -> &mut Self {
+        self.push(Opcode::FMov { dst, src })
     }
     pub fn flw(&mut self, dst: FltReg, base: IntReg, off: i64) -> &mut Self {
         self.push(Opcode::FLoad { dst, base, off })
@@ -309,6 +346,18 @@ impl FuncBuilder {
     }
     pub fn bpfl(&mut self, p: PredReg, label: &str) -> &mut Self {
         self.branch_fix(BranchCond::PredF(p), label, true)
+    }
+    pub fn blezl(&mut self, a: IntReg, label: &str) -> &mut Self {
+        self.branch_fix(BranchCond::Lez(a), label, true)
+    }
+    pub fn bgtzl(&mut self, a: IntReg, label: &str) -> &mut Self {
+        self.branch_fix(BranchCond::Gtz(a), label, true)
+    }
+    pub fn bltzl(&mut self, a: IntReg, label: &str) -> &mut Self {
+        self.branch_fix(BranchCond::Ltz(a), label, true)
+    }
+    pub fn bgezl(&mut self, a: IntReg, label: &str) -> &mut Self {
+        self.branch_fix(BranchCond::Gez(a), label, true)
     }
 
     pub fn jump(&mut self, label: &str) -> &mut Self {

@@ -28,6 +28,10 @@ cmp /tmp/ci_t3_stream.txt /tmp/ci_t3_nostream.txt
 cargo run --release -p guardspec-bench --bin hotloop -- --scale test > /dev/null
 test -s results/BENCH_2.json
 
+echo "== fuzz smoke (200 differential cases, fixed seed) =="
+# Deterministic: fails (exit 1) on any transform-equivalence divergence.
+cargo run --release -p guardspec-fuzz --bin fuzz -- --cases 200 --seed 7
+
 echo "== criterion benches (test mode: one pass, no measurement loops) =="
 cargo test --release -p guardspec-bench --benches -q
 

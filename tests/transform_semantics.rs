@@ -1,12 +1,15 @@
 //! Property-based semantics preservation: random programs through every
-//! transform must compute the same memory image.
+//! transform must exhibit the same observable behavior — final memory image
+//! *and* committed-store trace — as judged by the differential oracle's
+//! equivalence checker ([`guardspec_fuzz::check_equivalence`]), so this test
+//! and the fuzzer share one definition of "same behavior".
 
 use guardspec::core::{transform_program, DriverOptions};
 use guardspec::interp::profile::profile_program;
-use guardspec::interp::{run, Interp};
 use guardspec::ir::builder::*;
 use guardspec::ir::reg::r;
 use guardspec::ir::validate::assert_valid;
+use guardspec_fuzz::{behavior_of, check_equivalence};
 use proptest::prelude::*;
 
 /// Build a randomized two-diamond loop program from a parameter tuple.
@@ -74,24 +77,26 @@ proptest! {
         let phase_split = iters * split_frac / 100;
         let prog = build_program(iters, phase_split, arm_ops, mask, seed);
         assert_valid(&prog);
-        let base = run(&prog).unwrap().machine;
+        let base = behavior_of(&prog).unwrap();
         let (profile, _) = profile_program(&prog).unwrap();
-        for opts in [
-            DriverOptions::conventional(),
-            DriverOptions::speculation_only(),
-            DriverOptions::guarded_only(),
-            DriverOptions::proposed(),
+        for (name, opts) in [
+            ("conventional", DriverOptions::conventional()),
+            ("speculation_only", DriverOptions::speculation_only()),
+            ("guarded_only", DriverOptions::guarded_only()),
+            ("proposed", DriverOptions::proposed()),
         ] {
             let mut p = prog.clone();
             transform_program(&mut p, &profile, &opts);
             assert_valid(&p);
-            let got = Interp::new(&p).run_with(&mut ()).unwrap().machine;
-            prop_assert_eq!(
-                base.mem_checksum(),
-                got.mem_checksum(),
-                "mem diverged (iters={}, split={}, arms={}, mask={}, seed={})",
-                iters, phase_split, arm_ops, mask, seed
-            );
+            // Oracle equivalence: final memory AND committed-store trace.
+            let got = behavior_of(&p).unwrap();
+            if let Err(detail) = check_equivalence(&base, &got) {
+                prop_assert!(
+                    false,
+                    "[{}] {} (iters={}, split={}, arms={}, mask={}, seed={})",
+                    name, detail, iters, phase_split, arm_ops, mask, seed
+                );
+            }
         }
     }
 
@@ -109,8 +114,11 @@ proptest! {
         let mut p = build_program(iters, profile_iters / 2, 2, 1, seed);
         transform_program(&mut p, &profile, &DriverOptions::proposed());
         assert_valid(&p);
-        let want = run(&build_program(iters, profile_iters / 2, 2, 1, seed)).unwrap().machine;
-        let got = run(&p).unwrap().machine;
-        prop_assert_eq!(want.mem_checksum(), got.mem_checksum());
+        let want = behavior_of(&build_program(iters, profile_iters / 2, 2, 1, seed)).unwrap();
+        let got = behavior_of(&p).unwrap();
+        if let Err(detail) = check_equivalence(&want, &got) {
+            prop_assert!(false, "{} (iters={}, profile_iters={}, seed={})",
+                detail, iters, profile_iters, seed);
+        }
     }
 }
