@@ -1,0 +1,84 @@
+//! Trace fan-out microbenchmarks: binary trace codec encode/decode
+//! throughput, and the broadcast (SPMC) trace ring against the
+//! single-consumer (SPSC) configuration it generalizes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use guardspec_interp::trace::trace_program;
+use guardspec_interp::{broadcast_channel, trace_channel, tracefile, TraceEntry};
+use guardspec_workloads::Scale;
+
+fn entries() -> (guardspec_interp::StaticLayout, Vec<TraceEntry>) {
+    let w = guardspec_workloads::grep::build(Scale::Test);
+    let (layout, trace, _) = trace_program(&w.program).unwrap();
+    (layout, trace)
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let (layout, trace) = entries();
+    let blob = tracefile::encode(&layout, trace.iter(), 42);
+    let mut g = c.benchmark_group("tracefile");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| std::hint::black_box(tracefile::encode(&layout, trace.iter(), 42)))
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| std::hint::black_box(tracefile::decode(&blob).unwrap()))
+    });
+    g.finish();
+    eprintln!(
+        "[tracefan] blob: {} entries -> {} bytes ({:.2} bytes/entry)",
+        trace.len(),
+        blob.len(),
+        blob.len() as f64 / trace.len() as f64
+    );
+}
+
+/// Push the whole trace through a ring and drain it from `readers`
+/// consumer threads, recycling chunk buffers like the simulator does.
+fn pump(trace: &[TraceEntry], consumers: usize) -> u64 {
+    let (mut writer, readers) = if consumers == 1 {
+        let (w, r) = trace_channel();
+        (w, vec![r])
+    } else {
+        broadcast_channel(consumers)
+    };
+    std::thread::scope(|s| {
+        let handles: Vec<_> = readers
+            .into_iter()
+            .map(|r| {
+                s.spawn(move || {
+                    let mut n = 0u64;
+                    while let Some(chunk) = r.recv() {
+                        n += chunk.len() as u64;
+                        r.recycle(chunk);
+                    }
+                    n
+                })
+            })
+            .collect();
+        for &e in trace {
+            writer.push(e);
+        }
+        writer.finish();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let (_, trace) = entries();
+    let mut g = c.benchmark_group("trace_ring");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for consumers in [1usize, 2, 4] {
+        g.bench_function(&format!("consumers_{consumers}"), |b| {
+            b.iter(|| {
+                let n = pump(&trace, consumers);
+                assert_eq!(n, trace.len() as u64 * consumers as u64);
+                std::hint::black_box(n)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(tracefan, bench_codec, bench_ring);
+criterion_main!(tracefan);

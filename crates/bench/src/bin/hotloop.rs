@@ -97,10 +97,14 @@ fn main() {
     // Cold on purpose (no cache): measure the compute, not the cache.
     // Both pipelines are measured regardless of --no-stream so the artifact
     // always carries the full before/after picture.
+    // Fan-out is disabled so the stream/no-stream comparison keeps its
+    // historical meaning (one interpretation per cell, either pipeline).
     let opts = |stream| RunOptions {
         jobs: args.jobs,
         cache_dir: None,
         stream,
+        fanout: false,
+        ..RunOptions::default()
     };
     let materialized = measure(&spec, &opts(false), reps, "no-stream");
     let streamed = measure(&spec, &opts(true), reps, "streamed");

@@ -1,0 +1,313 @@
+//! `tracefan` — before/after evidence for the trace-once/simulate-many
+//! fan-out and the persistent binary trace cache.
+//!
+//! The workload is a machine-config sweep (the shape DESIGN.md §5 sweeps
+//! and the CI ablations actually run): per workload, eight `MachineConfig`
+//! variants simulate the untransformed program and four more simulate the
+//! proposed-transform program — twelve sim cells over two distinct
+//! programs.  That is exactly the shape the fan-out targets: the per-cell
+//! pipeline re-interprets the program for every config point, the fan-out
+//! pipeline interprets each distinct program once and broadcasts the
+//! trace.
+//!
+//! Three paths are measured:
+//!
+//! * **before** — fan-out disabled, cache disabled: the historical
+//!   pipeline, one interpretation per cell, every stage recomputed;
+//! * **cold fan-out** — fan-out on, a fresh scratch trace cache per rep:
+//!   exactly one interpretation per *distinct program*, blobs recorded;
+//! * **warm fan-out** — rerun against the cold rep's cache: zero
+//!   interpretations, every trace replayed from its blob.
+//!
+//! Asserts the structural claims (interpretation counts, warm
+//! `trace.cached`, byte-identical stable artifacts across all three
+//! paths) and writes `results/BENCH_10.json` comparing wall clocks.  The
+//! file is overwritten on purpose: it is the PR's before/after evidence,
+//! not a per-run log.
+
+use guardspec_bench::harness_args;
+use guardspec_core::DriverOptions;
+use guardspec_harness::{
+    key, run_experiment, stable_json, write_json_file, ExperimentResult, ExperimentSpec, Json,
+    RunOptions,
+};
+use guardspec_predict::Scheme;
+use guardspec_sim::MachineConfig;
+use guardspec_workloads::Scale;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("guardspec-tracefan-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Eight distinct config points over the untransformed program: the
+/// R10000 baseline plus front-end depth, BHT size, and window sweeps.
+/// (Depth 2 / BHT 512 are the baseline values, so the variants below are
+/// pairwise distinct — no two cells share a sim cache key.)
+fn base_configs() -> Vec<(String, MachineConfig)> {
+    let mut v = vec![("base".to_string(), MachineConfig::r10000())];
+    for depth in [0u64, 1, 4] {
+        let mut cfg = MachineConfig::r10000();
+        cfg.frontend_depth = depth;
+        v.push((format!("depth={depth}"), cfg));
+    }
+    for bht in [128usize, 2048] {
+        let mut cfg = MachineConfig::r10000();
+        cfg.bht_entries = bht;
+        v.push((format!("bht={bht}"), cfg));
+    }
+    for rob in [16usize, 64] {
+        let mut cfg = MachineConfig::r10000();
+        cfg.rob_size = rob;
+        v.push((format!("rob={rob}"), cfg));
+    }
+    v
+}
+
+/// Four config points over the proposed-transform program.  All four
+/// cells share one transform and (under fan-out) one trace.
+fn proposed_configs() -> Vec<(String, MachineConfig)> {
+    base_configs()
+        .into_iter()
+        .filter(|(l, _)| matches!(l.as_str(), "base" | "depth=0" | "depth=4" | "bht=128"))
+        .collect()
+}
+
+/// The config-sweep experiment: 12 sim cells per workload over 2 distinct
+/// programs (8 untransformed + 4 proposed-transform points).
+fn sweep_spec(scale: Scale) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::profiles_only("tracefan", scale);
+    for w in 0..spec.workloads.len() {
+        for (label, cfg) in base_configs() {
+            spec.push_cell(w, format!("twobit/{label}"), None, Scheme::TwoBit, cfg);
+        }
+        for (label, cfg) in proposed_configs() {
+            spec.push_cell(
+                w,
+                format!("proposed/{label}"),
+                Some(DriverOptions::proposed()),
+                Scheme::Proposed,
+                cfg,
+            );
+        }
+    }
+    spec
+}
+
+/// One distinct program per workload any untransformed cell uses, plus one
+/// per distinct (workload, transform options) pair — the number of
+/// interpretations a cold fan-out run is allowed.
+fn distinct_programs(spec: &ExperimentSpec) -> u64 {
+    let bases = spec
+        .workloads
+        .iter()
+        .enumerate()
+        .filter(|(wi, _)| {
+            spec.cells
+                .iter()
+                .any(|c| c.workload == *wi && c.transform.is_none())
+        })
+        .count();
+    let transforms: HashSet<(usize, String)> = spec
+        .cells
+        .iter()
+        .filter_map(|c| {
+            c.transform
+                .as_ref()
+                .map(|o| (c.workload, key::describe_options(o)))
+        })
+        .collect();
+    (bases + transforms.len()) as u64
+}
+
+struct Measured {
+    wall: Vec<f64>,
+    interpretations: Vec<u64>,
+    stable: String,
+}
+
+fn summarize(tag: &str, runs: Vec<ExperimentResult>) -> Measured {
+    let stable = stable_json(&runs[0]).to_pretty();
+    for r in &runs {
+        assert_eq!(
+            stable_json(r).to_pretty(),
+            stable,
+            "{tag}: stable artifact varies across reps"
+        );
+    }
+    let m = Measured {
+        wall: runs.iter().map(|r| r.wall_ms).collect(),
+        interpretations: runs.iter().map(|r| r.interpretations).collect(),
+        stable,
+    };
+    for (i, r) in runs.iter().enumerate() {
+        eprintln!(
+            "[tracefan] {tag} rep {}/{}: wall {:.1} ms, {} interpretations",
+            i + 1,
+            runs.len(),
+            r.wall_ms,
+            r.interpretations
+        );
+    }
+    m
+}
+
+fn measured_json(m: &Measured) -> Json {
+    Json::obj(vec![
+        (
+            "wall_ms",
+            Json::Arr(m.wall.iter().map(|&x| Json::F64(x)).collect()),
+        ),
+        ("wall_ms_mean", Json::F64(mean(&m.wall))),
+        (
+            "interpretations",
+            Json::Arr(m.interpretations.iter().map(|&x| Json::U64(x)).collect()),
+        ),
+    ])
+}
+
+fn main() {
+    let args = harness_args();
+    let reps = if args.scale == Scale::Test { 1 } else { 3 };
+    let spec = sweep_spec(args.scale);
+    let programs = distinct_programs(&spec);
+    let cells = spec.cells.len() as u64;
+
+    // Before: the historical per-cell pipeline, cache fully disabled so
+    // the comparison measures compute, not cache temperature.
+    let before = summarize(
+        "before (no-fanout)",
+        (0..reps)
+            .map(|_| {
+                let r = run_experiment(
+                    &spec,
+                    &RunOptions {
+                        jobs: args.jobs,
+                        cache_dir: None,
+                        fanout: false,
+                        ..RunOptions::default()
+                    },
+                );
+                assert_eq!(r.cache_hits + r.cache_misses, 0, "cache must be disabled");
+                // One profile interpretation per workload plus one trace
+                // interpretation per cell — the O(cells) cost being removed.
+                assert_eq!(
+                    r.interpretations,
+                    spec.workloads.len() as u64 + cells,
+                    "per-cell path interprets once per workload and once per cell"
+                );
+                r
+            })
+            .collect(),
+    );
+
+    // Cold fan-out: fresh trace cache each rep; warm fan-out: rerun
+    // against the last cold rep's cache.
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let opts_in = |dir: &Path| RunOptions {
+        jobs: args.jobs,
+        cache_dir: Some(dir.to_path_buf()),
+        ..RunOptions::default()
+    };
+    let cold = summarize(
+        "cold fan-out",
+        (0..reps)
+            .map(|rep| {
+                let dir = scratch(&format!("cold{rep}"));
+                let r = run_experiment(&spec, &opts_in(&dir));
+                assert_eq!(
+                    r.interpretations, programs,
+                    "cold fan-out interprets once per distinct program"
+                );
+                dirs.push(dir);
+                r
+            })
+            .collect(),
+    );
+    let warm = summarize(
+        "warm fan-out",
+        (0..reps)
+            .map(|rep| {
+                let r = run_experiment(&spec, &opts_in(&dirs[rep]));
+                assert_eq!(r.interpretations, 0, "warm fan-out must not interpret");
+                assert!(
+                    r.cells
+                        .iter()
+                        .all(|c| c.trace_timing.is_some_and(|t| t.cached)),
+                    "warm cells must report trace.cached = true"
+                );
+                r
+            })
+            .collect(),
+    );
+    for d in &dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    assert_eq!(before.stable, cold.stable, "fan-out changed the science");
+    assert_eq!(cold.stable, warm.stable, "blob replay changed the science");
+    eprintln!("[tracefan] stable artifacts byte-identical across all three paths");
+
+    let cold_speedup = mean(&before.wall) / mean(&cold.wall);
+    let warm_speedup = mean(&before.wall) / mean(&warm.wall);
+    println!(
+        "{:<22} {:>10} {:>8}   (scale {:?}, jobs {}, {} cells, {} distinct programs)",
+        "path", "wall/ms", "speedup", args.scale, args.jobs, cells, programs
+    );
+    for (tag, m, s) in [
+        ("before (no-fanout)", &before, 1.0),
+        ("cold fan-out", &cold, cold_speedup),
+        ("warm fan-out", &warm, warm_speedup),
+    ] {
+        println!("{tag:<22} {:>10.1} {s:>7.2}x", mean(&m.wall));
+    }
+
+    let json = Json::obj(vec![
+        (
+            "meta",
+            Json::obj(vec![
+                ("bench", Json::str("tracefan")),
+                (
+                    "spec",
+                    Json::str("config sweep: 8 baseline + 4 proposed points per workload"),
+                ),
+                ("scale", Json::str(format!("{:?}", args.scale))),
+                ("jobs", Json::U64(args.jobs as u64)),
+                ("reps", Json::U64(reps as u64)),
+                ("cells", Json::U64(cells)),
+                ("distinct_programs", Json::U64(programs)),
+                ("stable_artifacts_identical_across_paths", Json::Bool(true)),
+            ]),
+        ),
+        (
+            "paths",
+            Json::obj(vec![
+                ("before_no_fanout", measured_json(&before)),
+                ("cold_fanout", measured_json(&cold)),
+                ("warm_fanout", measured_json(&warm)),
+            ]),
+        ),
+        (
+            "speedup_vs_before",
+            Json::obj(vec![
+                ("cold_fanout", Json::F64(cold_speedup)),
+                ("warm_fanout", Json::F64(warm_speedup)),
+            ]),
+        ),
+    ]);
+    let path = Path::new(guardspec_harness::DEFAULT_RESULTS_DIR).join("BENCH_10.json");
+    match write_json_file(&path, &json) {
+        Ok(()) => eprintln!("[artifact] {}", path.display()),
+        Err(e) => {
+            eprintln!("[artifact] {} write failed: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

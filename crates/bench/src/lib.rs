@@ -29,7 +29,13 @@
 //!   `<path>`.
 //! * `--no-stream` — disable the streaming trace pipeline and simulate
 //!   each cell from a fully materialized trace on one thread (same
-//!   results; preferable on single-core machines).
+//!   results; preferable on single-core machines; only affects
+//!   `--no-fanout` runs).
+//! * `--no-fanout` — interpret once per cell (the historical pipeline)
+//!   instead of tracing each distinct program once and sharing the trace
+//!   across all its cells.  Same results, more interpreter work.
+//! * `--no-trace-cache` — do not persist/reuse binary trace blobs
+//!   (`trace-<digest>.bin`) in the results cache; every run re-interprets.
 //!
 //! ## Results cache and artifacts
 //!
@@ -68,6 +74,9 @@ pub fn run_options(args: &HarnessArgs) -> RunOptions {
         jobs: args.jobs,
         cache_dir: Some(guardspec_harness::DEFAULT_CACHE_DIR.into()),
         stream: !args.no_stream,
+        fanout: !args.no_fanout,
+        trace_cache: !args.no_trace_cache,
+        ..RunOptions::default()
     }
 }
 

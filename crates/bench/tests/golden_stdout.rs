@@ -1,10 +1,11 @@
 //! Golden stdout: the table binaries must print byte-identical tables no
-//! matter how the work is scheduled — serial, work-stealing, streamed, or
-//! single-threaded materialized traces.  Each invocation gets a fresh
-//! scratch working directory, so every run is cold and its cache/artifact
-//! side effects stay out of the repo.
+//! matter how the work is scheduled — serial, work-stealing, streamed,
+//! single-threaded materialized traces, trace fan-out on or off, and cold
+//! or warm trace/stage caches.  Each cold invocation gets a fresh scratch
+//! working directory, so its cache/artifact side effects stay out of the
+//! repo; warm invocations deliberately rerun in the same directory.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn scratch(tag: &str) -> PathBuf {
@@ -14,12 +15,11 @@ fn scratch(tag: &str) -> PathBuf {
     d
 }
 
-/// Run `bin` with `args` in a fresh scratch dir; return its stdout bytes.
-fn run(bin: &str, args: &[&str], tag: &str) -> Vec<u8> {
-    let dir = scratch(tag);
+/// Run `bin` with `args` in `dir`; return its stdout bytes.
+fn run_in(bin: &str, args: &[&str], dir: &Path) -> Vec<u8> {
     let out = Command::new(bin)
         .args(args)
-        .current_dir(&dir)
+        .current_dir(dir)
         .output()
         .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
     assert!(
@@ -27,8 +27,15 @@ fn run(bin: &str, args: &[&str], tag: &str) -> Vec<u8> {
         "{bin} {args:?} failed: {}",
         String::from_utf8_lossy(&out.stderr)
     );
-    let _ = std::fs::remove_dir_all(&dir);
     out.stdout
+}
+
+/// Run `bin` with `args` in a fresh scratch dir; return its stdout bytes.
+fn run(bin: &str, args: &[&str], tag: &str) -> Vec<u8> {
+    let dir = scratch(tag);
+    let out = run_in(bin, args, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
 }
 
 fn assert_invariant_stdout(bin: &str, name: &str) {
@@ -44,12 +51,49 @@ fn assert_invariant_stdout(bin: &str, name: &str) {
             "nostream8",
             &["--scale", "test", "--jobs", "8", "--no-stream"],
         ),
+        (
+            "nofanout",
+            &["--scale", "test", "--jobs", "1", "--no-fanout"],
+        ),
+        (
+            "nofanout8",
+            &["--scale", "test", "--jobs", "8", "--no-fanout"],
+        ),
+        (
+            "notracecache",
+            &["--scale", "test", "--jobs", "1", "--no-trace-cache"],
+        ),
     ] {
         let got = run(bin, args, &format!("{name}-{tag}"));
         assert_eq!(
             String::from_utf8_lossy(&reference),
             String::from_utf8_lossy(&got),
             "{name} stdout differs under {args:?}"
+        );
+    }
+    // Cold then warm in the SAME directory, fan-out on and off: replaying
+    // cached stage results and binary trace blobs must not change a byte
+    // of the table.
+    for (tag, args) in [
+        ("coldwarm", &["--scale", "test", "--jobs", "1"] as &[&str]),
+        (
+            "coldwarm-nofanout",
+            &["--scale", "test", "--jobs", "8", "--no-fanout"],
+        ),
+    ] {
+        let dir = scratch(&format!("{name}-{tag}"));
+        let cold = run_in(bin, args, &dir);
+        let warm = run_in(bin, args, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(
+            String::from_utf8_lossy(&reference),
+            String::from_utf8_lossy(&cold),
+            "{name} cold stdout differs under {args:?}"
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&cold),
+            String::from_utf8_lossy(&warm),
+            "{name} warm stdout differs from cold under {args:?}"
         );
     }
 }

@@ -9,7 +9,13 @@
 //!   artifact to `<path>`,
 //! * `--no-stream` — simulate from a fully materialized trace on one
 //!   thread instead of streaming it from a concurrent interpreter
-//!   (the right choice on single-core containers).
+//!   (the right choice on single-core containers; only affects the
+//!   `--no-fanout` path),
+//! * `--no-fanout` — interpret once per cell (the historical pipeline)
+//!   instead of tracing each distinct program once and fanning the shared
+//!   trace out to every dependent simulation,
+//! * `--no-trace-cache` — do not persist/reuse binary trace blobs under
+//!   `results/cache/`; every fan-out run re-interprets.
 //!
 //! Bad values print a one-line diagnostic to **stderr** and exit with
 //! status 2 — never a panic with a backtrace.  Unknown arguments are
@@ -29,6 +35,10 @@ pub struct HarnessArgs {
     pub json: Option<PathBuf>,
     /// Disable the streaming trace pipeline (single-threaded fallback).
     pub no_stream: bool,
+    /// Disable trace-once/simulate-many fan-out (per-cell interpretation).
+    pub no_fanout: bool,
+    /// Disable the persistent binary trace cache.
+    pub no_trace_cache: bool,
 }
 
 impl Default for HarnessArgs {
@@ -38,6 +48,8 @@ impl Default for HarnessArgs {
             jobs: 0,
             json: None,
             no_stream: false,
+            no_fanout: false,
+            no_trace_cache: false,
         }
     }
 }
@@ -66,7 +78,8 @@ impl HarnessArgs {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
-                    "usage: [--scale test|small|paper] [--jobs N] [--json <path>] [--no-stream]"
+                    "usage: [--scale test|small|paper] [--jobs N] [--json <path>] \
+                     [--no-stream] [--no-fanout] [--no-trace-cache]"
                 );
                 std::process::exit(2);
             }
@@ -84,6 +97,8 @@ impl HarnessArgs {
                 "--jobs" => out.jobs = parse_jobs(&value("--jobs")?)?,
                 "--json" => out.json = Some(PathBuf::from(value("--json")?)),
                 "--no-stream" => out.no_stream = true,
+                "--no-fanout" => out.no_fanout = true,
+                "--no-trace-cache" => out.no_trace_cache = true,
                 _ => {} // Tolerated, like the pre-harness binaries.
             }
         }
@@ -134,5 +149,15 @@ mod tests {
     fn no_stream_flag() {
         assert!(!parse(&[]).unwrap().no_stream);
         assert!(parse(&["--no-stream"]).unwrap().no_stream);
+    }
+
+    #[test]
+    fn fanout_and_trace_cache_flags() {
+        let d = parse(&[]).unwrap();
+        assert!(!d.no_fanout);
+        assert!(!d.no_trace_cache);
+        let a = parse(&["--no-fanout", "--no-trace-cache"]).unwrap();
+        assert!(a.no_fanout);
+        assert!(a.no_trace_cache);
     }
 }

@@ -83,6 +83,7 @@ pub fn full_json(r: &ExperimentResult) -> Json {
         ("wall_ms", Json::F64(r.wall_ms)),
         ("cache_hits", Json::U64(r.cache_hits)),
         ("cache_misses", Json::U64(r.cache_misses)),
+        ("interpretations", Json::U64(r.interpretations)),
     ]);
     let workloads = r
         .workloads
@@ -100,6 +101,9 @@ pub fn full_json(r: &ExperimentResult) -> Json {
             let mut fields = cell_stable(c);
             if let Some(t) = c.transform_timing {
                 fields.push(("transform", timing_json(t)));
+            }
+            if let Some(t) = c.trace_timing {
+                fields.push(("trace", timing_json(t)));
             }
             fields.push(("simulate", timing_json(c.sim_timing)));
             Json::obj(fields)
@@ -159,6 +163,7 @@ mod tests {
             wall_ms: 0.0,
             cache_hits: 0,
             cache_misses: 0,
+            interpretations: 0,
             workloads: Vec::new(),
             cells: Vec::new(),
         };

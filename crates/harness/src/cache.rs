@@ -4,10 +4,14 @@
 //!
 //! ```text
 //! results/cache/<first two hex chars>/<stage>-<32-hex-digest>.json
+//! results/cache/<first two hex chars>/trace-<32-hex-digest>.bin
 //! ```
 //!
-//! Keys come from [`crate::key`]; values are the JSON encodings from
-//! [`crate::codec`].  Writes go through a temp file + rename so concurrent
+//! Keys come from [`crate::key`]; `.json` values are the JSON encodings
+//! from [`crate::codec`], `.bin` values are binary trace blobs in the
+//! [`guardspec_interp::tracefile`] format.  Blobs are the only entries
+//! with meaningful size, so [`DiskCache::gc_blobs`] caps their total
+//! footprint (oldest evicted first); the JSON entries are never evicted.  Writes go through a temp file + rename so concurrent
 //! writers of the same key (two worker threads, or two bench binaries
 //! running at once) can never expose a torn entry — last writer wins with
 //! identical contents, since contents are a pure function of the key.
@@ -59,12 +63,16 @@ impl DiskCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    fn path_for(&self, key: &str) -> Option<PathBuf> {
+    fn path_for_ext(&self, key: &str, ext: &str) -> Option<PathBuf> {
         let root = self.root.as_ref()?;
         // Shard on the first two digest characters to keep directories small.
         let digest = key.rsplit('-').next().unwrap_or(key);
         let shard = digest.get(0..2).unwrap_or("xx");
-        Some(root.join(shard).join(format!("{key}.json")))
+        Some(root.join(shard).join(format!("{key}.{ext}")))
+    }
+
+    fn path_for(&self, key: &str) -> Option<PathBuf> {
+        self.path_for_ext(key, "json")
     }
 
     /// Look up a key, counting the hit or miss.
@@ -88,6 +96,35 @@ impl DiskCache {
         let Some(path) = self.path_for(key) else {
             return;
         };
+        if let Err(e) = write_atomic(&path, contents.as_bytes()) {
+            eprintln!(
+                "guardspec-harness: cache write {} failed: {e}",
+                path.display()
+            );
+        }
+    }
+
+    /// Look up a binary blob (`.bin` entries — trace files), counting the
+    /// hit or miss on the shared counters.
+    pub fn get_bytes(&self, key: &str) -> Option<Vec<u8>> {
+        let path = self.path_for_ext(key, "bin")?;
+        match std::fs::read(&path) {
+            Ok(b) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(b)
+            }
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a binary blob under `<key>.bin`; failures are non-fatal.
+    pub fn put_bytes(&self, key: &str, contents: &[u8]) {
+        let Some(path) = self.path_for_ext(key, "bin") else {
+            return;
+        };
         if let Err(e) = write_atomic(&path, contents) {
             eprintln!(
                 "guardspec-harness: cache write {} failed: {e}",
@@ -95,9 +132,54 @@ impl DiskCache {
             );
         }
     }
+
+    /// Evict oldest-first binary blobs until their total size is at most
+    /// `max_total_bytes`.  JSON stage entries are tiny and never evicted;
+    /// trace blobs are the only entries that can grow without bound (one
+    /// per distinct program text × scale).  Returns the bytes deleted.
+    pub fn gc_blobs(&self, max_total_bytes: u64) -> u64 {
+        let Some(root) = self.root.as_ref() else {
+            return 0;
+        };
+        let mut blobs: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+        let Ok(shards) = std::fs::read_dir(root) else {
+            return 0;
+        };
+        for shard in shards.flatten() {
+            let Ok(files) = std::fs::read_dir(shard.path()) else {
+                continue;
+            };
+            for f in files.flatten() {
+                let path = f.path();
+                if path.extension().is_none_or(|e| e != "bin") {
+                    continue;
+                }
+                if let Ok(meta) = f.metadata() {
+                    let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                    blobs.push((mtime, meta.len(), path));
+                }
+            }
+        }
+        let mut total: u64 = blobs.iter().map(|b| b.1).sum();
+        if total <= max_total_bytes {
+            return 0;
+        }
+        blobs.sort(); // oldest mtime first; path breaks ties deterministically
+        let mut deleted = 0u64;
+        for (_, size, path) in blobs {
+            if total <= max_total_bytes {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total -= size;
+                deleted += size;
+            }
+        }
+        deleted
+    }
 }
 
-fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
     let dir = path.parent().expect("cache path has a parent");
     std::fs::create_dir_all(dir)?;
     let tmp = dir.join(format!(
@@ -136,6 +218,58 @@ mod tests {
         assert_eq!((c.hits(), c.misses()), (1, 1));
         // Sharded under the digest prefix.
         assert!(root.join("aa").join("profile-aabbcc.json").exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn byte_blobs_roundtrip_beside_json() {
+        let root = scratch_dir("bytes");
+        let c = DiskCache::new(&root);
+        assert_eq!(c.get_bytes("trace-ddeeff"), None);
+        c.put_bytes("trace-ddeeff", &[1, 2, 0xff]);
+        assert_eq!(
+            c.get_bytes("trace-ddeeff").as_deref(),
+            Some(&[1, 2, 0xff][..])
+        );
+        // Same key space, different extension: no collision with JSON.
+        c.put("trace-ddeeff", "{}");
+        assert_eq!(c.get("trace-ddeeff").as_deref(), Some("{}"));
+        assert_eq!(
+            c.get_bytes("trace-ddeeff").as_deref(),
+            Some(&[1, 2, 0xff][..])
+        );
+        assert!(root.join("dd").join("trace-ddeeff.bin").exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn gc_caps_blob_bytes_oldest_first_and_spares_json() {
+        let root = scratch_dir("gc");
+        let c = DiskCache::new(&root);
+        c.put("sim-aa11", "{\"kept\":true}");
+        for (i, key) in ["trace-00aa", "trace-11bb", "trace-22cc"]
+            .iter()
+            .enumerate()
+        {
+            c.put_bytes(key, &vec![0u8; 1000]);
+            // Distinct mtimes so eviction order is the write order.
+            let path = root.join(&key[6..8]).join(format!("{key}.bin"));
+            let t =
+                std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1000 + i as u64);
+            let f = std::fs::File::open(&path).unwrap();
+            f.set_modified(t).unwrap();
+        }
+        // Cap at 2 blobs' worth: the oldest one goes.
+        assert_eq!(c.gc_blobs(2000), 1000);
+        assert_eq!(c.get_bytes("trace-00aa"), None);
+        assert!(c.get_bytes("trace-11bb").is_some());
+        assert!(c.get_bytes("trace-22cc").is_some());
+        assert!(
+            c.get("sim-aa11").is_some(),
+            "JSON entries are never evicted"
+        );
+        // Under the cap: nothing further deleted.
+        assert_eq!(c.gc_blobs(2000), 0);
         let _ = std::fs::remove_dir_all(&root);
     }
 

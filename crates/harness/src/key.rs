@@ -111,6 +111,13 @@ pub fn profile_key(program_text: &str, scale: Scale) -> String {
     stage_key("profile", program_text, scale, &[])
 }
 
+/// Key for the binary dynamic-trace blob of `program_text` at `scale`.
+/// The trace depends only on the program (inputs are embedded in its data
+/// section), so base and transformed programs each get exactly one blob.
+pub fn trace_key(program_text: &str, scale: Scale) -> String {
+    stage_key("trace", program_text, scale, &[])
+}
+
 /// Key for the Figure-6 transform of `program_text` under `opts`.
 pub fn transform_key(program_text: &str, scale: Scale, opts: &DriverOptions) -> String {
     stage_key("transform", program_text, scale, &[&describe_options(opts)])
@@ -137,8 +144,18 @@ mod tests {
         let p = profile_key("prog", Scale::Test);
         let t = transform_key("prog", Scale::Test, &opts);
         let s = sim_key("prog", Scale::Test, Scheme::TwoBit, &cfg);
+        let tr = trace_key("prog", Scale::Test);
         assert_ne!(p, t);
         assert_ne!(t, s);
+        assert_ne!(tr, p, "trace and profile keys must not alias");
+        assert_ne!(
+            trace_key("prog", Scale::Test),
+            trace_key("prog2", Scale::Test)
+        );
+        assert_ne!(
+            trace_key("prog", Scale::Test),
+            trace_key("prog", Scale::Small)
+        );
         assert_ne!(
             profile_key("prog", Scale::Test),
             profile_key("prog", Scale::Small)

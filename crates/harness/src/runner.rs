@@ -1,26 +1,38 @@
-//! Spec execution: expand cells into a deduplicated three-stage job graph,
+//! Spec execution: expand cells into a deduplicated four-stage job graph,
 //! run it on the work-stealing pool, and collect deterministic results.
 //!
 //! Stage pipeline per cell (arrows are job-graph dependencies):
 //!
 //! ```text
-//! profile(workload)  ──► transform(workload, options) ──► simulate(cell)
-//!        │                                                    ▲
-//!        └── (cells without a transform) ─────────────────────┘ (no dep)
+//! profile(workload) ──► transform(workload, options) ──► trace(program) ──► simulate(cell)
+//!        │                                                                     ▲
+//!        └── (cells without a transform: base trace, recorded by the  ─────────┘
+//!             profile job's single interpretation)
 //! ```
 //!
 //! * One **profile** job per workload, shared by every cell and by the
-//!   binaries' post-processing (Table 1 columns, predictor sweeps).
+//!   binaries' post-processing (Table 1 columns, predictor sweeps).  Under
+//!   fan-out, the *same* interpreter pass also records the base program's
+//!   dynamic trace when any cell simulates the untransformed code — one
+//!   interpretation, two products.
 //! * One **transform** job per distinct (workload, options) pair — the
 //!   ablation's five presets over four workloads make twenty transforms, but
 //!   e.g. Tables 3+4 share a single proposed-options transform per workload.
-//! * One **simulate** job per cell.  Untransformed cells depend on nothing
-//!   (functional tracing needs no profile), so they start immediately.
+//! * One **trace** job per distinct transformed program ("trace once"):
+//!   interpret it once, record [`SharedTrace`] chunks, and persist them as
+//!   a self-checking binary blob so warm runs skip interpretation entirely.
+//! * One **simulate** job per cell ("simulate many"): all cells of the same
+//!   program consume the shared chunks concurrently, each through its own
+//!   cursor.  `RunOptions::fanout = false` falls back to the historical
+//!   interpret-per-cell path (results are byte-identical either way).
 //!
 //! Every stage consults the content-addressed [`DiskCache`] first; cold
 //! results are verified against the workload's golden memory image before
 //! being stored, so the cache only ever holds results from correctly
-//! computing kernels.
+//! computing kernels.  Trace blobs additionally carry layout and
+//! golden-result digests — a blob that fails its checksum, was recorded
+//! against a different program shape, or predates a workload change decodes
+//! as a miss and is re-recorded.
 
 use crate::cache::DiskCache;
 use crate::codec;
@@ -28,13 +40,17 @@ use crate::codec::ReportSummary;
 use crate::key;
 use crate::pool::JobGraph;
 use crate::spec::ExperimentSpec;
-use guardspec_interp::Profile;
+use guardspec_interp::{tracefile, ChunkRecorder, Interp, Profile, SharedTrace};
 use guardspec_predict::Scheme;
-use guardspec_sim::{simulate_program_streamed_in, simulate_trace_in, SimContext, SimStats};
+use guardspec_sim::{
+    prepare_program, simulate_program_streamed_in, simulate_shared_in, simulate_trace_in,
+    PreparedSim, SimContext, SimStats,
+};
 use guardspec_workloads::Scale;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -46,10 +62,22 @@ pub struct RunOptions {
     /// Cache root; `None` disables caching entirely.
     pub cache_dir: Option<PathBuf>,
     /// Stream each cell's trace from a concurrent interpreter thread
-    /// (bounded memory, overlapped phases).  `false` falls back to the
-    /// single-threaded materialize-then-simulate path — the right choice
-    /// on single-core containers.  Results are identical either way.
+    /// (bounded memory, overlapped phases).  Only consulted with
+    /// `fanout = false`; the fan-out path shares one materialized trace per
+    /// program instead.  Results are identical either way.
     pub stream: bool,
+    /// Trace once, simulate many: interpret each distinct program in a
+    /// dedicated trace stage and fan the shared chunks out to every
+    /// dependent sim cell.  `false` restores the historical
+    /// one-interpretation-per-cell pipeline.
+    pub fanout: bool,
+    /// Persist fan-out traces as binary blobs in the cache so warm runs
+    /// skip interpretation entirely.  Only meaningful with `fanout` and an
+    /// enabled cache.
+    pub trace_cache: bool,
+    /// Total on-disk budget for trace blobs; oldest blobs beyond it are
+    /// evicted after each run ([`DiskCache::gc_blobs`]).
+    pub trace_blob_cap: u64,
 }
 
 impl Default for RunOptions {
@@ -58,6 +86,9 @@ impl Default for RunOptions {
             jobs: 0,
             cache_dir: Some(PathBuf::from("results/cache")),
             stream: true,
+            fanout: true,
+            trace_cache: true,
+            trace_blob_cap: 256 * 1024 * 1024,
         }
     }
 }
@@ -102,6 +133,9 @@ pub struct CellResult {
     pub stats: SimStats,
     pub report: Option<ReportSummary>,
     pub transform_timing: Option<StageTiming>,
+    /// Timing of the shared trace stage this cell consumed (fan-out runs
+    /// only; cells of one program report the same stage once each).
+    pub trace_timing: Option<StageTiming>,
     pub sim_timing: StageTiming,
 }
 
@@ -113,6 +147,10 @@ pub struct ExperimentResult {
     pub wall_ms: f64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Functional interpreter passes this run actually executed.  A cold
+    /// fan-out run performs exactly one per distinct program; a warm
+    /// trace-cached run performs zero.
+    pub interpretations: u64,
     pub workloads: Vec<WorkloadResult>,
     pub cells: Vec<CellResult>,
 }
@@ -135,9 +173,24 @@ impl ExperimentResult {
     }
 }
 
+/// A program's shared trace plus the static tables every simulation of it
+/// needs — produced once, consumed by all dependent cells concurrently.
+struct TraceData {
+    prep: PreparedSim,
+    trace: SharedTrace,
+}
+
+struct TraceSlot {
+    timing: StageTiming,
+    data: Arc<TraceData>,
+}
+
 struct ProfileSlot {
     timing: StageTiming,
     profile: Arc<Profile>,
+    /// Base-program trace, recorded by the same interpretation, when some
+    /// cell simulates the untransformed program under fan-out.
+    trace: Option<TraceSlot>,
 }
 
 struct TransformSlot {
@@ -149,6 +202,7 @@ struct TransformSlot {
 
 struct SimSlot {
     timing: StageTiming,
+    trace_timing: Option<StageTiming>,
     stats: SimStats,
 }
 
@@ -163,6 +217,8 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
     });
     let scale = spec.scale;
     let jobs_n = opts.effective_jobs();
+    let use_trace_cache = opts.trace_cache && cache.is_enabled();
+    let interps = Arc::new(AtomicU64::new(0));
 
     // Shared, pre-sized output slots: job closures write, the collection
     // phase below reads in spec order — this is what makes results
@@ -182,63 +238,123 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
 
     let mut graph = JobGraph::new();
 
-    // Stage 1: one profile job per workload.
+    // Stage 1: one profile job per workload.  Under fan-out, workloads with
+    // untransformed cells get their base trace recorded by the same
+    // interpreter pass (or loaded from the trace cache).
     let mut profile_jobs = Vec::with_capacity(spec.workloads.len());
     for (wi, w) in spec.workloads.iter().enumerate() {
+        let wants_trace = opts.fanout
+            && spec
+                .cells
+                .iter()
+                .any(|c| c.workload == wi && c.transform.is_none());
         let slots = profile_slots.clone();
         let cache = cache.clone();
+        let interps = interps.clone();
         let text = texts[wi].clone();
         let program = w.program.clone();
         let expected = w.expected.clone();
         let wname = w.name;
         let id = graph.add(&[], move || {
             let t0 = Instant::now();
-            let key = key::profile_key(&text, scale);
-            let (profile, cached) = match load_profile(&cache, &key) {
-                Some(p) => (p, true),
-                None => {
-                    let (profile, exec) = guardspec_interp::profile::profile_program(&program)
-                        .unwrap_or_else(|e| panic!("{wname}: profile failed: {e}"));
-                    let bad: Vec<_> = expected
-                        .iter()
-                        .filter(|&&(addr, want)| {
-                            exec.machine.mem.get(addr as usize).copied() != Some(want)
-                        })
-                        .collect();
-                    assert!(
-                        bad.is_empty(),
-                        "{wname} miscomputed under profiling: {bad:?}"
-                    );
-                    cache.put(&key, &codec::profile_to_json(&profile).to_compact());
-                    (profile, false)
+            let pkey = key::profile_key(&text, scale);
+            let tkey = key::trace_key(&text, scale);
+            let exp_digest = expected_digest(&expected);
+            let cached_profile = load_profile(&cache, &pkey);
+            let cached_trace = (wants_trace && use_trace_cache)
+                .then(|| load_trace(&cache, &tkey, &program, exp_digest))
+                .flatten();
+            let profile_cached = cached_profile.is_some();
+            let trace_cached = cached_trace.is_some();
+            let need_trace = wants_trace && !trace_cached;
+            let (profile, trace_data) = if profile_cached && !need_trace {
+                (cached_profile.unwrap(), cached_trace)
+            } else {
+                // One interpretation produces whatever is missing: the
+                // profile, the base trace, or both at once through the
+                // observer pair.
+                interps.fetch_add(1, Ordering::Relaxed);
+                let mut profiler = guardspec_interp::Profiler::new(&program);
+                let mut recorder = ChunkRecorder::new(&program);
+                let exec = match (profile_cached, need_trace) {
+                    (false, true) => {
+                        Interp::new(&program).run_with(&mut (&mut profiler, &mut recorder))
+                    }
+                    (false, false) => Interp::new(&program).run_with(&mut profiler),
+                    (true, true) => Interp::new(&program).run_with(&mut recorder),
+                    (true, false) => unreachable!("nothing to interpret"),
                 }
+                .unwrap_or_else(|e| panic!("{wname}: profile failed: {e}"));
+                assert_golden(wname, "profiling", &expected, &exec.machine.mem);
+                let profile = match cached_profile {
+                    Some(p) => p,
+                    None => {
+                        let p = profiler.finish();
+                        cache.put(&pkey, &codec::profile_to_json(&p).to_compact());
+                        p
+                    }
+                };
+                let trace_data = if need_trace {
+                    let trace = recorder.finish();
+                    let prep = prepare_program(&program);
+                    if use_trace_cache {
+                        cache.put_bytes(
+                            &tkey,
+                            &tracefile::encode(prep.layout(), trace.iter(), exp_digest),
+                        );
+                    }
+                    Some(Arc::new(TraceData { prep, trace }))
+                } else {
+                    cached_trace
+                };
+                (profile, trace_data)
             };
-            let timing = StageTiming {
-                ms: ms_since(t0),
-                cached,
-            };
+            let ms = ms_since(t0);
             let _ = slots[wi].set(ProfileSlot {
-                timing,
+                timing: StageTiming {
+                    ms,
+                    cached: profile_cached,
+                },
                 profile: Arc::new(profile),
+                // The merged pass makes per-product wall time inseparable;
+                // both stages report the job's time with their own flags.
+                trace: trace_data.map(|data| TraceSlot {
+                    timing: StageTiming {
+                        ms,
+                        cached: trace_cached,
+                    },
+                    data,
+                }),
             });
         });
         profile_jobs.push(id);
     }
 
-    // Stage 2: one transform job per distinct (workload, options).
+    // Stage 2: one transform job per distinct (workload, options) — and,
+    // under fan-out, one trace job per transform right behind it.
     let transform_slots: Arc<Vec<OnceLock<TransformSlot>>> = Arc::new(
         (0..spec.cells.len()).map(|_| OnceLock::new()).collect(), // upper bound
     );
+    let trace_slots: Arc<Vec<OnceLock<TraceSlot>>> =
+        Arc::new((0..spec.cells.len()).map(|_| OnceLock::new()).collect());
     let mut transform_jobs: HashMap<(usize, String), (usize, usize)> = HashMap::new();
-    let mut cell_transform: Vec<Option<usize>> = vec![None; spec.cells.len()];
+    // Trace job id per transform slot index (fan-out only).
+    let mut trace_jobs: Vec<usize> = Vec::new();
+    // Per cell: the transform's (job id, slot index), stored together at
+    // creation so stage dependencies can never desync from result slots.
+    let mut cell_transform: Vec<Option<(usize, usize)>> = vec![None; spec.cells.len()];
     for (ci, cell) in spec.cells.iter().enumerate() {
         let Some(options) = &cell.transform else {
             continue;
         };
         let dedupe = (cell.workload, key::describe_options(options));
+        if let Some(&known) = transform_jobs.get(&dedupe) {
+            cell_transform[ci] = Some(known);
+            continue;
+        }
         let next_slot = transform_jobs.len();
-        let (job_id, slot) = *transform_jobs.entry(dedupe).or_insert_with(|| {
-            let wi = cell.workload;
+        let wi = cell.workload;
+        let tf_id = {
             let slots = transform_slots.clone();
             let profiles = profile_slots.clone();
             let cache = cache.clone();
@@ -246,7 +362,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
             let program = spec.workloads[wi].program.clone();
             let options = options.clone();
             let wname = spec.workloads[wi].name;
-            let id = graph.add(&[profile_jobs[wi]], move || {
+            graph.add(&[profile_jobs[wi]], move || {
                 let t0 = Instant::now();
                 let key = key::transform_key(&text, scale, &options);
                 let (program, text, report, cached) = match load_transform(&cache, &key) {
@@ -280,87 +396,195 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                     report,
                 });
                 let _ = wname; // context for panics above
+            })
+        };
+        transform_jobs.insert(dedupe, (tf_id, next_slot));
+        cell_transform[ci] = Some((tf_id, next_slot));
+        if opts.fanout {
+            // Stage 2.5: trace the transformed program exactly once.
+            let slots = trace_slots.clone();
+            let transforms = transform_slots.clone();
+            let cache = cache.clone();
+            let interps = interps.clone();
+            let expected = spec.workloads[wi].expected.clone();
+            let wname = spec.workloads[wi].name;
+            let tr_id = graph.add(&[tf_id], move || {
+                let t0 = Instant::now();
+                let t = transforms[next_slot]
+                    .get()
+                    .expect("transform dependency ran");
+                let tkey = key::trace_key(&t.text, scale);
+                let exp_digest = expected_digest(&expected);
+                let cached_trace = use_trace_cache
+                    .then(|| load_trace(&cache, &tkey, &t.program, exp_digest))
+                    .flatten();
+                let cached = cached_trace.is_some();
+                let data = match cached_trace {
+                    Some(d) => d,
+                    None => {
+                        interps.fetch_add(1, Ordering::Relaxed);
+                        let mut recorder = ChunkRecorder::new(&t.program);
+                        let exec = Interp::new(&t.program)
+                            .run_with(&mut recorder)
+                            .unwrap_or_else(|e| panic!("{wname}: trace failed: {e}"));
+                        assert_golden(wname, "tracing", &expected, &exec.machine.mem);
+                        let trace = recorder.finish();
+                        let prep = prepare_program(&t.program);
+                        if use_trace_cache {
+                            cache.put_bytes(
+                                &tkey,
+                                &tracefile::encode(prep.layout(), trace.iter(), exp_digest),
+                            );
+                        }
+                        Arc::new(TraceData { prep, trace })
+                    }
+                };
+                let _ = slots[next_slot].set(TraceSlot {
+                    timing: StageTiming {
+                        ms: ms_since(t0),
+                        cached,
+                    },
+                    data,
+                });
             });
-            (id, next_slot)
-        });
-        cell_transform[ci] = Some(slot);
-        let _ = job_id;
+            trace_jobs.push(tr_id);
+        }
     }
 
     // Stage 3: one simulate job per cell.
     for (ci, cell) in spec.cells.iter().enumerate() {
         let wi = cell.workload;
-        let deps: Vec<usize> = match cell_transform[ci] {
-            Some(_slot) => {
-                // Recover the transform job id from the dedupe map.
-                let d = (wi, key::describe_options(cell.transform.as_ref().unwrap()));
-                vec![transform_jobs[&d].0]
-            }
-            None => Vec::new(),
-        };
         let slots = sim_slots.clone();
-        let transforms = transform_slots.clone();
         let cache = cache.clone();
         let base_text = texts[wi].clone();
-        let base_program = spec.workloads[wi].program.clone();
-        let expected = spec.workloads[wi].expected.clone();
         let wname = spec.workloads[wi].name;
         let label = cell.label.clone();
         let scheme = cell.scheme;
         let cfg = cell.cfg.clone();
         let tslot = cell_transform[ci];
-        let stream = opts.stream;
-        graph.add(&deps, move || {
-            let t0 = Instant::now();
-            let (program, text): (Arc<guardspec_ir::Program>, Arc<String>) = match tslot {
-                Some(s) => {
-                    let t = transforms[s].get().expect("transform dependency ran");
-                    (t.program.clone(), t.text.clone())
-                }
-                None => (Arc::new(base_program), base_text),
+        if opts.fanout {
+            // Fan-out: consume the program's shared trace; interpretation
+            // and golden verification already happened in its trace stage.
+            let deps = match tslot {
+                Some((_job, slot)) => vec![trace_jobs[slot]],
+                None => vec![profile_jobs[wi]],
             };
-            let key = key::sim_key(&text, scale, scheme, &cfg);
-            let (stats, cached) = match load_stats(&cache, &key) {
-                Some(s) => (s, true),
-                None => {
-                    let (stats, exec) = SIM_CTX.with(|ctx| {
-                        let ctx = &mut *ctx.borrow_mut();
-                        if stream {
-                            simulate_program_streamed_in(ctx, &program, scheme, &cfg)
-                                .unwrap_or_else(|e| panic!("{wname}/{label}: simulate failed: {e}"))
-                        } else {
-                            let (layout, trace, exec) = guardspec_interp::trace::trace_program(
-                                &program,
-                            )
-                            .unwrap_or_else(|e| panic!("{wname}/{label}: trace failed: {e}"));
-                            let stats =
-                                simulate_trace_in(ctx, &program, &layout, &trace, scheme, &cfg)
+            let transforms = transform_slots.clone();
+            let traces = trace_slots.clone();
+            let profiles = profile_slots.clone();
+            graph.add(&deps, move || {
+                let t0 = Instant::now();
+                let (text, data, trace_timing): (Arc<String>, Arc<TraceData>, StageTiming) =
+                    match tslot {
+                        Some((_job, s)) => {
+                            let tf = transforms[s].get().expect("transform dependency ran");
+                            let tr = traces[s].get().expect("trace dependency ran");
+                            (tf.text.clone(), tr.data.clone(), tr.timing)
+                        }
+                        None => {
+                            let p = profiles[wi].get().expect("profile dependency ran");
+                            let tr = p.trace.as_ref().expect("base trace recorded");
+                            (base_text, tr.data.clone(), tr.timing)
+                        }
+                    };
+                let key = key::sim_key(&text, scale, scheme, &cfg);
+                let (stats, cached) = match load_stats(&cache, &key) {
+                    Some(s) => (s, true),
+                    None => {
+                        let stats = SIM_CTX
+                            .with(|ctx| {
+                                simulate_shared_in(
+                                    &mut ctx.borrow_mut(),
+                                    &data.prep,
+                                    &data.trace,
+                                    scheme,
+                                    &cfg,
+                                )
+                            })
+                            .unwrap_or_else(|e| panic!("{wname}/{label}: simulate failed: {e}"));
+                        cache.put(&key, &codec::stats_to_json(&stats).to_compact());
+                        (stats, false)
+                    }
+                };
+                let _ = slots[ci].set(SimSlot {
+                    timing: StageTiming {
+                        ms: ms_since(t0),
+                        cached,
+                    },
+                    trace_timing: Some(trace_timing),
+                    stats,
+                });
+            });
+        } else {
+            // Historical path: each cold cell interprets its own program
+            // (streamed or materialized) and verifies golden memory itself.
+            let deps = match tslot {
+                Some((job, _slot)) => vec![job],
+                None => Vec::new(),
+            };
+            let transforms = transform_slots.clone();
+            let interps = interps.clone();
+            let base_program = spec.workloads[wi].program.clone();
+            let expected = spec.workloads[wi].expected.clone();
+            let stream = opts.stream;
+            graph.add(&deps, move || {
+                let t0 = Instant::now();
+                let (program, text): (Arc<guardspec_ir::Program>, Arc<String>) = match tslot {
+                    Some((_job, s)) => {
+                        let t = transforms[s].get().expect("transform dependency ran");
+                        (t.program.clone(), t.text.clone())
+                    }
+                    None => (Arc::new(base_program), base_text),
+                };
+                let key = key::sim_key(&text, scale, scheme, &cfg);
+                let (stats, cached) = match load_stats(&cache, &key) {
+                    Some(s) => (s, true),
+                    None => {
+                        interps.fetch_add(1, Ordering::Relaxed);
+                        let (stats, exec) = SIM_CTX.with(|ctx| {
+                            let ctx = &mut *ctx.borrow_mut();
+                            if stream {
+                                simulate_program_streamed_in(ctx, &program, scheme, &cfg)
                                     .unwrap_or_else(|e| {
                                         panic!("{wname}/{label}: simulate failed: {e}")
-                                    });
-                            (stats, exec)
-                        }
-                    });
-                    let bad: Vec<_> = expected
-                        .iter()
-                        .filter(|&&(addr, want)| {
-                            exec.machine.mem.get(addr as usize).copied() != Some(want)
-                        })
-                        .collect();
-                    assert!(bad.is_empty(), "{wname}/{label} miscomputed: {bad:?}");
-                    cache.put(&key, &codec::stats_to_json(&stats).to_compact());
-                    (stats, false)
-                }
-            };
-            let timing = StageTiming {
-                ms: ms_since(t0),
-                cached,
-            };
-            let _ = slots[ci].set(SimSlot { timing, stats });
-        });
+                                    })
+                            } else {
+                                let (layout, trace, exec) =
+                                    guardspec_interp::trace::trace_program(&program)
+                                        .unwrap_or_else(|e| {
+                                            panic!("{wname}/{label}: trace failed: {e}")
+                                        });
+                                let stats =
+                                    simulate_trace_in(ctx, &program, &layout, &trace, scheme, &cfg)
+                                        .unwrap_or_else(|e| {
+                                            panic!("{wname}/{label}: simulate failed: {e}")
+                                        });
+                                (stats, exec)
+                            }
+                        });
+                        assert_golden(wname, &label, &expected, &exec.machine.mem);
+                        cache.put(&key, &codec::stats_to_json(&stats).to_compact());
+                        (stats, false)
+                    }
+                };
+                let _ = slots[ci].set(SimSlot {
+                    timing: StageTiming {
+                        ms: ms_since(t0),
+                        cached,
+                    },
+                    trace_timing: None,
+                    stats,
+                });
+            });
+        }
     }
 
     graph.execute(jobs_n);
+
+    // Keep the blob footprint bounded; JSON stage entries are never evicted.
+    if use_trace_cache {
+        cache.gc_blobs(opts.trace_blob_cap);
+    }
 
     // Deterministic collection in spec order.
     let workloads = spec
@@ -382,8 +606,8 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
         .enumerate()
         .map(|(ci, cell)| {
             let sim = sim_slots[ci].get().expect("sim job ran");
-            let transform =
-                cell_transform[ci].map(|s| transform_slots[s].get().expect("transform job ran"));
+            let transform = cell_transform[ci]
+                .map(|(_job, s)| transform_slots[s].get().expect("transform job ran"));
             CellResult {
                 workload: spec.workloads[cell.workload].name.to_string(),
                 label: cell.label.clone(),
@@ -391,6 +615,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                 stats: sim.stats.clone(),
                 report: transform.map(|t| t.report.clone()),
                 transform_timing: transform.map(|t| t.timing),
+                trace_timing: sim.trace_timing,
                 sim_timing: sim.timing,
             }
         })
@@ -403,6 +628,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
         wall_ms: ms_since(start),
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
+        interpretations: interps.load(Ordering::Relaxed),
         workloads,
         cells,
     }
@@ -412,10 +638,68 @@ fn ms_since(t0: Instant) -> f64 {
     t0.elapsed().as_secs_f64() * 1e3
 }
 
+/// Panic unless `mem` carries the workload's expected golden values.
+fn assert_golden(wname: &str, stage: &str, expected: &[(u64, i64)], mem: &[i64]) {
+    let bad: Vec<_> = expected
+        .iter()
+        .filter(|&&(addr, want)| mem.get(addr as usize).copied() != Some(want))
+        .collect();
+    assert!(bad.is_empty(), "{wname} miscomputed under {stage}: {bad:?}");
+}
+
+/// FNV-1a digest of the golden `(address, value)` pairs — stored in trace
+/// blobs so a blob recorded before a workload's expected results changed
+/// can never replay silently.
+fn expected_digest(expected: &[(u64, i64)]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut s = 0xcbf2_9ce4_8422_2325u64;
+    for &(addr, want) in expected {
+        for b in addr
+            .to_le_bytes()
+            .into_iter()
+            .chain((want as u64).to_le_bytes())
+        {
+            s ^= b as u64;
+            s = s.wrapping_mul(PRIME);
+        }
+    }
+    s
+}
+
 fn load_profile(cache: &DiskCache, key: &str) -> Option<Profile> {
     let text = cache.get(key)?;
     match crate::json::parse(&text).and_then(|j| codec::profile_from_json(&j)) {
         Ok(p) => Some(p),
+        Err(e) => {
+            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            None
+        }
+    }
+}
+
+/// Load and validate a cached trace blob for `program`.  Any decode error,
+/// layout mismatch or golden-digest mismatch is a miss — the caller
+/// re-interprets and overwrites.
+fn load_trace(
+    cache: &DiskCache,
+    key: &str,
+    program: &guardspec_ir::Program,
+    want_digest: u64,
+) -> Option<Arc<TraceData>> {
+    let bytes = cache.get_bytes(key)?;
+    let prep = prepare_program(program);
+    let check = || -> Result<SharedTrace, String> {
+        let d = tracefile::decode(&bytes).map_err(|e| e.to_string())?;
+        if d.layout_digest != tracefile::layout_digest(prep.layout()) {
+            return Err("layout digest mismatch".into());
+        }
+        if d.exec_digest != want_digest {
+            return Err("golden-result digest mismatch".into());
+        }
+        Ok(d.trace)
+    };
+    match check() {
+        Ok(trace) => Some(Arc::new(TraceData { prep, trace })),
         Err(e) => {
             eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
             None

@@ -25,9 +25,12 @@ fn cold_then_warm_is_byte_identical_and_fully_cached() {
     };
 
     let spec = ExperimentSpec::three_schemes("cache-test", Scale::Test);
-    let stages = spec.workloads.len()             // one profile per workload
-        + spec.cells.iter().filter(|c| c.transform.is_some()).count()
-        + spec.cells.len(); // one simulation per cell
+    // Per workload: one profile lookup plus one base-trace blob lookup
+    // (every workload has untransformed 2-bit/perfect cells).  Per distinct
+    // transform: one transform lookup plus one transformed-trace blob
+    // lookup.  Plus one simulation lookup per cell.
+    let transforms = spec.cells.iter().filter(|c| c.transform.is_some()).count();
+    let stages = 2 * spec.workloads.len() + 2 * transforms + spec.cells.len();
 
     let cold = run_experiment(&spec, &opts);
     assert_eq!(cold.cache_hits, 0, "cold run must not hit");
@@ -85,7 +88,9 @@ fn profiles_are_shared_not_recomputed_within_a_run() {
     };
     let spec = ExperimentSpec::ablation("share-test", Scale::Test);
     let cold = run_experiment(&spec, &opts);
-    let stages = spec.workloads.len() + 2 * spec.cells.len();
+    // Every ablation cell is transformed, so each distinct transform also
+    // gets a trace-blob lookup; no base traces are needed.
+    let stages = spec.workloads.len() + 3 * spec.cells.len();
     assert_eq!((cold.cache_hits + cold.cache_misses) as usize, stages);
     // Profiles and transforms all have distinct keys, so they all miss.
     let min_misses = spec.workloads.len() + spec.cells.len();

@@ -61,6 +61,29 @@ fn streamed_and_materialized_pipelines_agree() {
 }
 
 #[test]
+fn fanout_and_per_cell_pipelines_agree() {
+    // Trace-once/simulate-many must be an implementation detail too: the
+    // stable artifact is byte-identical with fan-out on (the default) or
+    // off (one interpretation per cell), at any job count.
+    let spec = ExperimentSpec::ablation("det-fanout", Scale::Test);
+    let mut no_fanout = uncached(1);
+    no_fanout.fanout = false;
+    let per_cell = run_experiment(&spec, &no_fanout);
+    let fanned = run_experiment(&spec, &uncached(1));
+    let fanned_mt = run_experiment(&spec, &uncached(8));
+    assert_eq!(
+        stable_json(&per_cell).to_pretty(),
+        stable_json(&fanned).to_pretty(),
+        "trace fan-out changed the science"
+    );
+    assert_eq!(
+        stable_json(&fanned).to_pretty(),
+        stable_json(&fanned_mt).to_pretty(),
+        "trace fan-out made results depend on the thread count"
+    );
+}
+
+#[test]
 fn full_artifact_carries_meta_and_timings() {
     let spec = ExperimentSpec::three_schemes("meta-test", Scale::Test);
     let r = run_experiment(&spec, &uncached(2));

@@ -1,0 +1,188 @@
+//! The persistent binary trace cache: fan-out runs interpret each distinct
+//! program exactly once cold, replay blobs instead of interpreting warm,
+//! and treat corrupt or truncated blobs as misses — re-recording them and
+//! still producing byte-identical science.
+
+use guardspec_harness::{run_experiment, stable_json, ExperimentSpec, RunOptions};
+use guardspec_workloads::Scale;
+use std::path::{Path, PathBuf};
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "guardspec-trace-cache-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn opts(dir: &Path) -> RunOptions {
+    RunOptions {
+        jobs: 2,
+        cache_dir: Some(dir.to_path_buf()),
+        ..RunOptions::default()
+    }
+}
+
+/// All cached files whose name matches `pred`, across every shard.
+fn cache_files(dir: &Path, pred: impl Fn(&str) -> bool) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for shard in std::fs::read_dir(dir).unwrap() {
+        for f in std::fs::read_dir(shard.unwrap().path()).unwrap() {
+            let path = f.unwrap().path();
+            if path.file_name().and_then(|n| n.to_str()).is_some_and(&pred) {
+                out.push(path);
+            }
+        }
+    }
+    out
+}
+
+/// Distinct programs in a spec = one base program per workload that any
+/// untransformed cell uses, plus one per distinct transform.
+fn distinct_programs(spec: &ExperimentSpec) -> u64 {
+    let bases = spec
+        .workloads
+        .iter()
+        .enumerate()
+        .filter(|(wi, _)| {
+            spec.cells
+                .iter()
+                .any(|c| c.workload == *wi && c.transform.is_none())
+        })
+        .count();
+    let transforms = spec.cells.iter().filter(|c| c.transform.is_some()).count();
+    (bases + transforms) as u64
+}
+
+#[test]
+fn fanout_interprets_once_per_distinct_program_and_warm_replays_blobs() {
+    let dir = scratch("warm");
+    let spec = ExperimentSpec::three_schemes("trace-warm", Scale::Test);
+    let programs = distinct_programs(&spec);
+
+    let cold = run_experiment(&spec, &opts(&dir));
+    assert_eq!(
+        cold.interpretations, programs,
+        "cold fan-out must interpret exactly once per distinct program"
+    );
+    assert!(
+        cold.cells
+            .iter()
+            .all(|c| c.trace_timing.is_some_and(|t| !t.cached)),
+        "cold cells must record an uncached trace stage"
+    );
+    let blobs = cache_files(&dir, |n| n.starts_with("trace-") && n.ends_with(".bin"));
+    assert_eq!(
+        blobs.len() as u64,
+        programs,
+        "one trace blob per distinct program"
+    );
+
+    let warm = run_experiment(&spec, &opts(&dir));
+    assert_eq!(
+        warm.interpretations, 0,
+        "warm run must replay blobs, not interpret"
+    );
+    assert!(
+        warm.cells
+            .iter()
+            .all(|c| c.trace_timing.is_some_and(|t| t.cached)),
+        "warm cells must report trace.cached = true"
+    );
+    assert_eq!(
+        stable_json(&cold).to_pretty(),
+        stable_json(&warm).to_pretty(),
+        "blob replay changed the science"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_fanout_and_no_trace_cache_write_no_blobs() {
+    let dir = scratch("nofanout");
+    let spec = ExperimentSpec::three_schemes("trace-off", Scale::Test);
+    let mut o = opts(&dir);
+    o.fanout = false;
+    let r = run_experiment(&spec, &o);
+    assert!(r.cells.iter().all(|c| c.trace_timing.is_none()));
+    assert!(cache_files(&dir, |n| n.ends_with(".bin")).is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let dir = scratch("nocache");
+    let mut o = opts(&dir);
+    o.trace_cache = false;
+    let cold = run_experiment(&spec, &o);
+    assert!(cache_files(&dir, |n| n.ends_with(".bin")).is_empty());
+    // Without the blob cache every fan-out run re-interprets...
+    let again = run_experiment(&spec, &o);
+    assert_eq!(again.interpretations, cold.interpretations);
+    assert!(again.interpretations > 0);
+    // ...but the stage (JSON) cache still works and the science is stable.
+    assert_eq!(
+        stable_json(&cold).to_pretty(),
+        stable_json(&again).to_pretty()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_trace_blobs_are_re_recorded_not_trusted() {
+    let dir = scratch("corrupt");
+    let spec = ExperimentSpec::three_schemes("trace-corrupt", Scale::Test);
+    let cold = run_experiment(&spec, &opts(&dir));
+    let programs = distinct_programs(&spec);
+
+    // Vandalise every trace blob AND every cached simulation entry, so the
+    // recovery run must actually decode-fail, re-interpret, and re-simulate
+    // from the freshly recorded traces.
+    let blobs = cache_files(&dir, |n| n.starts_with("trace-") && n.ends_with(".bin"));
+    assert!(!blobs.is_empty());
+    for b in &blobs {
+        std::fs::write(b, b"GSTFnot a real trace blob").unwrap();
+    }
+    for s in cache_files(&dir, |n| n.starts_with("sim-")) {
+        std::fs::write(s, "{\"not\":\"a real entry\"}").unwrap();
+    }
+
+    let again = run_experiment(&spec, &opts(&dir));
+    assert_eq!(
+        again.interpretations, programs,
+        "every corrupt blob must fall back to one re-interpretation"
+    );
+    assert_eq!(
+        stable_json(&cold).to_pretty(),
+        stable_json(&again).to_pretty(),
+        "recovery from corrupt blobs must recompute identical results"
+    );
+
+    // The blobs were re-recorded, so a third run is fully warm again.
+    let warm = run_experiment(&spec, &opts(&dir));
+    assert_eq!(warm.interpretations, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_trace_blobs_fall_back_to_interpretation() {
+    let dir = scratch("truncate");
+    let spec = ExperimentSpec::three_schemes("trace-trunc", Scale::Test);
+    let cold = run_experiment(&spec, &opts(&dir));
+    let programs = distinct_programs(&spec);
+
+    for b in cache_files(&dir, |n| n.starts_with("trace-") && n.ends_with(".bin")) {
+        let bytes = std::fs::read(&b).unwrap();
+        std::fs::write(&b, &bytes[..bytes.len() / 2]).unwrap();
+    }
+    for s in cache_files(&dir, |n| n.starts_with("sim-")) {
+        std::fs::write(s, "{\"not\":\"a real entry\"}").unwrap();
+    }
+
+    let again = run_experiment(&spec, &opts(&dir));
+    assert_eq!(again.interpretations, programs);
+    assert_eq!(
+        stable_json(&cold).to_pretty(),
+        stable_json(&again).to_pretty(),
+        "recovery from truncated blobs must recompute identical results"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -14,8 +14,13 @@
 //! * [`profile`] — the profiler observer: per-branch outcome vectors, edge
 //!   frequencies, dynamic instruction mix,
 //! * [`trace`] — the trace recorder feeding the cycle-level simulator,
-//! * [`stream`] — a bounded chunked SPSC channel so the trace can feed the
-//!   simulator incrementally instead of being materialized in full.
+//!   including the chunked [`trace::SharedTrace`] form many simulator
+//!   instances can consume concurrently,
+//! * [`stream`] — a bounded chunked SPMC broadcast channel so one
+//!   interpreter run can feed one or many simulators incrementally instead
+//!   of the trace being materialized in full,
+//! * [`tracefile`] — a compact self-checking binary trace codec, the
+//!   persistent form behind the harness trace cache.
 
 pub mod bitvec;
 pub mod exec;
@@ -24,11 +29,12 @@ pub mod machine;
 pub mod profile;
 pub mod stream;
 pub mod trace;
+pub mod tracefile;
 
 pub use bitvec::BitVec;
 pub use exec::{run, ExecError, ExecResult, ExecSummary, Interp, Observer, RetireEvent};
 pub use layout::StaticLayout;
 pub use machine::Machine;
 pub use profile::{BranchProfile, Profile, Profiler};
-pub use stream::{trace_channel, StreamObserver, TraceReader, TraceWriter};
-pub use trace::{TraceEntry, TraceRecorder};
+pub use stream::{broadcast_channel, trace_channel, StreamObserver, TraceReader, TraceWriter};
+pub use trace::{ChunkRecorder, SharedTrace, TraceEntry, TraceRecorder};

@@ -1,23 +1,28 @@
-//! Bounded chunked SPSC channel for streaming trace entries.
+//! Bounded chunked SPMC broadcast channel for streaming trace entries.
 //!
 //! The monolithic [`crate::trace::TraceRecorder`] keeps the whole dynamic
 //! trace in memory and forces the interpret and simulate phases to run
 //! back-to-back.  This module lets the functional interpreter *produce*
-//! [`TraceEntry`] chunks on one thread while the cycle-level pipeline
-//! *consumes* them on another: memory is bounded at
-//! `MAX_CHUNKS × CHUNK_LEN` entries regardless of trace length, and the two
-//! phases overlap on multi-core hosts.
+//! [`TraceEntry`] chunks on one thread while one or more cycle-level
+//! pipelines *consume* them on others: memory is bounded at
+//! `MAX_CHUNKS × CHUNK_LEN` entries regardless of trace length and of the
+//! consumer count, and the phases overlap on multi-core hosts.
 //!
 //! The channel is hand-rolled on `Mutex` + `Condvar` (no external deps,
-//! matching the harness pool), single-producer single-consumer, with a
-//! free-list that recycles chunk buffers between the two sides so the
-//! steady state allocates nothing.
+//! matching the harness pool).  It is a **broadcast ring**: every consumer
+//! sees the complete entry sequence in order through its own cursor.
+//! Chunks are refcounted (`Arc`); a chunk leaves the ring once every live
+//! consumer has taken it, and consumed buffers are recycled through a
+//! free-list back to the writer so the steady state allocates nothing.
+//! `broadcast_channel(1)` is exactly the old SPSC channel ([`trace_channel`]
+//! is that spelling).
 //!
 //! Shutdown protocol:
-//! * the writer `finish()`es (or is dropped) → the channel closes and the
+//! * the writer `finish()`es (or is dropped) → the channel closes and each
 //!   reader drains what remains, after which the exact entry total is
 //!   available;
-//! * the reader is dropped early (e.g. the simulator errored) → the channel
+//! * a reader dropped early releases its claim on all queued chunks; when
+//!   the **last** reader goes (e.g. every simulator errored) the channel
 //!   aborts and subsequent writes are silently discarded, so the producing
 //!   interpreter still runs to completion (its functional result is needed
 //!   for golden verification).
@@ -34,15 +39,45 @@ pub const CHUNK_LEN: usize = 4096;
 /// Maximum chunks in flight; bounds channel memory.
 pub const MAX_CHUNKS: usize = 16;
 
+/// A queued chunk plus how many live consumers still have to take it.
+struct Slot {
+    data: Arc<Vec<TraceEntry>>,
+    pending: usize,
+}
+
 struct State {
-    queue: VecDeque<Vec<TraceEntry>>,
+    /// In-flight chunks; `queue[0]` has sequence number `base_seq`.
+    queue: VecDeque<Slot>,
+    base_seq: u64,
     free: Vec<Vec<TraceEntry>>,
+    /// Next sequence number each consumer will take (`DETACHED` once
+    /// dropped).
+    cursors: Vec<u64>,
+    /// Live consumers.
+    active: usize,
     /// Writer finished; `total` is final once set with `closed`.
     closed: bool,
-    /// Reader dropped; the writer discards everything from here on.
-    aborted: bool,
     /// Entries sent (final total once `closed`).
     total: u64,
+}
+
+const DETACHED: u64 = u64::MAX;
+
+impl State {
+    /// Drop fully-consumed chunks off the front, recycling their buffers
+    /// when no consumer still holds a reference.
+    fn pop_consumed(&mut self) {
+        while self.queue.front().is_some_and(|s| s.pending == 0) {
+            let slot = self.queue.pop_front().unwrap();
+            self.base_seq += 1;
+            if self.free.len() < MAX_CHUNKS {
+                if let Ok(mut buf) = Arc::try_unwrap(slot.data) {
+                    buf.clear();
+                    self.free.push(buf);
+                }
+            }
+        }
+    }
 }
 
 struct Shared {
@@ -57,35 +92,54 @@ pub struct TraceWriter {
     aborted_seen: bool,
 }
 
-/// Consuming half: receive chunks until `None`.
+/// One consuming cursor: receives every chunk, in order, until `None`.
 pub struct TraceReader {
     shared: Arc<Shared>,
+    me: usize,
 }
 
-/// Create a bounded trace channel.
+/// Create a bounded single-consumer trace channel (the common cell-local
+/// streaming path) — [`broadcast_channel`] with one cursor.
 pub fn trace_channel() -> (TraceWriter, TraceReader) {
+    let (w, mut rs) = broadcast_channel(1);
+    (w, rs.pop().unwrap())
+}
+
+/// Create a bounded broadcast trace channel with `consumers` independent
+/// cursors.  Every reader observes the full entry sequence; a chunk's
+/// buffer is recycled once all readers are past it.
+pub fn broadcast_channel(consumers: usize) -> (TraceWriter, Vec<TraceReader>) {
+    assert!(consumers >= 1, "broadcast channel needs a consumer");
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
             queue: VecDeque::new(),
+            base_seq: 0,
             free: Vec::new(),
+            cursors: vec![0; consumers],
+            active: consumers,
             closed: false,
-            aborted: false,
             total: 0,
         }),
         cond: Condvar::new(),
     });
+    let readers = (0..consumers)
+        .map(|me| TraceReader {
+            shared: shared.clone(),
+            me,
+        })
+        .collect();
     (
         TraceWriter {
-            shared: shared.clone(),
+            shared,
             cur: Vec::with_capacity(CHUNK_LEN),
             aborted_seen: false,
         },
-        TraceReader { shared },
+        readers,
     )
 }
 
 impl TraceWriter {
-    /// Append one entry, flushing a full chunk (may block on a full queue).
+    /// Append one entry, flushing a full chunk (may block on a full ring).
     pub fn push(&mut self, e: TraceEntry) {
         if self.aborted_seen {
             return;
@@ -101,17 +155,22 @@ impl TraceWriter {
             return;
         }
         let mut st = self.shared.state.lock().unwrap();
-        while st.queue.len() >= MAX_CHUNKS && !st.aborted {
+        while st.queue.len() >= MAX_CHUNKS && st.active > 0 {
             st = self.shared.cond.wait(st).unwrap();
         }
-        if st.aborted {
+        if st.active == 0 {
             self.aborted_seen = true;
             self.cur.clear();
             return;
         }
         st.total += self.cur.len() as u64;
         let next = st.free.pop().unwrap_or_default();
-        st.queue.push_back(std::mem::replace(&mut self.cur, next));
+        let full = std::mem::replace(&mut self.cur, next);
+        let pending = st.active;
+        st.queue.push_back(Slot {
+            data: Arc::new(full),
+            pending,
+        });
         self.shared.cond.notify_all();
     }
 
@@ -125,7 +184,7 @@ impl TraceWriter {
 impl Drop for TraceWriter {
     fn drop(&mut self) {
         // Close without flushing: an abandoned writer (interpreter error)
-        // must still unblock the reader.
+        // must still unblock the readers.
         let mut st = self.shared.state.lock().unwrap();
         st.closed = true;
         self.shared.cond.notify_all();
@@ -134,13 +193,23 @@ impl Drop for TraceWriter {
 
 impl TraceReader {
     /// Receive the next chunk, blocking; `None` once the channel is closed
-    /// and drained (at which point [`TraceReader::total`] is exact).
-    pub fn recv(&self) -> Option<Vec<TraceEntry>> {
+    /// and this cursor has drained it (at which point
+    /// [`TraceReader::total`] is exact).
+    pub fn recv(&self) -> Option<Arc<Vec<TraceEntry>>> {
         let mut st = self.shared.state.lock().unwrap();
         loop {
-            if let Some(chunk) = st.queue.pop_front() {
+            let seq = st.cursors[self.me];
+            if seq < st.base_seq + st.queue.len() as u64 {
+                let idx = (seq - st.base_seq) as usize;
+                let slot = &mut st.queue[idx];
+                let data = slot.data.clone();
+                slot.pending -= 1;
+                st.cursors[self.me] = seq + 1;
+                st.pop_consumed();
+                // Space may have opened for the writer, and siblings may be
+                // waiting on the same chunk bookkeeping.
                 self.shared.cond.notify_all();
-                return Some(chunk);
+                return Some(data);
             }
             if st.closed {
                 return None;
@@ -149,12 +218,17 @@ impl TraceReader {
         }
     }
 
-    /// Return a consumed chunk's buffer for reuse by the writer.
-    pub fn recycle(&self, mut buf: Vec<TraceEntry>) {
-        buf.clear();
-        let mut st = self.shared.state.lock().unwrap();
-        if st.free.len() < MAX_CHUNKS {
-            st.free.push(buf);
+    /// Return a consumed chunk's buffer for reuse by the writer.  With
+    /// several consumers only the last one back actually recycles (the
+    /// others still held references); that is what keeps the steady state
+    /// allocation-free without any cross-consumer coordination.
+    pub fn recycle(&self, buf: Arc<Vec<TraceEntry>>) {
+        if let Ok(mut buf) = Arc::try_unwrap(buf) {
+            buf.clear();
+            let mut st = self.shared.state.lock().unwrap();
+            if st.free.len() < MAX_CHUNKS {
+                st.free.push(buf);
+            }
         }
     }
 
@@ -168,8 +242,19 @@ impl TraceReader {
 impl Drop for TraceReader {
     fn drop(&mut self) {
         let mut st = self.shared.state.lock().unwrap();
-        st.aborted = true;
-        st.queue.clear();
+        // Release this cursor's claim on everything still queued ahead of
+        // it, then let fully-consumed chunks leave the ring.
+        let seq = st.cursors[self.me];
+        if seq != DETACHED {
+            let base = st.base_seq;
+            let start = seq.max(base) - base;
+            for i in start as usize..st.queue.len() {
+                st.queue[i].pending -= 1;
+            }
+            st.cursors[self.me] = DETACHED;
+            st.active -= 1;
+            st.pop_consumed();
+        }
         self.shared.cond.notify_all();
     }
 }
@@ -247,10 +332,75 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_delivers_everything_to_every_consumer() {
+        let consumers = 3;
+        let n = 5 * CHUNK_LEN + 123;
+        let (mut w, readers) = broadcast_channel(consumers);
+        let handles: Vec<_> = readers
+            .into_iter()
+            .map(|rd| {
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(chunk) = rd.recv() {
+                        got.extend(chunk.iter().map(|e| e.id));
+                        rd.recycle(chunk);
+                    }
+                    assert_eq!(rd.total(), Some(n as u64));
+                    got
+                })
+            })
+            .collect();
+        for i in 0..n {
+            w.push(entry(i as u32));
+        }
+        w.finish();
+        for h in handles {
+            let got = h.join().unwrap();
+            assert_eq!(got.len(), n);
+            assert!(got.iter().enumerate().all(|(i, &id)| id == i as u32));
+        }
+    }
+
+    #[test]
+    fn one_dropped_consumer_does_not_stall_the_rest() {
+        let n = (MAX_CHUNKS + 4) * CHUNK_LEN; // more than the ring holds
+        let (mut w, mut readers) = broadcast_channel(2);
+        let slowpoke = readers.pop().unwrap();
+        let keeper = readers.pop().unwrap();
+        let h = std::thread::spawn(move || {
+            for i in 0..n {
+                w.push(entry(i as u32));
+            }
+            w.finish();
+        });
+        // Take one chunk on the doomed cursor, then abandon it mid-stream.
+        let first = slowpoke.recv().expect("first chunk");
+        slowpoke.recycle(first);
+        drop(slowpoke);
+        let mut count = 0usize;
+        while let Some(chunk) = keeper.recv() {
+            count += chunk.len();
+            keeper.recycle(chunk);
+        }
+        h.join().unwrap();
+        assert_eq!(count, n, "surviving consumer must see the full trace");
+    }
+
+    #[test]
     fn dropped_reader_does_not_block_writer() {
         let (mut w, rd) = trace_channel();
         drop(rd);
         // Far more than the channel bound: must not deadlock.
+        for i in 0..(MAX_CHUNKS + 2) * CHUNK_LEN {
+            w.push(entry(i as u32));
+        }
+        w.finish();
+    }
+
+    #[test]
+    fn all_readers_dropped_aborts_writer() {
+        let (mut w, readers) = broadcast_channel(3);
+        drop(readers);
         for i in 0..(MAX_CHUNKS + 2) * CHUNK_LEN {
             w.push(entry(i as u32));
         }

@@ -16,7 +16,7 @@ const F_HAS_ADDR: u8 = 1 << 2;
 const F_ANNULLED: u8 = 1 << 3;
 
 /// One retired instruction, 12 bytes.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Dense static-site id (see [`StaticLayout`]).
     pub id: u32,
@@ -59,6 +59,136 @@ impl TraceEntry {
     /// Guard predicate was false; the instruction retired with no effect.
     pub fn annulled(&self) -> bool {
         self.flags & F_ANNULLED != 0
+    }
+
+    /// Raw `(id, addr, flags)` view, for the binary codec.
+    pub(crate) fn to_raw(self) -> (u32, u32, u8) {
+        (self.id, self.addr, self.flags)
+    }
+
+    /// Rebuild from the raw parts [`TraceEntry::to_raw`] produced.  Returns
+    /// `None` for flag bits no entry can carry (codec corruption guard).
+    pub(crate) fn from_raw(id: u32, addr: u32, flags: u8) -> Option<TraceEntry> {
+        const KNOWN: u8 = F_TAKEN | F_IS_BRANCH | F_HAS_ADDR | F_ANNULLED;
+        if flags & !KNOWN != 0 {
+            return None;
+        }
+        // TAKEN without IS_BRANCH, or an address on a non-memory entry,
+        // are states `from_retire` never produces.
+        if flags & F_TAKEN != 0 && flags & F_IS_BRANCH == 0 {
+            return None;
+        }
+        if flags & F_HAS_ADDR == 0 && addr != 0 {
+            return None;
+        }
+        Some(TraceEntry { id, addr, flags })
+    }
+}
+
+/// Whether a raw flags byte carries an address field (codec helper).
+pub(crate) fn flags_has_addr(flags: u8) -> bool {
+    flags & F_HAS_ADDR != 0
+}
+
+/// Chunk granularity of a [`SharedTrace`] (shared with [`crate::stream`]).
+pub const SHARED_CHUNK_LEN: usize = crate::stream::CHUNK_LEN;
+
+/// A complete dynamic trace stored as refcounted fixed-size chunks, so many
+/// simulator instances can read it concurrently (each through its own
+/// cursor) without copying it per consumer.
+#[derive(Clone, Debug, Default)]
+pub struct SharedTrace {
+    chunks: Vec<std::sync::Arc<Vec<TraceEntry>>>,
+    total: u64,
+}
+
+impl SharedTrace {
+    /// Build from a flat entry sequence (tests, codec).
+    pub fn from_entries(entries: impl IntoIterator<Item = TraceEntry>) -> SharedTrace {
+        let mut b = SharedTraceBuilder::default();
+        for e in entries {
+            b.push(e);
+        }
+        b.finish()
+    }
+
+    /// The refcounted chunks, in trace order.
+    pub fn chunks(&self) -> &[std::sync::Arc<Vec<TraceEntry>>] {
+        &self.chunks
+    }
+
+    /// Total entries across all chunks.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Iterate every entry in order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> + '_ {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+}
+
+/// Incremental [`SharedTrace`] assembly ([`ChunkRecorder`], codec decode).
+#[derive(Default)]
+pub struct SharedTraceBuilder {
+    chunks: Vec<std::sync::Arc<Vec<TraceEntry>>>,
+    cur: Vec<TraceEntry>,
+    total: u64,
+}
+
+impl SharedTraceBuilder {
+    pub fn push(&mut self, e: TraceEntry) {
+        if self.cur.capacity() == 0 {
+            self.cur.reserve_exact(SHARED_CHUNK_LEN);
+        }
+        self.cur.push(e);
+        self.total += 1;
+        if self.cur.len() >= SHARED_CHUNK_LEN {
+            let full = std::mem::replace(&mut self.cur, Vec::with_capacity(SHARED_CHUNK_LEN));
+            self.chunks.push(std::sync::Arc::new(full));
+        }
+    }
+
+    pub fn finish(mut self) -> SharedTrace {
+        if !self.cur.is_empty() {
+            self.chunks.push(std::sync::Arc::new(self.cur));
+        }
+        SharedTrace {
+            chunks: self.chunks,
+            total: self.total,
+        }
+    }
+}
+
+/// Observer that records the dynamic trace straight into [`SharedTrace`]
+/// chunks — the single-interpretation path behind the harness trace stage
+/// ("trace once, simulate many").
+pub struct ChunkRecorder {
+    layout: StaticLayout,
+    builder: SharedTraceBuilder,
+}
+
+impl ChunkRecorder {
+    pub fn new(prog: &Program) -> ChunkRecorder {
+        ChunkRecorder {
+            layout: StaticLayout::build(prog),
+            builder: SharedTraceBuilder::default(),
+        }
+    }
+
+    pub fn finish(self) -> SharedTrace {
+        self.builder.finish()
+    }
+}
+
+impl Observer for ChunkRecorder {
+    fn on_retire(&mut self, _insn: &Instruction, ev: &RetireEvent) {
+        self.builder
+            .push(TraceEntry::from_retire(self.layout.id(ev.site), ev));
     }
 }
 
@@ -135,6 +265,44 @@ mod tests {
         for e in &entries {
             assert!((e.id as usize) < layout.num_sites());
         }
+    }
+
+    #[test]
+    fn chunk_recorder_matches_flat_recorder() {
+        let mut fb = FuncBuilder::new("c");
+        fb.block("e");
+        fb.li(r(1), 3 * SHARED_CHUNK_LEN as i64 / 2); // spans chunk boundary
+        fb.block("loop");
+        fb.subi(r(1), r(1), 1);
+        fb.sw(r(1), r(0), 3);
+        fb.bgtz(r(1), "loop");
+        fb.block("done");
+        fb.halt();
+        let prog = single_func_program(fb);
+        let (_l, flat, _) = trace_program(&prog).expect("runs");
+        let mut rec = ChunkRecorder::new(&prog);
+        crate::exec::Interp::new(&prog).run_with(&mut rec).unwrap();
+        let shared = rec.finish();
+        assert_eq!(shared.len(), flat.len() as u64);
+        assert!(shared.chunks().len() >= 2, "trace should span chunks");
+        assert!(shared
+            .chunks()
+            .iter()
+            .all(|c| c.len() <= SHARED_CHUNK_LEN && !c.is_empty()));
+        assert!(shared.iter().copied().eq(flat.iter().copied()));
+        assert!(SharedTrace::from_entries(flat.iter().copied())
+            .iter()
+            .copied()
+            .eq(flat.iter().copied()));
+    }
+
+    #[test]
+    fn raw_roundtrip_rejects_impossible_states() {
+        assert!(TraceEntry::from_raw(1, 0, F_IS_BRANCH | F_TAKEN).is_some());
+        assert!(TraceEntry::from_raw(1, 0, F_TAKEN).is_none());
+        assert!(TraceEntry::from_raw(1, 0, 1 << 6).is_none());
+        assert!(TraceEntry::from_raw(1, 7, 0).is_none(), "addr without flag");
+        assert!(TraceEntry::from_raw(1, 7, F_HAS_ADDR).is_some());
     }
 
     #[test]

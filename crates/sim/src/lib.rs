@@ -49,8 +49,9 @@ pub mod stats;
 pub use cache::Cache;
 pub use config::{Latencies, MachineConfig, QueueKind};
 pub use pipeline::{
-    simulate_program, simulate_program_streamed, simulate_program_streamed_in, simulate_trace,
-    simulate_trace_in, simulate_trace_logged, CycleLog, CycleRecord, SimContext, SimError,
+    prepare_program, simulate_program, simulate_program_fanout, simulate_program_streamed,
+    simulate_program_streamed_in, simulate_shared_in, simulate_trace, simulate_trace_in,
+    simulate_trace_logged, ChunkSource, CycleLog, CycleRecord, PreparedSim, SimContext, SimError,
     SliceSource, StreamSource, TraceSource,
 };
 pub use stats::SimStats;

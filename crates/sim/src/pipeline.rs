@@ -4,11 +4,12 @@ use crate::cache::Cache;
 use crate::config::{class_idx, MachineConfig, QueueKind};
 use crate::stats::SimStats;
 use guardspec_interp::stream::{StreamObserver, TraceReader};
-use guardspec_interp::{StaticLayout, TraceEntry};
+use guardspec_interp::{SharedTrace, StaticLayout, TraceEntry};
 use guardspec_ir::{FuClass, Opcode, Program, Reg};
 use guardspec_predict::{BranchKind, Btb, Scheme, TwoBitTable};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// Maximum source operands per instruction (two register operands plus the
 /// guard predicate), so dependence lists fit inline without heap traffic.
@@ -222,7 +223,7 @@ impl TraceSource for SliceSource<'_> {
 /// recycled back to the producer.
 pub struct StreamSource {
     reader: TraceReader,
-    pending: VecDeque<Vec<TraceEntry>>,
+    pending: VecDeque<Arc<Vec<TraceEntry>>>,
     /// Index into `pending.front()`.
     idx: usize,
     /// Entries received so far — a lower bound on the trace length, exact
@@ -296,6 +297,58 @@ impl TraceSource for StreamSource {
             }
             self.pull();
         }
+    }
+}
+
+/// A per-consumer cursor over the refcounted chunks of a [`SharedTrace`].
+///
+/// Many simulator instances can hold a `ChunkSource` over the same trace
+/// concurrently: each cursor is independent and the chunk data is shared,
+/// never copied.  This is the fan-out consumption path — the trace is
+/// materialized once (by the harness trace stage or decoded from the trace
+/// cache) and every dependent sim cell reads it through one of these.
+pub struct ChunkSource<'a> {
+    /// Chunks not yet entered; the head moves into `cur` on rollover.
+    chunks: &'a [Arc<Vec<TraceEntry>>],
+    /// The chunk being consumed, borrowed as a plain slice so the hot
+    /// `cur()` path costs the same as [`SliceSource`] — one bounds check,
+    /// no `Arc`/`Vec` double indirection (it is called several times per
+    /// simulated cycle).
+    cur: &'a [TraceEntry],
+    idx: usize,
+    total: u64,
+}
+
+impl<'a> ChunkSource<'a> {
+    pub fn new(trace: &'a SharedTrace) -> ChunkSource<'a> {
+        ChunkSource {
+            chunks: trace.chunks(),
+            cur: &[],
+            idx: 0,
+            total: trace.len(),
+        }
+    }
+}
+
+impl TraceSource for ChunkSource<'_> {
+    fn cur(&mut self) -> Option<TraceEntry> {
+        loop {
+            if let Some(&e) = self.cur.get(self.idx) {
+                return Some(e);
+            }
+            let (head, rest) = self.chunks.split_first()?;
+            self.cur = head;
+            self.chunks = rest;
+            self.idx = 0;
+        }
+    }
+
+    fn advance(&mut self) {
+        self.idx += 1;
+    }
+
+    fn budget_exceeded(&mut self, now: u64) -> bool {
+        now > BUDGET_PER_ENTRY * self.total + BUDGET_SLACK
     }
 }
 
@@ -382,6 +435,11 @@ struct Pipeline<'a, S: TraceSource> {
     /// Fetch is stalled until this entry (by seq) resolves.
     fetch_blocked_by: Option<u64>,
     fpdiv_free_at: u64,
+    /// Window index of the oldest entry that may still be `InQueue`.
+    /// States only advance (`InQueue` → `Executing` → `Complete`), so the
+    /// wake-up scan can skip the already-issued prefix — the dominant cost
+    /// when a full reorder buffer drains through narrow issue ports.
+    issue_head: usize,
 
     ctx: &'a mut SimContext,
     stats: SimStats,
@@ -434,6 +492,7 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
                 Some(e) if e.state == EState::Complete => {
                     let e = self.ctx.window.pop_front().unwrap();
                     self.head_seq = e.seq + 1;
+                    self.issue_head = self.issue_head.saturating_sub(1);
                     // Reservation-station entries are held until graduation
                     // (the R10000 address queue keeps loads/stores until
                     // they graduate) — this is what makes Table 3's
@@ -462,25 +521,40 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
     fn issue_stage(&mut self) {
         let mut issued = [0usize; 8];
         let now = self.now;
-        for i in 0..self.ctx.window.len() {
+        // Entries below `issue_head` have already left `InQueue`; scanning
+        // in index order from there preserves oldest-first select exactly.
+        let mut new_head: Option<usize> = None;
+        let still_in_queue = |new_head: &mut Option<usize>, i: usize| {
+            if new_head.is_none() {
+                *new_head = Some(i);
+            }
+        };
+        for i in self.issue_head..self.ctx.window.len() {
             let (ready, class) = {
                 let e = &self.ctx.window[i];
-                if e.state != EState::InQueue || now <= e.disp_cycle + self.cfg.frontend_depth {
+                if e.state != EState::InQueue {
+                    continue;
+                }
+                if now <= e.disp_cycle + self.cfg.frontend_depth {
+                    still_in_queue(&mut new_head, i);
                     continue;
                 }
                 let ready = e.deps().iter().all(|&d| self.dep_ready(d));
                 (ready, e.class)
             };
             if !ready {
+                still_in_queue(&mut new_head, i);
                 continue;
             }
             let ci = class_idx(class);
             let fus = self.cfg.fu_count[ci];
             if class != FuClass::Nop {
                 if issued[ci] >= fus {
+                    still_in_queue(&mut new_head, i);
                     continue; // structural hazard this cycle
                 }
                 if class == FuClass::FpDiv && now < self.fpdiv_free_at {
+                    still_in_queue(&mut new_head, i);
                     continue; // blocking divider
                 }
             }
@@ -511,6 +585,7 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
                 }
             }
         }
+        self.issue_head = new_head.unwrap_or(self.ctx.window.len());
         // A class is "full" this cycle if every unit of the class issued.
         for ci in 0..8 {
             let fus = self.cfg.fu_count[ci];
@@ -781,6 +856,7 @@ fn simulate_source<S: TraceSource>(
         fetch_resume: 0,
         fetch_blocked_by: None,
         fpdiv_free_at: 0,
+        issue_head: 0,
         ctx,
         stats: SimStats::default(),
         log: (log_cycles > 0).then(|| CycleLog::new(log_cycles)),
@@ -835,6 +911,107 @@ pub fn simulate_trace_logged(
         cfg,
         log_cycles,
     )
+}
+
+/// Static per-program simulation inputs (layout + site table), computed
+/// once and shared by every cell simulating the same program.  Rebuilding
+/// these per cell is cheap next to interpretation, but sharing them keeps
+/// the fan-out path allocation-light and makes the dependency explicit.
+pub struct PreparedSim {
+    layout: StaticLayout,
+    infos: Vec<SiteInfo>,
+}
+
+impl PreparedSim {
+    pub fn layout(&self) -> &StaticLayout {
+        &self.layout
+    }
+}
+
+/// Precompute the static tables [`simulate_shared_in`] needs for `prog`.
+pub fn prepare_program(prog: &Program) -> PreparedSim {
+    let layout = StaticLayout::build(prog);
+    let infos = build_site_infos(prog, &layout);
+    PreparedSim { layout, infos }
+}
+
+/// Simulate a [`SharedTrace`] under `scheme` on `cfg`, reusing `ctx`
+/// allocations.  Safe to call concurrently from many threads over the same
+/// `prep`/`trace` (each call only reads them); produces stats identical to
+/// [`simulate_trace_in`] over the flattened trace.
+pub fn simulate_shared_in(
+    ctx: &mut SimContext,
+    prep: &PreparedSim,
+    trace: &SharedTrace,
+    scheme: Scheme,
+    cfg: &MachineConfig,
+) -> Result<SimStats, SimError> {
+    simulate_source(
+        ctx,
+        &prep.infos,
+        &prep.layout,
+        ChunkSource::new(trace),
+        scheme,
+        cfg,
+        0,
+    )
+    .map(|(s, _)| s)
+}
+
+/// Run `prog` functionally **once**, broadcasting the trace over a bounded
+/// SPMC ring to one simulator thread per `(scheme, config)` cell.  All
+/// consumers see the identical entry sequence, so the stats match the
+/// per-cell [`simulate_program`] path exactly while interpretation cost is
+/// paid once instead of `cells.len()` times.
+pub fn simulate_program_fanout(
+    prog: &Program,
+    cells: &[(Scheme, MachineConfig)],
+) -> Result<(Vec<SimStats>, guardspec_interp::ExecResult), Box<dyn std::error::Error>> {
+    if cells.is_empty() {
+        let res = guardspec_interp::run(prog)?;
+        return Ok((Vec::new(), res));
+    }
+    let prep = prepare_program(prog);
+    let (writer, readers) = guardspec_interp::stream::broadcast_channel(cells.len());
+    let (sims, exec) = std::thread::scope(|s| {
+        let producer = s.spawn(|| {
+            let mut obs = StreamObserver::new(&prep.layout, writer);
+            let res = guardspec_interp::Interp::new(prog).run_with(&mut obs);
+            if res.is_ok() {
+                obs.finish();
+            }
+            res
+        });
+        let consumers: Vec<_> = cells
+            .iter()
+            .zip(readers)
+            .map(|((scheme, cfg), reader)| {
+                let prep = &prep;
+                s.spawn(move || {
+                    let mut ctx = SimContext::new(cfg);
+                    simulate_source(
+                        &mut ctx,
+                        &prep.infos,
+                        &prep.layout,
+                        StreamSource::new(reader),
+                        *scheme,
+                        cfg,
+                        0,
+                    )
+                    .map(|(s, _)| s)
+                })
+            })
+            .collect();
+        let sims: Vec<_> = consumers
+            .into_iter()
+            .map(|h| h.join().expect("fan-out simulator panicked"))
+            .collect();
+        let exec = producer.join().expect("trace producer panicked");
+        (sims, exec)
+    });
+    let exec = exec?;
+    let stats = sims.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok((stats, exec))
 }
 
 /// Run `prog` functionally, then simulate its trace.  Returns the timing
@@ -1121,6 +1298,51 @@ mod tests {
             assert_eq!(mat, str_, "stats diverge under {scheme:?}");
             assert_eq!(mat_res.summary.retired, str_res.summary.retired);
         }
+    }
+
+    #[test]
+    fn shared_trace_stats_match_slice_for_every_scheme() {
+        let prog = count_loop(1000);
+        let cfg = MachineConfig::r10000();
+        let (layout, flat, _) = guardspec_interp::trace::trace_program(&prog).expect("trace");
+        let shared = SharedTrace::from_entries(flat.iter().copied());
+        let prep = prepare_program(&prog);
+        let mut ctx = SimContext::new(&cfg);
+        for scheme in [Scheme::TwoBit, Scheme::Proposed, Scheme::Perfect] {
+            let slice = simulate_trace(&prog, &layout, &flat, scheme, &cfg).expect("slice");
+            let chunked =
+                simulate_shared_in(&mut ctx, &prep, &shared, scheme, &cfg).expect("shared");
+            assert_eq!(slice, chunked, "stats diverge under {scheme:?}");
+        }
+    }
+
+    #[test]
+    fn fanout_stats_match_per_cell_simulation() {
+        let prog = count_loop(2000);
+        let big = MachineConfig::r10000();
+        let mut small = MachineConfig::r10000();
+        small.bht_entries = 64;
+        let cells = vec![
+            (Scheme::TwoBit, big.clone()),
+            (Scheme::Proposed, big.clone()),
+            (Scheme::Perfect, big.clone()),
+            (Scheme::TwoBit, small.clone()),
+        ];
+        let (fanned, fan_res) = simulate_program_fanout(&prog, &cells).expect("fanout");
+        assert_eq!(fanned.len(), cells.len());
+        for ((scheme, cfg), fan) in cells.iter().zip(&fanned) {
+            let (solo, solo_res) = simulate_program(&prog, *scheme, cfg).expect("solo");
+            assert_eq!(&solo, fan, "fan-out diverges under {scheme:?}");
+            assert_eq!(solo_res.summary.retired, fan_res.summary.retired);
+        }
+    }
+
+    #[test]
+    fn fanout_with_no_cells_still_executes() {
+        let prog = count_loop(10);
+        let (stats, res) = simulate_program_fanout(&prog, &[]).expect("runs");
+        assert!(stats.is_empty());
+        assert!(res.summary.retired > 0);
     }
 
     #[test]

@@ -28,6 +28,23 @@ cmp /tmp/ci_t3_stream.txt /tmp/ci_t3_nostream.txt
 cargo run --release -p guardspec-bench --bin hotloop -- --scale test > /dev/null
 test -s results/BENCH_2.json
 
+echo "== trace cache cold/warm (table3 in a scratch dir, then tracefan) =="
+# Cold run records binary trace blobs; the warm rerun in the same scratch
+# dir must replay them (no interpretation) and print identical tables.
+TCDIR=$(mktemp -d)
+(cd "$TCDIR" && "$OLDPWD/target/release/table3" --scale test --jobs 1 > cold.txt)
+# Blobs are sharded: results/cache/<2 hex>/trace-<digest>.bin
+find "$TCDIR"/results/cache -name 'trace-*.bin' | grep -q .
+(cd "$TCDIR" && "$OLDPWD/target/release/table3" --scale test --jobs 1 > warm.txt)
+cmp "$TCDIR"/cold.txt "$TCDIR"/warm.txt
+rm -rf "$TCDIR"
+# tracefan asserts the structural claims itself: cold fan-out interprets
+# once per distinct program, warm interprets zero times with every trace
+# replayed from its blob, and the stable artifact is byte-identical
+# across the before/cold/warm paths.
+cargo run --release -p guardspec-bench --bin tracefan -- --scale test > /dev/null
+test -s results/BENCH_10.json
+
 echo "== fuzz smoke (200 differential cases, fixed seed) =="
 # Deterministic: fails (exit 1) on any transform-equivalence divergence.
 cargo run --release -p guardspec-fuzz --bin fuzz -- --cases 200 --seed 7
