@@ -2,7 +2,7 @@
 
 use guardspec_ir::Reg;
 
-const WORDS: usize = (Reg::DENSE_COUNT + 63) / 64;
+const WORDS: usize = Reg::DENSE_COUNT.div_ceil(64);
 
 /// A fixed-size bitset keyed by [`Reg::dense_index`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]

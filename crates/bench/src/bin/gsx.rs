@@ -193,8 +193,8 @@ fn main() {
             .expect("sim");
             let log = log.expect("log");
             println!(
-                "{:>6} {:>5} {:>5} {:>6} | {:>3} {:>4} {:>4} | {}",
-                "cycle", "fetch", "issue", "commit", "BRq", "LDq", "INTq", "fetch state"
+                "{:>6} {:>5} {:>5} {:>6} | {:>3} {:>4} {:>4} | fetch state",
+                "cycle", "fetch", "issue", "commit", "BRq", "LDq", "INTq"
             );
             for r in &log.records {
                 let issued: u32 = r.issued.iter().map(|&x| x as u32).sum();

@@ -1,0 +1,191 @@
+//! Cycle-accounting attribution report.
+//!
+//! Runs the Tables-3/4 matrix with the simulator's cycle-accounting
+//! observer on and prints, per workload:
+//!
+//! * the **cycle-bucket table** — every cycle of each scheme attributed to
+//!   exactly one cause (the buckets are asserted to sum to `stats.cycles`),
+//! * the **attribution table** — each branch the Figure-6 driver actively
+//!   transformed, pairing its *predicted* benefit/cost (decision log)
+//!   with the *measured* baseline cost of that site (2-bit-BP mispredicts
+//!   and recovery cycles at the same original-program location),
+//! * the measured whole-workload mispredict delta (2-bit − proposed).
+//!
+//! Extra flags on top of the common set:
+//!
+//! * `--check-trace <file>` — do not run anything; validate that `<file>`
+//!   is a loadable Chrome trace-event document (parses, has the required
+//!   fields, spans nest per thread).  Exit 0/1.  Used by `scripts/verify.sh`.
+
+use guardspec_bench::{finish_artifacts, harness_args, hr, run_options};
+use guardspec_harness::{run_experiment, CellResult, ExperimentSpec};
+use guardspec_interp::StaticLayout;
+use guardspec_predict::Scheme;
+use guardspec_sim::CycleBucket;
+
+fn main() {
+    if let Some(path) = check_trace_arg() {
+        std::process::exit(check_trace(&path));
+    }
+
+    let args = harness_args();
+    let scale = args.scale;
+    let spec = ExperimentSpec::three_schemes("report", scale);
+    let mut opts = run_options(&args);
+    opts.observe = true; // the whole point of this binary
+    let result = run_experiment(&spec, &opts);
+
+    println!("Cycle-accounting attribution report (scale {scale:?})");
+    for (wi, w) in result.workloads.iter().enumerate() {
+        let cells: Vec<&CellResult> = result.cells_for(&w.name).collect();
+        println!();
+        println!("== {} ==", w.name);
+
+        // Cycle buckets, one column per scheme, as % of that cell's cycles.
+        hr(76);
+        print!("{:<22}", "cycle bucket");
+        for c in &cells {
+            print!(" {:>16}", c.label);
+        }
+        println!();
+        hr(76);
+        for bucket in CycleBucket::ALL {
+            print!("{:<22}", bucket.name());
+            for c in &cells {
+                let acct = c.accounting.as_ref().expect("observed run");
+                // The invariant the whole report rests on.
+                acct.check(&c.stats);
+                let pct = 100.0 * acct.bucket(bucket) as f64 / c.stats.cycles as f64;
+                print!(" {:>15.2}%", pct);
+            }
+            println!();
+        }
+        hr(76);
+
+        // Per-site attribution: decisions that changed code, against the
+        // baseline (2-bit, original program) measurement of the same site.
+        let base = cell_for(&cells, Scheme::TwoBit);
+        let prop = cell_for(&cells, Scheme::Proposed);
+        let base_acct = base.accounting.as_ref().expect("observed run");
+        let layout = StaticLayout::build(&spec.workloads[wi].program);
+        let report = prop.report.as_ref().expect("proposed cell has a report");
+        check_decision_schema(&w.name, report);
+        println!("transformed branches: predicted (driver) vs measured (2-bit baseline)");
+        println!(
+            "{:<36} {:>9} {:>9} | {:>9} {:>10} {:>9}",
+            "site / action", "benefit", "cost", "execs", "mispredicts", "recovery"
+        );
+        let mut any = false;
+        for d in &report.decisions {
+            if d.action == "untouched" {
+                continue;
+            }
+            any = true;
+            let site = guardspec_ir::InsnRef {
+                func: guardspec_ir::FuncId(d.func),
+                block: guardspec_ir::BlockId(d.block),
+                idx: d.idx,
+            };
+            let m = base_acct.site(layout.id(site));
+            println!(
+                "{:<36} {:>9} {:>9} | {:>9} {:>10} {:>9}",
+                format!("f{} b{} i{} {}", d.func, d.block, d.idx, d.action),
+                d.benefit,
+                d.cost,
+                m.executions,
+                m.mispredicts,
+                m.recovery_cycles
+            );
+        }
+        if !any {
+            println!("(driver left every branch untouched)");
+        }
+        let delta = base.stats.mispredicts as i64 - prop.stats.mispredicts as i64;
+        println!(
+            "workload mispredicts: {} (2-bit) -> {} (proposed), delta {}; \
+             recovery cycles {} -> {}",
+            base.stats.mispredicts,
+            prop.stats.mispredicts,
+            delta,
+            base_acct.bucket(CycleBucket::MispredictRecovery),
+            prop.accounting
+                .as_ref()
+                .expect("observed run")
+                .bucket(CycleBucket::MispredictRecovery),
+        );
+    }
+    finish_artifacts(&result, &args);
+}
+
+fn cell_for<'a>(cells: &[&'a CellResult], scheme: Scheme) -> &'a CellResult {
+    cells
+        .iter()
+        .find(|c| c.scheme == scheme)
+        .expect("three_schemes spec has every scheme")
+}
+
+/// The decision-log schema check: every visited branch carries a tagged
+/// behavior, a tagged action, and a nonempty reason; active transforms
+/// carry the cost comparison that justified them.
+fn check_decision_schema(wname: &str, report: &guardspec_harness::ReportSummary) {
+    assert!(
+        !report.decisions.is_empty(),
+        "{wname}: proposed transform visited no loop branches"
+    );
+    for d in &report.decisions {
+        assert!(!d.reason.is_empty(), "{wname}: decision without reason");
+        assert!(!d.action.is_empty(), "{wname}: decision without action");
+        assert!(!d.behavior.is_empty(), "{wname}: decision without behavior");
+        let active = d.action != "untouched";
+        if active && (d.action.starts_with("if-convert") || d.action.starts_with("split-branch")) {
+            assert!(
+                d.benefit != "-" && d.cost != "-",
+                "{wname}: gated action {} lacks its cost comparison",
+                d.action
+            );
+        }
+    }
+}
+
+fn check_trace_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--check-trace" {
+            match args.next() {
+                Some(p) => return Some(p),
+                None => {
+                    eprintln!("error: --check-trace needs a value");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn check_trace(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+    let parsed = match guardspec_harness::json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{path}: not valid JSON: {e}");
+            return 1;
+        }
+    };
+    match guardspec_harness::validate_chrome_trace(&parsed) {
+        Ok(()) => {
+            println!("{path}: valid Chrome trace-event document");
+            0
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            1
+        }
+    }
+}

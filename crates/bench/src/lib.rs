@@ -15,6 +15,7 @@
 //! | `sweeps`   | design-choice sweeps (DESIGN.md §5) |
 //! | `decisions`| per-branch Figure-6 decision dump |
 //! | `gsx`      | run/profile/optimize/simulate a textual-assembly file |
+//! | `report`   | cycle-accounting attribution: predicted vs measured per branch site |
 //!
 //! ## Common flags
 //!
@@ -36,6 +37,12 @@
 //!   across all its cells.  Same results, more interpreter work.
 //! * `--no-trace-cache` — do not persist/reuse binary trace blobs
 //!   (`trace-<digest>.bin`) in the results cache; every run re-interprets.
+//! * `--observe` — enable simulator cycle accounting: each cell's artifact
+//!   entry gains `cycle_buckets` (every cycle attributed to exactly one
+//!   cause; the buckets sum to `stats.cycles`) and `top_sites` (the branch
+//!   sites costing the most mispredict-recovery cycles).
+//! * `--trace-out <path>` — write a Chrome trace-event timeline of the job
+//!   graph to `<path>`; load it at ui.perfetto.dev or `chrome://tracing`.
 //!
 //! ## Results cache and artifacts
 //!
@@ -76,6 +83,8 @@ pub fn run_options(args: &HarnessArgs) -> RunOptions {
         stream: !args.no_stream,
         fanout: !args.no_fanout,
         trace_cache: !args.no_trace_cache,
+        observe: args.observe,
+        trace_spans: args.trace_out.is_some(),
         ..RunOptions::default()
     }
 }
@@ -95,6 +104,13 @@ pub fn finish_artifacts(result: &ExperimentResult, args: &HarnessArgs) {
         match guardspec_harness::write_json_file(path, &guardspec_harness::full_json(result)) {
             Ok(()) => eprintln!("[artifact] {}", path.display()),
             Err(e) => eprintln!("[artifact] {} write failed: {e}", path.display()),
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        let trace = guardspec_harness::chrome_trace_json(&result.spans, &result.metrics);
+        match guardspec_harness::write_json_file(path, &trace) {
+            Ok(()) => eprintln!("[trace] {}", path.display()),
+            Err(e) => eprintln!("[trace] {} write failed: {e}", path.display()),
         }
     }
 }
@@ -213,7 +229,7 @@ pub fn workloads(scale: Scale) -> Vec<Workload> {
     all_workloads(scale)
 }
 
-/// Render helpers ---------------------------------------------------------
+// Render helpers ----------------------------------------------------------
 
 pub fn hr(width: usize) {
     println!("{}", "-".repeat(width));

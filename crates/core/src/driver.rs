@@ -11,7 +11,7 @@ use crate::remap::Remap;
 use crate::renamepool::RenamePool;
 use crate::schedule::Resources;
 use crate::speculate::speculate_into_head;
-use crate::splitbranch::{split_branches, SplitPlan, SplitSpec};
+use crate::splitbranch::{split_branches, HybridSegment, SplitPlan, SplitSpec};
 use guardspec_analysis::{find_hammocks, Cfg, DomTree, Hammock, Liveness, LoopForest};
 use guardspec_interp::Profile;
 use guardspec_ir::{BlockId, FuncId, InsnRef, Opcode, Program};
@@ -128,6 +128,39 @@ pub enum Action {
     LikelyAndSpeculated { hoisted: usize },
 }
 
+impl Action {
+    /// Compact deterministic tag for the decision log.
+    pub fn tag(&self) -> String {
+        match self {
+            Action::None(_) => "untouched".to_string(),
+            Action::BranchLikely => "branch-likely".to_string(),
+            Action::IfConverted { guarded_ops } => format!("if-convert(guarded_ops={guarded_ops})"),
+            Action::Split { likelies } => format!("split-branch(likelies={likelies})"),
+            Action::Speculated { hoisted, renamed } => {
+                format!("speculate(hoisted={hoisted},renamed={renamed})")
+            }
+            Action::LikelyAndSpeculated { hoisted } => {
+                format!("likely+speculate(hoisted={hoisted})")
+            }
+        }
+    }
+}
+
+/// The two sides of a Figure-6 cost comparison (estimated cycles).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostComparison {
+    /// Estimated cycles saved by the transformation.
+    pub benefit: f64,
+    /// Estimated cycles of overhead it introduces.
+    pub cost: f64,
+}
+
+impl CostComparison {
+    pub fn wins(&self) -> bool {
+        self.benefit > self.cost
+    }
+}
+
 /// One branch's record in the report.
 #[derive(Clone, Debug)]
 pub struct Decision {
@@ -135,9 +168,50 @@ pub struct Decision {
     /// Site in the ORIGINAL (pre-transform) program.
     pub site: InsnRef,
     pub backward: bool,
+    /// Dynamic executions observed in the profile.
+    pub executed: u64,
     pub taken_rate: f64,
     pub behavior: BranchBehavior,
+    /// The cost comparison the driver evaluated at this site, if a gate
+    /// ran (split gate for phased/periodic, guarded gate otherwise).
+    pub cost: Option<CostComparison>,
     pub action: Action,
+}
+
+impl Decision {
+    /// Why the action was (or was not) taken.
+    pub fn reason(&self) -> &'static str {
+        match &self.action {
+            Action::None(r) => r,
+            Action::BranchLikely => "taken rate above likely threshold",
+            Action::IfConverted { .. } => "guarded cost beats expected mispredict penalty",
+            Action::Split { .. } => "split benefit exceeds instrumentation cost",
+            Action::Speculated { .. } => "mispredict-prone; dominant arm speculated into head",
+            Action::LikelyAndSpeculated { .. } => "likely conversion plus dominant-arm speculation",
+        }
+    }
+
+    /// One deterministic decision-log line.
+    pub fn log_line(&self) -> String {
+        let (benefit, cost) = self
+            .cost
+            .map(|c| (format!("{:.2}", c.benefit), format!("{:.2}", c.cost)))
+            .unwrap_or_else(|| ("-".to_string(), "-".to_string()));
+        format!(
+            "func={} block={} idx={} dir={} executed={} taken_rate={:.4} behavior={} benefit={} cost={} action={} reason={}",
+            self.func.0,
+            self.site.block.0,
+            self.site.idx,
+            if self.backward { "back" } else { "fwd" },
+            self.executed,
+            self.taken_rate,
+            self.behavior.tag(),
+            benefit,
+            cost,
+            self.action.tag(),
+            self.reason(),
+        )
+    }
 }
 
 /// Aggregate transform report.
@@ -155,6 +229,12 @@ pub struct TransformReport {
 impl TransformReport {
     pub fn count(&self, f: impl Fn(&Action) -> bool) -> usize {
         self.decisions.iter().filter(|d| f(&d.action)).count()
+    }
+
+    /// The structured Figure-6 decision log: one deterministic line per
+    /// loop branch the driver visited, in visit order.
+    pub fn decision_log_lines(&self) -> Vec<String> {
+        self.decisions.iter().map(|d| d.log_line()).collect()
     }
 }
 
@@ -227,18 +307,25 @@ fn transform_function(
                 func: fid,
                 site,
                 backward,
+                executed: 0,
                 taken_rate: 0.0,
                 behavior: BranchBehavior::Irregular {
                     rate: 0.0,
                     toggle: 0.0,
                 },
+                cost: None,
                 action: Action::None("never executed"),
             });
             continue;
         };
         let rate = bp.taken_rate();
+        let executed = bp.executed;
         let behavior = classify(&bp.outcomes, &opts.feedback);
         let hammock = hammocks.iter().find(|h| h.head == site.block).copied();
+        // The cost comparison evaluated at this site, recorded whichever
+        // way it went (split gate for phased/periodic, guarded gate via
+        // `convert_or_speculate` otherwise).
+        let mut gate: Option<CostComparison> = None;
 
         let action: Action = if backward {
             // Figure 6, backward-branch arm: only the likely conversion.
@@ -300,8 +387,10 @@ fn transform_function(
                                     func: fid,
                                     site,
                                     backward,
+                                    executed,
                                     taken_rate: rate,
                                     behavior,
+                                    cost: None,
                                     action: Action::Speculated {
                                         hoisted: 0,
                                         renamed: 0,
@@ -320,11 +409,13 @@ fn transform_function(
                     if opts.enable_ifconvert {
                         if let Some(h) = hammock {
                             let f = prog.func(fid);
-                            if can_convert(f, &h, opts.max_arm_len).is_ok()
-                                && guarded_wins(f, &h, &bp.outcomes, *r, opts, &res)
-                            {
-                                convert_hammocks.push((site, h));
-                                act = Action::IfConverted { guarded_ops: 0 };
+                            if can_convert(f, &h, opts.max_arm_len).is_ok() {
+                                let cmp = guarded_cost(f, &h, &bp.outcomes, *r, opts, &res);
+                                gate = Some(cmp);
+                                if cmp.wins() {
+                                    convert_hammocks.push((site, h));
+                                    act = Action::IfConverted { guarded_ops: 0 };
+                                }
                             }
                         }
                     }
@@ -356,23 +447,26 @@ fn transform_function(
                 BranchBehavior::Phased { segments } => {
                     // The per-segment extension: Mixed phases may hide a
                     // periodic pattern the algebraic counter can steer.
-                    let hybrid: Vec<(crate::feedback::Segment, Option<(usize, Vec<bool>)>)> =
-                        segments
-                            .iter()
-                            .map(|seg| {
-                                let per = (seg.class == SegmentClass::Mixed)
-                                    .then(|| segment_periodicity(&bp.outcomes, seg, &opts.feedback))
-                                    .flatten();
-                                (*seg, per)
-                            })
-                            .collect();
-                    if !opts.enable_split || !split_wins_hybrid(&bp.outcomes, &hybrid, opts) {
+                    let hybrid: Vec<HybridSegment> = segments
+                        .iter()
+                        .map(|seg| {
+                            let per = (seg.class == SegmentClass::Mixed)
+                                .then(|| segment_periodicity(&bp.outcomes, seg, &opts.feedback))
+                                .flatten();
+                            (*seg, per)
+                        })
+                        .collect();
+                    let split_cmp = opts
+                        .enable_split
+                        .then(|| split_cost_hybrid(&bp.outcomes, &hybrid, opts));
+                    gate = split_cmp;
+                    if !split_cmp.is_some_and(|c| c.wins()) {
                         let reason = if opts.enable_split {
                             "phased; instrumentation cost exceeds benefit"
                         } else {
                             "phased; splitting disabled"
                         };
-                        let act = convert_or_speculate(
+                        let (act, fb_cmp) = convert_or_speculate(
                             prog,
                             fid,
                             site,
@@ -389,8 +483,17 @@ fn transform_function(
                             func: fid,
                             site,
                             backward,
+                            executed,
                             taken_rate: rate,
                             behavior,
+                            // Record the comparison that decided the
+                            // action: the guarded gate when the fallback
+                            // if-converted, the split gate otherwise.
+                            cost: if matches!(act, Action::IfConverted { .. }) {
+                                fb_cmp
+                            } else {
+                                gate.or(fb_cmp)
+                            },
                             action: act,
                         });
                         continue;
@@ -419,17 +522,16 @@ fn transform_function(
                     }
                 }
                 BranchBehavior::Periodic { period, pattern } => {
-                    let splittable = opts.enable_split
-                        && period.is_power_of_two()
-                        && *period <= 8
-                        && split_wins_periodic(&bp.outcomes, *period, opts);
-                    if !splittable {
+                    let split_cmp = (opts.enable_split && period.is_power_of_two() && *period <= 8)
+                        .then(|| split_cost_periodic(&bp.outcomes, *period, opts));
+                    gate = split_cmp;
+                    if !split_cmp.is_some_and(|c| c.wins()) {
                         let reason = if opts.enable_split {
                             "periodic; split not instrumentable or not profitable"
                         } else {
                             "periodic; splitting disabled"
                         };
-                        let act = convert_or_speculate(
+                        let (act, fb_cmp) = convert_or_speculate(
                             prog,
                             fid,
                             site,
@@ -446,8 +548,17 @@ fn transform_function(
                             func: fid,
                             site,
                             backward,
+                            executed,
                             taken_rate: rate,
                             behavior,
+                            // Record the comparison that decided the
+                            // action: the guarded gate when the fallback
+                            // if-converted, the split gate otherwise.
+                            cost: if matches!(act, Action::IfConverted { .. }) {
+                                fb_cmp
+                            } else {
+                                gate.or(fb_cmp)
+                            },
                             action: act,
                         });
                         continue;
@@ -480,7 +591,7 @@ fn transform_function(
                     // irregular short diamonds are the prime if-conversion
                     // targets — the branch is unpredictable, the merged code
                     // is cheap.
-                    convert_or_speculate(
+                    let (act, cmp) = convert_or_speculate(
                         prog,
                         fid,
                         site,
@@ -492,7 +603,9 @@ fn transform_function(
                         &mut convert_hammocks,
                         &mut pendings,
                         "irregular behavior",
-                    )
+                    );
+                    gate = cmp;
+                    act
                 }
             }
         };
@@ -500,8 +613,10 @@ fn transform_function(
             func: fid,
             site,
             backward,
+            executed,
             taken_rate: rate,
             behavior,
+            cost: gate,
             action,
         });
     }
@@ -572,8 +687,8 @@ fn transform_function(
     }
 
     // ---- Phase D: splits, grouped per loop, descending header ------------
-    let mut grouped: std::collections::BTreeMap<u32, (Vec<BlockId>, Vec<(InsnRef, SplitSpec)>)> =
-        Default::default();
+    type LoopSplits = (Vec<BlockId>, Vec<(InsnRef, SplitSpec)>);
+    let mut grouped: std::collections::BTreeMap<u32, LoopSplits> = Default::default();
     for (site, p) in &pendings {
         if let Pending::Split {
             loop_header,
@@ -658,7 +773,8 @@ fn worth_speculating(outcomes: &guardspec_interp::BitVec) -> bool {
 }
 
 /// Shared fallback: if-convert when the cost model approves, else queue
-/// speculation from the dominant arm, else do nothing.
+/// speculation from the dominant arm, else do nothing.  Also returns the
+/// guarded cost comparison when one was evaluated, for the decision log.
 #[allow(clippy::too_many_arguments)]
 fn convert_or_speculate(
     prog: &Program,
@@ -672,15 +788,18 @@ fn convert_or_speculate(
     convert_hammocks: &mut Vec<(InsnRef, Hammock)>,
     pendings: &mut Vec<(InsnRef, Pending)>,
     none_reason: &'static str,
-) -> Action {
+) -> (Action, Option<CostComparison>) {
+    let mut gate: Option<CostComparison> = None;
     if opts.enable_ifconvert {
         if let Some(h) = hammock {
             let f = prog.func(fid);
-            if can_convert(f, &h, opts.max_arm_len).is_ok()
-                && guarded_wins(f, &h, outcomes, rate, opts, res)
-            {
-                convert_hammocks.push((site, h));
-                return Action::IfConverted { guarded_ops: 0 };
+            if can_convert(f, &h, opts.max_arm_len).is_ok() {
+                let cmp = guarded_cost(f, &h, outcomes, rate, opts, res);
+                gate = Some(cmp);
+                if cmp.wins() {
+                    convert_hammocks.push((site, h));
+                    return (Action::IfConverted { guarded_ops: 0 }, gate);
+                }
             }
         }
     }
@@ -697,14 +816,17 @@ fn convert_or_speculate(
                         other,
                     },
                 ));
-                return Action::Speculated {
-                    hoisted: 0,
-                    renamed: 0,
-                };
+                return (
+                    Action::Speculated {
+                        hoisted: 0,
+                        renamed: 0,
+                    },
+                    gate,
+                );
             }
         }
     }
-    Action::None(none_reason)
+    (Action::None(none_reason), gate)
 }
 
 /// Replay an outcome vector through a fresh 2-bit counter and count
@@ -727,14 +849,14 @@ fn twobit_mispredicts(v: &guardspec_interp::BitVec, range: std::ops::Range<usize
 /// pattern was detected, in which case only the pattern disagreements
 /// remain.  Cost: the per-iteration instrumentation issued on a 4-wide
 /// machine.
-fn split_wins_hybrid(
+fn split_cost_hybrid(
     v: &guardspec_interp::BitVec,
-    segments: &[(crate::feedback::Segment, Option<(usize, Vec<bool>)>)],
+    segments: &[HybridSegment],
     opts: &DriverOptions,
-) -> bool {
+) -> CostComparison {
     let n = v.len();
     if n == 0 {
-        return false;
+        return CostComparison::default();
     }
     let m_base = twobit_mispredicts(v, 0..n);
     let mut m_after = segments.len() as u64;
@@ -759,17 +881,22 @@ fn split_wins_hybrid(
             }
         }
     }
-    let benefit = (m_base.saturating_sub(m_after)) as f64 * opts.mispredict_penalty;
-    let cost = n as f64 * extra_ops / 4.0;
-    benefit > cost
+    CostComparison {
+        benefit: (m_base.saturating_sub(m_after)) as f64 * opts.mispredict_penalty,
+        cost: n as f64 * extra_ops / 4.0,
+    }
 }
 
 /// Split gate for periodic patterns: the algebraic-counter likelies remove
 /// all agreeing-position mispredicts.
-fn split_wins_periodic(v: &guardspec_interp::BitVec, period: usize, opts: &DriverOptions) -> bool {
+fn split_cost_periodic(
+    v: &guardspec_interp::BitVec,
+    period: usize,
+    opts: &DriverOptions,
+) -> CostComparison {
     let n = v.len();
     if n == 0 {
-        return false;
+        return CostComparison::default();
     }
     let m_base = twobit_mispredicts(v, 0..n);
     // Disagreements with the periodic pattern stay mispredicted.
@@ -777,9 +904,10 @@ fn split_wins_periodic(v: &guardspec_interp::BitVec, period: usize, opts: &Drive
     let m_after = (0..n).filter(|&i| v.get(i) != pattern[i % period]).count() as u64;
     let taken_positions = pattern.iter().filter(|&&t| t).count();
     let extra_ops = 2.0 + 2.0 * taken_positions.min(opts.max_likelies_per_site) as f64;
-    let benefit = (m_base.saturating_sub(m_after)) as f64 * opts.mispredict_penalty;
-    let cost = n as f64 * extra_ops / 4.0;
-    benefit > cost
+    CostComparison {
+        benefit: (m_base.saturating_sub(m_after)) as f64 * opts.mispredict_penalty,
+        cost: n as f64 * extra_ops / 4.0,
+    }
 }
 
 /// Figure 6's cost comparison, adapted to the out-of-order target: guarded
@@ -791,14 +919,14 @@ fn split_wins_periodic(v: &guardspec_interp::BitVec, period: usize, opts: &Drive
 /// arithmetic — lives in [`DiamondCfg`] and is reproduced by the `figure2`
 /// bench; on a dynamically-scheduled machine "vacant slots" are not free,
 /// so the driver gates on issue bandwidth instead.)
-fn guarded_wins(
+fn guarded_cost(
     f: &guardspec_ir::Function,
     h: &Hammock,
     outcomes: &guardspec_interp::BitVec,
     taken_rate: f64,
     opts: &DriverOptions,
     res: &Resources,
-) -> bool {
+) -> CostComparison {
     let arm_ops = |b: Option<guardspec_ir::BlockId>| -> f64 {
         b.map(|b| f.block(b).body_len() as f64).unwrap_or(0.0)
     };
@@ -820,8 +948,10 @@ fn guarded_wins(
     // Overhead: the annulled arm's ops still flow through the pipeline,
     // plus the setp.
     let annulled = taken_rate * ops_fall + (1.0 - taken_rate) * ops_taken;
-    let overhead = (annulled + 1.0) / width;
-    benefit > overhead
+    CostComparison {
+        benefit,
+        cost: (annulled + 1.0) / width,
+    }
 }
 
 #[cfg(test)]
@@ -948,6 +1078,33 @@ mod tests {
         // head, diamond, alt, latch = 4 conditional branches in the loop.
         assert_eq!(report.decisions.len(), 4, "{:?}", report.decisions);
         assert!(report.decisions.iter().any(|d| d.backward));
+    }
+
+    #[test]
+    fn decision_log_is_complete_and_deterministic() {
+        let prog = mixed_program(200);
+        let (_out, report) = apply(&DriverOptions::proposed(), &prog);
+        let lines = report.decision_log_lines();
+        assert_eq!(lines.len(), report.decisions.len());
+        for (d, line) in report.decisions.iter().zip(&lines) {
+            assert!(!d.reason().is_empty());
+            assert!(d.executed > 0 || matches!(d.action, Action::None("never executed")));
+            assert!(line.contains("behavior="), "{line}");
+            assert!(line.contains("reason="), "{line}");
+        }
+        // Phased/periodic/irregular sites record the gate they evaluated.
+        for d in &report.decisions {
+            if matches!(d.action, Action::Split { .. } | Action::IfConverted { .. }) {
+                let c = d
+                    .cost
+                    .expect("active transform must carry its cost comparison");
+                assert!(c.wins(), "{c:?}");
+            }
+        }
+        // Byte-determinism: a second run over the same inputs produces the
+        // identical log.
+        let (_out2, report2) = apply(&DriverOptions::proposed(), &prog);
+        assert_eq!(lines, report2.decision_log_lines());
     }
 
     #[test]

@@ -115,6 +115,48 @@ pub enum BranchBehavior {
     Irregular { rate: f64, toggle: f64 },
 }
 
+impl BranchBehavior {
+    /// Compact deterministic description for the decision log.  Phased
+    /// behaviors spell out the monotonic-segment split (`start-end:class`
+    /// per segment, classes `T`/`N`/`M`); periodic behaviors show the
+    /// period and pattern.
+    pub fn tag(&self) -> String {
+        use std::fmt::Write;
+        match self {
+            BranchBehavior::HighlyTaken { rate } => format!("highly-taken(rate={rate:.4})"),
+            BranchBehavior::HighlyNotTaken { rate } => {
+                format!("highly-not-taken(rate={rate:.4})")
+            }
+            BranchBehavior::Monotonic { rate, toggle } => {
+                format!("monotonic(rate={rate:.4},toggle={toggle:.4})")
+            }
+            BranchBehavior::Phased { segments } => {
+                let mut s = String::from("phased[");
+                for (i, seg) in segments.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let c = match seg.class {
+                        SegmentClass::Taken => 'T',
+                        SegmentClass::NotTaken => 'N',
+                        SegmentClass::Mixed => 'M',
+                    };
+                    let _ = write!(s, "{}-{}:{}", seg.start, seg.end, c);
+                }
+                s.push(']');
+                s
+            }
+            BranchBehavior::Periodic { period, pattern } => {
+                let pat: String = pattern.iter().map(|&t| if t { 'T' } else { 'F' }).collect();
+                format!("periodic(period={period},pattern={pat})")
+            }
+            BranchBehavior::Irregular { rate, toggle } => {
+                format!("irregular(rate={rate:.4},toggle={toggle:.4})")
+            }
+        }
+    }
+}
+
 /// Taken rate of a bit vector.
 pub fn taken_rate(v: &BitVec) -> f64 {
     if v.is_empty() {
@@ -208,10 +250,10 @@ fn coalesce(mut segs: Vec<Segment>, total: usize, params: &FeedbackParams) -> Ve
         // pair produced by earlier merges).
         let mut victim: Option<usize> = None;
         for (i, s) in segs.iter().enumerate() {
-            if s.frac_of(total) < params.min_segment_frac {
-                if victim.map(|v| segs[v].len() > s.len()).unwrap_or(true) {
-                    victim = Some(i);
-                }
+            if s.frac_of(total) < params.min_segment_frac
+                && victim.map(|v| segs[v].len() > s.len()).unwrap_or(true)
+            {
+                victim = Some(i);
             }
         }
         let mut merged_any = false;
@@ -219,9 +261,7 @@ fn coalesce(mut segs: Vec<Segment>, total: usize, params: &FeedbackParams) -> Ve
             // Merge into the shorter neighbor (less bias dilution).
             let j = if i == 0 {
                 1
-            } else if i + 1 == segs.len() {
-                i - 1
-            } else if segs[i - 1].len() <= segs[i + 1].len() {
+            } else if i + 1 == segs.len() || segs[i - 1].len() <= segs[i + 1].len() {
                 i - 1
             } else {
                 i + 1

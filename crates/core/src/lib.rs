@@ -36,7 +36,9 @@ pub mod splitbranch;
 
 pub use cleanup::{cleanup_program, remove_unreachable_blocks, CleanupStats};
 pub use costmodel::DiamondCfg;
-pub use driver::{transform_program, Action, Decision, DriverOptions, TransformReport};
+pub use driver::{
+    transform_program, Action, CostComparison, Decision, DriverOptions, TransformReport,
+};
 pub use feedback::{classify, BranchBehavior, FeedbackParams, Segment, SegmentClass};
 pub use remap::Remap;
 pub use schedule::{schedule_block, BlockSchedule, Resources};

@@ -41,6 +41,10 @@ use guardspec_ir::{
 };
 
 /// How to instrument one branch.
+/// A segment plus, for Mixed segments only, the `(period, pattern)` of a
+/// detected periodic sub-structure steering that phase's split.
+pub type HybridSegment = (Segment, Option<(usize, Vec<bool>)>);
+
 #[derive(Clone, Debug)]
 pub enum SplitPlan {
     /// Contiguous biased phases of the iteration space.
@@ -50,9 +54,7 @@ pub enum SplitPlan {
     /// The per-segment extension: biased phases steered by range
     /// predicates, plus Mixed phases with their own periodic pattern
     /// steered by range && algebraic-counter predicates.
-    Hybrid {
-        segments: Vec<(Segment, Option<(usize, Vec<bool>)>)>,
-    },
+    Hybrid { segments: Vec<HybridSegment> },
 }
 
 /// One branch to split.
@@ -131,7 +133,7 @@ pub fn split_branches(
     // Process sites in descending block order so each site's block inserts
     // do not move sites processed later.
     let mut order: Vec<&SplitSpec> = specs.iter().collect();
-    order.sort_by(|a, b| b.block.cmp(&a.block));
+    order.sort_by_key(|s| std::cmp::Reverse(s.block));
 
     for spec in order {
         let site_remap = split_one(
@@ -536,7 +538,7 @@ fn split_one(
     // After insertion the original fall-through block sits past the chain;
     // the taken target may also have shifted.
     let fall_target = BlockId(b.0 + 1 + n_conts as u32);
-    let taken_target = if orig_taken_target.0 >= b.0 + 1 {
+    let taken_target = if orig_taken_target.0 > b.0 {
         BlockId(orig_taken_target.0 + n_conts as u32)
     } else {
         orig_taken_target
@@ -941,7 +943,7 @@ mod hybrid_tests {
         let bp = profile.branch(site).expect("profiled");
         let params = FeedbackParams::default();
         let segs = crate::feedback::segment(&bp.outcomes, &params);
-        let hybrid: Vec<(Segment, Option<(usize, Vec<bool>)>)> = segs
+        let hybrid: Vec<HybridSegment> = segs
             .iter()
             .map(|s| {
                 let per = (s.class == SegmentClass::Mixed)

@@ -16,6 +16,10 @@
 //!   trace out to every dependent simulation,
 //! * `--no-trace-cache` — do not persist/reuse binary trace blobs under
 //!   `results/cache/`; every fan-out run re-interprets.
+//! * `--observe` — run cycle accounting and per-branch-site attribution in
+//!   the simulator and attach the buckets/top-sites to the artifact.
+//! * `--trace-out <path>` — write a Chrome trace-event (Perfetto-loadable)
+//!   span timeline of the job graph to `<path>` (implies span recording).
 //!
 //! Bad values print a one-line diagnostic to **stderr** and exit with
 //! status 2 — never a panic with a backtrace.  Unknown arguments are
@@ -39,6 +43,10 @@ pub struct HarnessArgs {
     pub no_fanout: bool,
     /// Disable the persistent binary trace cache.
     pub no_trace_cache: bool,
+    /// Enable simulator cycle accounting + per-site attribution.
+    pub observe: bool,
+    /// Where to write the Chrome trace-event timeline, if requested.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -50,6 +58,8 @@ impl Default for HarnessArgs {
             no_stream: false,
             no_fanout: false,
             no_trace_cache: false,
+            observe: false,
+            trace_out: None,
         }
     }
 }
@@ -79,7 +89,8 @@ impl HarnessArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--scale test|small|paper] [--jobs N] [--json <path>] \
-                     [--no-stream] [--no-fanout] [--no-trace-cache]"
+                     [--no-stream] [--no-fanout] [--no-trace-cache] \
+                     [--observe] [--trace-out <path>]"
                 );
                 std::process::exit(2);
             }
@@ -99,6 +110,8 @@ impl HarnessArgs {
                 "--no-stream" => out.no_stream = true,
                 "--no-fanout" => out.no_fanout = true,
                 "--no-trace-cache" => out.no_trace_cache = true,
+                "--observe" => out.observe = true,
+                "--trace-out" => out.trace_out = Some(PathBuf::from(value("--trace-out")?)),
                 _ => {} // Tolerated, like the pre-harness binaries.
             }
         }
@@ -149,6 +162,19 @@ mod tests {
     fn no_stream_flag() {
         assert!(!parse(&[]).unwrap().no_stream);
         assert!(parse(&["--no-stream"]).unwrap().no_stream);
+    }
+
+    #[test]
+    fn observe_and_trace_out_flags() {
+        let d = parse(&[]).unwrap();
+        assert!(!d.observe);
+        assert!(d.trace_out.is_none());
+        let a = parse(&["--observe", "--trace-out", "t.json"]).unwrap();
+        assert!(a.observe);
+        assert_eq!(a.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
+        assert!(parse(&["--trace-out"])
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]

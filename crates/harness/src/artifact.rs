@@ -33,6 +33,9 @@ fn workload_stable(w: &WorkloadResult) -> Vec<(&'static str, Json)> {
     ]
 }
 
+/// Sites listed per cell under `top_sites` (most recovery cycles first).
+const TOP_SITES_K: usize = 8;
+
 fn cell_stable(c: &CellResult) -> Vec<(&'static str, Json)> {
     let mut fields = vec![
         ("workload", Json::str(&c.workload)),
@@ -43,6 +46,34 @@ fn cell_stable(c: &CellResult) -> Vec<(&'static str, Json)> {
         fields.push(("report", codec::report_to_json(report)));
     }
     fields.push(("stats", codec::stats_to_json(&c.stats)));
+    if let Some(acct) = &c.accounting {
+        fields.push((
+            "cycle_buckets",
+            Json::Obj(
+                guardspec_sim::CycleBucket::ALL
+                    .into_iter()
+                    .map(|b| (b.name().to_string(), Json::U64(acct.bucket(b))))
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "top_sites",
+            Json::Arr(
+                acct.top_sites(TOP_SITES_K)
+                    .into_iter()
+                    .map(|(id, s)| {
+                        Json::obj(vec![
+                            ("id", Json::U64(id as u64)),
+                            ("executions", Json::U64(s.executions)),
+                            ("mispredicts", Json::U64(s.mispredicts)),
+                            ("likely_mispredicts", Json::U64(s.likely_mispredicts)),
+                            ("recovery_cycles", Json::U64(s.recovery_cycles)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
     fields
 }
 
@@ -76,7 +107,7 @@ pub fn stable_json(r: &ExperimentResult) -> Json {
 
 /// The complete artifact: stable payload + meta + per-stage timings.
 pub fn full_json(r: &ExperimentResult) -> Json {
-    let meta = Json::obj(vec![
+    let mut meta_fields = vec![
         ("experiment", Json::str(&r.name)),
         ("scale", Json::str(scale_tag(r.scale))),
         ("jobs", Json::U64(r.jobs as u64)),
@@ -84,7 +115,19 @@ pub fn full_json(r: &ExperimentResult) -> Json {
         ("cache_hits", Json::U64(r.cache_hits)),
         ("cache_misses", Json::U64(r.cache_misses)),
         ("interpretations", Json::U64(r.interpretations)),
-    ]);
+    ];
+    if !r.metrics.is_empty() {
+        meta_fields.push((
+            "metrics",
+            Json::Obj(
+                r.metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::U64(*v)))
+                    .collect(),
+            ),
+        ));
+    }
+    let meta = Json::obj(meta_fields);
     let workloads = r
         .workloads
         .iter()
@@ -166,6 +209,8 @@ mod tests {
             interpretations: 0,
             workloads: Vec::new(),
             cells: Vec::new(),
+            spans: Vec::new(),
+            metrics: vec![("transform.bin_decoded".to_string(), 2)],
         };
         let p1 = emit_bench_artifact(&dir, &r).unwrap();
         let p2 = emit_bench_artifact(&dir, &r).unwrap();

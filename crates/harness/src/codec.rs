@@ -15,14 +15,82 @@
 //! run.
 
 use crate::json::Json;
-use guardspec_core::TransformReport;
+use guardspec_core::{Decision, TransformReport};
 use guardspec_interp::profile::BranchProfile;
 use guardspec_interp::{BitVec, Profile};
 use guardspec_ir::{BlockId, FuncId, InsnRef};
-use guardspec_sim::SimStats;
+use guardspec_sim::{CycleAccounting, CycleBucket, SimStats, SiteCounters};
 
-/// The per-transform counts reported in tables (a cache-friendly subset of
-/// [`TransformReport`]).
+/// One branch decision of the Figure-6 driver, in cache/artifact form.
+///
+/// Floats are stored *pre-formatted* (the exact strings `Decision::log_line`
+/// prints) so the JSON round-trip is byte-exact, `Eq` stays derivable, and a
+/// warm cache hit reproduces the decision log byte-for-byte.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DecisionSummary {
+    pub func: u32,
+    pub block: u32,
+    pub idx: u32,
+    pub backward: bool,
+    pub executed: u64,
+    /// `{:.4}`-formatted taken rate.
+    pub taken_rate: String,
+    /// [`guardspec_core::BranchBehavior`] tag, e.g. `monotonic(rate=…)`.
+    pub behavior: String,
+    /// `{:.2}`-formatted estimated benefit, or `-` when no gate ran.
+    pub benefit: String,
+    /// `{:.2}`-formatted estimated cost, or `-` when no gate ran.
+    pub cost: String,
+    /// [`guardspec_core::Action`] tag, e.g. `split-branch(likelies=3)`.
+    pub action: String,
+    pub reason: String,
+}
+
+impl From<&Decision> for DecisionSummary {
+    fn from(d: &Decision) -> DecisionSummary {
+        let (benefit, cost) = d
+            .cost
+            .map(|c| (format!("{:.2}", c.benefit), format!("{:.2}", c.cost)))
+            .unwrap_or_else(|| ("-".to_string(), "-".to_string()));
+        DecisionSummary {
+            func: d.func.0,
+            block: d.site.block.0,
+            idx: d.site.idx,
+            backward: d.backward,
+            executed: d.executed,
+            taken_rate: format!("{:.4}", d.taken_rate),
+            behavior: d.behavior.tag(),
+            benefit,
+            cost,
+            action: d.action.tag(),
+            reason: d.reason().to_string(),
+        }
+    }
+}
+
+impl DecisionSummary {
+    /// The same deterministic line [`Decision::log_line`] prints — warm
+    /// (cached) and cold runs emit identical logs.
+    pub fn log_line(&self) -> String {
+        format!(
+            "func={} block={} idx={} dir={} executed={} taken_rate={} behavior={} benefit={} cost={} action={} reason={}",
+            self.func,
+            self.block,
+            self.idx,
+            if self.backward { "back" } else { "fwd" },
+            self.executed,
+            self.taken_rate,
+            self.behavior,
+            self.benefit,
+            self.cost,
+            self.action,
+            self.reason,
+        )
+    }
+}
+
+/// The per-transform counts reported in tables plus the full Figure-6
+/// decision log (a cache-friendly subset of [`TransformReport`]).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ReportSummary {
     pub likelies: usize,
@@ -31,6 +99,8 @@ pub struct ReportSummary {
     pub speculated_ops: usize,
     pub guarded_ops: usize,
     pub split_likelies: usize,
+    /// One entry per loop branch the driver visited, in visit order.
+    pub decisions: Vec<DecisionSummary>,
 }
 
 impl From<&TransformReport> for ReportSummary {
@@ -42,6 +112,7 @@ impl From<&TransformReport> for ReportSummary {
             speculated_ops: r.speculated_ops,
             guarded_ops: r.guarded_ops,
             split_likelies: r.split_likelies,
+            decisions: r.decisions.iter().map(DecisionSummary::from).collect(),
         }
     }
 }
@@ -56,6 +127,51 @@ fn get_usize(j: &Json, key: &str) -> Result<usize, String> {
     Ok(get_u64(j, key)? as usize)
 }
 
+fn get_str(j: &Json, key: &str) -> Result<String, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing/invalid field {key}"))
+}
+
+fn get_bool(j: &Json, key: &str) -> Result<bool, String> {
+    j.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing/invalid field {key}"))
+}
+
+fn decision_to_json(d: &DecisionSummary) -> Json {
+    Json::obj(vec![
+        ("func", Json::U64(d.func as u64)),
+        ("block", Json::U64(d.block as u64)),
+        ("idx", Json::U64(d.idx as u64)),
+        ("backward", Json::Bool(d.backward)),
+        ("executed", Json::U64(d.executed)),
+        ("taken_rate", Json::str(&d.taken_rate)),
+        ("behavior", Json::str(&d.behavior)),
+        ("benefit", Json::str(&d.benefit)),
+        ("cost", Json::str(&d.cost)),
+        ("action", Json::str(&d.action)),
+        ("reason", Json::str(&d.reason)),
+    ])
+}
+
+fn decision_from_json(j: &Json) -> Result<DecisionSummary, String> {
+    Ok(DecisionSummary {
+        func: get_u64(j, "func")? as u32,
+        block: get_u64(j, "block")? as u32,
+        idx: get_u64(j, "idx")? as u32,
+        backward: get_bool(j, "backward")?,
+        executed: get_u64(j, "executed")?,
+        taken_rate: get_str(j, "taken_rate")?,
+        behavior: get_str(j, "behavior")?,
+        benefit: get_str(j, "benefit")?,
+        cost: get_str(j, "cost")?,
+        action: get_str(j, "action")?,
+        reason: get_str(j, "reason")?,
+    })
+}
+
 pub fn report_to_json(r: &ReportSummary) -> Json {
     Json::obj(vec![
         ("likelies", Json::U64(r.likelies as u64)),
@@ -64,10 +180,23 @@ pub fn report_to_json(r: &ReportSummary) -> Json {
         ("speculated_ops", Json::U64(r.speculated_ops as u64)),
         ("guarded_ops", Json::U64(r.guarded_ops as u64)),
         ("split_likelies", Json::U64(r.split_likelies as u64)),
+        (
+            "decisions",
+            Json::Arr(r.decisions.iter().map(decision_to_json).collect()),
+        ),
     ])
 }
 
 pub fn report_from_json(j: &Json) -> Result<ReportSummary, String> {
+    // Entries predating the decision log lack "decisions"; the error turns
+    // them into benign cache misses that recompute with the log attached.
+    let decisions = j
+        .get("decisions")
+        .and_then(Json::as_arr)
+        .ok_or("report: missing decisions")?
+        .iter()
+        .map(decision_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(ReportSummary {
         likelies: get_usize(j, "likelies")?,
         ifconversions: get_usize(j, "ifconversions")?,
@@ -75,7 +204,99 @@ pub fn report_from_json(j: &Json) -> Result<ReportSummary, String> {
         speculated_ops: get_usize(j, "speculated_ops")?,
         guarded_ops: get_usize(j, "guarded_ops")?,
         split_likelies: get_usize(j, "split_likelies")?,
+        decisions,
     })
+}
+
+/// Cycle accounting as JSON: buckets by name (exhaustive), site count, and
+/// the sparse list of sites with any activity.
+pub fn accounting_to_json(a: &CycleAccounting) -> Json {
+    let buckets = CycleBucket::ALL
+        .into_iter()
+        .map(|b| (b.name(), Json::U64(a.bucket(b))))
+        .collect();
+    let sites = a
+        .nonzero_sites()
+        .map(|(id, s)| {
+            Json::obj(vec![
+                ("id", Json::U64(id as u64)),
+                ("executions", Json::U64(s.executions)),
+                ("mispredicts", Json::U64(s.mispredicts)),
+                ("likely_mispredicts", Json::U64(s.likely_mispredicts)),
+                ("recovery_cycles", Json::U64(s.recovery_cycles)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("buckets", Json::obj(buckets)),
+        ("num_sites", Json::U64(a.num_sites() as u64)),
+        ("sites", Json::Arr(sites)),
+    ])
+}
+
+pub fn accounting_from_json(j: &Json) -> Result<CycleAccounting, String> {
+    let bj = j.get("buckets").ok_or("accounting: missing buckets")?;
+    let Json::Obj(pairs) = bj else {
+        return Err("accounting: buckets not an object".to_string());
+    };
+    if pairs.len() != CycleBucket::COUNT {
+        return Err(format!(
+            "accounting: {} buckets, expected {}",
+            pairs.len(),
+            CycleBucket::COUNT
+        ));
+    }
+    let mut buckets = [0u64; CycleBucket::COUNT];
+    for (k, v) in pairs {
+        let b = CycleBucket::from_name(k).ok_or_else(|| format!("accounting: bad bucket {k}"))?;
+        buckets[b.index()] = v.as_u64().ok_or("accounting: bad bucket value")?;
+    }
+    let num_sites = get_usize(j, "num_sites")?;
+    let mut nonzero = Vec::new();
+    for s in j
+        .get("sites")
+        .and_then(Json::as_arr)
+        .ok_or("accounting: missing sites")?
+    {
+        let id = get_u64(s, "id")? as u32;
+        if id as usize >= num_sites {
+            return Err("accounting: site id out of range".to_string());
+        }
+        nonzero.push((
+            id,
+            SiteCounters {
+                executions: get_u64(s, "executions")?,
+                mispredicts: get_u64(s, "mispredicts")?,
+                likely_mispredicts: get_u64(s, "likely_mispredicts")?,
+                recovery_cycles: get_u64(s, "recovery_cycles")?,
+            },
+        ));
+    }
+    Ok(CycleAccounting::from_parts(buckets, num_sites, nonzero))
+}
+
+/// Hex encoding for the binary IR form embedded in transform cache entries
+/// (one lowercase `%08x` group per `encode_program` word).
+pub fn words_to_hex(words: &[u32]) -> String {
+    let mut out = String::with_capacity(words.len() * 8);
+    for w in words {
+        use std::fmt::Write as _;
+        let _ = write!(out, "{w:08x}");
+    }
+    out
+}
+
+pub fn words_from_hex(s: &str) -> Result<Vec<u32>, String> {
+    if !s.len().is_multiple_of(8) || !s.is_ascii() {
+        return Err("bin: bad hex length".to_string());
+    }
+    s.as_bytes()
+        .chunks(8)
+        .map(|c| {
+            u32::from_str_radix(std::str::from_utf8(c).map_err(|e| e.to_string())?, 16)
+                .map_err(|e| e.to_string())
+        })
+        .collect()
 }
 
 pub fn stats_to_json(s: &SimStats) -> Json {
@@ -235,12 +456,14 @@ mod tests {
 
     #[test]
     fn stats_roundtrip_through_text() {
-        let mut s = SimStats::default();
-        s.cycles = 123_456_789_012;
-        s.committed = 99;
-        s.queue_full_cycles = [1, 2, 3, 4];
+        let mut s = SimStats {
+            cycles: 123_456_789_012,
+            committed: 99,
+            queue_full_cycles: [1, 2, 3, 4],
+            dcache_misses: 13,
+            ..SimStats::default()
+        };
         s.fu_issues[5] = 7;
-        s.dcache_misses = 13;
         let text = stats_to_json(&s).to_pretty();
         let back = stats_from_json(&parse(&text).unwrap()).unwrap();
         assert_eq!(back, s);
@@ -289,8 +512,89 @@ mod tests {
             speculated_ops: 4,
             guarded_ops: 5,
             split_likelies: 6,
+            decisions: vec![DecisionSummary {
+                func: 0,
+                block: 7,
+                idx: 2,
+                backward: true,
+                executed: 4096,
+                taken_rate: "0.9850".to_string(),
+                behavior: "highly-taken(rate=0.9850)".to_string(),
+                benefit: "-".to_string(),
+                cost: "-".to_string(),
+                action: "branch-likely".to_string(),
+                reason: "taken rate above likely threshold".to_string(),
+            }],
         };
         let back = report_from_json(&parse(&report_to_json(&r).to_compact()).unwrap()).unwrap();
         assert_eq!(back, r);
+        assert!(back.decisions[0]
+            .log_line()
+            .contains("action=branch-likely"));
+    }
+
+    #[test]
+    fn report_without_decisions_is_a_miss() {
+        // A PR-4-era cache entry: counts only.  Must decode as an error so
+        // the harness recomputes instead of reporting an empty log.
+        let old = "{\"likelies\":1,\"ifconversions\":0,\"splits\":0,\
+                   \"speculated_ops\":0,\"guarded_ops\":0,\"split_likelies\":0}";
+        assert!(report_from_json(&parse(old).unwrap())
+            .unwrap_err()
+            .contains("decisions"));
+    }
+
+    #[test]
+    fn accounting_roundtrip_preserves_buckets_and_sites() {
+        let mut buckets = [0u64; CycleBucket::COUNT];
+        buckets[CycleBucket::UsefulCommit.index()] = 1_000_000;
+        buckets[CycleBucket::MispredictRecovery.index()] = 123;
+        buckets[CycleBucket::Drain.index()] = 7;
+        let sites = [
+            (
+                2u32,
+                SiteCounters {
+                    executions: 50,
+                    mispredicts: 9,
+                    likely_mispredicts: 1,
+                    recovery_cycles: 123,
+                },
+            ),
+            (
+                5u32,
+                SiteCounters {
+                    executions: 10,
+                    mispredicts: 0,
+                    likely_mispredicts: 0,
+                    recovery_cycles: 0,
+                },
+            ),
+        ];
+        let a = CycleAccounting::from_parts(buckets, 9, sites);
+        let text = accounting_to_json(&a).to_compact();
+        let back = accounting_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.num_sites(), 9);
+        assert_eq!(back.site(2).mispredicts, 9);
+        // Serialization is canonical: re-encoding the decoded value is
+        // byte-identical (artifact determinism depends on this).
+        assert_eq!(accounting_to_json(&back).to_compact(), text);
+    }
+
+    #[test]
+    fn accounting_rejects_malformed_entries() {
+        assert!(accounting_from_json(&parse("{}").unwrap()).is_err());
+        let missing_bucket = "{\"buckets\":{\"useful_commit\":1},\"num_sites\":0,\"sites\":[]}";
+        assert!(accounting_from_json(&parse(missing_bucket).unwrap()).is_err());
+    }
+
+    #[test]
+    fn words_hex_roundtrip() {
+        let words = vec![0u32, 1, 0xdead_beef, u32::MAX];
+        let hex = words_to_hex(&words);
+        assert_eq!(hex, "0000000000000001deadbeefffffffff");
+        assert_eq!(words_from_hex(&hex).unwrap(), words);
+        assert!(words_from_hex("123").is_err());
+        assert!(words_from_hex("zzzzzzzz").is_err());
     }
 }

@@ -133,6 +133,23 @@ pub fn sim_key(program_text: &str, scale: Scale, scheme: Scheme, cfg: &MachineCo
     )
 }
 
+/// Key for an *observed* simulation (stats + cycle accounting) of
+/// `program_text` under `scheme`/`cfg`.  Distinct from [`sim_key`] so plain
+/// and observed runs never alias each other's payload shapes.
+pub fn obs_sim_key(
+    program_text: &str,
+    scale: Scale,
+    scheme: Scheme,
+    cfg: &MachineConfig,
+) -> String {
+    stage_key(
+        "obsim",
+        program_text,
+        scale,
+        &[&format!("{scheme:?}"), &describe_config(cfg)],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +184,15 @@ mod tests {
         assert_ne!(
             sim_key("prog", Scale::Test, Scheme::TwoBit, &cfg),
             sim_key("prog", Scale::Test, Scheme::Perfect, &cfg)
+        );
+        assert_ne!(
+            obs_sim_key("prog", Scale::Test, Scheme::TwoBit, &cfg),
+            sim_key("prog", Scale::Test, Scheme::TwoBit, &cfg),
+            "observed and plain sim keys must not alias"
+        );
+        assert_ne!(
+            obs_sim_key("prog", Scale::Test, Scheme::TwoBit, &cfg),
+            obs_sim_key("prog", Scale::Test, Scheme::Perfect, &cfg)
         );
     }
 

@@ -26,18 +26,22 @@ pub mod codec;
 pub mod hash;
 pub mod json;
 pub mod key;
+pub mod metrics;
 pub mod pool;
 pub mod runner;
 pub mod spec;
+pub mod trace_out;
 
 pub use args::{parse_jobs, parse_scale, HarnessArgs};
 pub use artifact::{emit_bench_artifact, full_json, stable_json, write_json_file};
 pub use cache::DiskCache;
-pub use codec::ReportSummary;
+pub use codec::{DecisionSummary, ReportSummary};
 pub use json::Json;
+pub use metrics::MetricsRegistry;
 pub use pool::JobGraph;
 pub use runner::{run_experiment, CellResult, ExperimentResult, RunOptions, WorkloadResult};
 pub use spec::{CellSpec, ExperimentSpec};
+pub use trace_out::{chrome_trace_json, validate_chrome_trace, Span, SpanRecorder};
 
 /// The conventional cache root used by the bench binaries.
 pub const DEFAULT_CACHE_DIR: &str = "results/cache";

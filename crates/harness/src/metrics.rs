@@ -1,0 +1,91 @@
+//! A tiny named-counter registry for run-level observability.
+//!
+//! Stages increment counters ("transform.bin_decoded", "sim.observed", …)
+//! through a shared [`MetricsRegistry`]; the artifact layer snapshots them
+//! into the `meta` object of `results/BENCH_<n>.json`.  Counters are sorted
+//! by name at snapshot time so the emitted JSON is deterministic regardless
+//! of which worker thread incremented first.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Thread-safe monotonic counters keyed by name.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add one to `name` (creating it at zero first if needed).
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Add `delta` to `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut c = self.counters.lock().unwrap();
+        *c.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap()
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let m = MetricsRegistry::new();
+        m.incr("zebra");
+        m.add("alpha", 5);
+        m.incr("zebra");
+        assert_eq!(m.get("zebra"), 2);
+        assert_eq!(m.get("absent"), 0);
+        assert_eq!(
+            m.snapshot(),
+            vec![("alpha".to_string(), 5), ("zebra".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = std::sync::Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        m.incr("hits");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.get("hits"), 400);
+    }
+}

@@ -38,13 +38,16 @@ use crate::cache::DiskCache;
 use crate::codec;
 use crate::codec::ReportSummary;
 use crate::key;
+use crate::metrics::MetricsRegistry;
 use crate::pool::JobGraph;
 use crate::spec::ExperimentSpec;
+use crate::trace_out::{Span, SpanRecorder};
 use guardspec_interp::{tracefile, ChunkRecorder, Interp, Profile, SharedTrace};
 use guardspec_predict::Scheme;
 use guardspec_sim::{
-    prepare_program, simulate_program_streamed_in, simulate_shared_in, simulate_trace_in,
-    PreparedSim, SimContext, SimStats,
+    prepare_program, simulate_program_streamed_observed_in, simulate_shared_in,
+    simulate_shared_observed_in, simulate_trace_observed_in, CycleAccounting, MachineConfig,
+    PreparedSim, SimContext, SimObserver, SimStats,
 };
 use guardspec_workloads::Scale;
 use std::cell::RefCell;
@@ -78,6 +81,14 @@ pub struct RunOptions {
     /// Total on-disk budget for trace blobs; oldest blobs beyond it are
     /// evicted after each run ([`DiskCache::gc_blobs`]).
     pub trace_blob_cap: u64,
+    /// Run every simulation under the cycle-accounting observer and attach
+    /// [`CycleAccounting`] to each cell.  Off by default: the no-op
+    /// observer compiles to the exact uninstrumented hot loop and all
+    /// artifacts stay byte-identical to an unobserved run's stable payload.
+    pub observe: bool,
+    /// Record per-stage [`Span`]s for the Chrome trace export
+    /// (`--trace-out`).
+    pub trace_spans: bool,
 }
 
 impl Default for RunOptions {
@@ -89,6 +100,8 @@ impl Default for RunOptions {
             fanout: true,
             trace_cache: true,
             trace_blob_cap: 256 * 1024 * 1024,
+            observe: false,
+            trace_spans: false,
         }
     }
 }
@@ -137,6 +150,10 @@ pub struct CellResult {
     /// only; cells of one program report the same stage once each).
     pub trace_timing: Option<StageTiming>,
     pub sim_timing: StageTiming,
+    /// Cycle buckets + per-branch-site counters ([`RunOptions::observe`]
+    /// runs only).  Always satisfies `CycleAccounting::check` against
+    /// `stats`.
+    pub accounting: Option<CycleAccounting>,
 }
 
 /// Everything a binary needs to print its table and emit its artifact.
@@ -153,6 +170,11 @@ pub struct ExperimentResult {
     pub interpretations: u64,
     pub workloads: Vec<WorkloadResult>,
     pub cells: Vec<CellResult>,
+    /// Stage spans for the Chrome trace export (empty unless
+    /// [`RunOptions::trace_spans`]).
+    pub spans: Vec<Span>,
+    /// Named run counters (sorted), e.g. warm-transform decode statistics.
+    pub metrics: Vec<(String, u64)>,
 }
 
 impl ExperimentResult {
@@ -204,6 +226,7 @@ struct SimSlot {
     timing: StageTiming,
     trace_timing: Option<StageTiming>,
     stats: SimStats,
+    accounting: Option<CycleAccounting>,
 }
 
 /// Execute a spec.  Panics (after cancelling outstanding jobs) if any
@@ -218,7 +241,10 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
     let scale = spec.scale;
     let jobs_n = opts.effective_jobs();
     let use_trace_cache = opts.trace_cache && cache.is_enabled();
+    let observe = opts.observe;
     let interps = Arc::new(AtomicU64::new(0));
+    let metrics = Arc::new(MetricsRegistry::new());
+    let recorder = Arc::new(SpanRecorder::new(opts.trace_spans));
 
     // Shared, pre-sized output slots: job closures write, the collection
     // phase below reads in spec order — this is what makes results
@@ -251,6 +277,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
         let slots = profile_slots.clone();
         let cache = cache.clone();
         let interps = interps.clone();
+        let recorder = recorder.clone();
         let text = texts[wi].clone();
         let program = w.program.clone();
         let expected = w.expected.clone();
@@ -310,6 +337,12 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                 (profile, trace_data)
             };
             let ms = ms_since(t0);
+            recorder.record(
+                format!("profile {wname}"),
+                "profile",
+                t0,
+                vec![("cached".to_string(), profile_cached.to_string())],
+            );
             let _ = slots[wi].set(ProfileSlot {
                 timing: StageTiming {
                     ms,
@@ -358,6 +391,8 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
             let slots = transform_slots.clone();
             let profiles = profile_slots.clone();
             let cache = cache.clone();
+            let metrics = metrics.clone();
+            let recorder = recorder.clone();
             let text = texts[wi].clone();
             let program = spec.workloads[wi].program.clone();
             let options = options.clone();
@@ -365,7 +400,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
             graph.add(&[profile_jobs[wi]], move || {
                 let t0 = Instant::now();
                 let key = key::transform_key(&text, scale, &options);
-                let (program, text, report, cached) = match load_transform(&cache, &key) {
+                let (program, text, report, cached) = match load_transform(&cache, &key, &metrics) {
                     Some((p, t, r)) => (p, t, r, true),
                     None => {
                         let profile = &profiles[wi].get().expect("profile dependency ran").profile;
@@ -374,10 +409,14 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                         guardspec_ir::validate::assert_valid(&p);
                         let out_text = p.to_string();
                         let summary = ReportSummary::from(&report);
+                        // The binary form rides along so warm hits decode
+                        // words instead of re-parsing the printed text.
+                        let bin = codec::words_to_hex(&guardspec_ir::encode::encode_program(&p));
                         cache.put(
                             &key,
                             &crate::json::Json::obj(vec![
                                 ("program", crate::json::Json::str(&out_text)),
+                                ("bin", crate::json::Json::str(bin)),
                                 ("report", codec::report_to_json(&summary)),
                             ])
                             .to_compact(),
@@ -389,13 +428,18 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                     ms: ms_since(t0),
                     cached,
                 };
+                recorder.record(
+                    format!("transform {wname}"),
+                    "transform",
+                    t0,
+                    vec![("cached".to_string(), cached.to_string())],
+                );
                 let _ = slots[next_slot].set(TransformSlot {
                     timing,
                     program: Arc::new(program),
                     text: Arc::new(text),
                     report,
                 });
-                let _ = wname; // context for panics above
             })
         };
         transform_jobs.insert(dedupe, (tf_id, next_slot));
@@ -406,6 +450,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
             let transforms = transform_slots.clone();
             let cache = cache.clone();
             let interps = interps.clone();
+            let recorder = recorder.clone();
             let expected = spec.workloads[wi].expected.clone();
             let wname = spec.workloads[wi].name;
             let tr_id = graph.add(&[tf_id], move || {
@@ -439,6 +484,12 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                         Arc::new(TraceData { prep, trace })
                     }
                 };
+                recorder.record(
+                    format!("trace {wname}"),
+                    "trace",
+                    t0,
+                    vec![("cached".to_string(), cached.to_string())],
+                );
                 let _ = slots[next_slot].set(TraceSlot {
                     timing: StageTiming {
                         ms: ms_since(t0),
@@ -472,6 +523,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
             let transforms = transform_slots.clone();
             let traces = trace_slots.clone();
             let profiles = profile_slots.clone();
+            let recorder = recorder.clone();
             graph.add(&deps, move || {
                 let t0 = Instant::now();
                 let (text, data, trace_timing): (Arc<String>, Arc<TraceData>, StageTiming) =
@@ -487,25 +539,64 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                             (base_text, tr.data.clone(), tr.timing)
                         }
                     };
-                let key = key::sim_key(&text, scale, scheme, &cfg);
-                let (stats, cached) = match load_stats(&cache, &key) {
-                    Some(s) => (s, true),
-                    None => {
-                        let stats = SIM_CTX
-                            .with(|ctx| {
-                                simulate_shared_in(
-                                    &mut ctx.borrow_mut(),
-                                    &data.prep,
-                                    &data.trace,
-                                    scheme,
-                                    &cfg,
-                                )
-                            })
-                            .unwrap_or_else(|e| panic!("{wname}/{label}: simulate failed: {e}"));
-                        cache.put(&key, &codec::stats_to_json(&stats).to_compact());
-                        (stats, false)
+                let (stats, accounting, cached) = if observe {
+                    let okey = key::obs_sim_key(&text, scale, scheme, &cfg);
+                    match load_observed(&cache, &okey) {
+                        Some((s, a)) => (s, Some(a), true),
+                        None => {
+                            let mut acct = CycleAccounting::new();
+                            let stats = SIM_CTX
+                                .with(|ctx| {
+                                    simulate_shared_observed_in(
+                                        &mut ctx.borrow_mut(),
+                                        &data.prep,
+                                        &data.trace,
+                                        scheme,
+                                        &cfg,
+                                        &mut acct,
+                                    )
+                                })
+                                .unwrap_or_else(|e| {
+                                    panic!("{wname}/{label}: simulate failed: {e}")
+                                });
+                            acct.check(&stats);
+                            cache.put(&okey, &observed_to_json(&stats, &acct).to_compact());
+                            // Seed the plain entry too: an observed run
+                            // leaves later unobserved runs warm.
+                            let skey = key::sim_key(&text, scale, scheme, &cfg);
+                            cache.put(&skey, &codec::stats_to_json(&stats).to_compact());
+                            (stats, Some(acct), false)
+                        }
+                    }
+                } else {
+                    let key = key::sim_key(&text, scale, scheme, &cfg);
+                    match load_stats(&cache, &key) {
+                        Some(s) => (s, None, true),
+                        None => {
+                            let stats = SIM_CTX
+                                .with(|ctx| {
+                                    simulate_shared_in(
+                                        &mut ctx.borrow_mut(),
+                                        &data.prep,
+                                        &data.trace,
+                                        scheme,
+                                        &cfg,
+                                    )
+                                })
+                                .unwrap_or_else(|e| {
+                                    panic!("{wname}/{label}: simulate failed: {e}")
+                                });
+                            cache.put(&key, &codec::stats_to_json(&stats).to_compact());
+                            (stats, None, false)
+                        }
                     }
                 };
+                recorder.record(
+                    format!("simulate {wname}/{label}"),
+                    "simulate",
+                    t0,
+                    vec![("cached".to_string(), cached.to_string())],
+                );
                 let _ = slots[ci].set(SimSlot {
                     timing: StageTiming {
                         ms: ms_since(t0),
@@ -513,6 +604,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                     },
                     trace_timing: Some(trace_timing),
                     stats,
+                    accounting,
                 });
             });
         } else {
@@ -524,6 +616,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
             };
             let transforms = transform_slots.clone();
             let interps = interps.clone();
+            let recorder = recorder.clone();
             let base_program = spec.workloads[wi].program.clone();
             let expected = spec.workloads[wi].expected.clone();
             let stream = opts.stream;
@@ -536,37 +629,63 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                     }
                     None => (Arc::new(base_program), base_text),
                 };
-                let key = key::sim_key(&text, scale, scheme, &cfg);
-                let (stats, cached) = match load_stats(&cache, &key) {
-                    Some(s) => (s, true),
-                    None => {
-                        interps.fetch_add(1, Ordering::Relaxed);
-                        let (stats, exec) = SIM_CTX.with(|ctx| {
-                            let ctx = &mut *ctx.borrow_mut();
-                            if stream {
-                                simulate_program_streamed_in(ctx, &program, scheme, &cfg)
-                                    .unwrap_or_else(|e| {
-                                        panic!("{wname}/{label}: simulate failed: {e}")
-                                    })
-                            } else {
-                                let (layout, trace, exec) =
-                                    guardspec_interp::trace::trace_program(&program)
-                                        .unwrap_or_else(|e| {
-                                            panic!("{wname}/{label}: trace failed: {e}")
-                                        });
-                                let stats =
-                                    simulate_trace_in(ctx, &program, &layout, &trace, scheme, &cfg)
-                                        .unwrap_or_else(|e| {
-                                            panic!("{wname}/{label}: simulate failed: {e}")
-                                        });
-                                (stats, exec)
-                            }
-                        });
-                        assert_golden(wname, &label, &expected, &exec.machine.mem);
-                        cache.put(&key, &codec::stats_to_json(&stats).to_compact());
-                        (stats, false)
+                let (stats, accounting, cached) = if observe {
+                    let okey = key::obs_sim_key(&text, scale, scheme, &cfg);
+                    match load_observed(&cache, &okey) {
+                        Some((s, a)) => (s, Some(a), true),
+                        None => {
+                            interps.fetch_add(1, Ordering::Relaxed);
+                            let mut acct = CycleAccounting::new();
+                            let (stats, exec) = SIM_CTX.with(|ctx| {
+                                simulate_cell_cold(
+                                    &mut ctx.borrow_mut(),
+                                    &program,
+                                    scheme,
+                                    &cfg,
+                                    stream,
+                                    wname,
+                                    &label,
+                                    &mut acct,
+                                )
+                            });
+                            assert_golden(wname, &label, &expected, &exec.machine.mem);
+                            acct.check(&stats);
+                            cache.put(&okey, &observed_to_json(&stats, &acct).to_compact());
+                            let skey = key::sim_key(&text, scale, scheme, &cfg);
+                            cache.put(&skey, &codec::stats_to_json(&stats).to_compact());
+                            (stats, Some(acct), false)
+                        }
+                    }
+                } else {
+                    let key = key::sim_key(&text, scale, scheme, &cfg);
+                    match load_stats(&cache, &key) {
+                        Some(s) => (s, None, true),
+                        None => {
+                            interps.fetch_add(1, Ordering::Relaxed);
+                            let (stats, exec) = SIM_CTX.with(|ctx| {
+                                simulate_cell_cold(
+                                    &mut ctx.borrow_mut(),
+                                    &program,
+                                    scheme,
+                                    &cfg,
+                                    stream,
+                                    wname,
+                                    &label,
+                                    &mut (),
+                                )
+                            });
+                            assert_golden(wname, &label, &expected, &exec.machine.mem);
+                            cache.put(&key, &codec::stats_to_json(&stats).to_compact());
+                            (stats, None, false)
+                        }
                     }
                 };
+                recorder.record(
+                    format!("simulate {wname}/{label}"),
+                    "simulate",
+                    t0,
+                    vec![("cached".to_string(), cached.to_string())],
+                );
                 let _ = slots[ci].set(SimSlot {
                     timing: StageTiming {
                         ms: ms_since(t0),
@@ -574,6 +693,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                     },
                     trace_timing: None,
                     stats,
+                    accounting,
                 });
             });
         }
@@ -617,6 +737,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                 transform_timing: transform.map(|t| t.timing),
                 trace_timing: sim.trace_timing,
                 sim_timing: sim.timing,
+                accounting: sim.accounting.clone(),
             }
         })
         .collect();
@@ -631,6 +752,34 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
         interpretations: interps.load(Ordering::Relaxed),
         workloads,
         cells,
+        spans: recorder.finish(),
+        metrics: metrics.snapshot(),
+    }
+}
+
+/// The uncached no-fanout simulation: interpret (streamed or materialized)
+/// and simulate under `obs`.  `&mut ()` is the uninstrumented fast path —
+/// the disabled observer folds every hook to dead code.
+#[allow(clippy::too_many_arguments)]
+fn simulate_cell_cold<O: SimObserver>(
+    ctx: &mut SimContext,
+    program: &guardspec_ir::Program,
+    scheme: Scheme,
+    cfg: &MachineConfig,
+    stream: bool,
+    wname: &str,
+    label: &str,
+    obs: &mut O,
+) -> (SimStats, guardspec_interp::ExecResult) {
+    if stream {
+        simulate_program_streamed_observed_in(ctx, program, scheme, cfg, obs)
+            .unwrap_or_else(|e| panic!("{wname}/{label}: simulate failed: {e}"))
+    } else {
+        let (layout, trace, exec) = guardspec_interp::trace::trace_program(program)
+            .unwrap_or_else(|e| panic!("{wname}/{label}: trace failed: {e}"));
+        let stats = simulate_trace_observed_in(ctx, program, &layout, &trace, scheme, cfg, obs)
+            .unwrap_or_else(|e| panic!("{wname}/{label}: simulate failed: {e}"));
+        (stats, exec)
     }
 }
 
@@ -710,6 +859,7 @@ fn load_trace(
 fn load_transform(
     cache: &DiskCache,
     key: &str,
+    metrics: &MetricsRegistry,
 ) -> Option<(guardspec_ir::Program, String, ReportSummary)> {
     let text = cache.get(key)?;
     let decode = || -> Result<_, String> {
@@ -719,8 +869,58 @@ fn load_transform(
             .and_then(crate::json::Json::as_str)
             .ok_or("no program")?;
         let report = codec::report_from_json(j.get("report").ok_or("no report")?)?;
-        let program = guardspec_ir::parse::parse_program(src, None).map_err(|e| e.to_string())?;
+        // Warm hits decode the embedded binary form; re-parsing the printed
+        // text is the fallback for entries without one (or a corrupt hex).
+        let bin_program = j
+            .get("bin")
+            .and_then(crate::json::Json::as_str)
+            .and_then(|hex| codec::words_from_hex(hex).ok())
+            .and_then(|words| guardspec_ir::encode::decode_program(&words).ok());
+        let program = match bin_program {
+            Some(p) => {
+                metrics.incr("transform.bin_decoded");
+                p
+            }
+            None => {
+                metrics.incr("transform.reparsed");
+                guardspec_ir::parse::parse_program(src, None).map_err(|e| e.to_string())?
+            }
+        };
         Ok((program, src.to_string(), report))
+    };
+    match decode() {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            None
+        }
+    }
+}
+
+fn observed_to_json(stats: &SimStats, acct: &CycleAccounting) -> crate::json::Json {
+    crate::json::Json::obj(vec![
+        ("stats", codec::stats_to_json(stats)),
+        ("accounting", codec::accounting_to_json(acct)),
+    ])
+}
+
+/// Load a cached observed-simulation entry (stats + cycle accounting).
+/// The bucket-sum invariant is re-checked on load so a corrupt entry is a
+/// miss, never a wrong attribution table.
+fn load_observed(cache: &DiskCache, key: &str) -> Option<(SimStats, CycleAccounting)> {
+    let text = cache.get(key)?;
+    let decode = || -> Result<_, String> {
+        let j = crate::json::parse(&text)?;
+        let stats = codec::stats_from_json(j.get("stats").ok_or("no stats")?)?;
+        let acct = codec::accounting_from_json(j.get("accounting").ok_or("no accounting")?)?;
+        if acct.bucket_sum() != stats.cycles {
+            return Err(format!(
+                "bucket sum {} != cycles {}",
+                acct.bucket_sum(),
+                stats.cycles
+            ));
+        }
+        Ok((stats, acct))
     };
     match decode() {
         Ok(v) => Some(v),

@@ -102,7 +102,7 @@ impl BitVec {
             words.len()
         );
         words.truncate(len.div_ceil(64));
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             if let Some(last) = words.last_mut() {
                 *last &= (1u64 << (len % 64)) - 1;
             }

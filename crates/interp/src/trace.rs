@@ -48,7 +48,7 @@ impl TraceEntry {
 
     /// Conditional-branch outcome, if this was a conditional branch.
     pub fn taken(&self) -> Option<bool> {
-        (self.flags & F_IS_BRANCH != 0).then(|| self.flags & F_TAKEN != 0)
+        (self.flags & F_IS_BRANCH != 0).then_some(self.flags & F_TAKEN != 0)
     }
 
     /// Effective word address for memory operations.

@@ -641,10 +641,10 @@ impl Instruction {
                     rp(b);
                 }
                 PNot { src, .. } => rp(src),
-                Branch { cond, .. } => match cond {
-                    BranchCond::PredT(p) | BranchCond::PredF(p) => rp(p),
-                    _ => {}
-                },
+                Branch {
+                    cond: BranchCond::PredT(p) | BranchCond::PredF(p),
+                    ..
+                } => rp(p),
                 _ => {}
             }
             if let Some(g) = &mut self.guard {

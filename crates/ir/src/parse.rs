@@ -152,22 +152,20 @@ fn parse_directive(
                 line,
                 msg: ".data needs an address".into(),
             })?;
-            let mut addr =
-                addr_tok
-                    .trim_end_matches(':')
-                    .parse::<u64>()
-                    .map_err(|_| ParseError {
-                        line,
-                        msg: format!(".data address `{addr_tok}` is not a number"),
-                    })?;
+            let addr = addr_tok
+                .trim_end_matches(':')
+                .parse::<u64>()
+                .map_err(|_| ParseError {
+                    line,
+                    msg: format!(".data address `{addr_tok}` is not a number"),
+                })?;
             let mut any = false;
-            for t in toks {
+            for (i, t) in toks.enumerate() {
                 let v = t.parse::<i64>().map_err(|_| ParseError {
                     line,
                     msg: format!(".data value `{t}` is not a number"),
                 })?;
-                data.push((addr, v));
-                addr += 1;
+                data.push((addr + i as u64, v));
                 any = true;
             }
             if !any {

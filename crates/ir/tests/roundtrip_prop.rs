@@ -25,7 +25,7 @@ fn emit(fb: &mut FuncBuilder, which: u8, a: u8, b: u8, imm: i64) {
             fb.mov(rd, ra);
         }
         4 => {
-            fb.sll(rd, ra, (b % 31) as u8);
+            fb.sll(rd, ra, b % 31);
         }
         5 => {
             fb.lw(rd, ra, imm.rem_euclid(64));
@@ -40,7 +40,7 @@ fn emit(fb: &mut FuncBuilder, which: u8, a: u8, b: u8, imm: i64) {
             fb.pand(p(a % 16), p(b % 16), p(a.wrapping_add(b) % 16));
         }
         9 => {
-            fb.cmov(rd, ra, p(b % 16), a % 2 == 0);
+            fb.cmov(rd, ra, p(b % 16), a.is_multiple_of(2));
         }
         10 => {
             fb.fadd(f(a % 30), f(b % 30), f(a.wrapping_add(b) % 30));

@@ -1,0 +1,338 @@
+//! Cycle accounting and per-branch-site attribution.
+//!
+//! The pipeline accepts a [`SimObserver`] and, when one is enabled,
+//! classifies **every** simulated cycle into exactly one [`CycleBucket`]
+//! (the classification is a priority chain, so the buckets are exhaustive
+//! and mutually exclusive by construction) and reports per-site branch
+//! events.  [`CycleAccounting`] is the standard observer: it accumulates
+//! the bucket histogram plus per-site counters keyed by the dense
+//! [`StaticLayout`](guardspec_interp::StaticLayout) site id.
+//!
+//! Invariants (checked by [`CycleAccounting::check`]):
+//!
+//! * bucket sums equal `stats.cycles` exactly;
+//! * per-site `recovery_cycles` sum to the `MispredictRecovery` bucket
+//!   (every recovery cycle is charged to the branch that caused it);
+//! * per-site `mispredicts`/`likely_mispredicts` sum to the corresponding
+//!   `SimStats` counters.
+//!
+//! The unit observer `()` has `ENABLED = false`; the pipeline guards all
+//! accounting work behind that associated constant, so the default
+//! entry points compile to exactly the pre-observability hot loop.
+
+use crate::stats::SimStats;
+
+/// Where one cycle went.  Exactly one bucket per cycle, chosen by a
+/// priority chain (listed highest first):
+///
+/// 1. at least one instruction committed → [`UsefulCommit`];
+/// 2. trace exhausted (pipeline draining) → [`Drain`];
+/// 3. fetch blocked on an unresolved mispredicted branch, or inside the
+///    post-resolution recovery bubble → [`MispredictRecovery`]
+///    (an unresolved *indirect* transfer classifies as [`FetchStall`]);
+/// 4. fetch waiting out an I-cache miss → [`IcacheMiss`];
+/// 5. fetch stopped by a full reorder buffer, reservation station, or
+///    shadow-map limit → [`IssueWindowFull`];
+/// 6. window head executing a memory op that missed the D-cache →
+///    [`DcacheMiss`];
+/// 7. redirect bubbles (BTB miss, call) and frontend fill →
+///    [`FetchStall`];
+/// 8. otherwise the head is waiting on or occupying a functional unit →
+///    [`FuContention`].
+///
+/// [`UsefulCommit`]: CycleBucket::UsefulCommit
+/// [`Drain`]: CycleBucket::Drain
+/// [`MispredictRecovery`]: CycleBucket::MispredictRecovery
+/// [`FetchStall`]: CycleBucket::FetchStall
+/// [`IcacheMiss`]: CycleBucket::IcacheMiss
+/// [`IssueWindowFull`]: CycleBucket::IssueWindowFull
+/// [`DcacheMiss`]: CycleBucket::DcacheMiss
+/// [`FuContention`]: CycleBucket::FuContention
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CycleBucket {
+    UsefulCommit,
+    MispredictRecovery,
+    FetchStall,
+    IssueWindowFull,
+    FuContention,
+    IcacheMiss,
+    DcacheMiss,
+    Drain,
+}
+
+impl CycleBucket {
+    pub const COUNT: usize = 8;
+
+    pub const ALL: [CycleBucket; CycleBucket::COUNT] = [
+        CycleBucket::UsefulCommit,
+        CycleBucket::MispredictRecovery,
+        CycleBucket::FetchStall,
+        CycleBucket::IssueWindowFull,
+        CycleBucket::FuContention,
+        CycleBucket::IcacheMiss,
+        CycleBucket::DcacheMiss,
+        CycleBucket::Drain,
+    ];
+
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (used as the JSON key in artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleBucket::UsefulCommit => "useful_commit",
+            CycleBucket::MispredictRecovery => "mispredict_recovery",
+            CycleBucket::FetchStall => "fetch_stall",
+            CycleBucket::IssueWindowFull => "issue_window_full",
+            CycleBucket::FuContention => "fu_contention",
+            CycleBucket::IcacheMiss => "icache_miss",
+            CycleBucket::DcacheMiss => "dcache_miss",
+            CycleBucket::Drain => "drain",
+        }
+    }
+
+    /// The bucket with [`name`](CycleBucket::name) `s`, if any.
+    pub fn from_name(s: &str) -> Option<CycleBucket> {
+        CycleBucket::ALL.into_iter().find(|b| b.name() == s)
+    }
+}
+
+/// Pipeline instrumentation hooks.  All methods default to no-ops; the
+/// pipeline consults `ENABLED` (an associated *constant*, so the disabled
+/// case folds away at compile time) before doing any classification work.
+pub trait SimObserver {
+    /// Whether the pipeline should classify cycles and report events at
+    /// all.  When `false` every hook call site is dead code.
+    const ENABLED: bool = true;
+
+    /// A simulation is starting over a program with `num_sites` static
+    /// instruction sites.
+    fn on_run_start(&mut self, num_sites: usize) {
+        let _ = num_sites;
+    }
+
+    /// A non-annulled conditional branch at `site` was fetched.
+    fn on_branch(&mut self, site: u32) {
+        let _ = site;
+    }
+
+    /// The branch at `site` mispredicted (`likely` when it was a
+    /// branch-likely static misprediction).
+    fn on_mispredict(&mut self, site: u32, likely: bool) {
+        let _ = (site, likely);
+    }
+
+    /// One cycle elapsed and was attributed to `bucket`; for
+    /// mispredict-recovery cycles `site` names the responsible branch.
+    fn on_cycle(&mut self, bucket: CycleBucket, site: Option<u32>) {
+        let _ = (bucket, site);
+    }
+}
+
+/// The disabled observer: zero overhead, used by every historical entry
+/// point.
+impl SimObserver for () {
+    const ENABLED: bool = false;
+}
+
+/// Per-branch-site counters (dense by site id).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SiteCounters {
+    /// Non-annulled executions of the (conditional) branch.
+    pub executions: u64,
+    /// Dynamic mispredictions (includes likely mispredictions).
+    pub mispredicts: u64,
+    /// Mispredictions of branch-likely sites (not-taken likelies).
+    pub likely_mispredicts: u64,
+    /// Cycles of fetch stall + recovery bubble charged to this site —
+    /// the squashed-instruction cost of its mispredictions.
+    pub recovery_cycles: u64,
+}
+
+impl SiteCounters {
+    pub fn is_zero(&self) -> bool {
+        *self == SiteCounters::default()
+    }
+}
+
+/// The standard observer: a cycle-bucket histogram plus dense per-site
+/// counters.  Reusable across runs ([`SimObserver::on_run_start`] resets).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CycleAccounting {
+    buckets: [u64; CycleBucket::COUNT],
+    sites: Vec<SiteCounters>,
+}
+
+impl CycleAccounting {
+    pub fn new() -> CycleAccounting {
+        CycleAccounting::default()
+    }
+
+    /// Rebuild from decoded parts (the cache codec path).
+    pub fn from_parts(
+        buckets: [u64; CycleBucket::COUNT],
+        num_sites: usize,
+        nonzero: impl IntoIterator<Item = (u32, SiteCounters)>,
+    ) -> CycleAccounting {
+        let mut sites = vec![SiteCounters::default(); num_sites];
+        for (id, c) in nonzero {
+            sites[id as usize] = c;
+        }
+        CycleAccounting { buckets, sites }
+    }
+
+    pub fn bucket(&self, b: CycleBucket) -> u64 {
+        self.buckets[b.index()]
+    }
+
+    pub fn buckets(&self) -> &[u64; CycleBucket::COUNT] {
+        &self.buckets
+    }
+
+    pub fn bucket_sum(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Number of static sites (the dense counter table's length).
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    pub fn site(&self, id: u32) -> SiteCounters {
+        self.sites.get(id as usize).copied().unwrap_or_default()
+    }
+
+    /// Sites with any nonzero counter, in site-id order.
+    pub fn nonzero_sites(&self) -> impl Iterator<Item = (u32, SiteCounters)> + '_ {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(i, c)| (i as u32, *c))
+    }
+
+    /// The `k` sites with the highest squashed-instruction cost
+    /// (ties broken by site id, so the order is deterministic).
+    pub fn top_sites(&self, k: usize) -> Vec<(u32, SiteCounters)> {
+        let mut v: Vec<(u32, SiteCounters)> = self.nonzero_sites().collect();
+        v.sort_by(|a, b| {
+            b.1.recovery_cycles
+                .cmp(&a.1.recovery_cycles)
+                .then(b.1.mispredicts.cmp(&a.1.mispredicts))
+                .then(a.0.cmp(&b.0))
+        });
+        v.truncate(k);
+        v
+    }
+
+    /// Panic unless the accounting is consistent with `stats`: bucket sums
+    /// equal `cycles` exactly, per-site recovery cycles sum to the
+    /// mispredict-recovery bucket, and per-site mispredict counters sum to
+    /// the aggregate predictor counters.
+    pub fn check(&self, stats: &SimStats) {
+        assert_eq!(
+            self.bucket_sum(),
+            stats.cycles,
+            "cycle buckets {:?} sum to {} but the run took {} cycles",
+            self.buckets,
+            self.bucket_sum(),
+            stats.cycles
+        );
+        let recovery: u64 = self.sites.iter().map(|c| c.recovery_cycles).sum();
+        assert_eq!(
+            recovery,
+            self.bucket(CycleBucket::MispredictRecovery),
+            "per-site recovery cycles must sum to the mispredict-recovery bucket"
+        );
+        let misp: u64 = self.sites.iter().map(|c| c.mispredicts).sum();
+        assert_eq!(
+            misp, stats.mispredicts,
+            "per-site mispredicts must sum to stats.mispredicts"
+        );
+        let lmisp: u64 = self.sites.iter().map(|c| c.likely_mispredicts).sum();
+        assert_eq!(
+            lmisp, stats.likely_mispredicts,
+            "per-site likely mispredicts must sum to stats.likely_mispredicts"
+        );
+    }
+}
+
+impl SimObserver for CycleAccounting {
+    fn on_run_start(&mut self, num_sites: usize) {
+        self.buckets = [0; CycleBucket::COUNT];
+        self.sites.clear();
+        self.sites.resize(num_sites, SiteCounters::default());
+    }
+
+    fn on_branch(&mut self, site: u32) {
+        self.sites[site as usize].executions += 1;
+    }
+
+    fn on_mispredict(&mut self, site: u32, likely: bool) {
+        let c = &mut self.sites[site as usize];
+        c.mispredicts += 1;
+        if likely {
+            c.likely_mispredicts += 1;
+        }
+    }
+
+    fn on_cycle(&mut self, bucket: CycleBucket, site: Option<u32>) {
+        self.buckets[bucket.index()] += 1;
+        if bucket == CycleBucket::MispredictRecovery {
+            if let Some(s) = site {
+                self.sites[s as usize].recovery_cycles += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_names_roundtrip() {
+        for b in CycleBucket::ALL {
+            assert_eq!(CycleBucket::from_name(b.name()), Some(b));
+            assert_eq!(CycleBucket::ALL[b.index()], b);
+        }
+        assert_eq!(CycleBucket::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn top_sites_orders_by_recovery_then_id() {
+        let mk = |r, m| SiteCounters {
+            executions: 1,
+            mispredicts: m,
+            likely_mispredicts: 0,
+            recovery_cycles: r,
+        };
+        let acc = CycleAccounting::from_parts(
+            [0; CycleBucket::COUNT],
+            4,
+            vec![(0, mk(5, 1)), (1, mk(9, 1)), (2, mk(5, 1))],
+        );
+        let top = acc.top_sites(8);
+        assert_eq!(
+            top.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![1, 0, 2]
+        );
+        assert_eq!(acc.top_sites(1).len(), 1);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_nonzero_sites() {
+        let c = SiteCounters {
+            executions: 10,
+            mispredicts: 2,
+            likely_mispredicts: 1,
+            recovery_cycles: 16,
+        };
+        let acc = CycleAccounting::from_parts([1, 2, 3, 4, 5, 6, 7, 8], 6, vec![(4, c)]);
+        assert_eq!(acc.bucket_sum(), 36);
+        assert_eq!(acc.site(4), c);
+        assert!(acc.site(3).is_zero());
+        assert_eq!(acc.nonzero_sites().collect::<Vec<_>>(), vec![(4, c)]);
+    }
+}

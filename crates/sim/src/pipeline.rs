@@ -2,6 +2,7 @@
 
 use crate::cache::Cache;
 use crate::config::{class_idx, MachineConfig, QueueKind};
+use crate::observe::{CycleBucket, SimObserver};
 use crate::stats::SimStats;
 use guardspec_interp::stream::{StreamObserver, TraceReader};
 use guardspec_interp::{SharedTrace, StaticLayout, TraceEntry};
@@ -121,6 +122,9 @@ struct Entry {
     /// Conditional branch (counts against the shadow-map limit).
     is_cond: bool,
     annulled: bool,
+    /// Missed the D-cache at issue (observer bookkeeping; only written
+    /// when an observer is enabled).
+    dmiss: bool,
 }
 
 impl Entry {
@@ -418,8 +422,22 @@ impl Default for SimContext {
     }
 }
 
+/// Why `fetch_resume` was last set (observer bookkeeping; only
+/// maintained when an observer is enabled, and only read while
+/// `now < fetch_resume`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StallKind {
+    None,
+    /// Post-resolution recovery bubble of a blocking branch.
+    Recovery,
+    /// I-cache miss refill.
+    Icache,
+    /// Decode redirect (BTB miss or call bubble).
+    Redirect,
+}
+
 /// The pipeline simulator.
-struct Pipeline<'a, S: TraceSource> {
+struct Pipeline<'a, S: TraceSource, O: SimObserver> {
     cfg: &'a MachineConfig,
     infos: &'a [SiteInfo],
     layout: &'a StaticLayout,
@@ -445,9 +463,21 @@ struct Pipeline<'a, S: TraceSource> {
     stats: SimStats,
     log: Option<CycleLog>,
     cycle_rec: CycleRecord,
+
+    obs: &'a mut O,
+    /// Observer bookkeeping (dead stores when `O::ENABLED` is false):
+    /// why the pending `fetch_resume` was set, the site that caused it,
+    /// the site of the branch currently blocking fetch and whether that
+    /// block is a misprediction (vs an indirect transfer), and whether
+    /// fetch broke on window/queue/shadow capacity this cycle.
+    resume_kind: StallKind,
+    resume_site: u32,
+    block_site: u32,
+    block_misp: bool,
+    capacity_stall: bool,
 }
 
-impl<'a, S: TraceSource> Pipeline<'a, S> {
+impl<'a, S: TraceSource, O: SimObserver> Pipeline<'a, S, O> {
     fn entry(&self, seq: u64) -> Option<&Entry> {
         if seq < self.head_seq {
             return None; // committed
@@ -481,6 +511,12 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
         }
         if let Some(r) = resume {
             self.fetch_blocked_by = None;
+            if O::ENABLED && r >= self.fetch_resume {
+                // The recovery bubble outlasts any pending refill/redirect,
+                // so the remaining stall is attributed to the branch.
+                self.resume_kind = StallKind::Recovery;
+                self.resume_site = self.block_site;
+            }
             self.fetch_resume = self.fetch_resume.max(r);
         }
     }
@@ -564,11 +600,13 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
                 let e = &self.ctx.window[i];
                 (e.class == FuClass::LoadStore, e.mem_addr, e.annulled)
             };
+            let mut dmiss = false;
             if is_mem && !annulled {
                 let byte = (addr.unwrap_or(0) as u64) << 2;
                 if !self.ctx.dcache.access(byte) {
                     lat += self.cfg.latencies.cache_miss_penalty;
                     self.stats.dcache_misses += 1;
+                    dmiss = true;
                 } else {
                     self.stats.dcache_hits += 1;
                 }
@@ -576,6 +614,9 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
             let e = &mut self.ctx.window[i];
             e.state = EState::Executing;
             e.finish = now + lat;
+            if O::ENABLED {
+                e.dmiss = dmiss;
+            }
             if class != FuClass::Nop {
                 issued[ci] += 1;
                 self.stats.fu_issues[ci] += 1;
@@ -587,9 +628,9 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
         }
         self.issue_head = new_head.unwrap_or(self.ctx.window.len());
         // A class is "full" this cycle if every unit of the class issued.
-        for ci in 0..8 {
+        for (ci, &n) in issued.iter().enumerate() {
             let fus = self.cfg.fu_count[ci];
-            if fus != usize::MAX && fus > 0 && issued[ci] == fus {
+            if fus != usize::MAX && fus > 0 && n == fus {
                 self.stats.fu_full_cycles[ci] += 1;
             }
         }
@@ -618,10 +659,16 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
 
             // Structural checks before consuming.
             if self.ctx.window.len() >= self.cfg.rob_size {
+                if O::ENABLED {
+                    self.capacity_stall = true;
+                }
                 break;
             }
             let qi = info.queue.index();
             if self.queue_len[qi] >= self.cfg.queue_size[qi] {
+                if O::ENABLED {
+                    self.capacity_stall = true;
+                }
                 break;
             }
             let is_cond = matches!(
@@ -629,6 +676,9 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
                 Some(BranchKind::CondDirect) | Some(BranchKind::CondLikely)
             );
             if is_cond && self.unresolved_branches >= self.cfg.max_inflight_branches {
+                if O::ENABLED {
+                    self.capacity_stall = true;
+                }
                 break;
             }
             // I-cache probe: a miss delays fetch; the probe fills the line
@@ -636,6 +686,9 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
             if !self.ctx.icache.access(pc) {
                 self.stats.icache_misses += 1;
                 self.fetch_resume = self.now + self.cfg.latencies.cache_miss_penalty;
+                if O::ENABLED {
+                    self.resume_kind = StallKind::Icache;
+                }
                 break;
             }
             self.stats.icache_hits += 1;
@@ -674,6 +727,7 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
                 blocks_fetch: false,
                 is_cond,
                 annulled: te.annulled(),
+                dmiss: false,
             };
             self.source.advance();
 
@@ -684,6 +738,9 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
             let mut stop_group = false;
             if let Some(kind) = info.kind.filter(|_| !te.annulled()) {
                 let taken = te.taken();
+                if O::ENABLED && matches!(kind, BranchKind::CondDirect | BranchKind::CondLikely) {
+                    self.obs.on_branch(te.id);
+                }
                 match kind {
                     BranchKind::CondDirect => {
                         let actual = taken.unwrap_or(false);
@@ -704,6 +761,9 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
                                         None => {
                                             self.stats.btb_misses += 1;
                                             self.fetch_resume = self.now + 2;
+                                            if O::ENABLED {
+                                                self.resume_kind = StallKind::Redirect;
+                                            }
                                             if let Some(t) = info.target_pc {
                                                 self.ctx.btb.install(pc, t);
                                             }
@@ -715,6 +775,11 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
                                 self.stats.mispredicts += 1;
                                 entry.blocks_fetch = true;
                                 self.fetch_blocked_by = Some(seq);
+                                if O::ENABLED {
+                                    self.obs.on_mispredict(te.id, false);
+                                    self.block_site = te.id;
+                                    self.block_misp = true;
+                                }
                                 if actual {
                                     if let Some(t) = info.target_pc {
                                         self.ctx.btb.install(pc, t);
@@ -739,6 +804,11 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
                             self.stats.likely_mispredicts += 1;
                             entry.blocks_fetch = true;
                             self.fetch_blocked_by = Some(seq);
+                            if O::ENABLED {
+                                self.obs.on_mispredict(te.id, true);
+                                self.block_site = te.id;
+                                self.block_misp = true;
+                            }
                             stop_group = true;
                         }
                     }
@@ -754,6 +824,9 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
                                 None => {
                                     self.stats.btb_misses += 1;
                                     self.fetch_resume = self.now + 2;
+                                    if O::ENABLED {
+                                        self.resume_kind = StallKind::Redirect;
+                                    }
                                     if let Some(t) = info.target_pc {
                                         self.ctx.btb.install(pc, t);
                                     }
@@ -767,6 +840,9 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
                         // decode-redirect bubble unless perfect.
                         if !self.scheme.is_perfect() {
                             self.fetch_resume = self.now + 2;
+                            if O::ENABLED {
+                                self.resume_kind = StallKind::Redirect;
+                            }
                         }
                         stop_group = true;
                     }
@@ -777,6 +853,10 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
                             self.stats.indirect_stalls += 1;
                             entry.blocks_fetch = true;
                             self.fetch_blocked_by = Some(seq);
+                            if O::ENABLED {
+                                self.block_site = te.id;
+                                self.block_misp = false;
+                            }
                             stop_group = true;
                         }
                     }
@@ -789,6 +869,64 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
                 break;
             }
         }
+    }
+
+    /// Attribute the cycle that just ran to exactly one [`CycleBucket`].
+    ///
+    /// The priority chain makes the buckets exhaustive and mutually
+    /// exclusive by construction (see [`CycleBucket`] for the order), so
+    /// the observer's bucket sums equal `stats.cycles` without any
+    /// residual category.  Runs after `fetch_stage` and before
+    /// `sample_stage` (which resets `cycle_rec`).
+    fn classify_cycle(&mut self) {
+        let (bucket, site) = if self.cycle_rec.committed > 0 {
+            (CycleBucket::UsefulCommit, None)
+        } else if self.source.cur().is_none() {
+            // Trace exhausted: the remaining zero-commit cycles are the
+            // pipeline draining, whatever the in-flight entries wait on.
+            (CycleBucket::Drain, None)
+        } else if self.fetch_blocked_by.is_some() {
+            // Unresolved blocking branch: mispredict repair if it was a
+            // misprediction, plain fetch stall for an indirect transfer.
+            if self.block_misp {
+                (CycleBucket::MispredictRecovery, Some(self.block_site))
+            } else {
+                (CycleBucket::FetchStall, Some(self.block_site))
+            }
+        } else if self.now < self.fetch_resume {
+            match self.resume_kind {
+                StallKind::Recovery if self.block_misp => {
+                    (CycleBucket::MispredictRecovery, Some(self.resume_site))
+                }
+                StallKind::Recovery => (CycleBucket::FetchStall, Some(self.resume_site)),
+                StallKind::Icache => (CycleBucket::IcacheMiss, None),
+                _ => (CycleBucket::FetchStall, None),
+            }
+        } else if self.capacity_stall {
+            (CycleBucket::IssueWindowFull, None)
+        } else {
+            // Head-of-window diagnosis.  The head cannot be `Complete`
+            // here: complete runs before commit, so a complete head would
+            // have committed this cycle (the first arm above).
+            match self.ctx.window.front() {
+                None => (CycleBucket::FetchStall, None), // frontend fill
+                Some(e) if e.state == EState::Executing => {
+                    if e.dmiss {
+                        (CycleBucket::DcacheMiss, None)
+                    } else {
+                        (CycleBucket::FuContention, None)
+                    }
+                }
+                Some(e) if self.now <= e.disp_cycle + self.cfg.frontend_depth => {
+                    (CycleBucket::FetchStall, None) // frontend fill
+                }
+                // InQueue past the frontend depth: the head's producers
+                // have all committed, so it is waiting on a functional
+                // unit (structural hazard or the blocking divider).
+                Some(_) => (CycleBucket::FuContention, None),
+            }
+        };
+        self.obs.on_cycle(bucket, site);
     }
 
     /// Stage 5: end-of-cycle statistics sampling.
@@ -814,10 +952,16 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
     fn run_logged(mut self) -> Result<(SimStats, Option<CycleLog>), SimError> {
         while self.source.cur().is_some() || !self.ctx.window.is_empty() {
             self.now += 1;
+            if O::ENABLED {
+                self.capacity_stall = false;
+            }
             self.complete_stage();
             self.commit_stage();
             self.issue_stage();
             self.fetch_stage();
+            if O::ENABLED {
+                self.classify_cycle();
+            }
             self.sample_stage();
             if self.source.budget_exceeded(self.now) {
                 return Err(SimError::CycleBudgetExceeded {
@@ -831,8 +975,11 @@ impl<'a, S: TraceSource> Pipeline<'a, S> {
     }
 }
 
-/// Run one simulation over `source` using the reusable state in `ctx`.
-fn simulate_source<S: TraceSource>(
+/// Run one simulation over `source` using the reusable state in `ctx`,
+/// reporting cycle attribution and branch events to `obs` (pass `&mut ()`
+/// for the zero-overhead disabled observer).
+#[allow(clippy::too_many_arguments)]
+fn simulate_source<S: TraceSource, O: SimObserver>(
     ctx: &mut SimContext,
     infos: &[SiteInfo],
     layout: &StaticLayout,
@@ -840,8 +987,12 @@ fn simulate_source<S: TraceSource>(
     scheme: Scheme,
     cfg: &MachineConfig,
     log_cycles: usize,
+    obs: &mut O,
 ) -> Result<(SimStats, Option<CycleLog>), SimError> {
     ctx.prepare(cfg);
+    if O::ENABLED {
+        obs.on_run_start(infos.len());
+    }
     let pipe = Pipeline {
         cfg,
         infos,
@@ -861,6 +1012,12 @@ fn simulate_source<S: TraceSource>(
         stats: SimStats::default(),
         log: (log_cycles > 0).then(|| CycleLog::new(log_cycles)),
         cycle_rec: CycleRecord::default(),
+        obs,
+        resume_kind: StallKind::None,
+        resume_site: 0,
+        block_site: 0,
+        block_misp: false,
+        capacity_stall: false,
     };
     pipe.run_logged()
 }
@@ -887,7 +1044,56 @@ pub fn simulate_trace_in(
     cfg: &MachineConfig,
 ) -> Result<SimStats, SimError> {
     let infos = build_site_infos(prog, layout);
-    simulate_source(ctx, &infos, layout, SliceSource::new(trace), scheme, cfg, 0).map(|(s, _)| s)
+    simulate_source(
+        ctx,
+        &infos,
+        layout,
+        SliceSource::new(trace),
+        scheme,
+        cfg,
+        0,
+        &mut (),
+    )
+    .map(|(s, _)| s)
+}
+
+/// Like [`simulate_trace_in`], but reporting cycle attribution and
+/// per-site branch events to `obs`.  The returned stats are identical to
+/// the unobserved run's.
+pub fn simulate_trace_observed_in(
+    ctx: &mut SimContext,
+    prog: &Program,
+    layout: &StaticLayout,
+    trace: &[TraceEntry],
+    scheme: Scheme,
+    cfg: &MachineConfig,
+    obs: &mut impl SimObserver,
+) -> Result<SimStats, SimError> {
+    let infos = build_site_infos(prog, layout);
+    simulate_source(
+        ctx,
+        &infos,
+        layout,
+        SliceSource::new(trace),
+        scheme,
+        cfg,
+        0,
+        obs,
+    )
+    .map(|(s, _)| s)
+}
+
+/// [`simulate_trace_observed_in`] with fresh simulator state.
+pub fn simulate_trace_observed(
+    prog: &Program,
+    layout: &StaticLayout,
+    trace: &[TraceEntry],
+    scheme: Scheme,
+    cfg: &MachineConfig,
+    obs: &mut impl SimObserver,
+) -> Result<SimStats, SimError> {
+    let mut ctx = SimContext::new(cfg);
+    simulate_trace_observed_in(&mut ctx, prog, layout, trace, scheme, cfg, obs)
 }
 
 /// Like [`simulate_trace`], but also records a per-cycle activity log of up
@@ -910,6 +1116,7 @@ pub fn simulate_trace_logged(
         scheme,
         cfg,
         log_cycles,
+        &mut (),
     )
 }
 
@@ -954,6 +1161,30 @@ pub fn simulate_shared_in(
         scheme,
         cfg,
         0,
+        &mut (),
+    )
+    .map(|(s, _)| s)
+}
+
+/// Like [`simulate_shared_in`], but reporting cycle attribution and
+/// per-site branch events to `obs`.
+pub fn simulate_shared_observed_in(
+    ctx: &mut SimContext,
+    prep: &PreparedSim,
+    trace: &SharedTrace,
+    scheme: Scheme,
+    cfg: &MachineConfig,
+    obs: &mut impl SimObserver,
+) -> Result<SimStats, SimError> {
+    simulate_source(
+        ctx,
+        &prep.infos,
+        &prep.layout,
+        ChunkSource::new(trace),
+        scheme,
+        cfg,
+        0,
+        obs,
     )
     .map(|(s, _)| s)
 }
@@ -997,6 +1228,7 @@ pub fn simulate_program_fanout(
                         *scheme,
                         cfg,
                         0,
+                        &mut (),
                     )
                     .map(|(s, _)| s)
                 })
@@ -1047,15 +1279,28 @@ pub fn simulate_program_streamed_in(
     scheme: Scheme,
     cfg: &MachineConfig,
 ) -> Result<(SimStats, guardspec_interp::ExecResult), Box<dyn std::error::Error>> {
+    simulate_program_streamed_observed_in(ctx, prog, scheme, cfg, &mut ())
+}
+
+/// [`simulate_program_streamed_in`] with an observer: the interpreter
+/// streams the trace to the pipeline while cycle attribution and per-site
+/// branch events are reported to `obs`.
+pub fn simulate_program_streamed_observed_in(
+    ctx: &mut SimContext,
+    prog: &Program,
+    scheme: Scheme,
+    cfg: &MachineConfig,
+    obs: &mut impl SimObserver,
+) -> Result<(SimStats, guardspec_interp::ExecResult), Box<dyn std::error::Error>> {
     let layout = StaticLayout::build(prog);
     let infos = build_site_infos(prog, &layout);
     let (writer, reader) = guardspec_interp::stream::trace_channel();
     let (sim, exec) = std::thread::scope(|s| {
         let producer = s.spawn(|| {
-            let mut obs = StreamObserver::new(&layout, writer);
-            let res = guardspec_interp::Interp::new(prog).run_with(&mut obs);
+            let mut sobs = StreamObserver::new(&layout, writer);
+            let res = guardspec_interp::Interp::new(prog).run_with(&mut sobs);
             if res.is_ok() {
-                obs.finish();
+                sobs.finish();
             }
             // On error the writer is dropped unflushed, which closes the
             // channel; the truncated simulation result is discarded below.
@@ -1069,6 +1314,7 @@ pub fn simulate_program_streamed_in(
             scheme,
             cfg,
             0,
+            obs,
         );
         let exec = producer.join().expect("trace producer panicked");
         (sim, exec)
@@ -1078,13 +1324,25 @@ pub fn simulate_program_streamed_in(
     Ok((stats, exec))
 }
 
+/// [`simulate_program`] with an observer over the materialized-trace path.
+pub fn simulate_program_observed(
+    prog: &Program,
+    scheme: Scheme,
+    cfg: &MachineConfig,
+    obs: &mut impl SimObserver,
+) -> Result<(SimStats, guardspec_interp::ExecResult), Box<dyn std::error::Error>> {
+    let (layout, trace, res) = guardspec_interp::trace::trace_program(prog)?;
+    let stats = simulate_trace_observed(prog, &layout, &trace, scheme, cfg, obs)?;
+    Ok((stats, res))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use guardspec_ir::builder::*;
     use guardspec_ir::reg::r;
 
-    fn count_loop(n: i64) -> Program {
+    pub(super) fn count_loop(n: i64) -> Program {
         let mut fb = FuncBuilder::new("loop");
         fb.block("e");
         fb.li(r(1), n);
@@ -1386,6 +1644,145 @@ mod tests {
                 .expect("sim");
             assert_eq!(fresh, reused, "reshape diverged");
         }
+    }
+}
+
+#[cfg(test)]
+mod observe_tests {
+    use super::*;
+    use crate::observe::CycleAccounting;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::r;
+
+    fn alt_program(iters: i64) -> Program {
+        // Loop with an alternating inner branch (mispredict-heavy under
+        // TwoBit) plus a strided load (D-cache misses).
+        let mut fb = FuncBuilder::new("alt");
+        fb.block("e");
+        fb.li(r(1), 0);
+        fb.li(r(5), iters);
+        fb.block("loop");
+        fb.andi(r(2), r(1), 1);
+        fb.beq(r(2), r(0), "skip");
+        fb.block("odd");
+        fb.addi(r(3), r(3), 1);
+        fb.block("skip");
+        fb.lw(r(4), r(1), 0);
+        fb.addi(r(1), r(1), 16);
+        fb.slt(r(6), r(1), r(5));
+        fb.bne(r(6), r(0), "loop");
+        fb.block("done");
+        fb.halt();
+        let mut p = single_func_program(fb);
+        p.mem_words = 1 << 14;
+        p
+    }
+
+    #[test]
+    fn observed_stats_match_unobserved_and_buckets_sum() {
+        for prog in [alt_program(4000), tests::count_loop(700)] {
+            let (layout, trace, _) = guardspec_interp::trace::trace_program(&prog).unwrap();
+            let cfg = MachineConfig::r10000();
+            let mut acc = CycleAccounting::new();
+            for scheme in [Scheme::TwoBit, Scheme::Proposed, Scheme::Perfect] {
+                let plain = simulate_trace(&prog, &layout, &trace, scheme, &cfg).unwrap();
+                let observed =
+                    simulate_trace_observed(&prog, &layout, &trace, scheme, &cfg, &mut acc)
+                        .unwrap();
+                assert_eq!(plain, observed, "observer changed stats under {scheme:?}");
+                acc.check(&observed);
+                assert!(acc.bucket(CycleBucket::UsefulCommit) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn accounting_agrees_across_trace_paths() {
+        let prog = alt_program(2000);
+        let cfg = MachineConfig::r10000();
+        let (layout, flat, _) = guardspec_interp::trace::trace_program(&prog).unwrap();
+        let shared = SharedTrace::from_entries(flat.iter().copied());
+        let prep = prepare_program(&prog);
+        let mut ctx = SimContext::new(&cfg);
+        for scheme in [Scheme::TwoBit, Scheme::Proposed, Scheme::Perfect] {
+            let mut slice_acc = CycleAccounting::new();
+            let slice =
+                simulate_trace_observed(&prog, &layout, &flat, scheme, &cfg, &mut slice_acc)
+                    .unwrap();
+            let mut stream_acc = CycleAccounting::new();
+            let (streamed, _) = simulate_program_streamed_observed_in(
+                &mut ctx,
+                &prog,
+                scheme,
+                &cfg,
+                &mut stream_acc,
+            )
+            .unwrap();
+            let mut shared_acc = CycleAccounting::new();
+            let chunked = simulate_shared_observed_in(
+                &mut ctx,
+                &prep,
+                &shared,
+                scheme,
+                &cfg,
+                &mut shared_acc,
+            )
+            .unwrap();
+            assert_eq!(slice, streamed, "stats diverge (streamed) under {scheme:?}");
+            assert_eq!(slice, chunked, "stats diverge (shared) under {scheme:?}");
+            assert_eq!(
+                slice_acc, stream_acc,
+                "accounting diverges (streamed) under {scheme:?}"
+            );
+            assert_eq!(
+                slice_acc, shared_acc,
+                "accounting diverges (shared) under {scheme:?}"
+            );
+            slice_acc.check(&slice);
+        }
+    }
+
+    #[test]
+    fn mispredict_heavy_branch_dominates_site_attribution() {
+        let prog = alt_program(4000);
+        let cfg = MachineConfig::r10000();
+        let mut acc = CycleAccounting::new();
+        let stats = simulate_program_observed(&prog, Scheme::TwoBit, &cfg, &mut acc)
+            .map(|(s, _)| s)
+            .unwrap();
+        acc.check(&stats);
+        // The alternating branch owns nearly all mispredicts and therefore
+        // tops the squashed-cost ranking.
+        let top = acc.top_sites(1);
+        assert_eq!(top.len(), 1);
+        let (_, c) = top[0];
+        assert!(
+            c.mispredicts * 2 > stats.mispredicts,
+            "top site owns {} of {} mispredicts",
+            c.mispredicts,
+            stats.mispredicts
+        );
+        assert!(c.recovery_cycles > 0);
+        assert!(acc.bucket(CycleBucket::MispredictRecovery) > 0);
+        // Executions are conditional-branch fetches.
+        let execs: u64 = acc.nonzero_sites().map(|(_, c)| c.executions).sum();
+        assert_eq!(execs, stats.cond_branches);
+    }
+
+    #[test]
+    fn perfect_scheme_has_no_recovery_cycles() {
+        let prog = alt_program(1000);
+        let cfg = MachineConfig::r10000();
+        let mut acc = CycleAccounting::new();
+        let stats = simulate_program_observed(&prog, Scheme::Perfect, &cfg, &mut acc)
+            .map(|(s, _)| s)
+            .unwrap();
+        acc.check(&stats);
+        assert_eq!(acc.bucket(CycleBucket::MispredictRecovery), 0);
+        // With no recovery bubbles in the way, the strided loads' misses
+        // surface as head-of-window D-cache stall cycles.
+        assert!(stats.dcache_misses > 0);
+        assert!(acc.bucket(CycleBucket::DcacheMiss) > 0);
     }
 }
 

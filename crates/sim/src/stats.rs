@@ -209,13 +209,15 @@ mod tests {
 
     #[test]
     fn derived_metrics() {
-        let mut s = SimStats::default();
-        s.cycles = 1000;
-        s.committed = 640;
+        let mut s = SimStats {
+            cycles: 1000,
+            committed: 640,
+            cond_branches: 200,
+            mispredicts: 16,
+            ..SimStats::default()
+        };
         s.queue_full_cycles[QueueKind::Branch.index()] = 139;
         s.fu_full_cycles[class_idx(FuClass::Alu)] = 7;
-        s.cond_branches = 200;
-        s.mispredicts = 16;
         assert!((s.ipc() - 0.64).abs() < 1e-12);
         assert!((s.rs_full_pct(QueueKind::Branch) - 13.9).abs() < 1e-9);
         assert!((s.fu_full_pct(FuClass::Alu) - 0.7).abs() < 1e-9);
@@ -224,11 +226,13 @@ mod tests {
 
     #[test]
     fn field_list_roundtrips() {
-        let mut s = SimStats::default();
-        s.cycles = 9;
+        let mut s = SimStats {
+            cycles: 9,
+            dcache_misses: 3,
+            ..SimStats::default()
+        };
         s.queue_full_cycles[2] = 4;
         s.fu_issues[7] = 11;
-        s.dcache_misses = 3;
         let mut back = SimStats::default();
         for (name, v) in s.field_list() {
             assert!(back.set_field(&name, v), "unknown field {name}");

@@ -45,6 +45,29 @@ rm -rf "$TCDIR"
 cargo run --release -p guardspec-bench --bin tracefan -- --scale test > /dev/null
 test -s results/BENCH_10.json
 
+echo "== observability (report bin, trace-out validation, decision schema) =="
+# The report bin runs with cycle accounting forced on: it asserts per cell
+# that the eight cycle buckets sum to stats.cycles and that the decision
+# log carries a reason/action/behavior per visited branch (plus the cost
+# comparison for every gated transform) — the schema check is internal.
+OBSDIR=$(mktemp -d)
+(cd "$OBSDIR" && "$OLDPWD/target/release/report" --scale test --jobs 2 \
+    --trace-out trace.json > report.txt)
+test -s "$OBSDIR"/report.txt
+grep -q "mispredict_recovery" "$OBSDIR"/report.txt
+# The emitted Chrome trace-event document must load: required fields
+# present, spans strictly nested per thread.
+"$OLDPWD/target/release/report" --check-trace "$OBSDIR"/trace.json
+# Observability off must not perturb the science: table3 output with and
+# without --observe is byte-identical on stdout.
+(cd "$OBSDIR" && "$OLDPWD/target/release/table3" --scale test > t3_plain.txt \
+    && "$OLDPWD/target/release/table3" --scale test --observe > t3_obs.txt)
+cmp "$OBSDIR"/t3_plain.txt "$OBSDIR"/t3_obs.txt
+rm -rf "$OBSDIR"
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --release -- -D warnings
+
 echo "== fuzz smoke (200 differential cases, fixed seed) =="
 # Deterministic: fails (exit 1) on any transform-equivalence divergence.
 cargo run --release -p guardspec-fuzz --bin fuzz -- --cases 200 --seed 7
