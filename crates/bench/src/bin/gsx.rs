@@ -50,6 +50,16 @@ fn main() {
         std::process::exit(1);
     }
 
+    // run/prof/opt take no further arguments; a stray one is named and
+    // rejected rather than silently ignored (same contract as the bench
+    // binaries' strict parser).
+    if matches!(cmd, "run" | "prof" | "opt") {
+        if let Some(extra) = args.get(3) {
+            eprintln!("gsx: {}", guardspec_harness::args::unknown_argument(extra));
+            std::process::exit(2);
+        }
+    }
+
     match cmd {
         "run" => {
             let res = run(&prog).unwrap_or_else(|e| {
@@ -179,7 +189,17 @@ fn main() {
             }
         }
         "pipeview" => {
-            let n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(40);
+            let n: usize = match args.get(3) {
+                Some(s) => s.parse().unwrap_or_else(|_| {
+                    eprintln!("gsx: bad cycle count {s:?} (want a non-negative integer)");
+                    std::process::exit(2);
+                }),
+                None => 40,
+            };
+            if let Some(extra) = args.get(4) {
+                eprintln!("gsx: {}", guardspec_harness::args::unknown_argument(extra));
+                std::process::exit(2);
+            }
             let (layout, trace, _) = guardspec_interp::trace::trace_program(&prog).expect("trace");
             let cfg = MachineConfig::r10000();
             let (stats, log) = guardspec_sim::simulate_trace_logged(

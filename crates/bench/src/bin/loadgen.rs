@@ -1,0 +1,260 @@
+//! `loadgen` — drives an embedded `gsd` server with concurrent clients and
+//! writes `results/BENCH_6.json`: requests/sec, p50/p99 latency, dedup
+//! ratio, and cold- vs warm-cache behaviour of the service layer.
+//!
+//! The server runs in-process on an ephemeral port with a scratch cache,
+//! so the numbers measure the daemon (HTTP + dedup + queue + runner), not
+//! network weather.  Each client cycles through a small set of distinct
+//! sweeps; with more clients than distinct sweeps, concurrent duplicates
+//! dedup into shared flights (the `dedup_ratio` reported), and the warm
+//! pass replays the same mix against the now-populated cache.  The file is
+//! overwritten on purpose: it is the PR's evidence artifact, not a per-run
+//! log.
+//!
+//! ```text
+//! loadgen [--scale test|small|paper] [--clients N] [--requests R]
+//!         [--workers W] [--out PATH]
+//! ```
+//!
+//! Unknown flags print the offending flag and exit 2.
+
+use guardspec_harness::args::{parse_scale, take_value, unknown_argument};
+use guardspec_harness::{json, write_json_file, Json};
+use guardspec_server::http;
+use guardspec_server::protocol::{ablation_request, request_to_json, three_schemes_request};
+use guardspec_server::{Server, ServerConfig};
+use guardspec_workloads::Scale;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Debug)]
+struct Args {
+    scale: Scale,
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    out: PathBuf,
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut parsed = Args {
+        scale: Scale::Test,
+        clients: 4,
+        requests: 8,
+        workers: 2,
+        out: PathBuf::from("results/BENCH_6.json"),
+    };
+    let mut args: Box<dyn Iterator<Item = String>> = Box::new(argv);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => parsed.scale = parse_scale(&take_value(&mut args, "--scale")?)?,
+            "--clients" => {
+                let v = take_value(&mut args, "--clients")?;
+                parsed.clients = v.parse().map_err(|_| format!("bad --clients {v:?}"))?;
+            }
+            "--requests" => {
+                let v = take_value(&mut args, "--requests")?;
+                parsed.requests = v.parse().map_err(|_| format!("bad --requests {v:?}"))?;
+            }
+            "--workers" => {
+                let v = take_value(&mut args, "--workers")?;
+                parsed.workers = v.parse().map_err(|_| format!("bad --workers {v:?}"))?;
+            }
+            "--out" => parsed.out = PathBuf::from(take_value(&mut args, "--out")?),
+            other => return Err(unknown_argument(other)),
+        }
+    }
+    if parsed.clients == 0 || parsed.requests == 0 {
+        return Err("--clients and --requests must be positive".to_string());
+    }
+    Ok(parsed)
+}
+
+/// One measured pass: every client posts its share of the mix; returns
+/// per-request latencies (ms) and the pass's wall time (ms).
+fn drive(addr: &str, mix: &[String], clients: usize, requests: usize) -> (Vec<f64>, f64) {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            let mix: Vec<String> = mix.to_vec();
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(requests);
+                for r in 0..requests {
+                    let body = &mix[(c + r) % mix.len()];
+                    let t0 = Instant::now();
+                    let (status, resp) =
+                        http::post_json(&addr, "/run", body).expect("request failed");
+                    assert_eq!(status, 200, "unexpected {status}: {resp}");
+                    lat.push(t0.elapsed().as_secs_f64() * 1000.0);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(clients * requests);
+    for h in handles {
+        latencies.extend(h.join().expect("client thread panicked"));
+    }
+    (latencies, started.elapsed().as_secs_f64() * 1000.0)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn pass_json(latencies: &mut [f64], wall_ms: f64) -> (Json, f64, f64, f64) {
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = percentile(latencies, 0.50);
+    let p99 = percentile(latencies, 0.99);
+    let req_s = latencies.len() as f64 / (wall_ms / 1000.0);
+    let j = Json::obj(vec![
+        ("requests", Json::U64(latencies.len() as u64)),
+        ("wall_ms", Json::F64(wall_ms)),
+        ("requests_per_sec", Json::F64(req_s)),
+        ("p50_ms", Json::F64(p50)),
+        ("p99_ms", Json::F64(p99)),
+    ]);
+    (j, req_s, p50, p99)
+}
+
+fn metric(metrics_body: &str, path: &[&str]) -> u64 {
+    let mut j = json::parse(metrics_body).expect("metrics parse");
+    for p in path {
+        match j.get(p) {
+            Some(inner) => j = inner.clone(),
+            None => return 0,
+        }
+    }
+    j.as_u64().unwrap_or(0)
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cache_dir = std::env::temp_dir().join(format!("guardspec-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let handle = Server::start(ServerConfig {
+        cache_dir: Some(cache_dir.clone()),
+        workers: args.workers,
+        queue_cap: args.clients * args.requests + 8,
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = handle.addr().to_string();
+
+    // The request mix: two sweep shapes at the chosen scale.  Fewer
+    // distinct requests than clients means concurrent duplicates dedup.
+    let mix: Vec<String> = [
+        request_to_json(&three_schemes_request("table3", args.scale)),
+        request_to_json(&ablation_request("ablation", args.scale)),
+    ]
+    .iter()
+    .map(Json::to_compact)
+    .collect();
+
+    eprintln!(
+        "loadgen: {} clients x {} requests, {} workers, scale {:?}, server {addr}",
+        args.clients, args.requests, args.workers, args.scale
+    );
+    let (mut cold_lat, cold_wall) = drive(&addr, &mix, args.clients, args.requests);
+    let (_, cold_metrics) = http::get(&addr, "/metrics").expect("metrics");
+    let (mut warm_lat, warm_wall) = drive(&addr, &mix, args.clients, args.requests);
+    let (_, warm_metrics) = http::get(&addr, "/metrics").expect("metrics");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let (cold_json, cold_rps, cold_p50, cold_p99) = pass_json(&mut cold_lat, cold_wall);
+    let (warm_json, warm_rps, warm_p50, warm_p99) = pass_json(&mut warm_lat, warm_wall);
+    let run = metric(&warm_metrics, &["counters", "requests.run"]);
+    let joined = metric(&warm_metrics, &["counters", "dedup.joined"]);
+    let executed = metric(&warm_metrics, &["counters", "jobs.executed"]);
+    let dedup_ratio = if run > 0 {
+        joined as f64 / run as f64
+    } else {
+        0.0
+    };
+
+    println!("{:<26} {:>12} {:>12}", "metric", "cold", "warm");
+    let row = |name: &str, c: f64, w: f64| println!("{name:<26} {c:>12.2} {w:>12.2}");
+    row("requests/sec", cold_rps, warm_rps);
+    row("p50 latency (ms)", cold_p50, warm_p50);
+    row("p99 latency (ms)", cold_p99, warm_p99);
+    println!(
+        "dedup: {joined}/{run} requests joined an in-flight duplicate ({:.0}%), {executed} jobs executed",
+        dedup_ratio * 100.0
+    );
+
+    let json = Json::obj(vec![
+        (
+            "meta",
+            Json::obj(vec![
+                ("bench", Json::str("loadgen")),
+                ("scale", Json::str(format!("{:?}", args.scale))),
+                ("clients", Json::U64(args.clients as u64)),
+                ("requests_per_client", Json::U64(args.requests as u64)),
+                ("workers", Json::U64(args.workers as u64)),
+                ("mix", Json::str("table3 + ablation, alternating")),
+            ]),
+        ),
+        ("cold", cold_json),
+        ("warm", warm_json),
+        (
+            "dedup",
+            Json::obj(vec![
+                ("requests", Json::U64(run)),
+                ("joined", Json::U64(joined)),
+                ("jobs_executed", Json::U64(executed)),
+                ("ratio", Json::F64(dedup_ratio)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                (
+                    "hits_after_cold",
+                    Json::U64(metric(&cold_metrics, &["cache_hits"])),
+                ),
+                (
+                    "hits_after_warm",
+                    Json::U64(metric(&warm_metrics, &["cache_hits"])),
+                ),
+                (
+                    "misses_after_warm",
+                    Json::U64(metric(&warm_metrics, &["cache_misses"])),
+                ),
+                (
+                    "race_lost",
+                    Json::U64(metric(&warm_metrics, &["cache_race_lost"])),
+                ),
+            ]),
+        ),
+    ]);
+    write_json_file(&args.out, &json).expect("write artifact");
+    eprintln!("loadgen: wrote {}", args.out.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_flags_are_rejected_by_name() {
+        let err = parse_args(["--warp".to_string()].into_iter()).unwrap_err();
+        assert!(err.contains("--warp"), "{err}");
+    }
+
+    #[test]
+    fn percentiles_pick_sane_ranks() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&xs, 0.50), 6.0);
+        assert_eq!(percentile(&xs, 0.99), 10.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+    }
+}

@@ -17,18 +17,29 @@
 //!   is a loadable Chrome trace-event document (parses, has the required
 //!   fields, spans nest per thread).  Exit 0/1.  Used by `scripts/verify.sh`.
 
-use guardspec_bench::{finish_artifacts, harness_args, hr, run_options};
-use guardspec_harness::{run_experiment, CellResult, ExperimentSpec};
+use guardspec_bench::{finish_artifacts, hr, run_options};
+use guardspec_harness::args::take_value;
+use guardspec_harness::{run_experiment, CellResult, ExperimentSpec, HarnessArgs};
 use guardspec_interp::StaticLayout;
 use guardspec_predict::Scheme;
 use guardspec_sim::CycleBucket;
 
 fn main() {
-    if let Some(path) = check_trace_arg() {
+    // `--check-trace` rides through the strict common parser as a
+    // binary-specific extension; anything else unknown still exits 2.
+    let mut check: Option<String> = None;
+    let args = HarnessArgs::parse_with(|arg, rest| {
+        if arg == "--check-trace" {
+            check = Some(take_value(rest, "--check-trace")?);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    });
+    if let Some(path) = check {
         std::process::exit(check_trace(&path));
     }
 
-    let args = harness_args();
     let scale = args.scale;
     let spec = ExperimentSpec::three_schemes("report", scale);
     let mut opts = run_options(&args);
@@ -145,22 +156,6 @@ fn check_decision_schema(wname: &str, report: &guardspec_harness::ReportSummary)
             );
         }
     }
-}
-
-fn check_trace_arg() -> Option<String> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--check-trace" {
-            match args.next() {
-                Some(p) => return Some(p),
-                None => {
-                    eprintln!("error: --check-trace needs a value");
-                    std::process::exit(2);
-                }
-            }
-        }
-    }
-    None
 }
 
 fn check_trace(path: &str) -> i32 {

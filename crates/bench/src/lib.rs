@@ -28,6 +28,12 @@
 //!   = one per core).  Output is byte-identical at any thread count.
 //! * `--json <path>` — also write the run's machine-readable artifact to
 //!   `<path>`.
+//! * `--stable-json <path>` — also write the run's *stable* payload (no
+//!   timings or machine-local meta) to `<path>`; byte-identical at any
+//!   `--jobs`, cold or warm cache, and to what the `gsd` server returns
+//!   for the same spec.
+//!
+//! Unknown flags print the offending argument to stderr and exit 2.
 //! * `--no-stream` — disable the streaming trace pipeline and simulate
 //!   each cell from a fully materialized trace on one thread (same
 //!   results; preferable on single-core machines; only affects
@@ -102,6 +108,12 @@ pub fn finish_artifacts(result: &ExperimentResult, args: &HarnessArgs) {
     }
     if let Some(path) = &args.json {
         match guardspec_harness::write_json_file(path, &guardspec_harness::full_json(result)) {
+            Ok(()) => eprintln!("[artifact] {}", path.display()),
+            Err(e) => eprintln!("[artifact] {} write failed: {e}", path.display()),
+        }
+    }
+    if let Some(path) = &args.stable_json {
+        match guardspec_harness::write_json_file(path, &guardspec_harness::stable_json(result)) {
             Ok(()) => eprintln!("[artifact] {}", path.display()),
             Err(e) => eprintln!("[artifact] {} write failed: {e}", path.display()),
         }

@@ -17,6 +17,7 @@ use guardspec_harness::JobGraph;
 use rand::prelude::*;
 use std::sync::{Arc, Mutex};
 
+#[derive(Debug)]
 struct Args {
     cases: u64,
     seed: u64,
@@ -65,7 +66,7 @@ fn try_parse(args: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--quick" => out.quick = true,
             "--no-shrink" => out.no_shrink = true,
-            _ => {} // tolerated, like the bench binaries
+            other => return Err(guardspec_harness::args::unknown_argument(other)),
         }
     }
     Ok(out)
@@ -186,4 +187,28 @@ fn main() {
         "fuzz: FAILED — {failures} of {n} cases diverged; minimized case: params {params:?} seed {seed}"
     );
     std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::try_parse;
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = try_parse(["--case", "5"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err.contains("unknown argument"), "got {err:?}");
+        assert!(err.contains("--case"), "got {err:?}");
+    }
+
+    #[test]
+    fn known_flags_still_parse() {
+        let a = try_parse(
+            ["--cases", "7", "--seed", "3", "--quick"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!((a.cases, a.seed), (7, 3));
+        assert!(a.quick);
+    }
 }

@@ -1,12 +1,15 @@
 //! Shared command-line parsing for the bench binaries.
 //!
-//! Every binary accepts the same three flags:
+//! Every binary accepts the same flags:
 //!
 //! * `--scale test|small|paper` — workload size preset (default `small`),
 //! * `--jobs N` — worker threads (`0`/absent = one per core; `1` = the
 //!   deterministic serial reference schedule),
 //! * `--json <path>` — additionally write the run's machine-readable
 //!   artifact to `<path>`,
+//! * `--stable-json <path>` — additionally write the run's *stable*
+//!   payload (no timings or machine-local meta) to `<path>`; this is the
+//!   byte-comparable form the simulation server also returns,
 //! * `--no-stream` — simulate from a fully materialized trace on one
 //!   thread instead of streaming it from a concurrent interpreter
 //!   (the right choice on single-core containers; only affects the
@@ -23,8 +26,11 @@
 //!
 //! Bad values print a one-line diagnostic to **stderr** and exit with
 //! status 2 — never a panic with a backtrace.  Unknown arguments are
-//! ignored, matching the historical behaviour of the table binaries (so
-//! e.g. cargo-forwarded test filters don't kill a run).
+//! **rejected** the same way (the offending flag named in the diagnostic):
+//! a typo like `--job 4` silently running the default configuration was a
+//! footgun.  Binaries with extra flags parse them through
+//! [`HarnessArgs::try_parse_with`], which consults a binary-specific hook
+//! before rejecting.
 
 use guardspec_workloads::Scale;
 use std::path::PathBuf;
@@ -37,6 +43,8 @@ pub struct HarnessArgs {
     pub jobs: usize,
     /// Where to write the JSON artifact, if requested.
     pub json: Option<PathBuf>,
+    /// Where to write the stable (deterministic) payload, if requested.
+    pub stable_json: Option<PathBuf>,
     /// Disable the streaming trace pipeline (single-threaded fallback).
     pub no_stream: bool,
     /// Disable trace-once/simulate-many fan-out (per-cell interpretation).
@@ -55,6 +63,7 @@ impl Default for HarnessArgs {
             scale: Scale::Small,
             jobs: 0,
             json: None,
+            stable_json: None,
             no_stream: false,
             no_fanout: false,
             no_trace_cache: false,
@@ -80,39 +89,79 @@ pub fn parse_jobs(s: &str) -> Result<usize, String> {
         .map_err(|_| format!("bad --jobs {s:?} (want a non-negative integer)"))
 }
 
+/// The standard unknown-argument diagnostic (names the offending flag).
+/// Every binary — bench, `gsd`, `gsc`, `fuzz` — routes rejection through
+/// this so the message shape stays greppable.
+pub fn unknown_argument(arg: &str) -> String {
+    format!("unknown argument {arg:?}")
+}
+
+/// Pull the value following a flag, or explain which flag wanted one.
+pub fn take_value(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
 impl HarnessArgs {
     /// Parse the process arguments; on error print to stderr and exit(2).
     pub fn parse() -> HarnessArgs {
-        match HarnessArgs::try_parse(std::env::args().skip(1)) {
+        HarnessArgs::parse_with(|_, _| Ok(false))
+    }
+
+    /// [`HarnessArgs::parse`] with a binary-specific extension hook (see
+    /// [`HarnessArgs::try_parse_with`]); errors print to stderr + exit(2).
+    pub fn parse_with(
+        extra: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> Result<bool, String>,
+    ) -> HarnessArgs {
+        match HarnessArgs::try_parse_with(std::env::args().skip(1), extra) {
             Ok(a) => a,
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--scale test|small|paper] [--jobs N] [--json <path>] \
-                     [--no-stream] [--no-fanout] [--no-trace-cache] \
-                     [--observe] [--trace-out <path>]"
+                     [--stable-json <path>] [--no-stream] [--no-fanout] \
+                     [--no-trace-cache] [--observe] [--trace-out <path>]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    /// Testable core of [`HarnessArgs::parse`].
+    /// Testable core of [`HarnessArgs::parse`].  Unknown arguments are
+    /// errors naming the offending flag.
     pub fn try_parse(args: impl Iterator<Item = String>) -> Result<HarnessArgs, String> {
+        HarnessArgs::try_parse_with(args, |_, _| Ok(false))
+    }
+
+    /// [`HarnessArgs::try_parse`] with an extension hook: `extra` sees every
+    /// argument the common parser does not recognise (plus the argument
+    /// iterator, to consume a value) and returns `Ok(true)` if it handled
+    /// it.  Unhandled arguments fail with [`unknown_argument`].
+    pub fn try_parse_with(
+        args: impl Iterator<Item = String>,
+        mut extra: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> Result<bool, String>,
+    ) -> Result<HarnessArgs, String> {
         let mut out = HarnessArgs::default();
-        let mut args = args.peekable();
+        let mut args: Box<dyn Iterator<Item = String>> = Box::new(args);
         while let Some(arg) = args.next() {
-            let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
             match arg.as_str() {
-                "--scale" => out.scale = parse_scale(&value("--scale")?)?,
-                "--jobs" => out.jobs = parse_jobs(&value("--jobs")?)?,
-                "--json" => out.json = Some(PathBuf::from(value("--json")?)),
+                "--scale" => out.scale = parse_scale(&take_value(&mut args, "--scale")?)?,
+                "--jobs" => out.jobs = parse_jobs(&take_value(&mut args, "--jobs")?)?,
+                "--json" => out.json = Some(PathBuf::from(take_value(&mut args, "--json")?)),
+                "--stable-json" => {
+                    out.stable_json = Some(PathBuf::from(take_value(&mut args, "--stable-json")?))
+                }
                 "--no-stream" => out.no_stream = true,
                 "--no-fanout" => out.no_fanout = true,
                 "--no-trace-cache" => out.no_trace_cache = true,
                 "--observe" => out.observe = true,
-                "--trace-out" => out.trace_out = Some(PathBuf::from(value("--trace-out")?)),
-                _ => {} // Tolerated, like the pre-harness binaries.
+                "--trace-out" => {
+                    out.trace_out = Some(PathBuf::from(take_value(&mut args, "--trace-out")?))
+                }
+                other => {
+                    if !extra(other, &mut args)? {
+                        return Err(unknown_argument(other));
+                    }
+                }
             }
         }
         Ok(out)
@@ -153,9 +202,42 @@ mod tests {
     }
 
     #[test]
-    fn unknown_args_ignored() {
-        let a = parse(&["--verbose", "extra", "--scale", "paper"]).unwrap();
-        assert_eq!(a.scale, Scale::Paper);
+    fn unknown_args_rejected_naming_the_flag() {
+        // The historical behaviour silently ignored unknown flags; now the
+        // offending argument is named and the parse fails (callers exit 2).
+        let err = parse(&["--verbose", "--scale", "paper"]).unwrap_err();
+        assert!(err.contains("unknown argument"), "got {err:?}");
+        assert!(err.contains("--verbose"), "got {err:?}");
+        // A typo'd common flag is caught too, not absorbed as a value.
+        assert!(parse(&["--job", "4"]).unwrap_err().contains("--job"));
+    }
+
+    #[test]
+    fn extension_hook_consumes_extra_flags() {
+        let mut seen = Vec::new();
+        let a = HarnessArgs::try_parse_with(
+            ["--check-trace", "t.json", "--scale", "test"]
+                .iter()
+                .map(|s| s.to_string()),
+            |arg, args| {
+                if arg == "--check-trace" {
+                    seen.push(take_value(args, "--check-trace")?);
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(a.scale, Scale::Test);
+        assert_eq!(seen, vec!["t.json".to_string()]);
+        // The hook declining still rejects.
+        let err =
+            HarnessArgs::try_parse_with(["--mystery"].iter().map(|s| s.to_string()), |_, _| {
+                Ok(false)
+            })
+            .unwrap_err();
+        assert!(err.contains("--mystery"));
     }
 
     #[test]
@@ -173,6 +255,19 @@ mod tests {
         assert!(a.observe);
         assert_eq!(a.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
         assert!(parse(&["--trace-out"])
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn stable_json_flag() {
+        assert!(parse(&[]).unwrap().stable_json.is_none());
+        let a = parse(&["--stable-json", "s.json"]).unwrap();
+        assert_eq!(
+            a.stable_json.as_deref(),
+            Some(std::path::Path::new("s.json"))
+        );
+        assert!(parse(&["--stable-json"])
             .unwrap_err()
             .contains("needs a value"));
     }

@@ -28,6 +28,7 @@ pub struct DiskCache {
     root: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    race_lost: AtomicU64,
 }
 
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -39,6 +40,7 @@ impl DiskCache {
             root: Some(root.into()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            race_lost: AtomicU64::new(0),
         }
     }
 
@@ -48,6 +50,7 @@ impl DiskCache {
             root: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            race_lost: AtomicU64::new(0),
         }
     }
 
@@ -61,6 +64,16 @@ impl DiskCache {
 
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Writes whose target already existed when the rename landed: another
+    /// writer of the same key got there first.  Contents are a pure
+    /// function of the key, so losing the race is harmless — the counter
+    /// exists so the server's dedup efficacy is observable (a hot daemon
+    /// should keep this near zero; every increment is a duplicated
+    /// computation the in-flight dedup layer failed to coalesce).
+    pub fn race_lost(&self) -> u64 {
+        self.race_lost.load(Ordering::Relaxed)
     }
 
     fn path_for_ext(&self, key: &str, ext: &str) -> Option<PathBuf> {
@@ -96,11 +109,16 @@ impl DiskCache {
         let Some(path) = self.path_for(key) else {
             return;
         };
-        if let Err(e) = write_atomic(&path, contents.as_bytes()) {
-            eprintln!(
+        match write_atomic(&path, contents.as_bytes()) {
+            Ok(raced) => {
+                if raced {
+                    self.race_lost.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) => eprintln!(
                 "guardspec-harness: cache write {} failed: {e}",
                 path.display()
-            );
+            ),
         }
     }
 
@@ -125,11 +143,16 @@ impl DiskCache {
         let Some(path) = self.path_for_ext(key, "bin") else {
             return;
         };
-        if let Err(e) = write_atomic(&path, contents) {
-            eprintln!(
+        match write_atomic(&path, contents) {
+            Ok(raced) => {
+                if raced {
+                    self.race_lost.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) => eprintln!(
                 "guardspec-harness: cache write {} failed: {e}",
                 path.display()
-            );
+            ),
         }
     }
 
@@ -179,7 +202,13 @@ impl DiskCache {
     }
 }
 
-fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+/// Write `contents` to `path` via a unique temp file + rename, so readers
+/// can never observe a torn entry.  Returns whether the target already
+/// existed just before the rename landed — i.e. whether some other writer
+/// of the same key won the race (contents are a pure function of the key,
+/// so last-writer-wins is identical either way; the flag only feeds the
+/// `race_lost` counter).
+fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<bool> {
     let dir = path.parent().expect("cache path has a parent");
     std::fs::create_dir_all(dir)?;
     let tmp = dir.join(format!(
@@ -188,8 +217,9 @@ fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
         TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
     ));
     std::fs::write(&tmp, contents)?;
+    let raced = path.exists();
     match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
+        Ok(()) => Ok(raced),
         Err(e) => {
             let _ = std::fs::remove_file(&tmp);
             Err(e)
@@ -279,5 +309,74 @@ mod tests {
         c.put("k", "v");
         assert_eq!(c.get("k"), None);
         assert!(!c.is_enabled());
+    }
+
+    #[test]
+    fn second_writer_of_same_key_counts_race_lost() {
+        let root = scratch_dir("race-seq");
+        let c = DiskCache::new(&root);
+        c.put("sim-beef00", "{\"v\":1}");
+        assert_eq!(c.race_lost(), 0, "first write has no one to race");
+        c.put("sim-beef00", "{\"v\":1}");
+        assert_eq!(c.race_lost(), 1, "overwrite means someone got there first");
+        // Different key: no race.
+        c.put_bytes("trace-cafe00", &[1]);
+        assert_eq!(c.race_lost(), 1);
+        c.put_bytes("trace-cafe00", &[1]);
+        assert_eq!(c.race_lost(), 2, "blob writes share the counter");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn concurrent_same_key_puts_never_tear_the_entry() {
+        // Two threads racing hammer the same key; every intermediate read
+        // must see one of the two complete payloads — never a torn mix —
+        // and the final entry must be intact.  This is the server path:
+        // concurrent requests that slipped past in-flight dedup (e.g. one
+        // arrived after the flight published) both write their results.
+        let root = scratch_dir("race-thr");
+        let c = std::sync::Arc::new(DiskCache::new(&root));
+        let payload = "x".repeat(64 * 1024); // big enough to tear if unbuffered
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let c = c.clone();
+            let payload = payload.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    c.put("sim-feed01", &payload);
+                }
+            }));
+        }
+        let reader = {
+            let c = c.clone();
+            let payload = payload.clone();
+            std::thread::spawn(move || {
+                let mut seen = 0u32;
+                while seen < 20 {
+                    if let Some(got) = c.get("sim-feed01") {
+                        assert_eq!(got, payload, "reader observed a torn entry");
+                        seen += 1;
+                    }
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert_eq!(c.get("sim-feed01").as_deref(), Some(payload.as_str()));
+        assert!(
+            c.race_lost() >= 1,
+            "100 same-key writes must have raced at least once"
+        );
+        // No temp droppings left behind.
+        let shard = root.join("fe");
+        let leftovers: Vec<_> = std::fs::read_dir(&shard)
+            .unwrap()
+            .flatten()
+            .filter(|f| f.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

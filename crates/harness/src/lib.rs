@@ -39,7 +39,9 @@ pub use codec::{DecisionSummary, ReportSummary};
 pub use json::Json;
 pub use metrics::MetricsRegistry;
 pub use pool::JobGraph;
-pub use runner::{run_experiment, CellResult, ExperimentResult, RunOptions, WorkloadResult};
+pub use runner::{
+    run_experiment, run_experiment_shared, CellResult, ExperimentResult, RunOptions, WorkloadResult,
+};
 pub use spec::{CellSpec, ExperimentSpec};
 pub use trace_out::{chrome_trace_json, validate_chrome_trace, Span, SpanRecorder};
 

@@ -233,11 +233,28 @@ struct SimSlot {
 /// kernel miscomputes its golden results — the harness never reports
 /// numbers from a wrong answer.
 pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentResult {
-    let start = Instant::now();
     let cache = Arc::new(match &opts.cache_dir {
         Some(dir) => DiskCache::new(dir),
         None => DiskCache::disabled(),
     });
+    run_experiment_shared(spec, opts, cache)
+}
+
+/// [`run_experiment`] against a caller-owned cache handle.  This is the
+/// server's per-request entry point: one long-lived [`DiskCache`] is shared
+/// by every request so its hit/miss/race counters accumulate across the
+/// daemon's lifetime, while the returned [`ExperimentResult`] reports only
+/// *this run's* deltas (so artifacts stay identical to a fresh-cache run of
+/// the same spec).  `opts.cache_dir` is ignored — the handle wins.
+pub fn run_experiment_shared(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    cache: Arc<DiskCache>,
+) -> ExperimentResult {
+    let start = Instant::now();
+    let hits0 = cache.hits();
+    let misses0 = cache.misses();
+    let race0 = cache.race_lost();
     let scale = spec.scale;
     let jobs_n = opts.effective_jobs();
     let use_trace_cache = opts.trace_cache && cache.is_enabled();
@@ -742,13 +759,21 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
         })
         .collect();
 
+    // Same-key writes that lost to a concurrent writer (two racing worker
+    // threads, or a server request that slipped past in-flight dedup) show
+    // up as a named counter so duplicated work is observable.
+    let race_delta = cache.race_lost() - race0;
+    if race_delta > 0 {
+        metrics.add("cache.race_lost", race_delta);
+    }
+
     ExperimentResult {
         name: spec.name.clone(),
         scale,
         jobs: jobs_n,
         wall_ms: ms_since(start),
-        cache_hits: cache.hits(),
-        cache_misses: cache.misses(),
+        cache_hits: cache.hits() - hits0,
+        cache_misses: cache.misses() - misses0,
         interpretations: interps.load(Ordering::Relaxed),
         workloads,
         cells,

@@ -1,0 +1,175 @@
+//! `gsc` — the guardspec sweep client.
+//!
+//! ```text
+//! gsc --servers ADDR[,ADDR...] [--spec table3|ablation] [--name NAME]
+//!     [--scale test|small|paper] [--out PATH] [--client ID] [--observe]
+//! gsc --servers ADDR[,ADDR...] --healthz
+//! gsc --servers ADDR[,ADDR...] --metrics
+//! ```
+//!
+//! With `M` servers the sweep is split by cache-key range — cell →
+//! `cell_shard_hash % M` — each shard runs its slice, and the partial
+//! artifacts are merged back into one stable artifact, byte-identical to
+//! an offline `--stable-json` run of the same sweep.  The merged artifact
+//! goes to `--out` (or stdout).  Unknown flags print the offending flag
+//! and exit 2.
+
+use guardspec_harness::args::{parse_scale, take_value, unknown_argument};
+use guardspec_server::http;
+use guardspec_server::protocol::{ablation_request, three_schemes_request};
+use guardspec_server::run_fanout;
+use guardspec_workloads::Scale;
+use std::io::Write;
+use std::path::PathBuf;
+
+#[derive(Debug)]
+struct Args {
+    servers: Vec<String>,
+    spec: String,
+    name: Option<String>,
+    scale: Scale,
+    out: Option<PathBuf>,
+    client: Option<String>,
+    observe: bool,
+    healthz: bool,
+    metrics: bool,
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut parsed = Args {
+        servers: Vec::new(),
+        spec: "table3".to_string(),
+        name: None,
+        scale: Scale::Test,
+        out: None,
+        client: None,
+        observe: false,
+        healthz: false,
+        metrics: false,
+    };
+    let mut args: Box<dyn Iterator<Item = String>> = Box::new(argv);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--servers" => {
+                parsed.servers = take_value(&mut args, "--servers")?
+                    .split(',')
+                    .map(str::to_string)
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--spec" => {
+                let v = take_value(&mut args, "--spec")?;
+                if v != "table3" && v != "ablation" {
+                    return Err(format!("bad --spec {v:?} (want table3|ablation)"));
+                }
+                parsed.spec = v;
+            }
+            "--name" => parsed.name = Some(take_value(&mut args, "--name")?),
+            "--scale" => parsed.scale = parse_scale(&take_value(&mut args, "--scale")?)?,
+            "--out" => parsed.out = Some(PathBuf::from(take_value(&mut args, "--out")?)),
+            "--client" => parsed.client = Some(take_value(&mut args, "--client")?),
+            "--observe" => parsed.observe = true,
+            "--healthz" => parsed.healthz = true,
+            "--metrics" => parsed.metrics = true,
+            other => return Err(unknown_argument(other)),
+        }
+    }
+    if parsed.servers.is_empty() {
+        return Err("--servers is required".to_string());
+    }
+    Ok(parsed)
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gsc: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.healthz || args.metrics {
+        let path = if args.healthz { "/healthz" } else { "/metrics" };
+        let mut failed = false;
+        for addr in &args.servers {
+            match http::get(addr, path) {
+                Ok((status, body)) => {
+                    println!("{addr}: {status} {body}");
+                    failed |= status != 200;
+                }
+                Err(e) => {
+                    println!("{addr}: unreachable ({e})");
+                    failed = true;
+                }
+            }
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
+    let name = args.name.clone().unwrap_or_else(|| args.spec.clone());
+    let mut request = match args.spec.as_str() {
+        "ablation" => ablation_request(&name, args.scale),
+        _ => three_schemes_request(&name, args.scale),
+    };
+    request.client = args.client.clone();
+    request.observe = args.observe;
+    match run_fanout(&args.servers, &request) {
+        Ok(body) => {
+            if let Some(out) = &args.out {
+                if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(dir).ok();
+                }
+                if let Err(e) = std::fs::write(out, &body) {
+                    eprintln!("gsc: writing {}: {e}", out.display());
+                    std::process::exit(1);
+                }
+                eprintln!("gsc: wrote {}", out.display());
+            } else {
+                println!("{body}");
+                std::io::stdout().flush().ok();
+            }
+        }
+        Err(e) => {
+            eprintln!("gsc: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_by_name() {
+        let err = parse(&["--servers", "x:1", "--bogus"]).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn servers_split_on_commas() {
+        let a = parse(&[
+            "--servers",
+            "a:1,b:2",
+            "--spec",
+            "ablation",
+            "--scale",
+            "small",
+        ])
+        .unwrap();
+        assert_eq!(a.servers, ["a:1", "b:2"]);
+        assert_eq!(a.spec, "ablation");
+        assert_eq!(a.scale, Scale::Small);
+    }
+
+    #[test]
+    fn servers_are_required_and_specs_validated() {
+        assert!(parse(&[]).unwrap_err().contains("--servers"));
+        assert!(parse(&["--servers", "x:1", "--spec", "nope"])
+            .unwrap_err()
+            .contains("--spec"));
+    }
+}

@@ -1,0 +1,170 @@
+//! `gsd` — the guardspec simulation daemon.
+//!
+//! ```text
+//! gsd [--port P] [--cache-dir DIR | --no-cache] [--workers N]
+//!     [--queue-cap N] [--shard N/M] [--jobs N] [--est-job-ms MS]
+//!     [--hold-ms MS]
+//! ```
+//!
+//! Binds 127.0.0.1, prints `gsd listening on ADDR shard N/M` once ready
+//! (scrape the port with `--port 0`), and serves until SIGTERM/SIGINT —
+//! on which it drains queued and in-flight jobs, refuses new ones with
+//! 503, and exits 0.  Unknown flags print the offending flag and exit 2.
+
+use guardspec_harness::args::{take_value, unknown_argument};
+use guardspec_server::{Server, ServerConfig, ShardSpec};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+#[cfg(unix)]
+mod sig {
+    use super::*;
+
+    pub static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Install SIGINT (2) and SIGTERM (15) handlers via the libc `signal`
+    /// symbol the process already links — no external crate needed.
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(2, handler);
+            signal(15, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use super::*;
+    pub static SIGNALED: AtomicBool = AtomicBool::new(false);
+    pub fn install() {}
+}
+
+fn parse_config(argv: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut args: Box<dyn Iterator<Item = String>> = Box::new(argv);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => {
+                let v = take_value(&mut args, "--port")?;
+                config.port = v.parse().map_err(|_| format!("bad --port {v:?}"))?;
+            }
+            "--cache-dir" => {
+                config.cache_dir = Some(PathBuf::from(take_value(&mut args, "--cache-dir")?));
+            }
+            "--no-cache" => config.cache_dir = None,
+            "--workers" => {
+                let v = take_value(&mut args, "--workers")?;
+                config.workers = v.parse().map_err(|_| format!("bad --workers {v:?}"))?;
+            }
+            "--queue-cap" => {
+                let v = take_value(&mut args, "--queue-cap")?;
+                config.queue_cap = v.parse().map_err(|_| format!("bad --queue-cap {v:?}"))?;
+            }
+            "--shard" => {
+                config.shard = ShardSpec::parse(&take_value(&mut args, "--shard")?)?;
+            }
+            "--jobs" => {
+                let v = take_value(&mut args, "--jobs")?;
+                config.jobs_per_request = v.parse().map_err(|_| format!("bad --jobs {v:?}"))?;
+            }
+            "--est-job-ms" => {
+                let v = take_value(&mut args, "--est-job-ms")?;
+                config.est_job_ms = v.parse().map_err(|_| format!("bad --est-job-ms {v:?}"))?;
+            }
+            "--hold-ms" => {
+                let v = take_value(&mut args, "--hold-ms")?;
+                config.hold_ms = v.parse().map_err(|_| format!("bad --hold-ms {v:?}"))?;
+            }
+            other => return Err(unknown_argument(other)),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let config = match parse_config(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gsd: {e}");
+            std::process::exit(2);
+        }
+    };
+    sig::install();
+    let shard = config.shard;
+    let handle = match Server::start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("gsd: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("gsd listening on {} shard {}", handle.addr(), shard.tag());
+    std::io::stdout().flush().ok();
+    while !sig::SIGNALED.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    eprintln!("gsd: draining...");
+    handle.shutdown();
+    eprintln!("gsd: drained, bye");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ServerConfig, String> {
+        parse_config(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_by_name() {
+        let err = parse(&["--port", "0", "--frobnicate"]).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn known_flags_parse() {
+        let c = parse(&[
+            "--port",
+            "8123",
+            "--no-cache",
+            "--workers",
+            "3",
+            "--queue-cap",
+            "7",
+            "--shard",
+            "1/4",
+            "--jobs",
+            "2",
+            "--est-job-ms",
+            "50",
+            "--hold-ms",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(c.port, 8123);
+        assert_eq!(c.cache_dir, None);
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.queue_cap, 7);
+        assert_eq!(c.shard.tag(), "1/4");
+        assert_eq!(c.jobs_per_request, 2);
+        assert_eq!(c.est_job_ms, 50);
+        assert_eq!(c.hold_ms, 5);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["--port"]).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Client-side fan-out and merge (the `gsc` binary's engine).
+//!
+//! Given `M` servers, each cell of a sweep is routed to shard
+//! `cell_shard_hash % M` — the same pure function the daemons enforce —
+//! and the `M` partial stable artifacts are reassembled into one artifact
+//! **byte-identical** to what a single offline run of the full sweep
+//! emits.  The merge is possible because every sub-request carries the
+//! full workload list (profiles are cheap and cached), so all shards agree
+//! on the `workloads` array and only the `cells` arrays differ.
+
+use crate::http;
+use crate::protocol::{request_to_json, RunRequest};
+use crate::shard::split_request;
+use guardspec_harness::{json, Json};
+use std::time::Duration;
+
+/// How many 429s a single sub-request tolerates before giving up.
+const MAX_RETRIES: u32 = 20;
+
+/// POST `req` to `addr`, honouring 429 retry hints.  Returns the response
+/// body (the stable artifact JSON) on 200.
+pub fn post_run(addr: &str, req: &RunRequest) -> Result<String, String> {
+    let body = request_to_json(req).to_compact();
+    for _ in 0..MAX_RETRIES {
+        let (status, resp) = http::post_json(addr, "/run", &body)
+            .map_err(|e| format!("POST {addr}/run failed: {e}"))?;
+        match status {
+            200 => return Ok(resp),
+            429 => {
+                let wait_ms = json::parse(&resp)
+                    .ok()
+                    .and_then(|j| j.get("retry_after_ms").and_then(Json::as_u64))
+                    .unwrap_or(250);
+                std::thread::sleep(Duration::from_millis(wait_ms.clamp(10, 5_000)));
+            }
+            _ => return Err(format!("{addr}/run returned {status}: {resp}")),
+        }
+    }
+    Err(format!(
+        "{addr}/run still refusing after {MAX_RETRIES} retries"
+    ))
+}
+
+/// Fan `req` across `servers` (shard `k` of `servers.len()` goes to
+/// `servers[k]`) and merge the partial artifacts back into one stable
+/// artifact, byte-identical to an offline run of the whole sweep.
+pub fn run_fanout(servers: &[String], req: &RunRequest) -> Result<String, String> {
+    if servers.is_empty() {
+        return Err("no servers given".to_string());
+    }
+    if servers.len() == 1 {
+        return post_run(&servers[0], req);
+    }
+    let (parts, indices) = split_request(req, servers.len() as u64);
+    let handles: Vec<_> = parts
+        .into_iter()
+        .zip(servers.iter().cloned())
+        .map(|(part, addr)| std::thread::spawn(move || post_run(&addr, &part)))
+        .collect();
+    let mut bodies = Vec::with_capacity(handles.len());
+    for h in handles {
+        bodies.push(
+            h.join()
+                .map_err(|_| "client thread panicked".to_string())??,
+        );
+    }
+    merge_shard_bodies(&bodies, &indices)
+}
+
+/// Reassemble `M` partial stable artifacts into the full one.  `indices[k]`
+/// maps shard `k`'s cells back to their positions in the original sweep.
+pub fn merge_shard_bodies(bodies: &[String], indices: &[Vec<usize>]) -> Result<String, String> {
+    assert_eq!(bodies.len(), indices.len());
+    let parsed: Vec<Json> = bodies
+        .iter()
+        .map(|b| json::parse(b))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("unparseable shard response: {e}"))?;
+    let field = |j: &Json, name: &str| -> Result<Json, String> {
+        j.get(name)
+            .cloned()
+            .ok_or_else(|| format!("shard response lacks {name:?}"))
+    };
+    let first = &parsed[0];
+    let (experiment, scale) = (field(first, "experiment")?, field(first, "scale")?);
+    let workloads = field(first, "workloads")?;
+    for (k, j) in parsed.iter().enumerate().skip(1) {
+        for name in ["experiment", "scale", "workloads"] {
+            if field(j, name)?.to_compact() != field(first, name)?.to_compact() {
+                return Err(format!("shard {k} disagrees on {name:?}"));
+            }
+        }
+    }
+    let total: usize = indices.iter().map(Vec::len).sum();
+    let mut cells: Vec<Option<Json>> = vec![None; total];
+    for (k, (j, idx)) in parsed.iter().zip(indices).enumerate() {
+        let got = field(j, "cells")?;
+        let got = got
+            .as_arr()
+            .ok_or_else(|| format!("shard {k} cells is not an array"))?;
+        if got.len() != idx.len() {
+            return Err(format!(
+                "shard {k} returned {} cells, expected {}",
+                got.len(),
+                idx.len()
+            ));
+        }
+        for (cell, &orig) in got.iter().zip(idx) {
+            cells[orig] = Some(cell.clone());
+        }
+    }
+    let cells: Vec<Json> = cells
+        .into_iter()
+        .map(|c| c.ok_or_else(|| "merge left a cell unfilled".to_string()))
+        .collect::<Result<_, _>>()?;
+    Ok(Json::obj(vec![
+        ("experiment", experiment),
+        ("scale", scale),
+        ("workloads", workloads),
+        ("cells", Json::Arr(cells)),
+    ])
+    .to_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard_body(cells: &[(&str, u64)]) -> String {
+        Json::obj(vec![
+            ("experiment", Json::str("t")),
+            ("scale", Json::str("test")),
+            ("workloads", Json::Arr(vec![Json::str("w")])),
+            (
+                "cells",
+                Json::Arr(
+                    cells
+                        .iter()
+                        .map(|(l, v)| {
+                            Json::obj(vec![("label", Json::str(*l)), ("v", Json::U64(*v))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_pretty()
+    }
+
+    #[test]
+    fn merge_restores_original_cell_order() {
+        // Original order: a(0) b(1) c(2) d(3); shard 0 owns {b, d},
+        // shard 1 owns {c, a}.
+        let b0 = shard_body(&[("b", 1), ("d", 3)]);
+        let b1 = shard_body(&[("c", 2), ("a", 0)]);
+        let merged = merge_shard_bodies(&[b0, b1], &[vec![1, 3], vec![2, 0]]).unwrap();
+        let j = json::parse(&merged).unwrap();
+        let labels: Vec<&str> = j
+            .get("cells")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|c| c.get("label").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(labels, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn merge_rejects_disagreeing_shards() {
+        let b0 = shard_body(&[("a", 0)]);
+        let mut b1 = shard_body(&[("b", 1)]);
+        b1 = b1.replace("\"test\"", "\"small\"");
+        let err = merge_shard_bodies(&[b0, b1], &[vec![0], vec![1]]).unwrap_err();
+        assert!(err.contains("disagrees on \"scale\""), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_wrong_cell_count() {
+        let b0 = shard_body(&[("a", 0), ("b", 1)]);
+        let err = merge_shard_bodies(&[b0], &[vec![0]]).unwrap_err();
+        assert!(err.contains("returned 2 cells, expected 1"), "{err}");
+    }
+}

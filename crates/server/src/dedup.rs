@@ -1,0 +1,178 @@
+//! In-flight request dedup: concurrent clients asking the same question
+//! join one job and all receive its published outcome.
+//!
+//! The map is keyed by [`crate::protocol::request_key`].  The first
+//! arrival becomes the **owner** (it schedules the job and must eventually
+//! [`FlightMap::publish`]); later arrivals while the flight is open become
+//! **joiners** and block until the outcome lands.  Publishing removes the
+//! entry — a request arriving *after* publication starts a fresh flight,
+//! which is correct (it will hit the disk cache) and keeps outcomes from
+//! pinning memory forever.
+//!
+//! The owner publishes *whatever happened*, including rejection: if the
+//! owner's enqueue bounced off a full queue, joiners get the same 429 —
+//! never a hang.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a flight resolved to.  Cheap to clone — the payload is shared.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The stable artifact JSON (pretty, exactly the response body).
+    Done(Arc<String>),
+    /// Admission control refused the job.
+    Rejected { retry_after_ms: u64 },
+    /// The job panicked or failed; message for the client.
+    Failed(String),
+    /// The server began draining before the job could be queued.
+    Draining,
+}
+
+struct Flight {
+    outcome: Mutex<Option<Outcome>>,
+    published: Condvar,
+}
+
+/// The owner's handle on its own flight.  Holding the `Arc` directly means
+/// the owner can [`FlightTicket::wait`] for a worker's publication without
+/// re-entering the map — immune to the race where the worker publishes
+/// (removing the entry) before the owner starts waiting.
+pub struct FlightTicket {
+    flight: Arc<Flight>,
+}
+
+impl FlightTicket {
+    /// Block until someone publishes this flight's outcome.
+    pub fn wait(self) -> Outcome {
+        let mut slot = self.flight.outcome.lock().unwrap();
+        while slot.is_none() {
+            slot = self.flight.published.wait(slot).unwrap();
+        }
+        slot.clone().unwrap()
+    }
+}
+
+/// What `enter` decided for this arrival.
+pub enum Entered {
+    /// First arrival: run the job, then `publish` (or `wait` on the ticket
+    /// after handing the job to a worker that will publish).
+    Owner(FlightTicket),
+    /// Duplicate arrival: the flight's outcome, once published.
+    Joined(Outcome),
+}
+
+#[derive(Default)]
+pub struct FlightMap {
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+impl FlightMap {
+    pub fn new() -> FlightMap {
+        FlightMap::default()
+    }
+
+    /// Enter the flight for `key`.  Owners return immediately; joiners
+    /// block until the owner publishes.
+    pub fn enter(&self, key: &str) -> Entered {
+        let flight = {
+            let mut map = self.flights.lock().unwrap();
+            match map.get(key) {
+                Some(f) => f.clone(),
+                None => {
+                    let flight = Arc::new(Flight {
+                        outcome: Mutex::new(None),
+                        published: Condvar::new(),
+                    });
+                    map.insert(key.to_string(), flight.clone());
+                    return Entered::Owner(FlightTicket { flight });
+                }
+            }
+        };
+        let mut slot = flight.outcome.lock().unwrap();
+        while slot.is_none() {
+            slot = flight.published.wait(slot).unwrap();
+        }
+        Entered::Joined(slot.clone().unwrap())
+    }
+
+    /// Publish the owner's outcome and wake every joiner.  The entry is
+    /// removed first, so arrivals from this instant on start a new flight.
+    pub fn publish(&self, key: &str, outcome: Outcome) {
+        let flight = self
+            .flights
+            .lock()
+            .unwrap()
+            .remove(key)
+            .expect("publish without an open flight");
+        *flight.outcome.lock().unwrap() = Some(outcome);
+        flight.published.notify_all();
+    }
+
+    /// Flights currently open (owned, not yet published).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn joiners_receive_the_owners_outcome() {
+        let map = Arc::new(FlightMap::new());
+        let owners = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let map = map.clone();
+            let owners = owners.clone();
+            handles.push(std::thread::spawn(move || match map.enter("k") {
+                Entered::Owner(_ticket) => {
+                    owners.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    map.publish("k", Outcome::Done(Arc::new("payload".to_string())));
+                    "owner".to_string()
+                }
+                Entered::Joined(Outcome::Done(s)) => s.as_str().to_string(),
+                Entered::Joined(other) => panic!("unexpected {other:?}"),
+            }));
+        }
+        let results: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Exactly one owner; with the 50ms hold, at least one thread joined
+        // (typically all seven — but scheduling can start threads late, so
+        // only the ownership invariant is asserted strictly).
+        assert_eq!(owners.load(Ordering::SeqCst), 1);
+        assert!(results.iter().filter(|r| *r == "owner").count() == 1);
+        assert!(results.iter().all(|r| r == "owner" || r == "payload"));
+        assert_eq!(map.in_flight(), 0);
+    }
+
+    #[test]
+    fn publication_closes_the_flight() {
+        let map = FlightMap::new();
+        assert!(matches!(map.enter("k"), Entered::Owner(_)));
+        assert_eq!(map.in_flight(), 1);
+        map.publish("k", Outcome::Rejected { retry_after_ms: 9 });
+        assert_eq!(map.in_flight(), 0);
+        // The next arrival is a fresh owner, not a joiner of stale state.
+        assert!(matches!(map.enter("k"), Entered::Owner(_)));
+        map.publish("k", Outcome::Draining);
+    }
+
+    #[test]
+    fn owner_ticket_survives_publication_racing_ahead_of_wait() {
+        // The worker may publish (removing the map entry) before the owner
+        // starts waiting; the ticket's Arc still carries the outcome.
+        let map = Arc::new(FlightMap::new());
+        let Entered::Owner(ticket) = map.enter("k") else {
+            panic!("first arrival must own");
+        };
+        map.publish("k", Outcome::Done(Arc::new("late".to_string())));
+        match ticket.wait() {
+            Outcome::Done(s) => assert_eq!(s.as_str(), "late"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

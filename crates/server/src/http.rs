@@ -1,0 +1,269 @@
+//! Minimal hand-rolled HTTP/1.1 — just enough for the daemon and its
+//! client, with no external dependencies.
+//!
+//! Supported surface: one request per connection (`Connection: close`),
+//! `Content-Length` bodies (no chunked encoding), GET and POST.  Both sides
+//! are strict about what they emit and tolerant about header case/extras.
+//! Hard limits keep a misbehaving peer from ballooning memory: 64 KiB of
+//! headers, 16 MiB of body.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request head (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+/// Longest accepted body.
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// A parsed inbound request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// A parsed inbound response (client side).
+#[derive(Debug)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one request from the stream.  `Err` means the connection is
+/// unusable (peer vanished, malformed head, limits exceeded) — the caller
+/// just drops it.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<HttpRequest> {
+    let (head, mut body_prefix) = read_head(stream)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(bad("malformed request line"));
+    }
+    let content_length = content_length(lines)?;
+    read_exact_body(stream, &mut body_prefix, content_length)?;
+    Ok(HttpRequest {
+        method,
+        path,
+        body: body_prefix,
+    })
+}
+
+/// Write a response and flush.  `content_type` is usually
+/// `application/json`; `extra_headers` lets a 429 carry `Retry-After`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Issue one request against `addr` and read the full response.
+pub fn roundtrip(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let (head, mut body_prefix) = read_head(&mut stream)?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let headers: Vec<(String, String)> = lines
+        .clone()
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    let content_length = content_length(lines)?;
+    read_exact_body(&mut stream, &mut body_prefix, content_length)?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: body_prefix,
+    })
+}
+
+/// Convenience: GET `path` and return `(status, body as String)`.
+pub fn get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let r = roundtrip(addr, "GET", path, b"")?;
+    Ok((r.status, String::from_utf8_lossy(&r.body).into_owned()))
+}
+
+/// Convenience: POST a JSON body to `path`.
+pub fn post_json(addr: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let r = roundtrip(addr, "POST", path, body.as_bytes())?;
+    Ok((r.status, String::from_utf8_lossy(&r.body).into_owned()))
+}
+
+/// Read until the blank line; returns (head text, any body bytes already
+/// pulled off the socket past the head).
+fn read_head(stream: &mut TcpStream) -> std::io::Result<(String, Vec<u8>)> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(end) = find_head_end(&buf) {
+            let head = String::from_utf8(buf[..end].to_vec()).map_err(|_| bad("non-UTF8 head"))?;
+            let rest = buf[end + 4..].to_vec();
+            return Ok((head, rest));
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(bad("request head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn content_length<'a>(lines: impl Iterator<Item = &'a str>) -> std::io::Result<usize> {
+    let mut len = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            len = value
+                .trim()
+                .parse()
+                .map_err(|_| bad("bad Content-Length"))?;
+        }
+    }
+    if len > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    Ok(len)
+}
+
+fn read_exact_body(
+    stream: &mut TcpStream,
+    body: &mut Vec<u8>,
+    content_length: usize,
+) -> std::io::Result<()> {
+    if body.len() > content_length {
+        return Err(bad("body longer than Content-Length"));
+    }
+    let mut remaining = content_length - body.len();
+    let mut chunk = [0u8; 8192];
+    while remaining > 0 {
+        let n = stream.read(&mut chunk[..remaining.min(8192)])?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        remaining -= n;
+    }
+    Ok(())
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_response_roundtrip_over_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let req = read_request(&mut s).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/run");
+            assert_eq!(req.body, b"{\"x\":1}");
+            write_response(
+                &mut s,
+                429,
+                &[("Retry-After", "2".to_string())],
+                b"{\"error\":\"queue full\"}",
+            )
+            .unwrap();
+        });
+        let resp = roundtrip(&addr, "POST", "/run", b"{\"x\":1}").unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.body, b"{\"error\":\"queue full\"}");
+        assert_eq!(resp.header("retry-after"), Some("2"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn get_with_empty_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let req = read_request(&mut s).unwrap();
+            assert_eq!(req.method, "GET");
+            assert!(req.body.is_empty());
+            write_response(&mut s, 200, &[], b"ok").unwrap();
+        });
+        let (status, body) = get(&addr, "/healthz").unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok"));
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,24 @@
+//! guardspec-as-a-service: a persistent simulation daemon (`gsd`) and its
+//! fan-out client (`gsc`).
+//!
+//! The daemon keeps one warm content-addressed [`guardspec_harness::DiskCache`]
+//! across requests, speaks a minimal hand-rolled HTTP/1.1 ([`http`]) with
+//! the workspace's no-dependency JSON, dedups identical in-flight requests
+//! ([`dedup`]), applies bounded fair admission control ([`queue`]), and can
+//! split sweeps across several daemons by cache-key range ([`shard`]).
+//! Responses are the **stable artifact JSON** — byte-identical to what the
+//! offline bench binaries write with `--stable-json`, at any worker count,
+//! shard count or cache temperature.
+
+pub mod client;
+pub mod dedup;
+pub mod http;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod shard;
+
+pub use client::run_fanout;
+pub use protocol::{request_from_json, request_to_json, RunRequest};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use shard::ShardSpec;

@@ -1,0 +1,792 @@
+//! The wire protocol: experiment requests as JSON, their canonical keys,
+//! and resolution into the harness's [`ExperimentSpec`].
+//!
+//! A `/run` request body:
+//!
+//! ```json
+//! {
+//!   "name": "table3",
+//!   "scale": "test",
+//!   "client": "gsc",
+//!   "observe": false,
+//!   "workloads": [
+//!     {"builtin": "compress"},
+//!     {"name": "mine", "program": "<textual assembly>"},
+//!     {"name": "mine2", "bin": "<hex-encoded words>"}
+//!   ],
+//!   "cells": [
+//!     {"workload": 0, "label": "2-bit BP", "scheme": "2-bit BP",
+//!      "options": "proposed" | {<every DriverOptions field>} | null,
+//!      "config": "r10000" | {<every MachineConfig field>}}
+//!   ]
+//! }
+//! ```
+//!
+//! The response body for a successful run is exactly the **stable** artifact
+//! payload the bench binaries write with `--stable-json` — byte-identical,
+//! because both sides render the same [`guardspec_harness::stable_json`]
+//! value with the same writer.
+//!
+//! Two request hashes matter:
+//!
+//! * [`request_key`] — the in-flight dedup identity: a stable hash over the
+//!   *resolved* request description (name, scale, observe, every workload's
+//!   program source, every cell's scheme/options/config).  Two concurrent
+//!   clients posting semantically identical requests (whatever their JSON
+//!   field order) produce one simulation job.
+//! * [`cell_shard_hash`] — the sharding identity of one cell, computable by
+//!   the client *without* running anything (it hashes request-level
+//!   descriptors, not transformed program text, which only the server ever
+//!   sees).  `gsc` routes each cell to shard `hash % M`.
+
+use guardspec_core::{DriverOptions, FeedbackParams};
+use guardspec_harness::args::parse_scale;
+use guardspec_harness::hash::StableHasher;
+use guardspec_harness::key::scale_tag;
+use guardspec_harness::{codec, Json};
+use guardspec_harness::{CellSpec, ExperimentSpec};
+use guardspec_predict::Scheme;
+use guardspec_sim::{Latencies, MachineConfig};
+use guardspec_workloads::{extended_workloads, Scale, Workload};
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// One workload slot of a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadReq {
+    /// A named paper workload (`compress`, `espresso`, `xlisp`, `grep`,
+    /// `ocean`), built at the request's scale with its golden results.
+    Builtin(String),
+    /// Ad-hoc textual assembly (no golden verification).
+    Text { name: String, program: String },
+    /// Ad-hoc binary-encoded program, hex words (no golden verification).
+    Bin { name: String, hex: String },
+}
+
+impl WorkloadReq {
+    /// Display name of the slot.
+    pub fn name(&self) -> &str {
+        match self {
+            WorkloadReq::Builtin(n) => n,
+            WorkloadReq::Text { name, .. } | WorkloadReq::Bin { name, .. } => name,
+        }
+    }
+
+    /// The canonical source descriptor fed to both hashes.  Builtins hash
+    /// by name (their text is a pure function of name + scale); ad-hoc
+    /// programs hash by their full source.
+    fn descriptor(&self) -> String {
+        match self {
+            WorkloadReq::Builtin(n) => format!("builtin:{n}"),
+            WorkloadReq::Text { program, .. } => format!("text:{program}"),
+            WorkloadReq::Bin { hex, .. } => format!("bin:{hex}"),
+        }
+    }
+}
+
+/// One cell of a request.
+#[derive(Clone, Debug)]
+pub struct CellReq {
+    /// Index into [`RunRequest::workloads`].
+    pub workload: usize,
+    pub label: String,
+    pub scheme: Scheme,
+    /// Transform options; `None` simulates the untransformed program.
+    pub options: Option<DriverOptions>,
+    pub config: MachineConfig,
+}
+
+/// A parsed `/run` request.
+#[derive(Clone, Debug)]
+pub struct RunRequest {
+    /// Experiment name (the stable payload's `experiment` field).
+    pub name: String,
+    pub scale: Scale,
+    /// Fairness identity for the admission queue (optional; the server
+    /// falls back to the peer address).
+    pub client: Option<String>,
+    pub observe: bool,
+    pub workloads: Vec<WorkloadReq>,
+    pub cells: Vec<CellReq>,
+}
+
+// --- JSON encoding -------------------------------------------------------
+
+/// Scheme from its stable label (the same string the tables print).
+pub fn scheme_from_label(s: &str) -> Result<Scheme, String> {
+    Scheme::ALL
+        .into_iter()
+        .find(|sch| sch.label() == s)
+        .ok_or_else(|| format!("bad scheme {s:?} (want \"2-bit BP\"|\"Proposed\"|\"Perfect BP\")"))
+}
+
+/// Preset name → options, mirroring the ablation presets.
+pub fn options_preset(name: &str) -> Result<DriverOptions, String> {
+    match name {
+        "baseline" => Ok(DriverOptions::baseline()),
+        "speculation" => Ok(DriverOptions::speculation_only()),
+        "guarded" => Ok(DriverOptions::guarded_only()),
+        "conventional" => Ok(DriverOptions::conventional()),
+        "proposed" => Ok(DriverOptions::proposed()),
+        other => Err(format!(
+            "bad options preset {other:?} (want baseline|speculation|guarded|conventional|proposed)"
+        )),
+    }
+}
+
+/// Every `DriverOptions` field, explicitly.  [`options_from_json`] requires
+/// every field — a request that omits one is rejected rather than silently
+/// defaulted, so a client and server disagreeing on defaults can never
+/// alias two different experiments.
+pub fn options_to_json(o: &DriverOptions) -> Json {
+    let f = &o.feedback;
+    Json::obj(vec![
+        ("likely_threshold", Json::F64(f.likely_threshold)),
+        ("convert_threshold", Json::F64(f.convert_threshold)),
+        ("monotonic_toggle_max", Json::F64(f.monotonic_toggle_max)),
+        ("seg_window", Json::U64(f.seg_window as u64)),
+        ("seg_bias", Json::F64(f.seg_bias)),
+        ("max_segments", Json::U64(f.max_segments as u64)),
+        ("min_segment_frac", Json::F64(f.min_segment_frac)),
+        ("max_period", Json::U64(f.max_period as u64)),
+        ("period_agreement", Json::F64(f.period_agreement)),
+        ("enable_likely", Json::Bool(o.enable_likely)),
+        ("enable_ifconvert", Json::Bool(o.enable_ifconvert)),
+        ("enable_split", Json::Bool(o.enable_split)),
+        ("enable_speculation", Json::Bool(o.enable_speculation)),
+        ("max_arm_len", Json::U64(o.max_arm_len as u64)),
+        ("max_speculate_ops", Json::U64(o.max_speculate_ops as u64)),
+        (
+            "allow_speculative_loads",
+            Json::Bool(o.allow_speculative_loads),
+        ),
+        (
+            "max_likelies_per_site",
+            Json::U64(o.max_likelies_per_site as u64),
+        ),
+        ("mispredict_penalty", Json::F64(o.mispredict_penalty)),
+    ])
+}
+
+pub fn options_from_json(j: &Json) -> Result<DriverOptions, String> {
+    if let Some(preset) = j.as_str() {
+        return options_preset(preset);
+    }
+    Ok(DriverOptions {
+        feedback: FeedbackParams {
+            likely_threshold: f(j, "likely_threshold")?,
+            convert_threshold: f(j, "convert_threshold")?,
+            monotonic_toggle_max: f(j, "monotonic_toggle_max")?,
+            seg_window: u(j, "seg_window")? as usize,
+            seg_bias: f(j, "seg_bias")?,
+            max_segments: u(j, "max_segments")? as usize,
+            min_segment_frac: f(j, "min_segment_frac")?,
+            max_period: u(j, "max_period")? as usize,
+            period_agreement: f(j, "period_agreement")?,
+        },
+        enable_likely: b(j, "enable_likely")?,
+        enable_ifconvert: b(j, "enable_ifconvert")?,
+        enable_split: b(j, "enable_split")?,
+        enable_speculation: b(j, "enable_speculation")?,
+        max_arm_len: u(j, "max_arm_len")? as usize,
+        max_speculate_ops: u(j, "max_speculate_ops")? as usize,
+        allow_speculative_loads: b(j, "allow_speculative_loads")?,
+        max_likelies_per_site: u(j, "max_likelies_per_site")? as usize,
+        mispredict_penalty: f(j, "mispredict_penalty")?,
+    })
+}
+
+/// Every `MachineConfig` field, explicitly (same no-defaults contract as
+/// [`options_to_json`]; the string `"r10000"` is the one blessed shorthand).
+pub fn config_to_json(c: &MachineConfig) -> Json {
+    let l = &c.latencies;
+    let usz = |v: usize| Json::U64(v as u64);
+    let triple = |(a, b, c): (usize, usize, usize)| Json::Arr(vec![usz(a), usz(b), usz(c)]);
+    Json::obj(vec![
+        ("fetch_width", usz(c.fetch_width)),
+        ("commit_width", usz(c.commit_width)),
+        ("rob_size", usz(c.rob_size)),
+        (
+            "queue_size",
+            Json::Arr(c.queue_size.iter().map(|&v| usz(v)).collect()),
+        ),
+        (
+            "fu_count",
+            Json::Arr(c.fu_count.iter().map(|&v| usz(v)).collect()),
+        ),
+        ("max_inflight_branches", usz(c.max_inflight_branches)),
+        ("mispredict_recovery", Json::U64(c.mispredict_recovery)),
+        ("frontend_depth", Json::U64(c.frontend_depth)),
+        ("alu", Json::U64(l.alu)),
+        ("ldst", Json::U64(l.ldst)),
+        ("sft", Json::U64(l.sft)),
+        ("fp_add", Json::U64(l.fp_add)),
+        ("fp_mul", Json::U64(l.fp_mul)),
+        ("fp_div", Json::U64(l.fp_div)),
+        ("cache_miss_penalty", Json::U64(l.cache_miss_penalty)),
+        ("bht_entries", usz(c.bht_entries)),
+        ("btb_sets", usz(c.btb_sets)),
+        ("icache", triple(c.icache)),
+        ("dcache", triple(c.dcache)),
+    ])
+}
+
+pub fn config_from_json(j: &Json) -> Result<MachineConfig, String> {
+    if let Some(s) = j.as_str() {
+        return match s {
+            "r10000" => Ok(MachineConfig::r10000()),
+            other => Err(format!("bad config preset {other:?} (want \"r10000\")")),
+        };
+    }
+    let usz = |k: &str| -> Result<usize, String> { Ok(u(j, k)? as usize) };
+    let arr = |k: &str| -> Result<Vec<u64>, String> {
+        j.get(k)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("no array field {k:?}"))?
+            .iter()
+            .map(|v| v.as_u64().ok_or_else(|| format!("bad entry in {k:?}")))
+            .collect()
+    };
+    let quad = |k: &str| -> Result<[usize; 4], String> {
+        let v = arr(k)?;
+        if v.len() != 4 {
+            return Err(format!("{k:?} wants 4 entries"));
+        }
+        Ok([v[0] as usize, v[1] as usize, v[2] as usize, v[3] as usize])
+    };
+    let oct = |k: &str| -> Result<[usize; 8], String> {
+        let v = arr(k)?;
+        if v.len() != 8 {
+            return Err(format!("{k:?} wants 8 entries"));
+        }
+        let mut out = [0usize; 8];
+        for (o, x) in out.iter_mut().zip(v) {
+            *o = x as usize;
+        }
+        Ok(out)
+    };
+    let triple = |k: &str| -> Result<(usize, usize, usize), String> {
+        let v = arr(k)?;
+        if v.len() != 3 {
+            return Err(format!("{k:?} wants 3 entries"));
+        }
+        Ok((v[0] as usize, v[1] as usize, v[2] as usize))
+    };
+    Ok(MachineConfig {
+        fetch_width: usz("fetch_width")?,
+        commit_width: usz("commit_width")?,
+        rob_size: usz("rob_size")?,
+        queue_size: quad("queue_size")?,
+        fu_count: oct("fu_count")?,
+        max_inflight_branches: usz("max_inflight_branches")?,
+        mispredict_recovery: u(j, "mispredict_recovery")?,
+        frontend_depth: u(j, "frontend_depth")?,
+        latencies: Latencies {
+            alu: u(j, "alu")?,
+            ldst: u(j, "ldst")?,
+            sft: u(j, "sft")?,
+            fp_add: u(j, "fp_add")?,
+            fp_mul: u(j, "fp_mul")?,
+            fp_div: u(j, "fp_div")?,
+            cache_miss_penalty: u(j, "cache_miss_penalty")?,
+        },
+        bht_entries: usz("bht_entries")?,
+        btb_sets: usz("btb_sets")?,
+        icache: triple("icache")?,
+        dcache: triple("dcache")?,
+    })
+}
+
+fn workload_to_json(w: &WorkloadReq) -> Json {
+    match w {
+        WorkloadReq::Builtin(n) => Json::obj(vec![("builtin", Json::str(n))]),
+        WorkloadReq::Text { name, program } => Json::obj(vec![
+            ("name", Json::str(name)),
+            ("program", Json::str(program)),
+        ]),
+        WorkloadReq::Bin { name, hex } => {
+            Json::obj(vec![("name", Json::str(name)), ("bin", Json::str(hex))])
+        }
+    }
+}
+
+fn workload_from_json(j: &Json) -> Result<WorkloadReq, String> {
+    if let Some(n) = j.get("builtin").and_then(Json::as_str) {
+        return Ok(WorkloadReq::Builtin(n.to_string()));
+    }
+    let name = j
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("workload wants \"builtin\" or \"name\"")?
+        .to_string();
+    if let Some(p) = j.get("program").and_then(Json::as_str) {
+        return Ok(WorkloadReq::Text {
+            name,
+            program: p.to_string(),
+        });
+    }
+    if let Some(h) = j.get("bin").and_then(Json::as_str) {
+        return Ok(WorkloadReq::Bin {
+            name,
+            hex: h.to_string(),
+        });
+    }
+    Err("workload wants \"program\" or \"bin\"".to_string())
+}
+
+fn cell_to_json(c: &CellReq) -> Json {
+    let mut fields = vec![
+        ("workload", Json::U64(c.workload as u64)),
+        ("label", Json::str(&c.label)),
+        ("scheme", Json::str(c.scheme.label())),
+    ];
+    match &c.options {
+        Some(o) => fields.push(("options", options_to_json(o))),
+        None => fields.push(("options", Json::Null)),
+    }
+    fields.push(("config", config_to_json(&c.config)));
+    Json::obj(fields)
+}
+
+fn cell_from_json(j: &Json, n_workloads: usize) -> Result<CellReq, String> {
+    let workload = u(j, "workload")? as usize;
+    if workload >= n_workloads {
+        return Err(format!(
+            "cell references workload {workload}, request has {n_workloads}"
+        ));
+    }
+    let options = match j.get("options") {
+        None | Some(Json::Null) => None,
+        Some(o) => Some(options_from_json(o)?),
+    };
+    let config = match j.get("config") {
+        None => MachineConfig::r10000(),
+        Some(c) => config_from_json(c)?,
+    };
+    Ok(CellReq {
+        workload,
+        label: s(j, "label")?.to_string(),
+        scheme: scheme_from_label(s(j, "scheme")?)?,
+        options,
+        config,
+    })
+}
+
+/// Serialize a request (the body `gsc` posts).
+pub fn request_to_json(r: &RunRequest) -> Json {
+    let mut fields = vec![
+        ("name", Json::str(&r.name)),
+        ("scale", Json::str(scale_tag(r.scale))),
+    ];
+    if let Some(c) = &r.client {
+        fields.push(("client", Json::str(c)));
+    }
+    if r.observe {
+        fields.push(("observe", Json::Bool(true)));
+    }
+    fields.push((
+        "workloads",
+        Json::Arr(r.workloads.iter().map(workload_to_json).collect()),
+    ));
+    fields.push((
+        "cells",
+        Json::Arr(r.cells.iter().map(cell_to_json).collect()),
+    ));
+    Json::obj(fields)
+}
+
+/// Parse and validate a request body.
+pub fn request_from_json(j: &Json) -> Result<RunRequest, String> {
+    let name = s(j, "name")?.to_string();
+    let scale = parse_scale(s(j, "scale")?)?;
+    let client = j.get("client").and_then(Json::as_str).map(str::to_string);
+    let observe = j.get("observe").and_then(Json::as_bool).unwrap_or(false);
+    let workloads: Vec<WorkloadReq> = j
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or("no workloads array")?
+        .iter()
+        .map(workload_from_json)
+        .collect::<Result<_, _>>()?;
+    if workloads.is_empty() {
+        return Err("request has no workloads".to_string());
+    }
+    let cells = j
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or("no cells array")?
+        .iter()
+        .map(|c| cell_from_json(c, workloads.len()))
+        .collect::<Result<_, _>>()?;
+    Ok(RunRequest {
+        name,
+        scale,
+        client,
+        observe,
+        workloads,
+        cells,
+    })
+}
+
+// --- Canonical hashes ----------------------------------------------------
+
+/// The in-flight dedup identity of a request: everything that determines
+/// the response bytes, nothing that doesn't (`client` is fairness metadata,
+/// not science, so it is excluded — two tenants asking the same question
+/// share one job).
+pub fn request_key(r: &RunRequest) -> String {
+    let mut h = StableHasher::new();
+    h.write_str("run-request");
+    h.write_str(&r.name);
+    h.write_str(scale_tag(r.scale));
+    h.write_bool(r.observe);
+    h.write_u64(r.workloads.len() as u64);
+    for w in &r.workloads {
+        h.write_str(w.name());
+        h.write_str(&w.descriptor());
+    }
+    h.write_u64(r.cells.len() as u64);
+    for c in &r.cells {
+        h.write_u64(c.workload as u64);
+        h.write_str(&c.label);
+        h.write_str(c.scheme.label());
+        match &c.options {
+            Some(o) => h.write_str(&guardspec_harness::key::describe_options(o)),
+            None => h.write_str("no-transform"),
+        };
+        h.write_str(&guardspec_harness::key::describe_config(&c.config));
+    }
+    format!("req-{}", h.finish_hex())
+}
+
+/// The shard identity of one cell, computable client-side: a stable hash
+/// of the cell's full descriptor (workload source, scale, scheme, options,
+/// config).  `gsc` sends cell `i` to shard `cell_shard_hash(..) % M`; a
+/// daemon running `--shard N/M` accepts only cells whose hash lands on `N`.
+pub fn cell_shard_hash(workload: &WorkloadReq, scale: Scale, cell: &CellReq) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("cell-shard");
+    h.write_str(&workload.descriptor());
+    h.write_str(scale_tag(scale));
+    h.write_str(cell.scheme.label());
+    match &cell.options {
+        Some(o) => h.write_str(&guardspec_harness::key::describe_options(o)),
+        None => h.write_str("no-transform"),
+    };
+    h.write_str(&guardspec_harness::key::describe_config(&cell.config));
+    // Truncate the 128-bit digest to its low 64 bits (hex tail).
+    u64::from_str_radix(&h.finish_hex()[16..], 16).expect("32 hex chars")
+}
+
+// --- Resolution into an ExperimentSpec -----------------------------------
+
+/// `Workload::name` is `&'static str`; ad-hoc names are leaked once and
+/// interned so a long-running daemon serving the same request repeatedly
+/// does not grow without bound.
+fn intern(name: &str) -> &'static str {
+    static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut pool = POOL.lock().unwrap();
+    if let Some(existing) = pool.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+/// Resolve a request into the spec the harness runs.  Builtins are built at
+/// the request scale (with golden results); ad-hoc programs are parsed or
+/// decoded and validated, with no golden verification (empty `expected`).
+pub fn to_spec(r: &RunRequest) -> Result<ExperimentSpec, String> {
+    let mut workloads = Vec::with_capacity(r.workloads.len());
+    for w in &r.workloads {
+        match w {
+            WorkloadReq::Builtin(name) => {
+                // Workload is not Clone; build the set and pull the one out.
+                // Builtin requests are resolved once per executed job (the
+                // dedup layer shields repeats), so the rebuild is cheap
+                // relative to the simulation it feeds.
+                let mut all = extended_workloads(r.scale);
+                let idx = all
+                    .iter()
+                    .position(|b| b.name == name)
+                    .ok_or_else(|| format!("unknown builtin workload {name:?}"))?;
+                workloads.push(all.swap_remove(idx));
+            }
+            WorkloadReq::Text { name, program } => {
+                let prog = guardspec_ir::parse::parse_program(program, None)
+                    .map_err(|e| format!("workload {name:?}: parse error: {e}"))?;
+                let errs = guardspec_ir::validate::validate(&prog);
+                if !errs.is_empty() {
+                    return Err(format!("workload {name:?}: invalid program: {errs:?}"));
+                }
+                workloads.push(Workload {
+                    name: intern(name),
+                    description: "ad-hoc request program",
+                    program: prog,
+                    expected: Vec::new(),
+                });
+            }
+            WorkloadReq::Bin { name, hex } => {
+                let words =
+                    codec::words_from_hex(hex).map_err(|e| format!("workload {name:?}: {e}"))?;
+                let prog = guardspec_ir::encode::decode_program(&words)
+                    .map_err(|e| format!("workload {name:?}: decode error: {e}"))?;
+                let errs = guardspec_ir::validate::validate(&prog);
+                if !errs.is_empty() {
+                    return Err(format!("workload {name:?}: invalid program: {errs:?}"));
+                }
+                workloads.push(Workload {
+                    name: intern(name),
+                    description: "ad-hoc request program (binary)",
+                    program: prog,
+                    expected: Vec::new(),
+                });
+            }
+        }
+    }
+    let cells = r
+        .cells
+        .iter()
+        .map(|c| CellSpec {
+            workload: c.workload,
+            label: c.label.clone(),
+            transform: c.options.clone(),
+            scheme: c.scheme,
+            cfg: c.config.clone(),
+        })
+        .collect();
+    Ok(ExperimentSpec {
+        name: r.name.clone(),
+        scale: r.scale,
+        workloads,
+        cells,
+    })
+}
+
+// --- Request builders (shared by gsc and tests) --------------------------
+
+/// The Tables-3/4 three-scheme matrix over the four paper workloads —
+/// exactly [`ExperimentSpec::three_schemes`], as a request.
+pub fn three_schemes_request(name: &str, scale: Scale) -> RunRequest {
+    let workloads: Vec<WorkloadReq> = ["compress", "espresso", "xlisp", "grep"]
+        .iter()
+        .map(|n| WorkloadReq::Builtin(n.to_string()))
+        .collect();
+    let cfg = MachineConfig::r10000();
+    let mut cells = Vec::new();
+    for w in 0..workloads.len() {
+        for scheme in Scheme::ALL {
+            cells.push(CellReq {
+                workload: w,
+                label: scheme.label().to_string(),
+                scheme,
+                options: (scheme == Scheme::Proposed).then(DriverOptions::proposed),
+                config: cfg.clone(),
+            });
+        }
+    }
+    RunRequest {
+        name: name.to_string(),
+        scale,
+        client: None,
+        observe: false,
+        workloads,
+        cells,
+    }
+}
+
+/// The five-preset ablation matrix — exactly [`ExperimentSpec::ablation`],
+/// as a request.
+pub fn ablation_request(name: &str, scale: Scale) -> RunRequest {
+    let workloads: Vec<WorkloadReq> = ["compress", "espresso", "xlisp", "grep"]
+        .iter()
+        .map(|n| WorkloadReq::Builtin(n.to_string()))
+        .collect();
+    let cfg = MachineConfig::r10000();
+    let presets: [(&str, DriverOptions); 5] = [
+        ("baseline", DriverOptions::baseline()),
+        ("speculation", DriverOptions::speculation_only()),
+        ("guarded", DriverOptions::guarded_only()),
+        ("conventional", DriverOptions::conventional()),
+        ("proposed", DriverOptions::proposed()),
+    ];
+    let mut cells = Vec::new();
+    for w in 0..workloads.len() {
+        for (label, opts) in &presets {
+            cells.push(CellReq {
+                workload: w,
+                label: label.to_string(),
+                scheme: if *label == "baseline" {
+                    Scheme::TwoBit
+                } else {
+                    Scheme::Proposed
+                },
+                options: Some(opts.clone()),
+                config: cfg.clone(),
+            });
+        }
+    }
+    RunRequest {
+        name: name.to_string(),
+        scale,
+        client: None,
+        observe: false,
+        workloads,
+        cells,
+    }
+}
+
+// --- tiny JSON field helpers ---------------------------------------------
+
+fn u(j: &Json, k: &str) -> Result<u64, String> {
+    j.get(k)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("no integer field {k:?}"))
+}
+
+fn f(j: &Json, k: &str) -> Result<f64, String> {
+    j.get(k)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("no number field {k:?}"))
+}
+
+fn b(j: &Json, k: &str) -> Result<bool, String> {
+    j.get(k)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("no boolean field {k:?}"))
+}
+
+fn s<'a>(j: &'a Json, k: &str) -> Result<&'a str, String> {
+    j.get(k)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("no string field {k:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardspec_harness::key::{describe_config, describe_options};
+
+    #[test]
+    fn options_roundtrip_every_field() {
+        for preset in [
+            DriverOptions::baseline(),
+            DriverOptions::speculation_only(),
+            DriverOptions::guarded_only(),
+            DriverOptions::conventional(),
+            DriverOptions::proposed(),
+        ] {
+            let back = options_from_json(&options_to_json(&preset)).unwrap();
+            // describe_options enumerates every field with float bit
+            // patterns, so equality of descriptions is field-exact equality.
+            assert_eq!(describe_options(&back), describe_options(&preset));
+        }
+        // Preset shorthand resolves to the identical option set.
+        assert_eq!(
+            describe_options(&options_from_json(&Json::str("proposed")).unwrap()),
+            describe_options(&DriverOptions::proposed())
+        );
+        // A missing field is an error, never a default.
+        let mut j = options_to_json(&DriverOptions::proposed());
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "max_arm_len");
+        }
+        assert!(options_from_json(&j).unwrap_err().contains("max_arm_len"));
+    }
+
+    #[test]
+    fn config_roundtrip_every_field() {
+        let mut cfg = MachineConfig::r10000();
+        cfg.rob_size = 48;
+        cfg.queue_size = [2, 8, 8, 8];
+        cfg.latencies.fp_div = 12;
+        let back = config_from_json(&config_to_json(&cfg)).unwrap();
+        assert_eq!(describe_config(&back), describe_config(&cfg));
+        assert_eq!(
+            describe_config(&config_from_json(&Json::str("r10000")).unwrap()),
+            describe_config(&MachineConfig::r10000())
+        );
+    }
+
+    #[test]
+    fn request_roundtrip_and_key_stability() {
+        let mut req = three_schemes_request("table3", Scale::Test);
+        req.client = Some("tester".to_string());
+        let text = request_to_json(&req).to_compact();
+        let back = request_from_json(&guardspec_harness::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(request_key(&back), request_key(&req));
+        assert_eq!(back.cells.len(), 12);
+        // client identity is fairness metadata, not dedup identity.
+        let mut other = req.clone();
+        other.client = Some("someone-else".to_string());
+        assert_eq!(request_key(&other), request_key(&req));
+        // but the name, scale, observe flag and any cell all are.
+        let mut m = req.clone();
+        m.name = "renamed".to_string();
+        assert_ne!(request_key(&m), request_key(&req));
+        let mut m = req.clone();
+        m.observe = true;
+        assert_ne!(request_key(&m), request_key(&req));
+        let mut m = req.clone();
+        m.cells[3].config.rob_size += 1;
+        assert_ne!(request_key(&m), request_key(&req));
+    }
+
+    #[test]
+    fn resolved_spec_matches_the_offline_builder() {
+        let req = three_schemes_request("table3", Scale::Test);
+        let spec = to_spec(&req).unwrap();
+        let offline = ExperimentSpec::three_schemes("table3", Scale::Test);
+        assert_eq!(spec.name, offline.name);
+        assert_eq!(spec.workloads.len(), offline.workloads.len());
+        assert_eq!(spec.cells.len(), offline.cells.len());
+        for (a, b) in spec.workloads.iter().zip(&offline.workloads) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.program.to_string(), b.program.to_string());
+        }
+        for (a, b) in spec.cells.iter().zip(&offline.cells) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(
+                a.transform.as_ref().map(describe_options),
+                b.transform.as_ref().map(describe_options)
+            );
+            assert_eq!(describe_config(&a.cfg), describe_config(&b.cfg));
+        }
+    }
+
+    #[test]
+    fn shard_hash_varies_by_cell_not_by_client() {
+        let req = three_schemes_request("t", Scale::Test);
+        let h0 = cell_shard_hash(&req.workloads[0], req.scale, &req.cells[0]);
+        let h0b = cell_shard_hash(&req.workloads[0], req.scale, &req.cells[0]);
+        assert_eq!(h0, h0b, "stable across calls");
+        let mut distinct = std::collections::BTreeSet::new();
+        for c in &req.cells {
+            distinct.insert(cell_shard_hash(&req.workloads[c.workload], req.scale, c));
+        }
+        assert!(
+            distinct.len() > 6,
+            "12 distinct cells should spread over many hashes, got {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn bad_requests_name_the_problem() {
+        let parse =
+            |t: &str| request_from_json(&guardspec_harness::json::parse(t).unwrap()).unwrap_err();
+        assert!(parse("{\"scale\":\"test\"}").contains("name"));
+        assert!(parse("{\"name\":\"x\",\"scale\":\"huge\"}").contains("bad --scale"));
+        assert!(
+            parse("{\"name\":\"x\",\"scale\":\"test\",\"workloads\":[],\"cells\":[]}")
+                .contains("no workloads")
+        );
+        let bad_cell = "{\"name\":\"x\",\"scale\":\"test\",\
+             \"workloads\":[{\"builtin\":\"grep\"}],\
+             \"cells\":[{\"workload\":3,\"label\":\"l\",\"scheme\":\"Proposed\"}]}";
+        assert!(parse(bad_cell).contains("references workload 3"));
+    }
+}

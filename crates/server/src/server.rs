@@ -1,0 +1,435 @@
+//! The daemon core: accept loop, connection handlers, worker pool and the
+//! glue between [`crate::dedup`], [`crate::queue`] and the harness runner.
+//!
+//! One [`Server`] owns one [`guardspec_harness::DiskCache`] handle shared
+//! by every request, so the content-addressed cache — not the HTTP layer —
+//! is what makes warm requests fast.  The request lifecycle:
+//!
+//! 1. the connection thread parses the body and validates shard routing;
+//! 2. [`crate::protocol::request_key`] names the flight; the first arrival
+//!    becomes the owner and pushes one job, duplicates join and wait;
+//! 3. a worker pops the job (round-robin across client lanes), runs it via
+//!    [`guardspec_harness::run_experiment_shared`] and publishes the stable
+//!    artifact JSON;
+//! 4. everyone blocked on the flight writes the same bytes back.
+//!
+//! Shutdown is cooperative: [`ServerHandle::begin_shutdown`] closes the
+//! queue (new work gets 503), the accept loop keeps answering `/healthz`
+//! ("draining") until every queued and in-flight job has published, then
+//! the listener stops and the workers are joined.
+
+use crate::dedup::{Entered, FlightMap, FlightTicket, Outcome};
+use crate::http::{self, HttpRequest};
+use crate::protocol::{self, RunRequest};
+use crate::queue::{FairQueue, PushError};
+use crate::shard::{check_request_routing, ShardSpec};
+use guardspec_harness::{
+    run_experiment_shared, stable_json, DiskCache, ExperimentSpec, Json, MetricsRegistry,
+    RunOptions,
+};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a [`Server`] is wired up.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// TCP port; `0` picks an ephemeral port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub port: u16,
+    /// Disk cache root; `None` disables caching (every request simulates).
+    pub cache_dir: Option<PathBuf>,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Total queued-job cap across all clients (admission control).
+    pub queue_cap: usize,
+    /// Testing hook: each worker sleeps this long before executing a job,
+    /// widening the dedup window deterministically.
+    pub hold_ms: u64,
+    /// This daemon's slice of a sharded sweep.
+    pub shard: ShardSpec,
+    /// `RunOptions::jobs` for each experiment (intra-request parallelism).
+    pub jobs_per_request: usize,
+    /// Per-job service-time estimate behind the 429 `Retry-After` hint.
+    pub est_job_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            port: 0,
+            cache_dir: Some(PathBuf::from("results/cache")),
+            workers: 2,
+            queue_cap: 64,
+            hold_ms: 0,
+            shard: ShardSpec::default(),
+            jobs_per_request: 1,
+            est_job_ms: 1000,
+        }
+    }
+}
+
+/// One unit of work: a resolved spec plus the flight it publishes to.
+struct Job {
+    key: String,
+    spec: ExperimentSpec,
+    observe: bool,
+}
+
+/// State shared by the accept loop, connection threads and workers.
+struct Shared {
+    config: ServerConfig,
+    cache: Arc<DiskCache>,
+    metrics: MetricsRegistry,
+    queue: FairQueue<Job>,
+    flights: FlightMap,
+    /// Set by `begin_shutdown`; checked by the accept loop and handlers.
+    draining: AtomicBool,
+    /// Jobs popped by a worker but not yet published.
+    executing: AtomicU64,
+}
+
+pub struct Server;
+
+/// A running daemon.  Dropping the handle does *not* stop the server —
+/// call [`ServerHandle::begin_shutdown`] (or send the process SIGTERM via
+/// the `gsd` binary) and then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and the accept loop, return the handle.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let cache = Arc::new(match &config.cache_dir {
+            Some(dir) => DiskCache::new(dir.clone()),
+            None => DiskCache::disabled(),
+        });
+        let shared = Arc::new(Shared {
+            queue: FairQueue::new(config.queue_cap, config.est_job_ms),
+            cache,
+            metrics: MetricsRegistry::new(),
+            flights: FlightMap::new(),
+            draining: AtomicBool::new(false),
+            executing: AtomicU64::new(0),
+            config,
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept_thread = {
+            let shared = shared.clone();
+            Some(std::thread::spawn(move || accept_loop(listener, &shared)))
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept_thread,
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop admitting work; queued and in-flight jobs keep draining.
+    pub fn begin_shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+    }
+
+    /// Wait until the drain completes and every thread has exited.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            t.join().expect("accept loop panicked");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker panicked");
+        }
+    }
+
+    /// `begin_shutdown` + `join` in one call.
+    pub fn shutdown(self) {
+        self.begin_shutdown();
+        self.join();
+    }
+}
+
+// --- accept loop ---------------------------------------------------------
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let shared = shared.clone();
+                std::thread::spawn(move || handle_connection(stream, peer, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if shared.draining.load(Ordering::SeqCst) && drained(shared) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Fully drained: nothing queued, nothing executing, every flight
+/// published.
+fn drained(shared: &Shared) -> bool {
+    shared.queue.is_empty()
+        && shared.executing.load(Ordering::SeqCst) == 0
+        && shared.flights.in_flight() == 0
+}
+
+// --- connection handling -------------------------------------------------
+
+fn handle_connection(mut stream: TcpStream, peer: SocketAddr, shared: &Shared) {
+    let Ok(req) = http::read_request(&mut stream) else {
+        return; // unusable connection; nothing to answer
+    };
+    let (status, extra, body) = route(&req, peer, shared);
+    let _ = http::write_response(&mut stream, status, &extra, body.as_bytes());
+}
+
+type Reply = (u16, Vec<(&'static str, String)>, String);
+
+fn route(req: &HttpRequest, peer: SocketAddr, shared: &Shared) -> Reply {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => metrics(shared),
+        ("POST", "/run") => run(req, peer, shared),
+        _ => error_reply(404, &format!("no route {} {}", req.method, req.path)),
+    }
+}
+
+fn healthz(shared: &Shared) -> Reply {
+    let status = if shared.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ok"
+    };
+    let body = Json::obj(vec![
+        ("status", Json::str(status)),
+        ("shard", Json::str(shared.config.shard.tag())),
+    ]);
+    (200, Vec::new(), body.to_compact())
+}
+
+fn metrics(shared: &Shared) -> Reply {
+    let counters: Vec<(String, Json)> = shared
+        .metrics
+        .snapshot()
+        .into_iter()
+        .map(|(k, v)| (k, Json::U64(v)))
+        .collect();
+    let body = Json::obj(vec![
+        ("queue_depth", Json::U64(shared.queue.len() as u64)),
+        ("in_flight", Json::U64(shared.flights.in_flight() as u64)),
+        (
+            "executing",
+            Json::U64(shared.executing.load(Ordering::SeqCst)),
+        ),
+        ("cache_hits", Json::U64(shared.cache.hits())),
+        ("cache_misses", Json::U64(shared.cache.misses())),
+        ("cache_race_lost", Json::U64(shared.cache.race_lost())),
+        ("counters", Json::Obj(counters)),
+    ]);
+    (200, Vec::new(), body.to_pretty())
+}
+
+fn run(req: &HttpRequest, peer: SocketAddr, shared: &Shared) -> Reply {
+    shared.metrics.incr("requests.run");
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return error_reply(400, "body is not UTF-8"),
+    };
+    let parsed = guardspec_harness::json::parse(body)
+        .and_then(|j| protocol::request_from_json(&j))
+        .and_then(|r| {
+            check_request_routing(&shared.config.shard, &r)?;
+            Ok(r)
+        });
+    let request = match parsed {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.incr("requests.bad");
+            return error_reply(400, &e);
+        }
+    };
+    let key = protocol::request_key(&request);
+    match shared.flights.enter(&key) {
+        Entered::Owner(ticket) => {
+            let outcome = admit(ticket, &key, request, peer, shared);
+            outcome_reply(&outcome)
+        }
+        Entered::Joined(outcome) => {
+            shared.metrics.incr("dedup.joined");
+            outcome_reply(&outcome)
+        }
+    }
+}
+
+/// Owner path: resolve the spec, enqueue the job, wait for publication.
+/// Every exit publishes *something* so joiners never hang.
+fn admit(
+    ticket: FlightTicket,
+    key: &str,
+    request: RunRequest,
+    peer: SocketAddr,
+    shared: &Shared,
+) -> Outcome {
+    if shared.draining.load(Ordering::SeqCst) {
+        let outcome = Outcome::Draining;
+        shared.flights.publish(key, outcome.clone());
+        return outcome;
+    }
+    let spec = match protocol::to_spec(&request) {
+        Ok(s) => s,
+        Err(e) => {
+            shared.metrics.incr("requests.bad");
+            let outcome = Outcome::Failed(format!("bad request: {e}"));
+            shared.flights.publish(key, outcome.clone());
+            return outcome;
+        }
+    };
+    let client = request
+        .client
+        .clone()
+        .unwrap_or_else(|| peer.ip().to_string());
+    let job = Job {
+        key: key.to_string(),
+        spec,
+        observe: request.observe,
+    };
+    match shared.queue.push(&client, job) {
+        // A worker now owns publication; wait on our ticket (safe even if
+        // the worker already published and removed the map entry).
+        Ok(()) => ticket.wait(),
+        Err(PushError::Full { retry_after_ms }) => {
+            shared.metrics.incr("requests.rejected");
+            let outcome = Outcome::Rejected { retry_after_ms };
+            shared.flights.publish(key, outcome.clone());
+            outcome
+        }
+        Err(PushError::Draining) => {
+            let outcome = Outcome::Draining;
+            shared.flights.publish(key, outcome.clone());
+            outcome
+        }
+    }
+}
+
+fn outcome_reply(outcome: &Outcome) -> Reply {
+    match outcome {
+        Outcome::Done(body) => (200, Vec::new(), body.as_str().to_string()),
+        Outcome::Rejected { retry_after_ms } => {
+            let secs = retry_after_ms.div_ceil(1000).max(1);
+            let body = Json::obj(vec![
+                ("error", Json::str("queue full")),
+                ("retry_after_ms", Json::U64(*retry_after_ms)),
+            ]);
+            (
+                429,
+                vec![("Retry-After", secs.to_string())],
+                body.to_compact(),
+            )
+        }
+        Outcome::Failed(msg) => {
+            let status = if msg.starts_with("bad request:") {
+                400
+            } else {
+                500
+            };
+            error_reply(status, msg)
+        }
+        Outcome::Draining => error_reply(503, "draining: server is shutting down"),
+    }
+}
+
+fn error_reply(status: u16, msg: &str) -> Reply {
+    let body = Json::obj(vec![("error", Json::str(msg))]);
+    (status, Vec::new(), body.to_compact())
+}
+
+// --- workers -------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.executing.fetch_add(1, Ordering::SeqCst);
+        if shared.config.hold_ms > 0 {
+            std::thread::sleep(Duration::from_millis(shared.config.hold_ms));
+        }
+        let outcome = execute(&job, shared);
+        shared.flights.publish(&job.key, outcome);
+        shared.executing.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn execute(job: &Job, shared: &Shared) -> Outcome {
+    let opts = RunOptions {
+        jobs: shared.config.jobs_per_request.max(1),
+        cache_dir: None, // ignored: the shared handle wins
+        observe: job.observe,
+        ..RunOptions::default()
+    };
+    let started = Instant::now();
+    let cache = shared.cache.clone();
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        run_experiment_shared(&job.spec, &opts, cache)
+    }));
+    match run {
+        Ok(result) => {
+            shared.metrics.incr("jobs.executed");
+            shared
+                .metrics
+                .add("jobs.wall_us", started.elapsed().as_micros() as u64);
+            let mut profile_us = 0u64;
+            for w in &result.workloads {
+                profile_us += (w.timing.ms * 1000.0) as u64;
+            }
+            let (mut transform_us, mut trace_us, mut sim_us) = (0u64, 0u64, 0u64);
+            for c in &result.cells {
+                if let Some(t) = c.transform_timing {
+                    transform_us += (t.ms * 1000.0) as u64;
+                }
+                if let Some(t) = c.trace_timing {
+                    trace_us += (t.ms * 1000.0) as u64;
+                }
+                sim_us += (c.sim_timing.ms * 1000.0) as u64;
+            }
+            shared.metrics.add("stage.profile_us", profile_us);
+            shared.metrics.add("stage.transform_us", transform_us);
+            shared.metrics.add("stage.trace_us", trace_us);
+            shared.metrics.add("stage.simulate_us", sim_us);
+            Outcome::Done(Arc::new(stable_json(&result).to_pretty()))
+        }
+        Err(panic) => {
+            shared.metrics.incr("jobs.failed");
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("job panicked");
+            Outcome::Failed(format!("job failed: {msg}"))
+        }
+    }
+}

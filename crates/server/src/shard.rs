@@ -1,0 +1,156 @@
+//! Key-range sharding: several daemons split a sweep, the client fans out
+//! and merges.
+//!
+//! A shard assignment is `N/M` (0-based shard `N` of `M`).  Cell ownership
+//! is `cell_shard_hash(..) % M == N` — a pure function of request-level
+//! descriptors, so `gsc` computes the same routing the servers enforce
+//! without knowing anything about transformed program text or cache
+//! internals.  A cell posted to the wrong shard is a 400 naming the shard
+//! that owns it, never a silently-wrong answer.
+
+use crate::protocol::{cell_shard_hash, RunRequest};
+
+/// A `--shard N/M` assignment.  `ShardSpec::default()` is the unsharded
+/// single-server `0/1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    pub index: u64,
+    pub count: u64,
+}
+
+impl Default for ShardSpec {
+    fn default() -> ShardSpec {
+        ShardSpec { index: 0, count: 1 }
+    }
+}
+
+impl ShardSpec {
+    /// Parse `"N/M"`.
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let (n, m) = s
+            .split_once('/')
+            .ok_or_else(|| format!("bad --shard {s:?} (want N/M, e.g. 0/2)"))?;
+        let index: u64 = n.parse().map_err(|_| format!("bad --shard index {n:?}"))?;
+        let count: u64 = m.parse().map_err(|_| format!("bad --shard count {m:?}"))?;
+        if count == 0 || index >= count {
+            return Err(format!("bad --shard {s:?} (want 0 <= N < M)"));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    pub fn is_sharded(&self) -> bool {
+        self.count > 1
+    }
+
+    /// Which shard owns this hash.
+    pub fn owner_of(&self, hash: u64) -> u64 {
+        hash % self.count
+    }
+
+    /// Display form, `"N/M"`.
+    pub fn tag(&self) -> String {
+        format!("{}/{}", self.index, self.count)
+    }
+}
+
+/// Validate that every cell of `req` belongs to `shard`; on a misroute,
+/// name the offending cell and its owner.
+pub fn check_request_routing(shard: &ShardSpec, req: &RunRequest) -> Result<(), String> {
+    if !shard.is_sharded() {
+        return Ok(());
+    }
+    for (i, cell) in req.cells.iter().enumerate() {
+        let owner = shard.owner_of(cell_shard_hash(
+            &req.workloads[cell.workload],
+            req.scale,
+            cell,
+        ));
+        if owner != shard.index {
+            return Err(format!(
+                "cell {i} ({}/{}) belongs to shard {owner}/{}, this is shard {}",
+                req.workloads[cell.workload].name(),
+                cell.label,
+                shard.count,
+                shard.tag()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Split a request into per-shard sub-requests (client side).  Each
+/// sub-request keeps the **full** workload list — so every shard's stable
+/// artifact carries the identical `workloads` array — and only the cells
+/// that shard owns.  Returns `count` requests, some possibly with zero
+/// cells (still worth posting: the response carries the profiles).
+/// `indices[k]` maps sub-request `k`'s cells back to positions in the
+/// original cell order for the merge.
+pub fn split_request(req: &RunRequest, count: u64) -> (Vec<RunRequest>, Vec<Vec<usize>>) {
+    let count = count.max(1);
+    let mut parts: Vec<RunRequest> = (0..count)
+        .map(|_| RunRequest {
+            cells: Vec::new(),
+            ..req.clone()
+        })
+        .collect();
+    let mut indices: Vec<Vec<usize>> = vec![Vec::new(); count as usize];
+    for (i, cell) in req.cells.iter().enumerate() {
+        let shard = cell_shard_hash(&req.workloads[cell.workload], req.scale, cell) % count;
+        parts[shard as usize].cells.push(cell.clone());
+        indices[shard as usize].push(i);
+    }
+    (parts, indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::three_schemes_request;
+    use guardspec_workloads::Scale;
+
+    #[test]
+    fn parse_accepts_good_rejects_bad() {
+        assert_eq!(
+            ShardSpec::parse("0/2").unwrap(),
+            ShardSpec { index: 0, count: 2 }
+        );
+        assert_eq!(ShardSpec::parse("1/2").unwrap().tag(), "1/2");
+        assert!(ShardSpec::parse("2/2").unwrap_err().contains("0 <= N < M"));
+        assert!(ShardSpec::parse("0/0").is_err());
+        assert!(ShardSpec::parse("nope").is_err());
+        assert!(!ShardSpec::default().is_sharded());
+    }
+
+    #[test]
+    fn split_covers_every_cell_exactly_once() {
+        let req = three_schemes_request("t", Scale::Test);
+        let (parts, indices) = split_request(&req, 3);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(|p| p.cells.len()).sum();
+        assert_eq!(total, req.cells.len());
+        // Every part keeps the full workload list.
+        for p in &parts {
+            assert_eq!(p.workloads, req.workloads);
+        }
+        // The index map reassembles the original order exactly.
+        let mut seen: Vec<usize> = indices.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..req.cells.len()).collect::<Vec<_>>());
+        // And each part passes its own shard's routing check.
+        for (n, p) in parts.iter().enumerate() {
+            let shard = ShardSpec {
+                index: n as u64,
+                count: 3,
+            };
+            check_request_routing(&shard, p).unwrap();
+            // ...and fails some other shard's, if it has any cells.
+            if !p.cells.is_empty() {
+                let wrong = ShardSpec {
+                    index: (n as u64 + 1) % 3,
+                    count: 3,
+                };
+                assert!(check_request_routing(&wrong, p).is_err());
+            }
+        }
+    }
+}

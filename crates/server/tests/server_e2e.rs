@@ -1,0 +1,280 @@
+//! End-to-end tests: a real daemon on an ephemeral port, driven over TCP.
+//!
+//! The load-bearing claims of the service layer are asserted here:
+//! dedup (8 concurrent identical requests execute exactly one job),
+//! byte-identity (server responses `==` the offline stable artifact at a
+//! different worker count), sharded fan/merge, structured backpressure
+//! (429 + retry hint, nothing silently dropped), and the `gsd` binary's
+//! SIGTERM drain.
+
+use guardspec_harness::{json, run_experiment, Json, RunOptions};
+use guardspec_server::protocol::{
+    request_to_json, three_schemes_request, to_spec, CellReq, RunRequest, WorkloadReq,
+};
+use guardspec_server::{http, run_fanout, Server, ServerConfig, ShardSpec};
+use guardspec_sim::MachineConfig;
+use guardspec_workloads::{extended_workloads, Scale};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+/// A scratch cache dir unique to this test invocation.
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let n = N.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!(
+        "guardspec-server-e2e-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The offline answer: run the same request's spec in-process, no cache.
+fn offline_stable(req: &RunRequest) -> String {
+    let spec = to_spec(req).expect("request resolves");
+    let opts = RunOptions {
+        jobs: 1,
+        cache_dir: None,
+        observe: req.observe,
+        ..RunOptions::default()
+    };
+    guardspec_harness::stable_json(&run_experiment(&spec, &opts)).to_pretty()
+}
+
+fn counter(metrics_body: &str, name: &str) -> u64 {
+    let j = json::parse(metrics_body).expect("metrics parse");
+    j.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+fn gauge(metrics_body: &str, name: &str) -> u64 {
+    json::parse(metrics_body)
+        .expect("metrics parse")
+        .get(name)
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn eight_identical_requests_execute_one_job_and_match_offline() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: Some(scratch("dedup")),
+        workers: 1,
+        hold_ms: 300, // hold the job so all eight arrivals share one flight
+        jobs_per_request: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let req = three_schemes_request("table3", Scale::Test);
+    let body = request_to_json(&req).to_compact();
+    let posts: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            let body = body.clone();
+            std::thread::spawn(move || http::post_json(&addr, "/run", &body).unwrap())
+        })
+        .collect();
+    let responses: Vec<(u16, String)> = posts.into_iter().map(|t| t.join().unwrap()).collect();
+    let expected = offline_stable(&req);
+    for (status, got) in &responses {
+        assert_eq!(*status, 200);
+        assert_eq!(
+            got, &expected,
+            "server response must be byte-identical to the offline stable artifact"
+        );
+    }
+    let (st, metrics) = http::get(&addr, "/metrics").unwrap();
+    assert_eq!(st, 200);
+    assert_eq!(counter(&metrics, "jobs.executed"), 1, "{metrics}");
+    assert_eq!(counter(&metrics, "dedup.joined"), 7, "{metrics}");
+    assert_eq!(counter(&metrics, "requests.run"), 8, "{metrics}");
+
+    // A later identical request opens a fresh flight and is served from the
+    // warm cache — still the same bytes.
+    let (st, again) = http::post_json(&addr, "/run", &body).unwrap();
+    assert_eq!(st, 200);
+    assert_eq!(again, expected);
+    let (_, metrics) = http::get(&addr, "/metrics").unwrap();
+    assert_eq!(counter(&metrics, "jobs.executed"), 2);
+    assert!(gauge(&metrics, "cache_hits") > 0, "{metrics}");
+    handle.shutdown();
+}
+
+#[test]
+fn sharded_fanout_merges_to_the_offline_bytes() {
+    let mk = |index| {
+        Server::start(ServerConfig {
+            cache_dir: Some(scratch("shard")),
+            workers: 1,
+            shard: ShardSpec { index, count: 2 },
+            ..ServerConfig::default()
+        })
+        .unwrap()
+    };
+    let (h0, h1) = (mk(0), mk(1));
+    let servers = vec![h0.addr().to_string(), h1.addr().to_string()];
+    let req = three_schemes_request("table3", Scale::Test);
+    let merged = run_fanout(&servers, &req).unwrap();
+    assert_eq!(merged, offline_stable(&req));
+
+    // A full (unsplit) sweep posted straight at one shard is a structured
+    // 400 naming the misroute — never a silently partial answer.
+    let (status, body) =
+        http::post_json(&servers[0], "/run", &request_to_json(&req).to_compact()).unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("belongs to shard"), "{body}");
+    h0.shutdown();
+    h1.shutdown();
+}
+
+#[test]
+fn queue_full_is_a_structured_429_and_nothing_is_dropped() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: None,
+        workers: 1,
+        queue_cap: 1,
+        hold_ms: 600,
+        est_job_ms: 100,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    // Three *distinct* single-workload requests so no two dedup together.
+    let reqs: Vec<String> = ["compress", "espresso", "xlisp"]
+        .iter()
+        .map(|w| {
+            let mut r = three_schemes_request(&format!("probe-{w}"), Scale::Test);
+            r.workloads = vec![WorkloadReq::Builtin(w.to_string())];
+            r.cells.truncate(1);
+            r.cells[0].workload = 0;
+            request_to_json(&r).to_compact()
+        })
+        .collect();
+    // A occupies the worker (held 600ms); B fills the one queue slot.
+    let spawn = |body: String, addr: String| {
+        std::thread::spawn(move || http::post_json(&addr, "/run", &body).unwrap())
+    };
+    let a = spawn(reqs[0].clone(), addr.clone());
+    wait_until(&addr, |m| gauge(m, "executing") == 1);
+    let b = spawn(reqs[1].clone(), addr.clone());
+    wait_until(&addr, |m| gauge(m, "queue_depth") == 1);
+    // C must bounce immediately with a retry hint, via headers and body.
+    let resp = http::roundtrip(&addr, "POST", "/run", reqs[2].as_bytes()).unwrap();
+    assert_eq!(resp.status, 429);
+    assert!(resp.header("Retry-After").is_some());
+    let parsed = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    assert!(parsed.get("retry_after_ms").and_then(Json::as_u64).unwrap() >= 100);
+    // A and B still complete normally — refusal never cancels admitted work.
+    assert_eq!(a.join().unwrap().0, 200);
+    assert_eq!(b.join().unwrap().0, 200);
+    let (_, metrics) = http::get(&addr, "/metrics").unwrap();
+    assert_eq!(counter(&metrics, "requests.rejected"), 1);
+    assert_eq!(counter(&metrics, "jobs.executed"), 2);
+    handle.shutdown();
+}
+
+fn wait_until(addr: &str, mut pred: impl FnMut(&str) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, m) = http::get(addr, "/metrics").unwrap();
+        if pred(&m) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting; last: {m}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn adhoc_bin_programs_run_and_match_offline() {
+    // Ship a builtin's encoded words as an ad-hoc hex program: the server
+    // must produce exactly what the in-process runner produces for the
+    // same request.
+    let workloads = extended_workloads(Scale::Test);
+    let w = &workloads[0];
+    let hex =
+        guardspec_harness::codec::words_to_hex(&guardspec_ir::encode::encode_program(&w.program));
+    let req = RunRequest {
+        name: "adhoc".to_string(),
+        scale: Scale::Test,
+        client: None,
+        observe: false,
+        workloads: vec![WorkloadReq::Bin {
+            name: "shipped".to_string(),
+            hex,
+        }],
+        cells: vec![CellReq {
+            workload: 0,
+            label: "Proposed".to_string(),
+            scheme: guardspec_predict::Scheme::Proposed,
+            options: Some(guardspec_core::DriverOptions::proposed()),
+            config: MachineConfig::r10000(),
+        }],
+    };
+    let handle = Server::start(ServerConfig {
+        cache_dir: Some(scratch("adhoc")),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let (status, body) =
+        http::post_json(&addr, "/run", &request_to_json(&req).to_compact()).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, offline_stable(&req));
+
+    // Garbage programs are a 400, not a hung flight or a 500 panic page.
+    let mut bad = req.clone();
+    bad.workloads = vec![WorkloadReq::Bin {
+        name: "garbage".to_string(),
+        hex: "zz".to_string(),
+    }];
+    let (status, body) =
+        http::post_json(&addr, "/run", &request_to_json(&bad).to_compact()).unwrap();
+    assert_eq!(status, 400, "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn gsd_binary_drains_cleanly_on_sigterm() {
+    use std::io::BufRead;
+    let cache = scratch("bin");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_gsd"))
+        .args(["--port", "0", "--workers", "1", "--cache-dir"])
+        .arg(&cache)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut line = String::new();
+    std::io::BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    // "gsd listening on 127.0.0.1:PORT shard 0/1"
+    let addr = line
+        .split_whitespace()
+        .nth(3)
+        .expect("address in banner")
+        .to_string();
+    let (status, health) = http::get(&addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert!(health.contains("\"ok\""), "{health}");
+
+    let req = three_schemes_request("table3", Scale::Test);
+    let (status, body) =
+        http::post_json(&addr, "/run", &request_to_json(&req).to_compact()).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, offline_stable(&req));
+
+    let kill = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(kill.success());
+    let exit = child.wait().unwrap();
+    assert!(exit.success(), "gsd must drain and exit 0, got {exit:?}");
+}

@@ -65,6 +65,37 @@ grep -q "mispredict_recovery" "$OBSDIR"/report.txt
 cmp "$OBSDIR"/t3_plain.txt "$OBSDIR"/t3_obs.txt
 rm -rf "$OBSDIR"
 
+echo "== server smoke (2 sharded gsd + gsc sweep vs offline artifact) =="
+# Two daemons each own half the sweep by cache-key range; gsc fans out,
+# merges, and the merged artifact must be byte-identical to the offline
+# bench binary's --stable-json output.  SIGTERM must drain and exit 0.
+SRVDIR=$(mktemp -d)
+target/release/table3 --scale small --stable-json "$SRVDIR/offline.json" > /dev/null
+target/release/gsd --port 0 --cache-dir "$SRVDIR/cache0" --shard 0/2 > "$SRVDIR/gsd0.log" &
+GSD0=$!
+target/release/gsd --port 0 --cache-dir "$SRVDIR/cache1" --shard 1/2 > "$SRVDIR/gsd1.log" &
+GSD1=$!
+for _ in $(seq 1 100); do
+    grep -q listening "$SRVDIR/gsd0.log" 2>/dev/null \
+        && grep -q listening "$SRVDIR/gsd1.log" 2>/dev/null && break
+    sleep 0.1
+done
+ADDR0=$(awk '{print $4}' "$SRVDIR/gsd0.log")
+ADDR1=$(awk '{print $4}' "$SRVDIR/gsd1.log")
+target/release/gsc --servers "$ADDR0,$ADDR1" --healthz
+target/release/gsc --servers "$ADDR0,$ADDR1" --spec table3 --scale small \
+    --out "$SRVDIR/served.json"
+cmp "$SRVDIR/offline.json" "$SRVDIR/served.json"
+# Warm replay through the service: still byte-identical.
+target/release/gsc --servers "$ADDR0,$ADDR1" --spec table3 --scale small \
+    --out "$SRVDIR/served_warm.json"
+cmp "$SRVDIR/offline.json" "$SRVDIR/served_warm.json"
+target/release/gsc --servers "$ADDR0" --metrics > /dev/null
+kill -TERM "$GSD0" "$GSD1"
+wait "$GSD0"
+wait "$GSD1"
+rm -rf "$SRVDIR"
+
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets --release -- -D warnings
 
