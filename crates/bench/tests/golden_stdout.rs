@@ -63,6 +63,39 @@ fn assert_invariant_stdout(bin: &str, name: &str) {
             "notracecache",
             &["--scale", "test", "--jobs", "1", "--no-trace-cache"],
         ),
+        // The interpreted per-entry engine must print the same bytes as the
+        // compiled decoded-uop engine (the default), under both schedulers
+        // and with fan-out on or off.
+        (
+            "interp",
+            &["--scale", "test", "--jobs", "1", "--no-compile"],
+        ),
+        (
+            "interp8",
+            &["--scale", "test", "--jobs", "8", "--no-compile"],
+        ),
+        (
+            "interp-nofanout",
+            &[
+                "--scale",
+                "test",
+                "--jobs",
+                "1",
+                "--no-compile",
+                "--no-fanout",
+            ],
+        ),
+        (
+            "interp-nofanout8",
+            &[
+                "--scale",
+                "test",
+                "--jobs",
+                "8",
+                "--no-compile",
+                "--no-fanout",
+            ],
+        ),
     ] {
         let got = run(bin, args, &format!("{name}-{tag}"));
         assert_eq!(
@@ -101,6 +134,95 @@ fn assert_invariant_stdout(bin: &str, name: &str) {
 #[test]
 fn table1_stdout_is_schedule_invariant() {
     assert_invariant_stdout(env!("CARGO_BIN_EXE_table1"), "table1");
+}
+
+/// Sampled estimates are a pure function of (trace, params): the printed
+/// table must not change a byte across schedulers or the fan-out switch.
+#[test]
+fn sampled_stdout_is_schedule_invariant() {
+    let bin = env!("CARGO_BIN_EXE_table3");
+    // Test traces are ~10k entries; the paper-sized default interval would
+    // fall back to exact runs, so size the windows to the scale.
+    let base = [
+        "--scale",
+        "test",
+        "--sample",
+        "--sample-interval",
+        "1000",
+        "--sample-detail",
+        "50",
+        "--sample-warm",
+        "50",
+    ];
+    fn with<'a>(base: &[&'a str], extra: &[&'a str]) -> Vec<&'a str> {
+        let mut v = base.to_vec();
+        v.extend_from_slice(extra);
+        v
+    }
+    let reference = run(bin, &with(&base, &["--jobs", "1"]), "table3-sampled");
+    assert!(!reference.is_empty(), "sampled table3 printed nothing");
+    for (tag, extra) in [
+        ("jobs8", &["--jobs", "8"] as &[&str]),
+        ("nofanout", &["--jobs", "1", "--no-fanout"]),
+        ("nofanout8", &["--jobs", "8", "--no-fanout"]),
+    ] {
+        let got = run(bin, &with(&base, extra), &format!("table3-sampled-{tag}"));
+        assert_eq!(
+            String::from_utf8_lossy(&reference),
+            String::from_utf8_lossy(&got),
+            "sampled table3 stdout differs under {extra:?}"
+        );
+    }
+}
+
+/// `sampling` keys appear in stable artifacts exactly when `--sample` is
+/// on: exact runs must stay byte-compatible with pre-sampling artifacts.
+#[test]
+fn stable_artifact_sampling_fields_follow_the_flag() {
+    let bin = env!("CARGO_BIN_EXE_table3");
+    let dir = scratch("table3-stablejson");
+    run_in(
+        bin,
+        &[
+            "--scale",
+            "test",
+            "--jobs",
+            "1",
+            "--stable-json",
+            "exact.json",
+        ],
+        &dir,
+    );
+    let exact = std::fs::read_to_string(dir.join("exact.json")).unwrap();
+    assert!(
+        !exact.contains("sampling"),
+        "exact stable artifact must carry no sampling fields"
+    );
+    run_in(
+        bin,
+        &[
+            "--scale",
+            "test",
+            "--jobs",
+            "1",
+            "--sample",
+            "--sample-interval",
+            "1000",
+            "--sample-detail",
+            "50",
+            "--sample-warm",
+            "50",
+            "--stable-json",
+            "sampled.json",
+        ],
+        &dir,
+    );
+    let sampled = std::fs::read_to_string(dir.join("sampled.json")).unwrap();
+    assert!(
+        sampled.contains("\"sampling\""),
+        "sampled stable artifact must carry the sampling estimate"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -48,6 +48,7 @@ impl Case {
         let _ = writeln!(s, "repeat = {}", p.repeat);
         let _ = writeln!(s, "helpers = {}", p.helpers);
         let _ = writeln!(s, "fp = {}", p.fp);
+        let _ = writeln!(s, "fpdiv = {}", p.fpdiv);
         let _ = writeln!(s, "cross_jumps = {}", p.cross_jumps);
         let _ = writeln!(s, "guards = {}", p.guards);
         s
@@ -97,6 +98,7 @@ impl Case {
                 "repeat" => params.repeat = int(v)? as u8,
                 "helpers" => params.helpers = int(v)? as u8,
                 "fp" => params.fp = boolean(v)?,
+                "fpdiv" => params.fpdiv = boolean(v)?,
                 "cross_jumps" => params.cross_jumps = boolean(v)?,
                 "guards" => params.guards = boolean(v)?,
                 other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
@@ -167,6 +169,7 @@ mod tests {
                 repeat: 10,
                 helpers: 1,
                 fp: true,
+                fpdiv: true,
                 cross_jumps: false,
                 guards: true,
             },

@@ -55,6 +55,10 @@ pub struct ShapeParams {
     pub helpers: u8,
     /// Emit floating-point statements.
     pub fp: bool,
+    /// With `fp`, also emit `fdiv`/`fsqrt` (the long-latency FUs with a
+    /// structural hazard in the simulator).  Gated separately so enabling
+    /// it cannot perturb the RNG stream of pre-existing `fp` corpus cases.
+    pub fpdiv: bool,
     /// Allow arms to jump to an *enclosing* join label instead of their own
     /// (produces non-hammock, "irreducible-adjacent" shapes).
     pub cross_jumps: bool,
@@ -74,6 +78,7 @@ impl ShapeParams {
             repeat: 1,
             helpers: 0,
             fp: false,
+            fpdiv: false,
             cross_jumps: false,
             guards: false,
         }
@@ -95,6 +100,7 @@ impl ShapeParams {
             },
             helpers: rng.gen_range(0..=2u8),
             fp: rng.gen_bool(0.4),
+            fpdiv: rng.gen_bool(0.3),
             cross_jumps: rng.gen_bool(0.3),
             guards: rng.gen_bool(0.5),
         }
@@ -333,7 +339,10 @@ impl Gen {
     }
 
     fn fp_stmt(&mut self, fb: &mut FuncBuilder) {
-        match self.rng.gen_range(0..6u8) {
+        // `fpdiv` widens the draw without perturbing the 0..6 stream, so a
+        // case with `fpdiv = false` generates the same program it always did.
+        let arms = if self.params.fpdiv { 8u8 } else { 6u8 };
+        match self.rng.gen_range(0..arms) {
             0 => {
                 let d = self.flt();
                 let s = self.source();
@@ -361,12 +370,22 @@ impl Gen {
                 let s = self.flt();
                 fb.fsw(s, r(ADDR), off);
             }
-            _ => {
+            5 => {
                 // FtoI on possibly-huge floats is still deterministic
                 // (saturating cast), but keep magnitudes tame anyway.
                 let d = self.scratch();
                 let s = self.flt();
                 fb.ftoi(d, s);
+            }
+            6 => {
+                // Division by zero yields inf/NaN; both propagate
+                // deterministically and are compared as bit patterns.
+                let (d, a, b) = (self.flt(), self.flt(), self.flt());
+                fb.fdiv(d, a, b);
+            }
+            _ => {
+                let (d, a) = (self.flt(), self.flt());
+                fb.fsqrt(d, a);
             }
         }
     }

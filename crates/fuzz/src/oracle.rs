@@ -15,7 +15,12 @@
 //! 2. **Engine agreement** — for a *single* program, the plain interpreter,
 //!    the trace recorder + materialized simulation, and the streaming
 //!    interpreter + simulation must agree exactly: full architectural state
-//!    (int/flt/pred registers and memory) and identical `SimStats`.
+//!    (int/flt/pred registers and memory) and identical `SimStats`.  The
+//!    compiled decoded-uop engine is held to the same bar against the
+//!    interpreted pipeline: identical `SimStats`, identical cycle-bucket
+//!    accounting (`CycleAccounting` equality, which covers per-site
+//!    counters too), and a committed-store trace consistent with the
+//!    interpreter's, over both the materialized and the streamed source.
 //!
 //! Transform panics and validation failures on the transformed program are
 //! reported as findings rather than crashing the fuzz run; an original
@@ -29,9 +34,13 @@ use guardspec_interp::profile::profile_program;
 use guardspec_interp::Machine;
 use guardspec_ir::reg::{f, p, r};
 use guardspec_ir::validate::validate;
-use guardspec_ir::{Instruction, Program};
+use guardspec_ir::{Instruction, Opcode, Program};
 use guardspec_predict::Scheme;
-use guardspec_sim::{simulate_program_streamed, simulate_trace, MachineConfig};
+use guardspec_sim::{
+    simulate_compiled_trace_observed_in, simulate_program_compiled_streamed_observed_in,
+    simulate_program_streamed, simulate_trace_observed, CompiledProgram, CycleAccounting,
+    MachineConfig, SimContext,
+};
 use rand::prelude::*;
 
 /// Interpreter fuel for generated programs: far above any shape the
@@ -218,10 +227,14 @@ fn transform_guarded(
     }
 }
 
-/// Check the three execution engines against each other on one program.
+/// Check the execution engines against each other on one program: the
+/// interpreted pipeline (materialized and streamed) and the compiled
+/// decoded-uop engine (materialized and streamed) must produce identical
+/// `SimStats` and identical cycle accounting, and the trace the compiled
+/// engine consumes must carry exactly the interpreter's committed stores.
 fn check_engines(tag: &str, prog: &Program, reference: &Behavior) -> Result<(), String> {
     let cfg = MachineConfig::r10000();
-    // Materialized path.
+    // Materialized interpreted path.
     let (layout, trace, exec) = guardspec_interp::trace::trace_program(prog)
         .map_err(|e| format!("{tag}: trace_program failed: {e}"))?;
     check_same_program_state(
@@ -229,9 +242,17 @@ fn check_engines(tag: &str, prog: &Program, reference: &Behavior) -> Result<(), 
         &reference.machine,
         &exec.machine,
     )?;
-    let stats_mat = simulate_trace(prog, &layout, &trace, Scheme::TwoBit, &cfg)
-        .map_err(|e| format!("{tag}: simulate_trace failed: {e}"))?;
-    // Streaming path.
+    let mut acct_interp = CycleAccounting::new();
+    let stats_mat = simulate_trace_observed(
+        prog,
+        &layout,
+        &trace,
+        Scheme::TwoBit,
+        &cfg,
+        &mut acct_interp,
+    )
+    .map_err(|e| format!("{tag}: simulate_trace failed: {e}"))?;
+    // Streaming interpreted path.
     let (stats_str, exec_str) = simulate_program_streamed(prog, Scheme::TwoBit, &cfg)
         .map_err(|e| format!("{tag}: simulate_program_streamed failed: {e}"))?;
     check_same_program_state(
@@ -244,6 +265,99 @@ fn check_engines(tag: &str, prog: &Program, reference: &Behavior) -> Result<(), 
             "{tag}: SimStats diverge between materialized and streamed simulation \
              (cycles {} vs {}, committed {} vs {})",
             stats_mat.cycles, stats_str.cycles, stats_mat.committed, stats_str.committed
+        ));
+    }
+
+    // The committed-store trace the simulators consume must be exactly the
+    // interpreter's: every non-annulled store entry, same addresses, same
+    // commit order.  (Values are not in the trace; they are covered by the
+    // memory-image comparisons above.)
+    let trace_stores: Vec<u32> = trace
+        .iter()
+        .filter(|e| !e.annulled())
+        .filter(|e| {
+            matches!(
+                prog.insn(layout.site(e.id)).op,
+                Opcode::Store { .. } | Opcode::FStore { .. }
+            )
+        })
+        .filter_map(|e| e.mem_addr())
+        .collect();
+    let ref_stores: Vec<u32> = reference.stores.iter().map(|&(a, _)| a as u32).collect();
+    if trace_stores != ref_stores {
+        let i = trace_stores
+            .iter()
+            .zip(&ref_stores)
+            .position(|(a, b)| a != b)
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "length".into());
+        return Err(format!(
+            "{tag}: committed-store trace differs between interpreter and recorded trace \
+             (first mismatch at store #{i}; {} vs {} stores)",
+            trace_stores.len(),
+            ref_stores.len()
+        ));
+    }
+
+    // Compiled engine, materialized path: byte-identical stats and cycle
+    // accounting to the interpreted pipeline over the same trace.
+    let comp = CompiledProgram::build(prog);
+    let mut ctx = SimContext::new(&cfg);
+    let mut acct_comp = CycleAccounting::new();
+    let stats_comp = simulate_compiled_trace_observed_in(
+        &mut ctx,
+        &comp,
+        &trace,
+        Scheme::TwoBit,
+        &cfg,
+        &mut acct_comp,
+    )
+    .map_err(|e| format!("{tag}: compiled simulate failed: {e}"))?;
+    if stats_comp != stats_mat {
+        return Err(format!(
+            "{tag}: SimStats diverge between interpreted and compiled engines \
+             (cycles {} vs {}, committed {} vs {})",
+            stats_mat.cycles, stats_comp.cycles, stats_mat.committed, stats_comp.committed
+        ));
+    }
+    if acct_comp != acct_interp {
+        let bucket = acct_interp
+            .buckets()
+            .iter()
+            .zip(acct_comp.buckets())
+            .position(|(a, b)| a != b);
+        return Err(format!(
+            "{tag}: cycle accounting diverges between interpreted and compiled engines \
+             (first differing bucket index: {bucket:?}; per-site counters {})",
+            if acct_interp.nonzero_sites().eq(acct_comp.nonzero_sites()) {
+                "agree"
+            } else {
+                "differ"
+            }
+        ));
+    }
+
+    // Compiled engine, streamed path: same stats again, and the embedded
+    // interpreter must land in the same architectural state.
+    let (stats_comp_str, exec_comp) = simulate_program_compiled_streamed_observed_in(
+        &mut ctx,
+        prog,
+        &comp,
+        Scheme::TwoBit,
+        &cfg,
+        &mut (),
+    )
+    .map_err(|e| format!("{tag}: compiled streamed simulate failed: {e}"))?;
+    check_same_program_state(
+        &format!("{tag}: interp vs compiled streamed interp"),
+        &reference.machine,
+        &exec_comp.machine,
+    )?;
+    if stats_comp_str != stats_mat {
+        return Err(format!(
+            "{tag}: SimStats diverge between materialized and streamed compiled runs \
+             (cycles {} vs {})",
+            stats_mat.cycles, stats_comp_str.cycles
         ));
     }
     Ok(())

@@ -87,7 +87,8 @@ pub fn shrink(
     ];
     type GetB = fn(&ShapeParams) -> bool;
     type SetB = fn(&mut ShapeParams, bool);
-    let bools: [(GetB, SetB); 3] = [
+    let bools: [(GetB, SetB); 4] = [
+        (|p| p.fpdiv, |p, v| p.fpdiv = v),
         (|p| p.fp, |p, v| p.fp = v),
         (|p| p.cross_jumps, |p, v| p.cross_jumps = v),
         (|p| p.guards, |p, v| p.guards = v),

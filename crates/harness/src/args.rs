@@ -23,6 +23,17 @@
 //!   the simulator and attach the buckets/top-sites to the artifact.
 //! * `--trace-out <path>` — write a Chrome trace-event (Perfetto-loadable)
 //!   span timeline of the job graph to `<path>` (implies span recording).
+//! * `--no-compile` — simulate through the historical per-entry interpreted
+//!   dispatch loop instead of the compiled block-descriptor engine.  Results
+//!   are byte-identical either way (and share cache entries); the flag
+//!   exists for differential testing and benchmarking.
+//! * `--sample` — SMARTS-style interval sampling: simulate short detailed
+//!   windows, functionally warm the predictors/caches between them, and
+//!   attach a per-cell `sampling` estimate (mean IPC ± 95% CI) to the
+//!   artifact.  Forces the compiled engine and the fan-out pipeline.
+//! * `--sample-detail N` / `--sample-warm N` / `--sample-interval N` —
+//!   override the measured/warm-up/total entries per sampling interval
+//!   (each implies `--sample`).
 //!
 //! Bad values print a one-line diagnostic to **stderr** and exit with
 //! status 2 — never a panic with a backtrace.  Unknown arguments are
@@ -32,6 +43,7 @@
 //! [`HarnessArgs::try_parse_with`], which consults a binary-specific hook
 //! before rejecting.
 
+use guardspec_sim::SampleParams;
 use guardspec_workloads::Scale;
 use std::path::PathBuf;
 
@@ -55,6 +67,17 @@ pub struct HarnessArgs {
     pub observe: bool,
     /// Where to write the Chrome trace-event timeline, if requested.
     pub trace_out: Option<PathBuf>,
+    /// Use the interpreted per-entry dispatch loop instead of the compiled
+    /// block-descriptor engine (results identical; differential knob).
+    pub no_compile: bool,
+    /// Enable SMARTS-style interval sampling.
+    pub sample: bool,
+    /// Measured entries per sampling window.
+    pub sample_detail: u64,
+    /// Detailed warm-up entries preceding each measured region.
+    pub sample_warm: u64,
+    /// Total entries per sampling interval (gap + warm-up + detail).
+    pub sample_interval: u64,
 }
 
 impl Default for HarnessArgs {
@@ -69,6 +92,11 @@ impl Default for HarnessArgs {
             no_trace_cache: false,
             observe: false,
             trace_out: None,
+            no_compile: false,
+            sample: false,
+            sample_detail: SampleParams::default().detail,
+            sample_warm: SampleParams::default().warmup,
+            sample_interval: SampleParams::default().interval,
         }
     }
 }
@@ -89,6 +117,14 @@ pub fn parse_jobs(s: &str) -> Result<usize, String> {
         .map_err(|_| format!("bad --jobs {s:?} (want a non-negative integer)"))
 }
 
+/// Parse a `u64` count for a `--sample-*` flag.  Out-of-range combinations
+/// (zero detail, interval shorter than a window) are normalized by
+/// [`SampleParams::normalized`] rather than rejected.
+pub fn parse_count(s: &str, flag: &str) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|_| format!("bad {flag} {s:?} (want a non-negative integer)"))
+}
+
 /// The standard unknown-argument diagnostic (names the offending flag).
 /// Every binary — bench, `gsd`, `gsc`, `fuzz` — routes rejection through
 /// this so the message shape stays greppable.
@@ -102,6 +138,16 @@ pub fn take_value(args: &mut dyn Iterator<Item = String>, flag: &str) -> Result<
 }
 
 impl HarnessArgs {
+    /// The sampling parameters, if `--sample` (or any `--sample-*`
+    /// override) was given.
+    pub fn sample_params(&self) -> Option<SampleParams> {
+        self.sample.then_some(SampleParams {
+            detail: self.sample_detail,
+            warmup: self.sample_warm,
+            interval: self.sample_interval,
+        })
+    }
+
     /// Parse the process arguments; on error print to stderr and exit(2).
     pub fn parse() -> HarnessArgs {
         HarnessArgs::parse_with(|_, _| Ok(false))
@@ -119,7 +165,9 @@ impl HarnessArgs {
                 eprintln!(
                     "usage: [--scale test|small|paper] [--jobs N] [--json <path>] \
                      [--stable-json <path>] [--no-stream] [--no-fanout] \
-                     [--no-trace-cache] [--observe] [--trace-out <path>]"
+                     [--no-trace-cache] [--observe] [--trace-out <path>] \
+                     [--no-compile] [--sample] [--sample-detail N] \
+                     [--sample-warm N] [--sample-interval N]"
                 );
                 std::process::exit(2);
             }
@@ -154,6 +202,27 @@ impl HarnessArgs {
                 "--no-fanout" => out.no_fanout = true,
                 "--no-trace-cache" => out.no_trace_cache = true,
                 "--observe" => out.observe = true,
+                "--no-compile" => out.no_compile = true,
+                "--sample" => out.sample = true,
+                "--sample-detail" => {
+                    out.sample = true;
+                    out.sample_detail = parse_count(
+                        &take_value(&mut args, "--sample-detail")?,
+                        "--sample-detail",
+                    )?;
+                }
+                "--sample-warm" => {
+                    out.sample = true;
+                    out.sample_warm =
+                        parse_count(&take_value(&mut args, "--sample-warm")?, "--sample-warm")?;
+                }
+                "--sample-interval" => {
+                    out.sample = true;
+                    out.sample_interval = parse_count(
+                        &take_value(&mut args, "--sample-interval")?,
+                        "--sample-interval",
+                    )?;
+                }
                 "--trace-out" => {
                     out.trace_out = Some(PathBuf::from(take_value(&mut args, "--trace-out")?))
                 }
@@ -268,6 +337,52 @@ mod tests {
             Some(std::path::Path::new("s.json"))
         );
         assert!(parse(&["--stable-json"])
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn no_compile_flag() {
+        assert!(!parse(&[]).unwrap().no_compile);
+        assert!(parse(&["--no-compile"]).unwrap().no_compile);
+    }
+
+    #[test]
+    fn sample_flags() {
+        let d = parse(&[]).unwrap();
+        assert!(!d.sample);
+        assert_eq!(d.sample_params(), None);
+        // Bare --sample uses the library defaults.
+        let a = parse(&["--sample"]).unwrap();
+        assert_eq!(a.sample_params(), Some(SampleParams::default()));
+        // Each override implies --sample and sets its field.
+        let a = parse(&["--sample-detail", "64"]).unwrap();
+        assert_eq!(a.sample_params().unwrap().detail, 64);
+        let a = parse(&["--sample-warm", "0"]).unwrap();
+        assert_eq!(a.sample_params().unwrap().warmup, 0);
+        let a = parse(&[
+            "--sample",
+            "--sample-detail",
+            "100",
+            "--sample-warm",
+            "50",
+            "--sample-interval",
+            "1000",
+        ])
+        .unwrap();
+        assert_eq!(
+            a.sample_params(),
+            Some(SampleParams {
+                detail: 100,
+                warmup: 50,
+                interval: 1000,
+            })
+        );
+        // Bad values are clean errors naming the flag.
+        assert!(parse(&["--sample-detail", "x"])
+            .unwrap_err()
+            .contains("--sample-detail"));
+        assert!(parse(&["--sample-interval"])
             .unwrap_err()
             .contains("needs a value"));
     }

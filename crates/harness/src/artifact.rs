@@ -46,6 +46,25 @@ fn cell_stable(c: &CellResult) -> Vec<(&'static str, Json)> {
         fields.push(("report", codec::report_to_json(report)));
     }
     fields.push(("stats", codec::stats_to_json(&c.stats)));
+    if let Some(s) = &c.sampling {
+        // Only present on `--sample` runs: exact runs carry no sampling
+        // fields at all, so their stable payloads stay byte-identical to
+        // every pre-sampling artifact.
+        fields.push((
+            "sampling",
+            Json::obj(vec![
+                ("windows", Json::U64(s.windows)),
+                ("detail", Json::U64(s.detail)),
+                ("warmup", Json::U64(s.warmup)),
+                ("interval", Json::U64(s.interval)),
+                ("measured_entries", Json::U64(s.measured_entries)),
+                ("total_entries", Json::U64(s.total_entries)),
+                ("ipc_mean", Json::F64(s.ipc_mean)),
+                ("ipc_ci95", Json::F64(s.ipc_ci95)),
+                ("est_cycles", Json::U64(s.est_cycles)),
+            ]),
+        ));
+    }
     if let Some(acct) = &c.accounting {
         fields.push((
             "cycle_buckets",

@@ -19,7 +19,7 @@ use guardspec_core::{Decision, TransformReport};
 use guardspec_interp::profile::BranchProfile;
 use guardspec_interp::{BitVec, Profile};
 use guardspec_ir::{BlockId, FuncId, InsnRef};
-use guardspec_sim::{CycleAccounting, CycleBucket, SimStats, SiteCounters};
+use guardspec_sim::{CycleAccounting, CycleBucket, SampleSummary, SimStats, SiteCounters};
 
 /// One branch decision of the Figure-6 driver, in cache/artifact form.
 ///
@@ -273,6 +273,52 @@ pub fn accounting_from_json(j: &Json) -> Result<CycleAccounting, String> {
         ));
     }
     Ok(CycleAccounting::from_parts(buckets, num_sites, nonzero))
+}
+
+/// Sampled-run estimate as JSON.  The float fields (mean IPC and its CI
+/// half-width) are stored as `f64` **bit patterns** so the cache
+/// round-trip is exact: a warm hit reproduces the cold run's stable
+/// artifact byte-for-byte.
+pub fn sample_to_json(s: &SampleSummary) -> Json {
+    Json::obj(vec![
+        ("windows", Json::U64(s.windows)),
+        ("detail", Json::U64(s.detail)),
+        ("warmup", Json::U64(s.warmup)),
+        ("interval", Json::U64(s.interval)),
+        ("measured_entries", Json::U64(s.measured_entries)),
+        ("total_entries", Json::U64(s.total_entries)),
+        (
+            "ipc_mean_bits",
+            Json::str(format!("{:016x}", s.ipc_mean.to_bits())),
+        ),
+        (
+            "ipc_ci95_bits",
+            Json::str(format!("{:016x}", s.ipc_ci95.to_bits())),
+        ),
+        ("est_cycles", Json::U64(s.est_cycles)),
+    ])
+}
+
+fn get_f64_bits(j: &Json, key: &str) -> Result<f64, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .map(f64::from_bits)
+        .ok_or_else(|| format!("missing/invalid field {key}"))
+}
+
+pub fn sample_from_json(j: &Json) -> Result<SampleSummary, String> {
+    Ok(SampleSummary {
+        windows: get_u64(j, "windows")?,
+        detail: get_u64(j, "detail")?,
+        warmup: get_u64(j, "warmup")?,
+        interval: get_u64(j, "interval")?,
+        measured_entries: get_u64(j, "measured_entries")?,
+        total_entries: get_u64(j, "total_entries")?,
+        ipc_mean: get_f64_bits(j, "ipc_mean_bits")?,
+        ipc_ci95: get_f64_bits(j, "ipc_ci95_bits")?,
+        est_cycles: get_u64(j, "est_cycles")?,
+    })
 }
 
 /// Hex encoding for the binary IR form embedded in transform cache entries
@@ -586,6 +632,29 @@ mod tests {
         assert!(accounting_from_json(&parse("{}").unwrap()).is_err());
         let missing_bucket = "{\"buckets\":{\"useful_commit\":1},\"num_sites\":0,\"sites\":[]}";
         assert!(accounting_from_json(&parse(missing_bucket).unwrap()).is_err());
+    }
+
+    #[test]
+    fn sample_summary_roundtrip_is_bit_exact() {
+        let s = SampleSummary {
+            windows: 17,
+            detail: 1000,
+            warmup: 500,
+            interval: 20_000,
+            measured_entries: 17_000,
+            total_entries: 345_678,
+            ipc_mean: 1.234_567_890_123_456_7,
+            ipc_ci95: 0.037_000_000_000_000_004,
+            est_cycles: 280_123,
+        };
+        let text = sample_to_json(&s).to_compact();
+        let back = sample_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.ipc_mean.to_bits(), s.ipc_mean.to_bits());
+        assert_eq!(back.ipc_ci95.to_bits(), s.ipc_ci95.to_bits());
+        // Canonical re-encode (warm artifacts must match cold ones).
+        assert_eq!(sample_to_json(&back).to_compact(), text);
+        assert!(sample_from_json(&parse("{}").unwrap()).is_err());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use crate::hash::StableHasher;
 use guardspec_core::DriverOptions;
 use guardspec_predict::Scheme;
-use guardspec_sim::MachineConfig;
+use guardspec_sim::{MachineConfig, SampleParams};
 use guardspec_workloads::Scale;
 
 /// Stable textual tag for a scale (also the `--scale` argument spelling).
@@ -95,6 +95,19 @@ pub fn describe_config(c: &MachineConfig) -> String {
     )
 }
 
+/// Canonical `name=value` listing of every [`SampleParams`] field.  Only
+/// appended to simulation keys when sampling is on: an unsampled run's key
+/// is unchanged, and the **engine choice is deliberately not keyed** — the
+/// compiled and interpreted pipelines are contractually byte-identical in
+/// exact mode (the differential fuzz oracle enforces it), so their results
+/// are interchangeable cache entries.
+pub fn describe_sample(p: &SampleParams) -> String {
+    format!(
+        "detail={};warmup={};interval={}",
+        p.detail, p.warmup, p.interval
+    )
+}
+
 fn stage_key(stage: &str, program_text: &str, scale: Scale, extras: &[&str]) -> String {
     let mut h = StableHasher::new();
     h.write_str(stage);
@@ -150,6 +163,49 @@ pub fn obs_sim_key(
     )
 }
 
+/// Key for a *sampled* simulation ({stats, sampling} payload).  The sample
+/// parameters ride in the extras so every distinct sampling configuration
+/// gets its own entry, and the stage tag differs from [`sim_key`] so a
+/// sampled payload can never alias an exact one.
+pub fn sampled_sim_key(
+    program_text: &str,
+    scale: Scale,
+    scheme: Scheme,
+    cfg: &MachineConfig,
+    sample: &SampleParams,
+) -> String {
+    stage_key(
+        "smpsim",
+        program_text,
+        scale,
+        &[
+            &format!("{scheme:?}"),
+            &describe_config(cfg),
+            &describe_sample(sample),
+        ],
+    )
+}
+
+/// Key for a sampled *observed* simulation ({stats, accounting, sampling}).
+pub fn sampled_obs_sim_key(
+    program_text: &str,
+    scale: Scale,
+    scheme: Scheme,
+    cfg: &MachineConfig,
+    sample: &SampleParams,
+) -> String {
+    stage_key(
+        "smpobsim",
+        program_text,
+        scale,
+        &[
+            &format!("{scheme:?}"),
+            &describe_config(cfg),
+            &describe_sample(sample),
+        ],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +250,54 @@ mod tests {
             obs_sim_key("prog", Scale::Test, Scheme::TwoBit, &cfg),
             obs_sim_key("prog", Scale::Test, Scheme::Perfect, &cfg)
         );
+    }
+
+    #[test]
+    fn sampled_keys_are_distinct_and_parameter_sensitive() {
+        let cfg = MachineConfig::r10000();
+        let base = SampleParams::default();
+        let smp = sampled_sim_key("prog", Scale::Test, Scheme::TwoBit, &cfg, &base);
+        let osmp = sampled_obs_sim_key("prog", Scale::Test, Scheme::TwoBit, &cfg, &base);
+        assert_ne!(
+            smp,
+            sim_key("prog", Scale::Test, Scheme::TwoBit, &cfg),
+            "sampled and exact sim keys must not alias"
+        );
+        assert_ne!(
+            osmp,
+            obs_sim_key("prog", Scale::Test, Scheme::TwoBit, &cfg),
+            "sampled and exact observed keys must not alias"
+        );
+        assert_ne!(smp, osmp);
+        // Every SampleParams field is key-relevant.
+        for (i, p) in [
+            SampleParams {
+                detail: base.detail + 1,
+                ..base
+            },
+            SampleParams {
+                warmup: base.warmup + 1,
+                ..base
+            },
+            SampleParams {
+                interval: base.interval + 1,
+                ..base
+            },
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_ne!(
+                smp,
+                sampled_sim_key("prog", Scale::Test, Scheme::TwoBit, &cfg, p),
+                "sample field {i} not keyed"
+            );
+            assert_ne!(
+                osmp,
+                sampled_obs_sim_key("prog", Scale::Test, Scheme::TwoBit, &cfg, p),
+                "sample field {i} not keyed (observed)"
+            );
+        }
     }
 
     #[test]

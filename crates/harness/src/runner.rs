@@ -45,9 +45,11 @@ use crate::trace_out::{Span, SpanRecorder};
 use guardspec_interp::{tracefile, ChunkRecorder, Interp, Profile, SharedTrace};
 use guardspec_predict::Scheme;
 use guardspec_sim::{
-    prepare_program, simulate_program_streamed_observed_in, simulate_shared_in,
-    simulate_shared_observed_in, simulate_trace_observed_in, CycleAccounting, MachineConfig,
-    PreparedSim, SimContext, SimObserver, SimStats,
+    prepare_program, simulate_compiled_shared_in, simulate_compiled_shared_observed_in,
+    simulate_compiled_trace_observed_in, simulate_program_compiled_streamed_observed_in,
+    simulate_program_streamed_observed_in, simulate_sampled_observed_in, simulate_shared_in,
+    simulate_shared_observed_in, simulate_trace_observed_in, CompiledProgram, CycleAccounting,
+    MachineConfig, PreparedSim, SampleParams, SampleSummary, SimContext, SimObserver, SimStats,
 };
 use guardspec_workloads::Scale;
 use std::cell::RefCell;
@@ -89,6 +91,17 @@ pub struct RunOptions {
     /// Record per-stage [`Span`]s for the Chrome trace export
     /// (`--trace-out`).
     pub trace_spans: bool,
+    /// Simulate through the compiled block-descriptor engine (the default).
+    /// `false` restores the per-entry interpreted dispatch loop.  Exact-mode
+    /// results are **byte-identical** either way, so this knob is
+    /// deliberately *not* part of any cache key — both engines read and
+    /// write the same entries.
+    pub compile: bool,
+    /// SMARTS-style interval sampling parameters; `None` (the default) runs
+    /// every cell exactly.  Sampling forces the compiled engine and the
+    /// fan-out pipeline, and switches the sim cache entries to a
+    /// `{stats, sampling}` payload under sampling-aware keys.
+    pub sample: Option<SampleParams>,
 }
 
 impl Default for RunOptions {
@@ -102,6 +115,8 @@ impl Default for RunOptions {
             trace_blob_cap: 256 * 1024 * 1024,
             observe: false,
             trace_spans: false,
+            compile: true,
+            sample: None,
         }
     }
 }
@@ -154,6 +169,8 @@ pub struct CellResult {
     /// runs only).  Always satisfies `CycleAccounting::check` against
     /// `stats`.
     pub accounting: Option<CycleAccounting>,
+    /// Sampled-run estimate ([`RunOptions::sample`] runs only).
+    pub sampling: Option<SampleSummary>,
 }
 
 /// Everything a binary needs to print its table and emit its artifact.
@@ -200,6 +217,9 @@ impl ExperimentResult {
 struct TraceData {
     prep: PreparedSim,
     trace: SharedTrace,
+    /// Decoded-uop block descriptors ([`RunOptions::compile`] runs only) —
+    /// built once per distinct program, shared by every dependent cell.
+    comp: Option<Arc<CompiledProgram>>,
 }
 
 struct TraceSlot {
@@ -227,6 +247,7 @@ struct SimSlot {
     trace_timing: Option<StageTiming>,
     stats: SimStats,
     accounting: Option<CycleAccounting>,
+    sampling: Option<SampleSummary>,
 }
 
 /// Execute a spec.  Panics (after cancelling outstanding jobs) if any
@@ -259,6 +280,11 @@ pub fn run_experiment_shared(
     let jobs_n = opts.effective_jobs();
     let use_trace_cache = opts.trace_cache && cache.is_enabled();
     let observe = opts.observe;
+    // Sampling needs the compiled engine (functional warming walks the uop
+    // descriptors) and a materialized shared trace, so it forces both.
+    let sample = opts.sample.as_ref().map(|p| p.normalized());
+    let compile = opts.compile || sample.is_some();
+    let fanout = opts.fanout || sample.is_some();
     let interps = Arc::new(AtomicU64::new(0));
     let metrics = Arc::new(MetricsRegistry::new());
     let recorder = Arc::new(SpanRecorder::new(opts.trace_spans));
@@ -286,7 +312,7 @@ pub fn run_experiment_shared(
     // interpreter pass (or loaded from the trace cache).
     let mut profile_jobs = Vec::with_capacity(spec.workloads.len());
     for (wi, w) in spec.workloads.iter().enumerate() {
-        let wants_trace = opts.fanout
+        let wants_trace = fanout
             && spec
                 .cells
                 .iter()
@@ -294,6 +320,7 @@ pub fn run_experiment_shared(
         let slots = profile_slots.clone();
         let cache = cache.clone();
         let interps = interps.clone();
+        let metrics = metrics.clone();
         let recorder = recorder.clone();
         let text = texts[wi].clone();
         let program = w.program.clone();
@@ -306,7 +333,7 @@ pub fn run_experiment_shared(
             let exp_digest = expected_digest(&expected);
             let cached_profile = load_profile(&cache, &pkey);
             let cached_trace = (wants_trace && use_trace_cache)
-                .then(|| load_trace(&cache, &tkey, &program, exp_digest))
+                .then(|| load_trace(&cache, &tkey, &program, exp_digest, compile, &metrics))
                 .flatten();
             let profile_cached = cached_profile.is_some();
             let trace_cached = cached_trace.is_some();
@@ -347,7 +374,8 @@ pub fn run_experiment_shared(
                             &tracefile::encode(prep.layout(), trace.iter(), exp_digest),
                         );
                     }
-                    Some(Arc::new(TraceData { prep, trace }))
+                    let comp = build_compiled(&program, compile, &metrics);
+                    Some(Arc::new(TraceData { prep, trace, comp }))
                 } else {
                     cached_trace
                 };
@@ -461,12 +489,13 @@ pub fn run_experiment_shared(
         };
         transform_jobs.insert(dedupe, (tf_id, next_slot));
         cell_transform[ci] = Some((tf_id, next_slot));
-        if opts.fanout {
+        if fanout {
             // Stage 2.5: trace the transformed program exactly once.
             let slots = trace_slots.clone();
             let transforms = transform_slots.clone();
             let cache = cache.clone();
             let interps = interps.clone();
+            let metrics = metrics.clone();
             let recorder = recorder.clone();
             let expected = spec.workloads[wi].expected.clone();
             let wname = spec.workloads[wi].name;
@@ -478,7 +507,7 @@ pub fn run_experiment_shared(
                 let tkey = key::trace_key(&t.text, scale);
                 let exp_digest = expected_digest(&expected);
                 let cached_trace = use_trace_cache
-                    .then(|| load_trace(&cache, &tkey, &t.program, exp_digest))
+                    .then(|| load_trace(&cache, &tkey, &t.program, exp_digest, compile, &metrics))
                     .flatten();
                 let cached = cached_trace.is_some();
                 let data = match cached_trace {
@@ -498,7 +527,8 @@ pub fn run_experiment_shared(
                                 &tracefile::encode(prep.layout(), trace.iter(), exp_digest),
                             );
                         }
-                        Arc::new(TraceData { prep, trace })
+                        let comp = build_compiled(&t.program, compile, &metrics);
+                        Arc::new(TraceData { prep, trace, comp })
                     }
                 };
                 recorder.record(
@@ -530,7 +560,7 @@ pub fn run_experiment_shared(
         let scheme = cell.scheme;
         let cfg = cell.cfg.clone();
         let tslot = cell_transform[ci];
-        if opts.fanout {
+        if fanout {
             // Fan-out: consume the program's shared trace; interpretation
             // and golden verification already happened in its trace stage.
             let deps = match tslot {
@@ -556,22 +586,94 @@ pub fn run_experiment_shared(
                             (base_text, tr.data.clone(), tr.timing)
                         }
                     };
-                let (stats, accounting, cached) = if observe {
+                let (stats, accounting, sampling, cached) = if let Some(p) = sample {
+                    let comp = data
+                        .comp
+                        .as_ref()
+                        .expect("sampling forces compiled descriptors");
+                    if observe {
+                        let okey = key::sampled_obs_sim_key(&text, scale, scheme, &cfg, &p);
+                        match load_observed_sampled(&cache, &okey) {
+                            Some((s, a, smp)) => (s, Some(a), Some(smp), true),
+                            None => {
+                                let mut acct = CycleAccounting::new();
+                                let (stats, smp) = SIM_CTX
+                                    .with(|ctx| {
+                                        simulate_sampled_observed_in(
+                                            &mut ctx.borrow_mut(),
+                                            comp,
+                                            &data.trace,
+                                            scheme,
+                                            &cfg,
+                                            p,
+                                            &mut acct,
+                                        )
+                                    })
+                                    .unwrap_or_else(|e| {
+                                        panic!("{wname}/{label}: simulate failed: {e}")
+                                    });
+                                acct.check(&stats);
+                                cache.put(
+                                    &okey,
+                                    &observed_sampled_to_json(&stats, &acct, &smp).to_compact(),
+                                );
+                                let skey = key::sampled_sim_key(&text, scale, scheme, &cfg, &p);
+                                cache.put(&skey, &sampled_to_json(&stats, &smp).to_compact());
+                                (stats, Some(acct), Some(smp), false)
+                            }
+                        }
+                    } else {
+                        let skey = key::sampled_sim_key(&text, scale, scheme, &cfg, &p);
+                        match load_sampled(&cache, &skey) {
+                            Some((s, smp)) => (s, None, Some(smp), true),
+                            None => {
+                                let (stats, smp) = SIM_CTX
+                                    .with(|ctx| {
+                                        simulate_sampled_observed_in(
+                                            &mut ctx.borrow_mut(),
+                                            comp,
+                                            &data.trace,
+                                            scheme,
+                                            &cfg,
+                                            p,
+                                            &mut (),
+                                        )
+                                    })
+                                    .unwrap_or_else(|e| {
+                                        panic!("{wname}/{label}: simulate failed: {e}")
+                                    });
+                                cache.put(&skey, &sampled_to_json(&stats, &smp).to_compact());
+                                (stats, None, Some(smp), false)
+                            }
+                        }
+                    }
+                } else if observe {
                     let okey = key::obs_sim_key(&text, scale, scheme, &cfg);
                     match load_observed(&cache, &okey) {
-                        Some((s, a)) => (s, Some(a), true),
+                        Some((s, a)) => (s, Some(a), None, true),
                         None => {
                             let mut acct = CycleAccounting::new();
                             let stats = SIM_CTX
                                 .with(|ctx| {
-                                    simulate_shared_observed_in(
-                                        &mut ctx.borrow_mut(),
-                                        &data.prep,
-                                        &data.trace,
-                                        scheme,
-                                        &cfg,
-                                        &mut acct,
-                                    )
+                                    let ctx = &mut ctx.borrow_mut();
+                                    match &data.comp {
+                                        Some(comp) => simulate_compiled_shared_observed_in(
+                                            ctx,
+                                            comp,
+                                            &data.trace,
+                                            scheme,
+                                            &cfg,
+                                            &mut acct,
+                                        ),
+                                        None => simulate_shared_observed_in(
+                                            ctx,
+                                            &data.prep,
+                                            &data.trace,
+                                            scheme,
+                                            &cfg,
+                                            &mut acct,
+                                        ),
+                                    }
                                 })
                                 .unwrap_or_else(|e| {
                                     panic!("{wname}/{label}: simulate failed: {e}")
@@ -582,29 +684,39 @@ pub fn run_experiment_shared(
                             // leaves later unobserved runs warm.
                             let skey = key::sim_key(&text, scale, scheme, &cfg);
                             cache.put(&skey, &codec::stats_to_json(&stats).to_compact());
-                            (stats, Some(acct), false)
+                            (stats, Some(acct), None, false)
                         }
                     }
                 } else {
                     let key = key::sim_key(&text, scale, scheme, &cfg);
                     match load_stats(&cache, &key) {
-                        Some(s) => (s, None, true),
+                        Some(s) => (s, None, None, true),
                         None => {
                             let stats = SIM_CTX
                                 .with(|ctx| {
-                                    simulate_shared_in(
-                                        &mut ctx.borrow_mut(),
-                                        &data.prep,
-                                        &data.trace,
-                                        scheme,
-                                        &cfg,
-                                    )
+                                    let ctx = &mut ctx.borrow_mut();
+                                    match &data.comp {
+                                        Some(comp) => simulate_compiled_shared_in(
+                                            ctx,
+                                            comp,
+                                            &data.trace,
+                                            scheme,
+                                            &cfg,
+                                        ),
+                                        None => simulate_shared_in(
+                                            ctx,
+                                            &data.prep,
+                                            &data.trace,
+                                            scheme,
+                                            &cfg,
+                                        ),
+                                    }
                                 })
                                 .unwrap_or_else(|e| {
                                     panic!("{wname}/{label}: simulate failed: {e}")
                                 });
                             cache.put(&key, &codec::stats_to_json(&stats).to_compact());
-                            (stats, None, false)
+                            (stats, None, None, false)
                         }
                     }
                 };
@@ -622,6 +734,7 @@ pub fn run_experiment_shared(
                     trace_timing: Some(trace_timing),
                     stats,
                     accounting,
+                    sampling,
                 });
             });
         } else {
@@ -633,6 +746,7 @@ pub fn run_experiment_shared(
             };
             let transforms = transform_slots.clone();
             let interps = interps.clone();
+            let metrics = metrics.clone();
             let recorder = recorder.clone();
             let base_program = spec.workloads[wi].program.clone();
             let expected = spec.workloads[wi].expected.clone();
@@ -652,11 +766,13 @@ pub fn run_experiment_shared(
                         Some((s, a)) => (s, Some(a), true),
                         None => {
                             interps.fetch_add(1, Ordering::Relaxed);
+                            let comp = build_compiled(&program, compile, &metrics);
                             let mut acct = CycleAccounting::new();
                             let (stats, exec) = SIM_CTX.with(|ctx| {
                                 simulate_cell_cold(
                                     &mut ctx.borrow_mut(),
                                     &program,
+                                    comp.as_deref(),
                                     scheme,
                                     &cfg,
                                     stream,
@@ -679,10 +795,12 @@ pub fn run_experiment_shared(
                         Some(s) => (s, None, true),
                         None => {
                             interps.fetch_add(1, Ordering::Relaxed);
+                            let comp = build_compiled(&program, compile, &metrics);
                             let (stats, exec) = SIM_CTX.with(|ctx| {
                                 simulate_cell_cold(
                                     &mut ctx.borrow_mut(),
                                     &program,
+                                    comp.as_deref(),
                                     scheme,
                                     &cfg,
                                     stream,
@@ -711,6 +829,7 @@ pub fn run_experiment_shared(
                     trace_timing: None,
                     stats,
                     accounting,
+                    sampling: None,
                 });
             });
         }
@@ -755,6 +874,7 @@ pub fn run_experiment_shared(
                 trace_timing: sim.trace_timing,
                 sim_timing: sim.timing,
                 accounting: sim.accounting.clone(),
+                sampling: sim.sampling.clone(),
             }
         })
         .collect();
@@ -784,11 +904,14 @@ pub fn run_experiment_shared(
 
 /// The uncached no-fanout simulation: interpret (streamed or materialized)
 /// and simulate under `obs`.  `&mut ()` is the uninstrumented fast path —
-/// the disabled observer folds every hook to dead code.
+/// the disabled observer folds every hook to dead code.  `comp` selects the
+/// compiled block-descriptor engine; `None` runs the historical
+/// interpreted dispatch loop (results byte-identical either way).
 #[allow(clippy::too_many_arguments)]
 fn simulate_cell_cold<O: SimObserver>(
     ctx: &mut SimContext,
     program: &guardspec_ir::Program,
+    comp: Option<&CompiledProgram>,
     scheme: Scheme,
     cfg: &MachineConfig,
     stream: bool,
@@ -797,15 +920,41 @@ fn simulate_cell_cold<O: SimObserver>(
     obs: &mut O,
 ) -> (SimStats, guardspec_interp::ExecResult) {
     if stream {
-        simulate_program_streamed_observed_in(ctx, program, scheme, cfg, obs)
-            .unwrap_or_else(|e| panic!("{wname}/{label}: simulate failed: {e}"))
+        match comp {
+            Some(c) => {
+                simulate_program_compiled_streamed_observed_in(ctx, program, c, scheme, cfg, obs)
+            }
+            None => simulate_program_streamed_observed_in(ctx, program, scheme, cfg, obs),
+        }
+        .unwrap_or_else(|e| panic!("{wname}/{label}: simulate failed: {e}"))
     } else {
         let (layout, trace, exec) = guardspec_interp::trace::trace_program(program)
             .unwrap_or_else(|e| panic!("{wname}/{label}: trace failed: {e}"));
-        let stats = simulate_trace_observed_in(ctx, program, &layout, &trace, scheme, cfg, obs)
-            .unwrap_or_else(|e| panic!("{wname}/{label}: simulate failed: {e}"));
+        let stats = match comp {
+            Some(c) => simulate_compiled_trace_observed_in(ctx, c, &trace, scheme, cfg, obs),
+            None => simulate_trace_observed_in(ctx, program, &layout, &trace, scheme, cfg, obs),
+        }
+        .unwrap_or_else(|e| panic!("{wname}/{label}: simulate failed: {e}"));
         (stats, exec)
     }
+}
+
+/// Build the decoded-uop descriptors for a compiled run, recording the
+/// build time as the `sim.block_build_us` run metric: warm trace-cache
+/// hits skip interpretation entirely but still pay this (small) decode
+/// cost, so it is accounted separately from the sim stage proper.
+fn build_compiled(
+    program: &guardspec_ir::Program,
+    compile: bool,
+    metrics: &MetricsRegistry,
+) -> Option<Arc<CompiledProgram>> {
+    if !compile {
+        return None;
+    }
+    let t0 = Instant::now();
+    let comp = Arc::new(CompiledProgram::build(program));
+    metrics.add("sim.block_build_us", t0.elapsed().as_micros() as u64);
+    Some(comp)
 }
 
 fn ms_since(t0: Instant) -> f64 {
@@ -859,6 +1008,8 @@ fn load_trace(
     key: &str,
     program: &guardspec_ir::Program,
     want_digest: u64,
+    compile: bool,
+    metrics: &MetricsRegistry,
 ) -> Option<Arc<TraceData>> {
     let bytes = cache.get_bytes(key)?;
     let prep = prepare_program(program);
@@ -873,7 +1024,10 @@ fn load_trace(
         Ok(d.trace)
     };
     match check() {
-        Ok(trace) => Some(Arc::new(TraceData { prep, trace })),
+        Ok(trace) => {
+            let comp = build_compiled(program, compile, metrics);
+            Some(Arc::new(TraceData { prep, trace, comp }))
+        }
         Err(e) => {
             eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
             None
@@ -927,6 +1081,73 @@ fn observed_to_json(stats: &SimStats, acct: &CycleAccounting) -> crate::json::Js
         ("stats", codec::stats_to_json(stats)),
         ("accounting", codec::accounting_to_json(acct)),
     ])
+}
+
+fn sampled_to_json(stats: &SimStats, smp: &SampleSummary) -> crate::json::Json {
+    crate::json::Json::obj(vec![
+        ("stats", codec::stats_to_json(stats)),
+        ("sampling", codec::sample_to_json(smp)),
+    ])
+}
+
+fn observed_sampled_to_json(
+    stats: &SimStats,
+    acct: &CycleAccounting,
+    smp: &SampleSummary,
+) -> crate::json::Json {
+    crate::json::Json::obj(vec![
+        ("stats", codec::stats_to_json(stats)),
+        ("accounting", codec::accounting_to_json(acct)),
+        ("sampling", codec::sample_to_json(smp)),
+    ])
+}
+
+/// Load a cached sampled-simulation entry ({stats, sampling}).
+fn load_sampled(cache: &DiskCache, key: &str) -> Option<(SimStats, SampleSummary)> {
+    let text = cache.get(key)?;
+    let decode = || -> Result<_, String> {
+        let j = crate::json::parse(&text)?;
+        let stats = codec::stats_from_json(j.get("stats").ok_or("no stats")?)?;
+        let smp = codec::sample_from_json(j.get("sampling").ok_or("no sampling")?)?;
+        Ok((stats, smp))
+    };
+    match decode() {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            None
+        }
+    }
+}
+
+/// Load a cached sampled+observed entry; the bucket-sum invariant is
+/// re-checked against the aggregate window stats on load.
+fn load_observed_sampled(
+    cache: &DiskCache,
+    key: &str,
+) -> Option<(SimStats, CycleAccounting, SampleSummary)> {
+    let text = cache.get(key)?;
+    let decode = || -> Result<_, String> {
+        let j = crate::json::parse(&text)?;
+        let stats = codec::stats_from_json(j.get("stats").ok_or("no stats")?)?;
+        let acct = codec::accounting_from_json(j.get("accounting").ok_or("no accounting")?)?;
+        if acct.bucket_sum() != stats.cycles {
+            return Err(format!(
+                "bucket sum {} != cycles {}",
+                acct.bucket_sum(),
+                stats.cycles
+            ));
+        }
+        let smp = codec::sample_from_json(j.get("sampling").ok_or("no sampling")?)?;
+        Ok((stats, acct, smp))
+    };
+    match decode() {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            None
+        }
+    }
 }
 
 /// Load a cached observed-simulation entry (stats + cycle accounting).

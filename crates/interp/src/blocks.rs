@@ -1,0 +1,154 @@
+//! Block-granular view of a dynamic trace.
+//!
+//! The compiled simulator ([`guardspec-sim`]'s decoded-uop cache) executes
+//! per-basic-block descriptors rather than per-instruction dispatch.  This
+//! module supplies the trace-side half of that contract: a cursor that
+//! groups a retired-instruction trace into **maximal runs of consecutive
+//! static sites inside one basic block**.  Within a run there is no
+//! control transfer (ids advance by exactly one and stay inside the
+//! block), so a consumer can process the whole run against one block
+//! descriptor without re-deciding which block it is in per entry.
+//!
+//! [`guardspec-sim`]: ../guardspec_sim/index.html
+
+use crate::layout::StaticLayout;
+use crate::trace::TraceEntry;
+
+/// A maximal run of trace entries with consecutive site ids inside one
+/// static block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockRun {
+    /// Dense block index, in layout order (function, then block).
+    pub block: u32,
+    /// Trace offset of the first entry of the run.
+    pub start: usize,
+    /// Number of entries in the run (always ≥ 1).
+    pub len: usize,
+}
+
+/// Dense site-id → block-index table derived from the layout's spans.
+pub fn block_of_table(layout: &StaticLayout) -> Vec<u32> {
+    let mut table = vec![0u32; layout.num_sites()];
+    for (bi, (first, len)) in layout.block_spans().into_iter().enumerate() {
+        for id in first..first + len {
+            table[id as usize] = bi as u32;
+        }
+    }
+    table
+}
+
+/// Iterator yielding maximal [`BlockRun`]s over a materialized trace.
+///
+/// The runs partition the trace exactly: concatenating them in order
+/// reproduces every entry once.
+pub struct BlockCursor<'a> {
+    trace: &'a [TraceEntry],
+    block_of: Vec<u32>,
+    pos: usize,
+}
+
+impl<'a> BlockCursor<'a> {
+    pub fn new(layout: &StaticLayout, trace: &'a [TraceEntry]) -> BlockCursor<'a> {
+        BlockCursor {
+            trace,
+            block_of: block_of_table(layout),
+            pos: 0,
+        }
+    }
+}
+
+impl Iterator for BlockCursor<'_> {
+    type Item = BlockRun;
+
+    fn next(&mut self) -> Option<BlockRun> {
+        let first = *self.trace.get(self.pos)?;
+        let block = self.block_of[first.id as usize];
+        let start = self.pos;
+        let mut len = 1usize;
+        while let Some(e) = self.trace.get(start + len) {
+            if e.id != first.id + len as u32 || self.block_of[e.id as usize] != block {
+                break;
+            }
+            len += 1;
+        }
+        self.pos = start + len;
+        Some(BlockRun { block, start, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::trace_program;
+    use guardspec_ir::builder::*;
+    use guardspec_ir::reg::r;
+
+    fn loop_prog(n: i64) -> guardspec_ir::Program {
+        let mut fb = FuncBuilder::new("loop");
+        fb.block("e");
+        fb.li(r(1), n);
+        fb.block("body");
+        fb.subi(r(1), r(1), 1);
+        fb.bgtz(r(1), "body");
+        fb.block("done");
+        fb.halt();
+        single_func_program(fb)
+    }
+
+    #[test]
+    fn spans_cover_all_sites_exactly_once() {
+        let prog = loop_prog(3);
+        let layout = StaticLayout::build(&prog);
+        let spans = layout.block_spans();
+        let total: u32 = spans.iter().map(|(_, l)| l).sum();
+        assert_eq!(total as usize, layout.num_sites());
+        let mut next = 0u32;
+        for (first, len) in spans {
+            assert_eq!(first, next);
+            next = first + len;
+        }
+    }
+
+    #[test]
+    fn runs_partition_the_trace() {
+        let prog = loop_prog(10);
+        let (layout, trace, _) = trace_program(&prog).expect("runs");
+        let runs: Vec<BlockRun> = BlockCursor::new(&layout, &trace).collect();
+        // Partition: contiguous, covering, nonempty.
+        let mut pos = 0usize;
+        for run in &runs {
+            assert_eq!(run.start, pos);
+            assert!(run.len >= 1);
+            pos += run.len;
+        }
+        assert_eq!(pos, trace.len());
+        // Each run stays in one block with consecutive ids.
+        let block_of = block_of_table(&layout);
+        for run in &runs {
+            for k in 0..run.len {
+                let e = trace[run.start + k];
+                assert_eq!(e.id, trace[run.start].id + k as u32);
+                assert_eq!(block_of[e.id as usize], run.block);
+            }
+        }
+        // The loop body is a 2-instruction block executed 10 times; it must
+        // appear as maximal 2-entry runs, not split per instruction.
+        assert!(runs.iter().filter(|r| r.len == 2).count() >= 10);
+    }
+
+    #[test]
+    fn runs_are_maximal() {
+        let prog = loop_prog(5);
+        let (layout, trace, _) = trace_program(&prog).expect("runs");
+        let block_of = block_of_table(&layout);
+        let runs: Vec<BlockRun> = BlockCursor::new(&layout, &trace).collect();
+        for w in runs.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let last = trace[a.start + a.len - 1];
+            let next = trace[b.start];
+            // If the next entry continued the id run inside the same block,
+            // the cursor should have merged it.
+            assert!(next.id != last.id + 1 || block_of[next.id as usize] != a.block);
+        }
+    }
+}

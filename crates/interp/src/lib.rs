@@ -9,6 +9,9 @@
 //!   traces are collected),
 //! * [`layout`] — dense numbering of static instruction sites and their
 //!   pseudo-PCs (what the 512-entry branch-history table indexes),
+//! * [`blocks`] — a block-granular cursor over recorded traces (maximal
+//!   consecutive-site runs), the trace-side half of the compiled
+//!   simulator's decoded-uop cache,
 //! * [`bitvec`] — compact branch-outcome bit vectors ("the previous branch
 //!   outcomes are recorded using bit vectors", Section 5),
 //! * [`profile`] — the profiler observer: per-branch outcome vectors, edge
@@ -23,6 +26,7 @@
 //!   persistent form behind the harness trace cache.
 
 pub mod bitvec;
+pub mod blocks;
 pub mod exec;
 pub mod layout;
 pub mod machine;
@@ -32,6 +36,7 @@ pub mod trace;
 pub mod tracefile;
 
 pub use bitvec::BitVec;
+pub use blocks::{block_of_table, BlockCursor, BlockRun};
 pub use exec::{run, ExecError, ExecResult, ExecSummary, Interp, Observer, RetireEvent};
 pub use layout::StaticLayout;
 pub use machine::Machine;

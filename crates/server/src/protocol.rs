@@ -9,6 +9,7 @@
 //!   "scale": "test",
 //!   "client": "gsc",
 //!   "observe": false,
+//!   "sample": {"detail": 1000, "warmup": 1000, "interval": 20000},
 //!   "workloads": [
 //!     {"builtin": "compress"},
 //!     {"name": "mine", "program": "<textual assembly>"},
@@ -30,8 +31,9 @@
 //! Two request hashes matter:
 //!
 //! * [`request_key`] — the in-flight dedup identity: a stable hash over the
-//!   *resolved* request description (name, scale, observe, every workload's
-//!   program source, every cell's scheme/options/config).  Two concurrent
+//!   *resolved* request description (name, scale, observe, sampling
+//!   parameters, every workload's program source, every cell's
+//!   scheme/options/config).  Two concurrent
 //!   clients posting semantically identical requests (whatever their JSON
 //!   field order) produce one simulation job.
 //! * [`cell_shard_hash`] — the sharding identity of one cell, computable by
@@ -46,7 +48,7 @@ use guardspec_harness::key::scale_tag;
 use guardspec_harness::{codec, Json};
 use guardspec_harness::{CellSpec, ExperimentSpec};
 use guardspec_predict::Scheme;
-use guardspec_sim::{Latencies, MachineConfig};
+use guardspec_sim::{Latencies, MachineConfig, SampleParams};
 use guardspec_workloads::{extended_workloads, Scale, Workload};
 use std::collections::BTreeSet;
 use std::sync::Mutex;
@@ -106,6 +108,10 @@ pub struct RunRequest {
     /// falls back to the peer address).
     pub client: Option<String>,
     pub observe: bool,
+    /// SMARTS-style interval sampling parameters; `None` runs the exact
+    /// whole-trace simulation.  Sampled responses carry per-cell `sampling`
+    /// estimate objects in the stable payload.
+    pub sample: Option<SampleParams>,
     pub workloads: Vec<WorkloadReq>,
     pub cells: Vec<CellReq>,
 }
@@ -384,6 +390,16 @@ pub fn request_to_json(r: &RunRequest) -> Json {
     if r.observe {
         fields.push(("observe", Json::Bool(true)));
     }
+    if let Some(p) = &r.sample {
+        fields.push((
+            "sample",
+            Json::obj(vec![
+                ("detail", Json::U64(p.detail)),
+                ("warmup", Json::U64(p.warmup)),
+                ("interval", Json::U64(p.interval)),
+            ]),
+        ));
+    }
     fields.push((
         "workloads",
         Json::Arr(r.workloads.iter().map(workload_to_json).collect()),
@@ -401,6 +417,14 @@ pub fn request_from_json(j: &Json) -> Result<RunRequest, String> {
     let scale = parse_scale(s(j, "scale")?)?;
     let client = j.get("client").and_then(Json::as_str).map(str::to_string);
     let observe = j.get("observe").and_then(Json::as_bool).unwrap_or(false);
+    let sample = match j.get("sample") {
+        None | Some(Json::Null) => None,
+        Some(obj) => Some(SampleParams {
+            detail: u(obj, "detail")?,
+            warmup: u(obj, "warmup")?,
+            interval: u(obj, "interval")?,
+        }),
+    };
     let workloads: Vec<WorkloadReq> = j
         .get("workloads")
         .and_then(Json::as_arr)
@@ -423,6 +447,7 @@ pub fn request_from_json(j: &Json) -> Result<RunRequest, String> {
         scale,
         client,
         observe,
+        sample,
         workloads,
         cells,
     })
@@ -440,6 +465,10 @@ pub fn request_key(r: &RunRequest) -> String {
     h.write_str(&r.name);
     h.write_str(scale_tag(r.scale));
     h.write_bool(r.observe);
+    match &r.sample {
+        Some(p) => h.write_str(&guardspec_harness::key::describe_sample(p)),
+        None => h.write_str("no-sample"),
+    };
     h.write_u64(r.workloads.len() as u64);
     for w in &r.workloads {
         h.write_str(w.name());
@@ -591,6 +620,7 @@ pub fn three_schemes_request(name: &str, scale: Scale) -> RunRequest {
         scale,
         client: None,
         observe: false,
+        sample: None,
         workloads,
         cells,
     }
@@ -632,6 +662,7 @@ pub fn ablation_request(name: &str, scale: Scale) -> RunRequest {
         scale,
         client: None,
         observe: false,
+        sample: None,
         workloads,
         cells,
     }
@@ -731,6 +762,46 @@ mod tests {
         let mut m = req.clone();
         m.cells[3].config.rob_size += 1;
         assert_ne!(request_key(&m), request_key(&req));
+    }
+
+    #[test]
+    fn sample_roundtrips_and_feeds_the_key() {
+        let mut req = three_schemes_request("table3", Scale::Test);
+        // Exact requests serialize without a `sample` field at all.
+        let exact_text = request_to_json(&req).to_compact();
+        assert!(!exact_text.contains("\"sample\""));
+        let exact_key = request_key(&req);
+
+        req.sample = Some(SampleParams {
+            detail: 500,
+            warmup: 700,
+            interval: 9000,
+        });
+        let text = request_to_json(&req).to_compact();
+        let back = request_from_json(&guardspec_harness::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.sample, req.sample);
+        assert_eq!(request_key(&back), request_key(&req));
+        // Sampled and exact requests never dedup to the same job, and each
+        // parameter is part of the identity.
+        assert_ne!(request_key(&req), exact_key);
+        for bump in [
+            |p: &mut SampleParams| p.detail += 1,
+            |p: &mut SampleParams| p.warmup += 1,
+            |p: &mut SampleParams| p.interval += 1,
+        ] {
+            let mut m = req.clone();
+            bump(m.sample.as_mut().unwrap());
+            assert_ne!(request_key(&m), request_key(&req));
+        }
+        // A sample object missing a field is rejected, never defaulted.
+        let j = guardspec_harness::json::parse(
+            r#"{"name":"x","scale":"test","sample":{"detail":100,"warmup":100},
+                "workloads":[{"builtin":"grep"}],
+                "cells":[{"workload":0,"label":"l","scheme":"2-bit BP",
+                          "options":null,"config":"r10000"}]}"#,
+        )
+        .unwrap();
+        assert!(request_from_json(&j).unwrap_err().contains("interval"));
     }
 
     #[test]

@@ -78,6 +78,7 @@ struct Job {
     key: String,
     spec: ExperimentSpec,
     observe: bool,
+    sample: Option<guardspec_sim::SampleParams>,
 }
 
 /// State shared by the accept loop, connection threads and workers.
@@ -319,6 +320,7 @@ fn admit(
         key: key.to_string(),
         spec,
         observe: request.observe,
+        sample: request.sample,
     };
     match shared.queue.push(&client, job) {
         // A worker now owns publication; wait on our ticket (safe even if
@@ -389,6 +391,7 @@ fn execute(job: &Job, shared: &Shared) -> Outcome {
         jobs: shared.config.jobs_per_request.max(1),
         cache_dir: None, // ignored: the shared handle wins
         observe: job.observe,
+        sample: job.sample,
         ..RunOptions::default()
     };
     let started = Instant::now();

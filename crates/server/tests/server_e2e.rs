@@ -203,6 +203,7 @@ fn adhoc_bin_programs_run_and_match_offline() {
         scale: Scale::Test,
         client: None,
         observe: false,
+        sample: None,
         workloads: vec![WorkloadReq::Bin {
             name: "shipped".to_string(),
             hex,

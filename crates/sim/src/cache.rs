@@ -1,15 +1,23 @@
 //! Set-associative cache model with LRU replacement.
+//!
+//! Ways are stored in recency order (`tags[base]` = MRU … `tags[base +
+//! ways-1]` = LRU), so a hit is a short forward scan and replacement is a
+//! rotate — no per-way rank bookkeeping.  A one-line memo short-circuits
+//! the common repeat-access case (sequential fetch within a line) without
+//! touching the set: re-probing the MRU line changes no cache state, so
+//! the fast path is observationally identical to the full probe.
 
 /// A set-associative cache tracking hit/miss only (no data).
 #[derive(Clone, Debug)]
 pub struct Cache {
-    /// `sets × ways` tags; `u64::MAX` = invalid.
+    /// `sets × ways` tags in per-set recency order; `u64::MAX` = invalid.
     tags: Vec<u64>,
-    /// LRU order per set: lower = more recently used (per-way ranks).
-    lru: Vec<u8>,
     sets: usize,
     ways: usize,
     line_shift: u32,
+    /// Line of the most recent access (`u64::MAX` = none): always resident
+    /// and MRU in its set, so a repeat probe is a stateless hit.
+    last_line: u64,
     hits: u64,
     misses: u64,
 }
@@ -23,10 +31,10 @@ impl Cache {
         let sets = total_bytes / (line_bytes * ways);
         Cache {
             tags: vec![u64::MAX; sets * ways],
-            lru: (0..sets * ways).map(|i| (i % ways) as u8).collect(),
             sets,
             ways,
             line_shift: line_bytes.trailing_zeros(),
+            last_line: u64::MAX,
             hits: 0,
             misses: 0,
         }
@@ -34,38 +42,37 @@ impl Cache {
 
     /// Probe (and on miss, fill) the line containing `byte_addr`.
     /// Returns true on hit.
+    #[inline]
     pub fn access(&mut self, byte_addr: u64) -> bool {
         let line = byte_addr >> self.line_shift;
+        if line == self.last_line {
+            self.hits += 1;
+            return true;
+        }
+        self.access_set(line)
+    }
+
+    fn access_set(&mut self, line: u64) -> bool {
+        self.last_line = line;
         let set = (line as usize) & (self.sets - 1);
         let base = set * self.ways;
-        let slot = (0..self.ways).find(|w| self.tags[base + w] == line);
-        match slot {
+        let set = &mut self.tags[base..base + self.ways];
+        match set.iter().position(|&t| t == line) {
             Some(w) => {
-                self.touch(base, w);
+                // Move the hit way to MRU; older ways shift toward LRU.
+                set[..=w].rotate_right(1);
+                set[0] = line;
                 self.hits += 1;
                 true
             }
             None => {
-                // Evict the LRU way (highest rank).
-                let victim = (0..self.ways)
-                    .max_by_key(|w| self.lru[base + w])
-                    .expect("ways >= 1");
-                self.tags[base + victim] = line;
-                self.touch(base, victim);
+                // Evict the LRU way (the last slot) and fill at MRU.
+                set.rotate_right(1);
+                set[0] = line;
                 self.misses += 1;
                 false
             }
         }
-    }
-
-    fn touch(&mut self, base: usize, way: usize) {
-        let old = self.lru[base + way];
-        for w in 0..self.ways {
-            if self.lru[base + w] < old {
-                self.lru[base + w] += 1;
-            }
-        }
-        self.lru[base + way] = 0;
     }
 
     /// Whether this cache has the geometry `(total_bytes, line_bytes, ways)`
@@ -81,9 +88,7 @@ impl Cache {
     /// (simulator-state reuse across runs).
     pub fn reset(&mut self) {
         self.tags.fill(u64::MAX);
-        for (i, r) in self.lru.iter_mut().enumerate() {
-            *r = (i % self.ways) as u8;
-        }
+        self.last_line = u64::MAX;
         self.hits = 0;
         self.misses = 0;
     }
@@ -156,5 +161,23 @@ mod tests {
         assert_eq!(c.misses(), 1);
         assert_eq!(c.hits(), 2);
         assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memo_fast_path_matches_full_probe_across_sets() {
+        // Alternate lines in different sets: the memo must never report a
+        // hit for a line the set-level LRU state would miss.
+        let mut c = Cache::new(128, 32, 2); // 2 sets, 2 ways
+        let mut reference = Cache::new(128, 32, 2);
+        reference.last_line = u64::MAX; // keep the reference on the slow path
+        let pattern = [0u64, 64, 0, 128, 192, 64, 0, 256, 64, 192, 0, 0];
+        for &a in &pattern {
+            let got = c.access(a);
+            reference.last_line = u64::MAX;
+            let want = reference.access(a);
+            assert_eq!(got, want, "addr {a}");
+        }
+        assert_eq!(c.hits(), reference.hits());
+        assert_eq!(c.misses(), reference.misses());
     }
 }

@@ -41,12 +41,19 @@
 //! resources, but are excluded from IPC, matching Table 4's note
 //! "instructions per cycle (excluding annulled)".
 
+pub mod block;
 pub mod cache;
 pub mod config;
 pub mod observe;
 pub mod pipeline;
 pub mod stats;
 
+pub use block::{
+    simulate_compiled_shared_in, simulate_compiled_shared_observed_in, simulate_compiled_trace_in,
+    simulate_compiled_trace_observed_in, simulate_program_compiled,
+    simulate_program_compiled_streamed_observed_in, simulate_sampled_in,
+    simulate_sampled_observed_in, CompiledProgram, SampleParams, SampleSummary,
+};
 pub use cache::Cache;
 pub use config::{Latencies, MachineConfig, QueueKind};
 pub use observe::{CycleAccounting, CycleBucket, SimObserver, SiteCounters};

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 /// Maximum source operands per instruction (two register operands plus the
 /// guard predicate), so dependence lists fit inline without heap traffic.
-const MAX_SRCS: usize = 3;
+pub(crate) const MAX_SRCS: usize = 3;
 
 /// Simulation failure (indicates a model bug or absurd input, not a
 /// program error).
@@ -97,39 +97,65 @@ fn build_site_infos(prog: &Program, layout: &StaticLayout) -> Vec<SiteInfo> {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum EState {
+pub(crate) enum EState {
     InQueue,
     Executing,
     Complete,
 }
 
-struct Entry {
-    seq: u64,
-    id: u32,
-    class: FuClass,
-    queue: QueueKind,
-    state: EState,
-    disp_cycle: u64,
-    finish: u64,
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Entry {
+    pub(crate) seq: u64,
+    pub(crate) id: u32,
+    pub(crate) class: FuClass,
+    pub(crate) queue: QueueKind,
+    pub(crate) state: EState,
+    pub(crate) disp_cycle: u64,
+    pub(crate) finish: u64,
     /// Seqs of producing instructions (ready when committed or Complete),
     /// deduplicated at dispatch; inline since an op has at most
     /// [`MAX_SRCS`] sources.
-    deps: [u64; MAX_SRCS],
-    ndeps: u8,
-    mem_addr: Option<u32>,
+    pub(crate) deps: [u64; MAX_SRCS],
+    pub(crate) ndeps: u8,
+    pub(crate) mem_addr: Option<u32>,
     /// This entry has fetch stalled until it resolves.
-    blocks_fetch: bool,
+    pub(crate) blocks_fetch: bool,
     /// Conditional branch (counts against the shadow-map limit).
-    is_cond: bool,
-    annulled: bool,
+    pub(crate) is_cond: bool,
+    pub(crate) annulled: bool,
     /// Missed the D-cache at issue (observer bookkeeping; only written
     /// when an observer is enabled).
-    dmiss: bool,
+    pub(crate) dmiss: bool,
+    /// Next `InQueue` seq in the compiled engine's issue list
+    /// (`u64::MAX` = end; unused by the interpreted path).
+    pub(crate) nextq: u64,
 }
 
 impl Entry {
-    fn deps(&self) -> &[u64] {
+    pub(crate) fn deps(&self) -> &[u64] {
         &self.deps[..self.ndeps as usize]
+    }
+
+    /// Inert slot filler for the compiled engine's window ring — every
+    /// live slot is rewritten by dispatch before it is read.
+    pub(crate) fn filler() -> Entry {
+        Entry {
+            seq: 0,
+            id: 0,
+            class: FuClass::Nop,
+            queue: QueueKind::Integer,
+            state: EState::Complete,
+            disp_cycle: 0,
+            finish: 0,
+            deps: [0; MAX_SRCS],
+            ndeps: 0,
+            mem_addr: None,
+            blocks_fetch: false,
+            is_cond: false,
+            annulled: false,
+            dmiss: false,
+            nextq: u64::MAX,
+        }
     }
 }
 
@@ -189,10 +215,16 @@ pub trait TraceSource {
     /// plus fixed slack.  A streaming source may block until enough of the
     /// trace has arrived to decide.
     fn budget_exceeded(&mut self, now: u64) -> bool;
+
+    /// The last cycle the budget check is known to allow — a (possibly
+    /// conservative) lower bound used by the compiled engine to cap its
+    /// stall-cycle jumps so a budget overrun errors on exactly the same
+    /// cycle as the per-cycle check would.
+    fn budget_limit(&mut self) -> u64;
 }
 
-const BUDGET_SLACK: u64 = 100_000;
-const BUDGET_PER_ENTRY: u64 = 64;
+pub(crate) const BUDGET_SLACK: u64 = 100_000;
+pub(crate) const BUDGET_PER_ENTRY: u64 = 64;
 
 /// A fully materialized trace.
 pub struct SliceSource<'a> {
@@ -217,6 +249,10 @@ impl TraceSource for SliceSource<'_> {
 
     fn budget_exceeded(&mut self, now: u64) -> bool {
         now > BUDGET_PER_ENTRY * self.trace.len() as u64 + BUDGET_SLACK
+    }
+
+    fn budget_limit(&mut self) -> u64 {
+        BUDGET_PER_ENTRY * self.trace.len() as u64 + BUDGET_SLACK
     }
 }
 
@@ -302,6 +338,13 @@ impl TraceSource for StreamSource {
             self.pull();
         }
     }
+
+    fn budget_limit(&mut self) -> u64 {
+        // `received` is a lower bound until `done`, so this limit is
+        // conservative; the jump cap re-evaluates `budget_exceeded` (which
+        // pulls) at the capped cycle, preserving exact error timing.
+        BUDGET_PER_ENTRY * self.received + BUDGET_SLACK
+    }
 }
 
 /// A per-consumer cursor over the refcounted chunks of a [`SharedTrace`].
@@ -354,6 +397,10 @@ impl TraceSource for ChunkSource<'_> {
     fn budget_exceeded(&mut self, now: u64) -> bool {
         now > BUDGET_PER_ENTRY * self.total + BUDGET_SLACK
     }
+
+    fn budget_limit(&mut self) -> u64 {
+        BUDGET_PER_ENTRY * self.total + BUDGET_SLACK
+    }
 }
 
 /// Reusable simulator state: the prediction structures, cache models, and
@@ -361,13 +408,28 @@ impl TraceSource for ChunkSource<'_> {
 /// one context to many [`simulate_trace_in`] calls skips per-run
 /// construction; every run still starts from the architectural reset state.
 pub struct SimContext {
-    bht: TwoBitTable,
-    btb: Btb,
-    icache: Cache,
-    dcache: Cache,
-    window: VecDeque<Entry>,
+    pub(crate) bht: TwoBitTable,
+    pub(crate) btb: Btb,
+    pub(crate) icache: Cache,
+    pub(crate) dcache: Cache,
+    pub(crate) window: VecDeque<Entry>,
     /// Last dispatched writer (seq) per dense register index.
-    reg_writer: Vec<Option<u64>>,
+    pub(crate) reg_writer: Vec<Option<u64>>,
+    /// The compiled engine's re-order window: a power-of-two ring indexed
+    /// by `seq & (len-1)` (live seqs span `[head_seq, next_seq)`, at most
+    /// `rob_size` wide).  Slots are rewritten by dispatch before any read,
+    /// so stale contents never need clearing.  The interpreted path keeps
+    /// using `window`.
+    pub(crate) ring: Vec<Entry>,
+    /// Completion timing wheel: `wheel[cycle & mask]` holds the seqs of
+    /// in-flight executions finishing at `cycle`.  Sized by the compiled
+    /// engine to cover every latency the config can produce; unused (and
+    /// empty) on the interpreted path.
+    pub(crate) wheel: Vec<Vec<u64>>,
+    /// Overflow for completion events whose latency exceeds the wheel span
+    /// (possible only under extreme custom configs) — `(finish, seq)`
+    /// min-heap, normally empty.
+    pub(crate) events: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
 }
 
 impl SimContext {
@@ -379,12 +441,15 @@ impl SimContext {
             dcache: Cache::new(cfg.dcache.0, cfg.dcache.1, cfg.dcache.2),
             window: VecDeque::with_capacity(cfg.rob_size),
             reg_writer: vec![None; Reg::DENSE_COUNT],
+            ring: Vec::new(),
+            wheel: Vec::new(),
+            events: std::collections::BinaryHeap::new(),
         }
     }
 
     /// Reset to the architectural initial state for `cfg`, reallocating
     /// only the structures whose geometry changed.
-    fn prepare(&mut self, cfg: &MachineConfig) {
+    pub(crate) fn prepare(&mut self, cfg: &MachineConfig) {
         if self.bht.entries() == cfg.bht_entries {
             self.bht.reset();
         } else {
@@ -413,6 +478,10 @@ impl SimContext {
         }
         self.window.clear();
         self.reg_writer.fill(None);
+        for b in &mut self.wheel {
+            b.clear();
+        }
+        self.events.clear();
     }
 }
 
@@ -426,7 +495,7 @@ impl Default for SimContext {
 /// maintained when an observer is enabled, and only read while
 /// `now < fetch_resume`).
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum StallKind {
+pub(crate) enum StallKind {
     None,
     /// Post-resolution recovery bubble of a blocking branch.
     Recovery,
@@ -728,6 +797,7 @@ impl<'a, S: TraceSource, O: SimObserver> Pipeline<'a, S, O> {
                 is_cond,
                 annulled: te.annulled(),
                 dmiss: false,
+                nextq: u64::MAX,
             };
             self.source.advance();
 

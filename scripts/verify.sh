@@ -28,6 +28,38 @@ cmp /tmp/ci_t3_stream.txt /tmp/ci_t3_nostream.txt
 cargo run --release -p guardspec-bench --bin hotloop -- --scale test > /dev/null
 test -s results/BENCH_2.json
 
+echo "== compiled vs interpreted engines (table3, byte-identical stdout) =="
+# The compiled decoded-uop engine is the default; --no-compile selects the
+# per-entry interpreted loop.  The stage cache is wiped between modes so
+# both tables are really simulated, not replayed from cache.
+ENGDIR=$(mktemp -d)
+(cd "$ENGDIR" && "$OLDPWD/target/release/table3" --scale test > compiled.txt)
+rm -rf "$ENGDIR"/results/cache
+(cd "$ENGDIR" && "$OLDPWD/target/release/table3" --scale test --no-compile > interp.txt)
+cmp "$ENGDIR"/compiled.txt "$ENGDIR"/interp.txt
+rm -rf "$ENGDIR"
+
+echo "== sampling smoke (table3 --sample: estimates present, CI > 0) =="
+SMPDIR=$(mktemp -d)
+(cd "$SMPDIR" && "$OLDPWD/target/release/table3" --scale test --sample \
+    --sample-interval 1000 --sample-detail 50 --sample-warm 50 \
+    --stable-json sampled.json > /dev/null)
+grep -q '"sampling"' "$SMPDIR"/sampled.json
+# Every cell sampled at this scale yields >= 2 windows, so no cell may
+# report the exact-fallback CI of exactly zero.
+if grep -q '"ipc_ci95": 0\.0[,}]' "$SMPDIR"/sampled.json; then
+    echo "sampling smoke: found a zero-width CI" >&2
+    exit 1
+fi
+rm -rf "$SMPDIR"
+
+echo "== blockcomp (compiled >= 1.5x, sampled >= 5x on the sim stage) =="
+# Asserts internally: engines byte-identical on stable artifacts, every
+# sampled CI covers the exact IPC, and the speedup floors hold on the
+# fastest rep per path.  Overwrites the PR evidence artifact.
+cargo run --release -p guardspec-bench --bin blockcomp -- --scale small --jobs 1
+test -s results/BENCH_8.json
+
 echo "== trace cache cold/warm (table3 in a scratch dir, then tracefan) =="
 # Cold run records binary trace blobs; the warm rerun in the same scratch
 # dir must replay them (no interpretation) and print identical tables.
