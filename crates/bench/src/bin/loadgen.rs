@@ -1,26 +1,32 @@
 //! `loadgen` — drives an embedded `gsd` server with concurrent clients and
-//! writes `results/BENCH_6.json`: requests/sec, p50/p99 latency, dedup
-//! ratio, and cold- vs warm-cache behaviour of the service layer.
+//! writes `results/BENCH_9.json`: requests/sec, p50/p99 latency, dedup
+//! ratio, connection accounting, and cold- vs warm-cache behaviour of the
+//! service layer under three transport modes — close-per-request (the
+//! before), HTTP/1.1 keep-alive, and bounded pipelining (the after).
 //!
 //! The server runs in-process on an ephemeral port with a scratch cache,
-//! so the numbers measure the daemon (HTTP + dedup + queue + runner), not
-//! network weather.  Each client cycles through a small set of distinct
-//! sweeps; with more clients than distinct sweeps, concurrent duplicates
-//! dedup into shared flights (the `dedup_ratio` reported), and the warm
-//! pass replays the same mix against the now-populated cache.  The file is
-//! overwritten on purpose: it is the PR's evidence artifact, not a per-run
-//! log.
+//! so the numbers measure the daemon (epoll loop + dedup + queue +
+//! runner), not network weather.  Each client cycles through a small set
+//! of distinct sweeps; with more clients than distinct sweeps, concurrent
+//! duplicates dedup into shared flights (the `dedup_ratio` reported).
+//! After the cold pass populates the cache, three warm passes replay the
+//! same mix: once closing the connection per request, once on keep-alive
+//! connections, once pipelined.  The file is overwritten on purpose: it
+//! is the PR's evidence artifact, not a per-run log.
 //!
 //! ```text
 //! loadgen [--scale test|small|paper] [--clients N] [--requests R]
-//!         [--workers W] [--out PATH]
+//!         [--workers W] [--keep-alive] [--pipeline N] [--out PATH]
 //! ```
 //!
+//! `--keep-alive` makes the *cold* pass reuse connections too (default:
+//! close per request, comparable to the historical BENCH_6 numbers);
+//! `--pipeline N` sets the warm pipelined pass's batch depth (default 4).
 //! Unknown flags print the offending flag and exit 2.
 
 use guardspec_harness::args::{parse_scale, take_value, unknown_argument};
 use guardspec_harness::{json, write_json_file, Json};
-use guardspec_server::http;
+use guardspec_server::http::{self, ClientConn};
 use guardspec_server::protocol::{ablation_request, request_to_json, three_schemes_request};
 use guardspec_server::{Server, ServerConfig};
 use guardspec_workloads::Scale;
@@ -33,6 +39,8 @@ struct Args {
     clients: usize,
     requests: usize,
     workers: usize,
+    keep_alive: bool,
+    pipeline: usize,
     out: PathBuf,
 }
 
@@ -42,7 +50,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         clients: 4,
         requests: 8,
         workers: 2,
-        out: PathBuf::from("results/BENCH_6.json"),
+        keep_alive: false,
+        pipeline: 4,
+        out: PathBuf::from("results/BENCH_9.json"),
     };
     let mut args: Box<dyn Iterator<Item = String>> = Box::new(argv);
     while let Some(arg) = args.next() {
@@ -60,6 +70,11 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 let v = take_value(&mut args, "--workers")?;
                 parsed.workers = v.parse().map_err(|_| format!("bad --workers {v:?}"))?;
             }
+            "--keep-alive" => parsed.keep_alive = true,
+            "--pipeline" => {
+                let v = take_value(&mut args, "--pipeline")?;
+                parsed.pipeline = v.parse().map_err(|_| format!("bad --pipeline {v:?}"))?;
+            }
             "--out" => parsed.out = PathBuf::from(take_value(&mut args, "--out")?),
             other => return Err(unknown_argument(other)),
         }
@@ -67,12 +82,45 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     if parsed.clients == 0 || parsed.requests == 0 {
         return Err("--clients and --requests must be positive".to_string());
     }
+    if parsed.pipeline == 0 {
+        return Err("--pipeline must be positive".to_string());
+    }
     Ok(parsed)
 }
 
+/// How a client pass talks to the server.
+#[derive(Clone, Copy, Debug)]
+enum Mode {
+    /// One fresh connection per request (`Connection: close`).
+    Close,
+    /// One keep-alive connection per client for the whole pass.
+    KeepAlive,
+    /// Keep-alive + batches of N pipelined requests.  Per-request latency
+    /// is the batch wall time divided by the batch size (requests in a
+    /// batch are not individually timeable on one socket).
+    Pipeline(usize),
+}
+
+impl Mode {
+    fn tag(self) -> &'static str {
+        match self {
+            Mode::Close => "close",
+            Mode::KeepAlive => "keep-alive",
+            Mode::Pipeline(_) => "pipelined",
+        }
+    }
+}
+
 /// One measured pass: every client posts its share of the mix; returns
-/// per-request latencies (ms) and the pass's wall time (ms).
-fn drive(addr: &str, mix: &[String], clients: usize, requests: usize) -> (Vec<f64>, f64) {
+/// per-request latencies (ms), the pass's wall time (ms), and how many
+/// TCP connections the clients opened.
+fn drive(
+    addr: &str,
+    mix: &[String],
+    clients: usize,
+    requests: usize,
+    mode: Mode,
+) -> (Vec<f64>, f64, u64) {
     let started = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
@@ -80,23 +128,62 @@ fn drive(addr: &str, mix: &[String], clients: usize, requests: usize) -> (Vec<f6
             let mix: Vec<String> = mix.to_vec();
             std::thread::spawn(move || {
                 let mut lat = Vec::with_capacity(requests);
-                for r in 0..requests {
-                    let body = &mix[(c + r) % mix.len()];
-                    let t0 = Instant::now();
-                    let (status, resp) =
-                        http::post_json(&addr, "/run", body).expect("request failed");
-                    assert_eq!(status, 200, "unexpected {status}: {resp}");
-                    lat.push(t0.elapsed().as_secs_f64() * 1000.0);
+                match mode {
+                    Mode::Close => {
+                        for r in 0..requests {
+                            let body = &mix[(c + r) % mix.len()];
+                            let t0 = Instant::now();
+                            let (status, resp) =
+                                http::post_json(&addr, "/run", body).expect("request failed");
+                            assert_eq!(status, 200, "unexpected {status}: {resp}");
+                            lat.push(t0.elapsed().as_secs_f64() * 1000.0);
+                        }
+                        (lat, requests as u64)
+                    }
+                    Mode::KeepAlive => {
+                        let mut conn = ClientConn::new(&addr);
+                        for r in 0..requests {
+                            let body = &mix[(c + r) % mix.len()];
+                            let t0 = Instant::now();
+                            let resp = conn
+                                .request("POST", "/run", body.as_bytes())
+                                .expect("request failed");
+                            assert_eq!(resp.status, 200);
+                            lat.push(t0.elapsed().as_secs_f64() * 1000.0);
+                        }
+                        (lat, conn.connections_opened())
+                    }
+                    Mode::Pipeline(depth) => {
+                        let mut conn = ClientConn::new(&addr);
+                        let order: Vec<&String> =
+                            (0..requests).map(|r| &mix[(c + r) % mix.len()]).collect();
+                        for batch in order.chunks(depth) {
+                            let reqs: Vec<(&str, &str, &[u8])> = batch
+                                .iter()
+                                .map(|b| ("POST", "/run", b.as_bytes()))
+                                .collect();
+                            let t0 = Instant::now();
+                            let responses = conn.pipeline(&reqs).expect("pipeline failed");
+                            let per_req = t0.elapsed().as_secs_f64() * 1000.0 / batch.len() as f64;
+                            for resp in &responses {
+                                assert_eq!(resp.status, 200);
+                                lat.push(per_req);
+                            }
+                        }
+                        (lat, conn.connections_opened())
+                    }
                 }
-                lat
             })
         })
         .collect();
     let mut latencies = Vec::with_capacity(clients * requests);
+    let mut conns = 0u64;
     for h in handles {
-        latencies.extend(h.join().expect("client thread panicked"));
+        let (lat, opened) = h.join().expect("client thread panicked");
+        latencies.extend(lat);
+        conns += opened;
     }
-    (latencies, started.elapsed().as_secs_f64() * 1000.0)
+    (latencies, started.elapsed().as_secs_f64() * 1000.0, conns)
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -104,17 +191,19 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
-fn pass_json(latencies: &mut [f64], wall_ms: f64) -> (Json, f64, f64, f64) {
+fn pass_json(mode: Mode, latencies: &mut [f64], wall_ms: f64, conns: u64) -> (Json, f64, f64, f64) {
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let p50 = percentile(latencies, 0.50);
     let p99 = percentile(latencies, 0.99);
     let req_s = latencies.len() as f64 / (wall_ms / 1000.0);
     let j = Json::obj(vec![
+        ("mode", Json::str(mode.tag())),
         ("requests", Json::U64(latencies.len() as u64)),
         ("wall_ms", Json::F64(wall_ms)),
         ("requests_per_sec", Json::F64(req_s)),
         ("p50_ms", Json::F64(p50)),
         ("p99_ms", Json::F64(p99)),
+        ("client_connections_opened", Json::U64(conns)),
     ]);
     (j, req_s, p50, p99)
 }
@@ -159,36 +248,78 @@ fn main() {
     .map(Json::to_compact)
     .collect();
 
+    let cold_mode = if args.keep_alive {
+        Mode::KeepAlive
+    } else {
+        Mode::Close
+    };
     eprintln!(
-        "loadgen: {} clients x {} requests, {} workers, scale {:?}, server {addr}",
-        args.clients, args.requests, args.workers, args.scale
+        "loadgen: {} clients x {} requests, {} workers, scale {:?}, cold mode {}, server {addr}",
+        args.clients,
+        args.requests,
+        args.workers,
+        args.scale,
+        cold_mode.tag()
     );
-    let (mut cold_lat, cold_wall) = drive(&addr, &mix, args.clients, args.requests);
+
+    let (mut cold_lat, cold_wall, cold_conns) =
+        drive(&addr, &mix, args.clients, args.requests, cold_mode);
     let (_, cold_metrics) = http::get(&addr, "/metrics").expect("metrics");
-    let (mut warm_lat, warm_wall) = drive(&addr, &mix, args.clients, args.requests);
-    let (_, warm_metrics) = http::get(&addr, "/metrics").expect("metrics");
+    let (mut wc_lat, wc_wall, wc_conns) =
+        drive(&addr, &mix, args.clients, args.requests, Mode::Close);
+    let (mut wk_lat, wk_wall, wk_conns) =
+        drive(&addr, &mix, args.clients, args.requests, Mode::KeepAlive);
+    let (mut wp_lat, wp_wall, wp_conns) = drive(
+        &addr,
+        &mix,
+        args.clients,
+        args.requests,
+        Mode::Pipeline(args.pipeline),
+    );
+    let (_, final_metrics) = http::get(&addr, "/metrics").expect("metrics");
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&cache_dir);
 
-    let (cold_json, cold_rps, cold_p50, cold_p99) = pass_json(&mut cold_lat, cold_wall);
-    let (warm_json, warm_rps, warm_p50, warm_p99) = pass_json(&mut warm_lat, warm_wall);
-    let run = metric(&warm_metrics, &["counters", "requests.run"]);
-    let joined = metric(&warm_metrics, &["counters", "dedup.joined"]);
-    let executed = metric(&warm_metrics, &["counters", "jobs.executed"]);
+    let (cold_json, cold_rps, cold_p50, cold_p99) =
+        pass_json(cold_mode, &mut cold_lat, cold_wall, cold_conns);
+    let (wc_json, wc_rps, wc_p50, wc_p99) = pass_json(Mode::Close, &mut wc_lat, wc_wall, wc_conns);
+    let (wk_json, wk_rps, wk_p50, wk_p99) =
+        pass_json(Mode::KeepAlive, &mut wk_lat, wk_wall, wk_conns);
+    let (wp_json, wp_rps, wp_p50, wp_p99) = pass_json(
+        Mode::Pipeline(args.pipeline),
+        &mut wp_lat,
+        wp_wall,
+        wp_conns,
+    );
+
+    let run = metric(&cold_metrics, &["counters", "requests.run"]);
+    let joined = metric(&cold_metrics, &["counters", "dedup.joined"]);
+    let executed = metric(&final_metrics, &["counters", "jobs.executed"]);
     let dedup_ratio = if run > 0 {
         joined as f64 / run as f64
     } else {
         0.0
     };
 
-    println!("{:<26} {:>12} {:>12}", "metric", "cold", "warm");
-    let row = |name: &str, c: f64, w: f64| println!("{name:<26} {c:>12.2} {w:>12.2}");
-    row("requests/sec", cold_rps, warm_rps);
-    row("p50 latency (ms)", cold_p50, warm_p50);
-    row("p99 latency (ms)", cold_p99, warm_p99);
     println!(
-        "dedup: {joined}/{run} requests joined an in-flight duplicate ({:.0}%), {executed} jobs executed",
+        "{:<22} {:>12} {:>12} {:>12} {:>12}",
+        "metric", "cold", "warm/close", "warm/ka", "warm/pipe"
+    );
+    let row = |name: &str, a: f64, b: f64, c: f64, d: f64| {
+        println!("{name:<22} {a:>12.2} {b:>12.2} {c:>12.2} {d:>12.2}")
+    };
+    row("requests/sec", cold_rps, wc_rps, wk_rps, wp_rps);
+    row("p50 latency (ms)", cold_p50, wc_p50, wk_p50, wp_p50);
+    row("p99 latency (ms)", cold_p99, wc_p99, wk_p99, wp_p99);
+    println!(
+        "dedup: {joined}/{run} cold requests joined an in-flight duplicate ({:.0}%), {executed} jobs executed",
         dedup_ratio * 100.0
+    );
+    println!(
+        "connections: server opened {} / reused {}, pipeline depth max {}",
+        metric(&final_metrics, &["counters", "connections.opened"]),
+        metric(&final_metrics, &["counters", "connections.reused"]),
+        metric(&final_metrics, &["counters", "pipeline.depth_max"]),
     );
 
     let json = Json::obj(vec![
@@ -200,11 +331,14 @@ fn main() {
                 ("clients", Json::U64(args.clients as u64)),
                 ("requests_per_client", Json::U64(args.requests as u64)),
                 ("workers", Json::U64(args.workers as u64)),
+                ("pipeline_depth", Json::U64(args.pipeline as u64)),
                 ("mix", Json::str("table3 + ablation, alternating")),
             ]),
         ),
         ("cold", cold_json),
-        ("warm", warm_json),
+        ("warm_close", wc_json),
+        ("warm_keep_alive", wk_json),
+        ("warm_pipelined", wp_json),
         (
             "dedup",
             Json::obj(vec![
@@ -215,6 +349,23 @@ fn main() {
             ]),
         ),
         (
+            "connections",
+            Json::obj(vec![
+                (
+                    "server_opened",
+                    Json::U64(metric(&final_metrics, &["counters", "connections.opened"])),
+                ),
+                (
+                    "server_reused",
+                    Json::U64(metric(&final_metrics, &["counters", "connections.reused"])),
+                ),
+                (
+                    "pipeline_depth_max",
+                    Json::U64(metric(&final_metrics, &["counters", "pipeline.depth_max"])),
+                ),
+            ]),
+        ),
+        (
             "cache",
             Json::obj(vec![
                 (
@@ -222,16 +373,20 @@ fn main() {
                     Json::U64(metric(&cold_metrics, &["cache_hits"])),
                 ),
                 (
-                    "hits_after_warm",
-                    Json::U64(metric(&warm_metrics, &["cache_hits"])),
+                    "hits_final",
+                    Json::U64(metric(&final_metrics, &["cache_hits"])),
                 ),
                 (
-                    "misses_after_warm",
-                    Json::U64(metric(&warm_metrics, &["cache_misses"])),
+                    "misses_final",
+                    Json::U64(metric(&final_metrics, &["cache_misses"])),
+                ),
+                (
+                    "resp_cached",
+                    Json::U64(metric(&final_metrics, &["counters", "jobs.resp_cached"])),
                 ),
                 (
                     "race_lost",
-                    Json::U64(metric(&warm_metrics, &["cache_race_lost"])),
+                    Json::U64(metric(&final_metrics, &["cache_race_lost"])),
                 ),
             ]),
         ),
@@ -248,6 +403,20 @@ mod tests {
     fn unknown_flags_are_rejected_by_name() {
         let err = parse_args(["--warp".to_string()].into_iter()).unwrap_err();
         assert!(err.contains("--warp"), "{err}");
+    }
+
+    #[test]
+    fn transport_flags_parse() {
+        let a = parse_args(
+            ["--keep-alive", "--pipeline", "8"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(a.keep_alive);
+        assert_eq!(a.pipeline, 8);
+        assert!(a.out.ends_with("BENCH_9.json"));
+        assert!(parse_args(["--pipeline".to_string(), "0".to_string()].into_iter()).is_err());
     }
 
     #[test]

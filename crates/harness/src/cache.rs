@@ -122,6 +122,18 @@ impl DiskCache {
         }
     }
 
+    /// Raw lookup for serving entries to a peer daemon: tries the `.json`
+    /// form first, then `.bin`, and touches **no** hit/miss counters — a
+    /// peer probing for keys it may not have must not skew the local
+    /// cache-efficacy numbers.
+    pub fn peek(&self, key: &str) -> Option<Vec<u8>> {
+        let json = self.path_for(key)?;
+        if let Ok(b) = std::fs::read(&json) {
+            return Some(b);
+        }
+        std::fs::read(self.path_for_ext(key, "bin")?).ok()
+    }
+
     /// Look up a binary blob (`.bin` entries — trace files), counting the
     /// hit or miss on the shared counters.
     pub fn get_bytes(&self, key: &str) -> Option<Vec<u8>> {
@@ -300,6 +312,19 @@ mod tests {
         );
         // Under the cap: nothing further deleted.
         assert_eq!(c.gc_blobs(2000), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn peek_reads_both_forms_without_counting() {
+        let root = scratch_dir("peek");
+        let c = DiskCache::new(&root);
+        assert_eq!(c.peek("sim-0011"), None);
+        c.put("sim-0011", "{\"v\":1}");
+        c.put_bytes("trace-2233", &[9, 8, 7]);
+        assert_eq!(c.peek("sim-0011").as_deref(), Some(&b"{\"v\":1}"[..]));
+        assert_eq!(c.peek("trace-2233").as_deref(), Some(&[9, 8, 7][..]));
+        assert_eq!((c.hits(), c.misses()), (0, 0), "peek must not count");
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -40,7 +40,8 @@ pub use json::Json;
 pub use metrics::MetricsRegistry;
 pub use pool::JobGraph;
 pub use runner::{
-    run_experiment, run_experiment_shared, CellResult, ExperimentResult, RunOptions, WorkloadResult,
+    run_experiment, run_experiment_shared, CellResult, ExperimentResult, ProgressEvent,
+    ProgressHook, RunOptions, WorkloadResult,
 };
 pub use spec::{CellSpec, ExperimentSpec};
 pub use trace_out::{chrome_trace_json, validate_chrome_trace, Span, SpanRecorder};

@@ -59,6 +59,56 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+/// One stage job's lifecycle notification, for live progress reporting
+/// (the service layer's `POST /run?stream=1` turns these into
+/// newline-delimited JSON events).  Every stage emits a start event
+/// (`done = false`) when its job begins and a done event carrying the
+/// stage wall time and whether the cache satisfied it.
+#[derive(Clone, Debug)]
+pub struct ProgressEvent {
+    /// `"profile"`, `"transform"`, `"trace"` or `"simulate"`.
+    pub stage: &'static str,
+    /// The workload name, or `workload/label` for simulate stages.
+    pub unit: String,
+    /// `false` at stage start, `true` at stage completion.
+    pub done: bool,
+    /// Whether the disk cache satisfied the stage (done events only).
+    pub cached: bool,
+    /// Stage wall time in milliseconds (done events only).
+    pub ms: f64,
+}
+
+/// A shareable progress callback.  Wrapped so [`RunOptions`] can keep its
+/// `Clone + Debug` derives; the callback runs on pool worker threads, so
+/// it must be cheap and must not block on the caller.
+#[derive(Clone)]
+pub struct ProgressHook(pub Arc<dyn Fn(&ProgressEvent) + Send + Sync>);
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
+
+fn progress_emit(
+    hook: &Option<ProgressHook>,
+    stage: &'static str,
+    unit: &str,
+    done: bool,
+    cached: bool,
+    ms: f64,
+) {
+    if let Some(h) = hook {
+        (h.0)(&ProgressEvent {
+            stage,
+            unit: unit.to_string(),
+            done,
+            cached,
+            ms,
+        });
+    }
+}
+
 /// How to execute a spec.
 #[derive(Clone, Debug)]
 pub struct RunOptions {
@@ -102,6 +152,11 @@ pub struct RunOptions {
     /// fan-out pipeline, and switches the sim cache entries to a
     /// `{stats, sampling}` payload under sampling-aware keys.
     pub sample: Option<SampleParams>,
+    /// Stage start/done notifications ([`ProgressEvent`]) delivered from
+    /// pool worker threads as the run advances; `None` emits nothing.
+    /// Deliberately **not** part of any cache key — progress reporting
+    /// must never perturb the science.
+    pub progress: Option<ProgressHook>,
 }
 
 impl Default for RunOptions {
@@ -117,6 +172,7 @@ impl Default for RunOptions {
             trace_spans: false,
             compile: true,
             sample: None,
+            progress: None,
         }
     }
 }
@@ -326,8 +382,10 @@ pub fn run_experiment_shared(
         let program = w.program.clone();
         let expected = w.expected.clone();
         let wname = w.name;
+        let progress = opts.progress.clone();
         let id = graph.add(&[], move || {
             let t0 = Instant::now();
+            progress_emit(&progress, "profile", wname, false, false, 0.0);
             let pkey = key::profile_key(&text, scale);
             let tkey = key::trace_key(&text, scale);
             let exp_digest = expected_digest(&expected);
@@ -382,6 +440,7 @@ pub fn run_experiment_shared(
                 (profile, trace_data)
             };
             let ms = ms_since(t0);
+            progress_emit(&progress, "profile", wname, true, profile_cached, ms);
             recorder.record(
                 format!("profile {wname}"),
                 "profile",
@@ -442,8 +501,10 @@ pub fn run_experiment_shared(
             let program = spec.workloads[wi].program.clone();
             let options = options.clone();
             let wname = spec.workloads[wi].name;
+            let progress = opts.progress.clone();
             graph.add(&[profile_jobs[wi]], move || {
                 let t0 = Instant::now();
+                progress_emit(&progress, "transform", wname, false, false, 0.0);
                 let key = key::transform_key(&text, scale, &options);
                 let (program, text, report, cached) = match load_transform(&cache, &key, &metrics) {
                     Some((p, t, r)) => (p, t, r, true),
@@ -473,6 +534,7 @@ pub fn run_experiment_shared(
                     ms: ms_since(t0),
                     cached,
                 };
+                progress_emit(&progress, "transform", wname, true, cached, timing.ms);
                 recorder.record(
                     format!("transform {wname}"),
                     "transform",
@@ -499,8 +561,10 @@ pub fn run_experiment_shared(
             let recorder = recorder.clone();
             let expected = spec.workloads[wi].expected.clone();
             let wname = spec.workloads[wi].name;
+            let progress = opts.progress.clone();
             let tr_id = graph.add(&[tf_id], move || {
                 let t0 = Instant::now();
+                progress_emit(&progress, "trace", wname, false, false, 0.0);
                 let t = transforms[next_slot]
                     .get()
                     .expect("transform dependency ran");
@@ -537,11 +601,10 @@ pub fn run_experiment_shared(
                     t0,
                     vec![("cached".to_string(), cached.to_string())],
                 );
+                let ms = ms_since(t0);
+                progress_emit(&progress, "trace", wname, true, cached, ms);
                 let _ = slots[next_slot].set(TraceSlot {
-                    timing: StageTiming {
-                        ms: ms_since(t0),
-                        cached,
-                    },
+                    timing: StageTiming { ms, cached },
                     data,
                 });
             });
@@ -571,8 +634,11 @@ pub fn run_experiment_shared(
             let traces = trace_slots.clone();
             let profiles = profile_slots.clone();
             let recorder = recorder.clone();
+            let progress = opts.progress.clone();
             graph.add(&deps, move || {
                 let t0 = Instant::now();
+                let unit = format!("{wname}/{label}");
+                progress_emit(&progress, "simulate", &unit, false, false, 0.0);
                 let (text, data, trace_timing): (Arc<String>, Arc<TraceData>, StageTiming) =
                     match tslot {
                         Some((_job, s)) => {
@@ -726,11 +792,10 @@ pub fn run_experiment_shared(
                     t0,
                     vec![("cached".to_string(), cached.to_string())],
                 );
+                let ms = ms_since(t0);
+                progress_emit(&progress, "simulate", &unit, true, cached, ms);
                 let _ = slots[ci].set(SimSlot {
-                    timing: StageTiming {
-                        ms: ms_since(t0),
-                        cached,
-                    },
+                    timing: StageTiming { ms, cached },
                     trace_timing: Some(trace_timing),
                     stats,
                     accounting,
@@ -751,8 +816,11 @@ pub fn run_experiment_shared(
             let base_program = spec.workloads[wi].program.clone();
             let expected = spec.workloads[wi].expected.clone();
             let stream = opts.stream;
+            let progress = opts.progress.clone();
             graph.add(&deps, move || {
                 let t0 = Instant::now();
+                let unit = format!("{wname}/{label}");
+                progress_emit(&progress, "simulate", &unit, false, false, 0.0);
                 let (program, text): (Arc<guardspec_ir::Program>, Arc<String>) = match tslot {
                     Some((_job, s)) => {
                         let t = transforms[s].get().expect("transform dependency ran");
@@ -821,11 +889,10 @@ pub fn run_experiment_shared(
                     t0,
                     vec![("cached".to_string(), cached.to_string())],
                 );
+                let ms = ms_since(t0);
+                progress_emit(&progress, "simulate", &unit, true, cached, ms);
                 let _ = slots[ci].set(SimSlot {
-                    timing: StageTiming {
-                        ms: ms_since(t0),
-                        cached,
-                    },
+                    timing: StageTiming { ms, cached },
                     trace_timing: None,
                     stats,
                     accounting,

@@ -3,6 +3,7 @@
 //! ```text
 //! gsc --servers ADDR[,ADDR...] [--spec table3|ablation] [--name NAME]
 //!     [--scale test|small|paper] [--out PATH] [--client ID] [--observe]
+//!     [--stream]
 //! gsc --servers ADDR[,ADDR...] --healthz
 //! gsc --servers ADDR[,ADDR...] --metrics
 //! ```
@@ -11,13 +12,16 @@
 //! `cell_shard_hash % M` — each shard runs its slice, and the partial
 //! artifacts are merged back into one stable artifact, byte-identical to
 //! an offline `--stable-json` run of the same sweep.  The merged artifact
-//! goes to `--out` (or stdout).  Unknown flags print the offending flag
-//! and exit 2.
+//! goes to `--out` (or stdout); a one-line transport summary (connections
+//! opened, 429 retries) goes to stderr so the artifact bytes stay pure.
+//! `--stream` (single server only) asks for `POST /run?stream=1` and
+//! relays the server's stage-progress events to stderr as they arrive.
+//! Unknown flags print the offending flag and exit 2.
 
 use guardspec_harness::args::{parse_scale, take_value, unknown_argument};
-use guardspec_server::http;
-use guardspec_server::protocol::{ablation_request, three_schemes_request};
-use guardspec_server::run_fanout;
+use guardspec_server::http::{self, ClientConn};
+use guardspec_server::protocol::{ablation_request, request_to_json, three_schemes_request};
+use guardspec_server::{run_fanout_stats, ClientStats};
 use guardspec_workloads::Scale;
 use std::io::Write;
 use std::path::PathBuf;
@@ -33,6 +37,7 @@ struct Args {
     observe: bool,
     healthz: bool,
     metrics: bool,
+    stream: bool,
 }
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -46,6 +51,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         observe: false,
         healthz: false,
         metrics: false,
+        stream: false,
     };
     let mut args: Box<dyn Iterator<Item = String>> = Box::new(argv);
     while let Some(arg) = args.next() {
@@ -71,11 +77,15 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--observe" => parsed.observe = true,
             "--healthz" => parsed.healthz = true,
             "--metrics" => parsed.metrics = true,
+            "--stream" => parsed.stream = true,
             other => return Err(unknown_argument(other)),
         }
     }
     if parsed.servers.is_empty() {
         return Err("--servers is required".to_string());
+    }
+    if parsed.stream && parsed.servers.len() > 1 {
+        return Err("--stream works with exactly one server (no fan-out)".to_string());
     }
     Ok(parsed)
 }
@@ -112,8 +122,19 @@ fn main() {
     };
     request.client = args.client.clone();
     request.observe = args.observe;
-    match run_fanout(&args.servers, &request) {
-        Ok(body) => {
+    let result = if args.stream {
+        run_streaming(&args.servers[0], &request)
+    } else {
+        run_fanout_stats(&args.servers, &request)
+    };
+    match result {
+        Ok((body, stats)) => {
+            eprintln!(
+                "gsc: shards={} connections={} client.retries={}",
+                args.servers.len(),
+                stats.connections_opened,
+                stats.retries
+            );
             if let Some(out) = &args.out {
                 if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
                     std::fs::create_dir_all(dir).ok();
@@ -133,6 +154,32 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Single-server streaming run: stage events to stderr as they land, the
+/// final artifact returned like any other run.
+fn run_streaming(
+    addr: &str,
+    request: &guardspec_server::RunRequest,
+) -> Result<(String, ClientStats), String> {
+    let body = request_to_json(request).to_compact();
+    let mut conn = ClientConn::new(addr);
+    let (status, artifact) = conn
+        .post_stream("/run?stream=1", body.as_bytes(), |line| {
+            eprintln!("gsc: event {line}");
+        })
+        .map_err(|e| format!("POST {addr}/run?stream=1 failed: {e}"))?;
+    let text = String::from_utf8_lossy(&artifact).to_string();
+    if status != 200 {
+        return Err(format!("{addr}/run returned {status}: {text}"));
+    }
+    Ok((
+        text,
+        ClientStats {
+            retries: 0,
+            connections_opened: conn.connections_opened(),
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -163,6 +210,13 @@ mod tests {
         assert_eq!(a.servers, ["a:1", "b:2"]);
         assert_eq!(a.spec, "ablation");
         assert_eq!(a.scale, Scale::Small);
+    }
+
+    #[test]
+    fn stream_requires_a_single_server() {
+        assert!(parse(&["--servers", "a:1", "--stream"]).unwrap().stream);
+        let err = parse(&["--servers", "a:1,b:2", "--stream"]).unwrap_err();
+        assert!(err.contains("--stream"), "{err}");
     }
 
     #[test]

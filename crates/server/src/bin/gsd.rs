@@ -3,7 +3,8 @@
 //! ```text
 //! gsd [--port P] [--cache-dir DIR | --no-cache] [--workers N]
 //!     [--queue-cap N] [--shard N/M] [--jobs N] [--est-job-ms MS]
-//!     [--hold-ms MS]
+//!     [--hold-ms MS] [--peers HOST:PORT,...] [--idle-timeout-ms MS]
+//!     [--max-conn-requests N] [--pipeline-depth N]
 //! ```
 //!
 //! Binds 127.0.0.1, prints `gsd listening on ADDR shard N/M` once ready
@@ -86,6 +87,32 @@ fn parse_config(argv: impl Iterator<Item = String>) -> Result<ServerConfig, Stri
                 let v = take_value(&mut args, "--hold-ms")?;
                 config.hold_ms = v.parse().map_err(|_| format!("bad --hold-ms {v:?}"))?;
             }
+            "--peers" => {
+                config.peers = take_value(&mut args, "--peers")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
+            "--idle-timeout-ms" => {
+                let v = take_value(&mut args, "--idle-timeout-ms")?;
+                config.idle_timeout_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --idle-timeout-ms {v:?}"))?;
+            }
+            "--max-conn-requests" => {
+                let v = take_value(&mut args, "--max-conn-requests")?;
+                config.max_conn_requests = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-conn-requests {v:?}"))?;
+            }
+            "--pipeline-depth" => {
+                let v = take_value(&mut args, "--pipeline-depth")?;
+                config.pipeline_depth = v
+                    .parse()
+                    .map_err(|_| format!("bad --pipeline-depth {v:?}"))?;
+            }
             other => return Err(unknown_argument(other)),
         }
     }
@@ -151,6 +178,14 @@ mod tests {
             "50",
             "--hold-ms",
             "5",
+            "--peers",
+            "127.0.0.1:7001, 127.0.0.1:7002",
+            "--idle-timeout-ms",
+            "1500",
+            "--max-conn-requests",
+            "64",
+            "--pipeline-depth",
+            "4",
         ])
         .unwrap();
         assert_eq!(c.port, 8123);
@@ -161,6 +196,10 @@ mod tests {
         assert_eq!(c.jobs_per_request, 2);
         assert_eq!(c.est_job_ms, 50);
         assert_eq!(c.hold_ms, 5);
+        assert_eq!(c.peers, vec!["127.0.0.1:7001", "127.0.0.1:7002"]);
+        assert_eq!(c.idle_timeout_ms, 1500);
+        assert_eq!(c.max_conn_requests, 64);
+        assert_eq!(c.pipeline_depth, 4);
     }
 
     #[test]

@@ -8,32 +8,67 @@
 //! full workload list (profiles are cheap and cached), so all shards agree
 //! on the `workloads` array and only the `cells` arrays differ.
 
-use crate::http;
+use crate::http::ClientConn;
 use crate::protocol::{request_to_json, RunRequest};
 use crate::shard::split_request;
+use guardspec_harness::hash::StableHasher;
 use guardspec_harness::{json, Json};
 use std::time::Duration;
 
 /// How many 429s a single sub-request tolerates before giving up.
 const MAX_RETRIES: u32 = 20;
 
-/// POST `req` to `addr`, honouring 429 retry hints.  Returns the response
-/// body (the stable artifact JSON) on 200.
-pub fn post_run(addr: &str, req: &RunRequest) -> Result<String, String> {
+/// What a fan-out cost beyond the artifact itself: ammunition for the
+/// `gsc` stderr summary and the loadgen benchmark.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientStats {
+    /// 429-triggered retries across all shards.
+    pub retries: u64,
+    /// TCP connections opened across all shards (1 per shard on a healthy
+    /// keep-alive run, regardless of retries).
+    pub connections_opened: u64,
+}
+
+/// The server's `retry_after_ms` hint, plus deterministic jitter (up to
+/// +25%, from a stable hash of the attempt and address) so a herd of
+/// rejected clients doesn't re-arrive in lockstep and bounce again.
+fn backoff_ms(hint_ms: u64, attempt: u32, addr: &str) -> u64 {
+    let base = hint_ms.clamp(10, 5_000);
+    let mut h = StableHasher::new();
+    h.write_str("retry-jitter");
+    h.write_str(addr);
+    h.write_u64(attempt as u64);
+    let jitter = u64::from_str_radix(&h.finish_hex()[..8], 16).unwrap_or(0) % (base / 4 + 1);
+    base + jitter
+}
+
+/// POST `req` to the server behind `conn` (reusing its keep-alive
+/// connection), honouring 429 `retry_after_ms` hints with jitter.
+/// Returns the response body (the stable artifact JSON) on 200 and
+/// accumulates 429 retries into `retries`.
+pub fn post_run_on(
+    conn: &mut ClientConn,
+    addr: &str,
+    req: &RunRequest,
+    retries: &mut u64,
+) -> Result<String, String> {
     let body = request_to_json(req).to_compact();
-    for _ in 0..MAX_RETRIES {
-        let (status, resp) = http::post_json(addr, "/run", &body)
+    for attempt in 0..MAX_RETRIES {
+        let resp = conn
+            .request("POST", "/run", body.as_bytes())
             .map_err(|e| format!("POST {addr}/run failed: {e}"))?;
-        match status {
-            200 => return Ok(resp),
+        let text = String::from_utf8_lossy(&resp.body).to_string();
+        match resp.status {
+            200 => return Ok(text),
             429 => {
-                let wait_ms = json::parse(&resp)
+                *retries += 1;
+                let hint = json::parse(&text)
                     .ok()
                     .and_then(|j| j.get("retry_after_ms").and_then(Json::as_u64))
                     .unwrap_or(250);
-                std::thread::sleep(Duration::from_millis(wait_ms.clamp(10, 5_000)));
+                std::thread::sleep(Duration::from_millis(backoff_ms(hint, attempt, addr)));
             }
-            _ => return Err(format!("{addr}/run returned {status}: {resp}")),
+            status => return Err(format!("{addr}/run returned {status}: {text}")),
         }
     }
     Err(format!(
@@ -41,30 +76,61 @@ pub fn post_run(addr: &str, req: &RunRequest) -> Result<String, String> {
     ))
 }
 
+/// POST `req` to `addr` on a fresh connection.  Kept for one-shot callers;
+/// fan-out uses [`post_run_on`] with a per-shard keep-alive connection.
+pub fn post_run(addr: &str, req: &RunRequest) -> Result<String, String> {
+    let mut conn = ClientConn::new(addr);
+    post_run_on(&mut conn, addr, req, &mut 0)
+}
+
 /// Fan `req` across `servers` (shard `k` of `servers.len()` goes to
 /// `servers[k]`) and merge the partial artifacts back into one stable
-/// artifact, byte-identical to an offline run of the whole sweep.
+/// artifact, byte-identical to an offline run of the full sweep.
 pub fn run_fanout(servers: &[String], req: &RunRequest) -> Result<String, String> {
+    run_fanout_stats(servers, req).map(|(body, _)| body)
+}
+
+/// [`run_fanout`] plus [`ClientStats`].  Each shard gets one keep-alive
+/// connection for its whole request/retry conversation.
+pub fn run_fanout_stats(
+    servers: &[String],
+    req: &RunRequest,
+) -> Result<(String, ClientStats), String> {
     if servers.is_empty() {
         return Err("no servers given".to_string());
     }
+    let one_shard = |addr: &str, part: &RunRequest| -> Result<(String, ClientStats), String> {
+        let mut conn = ClientConn::new(addr);
+        let mut retries = 0u64;
+        let body = post_run_on(&mut conn, addr, part, &mut retries)?;
+        Ok((
+            body,
+            ClientStats {
+                retries,
+                connections_opened: conn.connections_opened(),
+            },
+        ))
+    };
     if servers.len() == 1 {
-        return post_run(&servers[0], req);
+        return one_shard(&servers[0], req);
     }
     let (parts, indices) = split_request(req, servers.len() as u64);
     let handles: Vec<_> = parts
         .into_iter()
         .zip(servers.iter().cloned())
-        .map(|(part, addr)| std::thread::spawn(move || post_run(&addr, &part)))
+        .map(|(part, addr)| std::thread::spawn(move || one_shard(&addr, &part)))
         .collect();
     let mut bodies = Vec::with_capacity(handles.len());
+    let mut stats = ClientStats::default();
     for h in handles {
-        bodies.push(
-            h.join()
-                .map_err(|_| "client thread panicked".to_string())??,
-        );
+        let (body, s) = h
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+        stats.retries += s.retries;
+        stats.connections_opened += s.connections_opened;
+        bodies.push(body);
     }
-    merge_shard_bodies(&bodies, &indices)
+    Ok((merge_shard_bodies(&bodies, &indices)?, stats))
 }
 
 /// Reassemble `M` partial stable artifacts into the full one.  `indices[k]`
@@ -172,6 +238,26 @@ mod tests {
         b1 = b1.replace("\"test\"", "\"small\"");
         let err = merge_shard_bodies(&[b0, b1], &[vec![0], vec![1]]).unwrap_err();
         assert!(err.contains("disagrees on \"scale\""), "{err}");
+    }
+
+    #[test]
+    fn backoff_honours_the_hint_with_bounded_jitter() {
+        // Deterministic (same inputs, same wait), within [hint, hint*1.25],
+        // and clamped away from silly hints.
+        assert_eq!(
+            backoff_ms(1000, 3, "127.0.0.1:80"),
+            backoff_ms(1000, 3, "127.0.0.1:80")
+        );
+        for attempt in 0..10 {
+            let w = backoff_ms(1000, attempt, "a:1");
+            assert!((1000..=1250).contains(&w), "{w}");
+        }
+        assert!(backoff_ms(0, 0, "a:1") >= 10);
+        assert!(backoff_ms(u64::MAX, 0, "a:1") <= 6_250);
+        // Different attempts/addresses de-synchronise the herd.
+        let spread: std::collections::HashSet<u64> =
+            (0..10).map(|a| backoff_ms(1000, a, "a:1")).collect();
+        assert!(spread.len() > 1, "jitter must actually vary");
     }
 
     #[test]

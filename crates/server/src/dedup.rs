@@ -4,10 +4,18 @@
 //! The map is keyed by [`crate::protocol::request_key`].  The first
 //! arrival becomes the **owner** (it schedules the job and must eventually
 //! [`FlightMap::publish`]); later arrivals while the flight is open become
-//! **joiners** and block until the outcome lands.  Publishing removes the
-//! entry — a request arriving *after* publication starts a fresh flight,
-//! which is correct (it will hit the disk cache) and keeps outcomes from
-//! pinning memory forever.
+//! **joiners**.  Two joining styles share one flight:
+//!
+//! * [`FlightMap::enter`] blocks the calling thread until the outcome
+//!   lands (the historical thread-per-connection style, kept for tests);
+//! * [`FlightMap::enter_async`] registers a callback instead — the event
+//!   loop's style, where no thread may ever block.  Callbacks run on the
+//!   publisher's thread, so they must be cheap (the server's push a
+//!   completion and poke an eventfd).
+//!
+//! Publishing removes the entry — a request arriving *after* publication
+//! starts a fresh flight, which is correct (it will hit the disk cache)
+//! and keeps outcomes from pinning memory forever.
 //!
 //! The owner publishes *whatever happened*, including rejection: if the
 //! owner's enqueue bounced off a full queue, joiners get the same 429 —
@@ -29,8 +37,16 @@ pub enum Outcome {
     Draining,
 }
 
+/// A callback fired exactly once with the flight's outcome.
+pub type Waiter = Box<dyn FnOnce(Outcome) + Send>;
+
+struct FlightState {
+    outcome: Option<Outcome>,
+    waiters: Vec<Waiter>,
+}
+
 struct Flight {
-    outcome: Mutex<Option<Outcome>>,
+    state: Mutex<FlightState>,
     published: Condvar,
 }
 
@@ -45,11 +61,11 @@ pub struct FlightTicket {
 impl FlightTicket {
     /// Block until someone publishes this flight's outcome.
     pub fn wait(self) -> Outcome {
-        let mut slot = self.flight.outcome.lock().unwrap();
-        while slot.is_none() {
-            slot = self.flight.published.wait(slot).unwrap();
+        let mut st = self.flight.state.lock().unwrap();
+        while st.outcome.is_none() {
+            st = self.flight.published.wait(st).unwrap();
         }
-        slot.clone().unwrap()
+        st.outcome.clone().unwrap()
     }
 }
 
@@ -72,32 +88,65 @@ impl FlightMap {
         FlightMap::default()
     }
 
+    fn enter_flight(&self, key: &str) -> (Arc<Flight>, bool) {
+        let mut map = self.flights.lock().unwrap();
+        match map.get(key) {
+            Some(f) => (f.clone(), false),
+            None => {
+                let flight = Arc::new(Flight {
+                    state: Mutex::new(FlightState {
+                        outcome: None,
+                        waiters: Vec::new(),
+                    }),
+                    published: Condvar::new(),
+                });
+                map.insert(key.to_string(), flight.clone());
+                (flight, true)
+            }
+        }
+    }
+
     /// Enter the flight for `key`.  Owners return immediately; joiners
     /// block until the owner publishes.
     pub fn enter(&self, key: &str) -> Entered {
-        let flight = {
-            let mut map = self.flights.lock().unwrap();
-            match map.get(key) {
-                Some(f) => f.clone(),
+        let (flight, owner) = self.enter_flight(key);
+        if owner {
+            return Entered::Owner(FlightTicket { flight });
+        }
+        let mut st = flight.state.lock().unwrap();
+        while st.outcome.is_none() {
+            st = flight.published.wait(st).unwrap();
+        }
+        Entered::Joined(st.outcome.clone().unwrap())
+    }
+
+    /// Non-blocking entry: `waiter` fires with the outcome whenever it
+    /// publishes (immediately, on this thread, if it already has — the
+    /// flight may have published between map lookup and registration).
+    /// Returns whether this arrival owns the flight and must schedule the
+    /// job that eventually publishes.
+    pub fn enter_async(&self, key: &str, waiter: Waiter) -> bool {
+        let (flight, owner) = self.enter_flight(key);
+        let fire_now = {
+            let mut st = flight.state.lock().unwrap();
+            match st.outcome.clone() {
+                Some(o) => Some((waiter, o)),
                 None => {
-                    let flight = Arc::new(Flight {
-                        outcome: Mutex::new(None),
-                        published: Condvar::new(),
-                    });
-                    map.insert(key.to_string(), flight.clone());
-                    return Entered::Owner(FlightTicket { flight });
+                    st.waiters.push(waiter);
+                    None
                 }
             }
         };
-        let mut slot = flight.outcome.lock().unwrap();
-        while slot.is_none() {
-            slot = flight.published.wait(slot).unwrap();
+        if let Some((w, o)) = fire_now {
+            w(o);
         }
-        Entered::Joined(slot.clone().unwrap())
+        owner
     }
 
-    /// Publish the owner's outcome and wake every joiner.  The entry is
-    /// removed first, so arrivals from this instant on start a new flight.
+    /// Publish the owner's outcome: wake every blocking joiner and fire
+    /// every registered callback (on this thread, outside the locks).  The
+    /// entry is removed first, so arrivals from this instant on start a
+    /// new flight.
     pub fn publish(&self, key: &str, outcome: Outcome) {
         let flight = self
             .flights
@@ -105,8 +154,15 @@ impl FlightMap {
             .unwrap()
             .remove(key)
             .expect("publish without an open flight");
-        *flight.outcome.lock().unwrap() = Some(outcome);
+        let waiters = {
+            let mut st = flight.state.lock().unwrap();
+            st.outcome = Some(outcome.clone());
+            std::mem::take(&mut st.waiters)
+        };
         flight.published.notify_all();
+        for w in waiters {
+            w(outcome.clone());
+        }
     }
 
     /// Flights currently open (owned, not yet published).
@@ -174,5 +230,49 @@ mod tests {
             Outcome::Done(s) => assert_eq!(s.as_str(), "late"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn async_waiters_fire_on_publish_in_registration_order() {
+        let map = FlightMap::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let push = |tag: &'static str| {
+            let log = log.clone();
+            Box::new(move |o: Outcome| {
+                log.lock()
+                    .unwrap()
+                    .push((tag, matches!(o, Outcome::Done(_))));
+            }) as Waiter
+        };
+        assert!(map.enter_async("k", push("owner")));
+        assert!(!map.enter_async("k", push("join1")));
+        assert!(!map.enter_async("k", push("join2")));
+        assert!(
+            log.lock().unwrap().is_empty(),
+            "nothing fires before publish"
+        );
+        map.publish("k", Outcome::Done(Arc::new("x".to_string())));
+        assert_eq!(
+            log.lock().unwrap().as_slice(),
+            [("owner", true), ("join1", true), ("join2", true)]
+        );
+        assert_eq!(map.in_flight(), 0);
+    }
+
+    #[test]
+    fn mixed_blocking_and_async_joiners_share_one_flight() {
+        let map = Arc::new(FlightMap::new());
+        assert!(map.enter_async("k", Box::new(|_| {})));
+        let blocked = {
+            let map = map.clone();
+            std::thread::spawn(move || match map.enter("k") {
+                Entered::Joined(Outcome::Done(s)) => s.as_str().to_string(),
+                _ => panic!("must join the async-owned flight"),
+            })
+        };
+        // Give the blocking joiner a moment to park.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        map.publish("k", Outcome::Done(Arc::new("both".to_string())));
+        assert_eq!(blocked.join().unwrap(), "both");
     }
 }

@@ -1,0 +1,706 @@
+//! Single-threaded epoll event loop: the connection plane of `gsd`.
+//!
+//! The previous service layer spent a thread per connection and paid a
+//! full TCP handshake per request.  This module replaces it with one
+//! event-loop thread multiplexing every connection over `epoll` (raw
+//! syscalls via the same thin-FFI style as `gsd`'s `signal()` drain —
+//! no async runtime, no crates), plus the existing worker pool for the
+//! actual simulation jobs.
+//!
+//! Division of labour:
+//!
+//! * **This thread** accepts, reads, parses (incrementally, via
+//!   [`http::try_parse`]), dispatches to the [`Service`], and writes
+//!   responses.  It never blocks on a socket and never computes.
+//! * **Workers** run jobs and *complete* requests by pushing a
+//!   [`Completion`] through the [`Wakeup`] (a mutexed vector plus an
+//!   `eventfd` poke).  A [`Responder`] is the cloneable capability to do
+//!   so for one specific request.
+//!
+//! Per-connection state machine:
+//!
+//! ```text
+//!   read → rbuf → try_parse ─┬─ Partial   → wait for more bytes
+//!                            ├─ Complete  → dispatch slot(seq), repeat
+//!                            └─ Error     → synthetic error slot, close
+//!   completions → slots[seq].done
+//!   pump: slots flushed strictly in seq order  (pipelining keeps order)
+//! ```
+//!
+//! Keep-alive is the default (HTTP/1.1 semantics, see
+//! [`HttpRequest::keep_alive`]); a connection closes when the client
+//! asks, after `max_conn_requests`, on a parse error, while draining, or
+//! after `idle_timeout_ms` with nothing in flight.  Pipelining is
+//! bounded by `pipeline_depth`: at the cap the connection's `EPOLLIN`
+//! interest is dropped, so a flooding client is back-pressured by TCP
+//! instead of ballooning `rbuf`.
+//!
+//! Streaming responses (`POST /run?stream=1`) hold their slot open:
+//! `Responder::event` lines are flushed as chunked NDJSON the moment
+//! they arrive, and the final [`Completion::Reply`] becomes a
+//! `{"event":"result",...}` delimiter chunk followed by the artifact
+//! body.  The HTTP status is always 200 on a stream; the real status
+//! rides in the result event.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::raw::c_int;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::http::{self, HttpRequest, Parsed};
+
+mod ffi {
+    use std::os::raw::c_int;
+
+    // x86-64 is the one ABI where the kernel's epoll_event is packed.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: u32, flags: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    }
+}
+
+/// Tuning knobs for the loop, all settable from `gsd` flags.
+#[derive(Clone, Copy, Debug)]
+pub struct EventLoopConfig {
+    /// Close keep-alive connections idle (no request in flight) this long.
+    pub idle_timeout_ms: u64,
+    /// Close a connection after serving this many requests.
+    pub max_conn_requests: u64,
+    /// Per-connection cap on dispatched-but-unanswered pipelined requests.
+    pub pipeline_depth: usize,
+}
+
+impl Default for EventLoopConfig {
+    fn default() -> EventLoopConfig {
+        EventLoopConfig {
+            idle_timeout_ms: 30_000,
+            max_conn_requests: 1000,
+            pipeline_depth: 16,
+        }
+    }
+}
+
+/// What the application hands back to the loop for one request.
+pub enum Completion {
+    /// The final response.  For streaming slots this closes the stream
+    /// with a result-event chunk + body chunks; `headers` are ignored
+    /// there (chunked framing owns the wire format).
+    Reply {
+        token: u64,
+        seq: u64,
+        status: u16,
+        headers: Vec<(String, String)>,
+        body: Vec<u8>,
+    },
+    /// One NDJSON progress line for a streaming slot (ignored on
+    /// non-streaming slots and on connections that already died).
+    Event { token: u64, seq: u64, line: String },
+}
+
+/// Completion queue + `eventfd` doorbell.  Workers push from any thread;
+/// the loop drains on wake-up.  `notify()` alone (no completion) is how
+/// `begin_shutdown` kicks the loop into re-checking its drain condition.
+pub struct Wakeup {
+    queue: Mutex<Vec<Completion>>,
+    efd: c_int,
+}
+
+impl Wakeup {
+    pub fn new() -> io::Result<Wakeup> {
+        let efd = unsafe { ffi::eventfd(0, ffi::EFD_NONBLOCK | ffi::EFD_CLOEXEC) };
+        if efd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Wakeup {
+            queue: Mutex::new(Vec::new()),
+            efd,
+        })
+    }
+
+    fn push(&self, c: Completion) {
+        self.queue.lock().unwrap().push(c);
+        self.notify();
+    }
+
+    /// Poke the loop without enqueuing anything.
+    pub fn notify(&self) {
+        let one: u64 = 1;
+        unsafe { ffi::write(self.efd, &one as *const u64 as *const u8, 8) };
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        let mut buf = [0u8; 8];
+        // Nonblocking: read until the counter is clear.
+        while unsafe { ffi::read(self.efd, buf.as_mut_ptr(), 8) } == 8 {}
+        std::mem::take(&mut *self.queue.lock().unwrap())
+    }
+}
+
+impl Drop for Wakeup {
+    fn drop(&mut self) {
+        unsafe { ffi::close(self.efd) };
+    }
+}
+
+/// The capability to answer one specific request.  Cloneable so the
+/// application can stash it in a progress hook *and* a flight waiter.
+#[derive(Clone)]
+pub struct Responder {
+    wake: Arc<Wakeup>,
+    token: u64,
+    seq: u64,
+}
+
+impl Responder {
+    pub fn reply(&self, status: u16, headers: Vec<(String, String)>, body: Vec<u8>) {
+        self.wake.push(Completion::Reply {
+            token: self.token,
+            seq: self.seq,
+            status,
+            headers,
+            body,
+        });
+    }
+
+    pub fn event(&self, line: &str) {
+        self.wake.push(Completion::Event {
+            token: self.token,
+            seq: self.seq,
+            line: line.to_string(),
+        });
+    }
+}
+
+/// What the loop needs from the application.  Implemented by the
+/// server's `Shared`.
+pub trait Service: Send + Sync + 'static {
+    /// Handle one parsed request.  Must eventually cause exactly one
+    /// `responder.reply(..)` (synchronously or from a worker); streaming
+    /// requests may interleave `responder.event(..)` before it.
+    fn handle(&self, req: HttpRequest, peer: SocketAddr, responder: Responder);
+    /// True once shutdown began: new connections stop keeping alive.
+    fn draining(&self) -> bool;
+    /// True once the application side has no queued/executing work left.
+    fn drained(&self) -> bool;
+    fn metric_incr(&self, name: &str);
+    fn metric_max(&self, name: &str, value: u64);
+}
+
+/// A finished response: status, extra headers, body.
+type Reply = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// One request's place in the response order.
+struct Slot {
+    stream: bool,
+    close_after: bool,
+    /// Stream head bytes already emitted.
+    started: bool,
+    events: Vec<String>,
+    done: Option<Reply>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Dispatched-but-not-fully-written requests, keyed by sequence.
+    slots: BTreeMap<u64, Slot>,
+    next_seq: u64,
+    next_write: u64,
+    /// Requests dispatched over the connection's lifetime.
+    dispatched: u64,
+    last_activity: Instant,
+    /// No more reads; close once every slot has flushed.
+    closing: bool,
+    interest: u32,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            slots: BTreeMap::new(),
+            next_seq: 0,
+            next_write: 0,
+            dispatched: 0,
+            last_activity: Instant::now(),
+            closing: false,
+            interest: ffi::EPOLLIN,
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.wpos == self.wbuf.len()
+    }
+
+    fn quiescent(&self) -> bool {
+        self.slots.is_empty() && self.flushed()
+    }
+}
+
+fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = ffi::EpollEvent { events, data };
+    let rc = unsafe { ffi::epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKEUP: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Run the loop until the service reports itself drained.  Owns the
+/// listener; every connection socket lives and dies on this thread.
+pub fn run_event_loop(
+    listener: TcpListener,
+    service: Arc<dyn Service>,
+    wake: Arc<Wakeup>,
+    cfg: EventLoopConfig,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let epfd = unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) };
+    if epfd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // Ensure the fd is released on every exit path below.
+    struct EpollFd(c_int);
+    impl Drop for EpollFd {
+        fn drop(&mut self) {
+            unsafe { ffi::close(self.0) };
+        }
+    }
+    let epfd = EpollFd(epfd);
+
+    epoll_ctl(
+        epfd.0,
+        ffi::EPOLL_CTL_ADD,
+        listener.as_raw_fd(),
+        ffi::EPOLLIN,
+        TOKEN_LISTENER,
+    )?;
+    epoll_ctl(
+        epfd.0,
+        ffi::EPOLL_CTL_ADD,
+        wake.efd,
+        ffi::EPOLLIN,
+        TOKEN_WAKEUP,
+    )?;
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut events = vec![ffi::EpollEvent { events: 0, data: 0 }; 64];
+
+    loop {
+        let n = unsafe { ffi::epoll_wait(epfd.0, events.as_mut_ptr(), events.len() as c_int, 100) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return Err(err);
+        }
+
+        for ev in events.iter().take(n as usize) {
+            let token = ev.data; // copy out: the struct may be packed
+            match token {
+                TOKEN_LISTENER => {
+                    accept_all(&listener, epfd.0, &mut conns, &mut next_token, &*service)
+                }
+                TOKEN_WAKEUP => {} // drained below, every iteration
+                token => {
+                    if let Some(conn) = conns.get_mut(&token) {
+                        let bits = ev.events;
+                        if bits & (ffi::EPOLLIN | ffi::EPOLLERR | ffi::EPOLLHUP) != 0 {
+                            read_conn(conn);
+                        }
+                        if bits & ffi::EPOLLOUT != 0 {
+                            conn.last_activity = Instant::now();
+                        }
+                    }
+                }
+            }
+        }
+
+        for done in wake.drain() {
+            match done {
+                Completion::Reply {
+                    token,
+                    seq,
+                    status,
+                    headers,
+                    body,
+                } => {
+                    if let Some(slot) = conns.get_mut(&token).and_then(|c| c.slots.get_mut(&seq)) {
+                        slot.done = Some((status, headers, body));
+                    }
+                }
+                Completion::Event { token, seq, line } => {
+                    if let Some(slot) = conns.get_mut(&token).and_then(|c| c.slots.get_mut(&seq)) {
+                        if slot.stream && slot.done.is_none() {
+                            slot.events.push(line);
+                        }
+                    }
+                }
+            }
+        }
+
+        let now = Instant::now();
+        let mut dead = Vec::new();
+        for (&token, conn) in conns.iter_mut() {
+            parse_loop(conn, token, &*service, &wake, &cfg);
+            let alive = pump(conn);
+            if !alive || (conn.closing && conn.quiescent()) {
+                dead.push(token);
+                continue;
+            }
+            // Reap idle keep-alive connections.
+            if conn.quiescent()
+                && !conn.closing
+                && now.duration_since(conn.last_activity).as_millis() as u64 >= cfg.idle_timeout_ms
+            {
+                service.metric_incr("connections.reaped");
+                dead.push(token);
+                continue;
+            }
+            let mut want = 0u32;
+            if !conn.closing && conn.slots.len() < cfg.pipeline_depth {
+                want |= ffi::EPOLLIN;
+            }
+            if !conn.flushed() {
+                want |= ffi::EPOLLOUT;
+            }
+            if want != conn.interest {
+                let _ = epoll_ctl(
+                    epfd.0,
+                    ffi::EPOLL_CTL_MOD,
+                    conn.stream.as_raw_fd(),
+                    want,
+                    token,
+                );
+                conn.interest = want;
+            }
+        }
+        for token in dead {
+            if let Some(conn) = conns.remove(&token) {
+                let _ = epoll_ctl(epfd.0, ffi::EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, 0);
+            }
+        }
+
+        if service.draining() && service.drained() && conns.values().all(|c| c.quiescent()) {
+            // Remaining connections are idle keep-alives; dropping the map
+            // closes them.
+            return Ok(());
+        }
+    }
+}
+
+fn accept_all(
+    listener: &TcpListener,
+    epfd: c_int,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    service: &dyn Service,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                if epoll_ctl(
+                    epfd,
+                    ffi::EPOLL_CTL_ADD,
+                    stream.as_raw_fd(),
+                    ffi::EPOLLIN,
+                    token,
+                )
+                .is_err()
+                {
+                    continue;
+                }
+                conns.insert(token, Conn::new(stream));
+                service.metric_incr("connections.opened");
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Pull everything the socket has; never blocks.
+fn read_conn(conn: &mut Conn) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.closing = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&buf[..n]);
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.closing = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Dispatch every complete request in `rbuf`, up to the pipeline cap.
+fn parse_loop(
+    conn: &mut Conn,
+    token: u64,
+    service: &dyn Service,
+    wake: &Arc<Wakeup>,
+    cfg: &EventLoopConfig,
+) {
+    while !conn.closing && conn.slots.len() < cfg.pipeline_depth {
+        match http::try_parse(&conn.rbuf) {
+            Parsed::Partial => break,
+            Parsed::Complete { req, consumed } => {
+                conn.rbuf.drain(..consumed);
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                conn.dispatched += 1;
+                if conn.dispatched > 1 {
+                    service.metric_incr("connections.reused");
+                }
+                service.metric_max("pipeline.depth_max", conn.slots.len() as u64 + 1);
+                let stream = req.method == "POST" && req.path == "/run" && req.query_flag("stream");
+                let keep = req.keep_alive()
+                    && conn.dispatched < cfg.max_conn_requests
+                    && !service.draining();
+                conn.slots.insert(
+                    seq,
+                    Slot {
+                        stream,
+                        close_after: !keep,
+                        started: false,
+                        events: Vec::new(),
+                        done: None,
+                    },
+                );
+                if !keep {
+                    conn.closing = true;
+                }
+                let peer = conn
+                    .stream
+                    .peer_addr()
+                    .unwrap_or_else(|_| "0.0.0.0:0".parse().unwrap());
+                service.handle(
+                    req,
+                    peer,
+                    Responder {
+                        wake: wake.clone(),
+                        token,
+                        seq,
+                    },
+                );
+            }
+            Parsed::Error { status, msg } => {
+                // Answer what we can make sense of, then hang up: bytes
+                // after a framing error are garbage.
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                let body = format!("{{\"error\":\"{msg}\"}}\n").into_bytes();
+                conn.slots.insert(
+                    seq,
+                    Slot {
+                        stream: false,
+                        close_after: true,
+                        started: false,
+                        events: Vec::new(),
+                        done: Some((
+                            status,
+                            vec![("Content-Type".to_string(), "application/json".to_string())],
+                            body,
+                        )),
+                    },
+                );
+                conn.closing = true;
+                conn.rbuf.clear();
+                break;
+            }
+        }
+    }
+}
+
+/// Encode finished slots (strictly in sequence order) into `wbuf` and
+/// flush as much as the socket accepts.  Returns false if the peer died.
+fn pump(conn: &mut Conn) -> bool {
+    while let Some(slot) = conn.slots.get_mut(&conn.next_write) {
+        if slot.stream {
+            if !slot.started && (!slot.events.is_empty() || slot.done.is_some()) {
+                conn.wbuf
+                    .extend_from_slice(&http::encode_stream_head(!slot.close_after));
+                slot.started = true;
+            }
+            for line in slot.events.drain(..) {
+                let mut framed = line.into_bytes();
+                framed.push(b'\n');
+                conn.wbuf.extend_from_slice(&http::encode_chunk(&framed));
+            }
+            let Some((status, _headers, body)) = slot.done.take() else {
+                break; // stream still open; later slots must wait
+            };
+            let result = format!("{{\"event\":\"result\",\"status\":{status}}}\n");
+            conn.wbuf
+                .extend_from_slice(&http::encode_chunk(result.as_bytes()));
+            if !body.is_empty() {
+                conn.wbuf.extend_from_slice(&http::encode_chunk(&body));
+            }
+            conn.wbuf.extend_from_slice(http::encode_last_chunk());
+        } else {
+            let Some((status, headers, body)) = slot.done.take() else {
+                break;
+            };
+            let hdrs: Vec<(&str, String)> = headers
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect();
+            let keep = !slot.close_after;
+            conn.wbuf
+                .extend_from_slice(&http::encode_response(status, &hdrs, &body, keep));
+        }
+        conn.slots.remove(&conn.next_write);
+        conn.next_write += 1;
+    }
+
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.wpos += n;
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.flushed() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wakeup_queues_and_drains() {
+        let wake = Wakeup::new().unwrap();
+        wake.push(Completion::Event {
+            token: 7,
+            seq: 0,
+            line: "a".to_string(),
+        });
+        wake.push(Completion::Reply {
+            token: 7,
+            seq: 0,
+            status: 200,
+            headers: Vec::new(),
+            body: b"ok".to_vec(),
+        });
+        let drained = wake.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(matches!(&drained[0], Completion::Event { line, .. } if line == "a"));
+        assert!(matches!(&drained[1], Completion::Reply { status: 200, .. }));
+        assert!(wake.drain().is_empty());
+    }
+
+    #[test]
+    fn pump_orders_pipelined_responses_by_sequence() {
+        // Answer seq 1 before seq 0: nothing may flush until 0 lands.
+        let (a, mut b) = local_pair();
+        let mut conn = Conn::new(a);
+        for seq in [0u64, 1] {
+            conn.slots.insert(
+                seq,
+                Slot {
+                    stream: false,
+                    close_after: false,
+                    started: false,
+                    events: Vec::new(),
+                    done: None,
+                },
+            );
+        }
+        conn.slots.get_mut(&1).unwrap().done = Some((200, Vec::new(), b"second".to_vec()));
+        assert!(pump(&mut conn));
+        assert!(conn.wbuf.is_empty(), "seq 1 must wait for seq 0");
+        conn.slots.get_mut(&0).unwrap().done = Some((200, Vec::new(), b"first".to_vec()));
+        assert!(pump(&mut conn));
+        assert!(conn.slots.is_empty());
+        b.set_read_timeout(Some(std::time::Duration::from_millis(500)))
+            .unwrap();
+        let mut wire = Vec::new();
+        let mut buf = [0u8; 4096];
+        while !String::from_utf8_lossy(&wire).contains("second") {
+            let n = b.read(&mut buf).expect("both responses on the wire");
+            assert!(n > 0, "peer closed before both responses arrived");
+            wire.extend_from_slice(&buf[..n]);
+        }
+        let wire = String::from_utf8_lossy(&wire).to_string();
+        let first = wire.find("first").expect("first response on the wire");
+        let second = wire.find("second").expect("second response on the wire");
+        assert!(first < second, "responses must flush in request order");
+    }
+
+    fn local_pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = l.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+}

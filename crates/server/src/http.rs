@@ -1,17 +1,36 @@
 //! Minimal hand-rolled HTTP/1.1 — just enough for the daemon and its
 //! client, with no external dependencies.
 //!
-//! Supported surface: one request per connection (`Connection: close`),
-//! `Content-Length` bodies (no chunked encoding), GET and POST.  Both sides
-//! are strict about what they emit and tolerant about header case/extras.
+//! Two parsing surfaces share the same grammar:
+//!
+//! * [`try_parse`] — the **incremental** parser the epoll event loop feeds
+//!   from a per-connection read buffer.  It never blocks: a prefix of a
+//!   request yields [`Parsed::Partial`], a complete request yields the
+//!   parsed [`HttpRequest`] plus how many bytes to drain (pipelined
+//!   requests simply leave the next one in the buffer), and a framing
+//!   violation yields a terminal [`Parsed::Error`] with the status to send
+//!   before closing.
+//! * [`read_request`] — the historical blocking reader, kept for tests and
+//!   simple tools.
+//!
+//! Responses are either `Content-Length` framed ([`encode_response`], with
+//! keep-alive or close) or chunked ([`encode_stream_head`] +
+//! [`encode_chunk`]) for the `POST /run?stream=1` progress stream.  The
+//! client side offers one-shot helpers ([`roundtrip`], [`get`],
+//! [`post_json`] — all `Connection: close`) and [`ClientConn`], a
+//! keep-alive connection that reuses one TCP stream across requests,
+//! reconnects transparently when the server reaped it, and can pipeline
+//! several requests or decode a chunked progress stream.
+//!
 //! Hard limits keep a misbehaving peer from ballooning memory: 64 KiB of
 //! headers, 16 MiB of body.
 
+use guardspec_harness::{json, Json};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
 /// Longest accepted request head (request line + headers).
-const MAX_HEAD: usize = 64 * 1024;
+pub const MAX_HEAD: usize = 64 * 1024;
 /// Longest accepted body.
 pub const MAX_BODY: usize = 16 * 1024 * 1024;
 
@@ -20,7 +39,43 @@ pub const MAX_BODY: usize = 16 * 1024 * 1024;
 pub struct HttpRequest {
     pub method: String,
     pub path: String,
+    /// Raw query string (text after `?`, undecoded); empty if absent.
+    pub query: String,
+    pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
+    /// `true` for `HTTP/1.0` requests (keep-alive must be opted into).
+    http10: bool,
+}
+
+impl HttpRequest {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection may serve another request after this one:
+    /// HTTP/1.1 defaults to yes unless `Connection: close`; HTTP/1.0
+    /// defaults to no unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => !self.http10,
+        }
+    }
+
+    /// Whether the query string carries `name` or `name=1`/`name=true`.
+    pub fn query_flag(&self, name: &str) -> bool {
+        self.query.split('&').any(|kv| {
+            kv == name
+                || kv
+                    .split_once('=')
+                    .is_some_and(|(k, v)| k == name && (v == "1" || v == "true"))
+        })
+    }
 }
 
 /// A parsed inbound response (client side).
@@ -39,43 +94,124 @@ impl HttpResponse {
             .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
+
+    fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
-/// Read one request from the stream.  `Err` means the connection is
-/// unusable (peer vanished, malformed head, limits exceeded) — the caller
-/// just drops it.
-pub fn read_request(stream: &mut TcpStream) -> std::io::Result<HttpRequest> {
-    let (head, mut body_prefix) = read_head(stream)?;
+// --- incremental request parsing -----------------------------------------
+
+/// One [`try_parse`] step over a connection's read buffer.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A complete request; drain `consumed` bytes from the buffer (any
+    /// remainder is the start of the next pipelined request).
+    Complete { req: HttpRequest, consumed: usize },
+    /// The buffer holds only a prefix; read more.
+    Partial,
+    /// Unrecoverable framing violation: send `status`, then close.
+    Error { status: u16, msg: &'static str },
+}
+
+/// Parse the longest complete request at the start of `buf` without
+/// consuming it.  Never blocks, never reads.
+pub fn try_parse(buf: &[u8]) -> Parsed {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD {
+            return Parsed::Error {
+                status: 413,
+                msg: "request head too large",
+            };
+        }
+        return Parsed::Partial;
+    };
+    if head_end > MAX_HEAD {
+        return Parsed::Error {
+            status: 413,
+            msg: "request head too large",
+        };
+    }
+    let Ok(head) = std::str::from_utf8(&buf[..head_end]) else {
+        return Parsed::Error {
+            status: 400,
+            msg: "non-UTF8 head",
+        };
+    };
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_ascii_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
-    if method.is_empty() || path.is_empty() {
-        return Err(bad("malformed request line"));
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if method.is_empty() || target.is_empty() {
+        return Parsed::Error {
+            status: 400,
+            msg: "malformed request line",
+        };
     }
-    let content_length = content_length(lines)?;
-    read_exact_body(stream, &mut body_prefix, content_length)?;
-    Ok(HttpRequest {
-        method,
-        path,
-        body: body_prefix,
-    })
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    let mut content_length = 0usize;
+    for (k, v) in &headers {
+        if k.eq_ignore_ascii_case("content-length") {
+            match v.parse() {
+                Ok(n) => content_length = n,
+                Err(_) => {
+                    return Parsed::Error {
+                        status: 400,
+                        msg: "bad Content-Length",
+                    }
+                }
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Parsed::Error {
+            status: 413,
+            msg: "body too large",
+        };
+    }
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return Parsed::Partial;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Parsed::Complete {
+        req: HttpRequest {
+            method: method.to_string(),
+            path,
+            query,
+            headers,
+            body: buf[head_end + 4..total].to_vec(),
+            http10: version == "HTTP/1.0",
+        },
+        consumed: total,
+    }
 }
 
-/// Write a response and flush.  `content_type` is usually
-/// `application/json`; `extra_headers` lets a 429 carry `Retry-After`.
-pub fn write_response(
-    stream: &mut TcpStream,
+// --- response encoding ---------------------------------------------------
+
+/// Encode a full `Content-Length`-framed response.  `extra_headers` lets a
+/// 429 carry `Retry-After`; `keep_alive` selects the `Connection` header.
+pub fn encode_response(
     status: u16,
     extra_headers: &[(&str, String)],
     body: &[u8],
-) -> std::io::Result<()> {
+    keep_alive: bool,
+) -> Vec<u8> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason(status),
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
     for (k, v) in extra_headers {
         head.push_str(k);
@@ -84,10 +220,72 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Head of a chunked progress stream.  The HTTP status is always 200; the
+/// request's real outcome status rides in the `{"event":"result",...}`
+/// delimiter line, because stage events are already on the wire before the
+/// outcome is known.
+pub fn encode_stream_head(keep_alive: bool) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .into_bytes()
+}
+
+/// One chunk of a chunked body.  The server writes one chunk per event
+/// line (so client-side chunk boundaries recover the line framing) and one
+/// for the final artifact.
+pub fn encode_chunk(data: &[u8]) -> Vec<u8> {
+    let mut out = format!("{:x}\r\n", data.len()).into_bytes();
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The zero-length terminator chunk.
+pub fn encode_last_chunk() -> &'static [u8] {
+    b"0\r\n\r\n"
+}
+
+// --- blocking server-side reader (tests and simple tools) ----------------
+
+/// Read one request from the stream.  `Err` means the connection is
+/// unusable (peer vanished, malformed head, limits exceeded) — the caller
+/// just drops it.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<HttpRequest> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match try_parse(&buf) {
+            Parsed::Complete { req, .. } => return Ok(req),
+            Parsed::Error { msg, .. } => return Err(bad(msg)),
+            Parsed::Partial => {}
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Write a `Connection: close` response and flush.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    stream.write_all(&encode_response(status, extra_headers, body, false))?;
     stream.flush()
 }
+
+// --- one-shot client helpers (Connection: close) --------------------------
 
 /// Issue one request against `addr` and read the full response.
 pub fn roundtrip(
@@ -97,33 +295,11 @@ pub fn roundtrip(
     body: &[u8],
 ) -> std::io::Result<HttpResponse> {
     let mut stream = TcpStream::connect(addr)?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
+    let _ = stream.set_nodelay(true);
+    write_request_head(&mut stream, addr, method, path, body.len(), false)?;
     stream.write_all(body)?;
     stream.flush()?;
-    let (head, mut body_prefix) = read_head(&mut stream)?;
-    let mut lines = head.split("\r\n");
-    let status_line = lines.next().unwrap_or("");
-    let status: u16 = status_line
-        .split_ascii_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad("malformed status line"))?;
-    let headers: Vec<(String, String)> = lines
-        .clone()
-        .filter_map(|line| line.split_once(':'))
-        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
-        .collect();
-    let content_length = content_length(lines)?;
-    read_exact_body(&mut stream, &mut body_prefix, content_length)?;
-    Ok(HttpResponse {
-        status,
-        headers,
-        body: body_prefix,
-    })
+    read_response(&mut stream)
 }
 
 /// Convenience: GET `path` and return `(status, body as String)`.
@@ -138,6 +314,308 @@ pub fn post_json(addr: &str, path: &str, body: &str) -> std::io::Result<(u16, St
     Ok((r.status, String::from_utf8_lossy(&r.body).into_owned()))
 }
 
+// --- keep-alive client connection ----------------------------------------
+
+/// A client-side keep-alive connection: one TCP stream reused across
+/// requests, reconnecting transparently when the server closed it (idle
+/// reaping, max-requests cap, or a plain restart between requests).
+#[derive(Debug)]
+pub struct ClientConn {
+    addr: String,
+    stream: Option<TcpStream>,
+    opened: u64,
+    timeout: Option<std::time::Duration>,
+}
+
+impl ClientConn {
+    pub fn new(addr: &str) -> ClientConn {
+        ClientConn {
+            addr: addr.to_string(),
+            stream: None,
+            opened: 0,
+            timeout: None,
+        }
+    }
+
+    /// Like [`ClientConn::new`] but with a hard bound on connect, read and
+    /// write.  Used for peer fetches, where a down peer must cost at most
+    /// one timeout — never a worker wedged on a dead socket.
+    pub fn with_timeout(addr: &str, timeout: std::time::Duration) -> ClientConn {
+        ClientConn {
+            addr: addr.to_string(),
+            stream: None,
+            opened: 0,
+            timeout: Some(timeout),
+        }
+    }
+
+    /// TCP connections this handle has opened so far (1 on a healthy
+    /// keep-alive session, however many requests it carried).
+    pub fn connections_opened(&self) -> u64 {
+        self.opened
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = match self.timeout {
+                None => TcpStream::connect(&self.addr)?,
+                Some(t) => {
+                    use std::net::ToSocketAddrs;
+                    let sa = self
+                        .addr
+                        .to_socket_addrs()?
+                        .next()
+                        .ok_or_else(|| bad("address resolved to nothing"))?;
+                    let s = TcpStream::connect_timeout(&sa, t)?;
+                    s.set_read_timeout(Some(t))?;
+                    s.set_write_timeout(Some(t))?;
+                    s
+                }
+            };
+            // Requests go out as head + body writes; without TCP_NODELAY
+            // the second small write can stall behind Nagle + the peer's
+            // delayed ACK (~40ms) once the connection leaves quickack.
+            let _ = stream.set_nodelay(true);
+            self.stream = Some(stream);
+            self.opened += 1;
+        }
+        Ok(self.stream.as_mut().unwrap())
+    }
+
+    fn send_recv(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<HttpResponse> {
+        let addr = self.addr.clone();
+        let stream = self.connect()?;
+        write_request_head(stream, &addr, method, path, body.len(), true)?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        read_response(stream)
+    }
+
+    /// Issue one request, reusing the live connection when possible.  A
+    /// failure on a **reused** stream (the server may have reaped it
+    /// between requests) retries once on a fresh connection; a failure on
+    /// a fresh connection is the caller's problem.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<HttpResponse> {
+        let reused = self.stream.is_some();
+        match self.send_recv(method, path, body) {
+            Ok(resp) => {
+                if resp.wants_close() {
+                    self.stream = None;
+                }
+                Ok(resp)
+            }
+            Err(_) if reused => {
+                self.stream = None;
+                let resp = self.send_recv(method, path, body)?;
+                if resp.wants_close() {
+                    self.stream = None;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Write every request back to back, then read the responses in order
+    /// — bounded client-side pipelining.  The batch must fit the server's
+    /// per-connection pipeline depth.
+    pub fn pipeline(&mut self, reqs: &[(&str, &str, &[u8])]) -> std::io::Result<Vec<HttpResponse>> {
+        let addr = self.addr.clone();
+        let run = |stream: &mut TcpStream| -> std::io::Result<(Vec<HttpResponse>, bool)> {
+            for (method, path, body) in reqs {
+                write_request_head(stream, &addr, method, path, body.len(), true)?;
+                stream.write_all(body)?;
+            }
+            stream.flush()?;
+            let mut out = Vec::with_capacity(reqs.len());
+            let mut closed = false;
+            for _ in reqs {
+                let resp = read_response(stream)?;
+                closed = resp.wants_close();
+                out.push(resp);
+                if closed {
+                    break;
+                }
+            }
+            Ok((out, closed))
+        };
+        match run(self.connect()?) {
+            Ok((out, closed)) => {
+                if closed {
+                    self.stream = None;
+                }
+                if out.len() < reqs.len() {
+                    return Err(bad("server closed mid-pipeline"));
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// POST to a streaming endpoint and decode the chunked NDJSON reply:
+    /// `on_event` fires once per stage-event line; the return value is the
+    /// real outcome status (from the `{"event":"result",...}` delimiter)
+    /// and the final artifact bytes.  A non-chunked response (error paths,
+    /// old servers) degrades to a plain request.
+    pub fn post_stream(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        mut on_event: impl FnMut(&str),
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        enum StreamEnd {
+            Plain(u16, Vec<u8>),
+            Chunked(Option<u16>, Vec<u8>, bool),
+        }
+        let addr = self.addr.clone();
+        let mut run = |stream: &mut TcpStream| -> std::io::Result<StreamEnd> {
+            write_request_head(stream, &addr, "POST", path, body.len(), true)?;
+            stream.write_all(body)?;
+            stream.flush()?;
+            let (head, mut rest) = read_head(stream)?;
+            let (status, headers) = parse_status_head(&head)?;
+            let chunked = headers.iter().any(|(k, v)| {
+                k.eq_ignore_ascii_case("transfer-encoding") && v.eq_ignore_ascii_case("chunked")
+            });
+            if !chunked {
+                let content_length = content_length_of(&headers)?;
+                read_exact_body(stream, &mut rest, content_length)?;
+                return Ok(StreamEnd::Plain(status, rest));
+            }
+            let mut result_status: Option<u16> = None;
+            let mut artifact = Vec::new();
+            read_chunked(stream, &mut rest, |chunk| {
+                if result_status.is_some() {
+                    artifact.extend_from_slice(chunk);
+                    return;
+                }
+                let line = String::from_utf8_lossy(chunk);
+                let line = line.trim_end();
+                if line.starts_with("{\"event\":\"result\"") {
+                    result_status = json::parse(line)
+                        .ok()
+                        .and_then(|j| j.get("status").and_then(Json::as_u64))
+                        .map(|s| s as u16);
+                } else {
+                    on_event(line);
+                }
+            })?;
+            let close = headers.iter().any(|(k, v)| {
+                k.eq_ignore_ascii_case("connection") && v.eq_ignore_ascii_case("close")
+            });
+            Ok(StreamEnd::Chunked(result_status, artifact, close))
+        };
+        match run(self.connect()?) {
+            Ok(StreamEnd::Plain(status, body)) => {
+                // Non-chunked replies come from error paths or old servers;
+                // don't trust the connection for reuse.
+                self.stream = None;
+                Ok((status, body))
+            }
+            Ok(StreamEnd::Chunked(result_status, artifact, close)) => {
+                if close {
+                    self.stream = None;
+                }
+                match result_status {
+                    Some(s) => Ok((s, artifact)),
+                    None => {
+                        self.stream = None;
+                        Err(bad("stream ended without a result event"))
+                    }
+                }
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+fn write_request_head(
+    stream: &mut TcpStream,
+    addr: &str,
+    method: &str,
+    path: &str,
+    content_length: usize,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {content_length}\r\nConnection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())
+}
+
+/// Read one complete response (status line, headers, `Content-Length` or
+/// chunked body) off the stream, leaving any pipelined successor in place.
+fn read_response(stream: &mut TcpStream) -> std::io::Result<HttpResponse> {
+    let (head, mut rest) = read_head(stream)?;
+    let (status, headers) = parse_status_head(&head)?;
+    let chunked = headers.iter().any(|(k, v)| {
+        k.eq_ignore_ascii_case("transfer-encoding") && v.eq_ignore_ascii_case("chunked")
+    });
+    let body = if chunked {
+        let mut body = Vec::new();
+        read_chunked(stream, &mut rest, |c| body.extend_from_slice(c))?;
+        body
+    } else {
+        let content_length = content_length_of(&headers)?;
+        read_exact_body(stream, &mut rest, content_length)?;
+        rest
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn parse_status_head(head: &str) -> std::io::Result<(u16, Vec<(String, String)>)> {
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Ok((status, headers))
+}
+
+fn content_length_of(headers: &[(String, String)]) -> std::io::Result<usize> {
+    let mut len = 0usize;
+    for (k, v) in headers {
+        if k.eq_ignore_ascii_case("content-length") {
+            len = v.parse().map_err(|_| bad("bad Content-Length"))?;
+        }
+    }
+    if len > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    Ok(len)
+}
+
 /// Read until the blank line; returns (head text, any body bytes already
 /// pulled off the socket past the head).
 fn read_head(stream: &mut TcpStream) -> std::io::Result<(String, Vec<u8>)> {
@@ -150,7 +628,7 @@ fn read_head(stream: &mut TcpStream) -> std::io::Result<(String, Vec<u8>)> {
             return Ok((head, rest));
         }
         if buf.len() > MAX_HEAD {
-            return Err(bad("request head too large"));
+            return Err(bad("head too large"));
         }
         let n = stream.read(&mut chunk)?;
         if n == 0 {
@@ -164,32 +642,15 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn content_length<'a>(lines: impl Iterator<Item = &'a str>) -> std::io::Result<usize> {
-    let mut len = 0usize;
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            len = value
-                .trim()
-                .parse()
-                .map_err(|_| bad("bad Content-Length"))?;
-        }
-    }
-    if len > MAX_BODY {
-        return Err(bad("body too large"));
-    }
-    Ok(len)
-}
-
 fn read_exact_body(
     stream: &mut TcpStream,
     body: &mut Vec<u8>,
     content_length: usize,
 ) -> std::io::Result<()> {
     if body.len() > content_length {
-        return Err(bad("body longer than Content-Length"));
+        // Keep-alive: the excess belongs to the next pipelined response.
+        body.truncate(content_length);
+        return Ok(());
     }
     let mut remaining = content_length - body.len();
     let mut chunk = [0u8; 8192];
@@ -202,6 +663,54 @@ fn read_exact_body(
         remaining -= n;
     }
     Ok(())
+}
+
+/// Decode a chunked body, invoking `on_chunk` once per data chunk (the
+/// server's chunk boundaries are the event-line boundaries).  `pending`
+/// holds bytes already read past the head.
+fn read_chunked(
+    stream: &mut TcpStream,
+    pending: &mut Vec<u8>,
+    mut on_chunk: impl FnMut(&[u8]),
+) -> std::io::Result<()> {
+    let mut chunk = [0u8; 8192];
+    loop {
+        // Find the "<hex>\r\n" size line.
+        let line_end = loop {
+            if let Some(p) = pending.windows(2).position(|w| w == b"\r\n") {
+                break p;
+            }
+            if pending.len() > 32 {
+                return Err(bad("bad chunk size line"));
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(bad("connection closed mid-chunk"));
+            }
+            pending.extend_from_slice(&chunk[..n]);
+        };
+        let size_str =
+            std::str::from_utf8(&pending[..line_end]).map_err(|_| bad("bad chunk size"))?;
+        let size = usize::from_str_radix(size_str.trim(), 16).map_err(|_| bad("bad chunk size"))?;
+        if size > MAX_BODY {
+            return Err(bad("chunk too large"));
+        }
+        let need = line_end + 2 + size + 2; // size line + data + trailing CRLF
+        while pending.len() < need {
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(bad("connection closed mid-chunk"));
+            }
+            pending.extend_from_slice(&chunk[..n]);
+        }
+        if size > 0 {
+            on_chunk(&pending[line_end + 2..line_end + 2 + size]);
+        }
+        pending.drain(..need);
+        if size == 0 {
+            return Ok(());
+        }
+    }
 }
 
 fn reason(status: u16) -> &'static str {
@@ -264,6 +773,122 @@ mod tests {
         });
         let (status, body) = get(&addr, "/healthz").unwrap();
         assert_eq!((status, body.as_str()), (200, "ok"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn try_parse_walks_a_pipelined_buffer() {
+        let wire = b"POST /run?stream=1 HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /metrics HTTP/1.1\r\n\r\n";
+        let Parsed::Complete { req, consumed } = try_parse(wire) else {
+            panic!("first request must parse");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.query, "stream=1");
+        assert!(req.query_flag("stream"));
+        assert_eq!(req.body, b"abc");
+        assert!(req.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+        let Parsed::Complete { req, consumed: c2 } = try_parse(&wire[consumed..]) else {
+            panic!("second request must parse");
+        };
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(consumed + c2, wire.len());
+    }
+
+    #[test]
+    fn try_parse_partial_and_errors() {
+        assert!(matches!(try_parse(b"POST /run HT"), Parsed::Partial));
+        assert!(matches!(
+            try_parse(b"POST /run HTTP/1.1\r\nContent-Length: 5\r\n\r\nab"),
+            Parsed::Partial
+        ));
+        let Parsed::Error { status, .. } = try_parse(
+            format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1).as_bytes(),
+        ) else {
+            panic!("oversized body must be an error");
+        };
+        assert_eq!(status, 413);
+        let mut huge = b"GET / HTTP/1.1\r\n".to_vec();
+        huge.extend(vec![b'x'; MAX_HEAD + 16]);
+        let Parsed::Error { status, .. } = try_parse(&huge) else {
+            panic!("oversized head must be an error");
+        };
+        assert_eq!(status, 413);
+        assert!(matches!(
+            try_parse(b"\r\n\r\n"),
+            Parsed::Error { status: 400, .. }
+        ));
+    }
+
+    #[test]
+    fn connection_header_and_version_drive_keep_alive() {
+        let parse_ok = |wire: &[u8]| match try_parse(wire) {
+            Parsed::Complete { req, .. } => req,
+            other => panic!("expected complete, got {other:?}"),
+        };
+        assert!(!parse_ok(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive());
+        assert!(!parse_ok(b"GET / HTTP/1.0\r\n\r\n").keep_alive());
+        assert!(parse_ok(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive());
+    }
+
+    #[test]
+    fn chunked_stream_decodes_events_then_artifact() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _req = read_request(&mut s).unwrap();
+            let mut out = encode_stream_head(true);
+            out.extend(encode_chunk(
+                b"{\"event\":\"stage\",\"stage\":\"profile\"}\n",
+            ));
+            out.extend(encode_chunk(b"{\"event\":\"result\",\"status\":200}\n"));
+            out.extend(encode_chunk(b"{\n  \"answer\": 42\n}"));
+            out.extend(encode_last_chunk());
+            s.write_all(&out).unwrap();
+            // Same connection serves a follow-up plain request.
+            let _req = read_request(&mut s).unwrap();
+            write_response(&mut s, 200, &[], b"after").unwrap();
+        });
+        let mut conn = ClientConn::new(&addr);
+        let mut events = Vec::new();
+        let (status, body) = conn
+            .post_stream("/run?stream=1", b"{}", |e| events.push(e.to_string()))
+            .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"{\n  \"answer\": 42\n}");
+        assert_eq!(events, ["{\"event\":\"stage\",\"stage\":\"profile\"}"]);
+        // Keep-alive survived the stream: next request reuses the socket.
+        let resp = conn.request("GET", "/x", b"").unwrap();
+        assert_eq!(resp.body, b"after");
+        assert_eq!(conn.connections_opened(), 1);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn client_conn_reconnects_after_server_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // First connection: answer once with Connection: close semantics
+            // by just dropping the socket afterwards.
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = read_request(&mut s).unwrap();
+            s.write_all(&encode_response(200, &[], b"one", true))
+                .unwrap();
+            drop(s);
+            // The client's retry shows up as a second connection.
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = read_request(&mut s).unwrap();
+            s.write_all(&encode_response(200, &[], b"two", true))
+                .unwrap();
+        });
+        let mut conn = ClientConn::new(&addr);
+        assert_eq!(conn.request("GET", "/a", b"").unwrap().body, b"one");
+        // Server dropped the socket; the reused-stream failure retries.
+        assert_eq!(conn.request("GET", "/b", b"").unwrap().body, b"two");
+        assert_eq!(conn.connections_opened(), 2);
         server.join().unwrap();
     }
 }

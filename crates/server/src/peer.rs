@@ -1,0 +1,89 @@
+//! Cross-shard cache peering: before simulating a cold request, ask the
+//! other shards whether one of them already holds the finished artifact.
+//!
+//! Each `gsd` exposes `GET /cache/<key>`, a counter-free read of its
+//! local disk cache (see `DiskCache::peek`).  A daemon started with
+//! `--peers host:port,host:port` consults them — **from a worker
+//! thread, never the event loop** — on a local response-cache miss,
+//! after the in-flight dedup made this worker the flight owner, so a
+//! peered fetch and a local compute can never race on the same key.
+//!
+//! Failure is soft by design: any connect/read error or non-200 just
+//! means "that peer doesn't have it", and the worker falls back to the
+//! next peer or to local compute.  Timeouts bound the worst case — a
+//! down peer costs one short timeout per fetch, not a wedged worker.
+//! Connections are keep-alive ([`ClientConn`]) so a warm peering pair
+//! costs one TCP handshake, not one per fetch.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::http::ClientConn;
+
+/// How long a peer gets to answer a cache probe before we shrug.
+const PEER_TIMEOUT: Duration = Duration::from_millis(2_000);
+
+pub struct PeerSet {
+    peers: Vec<(String, Mutex<ClientConn>)>,
+}
+
+impl PeerSet {
+    /// `addrs` as given on the command line; empty means peering is off.
+    pub fn new(addrs: &[String]) -> PeerSet {
+        PeerSet {
+            peers: addrs
+                .iter()
+                .map(|a| {
+                    (
+                        a.clone(),
+                        Mutex::new(ClientConn::with_timeout(a, PEER_TIMEOUT)),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    pub fn addrs(&self) -> Vec<String> {
+        self.peers.iter().map(|(a, _)| a.clone()).collect()
+    }
+
+    /// Ask each peer in turn for `key`; first 200 wins.  `None` means no
+    /// peer has it (or none is reachable) — compute locally.
+    pub fn fetch(&self, key: &str) -> Option<Vec<u8>> {
+        for (_, conn) in &self.peers {
+            let mut conn = conn.lock().unwrap();
+            match conn.request("GET", &format!("/cache/{key}"), b"") {
+                Ok(resp) if resp.status == 200 => return Some(resp.body),
+                Ok(_) => {}  // 404: this peer ran cold too
+                Err(_) => {} // down/slow peer: soft-fail to the next one
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_peer_set_is_a_cheap_no_op() {
+        let peers = PeerSet::new(&[]);
+        assert!(peers.is_empty());
+        assert!(peers.fetch("resp-00").is_none());
+    }
+
+    #[test]
+    fn unreachable_peer_degrades_to_none() {
+        // A closed port answers with a fast RST; the fetch must soft-fail.
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap().to_string();
+        drop(l);
+        let peers = PeerSet::new(&[addr]);
+        assert!(peers.fetch("resp-00").is_none());
+    }
+}

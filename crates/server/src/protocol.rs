@@ -488,6 +488,18 @@ pub fn request_key(r: &RunRequest) -> String {
     format!("req-{}", h.finish_hex())
 }
 
+/// The disk-cache key of a request's finished response body (the stable
+/// artifact JSON).  Derived 1:1 from [`request_key`] so it inherits its
+/// identity contract; the distinct prefix keeps response blobs from ever
+/// colliding with stage entries, and is what peers ask each other for
+/// (`GET /cache/resp-<hex>`).
+pub fn response_key(request_key: &str) -> String {
+    format!(
+        "resp-{}",
+        request_key.strip_prefix("req-").unwrap_or(request_key)
+    )
+}
+
 /// The shard identity of one cell, computable client-side: a stable hash
 /// of the cell's full descriptor (workload source, scale, scheme, options,
 /// config).  `gsc` sends cell `i` to shard `cell_shard_hash(..) % M`; a

@@ -1,0 +1,401 @@
+//! Connection-plane tests: a real daemon on an ephemeral port, driven
+//! over raw TCP at the byte level.  Where `server_e2e.rs` asserts the
+//! service semantics (dedup, shard/merge, drain), this file asserts the
+//! epoll state machine itself: incremental parsing under adversarial
+//! write boundaries (slow-loris, split pipelines), keep-alive accounting,
+//! limits (oversized heads/bodies, max-requests, idle reaping), response
+//! ordering under pipelining, and the chunked progress stream.
+
+use guardspec_harness::{json, run_experiment, Json, RunOptions};
+use guardspec_server::http::{self, ClientConn};
+use guardspec_server::protocol::{request_to_json, three_schemes_request, to_spec, RunRequest};
+use guardspec_server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let n = N.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!(
+        "guardspec-http-machine-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn offline_stable(req: &RunRequest) -> String {
+    let spec = to_spec(req).expect("request resolves");
+    let opts = RunOptions {
+        jobs: 1,
+        cache_dir: None,
+        observe: req.observe,
+        ..RunOptions::default()
+    };
+    guardspec_harness::stable_json(&run_experiment(&spec, &opts)).to_pretty()
+}
+
+fn counter(metrics_body: &str, name: &str) -> u64 {
+    let j = json::parse(metrics_body).expect("metrics parse");
+    j.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+/// Read one `Content-Length`-framed response off a raw socket; returns
+/// (status, full head, body).
+fn read_raw_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut head = Vec::new();
+    let mut b = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut b).expect("read head");
+        assert!(n > 0, "connection closed mid-head: {head:?}");
+        head.push(b[0]);
+        assert!(head.len() < 64 * 1024, "head never terminated");
+    }
+    let head = String::from_utf8_lossy(&head).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let content_length = head
+        .lines()
+        .find_map(|l| {
+            let lower = l.to_ascii_lowercase();
+            lower
+                .strip_prefix("content-length:")
+                .map(|v| v.trim().parse::<usize>().expect("numeric length"))
+        })
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("read body");
+    (status, head, String::from_utf8_lossy(&body).to_string())
+}
+
+#[test]
+fn slow_loris_fragments_get_no_answer_until_the_head_completes() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: None,
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(150)))
+        .unwrap();
+
+    // Drip the request head in five fragments with pauses; after each
+    // incomplete fragment the server must stay silent (Partial parse).
+    let fragments: &[&[u8]] = &[b"GET /he", b"alth", b"z HTT", b"P/1.1\r\nHost: x\r\n"];
+    for frag in fragments {
+        stream.write_all(frag).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let mut probe = [0u8; 1];
+        match stream.read(&mut probe) {
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            other => panic!("server answered a partial request head: {other:?}"),
+        }
+    }
+    stream.write_all(b"\r\n").unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let (status, _, body) = read_raw_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""), "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_split_at_arbitrary_boundaries_answer_in_order() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: None,
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    // Three back-to-back requests as one byte stream, then re-split at
+    // every stride — the parser must not care where reads land.
+    let wire = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".repeat(3);
+    for stride in [1usize, 3, 7, wire.len()] {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        for chunk in wire.chunks(stride) {
+            stream.write_all(chunk).unwrap();
+            stream.flush().unwrap();
+        }
+        for _ in 0..3 {
+            let (status, head, body) = read_raw_response(&mut stream);
+            assert_eq!(status, 200, "stride {stride}");
+            assert!(
+                head.to_ascii_lowercase().contains("connection: keep-alive"),
+                "pipelined healthz must keep the connection alive: {head}"
+            );
+            assert!(body.contains("\"ok\""));
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_head_is_rejected_without_harming_prior_responses() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: None,
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // A good request first: its response must be intact.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let (status, _, body) = read_raw_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""));
+
+    // Then a head that never ends: >64 KiB of header junk on the same
+    // keep-alive connection.  Ignore write errors near the end — the
+    // server may reset as soon as it has decided on 413.
+    let junk = format!("GET / HTTP/1.1\r\nX-Junk: {}\r\n", "a".repeat(70 * 1024));
+    let _ = stream.write_all(junk.as_bytes());
+    let _ = stream.flush();
+    let (status, head, _) = read_raw_response(&mut stream);
+    assert_eq!(status, 413, "{head}");
+    assert!(head.to_ascii_lowercase().contains("connection: close"));
+    // And the connection is gone.
+    let mut probe = [0u8; 16];
+    assert_eq!(
+        stream.read(&mut probe).unwrap_or(0),
+        0,
+        "must close after 413"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_body_is_rejected_on_sight() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: None,
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // The Content-Length alone convicts it; no body bytes needed.
+    stream
+        .write_all(b"POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 20000000\r\n\r\n")
+        .unwrap();
+    let (status, head, _) = read_raw_response(&mut stream);
+    assert_eq!(status, 413, "{head}");
+    handle.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_reaped() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: None,
+        workers: 1,
+        idle_timeout_ms: 200,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let (status, _, _) = read_raw_response(&mut stream);
+    assert_eq!(status, 200);
+    // Sit idle past the timeout (+ the loop's 100ms tick): the server
+    // must hang up on us.
+    let mut probe = [0u8; 16];
+    assert_eq!(
+        stream.read(&mut probe).unwrap_or(0),
+        0,
+        "server must close an idle connection"
+    );
+    let (st, metrics) = http::get(&addr, "/metrics").unwrap();
+    assert_eq!(st, 200);
+    assert!(counter(&metrics, "connections.reaped") >= 1, "{metrics}");
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_reuse_is_the_default_and_is_counted() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: None,
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let mut conn = ClientConn::new(&addr);
+    for _ in 0..5 {
+        let resp = conn.request("GET", "/healthz", b"").unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    // Read the metrics over the SAME connection, so no second connection
+    // muddies the accounting: 6 requests, 1 connection, 5 reuses.
+    let resp = conn.request("GET", "/metrics", b"").unwrap();
+    assert_eq!(resp.status, 200);
+    let metrics = String::from_utf8_lossy(&resp.body).to_string();
+    assert_eq!(conn.connections_opened(), 1);
+    assert_eq!(counter(&metrics, "connections.opened"), 1, "{metrics}");
+    assert_eq!(counter(&metrics, "connections.reused"), 5, "{metrics}");
+    handle.shutdown();
+}
+
+#[test]
+fn max_conn_requests_closes_politely_and_the_client_reconnects() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: None,
+        workers: 1,
+        max_conn_requests: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let mut conn = ClientConn::new(&addr);
+    for i in 0..6 {
+        let resp = conn.request("GET", "/healthz", b"").unwrap();
+        assert_eq!(resp.status, 200, "request {i}");
+    }
+    // Every second response carries `Connection: close`, so 6 requests
+    // ride exactly 3 connections.
+    assert_eq!(conn.connections_opened(), 3);
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_runs_answer_in_request_order_with_offline_bytes() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: Some(scratch("pipeline")),
+        workers: 1,
+        hold_ms: 100, // keep the jobs queued long enough to stack slots
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let req = three_schemes_request("pipe", guardspec_workloads::Scale::Test);
+    let body = request_to_json(&req).to_compact();
+    let expected = offline_stable(&req);
+
+    let mut conn = ClientConn::new(&addr);
+    let reqs: Vec<(&str, &str, &[u8])> = vec![
+        ("POST", "/run", body.as_bytes()),
+        ("POST", "/run", body.as_bytes()),
+        ("GET", "/healthz", b""),
+    ];
+    let responses = conn.pipeline(&reqs).unwrap();
+    assert_eq!(responses.len(), 3);
+    for r in &responses[..2] {
+        assert_eq!(r.status, 200);
+        assert_eq!(
+            String::from_utf8_lossy(&r.body),
+            expected,
+            "pipelined /run must return the offline stable bytes"
+        );
+    }
+    // The healthz queued *behind* two slow /runs still comes back last —
+    // order preserved, not reordered by readiness.
+    assert_eq!(responses[2].status, 200);
+    assert!(String::from_utf8_lossy(&responses[2].body).contains("\"ok\""));
+
+    let resp = conn.request("GET", "/metrics", b"").unwrap();
+    let metrics = String::from_utf8_lossy(&resp.body).to_string();
+    assert!(counter(&metrics, "pipeline.depth_max") >= 2, "{metrics}");
+    assert_eq!(conn.connections_opened(), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn streaming_run_emits_stage_events_then_the_exact_artifact() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: Some(scratch("stream")),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let req = three_schemes_request("stream", guardspec_workloads::Scale::Test);
+    let body = request_to_json(&req).to_compact();
+    let expected = offline_stable(&req);
+
+    let mut conn = ClientConn::new(&addr);
+    let mut events = Vec::new();
+    let (status, artifact) = conn
+        .post_stream("/run?stream=1", body.as_bytes(), |line| {
+            events.push(line.to_string())
+        })
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        String::from_utf8_lossy(&artifact),
+        expected,
+        "streamed artifact must be byte-identical to the offline bytes"
+    );
+    assert!(!events.is_empty(), "a cold run must emit stage events");
+    let mut seen_done = false;
+    for line in &events {
+        let j = json::parse(line).unwrap_or_else(|e| panic!("bad event {line:?}: {e}"));
+        let kind = j.get("event").and_then(Json::as_str).unwrap();
+        assert!(
+            kind == "stage_start" || kind == "stage_done",
+            "unexpected event {line}"
+        );
+        let stage = j.get("stage").and_then(Json::as_str).unwrap();
+        assert!(
+            ["profile", "transform", "trace", "simulate"].contains(&stage),
+            "unexpected stage {line}"
+        );
+        if kind == "stage_done" {
+            seen_done = true;
+            assert!(j.get("ms").and_then(Json::as_f64).is_some(), "{line}");
+            assert!(j.get("cached").and_then(Json::as_bool).is_some(), "{line}");
+        }
+    }
+    assert!(seen_done, "at least one stage must complete: {events:?}");
+
+    // Warm replay on the SAME keep-alive connection: the response cache
+    // answers, so the stream carries zero stage events and the same bytes.
+    let mut warm_events = Vec::new();
+    let (status, warm) = conn
+        .post_stream("/run?stream=1", body.as_bytes(), |line| {
+            warm_events.push(line.to_string())
+        })
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(String::from_utf8_lossy(&warm), expected);
+    assert!(
+        warm_events.is_empty(),
+        "a response-cached run has no stages to report: {warm_events:?}"
+    );
+    assert_eq!(
+        conn.connections_opened(),
+        1,
+        "stream must not burn the keep-alive"
+    );
+    handle.shutdown();
+}

@@ -1,0 +1,145 @@
+//! Cross-shard cache peering tests: two real daemons with *separate*
+//! cache directories, one warm and one cold, peered over `/cache/<key>`.
+//!
+//! (The daemons are deliberately unsharded: two `--shard k/2` daemons
+//! have disjoint key spaces by construction and would 400 each other's
+//! full requests, so peering between them never sees a shared key.  The
+//! interesting topology is N replicas of the same shard — warm spares —
+//! and that is what these tests build.)
+
+use guardspec_harness::{json, run_experiment, Json, RunOptions};
+use guardspec_server::http;
+use guardspec_server::protocol::{request_to_json, three_schemes_request, to_spec, RunRequest};
+use guardspec_server::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let n = N.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!(
+        "guardspec-peering-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn offline_stable(req: &RunRequest) -> String {
+    let spec = to_spec(req).expect("request resolves");
+    let opts = RunOptions {
+        jobs: 1,
+        cache_dir: None,
+        observe: req.observe,
+        ..RunOptions::default()
+    };
+    guardspec_harness::stable_json(&run_experiment(&spec, &opts)).to_pretty()
+}
+
+fn counter(metrics_body: &str, name: &str) -> u64 {
+    let j = json::parse(metrics_body).expect("metrics parse");
+    j.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn a_cold_daemon_is_satisfied_by_its_warm_peer_without_simulating() {
+    // B computes the answer the old-fashioned way...
+    let b = Server::start(ServerConfig {
+        cache_dir: Some(scratch("warm-b")),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let b_addr = b.addr().to_string();
+    let req = three_schemes_request("peered", guardspec_workloads::Scale::Test);
+    let body = request_to_json(&req).to_compact();
+    let expected = offline_stable(&req);
+    let (status, warm) = http::post_json(&b_addr, "/run", &body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(warm, expected);
+
+    // ...then A, stone cold with its own cache dir, peers with B.
+    let a = Server::start(ServerConfig {
+        cache_dir: Some(scratch("cold-a")),
+        workers: 1,
+        peers: vec![b_addr.clone()],
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let a_addr = a.addr().to_string();
+    let (status, got) = http::post_json(&a_addr, "/run", &body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(got, expected, "peered bytes must equal the offline bytes");
+
+    let (_, metrics) = http::get(&a_addr, "/metrics").unwrap();
+    assert_eq!(counter(&metrics, "cache.peer_hits"), 1, "{metrics}");
+    assert_eq!(
+        counter(&metrics, "jobs.executed"),
+        0,
+        "the peer hit must preempt the simulation: {metrics}"
+    );
+    let (_, b_metrics) = http::get(&b_addr, "/metrics").unwrap();
+    assert!(counter(&b_metrics, "cache.peer_served") >= 1, "{b_metrics}");
+
+    // The fetched artifact is now in A's own cache: a replay answers
+    // locally (resp-cached), no second peer round-trip.
+    let (status, again) = http::post_json(&a_addr, "/run", &body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(again, expected);
+    let (_, metrics) = http::get(&a_addr, "/metrics").unwrap();
+    assert_eq!(counter(&metrics, "cache.peer_hits"), 1, "{metrics}");
+    assert!(counter(&metrics, "jobs.resp_cached") >= 1, "{metrics}");
+
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn a_dead_peer_degrades_to_local_compute() {
+    // A port with nothing behind it: bind, note the address, drop.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let a = Server::start(ServerConfig {
+        cache_dir: Some(scratch("lonely-a")),
+        workers: 1,
+        peers: vec![dead],
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let a_addr = a.addr().to_string();
+    let req = three_schemes_request("lonely", guardspec_workloads::Scale::Test);
+    let body = request_to_json(&req).to_compact();
+    let expected = offline_stable(&req);
+    let (status, got) = http::post_json(&a_addr, "/run", &body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(got, expected, "peer failure must not change the answer");
+
+    let (_, metrics) = http::get(&a_addr, "/metrics").unwrap();
+    assert_eq!(counter(&metrics, "cache.peer_hits"), 0, "{metrics}");
+    assert!(counter(&metrics, "cache.peer_misses") >= 1, "{metrics}");
+    assert_eq!(counter(&metrics, "jobs.executed"), 1, "{metrics}");
+    a.shutdown();
+}
+
+#[test]
+fn the_cache_endpoint_validates_keys_and_misses_cleanly() {
+    let h = Server::start(ServerConfig {
+        cache_dir: Some(scratch("probe")),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = h.addr().to_string();
+    let (status, _) = http::get(&addr, "/cache/resp-0123abcd").unwrap();
+    assert_eq!(status, 404, "an honest miss is a 404");
+    for bad in ["/cache/", "/cache/UPPER", "/cache/a..b", "/cache/a%2Fb"] {
+        let (status, body) = http::get(&addr, bad).unwrap();
+        assert_eq!(status, 400, "{bad} must be rejected: {body}");
+    }
+    h.shutdown();
+}

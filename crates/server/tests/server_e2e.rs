@@ -93,13 +93,15 @@ fn eight_identical_requests_execute_one_job_and_match_offline() {
     assert_eq!(counter(&metrics, "dedup.joined"), 7, "{metrics}");
     assert_eq!(counter(&metrics, "requests.run"), 8, "{metrics}");
 
-    // A later identical request opens a fresh flight and is served from the
-    // warm cache — still the same bytes.
+    // A later identical request opens a fresh flight and is answered from
+    // the response cache without re-running the pipeline — same bytes, no
+    // second execution.
     let (st, again) = http::post_json(&addr, "/run", &body).unwrap();
     assert_eq!(st, 200);
     assert_eq!(again, expected);
     let (_, metrics) = http::get(&addr, "/metrics").unwrap();
-    assert_eq!(counter(&metrics, "jobs.executed"), 2);
+    assert_eq!(counter(&metrics, "jobs.executed"), 1, "{metrics}");
+    assert!(counter(&metrics, "jobs.resp_cached") >= 1, "{metrics}");
     assert!(gauge(&metrics, "cache_hits") > 0, "{metrics}");
     handle.shutdown();
 }

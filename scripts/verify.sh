@@ -128,6 +128,15 @@ wait "$GSD0"
 wait "$GSD1"
 rm -rf "$SRVDIR"
 
+echo "== loadgen keep-alive (BENCH_9.json: connection reuse observed) =="
+# Four passes against an embedded daemon — cold/close, warm/close,
+# warm/keep-alive, warm/pipelined — overwriting the PR evidence artifact.
+# The keep-alive and pipelined passes must actually reuse connections.
+cargo run --release -p guardspec-bench --bin loadgen -- \
+    --scale test --clients 4 --requests 8
+test -s results/BENCH_9.json
+grep -Eq '"server_reused": [1-9]' results/BENCH_9.json
+
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets --release -- -D warnings
 
