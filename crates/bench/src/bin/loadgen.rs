@@ -1,8 +1,10 @@
 //! `loadgen` — drives an embedded `gsd` server with concurrent clients and
-//! writes `results/BENCH_9.json`: requests/sec, p50/p99 latency, dedup
-//! ratio, connection accounting, and cold- vs warm-cache behaviour of the
-//! service layer under three transport modes — close-per-request (the
-//! before), HTTP/1.1 keep-alive, and bounded pipelining (the after).
+//! writes `results/BENCH_35.json`: requests/sec, p50/p95/p99/max latency
+//! (from the same log-linear [`Histogram`] the daemon exports on
+//! `/metrics`), dedup ratio, connection accounting, and cold- vs
+//! warm-cache behaviour of the service layer under three transport modes
+//! — close-per-request (the before), HTTP/1.1 keep-alive, and bounded
+//! pipelining (the after).
 //!
 //! The server runs in-process on an ephemeral port with a scratch cache,
 //! so the numbers measure the daemon (epoll loop + dedup + queue +
@@ -25,7 +27,7 @@
 //! Unknown flags print the offending flag and exit 2.
 
 use guardspec_harness::args::{parse_scale, take_value, unknown_argument};
-use guardspec_harness::{json, write_json_file, Json};
+use guardspec_harness::{json, write_json_file, Histogram, Json};
 use guardspec_server::http::{self, ClientConn};
 use guardspec_server::protocol::{ablation_request, request_to_json, three_schemes_request};
 use guardspec_server::{Server, ServerConfig};
@@ -52,7 +54,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         workers: 2,
         keep_alive: false,
         pipeline: 4,
-        out: PathBuf::from("results/BENCH_9.json"),
+        out: PathBuf::from("results/BENCH_35.json"),
     };
     let mut args: Box<dyn Iterator<Item = String>> = Box::new(argv);
     while let Some(arg) = args.next() {
@@ -186,26 +188,50 @@ fn drive(
     (latencies, started.elapsed().as_secs_f64() * 1000.0, conns)
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
+/// Per-pass summary: throughput plus histogram-derived latency quantiles.
+struct PassStats {
+    json: Json,
+    rps: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    max: f64,
 }
 
-fn pass_json(mode: Mode, latencies: &mut [f64], wall_ms: f64, conns: u64) -> (Json, f64, f64, f64) {
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let p50 = percentile(latencies, 0.50);
-    let p99 = percentile(latencies, 0.99);
-    let req_s = latencies.len() as f64 / (wall_ms / 1000.0);
-    let j = Json::obj(vec![
+/// Fold per-request latencies into the harness's log-linear [`Histogram`]
+/// — the same bucket layout the daemon exports on `/metrics` — and read
+/// the quantiles back out (upper bucket bounds, so each estimate is ≥ the
+/// true order statistic and at most ×1.4145 above it; `max` is exact).
+fn pass_stats(mode: Mode, latencies: &[f64], wall_ms: f64, conns: u64) -> PassStats {
+    let hist = Histogram::new();
+    for &ms in latencies {
+        hist.record((ms * 1e6) as u64);
+    }
+    let q = |p: f64| hist.quantile(p).unwrap_or(0) as f64 / 1e6;
+    let (p50, p95, p99) = (q(0.50), q(0.95), q(0.99));
+    let max = hist.max() as f64 / 1e6;
+    let rps = latencies.len() as f64 / (wall_ms / 1000.0);
+    let json = Json::obj(vec![
         ("mode", Json::str(mode.tag())),
         ("requests", Json::U64(latencies.len() as u64)),
         ("wall_ms", Json::F64(wall_ms)),
-        ("requests_per_sec", Json::F64(req_s)),
+        ("requests_per_sec", Json::F64(rps)),
         ("p50_ms", Json::F64(p50)),
+        ("p95_ms", Json::F64(p95)),
         ("p99_ms", Json::F64(p99)),
+        ("max_ms", Json::F64(max)),
+        ("histogram_count", Json::U64(hist.count())),
+        ("histogram_sum_ms", Json::F64(hist.sum() as f64 / 1e6)),
         ("client_connections_opened", Json::U64(conns)),
     ]);
-    (j, req_s, p50, p99)
+    PassStats {
+        json,
+        rps,
+        p50,
+        p95,
+        p99,
+        max,
+    }
 }
 
 fn metric(metrics_body: &str, path: &[&str]) -> u64 {
@@ -262,35 +288,27 @@ fn main() {
         cold_mode.tag()
     );
 
-    let (mut cold_lat, cold_wall, cold_conns) =
+    let (cold_lat, cold_wall, cold_conns) =
         drive(&addr, &mix, args.clients, args.requests, cold_mode);
-    let (_, cold_metrics) = http::get(&addr, "/metrics").expect("metrics");
-    let (mut wc_lat, wc_wall, wc_conns) =
-        drive(&addr, &mix, args.clients, args.requests, Mode::Close);
-    let (mut wk_lat, wk_wall, wk_conns) =
+    let (_, cold_metrics) = http::get_json(&addr, "/metrics").expect("metrics");
+    let (wc_lat, wc_wall, wc_conns) = drive(&addr, &mix, args.clients, args.requests, Mode::Close);
+    let (wk_lat, wk_wall, wk_conns) =
         drive(&addr, &mix, args.clients, args.requests, Mode::KeepAlive);
-    let (mut wp_lat, wp_wall, wp_conns) = drive(
+    let (wp_lat, wp_wall, wp_conns) = drive(
         &addr,
         &mix,
         args.clients,
         args.requests,
         Mode::Pipeline(args.pipeline),
     );
-    let (_, final_metrics) = http::get(&addr, "/metrics").expect("metrics");
+    let (_, final_metrics) = http::get_json(&addr, "/metrics").expect("metrics");
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&cache_dir);
 
-    let (cold_json, cold_rps, cold_p50, cold_p99) =
-        pass_json(cold_mode, &mut cold_lat, cold_wall, cold_conns);
-    let (wc_json, wc_rps, wc_p50, wc_p99) = pass_json(Mode::Close, &mut wc_lat, wc_wall, wc_conns);
-    let (wk_json, wk_rps, wk_p50, wk_p99) =
-        pass_json(Mode::KeepAlive, &mut wk_lat, wk_wall, wk_conns);
-    let (wp_json, wp_rps, wp_p50, wp_p99) = pass_json(
-        Mode::Pipeline(args.pipeline),
-        &mut wp_lat,
-        wp_wall,
-        wp_conns,
-    );
+    let cold = pass_stats(cold_mode, &cold_lat, cold_wall, cold_conns);
+    let wc = pass_stats(Mode::Close, &wc_lat, wc_wall, wc_conns);
+    let wk = pass_stats(Mode::KeepAlive, &wk_lat, wk_wall, wk_conns);
+    let wp = pass_stats(Mode::Pipeline(args.pipeline), &wp_lat, wp_wall, wp_conns);
 
     let run = metric(&cold_metrics, &["counters", "requests.run"]);
     let joined = metric(&cold_metrics, &["counters", "dedup.joined"]);
@@ -308,9 +326,11 @@ fn main() {
     let row = |name: &str, a: f64, b: f64, c: f64, d: f64| {
         println!("{name:<22} {a:>12.2} {b:>12.2} {c:>12.2} {d:>12.2}")
     };
-    row("requests/sec", cold_rps, wc_rps, wk_rps, wp_rps);
-    row("p50 latency (ms)", cold_p50, wc_p50, wk_p50, wp_p50);
-    row("p99 latency (ms)", cold_p99, wc_p99, wk_p99, wp_p99);
+    row("requests/sec", cold.rps, wc.rps, wk.rps, wp.rps);
+    row("p50 latency (ms)", cold.p50, wc.p50, wk.p50, wp.p50);
+    row("p95 latency (ms)", cold.p95, wc.p95, wk.p95, wp.p95);
+    row("p99 latency (ms)", cold.p99, wc.p99, wk.p99, wp.p99);
+    row("max latency (ms)", cold.max, wc.max, wk.max, wp.max);
     println!(
         "dedup: {joined}/{run} cold requests joined an in-flight duplicate ({:.0}%), {executed} jobs executed",
         dedup_ratio * 100.0
@@ -335,10 +355,10 @@ fn main() {
                 ("mix", Json::str("table3 + ablation, alternating")),
             ]),
         ),
-        ("cold", cold_json),
-        ("warm_close", wc_json),
-        ("warm_keep_alive", wk_json),
-        ("warm_pipelined", wp_json),
+        ("cold", cold.json),
+        ("warm_close", wc.json),
+        ("warm_keep_alive", wk.json),
+        ("warm_pipelined", wp.json),
         (
             "dedup",
             Json::obj(vec![
@@ -415,15 +435,23 @@ mod tests {
         .unwrap();
         assert!(a.keep_alive);
         assert_eq!(a.pipeline, 8);
-        assert!(a.out.ends_with("BENCH_9.json"));
+        assert!(a.out.ends_with("BENCH_35.json"));
         assert!(parse_args(["--pipeline".to_string(), "0".to_string()].into_iter()).is_err());
     }
 
     #[test]
-    fn percentiles_pick_sane_ranks() {
-        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
-        assert_eq!(percentile(&xs, 0.50), 6.0);
-        assert_eq!(percentile(&xs, 0.99), 10.0);
-        assert_eq!(percentile(&xs, 0.0), 1.0);
+    fn histogram_quantiles_bracket_the_exact_order_statistics() {
+        let lat: Vec<f64> = (1..=100).map(|i| i as f64).collect(); // 1..100 ms
+        let stats = pass_stats(Mode::Close, &lat, 1000.0, 0);
+        assert_eq!(stats.max, 100.0, "max is exact");
+        // Each histogram quantile is ≥ the exact rank and at most
+        // ×HIST_MAX_RATIO above it.
+        for (got, exact) in [(stats.p50, 50.0), (stats.p95, 95.0), (stats.p99, 99.0)] {
+            assert!(
+                got >= exact && got <= exact * guardspec_harness::HIST_MAX_RATIO,
+                "{got} vs exact {exact}"
+            );
+        }
+        assert!(stats.rps > 0.0);
     }
 }

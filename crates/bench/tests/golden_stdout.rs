@@ -63,6 +63,16 @@ fn assert_invariant_stdout(bin: &str, name: &str) {
             "notracecache",
             &["--scale", "test", "--jobs", "1", "--no-trace-cache"],
         ),
+        // Structured logging goes to stderr only: cranking the level to
+        // debug must not add (or move) a single stdout byte.
+        (
+            "debuglog",
+            &["--scale", "test", "--jobs", "1", "--log-level", "debug"],
+        ),
+        (
+            "debuglog8",
+            &["--scale", "test", "--jobs", "8", "--log-level", "debug"],
+        ),
         // The interpreted per-entry engine must print the same bytes as the
         // compiled decoded-uop engine (the default), under both schedulers
         // and with fan-out on or off.

@@ -34,6 +34,10 @@
 //! * `--sample-detail N` / `--sample-warm N` / `--sample-interval N` —
 //!   override the measured/warm-up/total entries per sampling interval
 //!   (each implies `--sample`).
+//! * `--log-level off|error|warn|info|debug` — structured-log verbosity
+//!   (one JSON object per line on **stderr**; default `warn`).  Parsing
+//!   this flag also sets the process-global [`crate::log`] level, so
+//!   every binary gets leveled logging for free.
 //!
 //! Bad values print a one-line diagnostic to **stderr** and exit with
 //! status 2 — never a panic with a backtrace.  Unknown arguments are
@@ -78,6 +82,8 @@ pub struct HarnessArgs {
     pub sample_warm: u64,
     /// Total entries per sampling interval (gap + warm-up + detail).
     pub sample_interval: u64,
+    /// Structured-log verbosity (stderr-only JSON lines).
+    pub log_level: crate::log::LogLevel,
 }
 
 impl Default for HarnessArgs {
@@ -97,6 +103,7 @@ impl Default for HarnessArgs {
             sample_detail: SampleParams::default().detail,
             sample_warm: SampleParams::default().warmup,
             sample_interval: SampleParams::default().interval,
+            log_level: crate::log::LogLevel::Warn,
         }
     }
 }
@@ -167,7 +174,8 @@ impl HarnessArgs {
                      [--stable-json <path>] [--no-stream] [--no-fanout] \
                      [--no-trace-cache] [--observe] [--trace-out <path>] \
                      [--no-compile] [--sample] [--sample-detail N] \
-                     [--sample-warm N] [--sample-interval N]"
+                     [--sample-warm N] [--sample-interval N] \
+                     [--log-level off|error|warn|info|debug]"
                 );
                 std::process::exit(2);
             }
@@ -225,6 +233,11 @@ impl HarnessArgs {
                 }
                 "--trace-out" => {
                     out.trace_out = Some(PathBuf::from(take_value(&mut args, "--trace-out")?))
+                }
+                "--log-level" => {
+                    out.log_level =
+                        crate::log::parse_log_level(&take_value(&mut args, "--log-level")?)?;
+                    crate::log::set_level(out.log_level);
                 }
                 other => {
                     if !extra(other, &mut args)? {
@@ -385,6 +398,19 @@ mod tests {
         assert!(parse(&["--sample-interval"])
             .unwrap_err()
             .contains("needs a value"));
+    }
+
+    #[test]
+    fn log_level_flag() {
+        assert_eq!(parse(&[]).unwrap().log_level, crate::log::LogLevel::Warn);
+        let a = parse(&["--log-level", "debug"]).unwrap();
+        assert_eq!(a.log_level, crate::log::LogLevel::Debug);
+        assert!(parse(&["--log-level", "loud"])
+            .unwrap_err()
+            .contains("bad --log-level"));
+        // Parsing set the process-global level; restore the default so
+        // other tests in this binary see the usual threshold.
+        crate::log::set_level(crate::log::LogLevel::Warn);
     }
 
     #[test]

@@ -115,9 +115,12 @@ impl DiskCache {
                     self.race_lost.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            Err(e) => eprintln!(
-                "guardspec-harness: cache write {} failed: {e}",
-                path.display()
+            Err(e) => crate::log::warn(
+                "cache.write_failed",
+                &[
+                    ("path", crate::json::Json::str(path.display().to_string())),
+                    ("error", crate::json::Json::str(e.to_string())),
+                ],
             ),
         }
     }
@@ -161,9 +164,12 @@ impl DiskCache {
                     self.race_lost.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            Err(e) => eprintln!(
-                "guardspec-harness: cache write {} failed: {e}",
-                path.display()
+            Err(e) => crate::log::warn(
+                "cache.write_failed",
+                &[
+                    ("path", crate::json::Json::str(path.display().to_string())),
+                    ("error", crate::json::Json::str(e.to_string())),
+                ],
             ),
         }
     }

@@ -26,8 +26,10 @@ pub mod codec;
 pub mod hash;
 pub mod json;
 pub mod key;
+pub mod log;
 pub mod metrics;
 pub mod pool;
+pub mod prom;
 pub mod runner;
 pub mod spec;
 pub mod trace_out;
@@ -37,14 +39,18 @@ pub use artifact::{emit_bench_artifact, full_json, stable_json, write_json_file}
 pub use cache::DiskCache;
 pub use codec::{DecisionSummary, ReportSummary};
 pub use json::Json;
-pub use metrics::MetricsRegistry;
+pub use log::{parse_log_level, LogLevel};
+pub use metrics::{Histogram, MetricsRegistry, HIST_BOUNDS, HIST_MAX_RATIO};
 pub use pool::JobGraph;
+pub use prom::{parse_prometheus, prometheus_text, registry_prometheus_text};
 pub use runner::{
     run_experiment, run_experiment_shared, CellResult, ExperimentResult, ProgressEvent,
     ProgressHook, RunOptions, WorkloadResult,
 };
 pub use spec::{CellSpec, ExperimentSpec};
-pub use trace_out::{chrome_trace_json, validate_chrome_trace, Span, SpanRecorder};
+pub use trace_out::{
+    chrome_trace_json, chrome_trace_json_grouped, validate_chrome_trace, Span, SpanRecorder,
+};
 
 /// The conventional cache root used by the bench binaries.
 pub const DEFAULT_CACHE_DIR: &str = "results/cache";

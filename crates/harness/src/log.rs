@@ -1,0 +1,179 @@
+//! Structured leveled logging: one JSON object per line, stderr only.
+//!
+//! Replaces the scattered `eprintln!`s so daemon/bench diagnostics are
+//! machine-parseable and never pollute stdout (piped artifacts stay
+//! byte-clean).  Each line is a compact JSON object:
+//!
+//! ```text
+//! {"ts_ms":1754650000123,"level":"warn","event":"cache.discard","key":"...","error":"..."}
+//! ```
+//!
+//! plus a `"trace"` field when the message belongs to a traced request.
+//! The level is a process-global atomic (default `warn`) set from a
+//! `--log-level off|error|warn|info|debug` flag; disabled levels cost one
+//! relaxed atomic load.  Timestamps are wall-clock milliseconds — fine
+//! for logs, never for artifacts (which stay timestamp-free).
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered so `level <= current` means "emit".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    Off = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+}
+
+impl LogLevel {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Off => "off",
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+}
+
+/// Parse a `--log-level` value.
+pub fn parse_log_level(s: &str) -> Result<LogLevel, String> {
+    match s {
+        "off" => Ok(LogLevel::Off),
+        "error" => Ok(LogLevel::Error),
+        "warn" => Ok(LogLevel::Warn),
+        "info" => Ok(LogLevel::Info),
+        "debug" => Ok(LogLevel::Debug),
+        other => Err(format!(
+            "bad --log-level {other:?} (want off|error|warn|info|debug)"
+        )),
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Warn as u8);
+
+/// Set the process-global log level.
+pub fn set_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-global log level.
+pub fn level() -> LogLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => LogLevel::Off,
+        1 => LogLevel::Error,
+        2 => LogLevel::Warn,
+        3 => LogLevel::Info,
+        _ => LogLevel::Debug,
+    }
+}
+
+/// Would a message at `l` be emitted?  Callers with expensive field
+/// construction should gate on this first.
+pub fn enabled(l: LogLevel) -> bool {
+    l != LogLevel::Off && l <= level()
+}
+
+/// Render one log line (no timestamp — the testable core).
+pub fn format_line(
+    l: LogLevel,
+    trace: Option<&str>,
+    event: &str,
+    fields: &[(&str, Json)],
+) -> String {
+    let mut obj: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 3);
+    obj.push(("level".to_string(), Json::str(l.as_str())));
+    obj.push(("event".to_string(), Json::str(event)));
+    if let Some(t) = trace {
+        obj.push(("trace".to_string(), Json::str(t)));
+    }
+    for (k, v) in fields {
+        obj.push((k.to_string(), v.clone()));
+    }
+    Json::Obj(obj).to_compact()
+}
+
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Emit one structured line to stderr if `l` is enabled.
+pub fn emit(l: LogLevel, trace: Option<&str>, event: &str, fields: &[(&str, Json)]) {
+    if !enabled(l) {
+        return;
+    }
+    let mut obj: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 4);
+    obj.push(("ts_ms".to_string(), Json::U64(now_ms())));
+    obj.push(("level".to_string(), Json::str(l.as_str())));
+    obj.push(("event".to_string(), Json::str(event)));
+    if let Some(t) = trace {
+        obj.push(("trace".to_string(), Json::str(t)));
+    }
+    for (k, v) in fields {
+        obj.push((k.to_string(), v.clone()));
+    }
+    eprintln!("{}", Json::Obj(obj).to_compact());
+}
+
+pub fn error(event: &str, fields: &[(&str, Json)]) {
+    emit(LogLevel::Error, None, event, fields);
+}
+
+pub fn warn(event: &str, fields: &[(&str, Json)]) {
+    emit(LogLevel::Warn, None, event, fields);
+}
+
+pub fn info(event: &str, fields: &[(&str, Json)]) {
+    emit(LogLevel::Info, None, event, fields);
+}
+
+pub fn debug(event: &str, fields: &[(&str, Json)]) {
+    emit(LogLevel::Debug, None, event, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(parse_log_level("debug").unwrap(), LogLevel::Debug);
+        assert_eq!(parse_log_level("off").unwrap(), LogLevel::Off);
+        assert!(parse_log_level("verbose").is_err());
+        assert!(LogLevel::Error < LogLevel::Warn);
+        assert!(LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn lines_are_single_compact_json_objects() {
+        let line = format_line(
+            LogLevel::Warn,
+            Some("ab12-s0"),
+            "cache.discard",
+            &[("key", Json::str("resp-x")), ("bytes", Json::U64(42))],
+        );
+        assert!(!line.contains('\n'));
+        let j = crate::json::parse(&line).unwrap();
+        assert_eq!(j.get("level").and_then(Json::as_str), Some("warn"));
+        assert_eq!(j.get("event").and_then(Json::as_str), Some("cache.discard"));
+        assert_eq!(j.get("trace").and_then(Json::as_str), Some("ab12-s0"));
+        assert_eq!(j.get("bytes").and_then(Json::as_u64), Some(42));
+    }
+
+    #[test]
+    fn off_disables_everything() {
+        // Note: level is process-global; restore it for other tests.
+        let prev = level();
+        set_level(LogLevel::Off);
+        assert!(!enabled(LogLevel::Error));
+        set_level(LogLevel::Debug);
+        assert!(enabled(LogLevel::Debug));
+        set_level(prev);
+    }
+}

@@ -1,0 +1,241 @@
+//! Prometheus text exposition (format 0.0.4) rendering and a small
+//! validating parser.
+//!
+//! [`prometheus_text`] renders [`MetricsRegistry`] gauges/counters plus
+//! [`Histogram`]s as `# TYPE`-annotated series; histogram samples are
+//! recorded in nanoseconds but exposed in **seconds** (the Prometheus
+//! convention), with cumulative `_bucket{le="..."}` series, `_sum`, and
+//! `_count`.  Metric names are sanitized to `[a-zA-Z0-9_:]` (dots in
+//! registry counter names become underscores) under a daemon prefix.
+//!
+//! [`parse_prometheus`] is the verification half: it parses an exposition
+//! body back into `series → value` and checks histogram invariants
+//! (bucket counts monotone in `le`, `+Inf` bucket equals `_count`), so CI
+//! can assert a scrape is well-formed without a real Prometheus server.
+
+use crate::metrics::{Histogram, MetricsRegistry, HIST_BOUNDS};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Sanitize a registry metric name into the Prometheus charset:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` (dots and other separators become `_`).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn fmt_seconds(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    format!("{s}")
+}
+
+/// Render gauges, counters, and histograms as Prometheus text exposition.
+/// Histogram series get a `_seconds` suffix (samples are nanoseconds
+/// internally, seconds on the wire).
+pub fn prometheus_text(
+    prefix: &str,
+    gauges: &[(&str, u64)],
+    counters: &[(String, u64)],
+    histograms: &[(String, Arc<Histogram>)],
+) -> String {
+    let mut out = String::new();
+    for (name, value) in gauges {
+        let n = format!("{prefix}_{}", sanitize_metric_name(name));
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+    }
+    for (name, value) in counters {
+        let n = format!("{prefix}_{}", sanitize_metric_name(name));
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, h) in histograms {
+        let n = format!("{prefix}_{}_seconds", sanitize_metric_name(name));
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, c) in h.bucket_counts().iter().enumerate() {
+            cumulative += c;
+            if i < HIST_BOUNDS.len() {
+                out.push_str(&format!(
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    fmt_seconds(HIST_BOUNDS[i])
+                ));
+            } else {
+                out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+            }
+        }
+        out.push_str(&format!("{n}_sum {}\n", fmt_seconds(h.sum())));
+        out.push_str(&format!("{n}_count {}\n", h.count()));
+    }
+    out
+}
+
+/// Render a registry's counters + histograms (plus caller-supplied gauges)
+/// under `prefix`.
+pub fn registry_prometheus_text(
+    prefix: &str,
+    gauges: &[(&str, u64)],
+    metrics: &MetricsRegistry,
+) -> String {
+    prometheus_text(
+        prefix,
+        gauges,
+        &metrics.snapshot(),
+        &metrics.histograms_snapshot(),
+    )
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Parse a Prometheus text exposition body into `series → value` (the
+/// series key includes labels verbatim, e.g. `m_bucket{le="0.001"}`), and
+/// validate: names are well-formed, values parse as floats, and every
+/// histogram family has monotone bucket counts whose `+Inf` bucket equals
+/// its `_count` series.
+pub fn parse_prometheus(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut series = BTreeMap::new();
+    // base histogram name -> (le, cumulative count) in document order.
+    let mut buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for (lno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(x) => x,
+            None => return Err(format!("prom: line {}: no value: {line:?}", lno + 1)),
+        };
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| format!("prom: line {}: bad value {value_part:?}", lno + 1))?;
+        let (name, labels) = match name_part.split_once('{') {
+            Some((n, rest)) => {
+                let rest = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("prom: line {}: unclosed labels", lno + 1))?;
+                (n, Some(rest))
+            }
+            None => (name_part.trim(), None),
+        };
+        if !valid_name(name) {
+            return Err(format!("prom: line {}: bad metric name {name:?}", lno + 1));
+        }
+        if series.insert(name_part.to_string(), value).is_some() {
+            return Err(format!(
+                "prom: line {}: duplicate series {name_part:?}",
+                lno + 1
+            ));
+        }
+        if let (Some(base), Some(labels)) = (name.strip_suffix("_bucket"), labels) {
+            let le = labels
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix('"'))
+                .ok_or_else(|| format!("prom: line {}: bucket without le label", lno + 1))?;
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse()
+                    .map_err(|_| format!("prom: line {}: bad le {le:?}", lno + 1))?
+            };
+            buckets
+                .entry(base.to_string())
+                .or_default()
+                .push((bound, value));
+        }
+    }
+    for (base, bs) in &buckets {
+        for w in bs.windows(2) {
+            if w[1].0 <= w[0].0 || w[1].1 < w[0].1 {
+                return Err(format!(
+                    "prom: histogram {base}: buckets not monotone ({w:?})"
+                ));
+            }
+        }
+        let (last_le, last_count) = *bs.last().unwrap();
+        if !last_le.is_infinite() {
+            return Err(format!("prom: histogram {base}: missing +Inf bucket"));
+        }
+        let count = series
+            .get(&format!("{base}_count"))
+            .ok_or_else(|| format!("prom: histogram {base}: missing _count"))?;
+        if (count - last_count).abs() > 0.0 {
+            return Err(format!(
+                "prom: histogram {base}: +Inf bucket {last_count} != _count {count}"
+            ));
+        }
+        if !series.contains_key(&format!("{base}_sum")) {
+            return Err(format!("prom: histogram {base}: missing _sum"));
+        }
+    }
+    Ok(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_metric_name("cache.peer_hits"), "cache_peer_hits");
+        assert_eq!(sanitize_metric_name("stage.profile_us"), "stage_profile_us");
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn render_parse_roundtrip_with_histograms() {
+        let m = MetricsRegistry::new();
+        m.incr("requests.run");
+        m.add("cache.peer_hits", 3);
+        m.time_ns("request.latency", 1_500);
+        m.time_ns("request.latency", 2_000_000);
+        m.time_ns("request.latency", 950);
+        let body = registry_prometheus_text("gsd", &[("queue_depth", 2)], &m);
+        let series = parse_prometheus(&body).unwrap();
+        assert_eq!(series["gsd_queue_depth"], 2.0);
+        assert_eq!(series["gsd_requests_run"], 1.0);
+        assert_eq!(series["gsd_cache_peer_hits"], 3.0);
+        assert_eq!(series["gsd_request_latency_seconds_count"], 3.0);
+        assert_eq!(
+            series["gsd_request_latency_seconds_bucket{le=\"+Inf\"}"],
+            3.0
+        );
+        // Two samples at or below 1 µs + 1.5 µs ≤ the √2 bucket.
+        assert_eq!(
+            series["gsd_request_latency_seconds_bucket{le=\"0.000001\"}"],
+            1.0
+        );
+        let sum = series["gsd_request_latency_seconds_sum"];
+        assert!((sum - 2_002_450e-9).abs() < 1e-12, "sum={sum}");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_prometheus("novalue\n").is_err());
+        assert!(parse_prometheus("m one\n").is_err());
+        assert!(parse_prometheus("bad.name 1\n").is_err());
+        assert!(parse_prometheus("m 1\nm 2\n").is_err());
+        assert!(parse_prometheus("m_bucket{le=\"0.1\"} 1\n").is_err()); // no +Inf/_count
+                                                                        // Non-monotone buckets.
+        let doc = "m_bucket{le=\"0.1\"} 5\nm_bucket{le=\"0.2\"} 3\n\
+                   m_bucket{le=\"+Inf\"} 5\nm_sum 1\nm_count 5\n";
+        assert!(parse_prometheus(doc).unwrap_err().contains("monotone"));
+        // +Inf disagrees with _count.
+        let doc = "m_bucket{le=\"+Inf\"} 4\nm_sum 1\nm_count 5\n";
+        assert!(parse_prometheus(doc).unwrap_err().contains("_count"));
+        // A well-formed histogram passes.
+        let doc = "# TYPE m histogram\nm_bucket{le=\"0.1\"} 2\n\
+                   m_bucket{le=\"+Inf\"} 5\nm_sum 0.4\nm_count 5\n";
+        parse_prometheus(doc).unwrap();
+    }
+}

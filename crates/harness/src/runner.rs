@@ -66,7 +66,8 @@ use std::time::Instant;
 /// stage wall time and whether the cache satisfied it.
 #[derive(Clone, Debug)]
 pub struct ProgressEvent {
-    /// `"profile"`, `"transform"`, `"trace"` or `"simulate"`.
+    /// `"profile"`, `"transform"`, `"trace"`, `"simulate"` or
+    /// `"collect"` (the final deterministic result-assembly stage).
     pub stage: &'static str,
     /// The workload name, or `workload/label` for simulate stages.
     pub unit: String,
@@ -909,7 +910,11 @@ pub fn run_experiment_shared(
         cache.gc_blobs(opts.trace_blob_cap);
     }
 
-    // Deterministic collection in spec order.
+    // Deterministic collection in spec order — the fifth pipeline stage
+    // (after profile/transform/trace/simulate): assemble slot outputs into
+    // the result in a fixed order, independent of execution schedule.
+    let t_collect = Instant::now();
+    progress_emit(&opts.progress, "collect", &spec.name, false, false, 0.0);
     let workloads = spec
         .workloads
         .iter()
@@ -953,6 +958,21 @@ pub fn run_experiment_shared(
     if race_delta > 0 {
         metrics.add("cache.race_lost", race_delta);
     }
+
+    recorder.record(
+        format!("collect {}", spec.name),
+        "collect",
+        t_collect,
+        Vec::new(),
+    );
+    progress_emit(
+        &opts.progress,
+        "collect",
+        &spec.name,
+        true,
+        false,
+        ms_since(t_collect),
+    );
 
     ExperimentResult {
         name: spec.name.clone(),
@@ -1056,12 +1076,24 @@ fn expected_digest(expected: &[(u64, i64)]) -> u64 {
     s
 }
 
+/// A cache entry failed to decode: drop it (the stage recomputes) and say
+/// so as a structured warning.
+fn warn_bad_cache(key: &str, e: &str) {
+    crate::log::warn(
+        "cache.discard",
+        &[
+            ("key", crate::json::Json::str(key)),
+            ("error", crate::json::Json::str(e)),
+        ],
+    );
+}
+
 fn load_profile(cache: &DiskCache, key: &str) -> Option<Profile> {
     let text = cache.get(key)?;
     match crate::json::parse(&text).and_then(|j| codec::profile_from_json(&j)) {
         Ok(p) => Some(p),
         Err(e) => {
-            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            warn_bad_cache(key, &e);
             None
         }
     }
@@ -1096,7 +1128,7 @@ fn load_trace(
             Some(Arc::new(TraceData { prep, trace, comp }))
         }
         Err(e) => {
-            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            warn_bad_cache(key, &e);
             None
         }
     }
@@ -1137,7 +1169,7 @@ fn load_transform(
     match decode() {
         Ok(v) => Some(v),
         Err(e) => {
-            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            warn_bad_cache(key, &e);
             None
         }
     }
@@ -1181,7 +1213,7 @@ fn load_sampled(cache: &DiskCache, key: &str) -> Option<(SimStats, SampleSummary
     match decode() {
         Ok(v) => Some(v),
         Err(e) => {
-            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            warn_bad_cache(key, &e);
             None
         }
     }
@@ -1211,7 +1243,7 @@ fn load_observed_sampled(
     match decode() {
         Ok(v) => Some(v),
         Err(e) => {
-            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            warn_bad_cache(key, &e);
             None
         }
     }
@@ -1238,7 +1270,7 @@ fn load_observed(cache: &DiskCache, key: &str) -> Option<(SimStats, CycleAccount
     match decode() {
         Ok(v) => Some(v),
         Err(e) => {
-            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            warn_bad_cache(key, &e);
             None
         }
     }
@@ -1249,7 +1281,7 @@ fn load_stats(cache: &DiskCache, key: &str) -> Option<SimStats> {
     match crate::json::parse(&text).and_then(|j| codec::stats_from_json(&j)) {
         Ok(s) => Some(s),
         Err(e) => {
-            eprintln!("guardspec-harness: discarding bad cache entry {key}: {e}");
+            warn_bad_cache(key, &e);
             None
         }
     }

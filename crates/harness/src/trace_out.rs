@@ -56,8 +56,16 @@ pub struct SpanRecorder {
 
 impl SpanRecorder {
     pub fn new(enabled: bool) -> SpanRecorder {
+        SpanRecorder::with_origin(enabled, Instant::now())
+    }
+
+    /// A recorder whose timestamps are measured from `t0`.  Request-scoped
+    /// tracing passes the instant the request arrived so phase spans that
+    /// share boundary `Instant`s tile exactly (identical microsecond
+    /// timestamps) in the emitted document.
+    pub fn with_origin(enabled: bool, t0: Instant) -> SpanRecorder {
         SpanRecorder {
-            t0: Instant::now(),
+            t0,
             enabled,
             spans: Mutex::new(Vec::new()),
         }
@@ -92,6 +100,56 @@ impl SpanRecorder {
             tid: chrome_tid(),
             args,
         };
+        self.spans.lock().unwrap().push(span);
+    }
+
+    /// Record a span over an explicit `[start, end]` window.  Unlike
+    /// [`SpanRecorder::record`] the duration is *not* clamped to 1 µs:
+    /// request-phase spans share boundary `Instant`s with their
+    /// neighbours, and padding a zero-length phase would push its end
+    /// past the next phase's start (a partial overlap the validator
+    /// rejects).  Zero-duration spans are legal trace events.
+    pub fn record_to(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        start: Instant,
+        end: Instant,
+        args: Vec<(String, String)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        // Floor both endpoints against the shared origin and subtract:
+        // two spans that meet at the same `Instant` then tile exactly
+        // (end ts+dur == next ts), which flooring each duration
+        // independently would break by ±1µs.
+        let ts_us = start
+            .saturating_duration_since(self.t0)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        let end_us = end
+            .saturating_duration_since(self.t0)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        let dur_us = end_us.saturating_sub(ts_us);
+        self.record_span(Span {
+            name: name.into(),
+            cat,
+            ts_us,
+            dur_us,
+            tid: chrome_tid(),
+            args,
+        });
+    }
+
+    /// Push an already-built span (used when folding another recorder's
+    /// spans — e.g. the runner's stage timeline — into a request trace
+    /// with a timestamp offset applied).
+    pub fn record_span(&self, span: Span) {
+        if !self.enabled {
+            return;
+        }
         self.spans.lock().unwrap().push(span);
     }
 
@@ -166,6 +224,74 @@ pub fn chrome_trace_json(spans: &[Span], metrics: &[(String, u64)]) -> Json {
         ));
     }
     Json::obj(top)
+}
+
+/// Render several independent span groups (e.g. a daemon's ring of recent
+/// request timelines) as one Chrome trace document.  Each group's `tid`s
+/// are remapped into a private range (`group_index * 1024 + dense rank`),
+/// so spans from different requests that happened to run on the same
+/// thread cannot violate the per-tid nesting invariant, and each track is
+/// named after its group label.
+pub fn chrome_trace_json_grouped(groups: &[(String, Vec<Span>)]) -> Json {
+    let mut events = Vec::new();
+    events.push(Json::obj(vec![
+        ("name", Json::str("process_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::U64(1)),
+        ("tid", Json::U64(0)),
+        ("args", Json::obj(vec![("name", Json::str("gsd"))])),
+    ]));
+    for (gi, (label, spans)) in groups.iter().enumerate() {
+        let mut ranks: Vec<u64> = Vec::new();
+        let mut remap = |tid: u64| -> u64 {
+            let rank = match ranks.iter().position(|&t| t == tid) {
+                Some(r) => r,
+                None => {
+                    ranks.push(tid);
+                    ranks.len() - 1
+                }
+            };
+            gi as u64 * 1024 + rank as u64
+        };
+        let mut ordered: Vec<&Span> = spans.iter().collect();
+        ordered.sort_by_key(|s| (s.ts_us, s.tid, std::cmp::Reverse(s.dur_us)));
+        let mut mapped: Vec<Json> = Vec::with_capacity(ordered.len());
+        for s in &ordered {
+            let tid = remap(s.tid);
+            let args = s
+                .args
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::str(v)))
+                .collect();
+            mapped.push(Json::obj(vec![
+                ("name", Json::str(&s.name)),
+                ("cat", Json::str(s.cat)),
+                ("ph", Json::str("X")),
+                ("ts", Json::U64(s.ts_us)),
+                ("dur", Json::U64(s.dur_us)),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(tid)),
+                ("args", Json::Obj(args)),
+            ]));
+        }
+        for (rank, _) in ranks.iter().enumerate() {
+            events.push(Json::obj(vec![
+                ("name", Json::str("thread_name")),
+                ("ph", Json::str("M")),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(gi as u64 * 1024 + rank as u64)),
+                (
+                    "args",
+                    Json::obj(vec![("name", Json::str(format!("{label}/t{rank}")))]),
+                ),
+            ]));
+        }
+        events.extend(mapped);
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
 }
 
 /// CI validation of an emitted trace document: the required trace-event
@@ -284,6 +410,54 @@ mod tests {
         // [0,10) enclosing [2,5): fine.  Adjacent [10,20): fine.
         let j = chrome_trace_json(&[mk(0, 10), mk(2, 3), mk(10, 10)], &[]);
         validate_chrome_trace(&j).unwrap();
+    }
+
+    #[test]
+    fn record_to_allows_zero_duration_and_tiles_exactly() {
+        let t0 = Instant::now();
+        let r = SpanRecorder::with_origin(true, t0);
+        // Phase boundaries share the same Instant: spans must tile with
+        // identical microsecond timestamps and never overlap.
+        let mid = t0 + std::time::Duration::from_micros(250);
+        let end = t0 + std::time::Duration::from_micros(900);
+        r.record_to("request", "request", t0, end, Vec::new());
+        r.record_to("admit", "queue", t0, mid, Vec::new());
+        r.record_to("respond", "respond", mid, end, Vec::new());
+        r.record_to("instant", "queue", mid, mid, Vec::new()); // zero dur
+        let spans = r.finish();
+        assert_eq!(spans.len(), 4);
+        let admit = spans.iter().find(|s| s.name == "admit").unwrap();
+        let respond = spans.iter().find(|s| s.name == "respond").unwrap();
+        assert_eq!(admit.ts_us + admit.dur_us, respond.ts_us);
+        assert_eq!(
+            spans.iter().find(|s| s.name == "instant").unwrap().dur_us,
+            0
+        );
+        validate_chrome_trace(&chrome_trace_json(&spans, &[])).unwrap();
+    }
+
+    #[test]
+    fn grouped_export_remaps_colliding_tids() {
+        let mk = |ts: u64, dur: u64| Span {
+            name: "s".to_string(),
+            cat: "test",
+            ts_us: ts,
+            dur_us: dur,
+            tid: 7, // same tid in both groups
+            args: Vec::new(),
+        };
+        // As one flat list these would partially overlap on tid 7; the
+        // grouped export gives each request its own tid namespace.
+        let groups = vec![
+            ("req-a".to_string(), vec![mk(0, 10)]),
+            ("req-b".to_string(), vec![mk(5, 10)]),
+        ];
+        let j = chrome_trace_json_grouped(&groups);
+        validate_chrome_trace(&j).unwrap();
+        let text = j.to_compact();
+        assert!(text.contains("req-a/t0"));
+        assert!(text.contains("req-b/t0"));
+        assert!(validate_chrome_trace(&chrome_trace_json(&[mk(0, 10), mk(5, 10)], &[])).is_err());
     }
 
     #[test]

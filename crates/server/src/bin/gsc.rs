@@ -3,28 +3,38 @@
 //! ```text
 //! gsc --servers ADDR[,ADDR...] [--spec table3|ablation] [--name NAME]
 //!     [--scale test|small|paper] [--out PATH] [--client ID] [--observe]
-//!     [--stream]
+//!     [--stream] [--trace-out PATH] [--log-level L]
 //! gsc --servers ADDR[,ADDR...] --healthz
-//! gsc --servers ADDR[,ADDR...] --metrics
+//! gsc --servers ADDR[,ADDR...] --metrics [--prom]
 //! ```
 //!
 //! With `M` servers the sweep is split by cache-key range — cell →
 //! `cell_shard_hash % M` — each shard runs its slice, and the partial
 //! artifacts are merged back into one stable artifact, byte-identical to
 //! an offline `--stable-json` run of the same sweep.  The merged artifact
-//! goes to `--out` (or stdout); a one-line transport summary (connections
-//! opened, 429 retries) goes to stderr so the artifact bytes stay pure.
+//! goes to `--out` (or stdout); transport diagnostics go to stderr as
+//! structured JSON log lines so the artifact bytes stay pure.
 //! `--stream` (single server only) asks for `POST /run?stream=1` and
 //! relays the server's stage-progress events to stderr as they arrive.
-//! Unknown flags print the offending flag and exit 2.
+//! `--trace-out PATH` (single server only) additionally requests the
+//! request's span timeline (`?trace=1`, originating the trace id
+//! client-side via `X-Trace-Id`), validates it as a Chrome trace
+//! document, and writes it to PATH — the artifact is still recovered
+//! byte-exact from the trace envelope.  `--metrics --prom` scrapes the
+//! Prometheus exposition and parse-checks it instead of printing the
+//! JSON document.  Unknown flags print the offending flag and exit 2.
 
 use guardspec_harness::args::{parse_scale, take_value, unknown_argument};
+use guardspec_harness::log::{self as glog, parse_log_level, LogLevel};
+use guardspec_harness::{json, validate_chrome_trace, Json};
 use guardspec_server::http::{self, ClientConn};
-use guardspec_server::protocol::{ablation_request, request_to_json, three_schemes_request};
+use guardspec_server::protocol::{
+    ablation_request, request_key, request_to_json, three_schemes_request,
+};
 use guardspec_server::{run_fanout_stats, ClientStats};
 use guardspec_workloads::Scale;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 #[derive(Debug)]
 struct Args {
@@ -38,6 +48,9 @@ struct Args {
     healthz: bool,
     metrics: bool,
     stream: bool,
+    trace_out: Option<PathBuf>,
+    prom: bool,
+    log_level: LogLevel,
 }
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -52,6 +65,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         healthz: false,
         metrics: false,
         stream: false,
+        trace_out: None,
+        prom: false,
+        log_level: LogLevel::Info,
     };
     let mut args: Box<dyn Iterator<Item = String>> = Box::new(argv);
     while let Some(arg) = args.next() {
@@ -78,6 +94,13 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--healthz" => parsed.healthz = true,
             "--metrics" => parsed.metrics = true,
             "--stream" => parsed.stream = true,
+            "--trace-out" => {
+                parsed.trace_out = Some(PathBuf::from(take_value(&mut args, "--trace-out")?));
+            }
+            "--prom" => parsed.prom = true,
+            "--log-level" => {
+                parsed.log_level = parse_log_level(&take_value(&mut args, "--log-level")?)?;
+            }
             other => return Err(unknown_argument(other)),
         }
     }
@@ -86,6 +109,14 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     }
     if parsed.stream && parsed.servers.len() > 1 {
         return Err("--stream works with exactly one server (no fan-out)".to_string());
+    }
+    if parsed.trace_out.is_some() && parsed.servers.len() > 1 {
+        return Err(
+            "--trace-out works with exactly one server (one trace, one timeline)".to_string(),
+        );
+    }
+    if parsed.prom && !parsed.metrics {
+        return Err("--prom only makes sense with --metrics".to_string());
     }
     Ok(parsed)
 }
@@ -98,22 +129,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    glog::set_level(args.log_level);
     if args.healthz || args.metrics {
-        let path = if args.healthz { "/healthz" } else { "/metrics" };
-        let mut failed = false;
-        for addr in &args.servers {
-            match http::get(addr, path) {
-                Ok((status, body)) => {
-                    println!("{addr}: {status} {body}");
-                    failed |= status != 200;
-                }
-                Err(e) => {
-                    println!("{addr}: unreachable ({e})");
-                    failed = true;
-                }
-            }
-        }
-        std::process::exit(if failed { 1 } else { 0 });
+        std::process::exit(probe_servers(&args));
     }
     let name = args.name.clone().unwrap_or_else(|| args.spec.clone());
     let mut request = match args.spec.as_str() {
@@ -123,17 +141,21 @@ fn main() {
     request.client = args.client.clone();
     request.observe = args.observe;
     let result = if args.stream {
-        run_streaming(&args.servers[0], &request)
+        run_streaming(&args.servers[0], &request, args.trace_out.as_deref())
+    } else if let Some(path) = &args.trace_out {
+        run_traced(&args.servers[0], &request, path)
     } else {
         run_fanout_stats(&args.servers, &request)
     };
     match result {
         Ok((body, stats)) => {
-            eprintln!(
-                "gsc: shards={} connections={} client.retries={}",
-                args.servers.len(),
-                stats.connections_opened,
-                stats.retries
+            glog::info(
+                "client.summary",
+                &[
+                    ("shards", Json::U64(args.servers.len() as u64)),
+                    ("connections", Json::U64(stats.connections_opened)),
+                    ("retries", Json::U64(stats.retries)),
+                ],
             );
             if let Some(out) = &args.out {
                 if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
@@ -143,7 +165,10 @@ fn main() {
                     eprintln!("gsc: writing {}: {e}", out.display());
                     std::process::exit(1);
                 }
-                eprintln!("gsc: wrote {}", out.display());
+                glog::info(
+                    "client.wrote",
+                    &[("path", Json::str(out.display().to_string()))],
+                );
             } else {
                 println!("{body}");
                 std::io::stdout().flush().ok();
@@ -156,22 +181,149 @@ fn main() {
     }
 }
 
-/// Single-server streaming run: stage events to stderr as they land, the
-/// final artifact returned like any other run.
+/// `--healthz` / `--metrics [--prom]`: probe every server, print one
+/// block per server on stdout, return the process exit code.
+fn probe_servers(args: &Args) -> i32 {
+    let mut failed = false;
+    for addr in &args.servers {
+        let fetched = if args.healthz {
+            http::get(addr, "/healthz")
+        } else if args.prom {
+            // The default exposition: Prometheus text.
+            http::get(addr, "/metrics")
+        } else {
+            // The legacy JSON document, for eyeballs and jq.
+            http::get_json(addr, "/metrics")
+        };
+        match fetched {
+            Ok((status, body)) => {
+                failed |= status != 200;
+                if args.prom {
+                    match guardspec_harness::parse_prometheus(&body) {
+                        Ok(series) => {
+                            println!("{addr}: {status} {} series", series.len());
+                            print!("{body}");
+                        }
+                        Err(e) => {
+                            println!("{addr}: {status} bad exposition: {e}");
+                            failed = true;
+                        }
+                    }
+                } else {
+                    println!("{addr}: {status} {body}");
+                }
+            }
+            Err(e) => {
+                println!("{addr}: unreachable ({e})");
+                failed = true;
+            }
+        }
+    }
+    i32::from(failed)
+}
+
+/// The client-originated trace id: 8 chars of the request key's stable
+/// hash, suffixed `-c0` (client epoch — one id per invocation).
+fn client_trace_id(request: &guardspec_server::RunRequest) -> String {
+    let key = request_key(request);
+    let hash = key.strip_prefix("req-").unwrap_or(&key);
+    let short: String = hash.chars().take(8).collect();
+    format!("{short}-c0")
+}
+
+/// Validate `doc` as a Chrome trace and write it pretty-printed.
+fn write_trace(path: &Path, doc: &Json) -> Result<(), String> {
+    validate_chrome_trace(doc).map_err(|e| format!("server returned an invalid trace: {e}"))?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(path, doc.to_pretty())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    glog::info(
+        "client.trace_written",
+        &[("path", Json::str(path.display().to_string()))],
+    );
+    Ok(())
+}
+
+/// Single-server traced (non-streaming) run: `?trace=1` wraps the
+/// artifact in a `{trace_id, trace, artifact}` envelope; the artifact is
+/// recovered byte-exact from the envelope's JSON string.
+fn run_traced(
+    addr: &str,
+    request: &guardspec_server::RunRequest,
+    trace_out: &Path,
+) -> Result<(String, ClientStats), String> {
+    let body = request_to_json(request).to_compact();
+    let id = client_trace_id(request);
+    let mut conn = ClientConn::new(addr);
+    let resp = conn
+        .request_with(
+            "POST",
+            "/run?trace=1",
+            &[("X-Trace-Id", &id)],
+            body.as_bytes(),
+        )
+        .map_err(|e| format!("POST {addr}/run?trace=1 failed: {e}"))?;
+    let text = String::from_utf8_lossy(&resp.body).to_string();
+    if resp.status != 200 {
+        return Err(format!("{addr}/run returned {}: {text}", resp.status));
+    }
+    let envelope = json::parse(&text).map_err(|e| format!("bad trace envelope: {e}"))?;
+    let artifact = envelope
+        .get("artifact")
+        .and_then(Json::as_str)
+        .ok_or("trace envelope carries no artifact")?
+        .to_string();
+    let doc = envelope
+        .get("trace")
+        .cloned()
+        .ok_or("trace envelope carries no trace document")?;
+    write_trace(trace_out, &doc)?;
+    Ok((
+        artifact,
+        ClientStats {
+            retries: 0,
+            connections_opened: conn.connections_opened(),
+        },
+    ))
+}
+
+/// Single-server streaming run: stage events logged as they land, the
+/// final artifact returned like any other run.  With `--trace-out` the
+/// stream additionally requests `?trace=1`; the timeline arrives as its
+/// own `{"event":"trace",...}` line just before the artifact.
 fn run_streaming(
     addr: &str,
     request: &guardspec_server::RunRequest,
+    trace_out: Option<&Path>,
 ) -> Result<(String, ClientStats), String> {
     let body = request_to_json(request).to_compact();
+    let id = client_trace_id(request);
+    let (path, headers): (&str, Vec<(&str, &str)>) = match trace_out {
+        Some(_) => ("/run?stream=1&trace=1", vec![("X-Trace-Id", &id)]),
+        None => ("/run?stream=1", Vec::new()),
+    };
     let mut conn = ClientConn::new(addr);
+    let mut trace_doc: Option<Json> = None;
     let (status, artifact) = conn
-        .post_stream("/run?stream=1", body.as_bytes(), |line| {
-            eprintln!("gsc: event {line}");
+        .post_stream_with(path, &headers, body.as_bytes(), |line| {
+            match json::parse(line) {
+                Ok(ev) if ev.get("event").and_then(Json::as_str) == Some("trace") => {
+                    trace_doc = ev.get("trace").cloned();
+                }
+                Ok(ev) => glog::info("server.event", &[("body", ev)]),
+                Err(_) => glog::info("server.event", &[("line", Json::str(line))]),
+            }
         })
-        .map_err(|e| format!("POST {addr}/run?stream=1 failed: {e}"))?;
+        .map_err(|e| format!("POST {addr}{path} failed: {e}"))?;
     let text = String::from_utf8_lossy(&artifact).to_string();
     if status != 200 {
         return Err(format!("{addr}/run returned {status}: {text}"));
+    }
+    if let Some(out) = trace_out {
+        let doc = trace_doc.ok_or("server stream never delivered a trace event")?;
+        write_trace(out, &doc)?;
     }
     Ok((
         text,
@@ -217,6 +369,41 @@ mod tests {
         assert!(parse(&["--servers", "a:1", "--stream"]).unwrap().stream);
         let err = parse(&["--servers", "a:1,b:2", "--stream"]).unwrap_err();
         assert!(err.contains("--stream"), "{err}");
+    }
+
+    #[test]
+    fn trace_out_requires_a_single_server_and_prom_requires_metrics() {
+        let a = parse(&["--servers", "a:1", "--trace-out", "t.json"]).unwrap();
+        assert_eq!(a.trace_out, Some(PathBuf::from("t.json")));
+        let err = parse(&["--servers", "a:1,b:2", "--trace-out", "t.json"]).unwrap_err();
+        assert!(err.contains("--trace-out"), "{err}");
+        let err = parse(&["--servers", "a:1", "--prom"]).unwrap_err();
+        assert!(err.contains("--metrics"), "{err}");
+        assert!(
+            parse(&["--servers", "a:1", "--metrics", "--prom"])
+                .unwrap()
+                .prom
+        );
+    }
+
+    #[test]
+    fn log_level_parses_and_defaults_to_info() {
+        assert_eq!(
+            parse(&["--servers", "a:1"]).unwrap().log_level,
+            LogLevel::Info
+        );
+        let a = parse(&["--servers", "a:1", "--log-level", "debug"]).unwrap();
+        assert_eq!(a.log_level, LogLevel::Debug);
+        assert!(parse(&["--servers", "a:1", "--log-level", "blaring"]).is_err());
+    }
+
+    #[test]
+    fn client_trace_ids_are_deterministic() {
+        let r = three_schemes_request("t", Scale::Test);
+        let id = client_trace_id(&r);
+        assert_eq!(id, client_trace_id(&r), "same request, same id");
+        assert!(id.ends_with("-c0"), "{id}");
+        assert_eq!(id.len(), 8 + 3, "{id}");
     }
 
     #[test]

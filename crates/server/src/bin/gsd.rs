@@ -3,16 +3,23 @@
 //! ```text
 //! gsd [--port P] [--cache-dir DIR | --no-cache] [--workers N]
 //!     [--queue-cap N] [--shard N/M] [--jobs N] [--est-job-ms MS]
-//!     [--hold-ms MS] [--peers HOST:PORT,...] [--idle-timeout-ms MS]
-//!     [--max-conn-requests N] [--pipeline-depth N]
+//!     [--hold-ms MS] [--peers HOST:PORT,...] [--peer-timeout-ms MS]
+//!     [--idle-timeout-ms MS] [--max-conn-requests N]
+//!     [--pipeline-depth N] [--slow-ms MS]
+//!     [--log-level off|error|warn|info|debug]
 //! ```
 //!
 //! Binds 127.0.0.1, prints `gsd listening on ADDR shard N/M` once ready
 //! (scrape the port with `--port 0`), and serves until SIGTERM/SIGINT —
 //! on which it drains queued and in-flight jobs, refuses new ones with
 //! 503, and exits 0.  Unknown flags print the offending flag and exit 2.
+//!
+//! The startup banner is the ONLY thing `gsd` ever writes to stdout;
+//! diagnostics are structured JSON log lines on stderr (one object per
+//! line, gated by `--log-level`, default `info`).
 
 use guardspec_harness::args::{take_value, unknown_argument};
+use guardspec_harness::log::{self as glog, parse_log_level, LogLevel};
 use guardspec_server::{Server, ServerConfig, ShardSpec};
 use std::io::Write;
 use std::path::PathBuf;
@@ -51,8 +58,9 @@ mod sig {
     pub fn install() {}
 }
 
-fn parse_config(argv: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
+fn parse_config(argv: impl Iterator<Item = String>) -> Result<(ServerConfig, LogLevel), String> {
     let mut config = ServerConfig::default();
+    let mut level = LogLevel::Info;
     let mut args: Box<dyn Iterator<Item = String>> = Box::new(argv);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -113,20 +121,34 @@ fn parse_config(argv: impl Iterator<Item = String>) -> Result<ServerConfig, Stri
                     .parse()
                     .map_err(|_| format!("bad --pipeline-depth {v:?}"))?;
             }
+            "--peer-timeout-ms" => {
+                let v = take_value(&mut args, "--peer-timeout-ms")?;
+                config.peer_timeout_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --peer-timeout-ms {v:?}"))?;
+            }
+            "--slow-ms" => {
+                let v = take_value(&mut args, "--slow-ms")?;
+                config.slow_ms = Some(v.parse().map_err(|_| format!("bad --slow-ms {v:?}"))?);
+            }
+            "--log-level" => {
+                level = parse_log_level(&take_value(&mut args, "--log-level")?)?;
+            }
             other => return Err(unknown_argument(other)),
         }
     }
-    Ok(config)
+    Ok((config, level))
 }
 
 fn main() {
-    let config = match parse_config(std::env::args().skip(1)) {
+    let (config, level) = match parse_config(std::env::args().skip(1)) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("gsd: {e}");
             std::process::exit(2);
         }
     };
+    glog::set_level(level);
     sig::install();
     let shard = config.shard;
     let handle = match Server::start(config) {
@@ -141,16 +163,16 @@ fn main() {
     while !sig::SIGNALED.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(25));
     }
-    eprintln!("gsd: draining...");
+    glog::info("daemon.draining", &[]);
     handle.shutdown();
-    eprintln!("gsd: drained, bye");
+    glog::info("daemon.drained", &[]);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> Result<ServerConfig, String> {
+    fn parse(args: &[&str]) -> Result<(ServerConfig, LogLevel), String> {
         parse_config(args.iter().map(|s| s.to_string()))
     }
 
@@ -162,7 +184,7 @@ mod tests {
 
     #[test]
     fn known_flags_parse() {
-        let c = parse(&[
+        let (c, level) = parse(&[
             "--port",
             "8123",
             "--no-cache",
@@ -186,6 +208,12 @@ mod tests {
             "64",
             "--pipeline-depth",
             "4",
+            "--peer-timeout-ms",
+            "250",
+            "--slow-ms",
+            "900",
+            "--log-level",
+            "debug",
         ])
         .unwrap();
         assert_eq!(c.port, 8123);
@@ -200,6 +228,18 @@ mod tests {
         assert_eq!(c.idle_timeout_ms, 1500);
         assert_eq!(c.max_conn_requests, 64);
         assert_eq!(c.pipeline_depth, 4);
+        assert_eq!(c.peer_timeout_ms, 250);
+        assert_eq!(c.slow_ms, Some(900));
+        assert_eq!(level, LogLevel::Debug);
+    }
+
+    #[test]
+    fn telemetry_defaults_are_quietly_sane() {
+        let (c, level) = parse(&[]).unwrap();
+        assert_eq!(c.peer_timeout_ms, 2_000);
+        assert_eq!(c.slow_ms, None);
+        assert_eq!(level, LogLevel::Info);
+        assert!(parse(&["--log-level", "shouty"]).is_err());
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub type Waiter = Box<dyn FnOnce(Outcome) + Send>;
 struct FlightState {
     outcome: Option<Outcome>,
     waiters: Vec<Waiter>,
+    /// The owner's trace id, when the owning request is traced — joiners
+    /// read it to link their `dedup.join` span to the owner's timeline.
+    trace_id: Option<String>,
 }
 
 struct Flight {
@@ -97,6 +100,7 @@ impl FlightMap {
                     state: Mutex::new(FlightState {
                         outcome: None,
                         waiters: Vec::new(),
+                        trace_id: None,
                     }),
                     published: Condvar::new(),
                 });
@@ -168,6 +172,21 @@ impl FlightMap {
     /// Flights currently open (owned, not yet published).
     pub fn in_flight(&self) -> usize {
         self.flights.lock().unwrap().len()
+    }
+
+    /// Tag the open flight for `key` with its owner's trace id (no-op if
+    /// the flight already published).
+    pub fn set_trace(&self, key: &str, trace_id: &str) {
+        if let Some(f) = self.flights.lock().unwrap().get(key) {
+            f.state.lock().unwrap().trace_id = Some(trace_id.to_string());
+        }
+    }
+
+    /// The owner's trace id for the open flight on `key`, if any.
+    pub fn trace_of(&self, key: &str) -> Option<String> {
+        let f = self.flights.lock().unwrap().get(key)?.clone();
+        let st = f.state.lock().unwrap();
+        st.trace_id.clone()
     }
 }
 
@@ -257,6 +276,20 @@ mod tests {
             [("owner", true), ("join1", true), ("join2", true)]
         );
         assert_eq!(map.in_flight(), 0);
+    }
+
+    #[test]
+    fn flight_trace_ids_live_and_die_with_the_flight() {
+        let map = FlightMap::new();
+        assert!(map.enter_async("k", Box::new(|_| {})));
+        assert_eq!(map.trace_of("k"), None);
+        map.set_trace("k", "ab12cd34-s0");
+        assert_eq!(map.trace_of("k"), Some("ab12cd34-s0".to_string()));
+        map.publish("k", Outcome::Draining);
+        assert_eq!(map.trace_of("k"), None);
+        // Tagging a published (absent) flight is a no-op, not a panic.
+        map.set_trace("k", "zz");
+        assert_eq!(map.trace_of("k"), None);
     }
 
     #[test]

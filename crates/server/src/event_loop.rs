@@ -216,6 +216,8 @@ pub trait Service: Send + Sync + 'static {
     fn drained(&self) -> bool;
     fn metric_incr(&self, name: &str);
     fn metric_max(&self, name: &str, value: u64);
+    /// Record a duration sample (nanoseconds) into a latency histogram.
+    fn metric_time(&self, name: &str, ns: u64);
 }
 
 /// A finished response: status, extra headers, body.
@@ -337,6 +339,9 @@ pub fn run_event_loop(
             }
             return Err(err);
         }
+        // Wake-to-dispatch latency is measured from here: how long a
+        // parsed request sits behind this iteration's other work.
+        let t_wake = Instant::now();
 
         for ev in events.iter().take(n as usize) {
             let token = ev.data; // copy out: the struct may be packed
@@ -385,8 +390,11 @@ pub fn run_event_loop(
         let now = Instant::now();
         let mut dead = Vec::new();
         for (&token, conn) in conns.iter_mut() {
-            parse_loop(conn, token, &*service, &wake, &cfg);
-            let alive = pump(conn);
+            parse_loop(conn, token, &*service, &wake, &cfg, t_wake);
+            let (alive, flush_ns) = pump(conn);
+            if flush_ns > 0 {
+                service.metric_time("conn.flush", flush_ns);
+            }
             if !alive || (conn.closing && conn.quiescent()) {
                 dead.push(token);
                 continue;
@@ -499,6 +507,7 @@ fn parse_loop(
     service: &dyn Service,
     wake: &Arc<Wakeup>,
     cfg: &EventLoopConfig,
+    t_wake: Instant,
 ) {
     while !conn.closing && conn.slots.len() < cfg.pipeline_depth {
         match http::try_parse(&conn.rbuf) {
@@ -533,6 +542,7 @@ fn parse_loop(
                     .stream
                     .peer_addr()
                     .unwrap_or_else(|_| "0.0.0.0:0".parse().unwrap());
+                service.metric_time("loop.dispatch", t_wake.elapsed().as_nanos() as u64);
                 service.handle(
                     req,
                     peer,
@@ -572,8 +582,11 @@ fn parse_loop(
 }
 
 /// Encode finished slots (strictly in sequence order) into `wbuf` and
-/// flush as much as the socket accepts.  Returns false if the peer died.
-fn pump(conn: &mut Conn) -> bool {
+/// flush as much as the socket accepts.  Returns `(alive, flush_ns)`:
+/// `alive` is false if the peer died; `flush_ns` is the time spent in
+/// the write loop when any bytes actually moved (0 otherwise), so the
+/// loop can histogram its per-connection flush cost.
+fn pump(conn: &mut Conn) -> (bool, u64) {
     while let Some(slot) = conn.slots.get_mut(&conn.next_write) {
         if slot.stream {
             if !slot.started && (!slot.events.is_empty() || slot.done.is_some()) {
@@ -612,23 +625,30 @@ fn pump(conn: &mut Conn) -> bool {
         conn.next_write += 1;
     }
 
+    let t_flush = Instant::now();
+    let wpos_before = conn.wpos;
     while conn.wpos < conn.wbuf.len() {
         match conn.stream.write(&conn.wbuf[conn.wpos..]) {
-            Ok(0) => return false,
+            Ok(0) => return (false, 0),
             Ok(n) => {
                 conn.wpos += n;
                 conn.last_activity = Instant::now();
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return false,
+            Err(_) => return (false, 0),
         }
     }
+    let flush_ns = if conn.wpos > wpos_before {
+        t_flush.elapsed().as_nanos() as u64
+    } else {
+        0
+    };
     if conn.flushed() {
         conn.wbuf.clear();
         conn.wpos = 0;
     }
-    true
+    (true, flush_ns)
 }
 
 #[cfg(test)]
@@ -675,10 +695,14 @@ mod tests {
             );
         }
         conn.slots.get_mut(&1).unwrap().done = Some((200, Vec::new(), b"second".to_vec()));
-        assert!(pump(&mut conn));
+        let (alive, flush_ns) = pump(&mut conn);
+        assert!(alive);
+        assert_eq!(flush_ns, 0, "no bytes moved, no flush sample");
         assert!(conn.wbuf.is_empty(), "seq 1 must wait for seq 0");
         conn.slots.get_mut(&0).unwrap().done = Some((200, Vec::new(), b"first".to_vec()));
-        assert!(pump(&mut conn));
+        let (alive, flush_ns) = pump(&mut conn);
+        assert!(alive);
+        assert!(flush_ns > 0, "both responses flushed, sample recorded");
         assert!(conn.slots.is_empty());
         b.set_read_timeout(Some(std::time::Duration::from_millis(500)))
             .unwrap();

@@ -200,19 +200,28 @@ pub fn try_parse(buf: &[u8]) -> Parsed {
 
 /// Encode a full `Content-Length`-framed response.  `extra_headers` lets a
 /// 429 carry `Retry-After`; `keep_alive` selects the `Connection` header.
+/// The default `Content-Type: application/json` yields to a caller-supplied
+/// `Content-Type` in `extra_headers` (the Prometheus `/metrics` body is
+/// plain text).
 pub fn encode_response(
     status: u16,
     extra_headers: &[(&str, String)],
     body: &[u8],
     keep_alive: bool,
 ) -> Vec<u8> {
+    let custom_type = extra_headers
+        .iter()
+        .any(|(k, _)| k.eq_ignore_ascii_case("content-type"));
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    if !custom_type {
+        head.push_str("Content-Type: application/json\r\n");
+    }
     for (k, v) in extra_headers {
         head.push_str(k);
         head.push_str(": ");
@@ -294,9 +303,28 @@ pub fn roundtrip(
     path: &str,
     body: &[u8],
 ) -> std::io::Result<HttpResponse> {
+    roundtrip_with(addr, method, path, &[], body)
+}
+
+/// [`roundtrip`] with extra request headers (e.g. `Accept`, `X-Trace-Id`).
+pub fn roundtrip_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<HttpResponse> {
     let mut stream = TcpStream::connect(addr)?;
     let _ = stream.set_nodelay(true);
-    write_request_head(&mut stream, addr, method, path, body.len(), false)?;
+    write_request_head(
+        &mut stream,
+        addr,
+        method,
+        path,
+        extra_headers,
+        body.len(),
+        false,
+    )?;
     stream.write_all(body)?;
     stream.flush()?;
     read_response(&mut stream)
@@ -305,6 +333,14 @@ pub fn roundtrip(
 /// Convenience: GET `path` and return `(status, body as String)`.
 pub fn get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
     let r = roundtrip(addr, "GET", path, b"")?;
+    Ok((r.status, String::from_utf8_lossy(&r.body).into_owned()))
+}
+
+/// GET `path` asking for the JSON representation (`Accept:
+/// application/json`) — the `/metrics` endpoint defaults to Prometheus
+/// text without it.
+pub fn get_json(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let r = roundtrip_with(addr, "GET", path, &[("Accept", "application/json")], b"")?;
     Ok((r.status, String::from_utf8_lossy(&r.body).into_owned()))
 }
 
@@ -386,11 +422,12 @@ impl ClientConn {
         &mut self,
         method: &str,
         path: &str,
+        extra_headers: &[(&str, &str)],
         body: &[u8],
     ) -> std::io::Result<HttpResponse> {
         let addr = self.addr.clone();
         let stream = self.connect()?;
-        write_request_head(stream, &addr, method, path, body.len(), true)?;
+        write_request_head(stream, &addr, method, path, extra_headers, body.len(), true)?;
         stream.write_all(body)?;
         stream.flush()?;
         read_response(stream)
@@ -406,8 +443,20 @@ impl ClientConn {
         path: &str,
         body: &[u8],
     ) -> std::io::Result<HttpResponse> {
+        self.request_with(method, path, &[], body)
+    }
+
+    /// [`ClientConn::request`] with extra request headers (e.g. the
+    /// `X-Trace-Id` a daemon forwards on peer pulls, or `Accept`).
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<HttpResponse> {
         let reused = self.stream.is_some();
-        match self.send_recv(method, path, body) {
+        match self.send_recv(method, path, extra_headers, body) {
             Ok(resp) => {
                 if resp.wants_close() {
                     self.stream = None;
@@ -416,7 +465,7 @@ impl ClientConn {
             }
             Err(_) if reused => {
                 self.stream = None;
-                let resp = self.send_recv(method, path, body)?;
+                let resp = self.send_recv(method, path, extra_headers, body)?;
                 if resp.wants_close() {
                     self.stream = None;
                 }
@@ -436,7 +485,7 @@ impl ClientConn {
         let addr = self.addr.clone();
         let run = |stream: &mut TcpStream| -> std::io::Result<(Vec<HttpResponse>, bool)> {
             for (method, path, body) in reqs {
-                write_request_head(stream, &addr, method, path, body.len(), true)?;
+                write_request_head(stream, &addr, method, path, &[], body.len(), true)?;
                 stream.write_all(body)?;
             }
             stream.flush()?;
@@ -478,6 +527,17 @@ impl ClientConn {
         &mut self,
         path: &str,
         body: &[u8],
+        on_event: impl FnMut(&str),
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        self.post_stream_with(path, &[], body, on_event)
+    }
+
+    /// [`ClientConn::post_stream`] with extra request headers.
+    pub fn post_stream_with(
+        &mut self,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
         mut on_event: impl FnMut(&str),
     ) -> std::io::Result<(u16, Vec<u8>)> {
         enum StreamEnd {
@@ -486,7 +546,7 @@ impl ClientConn {
         }
         let addr = self.addr.clone();
         let mut run = |stream: &mut TcpStream| -> std::io::Result<StreamEnd> {
-            write_request_head(stream, &addr, "POST", path, body.len(), true)?;
+            write_request_head(stream, &addr, "POST", path, extra_headers, body.len(), true)?;
             stream.write_all(body)?;
             stream.flush()?;
             let (head, mut rest) = read_head(stream)?;
@@ -554,13 +614,21 @@ fn write_request_head(
     addr: &str,
     method: &str,
     path: &str,
+    extra_headers: &[(&str, &str)],
     content_length: usize,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {content_length}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {content_length}\r\nConnection: {}\r\n",
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())
 }
 
@@ -864,6 +932,51 @@ mod tests {
         assert_eq!(resp.body, b"after");
         assert_eq!(conn.connections_opened(), 1);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn extra_request_headers_reach_the_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let req = read_request(&mut s).unwrap();
+            assert_eq!(req.header("x-trace-id"), Some("ab12cd34-c0"));
+            assert_eq!(req.header("accept"), Some("application/json"));
+            write_response(&mut s, 200, &[], b"ok").unwrap();
+        });
+        let mut conn = ClientConn::new(&addr);
+        let resp = conn
+            .request_with(
+                "GET",
+                "/metrics",
+                &[
+                    ("X-Trace-Id", "ab12cd34-c0"),
+                    ("Accept", "application/json"),
+                ],
+                b"",
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn encode_response_honours_a_custom_content_type() {
+        let wire = encode_response(
+            200,
+            &[("Content-Type", "text/plain; version=0.0.4".to_string())],
+            b"m 1\n",
+            true,
+        );
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(
+            !text.contains("application/json"),
+            "default type must yield: {text}"
+        );
+        let default = String::from_utf8(encode_response(200, &[], b"{}", true)).unwrap();
+        assert!(default.contains("Content-Type: application/json\r\n"));
     }
 
     #[test]

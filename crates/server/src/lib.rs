@@ -23,6 +23,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod shard;
+pub mod trace;
 
 pub use client::{run_fanout, run_fanout_stats, ClientStats};
 pub use protocol::{request_from_json, request_to_json, RunRequest};

@@ -10,18 +10,24 @@
 //!
 //! Failure is soft by design: any connect/read error or non-200 just
 //! means "that peer doesn't have it", and the worker falls back to the
-//! next peer or to local compute.  Timeouts bound the worst case — a
-//! down peer costs one short timeout per fetch, not a wedged worker.
+//! next peer or to local compute.  Timeouts (`--peer-timeout-ms`) bound
+//! the worst case — a down peer costs one short timeout per fetch, not
+//! a wedged worker — and are counted separately (`cache.peer_timeouts`)
+//! from plain misses so a sick topology is visible in `/metrics`.
 //! Connections are keep-alive ([`ClientConn`]) so a warm peering pair
 //! costs one TCP handshake, not one per fetch.
+//!
+//! Observability: every probe's round-trip lands in the `peer.rtt`
+//! histogram, and a traced request's id rides the outbound probe as
+//! `X-Trace-Id`, so the serving peer's `GET /trace` timeline can be
+//! joined to the requesting daemon's.
 
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use guardspec_harness::MetricsRegistry;
 
 use crate::http::ClientConn;
-
-/// How long a peer gets to answer a cache probe before we shrug.
-const PEER_TIMEOUT: Duration = Duration::from_millis(2_000);
 
 pub struct PeerSet {
     peers: Vec<(String, Mutex<ClientConn>)>,
@@ -29,16 +35,13 @@ pub struct PeerSet {
 
 impl PeerSet {
     /// `addrs` as given on the command line; empty means peering is off.
-    pub fn new(addrs: &[String]) -> PeerSet {
+    /// `timeout` bounds connect + read + write per probe
+    /// (`--peer-timeout-ms`, default 2000).
+    pub fn new(addrs: &[String], timeout: Duration) -> PeerSet {
         PeerSet {
             peers: addrs
                 .iter()
-                .map(|a| {
-                    (
-                        a.clone(),
-                        Mutex::new(ClientConn::with_timeout(a, PEER_TIMEOUT)),
-                    )
-                })
+                .map(|a| (a.clone(), Mutex::new(ClientConn::with_timeout(a, timeout))))
                 .collect(),
         }
     }
@@ -52,14 +55,36 @@ impl PeerSet {
     }
 
     /// Ask each peer in turn for `key`; first 200 wins.  `None` means no
-    /// peer has it (or none is reachable) — compute locally.
-    pub fn fetch(&self, key: &str) -> Option<Vec<u8>> {
+    /// peer has it (or none is reachable) — compute locally.  A traced
+    /// request forwards its id so the peer's timeline links to ours.
+    pub fn fetch(
+        &self,
+        key: &str,
+        trace_id: Option<&str>,
+        metrics: &MetricsRegistry,
+    ) -> Option<Vec<u8>> {
+        let mut headers: Vec<(&str, &str)> = Vec::new();
+        if let Some(id) = trace_id {
+            headers.push(("X-Trace-Id", id));
+        }
         for (_, conn) in &self.peers {
             let mut conn = conn.lock().unwrap();
-            match conn.request("GET", &format!("/cache/{key}"), b"") {
+            let t0 = Instant::now();
+            let outcome = conn.request_with("GET", &format!("/cache/{key}"), &headers, b"");
+            metrics.time_ns("peer.rtt", t0.elapsed().as_nanos() as u64);
+            match outcome {
                 Ok(resp) if resp.status == 200 => return Some(resp.body),
-                Ok(_) => {}  // 404: this peer ran cold too
-                Err(_) => {} // down/slow peer: soft-fail to the next one
+                Ok(_) => {} // 404: this peer ran cold too
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    // A slow peer is a different disease than a cold one.
+                    metrics.incr("cache.peer_timeouts");
+                }
+                Err(_) => {} // down peer: soft-fail to the next one
             }
         }
         None
@@ -69,21 +94,70 @@ impl PeerSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::http::{read_request, write_response};
+    use std::net::TcpListener;
+
+    const FAST: Duration = Duration::from_millis(2_000);
 
     #[test]
     fn empty_peer_set_is_a_cheap_no_op() {
-        let peers = PeerSet::new(&[]);
+        let metrics = MetricsRegistry::new();
+        let peers = PeerSet::new(&[], FAST);
         assert!(peers.is_empty());
-        assert!(peers.fetch("resp-00").is_none());
+        assert!(peers.fetch("resp-00", None, &metrics).is_none());
     }
 
     #[test]
     fn unreachable_peer_degrades_to_none() {
         // A closed port answers with a fast RST; the fetch must soft-fail.
-        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = l.local_addr().unwrap().to_string();
         drop(l);
-        let peers = PeerSet::new(&[addr]);
-        assert!(peers.fetch("resp-00").is_none());
+        let metrics = MetricsRegistry::new();
+        let peers = PeerSet::new(&[addr], FAST);
+        assert!(peers.fetch("resp-00", None, &metrics).is_none());
+        assert_eq!(
+            metrics.get("cache.peer_timeouts"),
+            0,
+            "RST is not a timeout"
+        );
+    }
+
+    #[test]
+    fn silent_peer_counts_as_a_timeout_not_a_miss() {
+        // Accept the connection, never answer: the short timeout trips
+        // and is counted, distinct from a 404 miss.
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || {
+            let (s, _) = l.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+            drop(s);
+        });
+        let metrics = MetricsRegistry::new();
+        let peers = PeerSet::new(&[addr], Duration::from_millis(50));
+        assert!(peers.fetch("resp-00", None, &metrics).is_none());
+        assert_eq!(metrics.get("cache.peer_timeouts"), 1);
+        let rtt = metrics.histogram("peer.rtt");
+        assert!(rtt.count() >= 1, "every probe records an RTT sample");
+        hold.join().unwrap();
+    }
+
+    #[test]
+    fn trace_id_rides_the_probe_as_a_header() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = l.accept().unwrap();
+            let req = read_request(&mut s).unwrap();
+            let trace = req.header("x-trace-id").map(str::to_string);
+            write_response(&mut s, 200, &[], b"artifact").unwrap();
+            trace
+        });
+        let metrics = MetricsRegistry::new();
+        let peers = PeerSet::new(&[addr], FAST);
+        let got = peers.fetch("resp-00", Some("ab12cd34-s3"), &metrics);
+        assert_eq!(got.as_deref(), Some(b"artifact".as_slice()));
+        assert_eq!(server.join().unwrap().as_deref(), Some("ab12cd34-s3"));
     }
 }

@@ -26,6 +26,21 @@
 //! dressing — it is *not* part of the request key, so a streamed and a
 //! plain request for the same question share one flight and one artifact.
 //!
+//! **Telemetry** (DESIGN.md §15): every request lands a sample in the
+//! `request.latency` histogram; `?trace=1` (or an inbound `X-Trace-Id`,
+//! or a configured `--slow-ms`) additionally builds a
+//! [`crate::trace::RequestTrace`] whose spans tile the whole lifecycle —
+//! `admit` → `queue.wait` → `flight` (containing `peer.pull` and the
+//! harness runner's five stage spans, time-shifted onto the request
+//! clock) → `respond`; joiners record a `dedup.join` span carrying the
+//! owning flight's trace id.  Finished timelines are returned inline
+//! (`?trace=1` wraps the artifact in a `{trace_id, trace, artifact}`
+//! envelope; streams emit an `{"event":"trace",...}` line) and buffered
+//! in a bounded ring drained by `GET /trace` as one Chrome trace
+//! document.  `GET /metrics` speaks Prometheus text by default and the
+//! legacy JSON under `Accept: application/json`.  None of this perturbs
+//! artifact bytes: the stable JSON never contains spans or metrics.
+//!
 //! Shutdown is cooperative: [`ServerHandle::begin_shutdown`] closes the
 //! queue (new work gets 503), the event loop keeps answering `/healthz`
 //! ("draining") until every queued and in-flight job has published and
@@ -39,7 +54,9 @@ use crate::peer::PeerSet;
 use crate::protocol::{self, RunRequest};
 use crate::queue::{FairQueue, PushError};
 use crate::shard::{check_request_routing, ShardSpec};
+use crate::trace::{mint_trace_id, RequestTrace, TraceRing};
 use guardspec_harness::{
+    chrome_trace_json, chrome_trace_json_grouped, log as glog, registry_prometheus_text,
     run_experiment_shared, stable_json, DiskCache, Json, MetricsRegistry, ProgressEvent,
     ProgressHook, RunOptions,
 };
@@ -50,6 +67,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Completed request timelines kept for `GET /trace` scrapers.
+const TRACE_RING_CAP: usize = 64;
 
 /// How a [`Server`] is wired up.
 #[derive(Clone, Debug)]
@@ -75,12 +95,17 @@ pub struct ServerConfig {
     /// Sibling daemons (`host:port`) to probe for finished artifacts
     /// before simulating.  Empty disables peering.
     pub peers: Vec<String>,
+    /// Per-probe peer budget (connect + read + write), `--peer-timeout-ms`.
+    pub peer_timeout_ms: u64,
     /// Close keep-alive connections idle this long (ms).
     pub idle_timeout_ms: u64,
     /// Close a connection after serving this many requests.
     pub max_conn_requests: u64,
     /// Per-connection pipelining depth cap.
     pub pipeline_depth: usize,
+    /// Trace every request and log (level `warn`, with the full span
+    /// tree) any that takes at least this long, `--slow-ms`.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -95,9 +120,11 @@ impl Default for ServerConfig {
             jobs_per_request: 1,
             est_job_ms: 1000,
             peers: Vec::new(),
+            peer_timeout_ms: 2_000,
             idle_timeout_ms: 30_000,
             max_conn_requests: 1000,
             pipeline_depth: 16,
+            slow_ms: None,
         }
     }
 }
@@ -109,19 +136,27 @@ struct Job {
     key: String,
     resp_key: String,
     request: RunRequest,
-    /// Present on streaming requests: forwards harness stage events to
-    /// the owning connection.
-    progress: Option<ProgressHook>,
+    /// Forwards harness stage events: always feeds the per-stage latency
+    /// histograms, and additionally the owning connection on streams.
+    progress: ProgressHook,
+    /// When the owner admitted this job to the queue (`queue.wait`).
+    enqueued: Instant,
+    /// Present when the owning request is traced.
+    trace: Option<Arc<RequestTrace>>,
 }
 
 /// State shared by the event loop and workers.
 struct Shared {
     config: ServerConfig,
     cache: Arc<DiskCache>,
-    metrics: MetricsRegistry,
+    metrics: Arc<MetricsRegistry>,
     queue: FairQueue<Job>,
     flights: FlightMap,
     peers: PeerSet,
+    /// Completed request timelines, drained by `GET /trace`.
+    traces: Arc<TraceRing>,
+    /// Monotone per-daemon counter feeding deterministic trace ids.
+    trace_epoch: AtomicU64,
     /// Set by `begin_shutdown`; checked by the loop and handlers.
     draining: AtomicBool,
     /// Jobs popped by a worker but not yet published.
@@ -154,9 +189,14 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: FairQueue::new(config.queue_cap, config.est_job_ms),
             cache,
-            metrics: MetricsRegistry::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
             flights: FlightMap::new(),
-            peers: PeerSet::new(&config.peers),
+            peers: PeerSet::new(
+                &config.peers,
+                Duration::from_millis(config.peer_timeout_ms.max(1)),
+            ),
+            traces: Arc::new(TraceRing::new(TRACE_RING_CAP)),
+            trace_epoch: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             executing: AtomicU64::new(0),
             config,
@@ -227,7 +267,8 @@ impl Service for Shared {
     fn handle(&self, req: HttpRequest, peer: SocketAddr, responder: Responder) {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => respond(&responder, healthz(self)),
-            ("GET", "/metrics") => respond(&responder, metrics(self)),
+            ("GET", "/metrics") => respond(&responder, metrics(self, &req)),
+            ("GET", "/trace") => respond(&responder, trace_dump(self)),
             ("GET", path) if path.starts_with("/cache/") => {
                 cache_probe(self, &path["/cache/".len()..], &responder)
             }
@@ -253,6 +294,10 @@ impl Service for Shared {
 
     fn metric_max(&self, name: &str, value: u64) {
         self.metrics.record_max(name, value);
+    }
+
+    fn metric_time(&self, name: &str, ns: u64) {
+        self.metrics.time_ns(name, ns);
     }
 }
 
@@ -290,7 +335,31 @@ fn healthz(shared: &Shared) -> Reply {
     (200, Vec::new(), body.to_compact())
 }
 
-fn metrics(shared: &Shared) -> Reply {
+/// `GET /metrics`: Prometheus text exposition by default, the legacy
+/// JSON document under `Accept: application/json`.
+fn metrics(shared: &Shared, req: &HttpRequest) -> Reply {
+    let gauges: [(&str, u64); 6] = [
+        ("queue_depth", shared.queue.len() as u64),
+        ("in_flight", shared.flights.in_flight() as u64),
+        ("executing", shared.executing.load(Ordering::SeqCst)),
+        ("cache_hits", shared.cache.hits()),
+        ("cache_misses", shared.cache.misses()),
+        ("cache_race_lost", shared.cache.race_lost()),
+    ];
+    let wants_json = req
+        .header("accept")
+        .is_some_and(|a| a.contains("application/json"));
+    if !wants_json {
+        let text = registry_prometheus_text("gsd", &gauges, &shared.metrics);
+        return (
+            200,
+            vec![(
+                "Content-Type",
+                "text/plain; version=0.0.4; charset=utf-8".to_string(),
+            )],
+            text,
+        );
+    }
     let counters: Vec<(String, Json)> = shared
         .metrics
         .snapshot()
@@ -298,18 +367,24 @@ fn metrics(shared: &Shared) -> Reply {
         .map(|(k, v)| (k, Json::U64(v)))
         .collect();
     let body = Json::obj(vec![
-        ("queue_depth", Json::U64(shared.queue.len() as u64)),
-        ("in_flight", Json::U64(shared.flights.in_flight() as u64)),
-        (
-            "executing",
-            Json::U64(shared.executing.load(Ordering::SeqCst)),
-        ),
-        ("cache_hits", Json::U64(shared.cache.hits())),
-        ("cache_misses", Json::U64(shared.cache.misses())),
-        ("cache_race_lost", Json::U64(shared.cache.race_lost())),
+        ("queue_depth", Json::U64(gauges[0].1)),
+        ("in_flight", Json::U64(gauges[1].1)),
+        ("executing", Json::U64(gauges[2].1)),
+        ("cache_hits", Json::U64(gauges[3].1)),
+        ("cache_misses", Json::U64(gauges[4].1)),
+        ("cache_race_lost", Json::U64(gauges[5].1)),
         ("counters", Json::Obj(counters)),
     ]);
     (200, Vec::new(), body.to_pretty())
+}
+
+/// `GET /trace`: drain the ring of completed request timelines as one
+/// Chrome trace document (read-once — each request appears to exactly
+/// one scraper).
+fn trace_dump(shared: &Shared) -> Reply {
+    let groups = shared.traces.drain();
+    let doc = chrome_trace_json_grouped(&groups);
+    (200, Vec::new(), doc.to_pretty())
 }
 
 /// `GET /cache/<key>`: the peering endpoint.  Serves raw local cache
@@ -336,6 +411,7 @@ fn cache_probe(shared: &Shared, key: &str, responder: &Responder) {
 }
 
 fn run(shared: &Shared, req: &HttpRequest, peer: SocketAddr, responder: Responder) {
+    let t_start = Instant::now();
     shared.metrics.incr("requests.run");
     let parsed = std::str::from_utf8(&req.body)
         .map_err(|_| "body is not UTF-8".to_string())
@@ -356,15 +432,114 @@ fn run(shared: &Shared, req: &HttpRequest, peer: SocketAddr, responder: Responde
     let resp_key = protocol::response_key(&key);
     let want_stream = req.query_flag("stream");
 
+    // A request is traced when the client asks (`?trace=1`), when an
+    // upstream daemon forwarded its id (`X-Trace-Id`), or when `--slow-ms`
+    // wants every request's timeline on standby.  Client-supplied ids
+    // win; minted ids are deterministic (key hash + daemon epoch).
+    let want_trace = req.query_flag("trace");
+    let hdr_trace = req.header("x-trace-id").map(str::to_string);
+    let trace = (want_trace || hdr_trace.is_some() || shared.config.slow_ms.is_some()).then(|| {
+        let id = hdr_trace.unwrap_or_else(|| {
+            mint_trace_id(&key, shared.trace_epoch.fetch_add(1, Ordering::Relaxed))
+        });
+        Arc::new(RequestTrace::new(id))
+    });
+    if let Some(tr) = &trace {
+        // If an open flight already carries a trace, we are about to join
+        // it — remember the owner's id for the `dedup.join` span.  (Set
+        // preemptively: owners simply never read it.)
+        if let Some(owner_id) = shared.flights.trace_of(&key) {
+            tr.set_joined(owner_id);
+        }
+    }
+
     // Everyone — owner and joiners alike — answers through the flight.
-    let waiter_responder = responder.clone();
-    let owner = shared.flights.enter_async(
-        &key,
-        Box::new(move |outcome| respond(&waiter_responder, outcome_reply(&outcome))),
-    );
+    // The flag starts "joiner" and the owner clears it right after
+    // `enter_async`, before any publish can fire the waiter.
+    let joined = Arc::new(AtomicBool::new(true));
+    let waiter = {
+        let responder = responder.clone();
+        let metrics = shared.metrics.clone();
+        let traces = shared.traces.clone();
+        let trace = trace.clone();
+        let joined = joined.clone();
+        let slow_ms = shared.config.slow_ms;
+        Box::new(move |outcome: Outcome| {
+            let t_done = Instant::now();
+            metrics.time_ns(
+                "request.latency",
+                t_done.duration_since(t_start).as_nanos() as u64,
+            );
+            let reply = outcome_reply(&outcome);
+            let Some(tr) = trace else {
+                return respond(&responder, reply);
+            };
+            if joined.load(Ordering::SeqCst) {
+                metrics.time_ns(
+                    "flight.wait",
+                    t_done.duration_since(tr.started()).as_nanos() as u64,
+                );
+                let owner = tr.joined().unwrap_or_default();
+                tr.span_args(
+                    "dedup.join",
+                    "flight",
+                    tr.started(),
+                    t_done,
+                    vec![("owner_trace".to_string(), owner)],
+                );
+            } else if let Some(t_pub) = tr.published() {
+                tr.span("respond", "respond", t_pub, t_done);
+            }
+            tr.span("request", "request", tr.started(), t_done);
+            let spans = tr.finish();
+            let doc = chrome_trace_json(&spans, &[]);
+            let elapsed_ms = t_done.duration_since(tr.started()).as_millis() as u64;
+            if slow_ms.is_some_and(|limit| elapsed_ms >= limit) {
+                glog::warn(
+                    "request.slow",
+                    &[
+                        ("trace_id", Json::str(&tr.id)),
+                        ("ms", Json::U64(elapsed_ms)),
+                        ("trace", doc.clone()),
+                    ],
+                );
+            }
+            traces.push(tr.id.clone(), spans);
+            let (status, headers, body) = reply;
+            if !(want_trace && status == 200) {
+                return respond(&responder, (status, headers, body));
+            }
+            if want_stream {
+                // The timeline rides the stream as its own event line;
+                // the artifact bytes close the stream untouched.
+                let line = Json::obj(vec![
+                    ("event", Json::str("trace")),
+                    ("trace_id", Json::str(&tr.id)),
+                    ("trace", doc),
+                ]);
+                responder.event(&line.to_compact());
+                respond(&responder, (status, headers, body));
+            } else {
+                // Envelope: the artifact travels as a JSON *string*, so
+                // clients recover its exact bytes by unescaping — the
+                // stable artifact stays byte-identical, traced or not.
+                let envelope = Json::obj(vec![
+                    ("trace_id", Json::str(&tr.id)),
+                    ("trace", doc),
+                    ("artifact", Json::str(&body)),
+                ]);
+                respond(&responder, (200, headers, envelope.to_pretty()));
+            }
+        })
+    };
+    let owner = shared.flights.enter_async(&key, waiter);
     if !owner {
         shared.metrics.incr("dedup.joined");
         return;
+    }
+    joined.store(false, Ordering::SeqCst);
+    if let Some(tr) = &trace {
+        shared.flights.set_trace(&key, &tr.id);
     }
 
     // Owner path: every exit publishes *something* so joiners never hang.
@@ -375,23 +550,43 @@ fn run(shared: &Shared, req: &HttpRequest, peer: SocketAddr, responder: Responde
     // thread, and it skips the queue (and `hold_ms`) entirely.
     if let Some(body) = shared.cache.get(&resp_key) {
         shared.metrics.incr("jobs.resp_cached");
+        if let Some(tr) = &trace {
+            let t_hit = tr.mark_published();
+            tr.span("resp_cache", "flight", tr.started(), t_hit);
+        }
         return shared.flights.publish(&key, Outcome::Done(Arc::new(body)));
     }
-    let progress = want_stream.then(|| {
-        let r = responder.clone();
+    let progress = {
+        let metrics = shared.metrics.clone();
+        let stream_to = want_stream.then(|| responder.clone());
         ProgressHook(Arc::new(move |ev: &ProgressEvent| {
-            r.event(&progress_line(ev));
+            if ev.done {
+                metrics.time_ns(&format!("stage.{}", ev.stage), (ev.ms * 1e6) as u64);
+            }
+            if let Some(r) = &stream_to {
+                r.event(&progress_line(ev));
+            }
         }))
-    });
+    };
     let client = request
         .client
         .clone()
         .unwrap_or_else(|| peer.ip().to_string());
+    let enqueued = match &trace {
+        Some(tr) => {
+            let t_enq = tr.mark_enqueued();
+            tr.span("admit", "admit", tr.started(), t_enq);
+            t_enq
+        }
+        None => Instant::now(),
+    };
     let job = Job {
         key: key.clone(),
         resp_key,
         request,
         progress,
+        enqueued,
+        trace: trace.clone(),
     };
     match shared.queue.push(&client, job) {
         Ok(()) => {} // a worker now owns publication
@@ -461,6 +656,11 @@ fn error_reply(status: u16, msg: &str) -> Reply {
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         shared.executing.fetch_add(1, Ordering::SeqCst);
+        let t_pop = Instant::now();
+        shared.metrics.time_ns(
+            "queue.wait",
+            t_pop.duration_since(job.enqueued).as_nanos() as u64,
+        );
         if shared.config.hold_ms > 0 {
             std::thread::sleep(Duration::from_millis(shared.config.hold_ms));
         }
@@ -470,6 +670,15 @@ fn worker_loop(shared: &Shared) {
             // publishing, so a peer probing right after our clients see
             // the bytes finds them too.
             shared.cache.put(&job.resp_key, body);
+        }
+        if let Some(tr) = &job.trace {
+            // Spans must land before publish — publication fires the
+            // waiter, which drains the recorder.
+            let t_pub = tr.mark_published();
+            if let Some(t_enq) = tr.enqueued() {
+                tr.span("queue.wait", "queue", t_enq, t_pop);
+            }
+            tr.span("flight", "flight", t_pop, t_pub);
         }
         shared.flights.publish(&job.key, outcome);
         shared.executing.fetch_sub(1, Ordering::SeqCst);
@@ -482,7 +691,19 @@ fn worker_loop(shared: &Shared) {
 /// key can never race.
 fn execute(job: &Job, shared: &Shared) -> Outcome {
     if !shared.peers.is_empty() {
-        match fetch_from_peers(shared, &job.resp_key) {
+        let t0 = Instant::now();
+        let trace_id = job.trace.as_ref().map(|t| t.id.clone());
+        let fetched = fetch_from_peers(shared, &job.resp_key, trace_id.as_deref());
+        if let Some(tr) = &job.trace {
+            tr.span_args(
+                "peer.pull",
+                "peer",
+                t0,
+                Instant::now(),
+                vec![("hit".to_string(), fetched.is_some().to_string())],
+            );
+        }
+        match fetched {
             Some(body) => {
                 shared.metrics.incr("cache.peer_hits");
                 return Outcome::Done(Arc::new(body));
@@ -502,7 +723,8 @@ fn execute(job: &Job, shared: &Shared) -> Outcome {
         cache_dir: None, // ignored: the shared handle wins
         observe: job.request.observe,
         sample: job.request.sample,
-        progress: job.progress.clone(),
+        progress: Some(job.progress.clone()),
+        trace_spans: job.trace.is_some(),
         ..RunOptions::default()
     };
     let started = Instant::now();
@@ -511,7 +733,7 @@ fn execute(job: &Job, shared: &Shared) -> Outcome {
         run_experiment_shared(&spec, &opts, cache)
     }));
     match run {
-        Ok(result) => {
+        Ok(mut result) => {
             shared.metrics.incr("jobs.executed");
             shared
                 .metrics
@@ -534,6 +756,13 @@ fn execute(job: &Job, shared: &Shared) -> Outcome {
             shared.metrics.add("stage.transform_us", transform_us);
             shared.metrics.add("stage.trace_us", trace_us);
             shared.metrics.add("stage.simulate_us", sim_us);
+            if let Some(tr) = &job.trace {
+                // The runner's stage spans are timestamped from its own
+                // origin; shift them onto the request clock.  The stable
+                // artifact never contains spans, so taking them cannot
+                // perturb response bytes.
+                tr.absorb(std::mem::take(&mut result.spans), started);
+            }
             Outcome::Done(Arc::new(stable_json(&result).to_pretty()))
         }
         Err(panic) => {
@@ -550,8 +779,9 @@ fn execute(job: &Job, shared: &Shared) -> Outcome {
 
 /// A peer's bytes are only trusted if they parse as JSON — a truncated
 /// or corrupt blob degrades to local compute, never to a bad response.
-fn fetch_from_peers(shared: &Shared, resp_key: &str) -> Option<String> {
-    let bytes = shared.peers.fetch(resp_key)?;
+/// A traced request's id rides the probe as `X-Trace-Id`.
+fn fetch_from_peers(shared: &Shared, resp_key: &str, trace_id: Option<&str>) -> Option<String> {
+    let bytes = shared.peers.fetch(resp_key, trace_id, &shared.metrics)?;
     let body = String::from_utf8(bytes).ok()?;
     guardspec_harness::json::parse(&body).ok()?;
     shared.cache.put(resp_key, &body);

@@ -236,7 +236,7 @@ fn idle_keep_alive_connections_are_reaped() {
         0,
         "server must close an idle connection"
     );
-    let (st, metrics) = http::get(&addr, "/metrics").unwrap();
+    let (st, metrics) = http::get_json(&addr, "/metrics").unwrap();
     assert_eq!(st, 200);
     assert!(counter(&metrics, "connections.reaped") >= 1, "{metrics}");
     handle.shutdown();
@@ -258,7 +258,9 @@ fn keep_alive_reuse_is_the_default_and_is_counted() {
     }
     // Read the metrics over the SAME connection, so no second connection
     // muddies the accounting: 6 requests, 1 connection, 5 reuses.
-    let resp = conn.request("GET", "/metrics", b"").unwrap();
+    let resp = conn
+        .request_with("GET", "/metrics", &[("Accept", "application/json")], b"")
+        .unwrap();
     assert_eq!(resp.status, 200);
     let metrics = String::from_utf8_lossy(&resp.body).to_string();
     assert_eq!(conn.connections_opened(), 1);
@@ -323,7 +325,9 @@ fn pipelined_runs_answer_in_request_order_with_offline_bytes() {
     assert_eq!(responses[2].status, 200);
     assert!(String::from_utf8_lossy(&responses[2].body).contains("\"ok\""));
 
-    let resp = conn.request("GET", "/metrics", b"").unwrap();
+    let resp = conn
+        .request_with("GET", "/metrics", &[("Accept", "application/json")], b"")
+        .unwrap();
     let metrics = String::from_utf8_lossy(&resp.body).to_string();
     assert!(counter(&metrics, "pipeline.depth_max") >= 2, "{metrics}");
     assert_eq!(conn.connections_opened(), 1);
@@ -367,7 +371,7 @@ fn streaming_run_emits_stage_events_then_the_exact_artifact() {
         );
         let stage = j.get("stage").and_then(Json::as_str).unwrap();
         assert!(
-            ["profile", "transform", "trace", "simulate"].contains(&stage),
+            ["profile", "transform", "trace", "simulate", "collect"].contains(&stage),
             "unexpected stage {line}"
         );
         if kind == "stage_done" {

@@ -74,14 +74,14 @@ fn a_cold_daemon_is_satisfied_by_its_warm_peer_without_simulating() {
     assert_eq!(status, 200);
     assert_eq!(got, expected, "peered bytes must equal the offline bytes");
 
-    let (_, metrics) = http::get(&a_addr, "/metrics").unwrap();
+    let (_, metrics) = http::get_json(&a_addr, "/metrics").unwrap();
     assert_eq!(counter(&metrics, "cache.peer_hits"), 1, "{metrics}");
     assert_eq!(
         counter(&metrics, "jobs.executed"),
         0,
         "the peer hit must preempt the simulation: {metrics}"
     );
-    let (_, b_metrics) = http::get(&b_addr, "/metrics").unwrap();
+    let (_, b_metrics) = http::get_json(&b_addr, "/metrics").unwrap();
     assert!(counter(&b_metrics, "cache.peer_served") >= 1, "{b_metrics}");
 
     // The fetched artifact is now in A's own cache: a replay answers
@@ -89,7 +89,7 @@ fn a_cold_daemon_is_satisfied_by_its_warm_peer_without_simulating() {
     let (status, again) = http::post_json(&a_addr, "/run", &body).unwrap();
     assert_eq!(status, 200);
     assert_eq!(again, expected);
-    let (_, metrics) = http::get(&a_addr, "/metrics").unwrap();
+    let (_, metrics) = http::get_json(&a_addr, "/metrics").unwrap();
     assert_eq!(counter(&metrics, "cache.peer_hits"), 1, "{metrics}");
     assert!(counter(&metrics, "jobs.resp_cached") >= 1, "{metrics}");
 
@@ -119,10 +119,92 @@ fn a_dead_peer_degrades_to_local_compute() {
     assert_eq!(status, 200);
     assert_eq!(got, expected, "peer failure must not change the answer");
 
-    let (_, metrics) = http::get(&a_addr, "/metrics").unwrap();
+    let (_, metrics) = http::get_json(&a_addr, "/metrics").unwrap();
     assert_eq!(counter(&metrics, "cache.peer_hits"), 0, "{metrics}");
     assert!(counter(&metrics, "cache.peer_misses") >= 1, "{metrics}");
     assert_eq!(counter(&metrics, "jobs.executed"), 1, "{metrics}");
+    a.shutdown();
+}
+
+#[test]
+fn a_silent_peer_times_out_and_is_counted_separately_from_misses() {
+    // A peer that accepts the TCP connection and then says nothing: the
+    // probe must hit `--peer-timeout-ms`, bump the dedicated timeout
+    // counter (not just the generic miss), and fall back to computing.
+    let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let silent = l.local_addr().unwrap().to_string();
+    let hold = std::thread::spawn(move || {
+        let conns: Vec<_> = l.incoming().take(1).collect();
+        std::thread::sleep(std::time::Duration::from_millis(600));
+        drop(conns);
+    });
+    let a = Server::start(ServerConfig {
+        cache_dir: Some(scratch("deaf-a")),
+        workers: 1,
+        peers: vec![silent],
+        peer_timeout_ms: 100,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let a_addr = a.addr().to_string();
+    let req = three_schemes_request("deaf", guardspec_workloads::Scale::Test);
+    let (status, got) =
+        http::post_json(&a_addr, "/run", &request_to_json(&req).to_compact()).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        got,
+        offline_stable(&req),
+        "timeout must not change the answer"
+    );
+
+    let (_, metrics) = http::get_json(&a_addr, "/metrics").unwrap();
+    assert!(counter(&metrics, "cache.peer_timeouts") >= 1, "{metrics}");
+    assert_eq!(counter(&metrics, "cache.peer_hits"), 0, "{metrics}");
+    assert_eq!(counter(&metrics, "jobs.executed"), 1, "{metrics}");
+    a.shutdown();
+    hold.join().unwrap();
+}
+
+#[test]
+fn a_traced_request_propagates_its_trace_id_to_peer_probes() {
+    use guardspec_server::http::{read_request, write_response};
+    // A hand-rolled "peer" that records the X-Trace-Id it was probed
+    // with and answers 404 (an honest miss).
+    let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let peer_addr = l.local_addr().unwrap().to_string();
+    let probe = std::thread::spawn(move || {
+        let (mut s, _) = l.accept().unwrap();
+        let req = read_request(&mut s).unwrap();
+        let seen = req.header("x-trace-id").map(str::to_string);
+        write_response(&mut s, 404, &[], b"").unwrap();
+        seen
+    });
+    let a = Server::start(ServerConfig {
+        cache_dir: Some(scratch("traced-a")),
+        workers: 1,
+        peers: vec![peer_addr],
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let a_addr = a.addr().to_string();
+    let req = three_schemes_request("traced-peer", guardspec_workloads::Scale::Test);
+    let (status, envelope) =
+        http::post_json(&a_addr, "/run?trace=1", &request_to_json(&req).to_compact()).unwrap();
+    assert_eq!(status, 200);
+    let env = json::parse(&envelope).unwrap();
+    let trace_id = env
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .expect("trace id in envelope")
+        .to_string();
+    assert_eq!(
+        probe.join().unwrap().as_deref(),
+        Some(trace_id.as_str()),
+        "the peer probe must carry the request's trace id"
+    );
+    // And the probe itself shows up in the request's own timeline.
+    let trace = env.get("trace").unwrap().to_compact();
+    assert!(trace.contains("peer.pull"), "{trace}");
     a.shutdown();
 }
 

@@ -87,7 +87,7 @@ fn eight_identical_requests_execute_one_job_and_match_offline() {
             "server response must be byte-identical to the offline stable artifact"
         );
     }
-    let (st, metrics) = http::get(&addr, "/metrics").unwrap();
+    let (st, metrics) = http::get_json(&addr, "/metrics").unwrap();
     assert_eq!(st, 200);
     assert_eq!(counter(&metrics, "jobs.executed"), 1, "{metrics}");
     assert_eq!(counter(&metrics, "dedup.joined"), 7, "{metrics}");
@@ -99,7 +99,7 @@ fn eight_identical_requests_execute_one_job_and_match_offline() {
     let (st, again) = http::post_json(&addr, "/run", &body).unwrap();
     assert_eq!(st, 200);
     assert_eq!(again, expected);
-    let (_, metrics) = http::get(&addr, "/metrics").unwrap();
+    let (_, metrics) = http::get_json(&addr, "/metrics").unwrap();
     assert_eq!(counter(&metrics, "jobs.executed"), 1, "{metrics}");
     assert!(counter(&metrics, "jobs.resp_cached") >= 1, "{metrics}");
     assert!(gauge(&metrics, "cache_hits") > 0, "{metrics}");
@@ -173,7 +173,7 @@ fn queue_full_is_a_structured_429_and_nothing_is_dropped() {
     // A and B still complete normally — refusal never cancels admitted work.
     assert_eq!(a.join().unwrap().0, 200);
     assert_eq!(b.join().unwrap().0, 200);
-    let (_, metrics) = http::get(&addr, "/metrics").unwrap();
+    let (_, metrics) = http::get_json(&addr, "/metrics").unwrap();
     assert_eq!(counter(&metrics, "requests.rejected"), 1);
     assert_eq!(counter(&metrics, "jobs.executed"), 2);
     handle.shutdown();
@@ -182,7 +182,7 @@ fn queue_full_is_a_structured_429_and_nothing_is_dropped() {
 fn wait_until(addr: &str, mut pred: impl FnMut(&str) -> bool) {
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
-        let (_, m) = http::get(addr, "/metrics").unwrap();
+        let (_, m) = http::get_json(addr, "/metrics").unwrap();
         if pred(&m) {
             return;
         }
@@ -242,6 +242,230 @@ fn adhoc_bin_programs_run_and_match_offline() {
     handle.shutdown();
 }
 
+/// Pull the executable (`ph == "X"`) spans out of a Chrome trace doc as
+/// `(name, cat, ts, end)` tuples.
+fn x_spans(doc: &Json) -> Vec<(String, String, u64, u64)> {
+    doc.get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array")
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .map(|e| {
+            let ts = e.get("ts").and_then(Json::as_u64).unwrap();
+            let dur = e.get("dur").and_then(Json::as_u64).unwrap();
+            (
+                e.get("name").and_then(Json::as_str).unwrap().to_string(),
+                e.get("cat").and_then(Json::as_str).unwrap().to_string(),
+                ts,
+                ts + dur,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn traced_request_spans_tile_the_whole_lifecycle() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: Some(scratch("traced")),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let req = three_schemes_request("table3", Scale::Test);
+    let body = request_to_json(&req).to_compact();
+
+    let (status, envelope) = http::post_json(&addr, "/run?trace=1", &body).unwrap();
+    assert_eq!(status, 200, "{envelope}");
+    let env = json::parse(&envelope).expect("trace envelope parses");
+    let trace_id = env.get("trace_id").and_then(Json::as_str).unwrap();
+    assert!(trace_id.ends_with("-s0"), "daemon-minted id: {trace_id}");
+
+    // The artifact rides the envelope as a JSON string: byte-exact.
+    let artifact = env.get("artifact").and_then(Json::as_str).unwrap();
+    assert_eq!(
+        artifact,
+        offline_stable(&req),
+        "tracing must not perturb artifact bytes"
+    );
+
+    let doc = env.get("trace").expect("trace document");
+    guardspec_harness::validate_chrome_trace(doc).expect("valid Chrome trace");
+    let spans = x_spans(doc);
+    let one = |name: &str| -> (u64, u64) {
+        let hits: Vec<_> = spans.iter().filter(|(n, ..)| n == name).collect();
+        assert_eq!(hits.len(), 1, "exactly one {name:?} span: {spans:?}");
+        (hits[0].2, hits[0].3)
+    };
+    // Adjacent phases share their boundary Instants, so they tile with
+    // exact microsecond equality — no gaps, no overlaps.
+    let admit = one("admit");
+    let queue_wait = one("queue.wait");
+    let flight = one("flight");
+    let respond = one("respond");
+    let request_span = one("request");
+    assert_eq!(admit.0, 0, "admit starts on the request clock's zero");
+    assert_eq!(admit.1, queue_wait.0, "admit → queue.wait tiles exactly");
+    assert_eq!(queue_wait.1, flight.0, "queue.wait → flight tiles exactly");
+    assert_eq!(flight.1, respond.0, "flight → respond tiles exactly");
+    assert_eq!(request_span.0, 0);
+    assert!(respond.1 <= request_span.1, "respond ends inside the root");
+
+    // The harness runner's five stages all land inside the flight span.
+    for stage in ["profile", "transform", "trace", "simulate", "collect"] {
+        let inside: Vec<_> = spans
+            .iter()
+            .filter(|(_, cat, ts, end)| cat == stage && *ts >= flight.0 && *end <= flight.1)
+            .collect();
+        assert!(
+            !inside.is_empty(),
+            "stage {stage:?} span inside flight {flight:?}: {spans:?}"
+        );
+    }
+
+    // The completed timeline also landed in the daemon ring: one GET
+    // /trace drains it, the next finds it empty (read-once).
+    let (st, ring) = http::get(&addr, "/trace").unwrap();
+    assert_eq!(st, 200);
+    let ring_doc = json::parse(&ring).unwrap();
+    guardspec_harness::validate_chrome_trace(&ring_doc).expect("ring doc valid");
+    assert!(
+        !x_spans(&ring_doc).is_empty(),
+        "ring must hold the request's spans: {ring}"
+    );
+    let (_, empty) = http::get(&addr, "/trace").unwrap();
+    assert!(
+        x_spans(&json::parse(&empty).unwrap()).is_empty(),
+        "second drain must be empty: {empty}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn a_joining_duplicate_traces_the_dedup_with_the_owners_trace_id() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: Some(scratch("joiner")),
+        workers: 1,
+        hold_ms: 300, // keep the owner's flight open for the duplicate
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let req = three_schemes_request("table3", Scale::Test);
+    let body = request_to_json(&req).to_compact();
+    let owner = {
+        let addr = addr.clone();
+        let body = body.clone();
+        std::thread::spawn(move || http::post_json(&addr, "/run?trace=1", &body).unwrap())
+    };
+    std::thread::sleep(Duration::from_millis(120)); // owner holds the flight
+    let (status, joined) = http::post_json(&addr, "/run?trace=1", &body).unwrap();
+    assert_eq!(status, 200);
+    let (status, owned) = owner.join().unwrap();
+    assert_eq!(status, 200);
+
+    let owner_env = json::parse(&owned).unwrap();
+    let joiner_env = json::parse(&joined).unwrap();
+    let owner_id = owner_env.get("trace_id").and_then(Json::as_str).unwrap();
+    let joiner_id = joiner_env.get("trace_id").and_then(Json::as_str).unwrap();
+    assert_ne!(owner_id, joiner_id, "two requests, two trace ids");
+    assert_eq!(
+        owner_env.get("artifact").and_then(Json::as_str),
+        joiner_env.get("artifact").and_then(Json::as_str),
+        "both arrivals get the same bytes"
+    );
+
+    // The joiner's timeline names the flight it piggybacked on.
+    let joiner_trace = joiner_env.get("trace").unwrap().to_compact();
+    assert!(joiner_trace.contains("dedup.join"), "{joiner_trace}");
+    assert!(
+        joiner_trace.contains(owner_id),
+        "dedup.join must carry the owner's trace id {owner_id}: {joiner_trace}"
+    );
+    let owner_trace = owner_env.get("trace").unwrap().to_compact();
+    assert!(
+        !owner_trace.contains("dedup.join"),
+        "the owner did not join anyone: {owner_trace}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_speak_prometheus_by_default_with_live_latency_histograms() {
+    let handle = Server::start(ServerConfig {
+        cache_dir: Some(scratch("prom")),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let req = three_schemes_request("table3", Scale::Test);
+    let (status, _) = http::post_json(&addr, "/run", &request_to_json(&req).to_compact()).unwrap();
+    assert_eq!(status, 200);
+
+    let resp = http::roundtrip(&addr, "GET", "/metrics", b"").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.header("Content-Type")
+            .is_some_and(|ct| ct.starts_with("text/plain")),
+        "Prometheus content type: {:?}",
+        resp.header("Content-Type")
+    );
+    let text = String::from_utf8(resp.body).unwrap();
+    let series = guardspec_harness::parse_prometheus(&text).expect("valid exposition");
+    assert!(
+        series
+            .get("gsd_request_latency_seconds_count")
+            .copied()
+            .unwrap_or(0.0)
+            >= 1.0,
+        "request latency histogram must have samples: {text}"
+    );
+    assert!(
+        series
+            .get("gsd_queue_wait_seconds_count")
+            .copied()
+            .unwrap_or(0.0)
+            >= 1.0,
+        "queue wait histogram must have samples: {text}"
+    );
+    assert!(series.contains_key("gsd_queue_depth"), "{text}");
+
+    // The JSON document is still there for callers that ask for it.
+    let (st, legacy) = http::get_json(&addr, "/metrics").unwrap();
+    assert_eq!(st, 200);
+    assert_eq!(counter(&legacy, "jobs.executed"), 1, "{legacy}");
+    handle.shutdown();
+}
+
+#[test]
+fn tracing_and_slow_logging_never_perturb_artifact_bytes() {
+    // Same request against a telemetry-hot daemon (slow-ms traces every
+    // request) and a telemetry-cold one: byte-identical artifacts.
+    let hot = Server::start(ServerConfig {
+        cache_dir: Some(scratch("hot")),
+        workers: 1,
+        slow_ms: Some(0), // trace and slow-log literally every request
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let cold = Server::start(ServerConfig {
+        cache_dir: Some(scratch("cold")),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let req = three_schemes_request("table3", Scale::Test);
+    let body = request_to_json(&req).to_compact();
+    let (st_hot, from_hot) = http::post_json(&hot.addr().to_string(), "/run", &body).unwrap();
+    let (st_cold, from_cold) = http::post_json(&cold.addr().to_string(), "/run", &body).unwrap();
+    assert_eq!((st_hot, st_cold), (200, 200));
+    assert_eq!(from_hot, from_cold, "telemetry must not leak into bytes");
+    assert_eq!(from_hot, offline_stable(&req));
+    hot.shutdown();
+    cold.shutdown();
+}
+
 #[test]
 fn gsd_binary_drains_cleanly_on_sigterm() {
     use std::io::BufRead;
@@ -280,4 +504,69 @@ fn gsd_binary_drains_cleanly_on_sigterm() {
     assert!(kill.success());
     let exit = child.wait().unwrap();
     assert!(exit.success(), "gsd must drain and exit 0, got {exit:?}");
+}
+
+#[test]
+fn gsd_debug_logging_never_touches_stdout() {
+    use std::io::{BufRead, Read};
+    let cache = scratch("binlog");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_gsd"))
+        .args(["--port", "0", "--workers", "1", "--log-level", "debug"])
+        .args(["--slow-ms", "0", "--cache-dir"])
+        .arg(&cache)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdout = std::io::BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split_whitespace()
+        .nth(3)
+        .expect("address in banner")
+        .to_string();
+
+    // Drive real traffic — traced (slow-ms 0 traces everything) and debug
+    // logged — then drain. Nothing beyond the banner may reach stdout.
+    let req = three_schemes_request("table3", Scale::Test);
+    let (status, body) =
+        http::post_json(&addr, "/run", &request_to_json(&req).to_compact()).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, offline_stable(&req));
+    let (status, _) = http::get(&addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+
+    std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    let exit = child.wait().unwrap();
+    assert!(exit.success(), "{exit:?}");
+
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert_eq!(
+        rest, "",
+        "stdout must carry the banner and nothing else, got {rest:?}"
+    );
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .unwrap();
+    let mut structured = 0;
+    for line in stderr.lines().filter(|l| !l.trim().is_empty()) {
+        let j = json::parse(line)
+            .unwrap_or_else(|e| panic!("stderr line must be JSON ({e}): {line:?}"));
+        assert!(j.get("level").is_some(), "leveled log line: {line}");
+        assert!(j.get("event").is_some(), "named log event: {line}");
+        structured += 1;
+    }
+    assert!(
+        structured >= 2,
+        "expected slow-request + drain logs on stderr, got: {stderr:?}"
+    );
 }

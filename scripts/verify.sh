@@ -128,14 +128,77 @@ wait "$GSD0"
 wait "$GSD1"
 rm -rf "$SRVDIR"
 
-echo "== loadgen keep-alive (BENCH_9.json: connection reuse observed) =="
+echo "== service telemetry (traced stream + peer pull, Prometheus, logs) =="
+# A warm peer W and a stone-cold daemon A peered with it, A slow-logging
+# every request at debug level.  The traced streaming sweep must (a) keep
+# the artifact byte-identical to the offline reference, (b) emit a Chrome
+# trace (gsc validates it before writing) whose one trace id covers queue
+# admission and the peer pull, and (c) keep gsd's stdout at exactly the
+# one-line banner while structured JSON logs land on stderr.
+TELDIR=$(mktemp -d)
+target/release/table3 --scale test --stable-json "$TELDIR/offline.json" > /dev/null
+target/release/gsd --port 0 --cache-dir "$TELDIR/cachew" > "$TELDIR/gsdw.log" &
+GSDW=$!
+for _ in $(seq 1 100); do
+    grep -q listening "$TELDIR/gsdw.log" 2>/dev/null && break
+    sleep 0.1
+done
+ADDRW=$(awk '{print $4}' "$TELDIR/gsdw.log")
+target/release/gsc --servers "$ADDRW" --spec table3 --scale test \
+    --out "$TELDIR/warm.json"
+cmp "$TELDIR/offline.json" "$TELDIR/warm.json"
+target/release/gsd --port 0 --cache-dir "$TELDIR/cachea" --peers "$ADDRW" \
+    --slow-ms 0 --log-level debug \
+    > "$TELDIR/gsda.log" 2> "$TELDIR/gsda.err" &
+GSDA=$!
+for _ in $(seq 1 100); do
+    grep -q listening "$TELDIR/gsda.log" 2>/dev/null && break
+    sleep 0.1
+done
+ADDRA=$(awk '{print $4}' "$TELDIR/gsda.log")
+# Traced streaming run: W is warm, so A's worker pulls the artifact over
+# /cache/<key> — the probe rides the request's trace id.
+target/release/gsc --servers "$ADDRA" --spec table3 --scale test --stream \
+    --trace-out "$TELDIR/trace_peer.json" --out "$TELDIR/traced.json"
+cmp "$TELDIR/offline.json" "$TELDIR/traced.json"
+grep -q 'peer.pull' "$TELDIR/trace_peer.json"
+grep -q 'queue.wait' "$TELDIR/trace_peer.json"
+# An ablation sweep misses the peer and executes locally: that trace must
+# carry all five runner stages.
+target/release/gsc --servers "$ADDRA" --spec ablation --scale test --stream \
+    --trace-out "$TELDIR/trace_exec.json" > /dev/null
+for stage in profile transform trace simulate collect; do
+    grep -q "\"$stage\"" "$TELDIR/trace_exec.json"
+done
+# Prometheus scrape: gsc parses the exposition (monotone buckets, +Inf ==
+# _count) before printing it; the latency histogram must have samples.
+target/release/gsc --servers "$ADDRA" --metrics --prom > "$TELDIR/prom.txt"
+grep -q 'series' "$TELDIR/prom.txt"
+grep -Eq 'gsd_request_latency_seconds_count [1-9]' "$TELDIR/prom.txt"
+# Telemetry off vs on: replay the same sweep untraced — still the same
+# bytes.
+target/release/gsc --servers "$ADDRA" --spec table3 --scale test \
+    --out "$TELDIR/untraced.json"
+cmp "$TELDIR/traced.json" "$TELDIR/untraced.json"
+kill -TERM "$GSDA" "$GSDW"
+wait "$GSDA"
+wait "$GSDW"
+# stdout discipline: the banner is the only stdout line even at debug.
+test "$(wc -l < "$TELDIR/gsda.log")" -eq 1
+grep -q '"event"' "$TELDIR/gsda.err"
+rm -rf "$TELDIR"
+
+echo "== loadgen keep-alive (BENCH_35.json: reuse + latency percentiles) =="
 # Four passes against an embedded daemon — cold/close, warm/close,
 # warm/keep-alive, warm/pipelined — overwriting the PR evidence artifact.
-# The keep-alive and pipelined passes must actually reuse connections.
+# The keep-alive and pipelined passes must actually reuse connections, and
+# every pass reports histogram-derived p50/p95/p99/max latencies.
 cargo run --release -p guardspec-bench --bin loadgen -- \
     --scale test --clients 4 --requests 8
-test -s results/BENCH_9.json
-grep -Eq '"server_reused": [1-9]' results/BENCH_9.json
+test -s results/BENCH_35.json
+grep -Eq '"server_reused": [1-9]' results/BENCH_35.json
+grep -q '"p95_ms"' results/BENCH_35.json
+grep -q '"max_ms"' results/BENCH_35.json
 
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets --release -- -D warnings
